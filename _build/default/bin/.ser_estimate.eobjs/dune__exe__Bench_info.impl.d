@@ -1,0 +1,1 @@
+bin/bench_info.ml: Arg Cli_common Cmd Cmdliner Fmt List Netlist Sta Term

@@ -1,0 +1,1 @@
+bin/bench_info.mli:

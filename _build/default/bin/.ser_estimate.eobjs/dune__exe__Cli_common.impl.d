@@ -1,0 +1,1 @@
+bin/cli_common.ml: Arg Bench_format Blif_format Circuit_gen Cmdliner Filename Fmt List Netlist Printf Result Seu_model String Verilog_format

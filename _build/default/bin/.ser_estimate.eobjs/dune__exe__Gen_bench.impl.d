@@ -1,0 +1,1 @@
+bin/gen_bench.ml: Arg Bench_format Circuit_gen Cli_common Cmd Cmdliner Fmt List Netlist String Term

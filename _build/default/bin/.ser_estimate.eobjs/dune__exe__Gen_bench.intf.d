@@ -1,0 +1,1 @@
+bin/gen_bench.mli:

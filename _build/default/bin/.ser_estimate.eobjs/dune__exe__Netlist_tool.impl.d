@@ -1,0 +1,1 @@
+bin/netlist_tool.ml: Arg Array Bench_format Blif_format Circuit_bdd Cli_common Cmd Cmdliner Epp Fmt Fun List Netlist Printf String Term Verilog_format

@@ -1,0 +1,1 @@
+bin/ser_compare.ml: Arg Array Cli_common Cmd Cmdliner Epp Fault_sim Float Fmt Fun List Netlist Report Rng Sigprob Term

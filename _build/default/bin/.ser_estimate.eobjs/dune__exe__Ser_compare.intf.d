@@ -1,0 +1,1 @@
+bin/ser_compare.mli:

@@ -1,0 +1,1 @@
+bin/ser_estimate.ml: Arg Cli_common Cmd Cmdliner Epp Fmt List Netlist Printf Report Seu_model Term

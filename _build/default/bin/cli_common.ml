@@ -1,0 +1,105 @@
+(* Shared plumbing for the command-line tools: circuit sources and common
+   cmdliner terms. *)
+
+open Cmdliner
+
+(* A circuit argument is one of:
+   - a path to a .bench file,
+   - "embedded:<name>" for a built-in real netlist (s27, c17),
+   - "profile:<name>[:seed]" for a synthetic ISCAS-profiled circuit. *)
+let load_circuit spec =
+  match String.split_on_char ':' spec with
+  | [ "embedded"; name ] -> (
+    match Circuit_gen.Embedded.find name with
+    | Some f -> Ok (f ())
+    | None ->
+      Error
+        (Printf.sprintf "unknown embedded circuit %S (available: %s)" name
+           (String.concat ", " (List.map fst Circuit_gen.Embedded.all))))
+  | [ "structured"; name ] -> (
+    match List.assoc_opt name Circuit_gen.Structured.all with
+    | Some f -> Ok (f ())
+    | None ->
+      Error
+        (Printf.sprintf "unknown structured circuit %S (available: %s)" name
+           (String.concat ", " (List.map fst Circuit_gen.Structured.all))))
+  | [ "profile"; name ] | [ "profile"; name; _ ] -> (
+    let seed =
+      match String.split_on_char ':' spec with
+      | [ _; _; s ] -> ( try int_of_string s with Failure _ -> 1)
+      | _ -> 1
+    in
+    match Circuit_gen.Profiles.find name with
+    | Some p -> Ok (Circuit_gen.Random_dag.generate ~seed p)
+    | None -> Error (Printf.sprintf "unknown profile %S" name))
+  | _ when Filename.check_suffix spec ".v" -> (
+    try Ok (Verilog_format.Verilog_parser.parse_file spec) with
+    | Sys_error msg -> Error msg
+    | Verilog_format.Verilog_parser.Error { message; pos } ->
+      Error
+        (Printf.sprintf "%s: parse error at line %d, column %d: %s" spec
+           pos.Verilog_format.Verilog_lexer.line pos.Verilog_format.Verilog_lexer.column message)
+    | Verilog_format.Verilog_parser.Elaboration_error message ->
+      Error (Printf.sprintf "%s: %s" spec message)
+    | Netlist.Builder.Error e ->
+      Error (Printf.sprintf "%s: invalid netlist: %s" spec (Netlist.Builder.error_to_string e)))
+  | _ when Filename.check_suffix spec ".blif" -> (
+    try Ok (Blif_format.Blif_parser.parse_file spec) with
+    | Sys_error msg -> Error msg
+    | Blif_format.Blif_parser.Error { message; line } ->
+      Error (Printf.sprintf "%s: parse error at line %d: %s" spec line message)
+    | Blif_format.Blif_parser.Elaboration_error message ->
+      Error (Printf.sprintf "%s: %s" spec message)
+    | Netlist.Builder.Error e ->
+      Error (Printf.sprintf "%s: invalid netlist: %s" spec (Netlist.Builder.error_to_string e)))
+  | _ -> (
+    try Ok (Bench_format.Parser.parse_file spec) with
+    | Sys_error msg -> Error msg
+    | Bench_format.Parser.Error { message; pos } ->
+      Error
+        (Printf.sprintf "%s: parse error at line %d, column %d: %s" spec pos.Bench_format.Token.line
+           pos.Bench_format.Token.column message)
+    | Netlist.Builder.Error e ->
+      Error (Printf.sprintf "%s: invalid netlist: %s" spec (Netlist.Builder.error_to_string e)))
+
+let circuit_conv =
+  let parse spec = Result.map_error (fun e -> `Msg e) (load_circuit spec) in
+  let print ppf c = Fmt.pf ppf "%s" (Netlist.Circuit.name c) in
+  Arg.conv (parse, print)
+
+let circuit_arg =
+  let doc =
+    "Circuit to analyze: a netlist file (.bench, .v, .blif), $(b,embedded:)$(i,NAME) \
+     (s27, c17), $(b,structured:)$(i,NAME) (add8, mul4, parity16, mux4, acc8), or \
+     $(b,profile:)$(i,NAME)[$(b,:)$(i,SEED)] for a synthetic ISCAS'89-profiled circuit."
+  in
+  Arg.(required & pos 0 (some circuit_conv) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let technology_conv =
+  let parse name =
+    match Seu_model.Technology.find_preset name with
+    | Some t -> Ok t
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown technology %S (available: %s)" name
+             (String.concat ", "
+                (List.map (fun (t : Seu_model.Technology.t) -> t.Seu_model.Technology.name)
+                   Seu_model.Technology.presets))))
+  in
+  Arg.conv (parse, fun ppf (t : Seu_model.Technology.t) -> Fmt.string ppf t.Seu_model.Technology.name)
+
+let technology_arg =
+  let doc = "Technology preset for the R_SEU model." in
+  Arg.(
+    value
+    & opt technology_conv Seu_model.Technology.default
+    & info [ "t"; "technology" ] ~docv:"TECH" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for every randomized step (simulation, sampling)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let vectors_arg ~default =
+  let doc = "Random vectors per error site for the simulation baseline." in
+  Arg.(value & opt int default & info [ "n"; "vectors" ] ~docv:"N" ~doc)

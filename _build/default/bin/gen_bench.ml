@@ -1,0 +1,35 @@
+(* gen_bench: emit a synthetic ISCAS'89-profiled netlist as a .bench file
+   (stdout or a file), for feeding external tools or the other CLIs. *)
+
+open Cmdliner
+
+let run profile_name seed output =
+  match Circuit_gen.Profiles.find profile_name with
+  | None ->
+    Fmt.epr "unknown profile %S; available: %s@." profile_name
+      (String.concat ", "
+         (List.map (fun p -> p.Circuit_gen.Profiles.name) Circuit_gen.Profiles.all));
+    1
+  | Some profile ->
+    let circuit = Circuit_gen.Random_dag.generate ~seed profile in
+    let text = Bench_format.Printer.circuit_to_string circuit in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+      Bench_format.Printer.write_file path circuit;
+      Fmt.pr "wrote %a to %s@." Netlist.Circuit.pp circuit path);
+    0
+
+let profile_arg =
+  let doc = "ISCAS'89 profile name (s27, s298, ..., s38417)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE" ~doc)
+
+let output_arg =
+  let doc = "Output file (stdout when omitted)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "generate a profile-matched synthetic .bench netlist" in
+  Cmd.v (Cmd.info "gen_bench" ~doc) Term.(const run $ profile_arg $ Cli_common.seed_arg $ output_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,79 @@
+(* ser_compare: analytical EPP versus random fault-injection simulation on
+   one circuit — the per-circuit version of the paper's Table 2 row. *)
+
+open Cmdliner
+
+let run circuit vectors sites seed =
+  let rng = Rng.create ~seed in
+  let sp, spt =
+    Report.Timer.time (fun () ->
+        if Netlist.Circuit.ff_count circuit > 0 then
+          (Sigprob.Sp_sequential.compute circuit).Sigprob.Sp_sequential.result
+        else Sigprob.Sp_topological.compute circuit)
+  in
+  let engine = Epp.Epp_engine.create ~sp circuit in
+  let input_sp v =
+    if Netlist.Circuit.is_ff circuit v then sp.Sigprob.Sp.values.(v) else 0.5
+  in
+  let sim_ctx = Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors; input_sp } circuit in
+  let node_count = Netlist.Circuit.node_count circuit in
+  let chosen =
+    if sites >= node_count then List.init node_count Fun.id
+    else
+      Array.to_list (Rng.sample_without_replacement rng ~count:sites ~universe:node_count)
+  in
+  let epp_results, syst =
+    Report.Timer.time (fun () -> Epp.Epp_engine.analyze_sites engine chosen)
+  in
+  let sim_results, simt =
+    Report.Timer.time (fun () -> List.map (Fault_sim.Epp_sim.estimate_site sim_ctx ~rng) chosen)
+  in
+  let rows =
+    List.map2
+      (fun (e : Epp.Epp_engine.site_result) (s : Fault_sim.Epp_sim.site_estimate) ->
+        [
+          Netlist.Circuit.node_name circuit e.Epp.Epp_engine.site;
+          Report.Table.f3 e.Epp.Epp_engine.p_sensitized;
+          Report.Table.f3 s.Fault_sim.Epp_sim.p_sensitized;
+          Report.Table.f3
+            (Float.abs (e.Epp.Epp_engine.p_sensitized -. s.Fault_sim.Epp_sim.p_sensitized));
+          string_of_int e.Epp.Epp_engine.cone_size;
+        ])
+      epp_results sim_results
+  in
+  Fmt.pr "%a@.@." Netlist.Circuit.pp circuit;
+  Report.Table.print
+    ~align:Report.Table.[ Left; Right; Right; Right; Right ]
+    ~header:[ "site"; "EPP"; "simulation"; "|diff|"; "cone" ]
+    rows;
+  let pairs =
+    List.map2
+      (fun (e : Epp.Epp_engine.site_result) (s : Fault_sim.Epp_sim.site_estimate) ->
+        { Epp.Accuracy.site = e.Epp.Epp_engine.site; epp = e.Epp.Epp_engine.p_sensitized;
+          sim = s.Fault_sim.Epp_sim.p_sensitized })
+      epp_results sim_results
+  in
+  let summary = Epp.Accuracy.summarize pairs in
+  Fmt.pr "@.%a@." Epp.Accuracy.pp_summary summary;
+  let n = float_of_int (List.length chosen) in
+  Fmt.pr "SP time %.3f s; EPP %.3f ms/site; simulation %.3f ms/site; speedup (excl. SP) %.0fx@."
+    spt
+    (syst /. n *. 1000.0)
+    (simt /. n *. 1000.0)
+    (simt /. Float.max 1e-12 syst);
+  0
+
+let sites_arg =
+  let doc = "Number of error sites to compare (sampled without replacement)." in
+  Arg.(value & opt int 30 & info [ "s"; "sites" ] ~docv:"SITES" ~doc)
+
+let cmd =
+  let doc = "compare analytical EPP against random fault-injection simulation" in
+  Cmd.v
+    (Cmd.info "ser_compare" ~doc)
+    Term.(
+      const run $ Cli_common.circuit_arg
+      $ Cli_common.vectors_arg ~default:10_000
+      $ sites_arg $ Cli_common.seed_arg)
+
+let () = exit (Cmd.eval' cmd)

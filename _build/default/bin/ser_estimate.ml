@@ -1,0 +1,75 @@
+(* ser_estimate: analytical SER estimation of a circuit.
+
+   Runs the paper's pipeline — signal probabilities, per-site EPP, the
+   three-factor SER composition — and prints the circuit total plus the most
+   vulnerable nodes (the hardening candidates of the paper's conclusion). *)
+
+open Cmdliner
+
+let run circuit technology top_k target_reduction by_output electrical =
+  let electrical = if electrical then Some Seu_model.Electrical.default else None in
+  let (report : Epp.Ser_estimator.report), elapsed =
+    Report.Timer.time (fun () -> Epp.Ser_estimator.estimate ~technology ?electrical circuit)
+  in
+  Fmt.pr "%a@." Netlist.Circuit.pp circuit;
+  Fmt.pr "technology: %a@." Seu_model.Technology.pp technology;
+  Fmt.pr "total SER: %.6f FIT (MTBF %.3g hours), estimated in %.1f ms@.@."
+    report.Epp.Ser_estimator.total_fit
+    (Seu_model.Fit.mtbf_hours report.Epp.Ser_estimator.total_fit)
+    (elapsed *. 1000.0);
+  let entries = Epp.Ranking.top_k report top_k in
+  let rows =
+    List.map
+      (fun (e : Epp.Ranking.entry) ->
+        let n = e.Epp.Ranking.report in
+        [
+          string_of_int e.Epp.Ranking.rank;
+          n.Epp.Ser_estimator.name;
+          Printf.sprintf "%.3g" n.Epp.Ser_estimator.r_seu;
+          Report.Table.f3 n.Epp.Ser_estimator.p_sensitized;
+          Report.Table.f3 n.Epp.Ser_estimator.p_latched_effective;
+          Printf.sprintf "%.5f" n.Epp.Ser_estimator.fit;
+          string_of_int n.Epp.Ser_estimator.cone_size;
+        ])
+      entries
+  in
+  Report.Table.print
+    ~align:Report.Table.[ Right; Left; Right; Right; Right; Right; Right ]
+    ~header:[ "#"; "node"; "R_SEU(/s)"; "P_sens"; "P_latch"; "FIT"; "cone" ]
+    rows;
+  (match target_reduction with
+  | None -> ()
+  | Some fraction ->
+    let plan = Epp.Ranking.hardening_plan report ~target_fraction:fraction in
+    Fmt.pr "@.%a@." Epp.Ranking.pp_plan plan);
+  if by_output then begin
+    let attribution = Epp.Attribution.compute ~technology circuit in
+    Fmt.pr "@.%a@." Epp.Attribution.pp attribution
+  end;
+  0
+
+let top_k_arg =
+  let doc = "Number of most-vulnerable nodes to list." in
+  Arg.(value & opt int 10 & info [ "k"; "top" ] ~docv:"K" ~doc)
+
+let target_arg =
+  let doc = "Also print a hardening plan reaching this SER reduction (0-1)." in
+  Arg.(value & opt (some float) None & info [ "harden" ] ~docv:"FRACTION" ~doc)
+
+let by_output_arg =
+  let doc = "Also print the per-observation-point exposure (which outputs absorb the SER)." in
+  Arg.(value & flag & info [ "by-output" ] ~doc)
+
+let electrical_arg =
+  let doc = "Apply the electrical (pulse attenuation) masking model." in
+  Arg.(value & flag & info [ "electrical" ] ~doc)
+
+let cmd =
+  let doc = "analytical soft-error-rate estimation (EPP method, DATE'05)" in
+  Cmd.v
+    (Cmd.info "ser_estimate" ~doc)
+    Term.(
+      const run $ Cli_common.circuit_arg $ Cli_common.technology_arg $ top_k_arg $ target_arg
+      $ by_output_arg $ electrical_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/accuracy_sweep.ml: Array Circuit Circuit_gen Epp Fault_sim Float Fmt List Netlist Printf Report Rng Sigprob

@@ -1,0 +1,1 @@
+examples/adder_study.ml: Circuit Circuit_bdd Circuit_gen Epp Float Fmt Fun List Netlist Printf Report

@@ -1,0 +1,1 @@
+examples/fig1_example.ml: Builder Circuit Epp Fault_sim Fmt Gate List Netlist Rng Sigprob

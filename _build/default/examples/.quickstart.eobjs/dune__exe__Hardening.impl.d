@@ -1,0 +1,1 @@
+examples/hardening.ml: Array Circuit_gen Epp Fmt List Netlist Printf Report

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Epp Fmt List Netlist

@@ -1,0 +1,1 @@
+examples/sequential_lifetime.ml: Circuit Circuit_gen Epp Fmt Fun List Netlist Printf Report

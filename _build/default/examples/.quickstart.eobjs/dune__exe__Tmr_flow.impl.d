@@ -1,0 +1,1 @@
+examples/tmr_flow.ml: Circuit Circuit_bdd Circuit_gen Epp Fmt List Netlist Transform

@@ -1,0 +1,85 @@
+(* Case study: where do soft errors in datapath blocks actually matter?
+
+   Three structured circuits of comparable size — a ripple-carry adder, an
+   array multiplier and a parity tree — analyzed with the same flow:
+
+   - per-node P_sensitized along the adder's carry chain (the classic
+     result: the low-order carry logic sees almost everything, the
+     high-order sums very little downstream logic);
+   - accuracy of the analytical EPP per circuit against the BDD oracle:
+     the multiplier's dense reconvergence is the hard case, the parity
+     tree is exact;
+   - total SER per block and the hardening cost of a 50% reduction.
+
+     dune exec examples/adder_study.exe *)
+
+open Netlist
+
+let analyze name circuit =
+  let engine = Epp.Epp_engine.create circuit in
+  let report = Epp.Ser_estimator.estimate circuit in
+  let mae =
+    match Circuit_bdd.build ~node_limit:4_000_000 circuit with
+    | exception Circuit_bdd.Too_large _ -> Float.nan
+    | cb ->
+      let sites =
+        List.filter (Circuit.is_gate circuit)
+          (List.init (Circuit.node_count circuit) Fun.id)
+      in
+      List.fold_left
+        (fun acc s ->
+          let a = (Epp.Epp_engine.analyze_site engine s).Epp.Epp_engine.p_sensitized in
+          let x = (Circuit_bdd.epp_exact cb s).Circuit_bdd.p_sensitized in
+          acc +. Float.abs (a -. x))
+        0.0 sites
+      /. float_of_int (List.length sites)
+  in
+  let plan = Epp.Ranking.hardening_plan report ~target_fraction:0.5 in
+  [
+    name;
+    string_of_int (Circuit.gate_count circuit);
+    Printf.sprintf "%.4f" report.Epp.Ser_estimator.total_fit;
+    (if Float.is_nan mae then "-" else Printf.sprintf "%.4f" mae);
+    Printf.sprintf "%d (%.0f%%)"
+      (List.length plan.Epp.Ranking.selected)
+      (100.0
+      *. float_of_int (List.length plan.Epp.Ranking.selected)
+      /. float_of_int (Circuit.node_count circuit));
+  ]
+
+let () =
+  let adder = Circuit_gen.Structured.ripple_adder ~width:8 () in
+  let multiplier = Circuit_gen.Structured.array_multiplier ~width:4 () in
+  let parity = Circuit_gen.Structured.parity_tree ~width:32 () in
+  Fmt.pr "Datapath blocks under the same SER flow:@.@.";
+  Report.Table.print
+    ~align:Report.Table.[ Left; Right; Right; Right; Right ]
+    ~header:[ "block"; "gates"; "total FIT"; "EPP MAE vs exact"; "harden for -50%" ]
+    [ analyze "add8 (ripple carry)" adder;
+      analyze "mul4 (array)" multiplier;
+      analyze "parity32 (XOR tree)" parity ];
+
+  (* The carry chain profile: P_sensitized of each carry signal. *)
+  Fmt.pr "@.Carry-chain sensitization profile of add8:@.";
+  let engine = Epp.Epp_engine.create adder in
+  let carry_names =
+    "cin" :: List.init 7 (fun i -> Printf.sprintf "c%d" (i + 1)) @ [ "cout" ]
+  in
+  List.iter
+    (fun name ->
+      match Circuit.find_opt adder name with
+      | None -> ()
+      | Some v ->
+        let r = Epp.Epp_engine.analyze_site engine v in
+        Fmt.pr "  %-5s P_sens = %.4f (reaches %d outputs)@." name
+          r.Epp.Epp_engine.p_sensitized r.Epp.Epp_engine.reached_outputs)
+    carry_names;
+  Fmt.pr
+    "@.Reading: every carry is fully sensitized (the sum XORs are transparent),@.\
+     so what distinguishes them is reach - an error on cin corrupts up to 9@.\
+     outputs, on cout just 1.  The parity tree is analytically exact (pure@.\
+     XOR, single paths).  Interestingly the *adder*, not the multiplier, has@.\
+     the worst analytical accuracy here: its carry logic reconverges within@.\
+     two gate levels (a_i and b_i feed both the XOR and the AND of the same@.\
+     full adder), which is exactly the short-range correlation the@.\
+     independence assumption misses most.@."

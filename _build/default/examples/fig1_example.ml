@@ -1,0 +1,66 @@
+(* The worked example of the paper's Fig. 1, step by step.
+
+   Reconstructs the five-gate circuit, walks the EPP rules by hand through
+   the public API, prints every intermediate four-state vector next to the
+   value published in the paper, and finishes with the engine's
+   P_sensitized and two independent cross-checks (exhaustive enumeration
+   and random simulation).
+
+     dune exec examples/fig1_example.exe *)
+
+open Netlist
+
+let build () =
+  let b = Builder.create ~name:"fig1" () in
+  List.iter (Builder.add_input b) [ "I1"; "I2"; "B"; "C"; "F" ];
+  Builder.add_gate b ~output:"A" ~kind:Gate.And [ "I1"; "I2" ];
+  Builder.add_gate b ~output:"E" ~kind:Gate.Not [ "A" ];
+  Builder.add_gate b ~output:"G" ~kind:Gate.And [ "E"; "F" ];
+  Builder.add_gate b ~output:"D" ~kind:Gate.And [ "A"; "B" ];
+  Builder.add_gate b ~output:"H" ~kind:Gate.Or [ "C"; "D"; "G" ];
+  Builder.add_output b "H";
+  Builder.freeze b
+
+let () =
+  let circuit = build () in
+  Fmt.pr "The paper's Fig. 1: SEU at gate A, SP_B = 0.2, SP_C = 0.3, SP_F = 0.7@.@.";
+
+  (* Step-by-step with the Table-1 rules. *)
+  let a = Epp.Prob4.error_site in
+  Fmt.pr "P(A) = %a   (the error site: 1(a))@." Epp.Prob4.pp a;
+  let e = Epp.Rules.propagate Gate.Not [| a |] in
+  Fmt.pr "P(E) = %a   (paper: 1(a-bar))@." Epp.Prob4.pp e;
+  let g = Epp.Rules.propagate Gate.And [| e; Epp.Prob4.of_sp 0.7 |] in
+  Fmt.pr "P(G) = %a   (paper: 0.7(a-bar) + 0.3(0))@." Epp.Prob4.pp g;
+  let d = Epp.Rules.propagate Gate.And [| a; Epp.Prob4.of_sp 0.2 |] in
+  Fmt.pr "P(D) = %a   (paper: 0.2(a) + 0.8(0))@." Epp.Prob4.pp d;
+  let h = Epp.Rules.propagate Gate.Or [| Epp.Prob4.of_sp 0.3; d; g |] in
+  Fmt.pr "P(H) = %a@." Epp.Prob4.pp h;
+  Fmt.pr "       (paper: 0.042(a) + 0.392(a-bar) + 0.168(0) + 0.398(1))@.@.";
+
+  (* The same through the engine. *)
+  let spec = Sigprob.Sp.of_alist circuit [ ("B", 0.2); ("C", 0.3); ("F", 0.7) ] in
+  let sp = Sigprob.Sp_topological.compute ~spec circuit in
+  let engine = Epp.Epp_engine.create ~sp circuit in
+  let site = Circuit.find circuit "A" in
+  let result = Epp.Epp_engine.analyze_site engine site in
+  Fmt.pr "%a@.@." (Epp.Epp_engine.pp_site_result circuit) result;
+
+  (* Cross-checks. *)
+  let input_sp v =
+    match Circuit.node_name circuit v with
+    | "B" -> 0.2
+    | "C" -> 0.3
+    | "F" -> 0.7
+    | _ -> 0.5
+  in
+  let exact = Fault_sim.Epp_exact.compute ~input_sp circuit site in
+  Fmt.pr "exhaustive enumeration: P_sens = %.4f@." exact.Fault_sim.Epp_exact.p_sensitized;
+  let sim_ctx =
+    Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors = 200_000; input_sp } circuit
+  in
+  let sim = Fault_sim.Epp_sim.estimate_site sim_ctx ~rng:(Rng.create ~seed:1) site in
+  Fmt.pr "random simulation (200k vectors): P_sens = %.4f@."
+    sim.Fault_sim.Epp_sim.p_sensitized;
+  Fmt.pr "@.Note: this cone is reconvergent (A reaches H through D and through E->G),@.";
+  Fmt.pr "yet the polarity-tracked rules are exact here - the case Table 1 was built for.@."

@@ -1,0 +1,44 @@
+(* Selective hardening — the application the paper's conclusion names:
+   "identify the most vulnerable components to be protected by soft error
+   hardening techniques."
+
+   Estimates the SER of an s953-profiled circuit, then shows how few nodes
+   must be hardened to cut the circuit SER by 30%, 50%, 70% and 90% — the
+   heavy-tail distribution of per-node contributions is exactly why
+   node-level SER estimation pays off.
+
+     dune exec examples/hardening.exe *)
+
+let () =
+  let circuit = Circuit_gen.Random_dag.generate ~seed:7 Circuit_gen.Profiles.s953 in
+  Fmt.pr "%a@.@." Netlist.Circuit.pp circuit;
+  let report, elapsed = Report.Timer.time (fun () -> Epp.Ser_estimator.estimate circuit) in
+  Fmt.pr "%a  (analyzed %d sites in %.0f ms)@.@." Epp.Ser_estimator.pp_summary report
+    (Array.length report.Epp.Ser_estimator.nodes)
+    (elapsed *. 1000.0);
+
+  Fmt.pr "Ten most vulnerable nodes:@.";
+  List.iter (Fmt.pr "  %a@." Epp.Ranking.pp_entry) (Epp.Ranking.top_k report 10);
+
+  Fmt.pr "@.Hardening cost for a target SER reduction:@.";
+  let total_nodes = Array.length report.Epp.Ser_estimator.nodes in
+  let rows =
+    List.map
+      (fun target ->
+        let plan = Epp.Ranking.hardening_plan report ~target_fraction:target in
+        let k = List.length plan.Epp.Ranking.selected in
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. target);
+          string_of_int k;
+          Printf.sprintf "%.1f%%" (100.0 *. float_of_int k /. float_of_int total_nodes);
+          Printf.sprintf "%.1f%%" (100.0 *. plan.Epp.Ranking.covered_fraction);
+          Printf.sprintf "%.4f" plan.Epp.Ranking.residual_fit;
+        ])
+      [ 0.3; 0.5; 0.7; 0.9 ]
+  in
+  Report.Table.print
+    ~align:Report.Table.[ Right; Right; Right; Right; Right ]
+    ~header:[ "target"; "nodes"; "% of circuit"; "achieved"; "residual FIT" ]
+    rows;
+  Fmt.pr "@.Reading: protecting a few percent of the gates removes most of the SER -@.";
+  Fmt.pr "the selective-hardening argument of the paper's conclusion.@."

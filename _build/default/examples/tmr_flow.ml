@@ -1,0 +1,108 @@
+(* End-to-end hardening flow: estimate, harden, verify.
+
+   1. Estimate the SER of a synthetic s344-profiled circuit analytically.
+   2. Triplicate the top-k most vulnerable gates with majority voters
+      (Netlist.Transform.triplicate).
+   3. Verify the fix two ways:
+      - exactly, with the BDD oracle: every replica's P_sensitized is 0;
+      - end to end: re-estimate the transformed netlist and compare totals,
+        including the voters' own (new) contributions — hardening is not
+        free, and the flow shows the real net win.
+
+     dune exec examples/tmr_flow.exe *)
+
+open Netlist
+
+let () =
+  let circuit = Circuit_gen.Random_dag.generate ~seed:21 Circuit_gen.Profiles.s344 in
+  Fmt.pr "%a@.@." Circuit.pp circuit;
+  let report = Epp.Ser_estimator.estimate circuit in
+  Fmt.pr "before: %a@." Epp.Ser_estimator.pp_summary report;
+
+  let k = 8 in
+  let victims =
+    Epp.Ranking.top_k report k
+    |> List.filter_map (fun (e : Epp.Ranking.entry) ->
+           let node = e.Epp.Ranking.report.Epp.Ser_estimator.node in
+           if Circuit.is_gate circuit node then Some node else None)
+  in
+  Fmt.pr "hardening %d gates: %a@.@." (List.length victims)
+    Fmt.(list ~sep:comma string)
+    (List.map (Circuit.node_name circuit) victims);
+  let hardened = Transform.triplicate circuit ~nodes:victims in
+  Fmt.pr "%a (after TMR insertion)@.@." Circuit.pp hardened;
+
+  (* Exact verification on the hardened netlist: the replicas are perfectly
+     masked.  (The analytical engine reports a small residual here — its
+     independence assumption cannot see that the voter's side inputs are
+     identical copies; the BDD oracle can.) *)
+  (match Circuit_bdd.build ~node_limit:4_000_000 hardened with
+  | exception Circuit_bdd.Too_large _ ->
+    Fmt.pr "BDD verification skipped (circuit functions too large)@."
+  | cb ->
+    let exact_residual =
+      List.fold_left
+        (fun acc v ->
+          let name = Circuit.node_name circuit v in
+          let replica r = Circuit.find hardened (name ^ r) in
+          List.fold_left
+            (fun acc site -> acc +. (Circuit_bdd.epp_exact cb site).Circuit_bdd.p_sensitized)
+            acc
+            [ Circuit.find hardened name; replica "#tmr1"; replica "#tmr2" ])
+        0.0 victims
+    in
+    Fmt.pr "BDD-exact P_sens summed over all %d hardened gates and replicas: %.6f@."
+      (3 * List.length victims) exact_residual);
+
+  let report' = Epp.Ser_estimator.estimate hardened in
+  Fmt.pr "after:  %a@.@." Epp.Ser_estimator.pp_summary report';
+  let before = report.Epp.Ser_estimator.total_fit in
+  let after = report'.Epp.Ser_estimator.total_fit in
+  (* The analytical re-estimate is pessimistic on the hardened gates: the
+     voter's side inputs are identical copies, which the independence
+     assumption cannot see.  The exact verification above showed their true
+     residual is 0, so correct the total accordingly (the voters' own
+     fresh contributions remain — hardening is not free). *)
+  let replica_fit =
+    List.fold_left
+      (fun acc v ->
+        let name = Circuit.node_name circuit v in
+        List.fold_left
+          (fun acc suffix ->
+            let node = Circuit.find hardened (name ^ suffix) in
+            acc +. (Epp.Ser_estimator.node_report report' node).Epp.Ser_estimator.fit)
+          acc [ ""; "#tmr1"; "#tmr2" ])
+      0.0 victims
+  in
+  let corrected = after -. replica_fit in
+  (* The voters themselves are ordinary gates here, sitting right where the
+     vulnerable signal used to be — so plain TMR trades one vulnerable gate
+     for four almost equally vulnerable ones.  This is exactly why real TMR
+     flows use hardened voter cells; model that by also removing the
+     voters' contributions (a rad-hard voter has negligible upset rate). *)
+  let voter_fit =
+    List.fold_left
+      (fun acc v ->
+        let name = Circuit.node_name circuit v in
+        List.fold_left
+          (fun acc suffix ->
+            let node = Circuit.find hardened (name ^ suffix) in
+            acc +. (Epp.Ser_estimator.node_report report' node).Epp.Ser_estimator.fit)
+          acc [ "#maj01"; "#maj12"; "#maj02"; "#vote" ])
+      0.0 victims
+  in
+  let hard_voters = corrected -. voter_fit in
+  Fmt.pr "after, naive analytical:            %.4f FIT (+%.1f%% - pessimistic, see above)@."
+    after
+    (100.0 *. (after -. before) /. before);
+  Fmt.pr "after, replicas exact-corrected:    %.4f FIT (voters still ordinary gates)@."
+    corrected;
+  Fmt.pr "after, with rad-hard voter cells:   %.4f FIT (%.1f%% vs %.4f before)@." hard_voters
+    (100.0 *. (hard_voters -. before) /. before)
+    before;
+  Fmt.pr
+    "@.Reading: TMR eliminates the top-%d gates' contribution exactly, but the@.\
+     majority voters sit on the very nets that made those gates vulnerable -@.\
+     with ordinary voters the trade is a wash, which is precisely why real TMR@.\
+     flows require hardened voter cells.  The flow quantifies both sides.@."
+    k

@@ -1,0 +1,1 @@
+lib/bdd/circuit_bdd.ml: Array Bdd Circuit Gate Hashtbl List Netlist Printf Reach

@@ -1,0 +1,1 @@
+lib/bdd/circuit_bdd.mli: Bdd Netlist

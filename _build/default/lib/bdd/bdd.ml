@@ -1,0 +1,253 @@
+(* Reduced Ordered Binary Decision Diagrams.
+
+   A compact, hash-consed ROBDD manager sized for this project's needs:
+   exact signal probabilities and exact error-propagation probabilities on
+   circuits whose cone functions stay within memory — well beyond the reach
+   of the 2^k exhaustive enumeration the test oracles otherwise use.
+
+   Representation: nodes live in growable arrays inside a manager; a node
+   id is an int.  Terminals are ids 0 (false) and 1 (true).  Every internal
+   node (var, low, high) is unique (hash-consed) and satisfies low <> high,
+   which gives canonicity for a fixed variable order.  Negation is not
+   complemented-edge based — plain apply-structure keeps the code obviously
+   correct, and performance is ample for benchmark-scale cones. *)
+
+type t = {
+  mutable var : int array; (* variable index per node; terminals use max_int *)
+  mutable low : int array;
+  mutable high : int array;
+  mutable node_count : int;
+  unique : (int * int * int, int) Hashtbl.t; (* (var, low, high) -> id *)
+  apply_cache : (int * int * int, int) Hashtbl.t; (* (op, a, b) -> id *)
+  var_count : int;
+}
+
+let zero = 0
+let one = 1
+
+let terminal_var = max_int
+
+let create ~var_count =
+  if var_count < 0 then invalid_arg "Bdd.create: negative var_count";
+  let initial = 1024 in
+  let m =
+    {
+      var = Array.make initial terminal_var;
+      low = Array.make initial 0;
+      high = Array.make initial 0;
+      node_count = 2;
+      unique = Hashtbl.create 4096;
+      apply_cache = Hashtbl.create 4096;
+      var_count;
+    }
+  in
+  (* ids 0 and 1 are the terminals *)
+  m.low.(0) <- 0;
+  m.high.(0) <- 0;
+  m.low.(1) <- 1;
+  m.high.(1) <- 1;
+  m
+
+let var_count m = m.var_count
+let node_count m = m.node_count
+
+let is_terminal id = id < 2
+
+let var_of m id = m.var.(id)
+let low_of m id = m.low.(id)
+let high_of m id = m.high.(id)
+
+let grow m =
+  let capacity = Array.length m.var in
+  if m.node_count >= capacity then begin
+    let fresh = 2 * capacity in
+    let extend a fill =
+      let b = Array.make fresh fill in
+      Array.blit a 0 b 0 capacity;
+      b
+    in
+    m.var <- extend m.var terminal_var;
+    m.low <- extend m.low 0;
+    m.high <- extend m.high 0
+  end
+
+(* The canonical constructor: reduction + hash-consing. *)
+let mk m v lo hi =
+  if v < 0 || v >= m.var_count then invalid_arg "Bdd.mk: variable out of range";
+  if lo = hi then lo
+  else
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      grow m;
+      let id = m.node_count in
+      m.var.(id) <- v;
+      m.low.(id) <- lo;
+      m.high.(id) <- hi;
+      m.node_count <- id + 1;
+      Hashtbl.replace m.unique key id;
+      id
+
+let var m v = mk m v zero one
+
+let of_bool b = if b then one else zero
+
+(* Binary apply with memoization.  op codes are small ints so one cache
+   serves all operations. *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+
+let rec apply m op a b =
+  (* terminal short-cuts *)
+  let shortcut =
+    if op = op_and then
+      if a = zero || b = zero then Some zero
+      else if a = one then Some b
+      else if b = one then Some a
+      else if a = b then Some a
+      else None
+    else if op = op_or then
+      if a = one || b = one then Some one
+      else if a = zero then Some b
+      else if b = zero then Some a
+      else if a = b then Some a
+      else None
+    else if a = b then Some zero (* xor *)
+    else if a = zero then Some b
+    else if b = zero then Some a
+    else None
+  in
+  match shortcut with
+  | Some r -> r
+  | None ->
+    (* normalize operand order: all three ops are commutative *)
+    let a, b = if a <= b then (a, b) else (b, a) in
+    let key = (op, a, b) in
+    (match Hashtbl.find_opt m.apply_cache key with
+    | Some r -> r
+    | None ->
+      let va = m.var.(a) and vb = m.var.(b) in
+      let v = min va vb in
+      let a_lo, a_hi = if va = v then (m.low.(a), m.high.(a)) else (a, a) in
+      let b_lo, b_hi = if vb = v then (m.low.(b), m.high.(b)) else (b, b) in
+      let lo = apply m op a_lo b_lo in
+      let hi = apply m op a_hi b_hi in
+      let r = mk m v lo hi in
+      Hashtbl.replace m.apply_cache key r;
+      r)
+
+let band m a b = apply m op_and a b
+let bor m a b = apply m op_or a b
+let bxor m a b = apply m op_xor a b
+
+let bnot m a = bxor m a one
+
+let bnand m a b = bnot m (band m a b)
+let bnor m a b = bnot m (bor m a b)
+let bxnor m a b = bnot m (bxor m a b)
+
+let ite m c t e = bor m (band m c t) (band m (bnot m c) e)
+
+(* Evaluate under a boolean assignment. *)
+let eval m node assignment =
+  let rec go id =
+    if id = zero then false
+    else if id = one then true
+    else if assignment (m.var.(id)) then go (m.high.(id))
+    else go (m.low.(id))
+  in
+  go node
+
+(* Count satisfying assignments as a probability with per-variable
+   1-probabilities (exactly the Parker-McCluskey quantity, but exact): a
+   single memoized pass over the DAG. *)
+let probability m ?(var_p = fun _ -> 0.5) node =
+  let cache = Hashtbl.create 256 in
+  let p_of_var v =
+    let p = var_p v in
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg (Printf.sprintf "Bdd.probability: variable %d has probability %g" v p);
+    p
+  in
+  let rec go id =
+    if id = zero then 0.0
+    else if id = one then 1.0
+    else
+      match Hashtbl.find_opt cache id with
+      | Some p -> p
+      | None ->
+        let p = p_of_var (m.var.(id)) in
+        let result = (p *. go (m.high.(id))) +. ((1.0 -. p) *. go (m.low.(id))) in
+        Hashtbl.replace cache id result;
+        result
+  in
+  go node
+
+(* A satisfying assignment, if any.  In an ROBDD every node other than the
+   zero terminal reaches the one terminal (otherwise reduction would have
+   collapsed it to zero), so a single greedy descent suffices: prefer the
+   high branch when it is not zero.  Variables not on the chosen path are
+   don't-cares and default to false. *)
+let any_sat m node =
+  if node = zero then None
+  else begin
+    let assignment = Array.make m.var_count false in
+    let rec walk id =
+      if id <> one then begin
+        let v = m.var.(id) in
+        if m.high.(id) <> zero then begin
+          assignment.(v) <- true;
+          walk m.high.(id)
+        end
+        else walk m.low.(id)
+      end
+    in
+    walk node;
+    Some assignment
+  end
+
+(* Exact model count over all [var_count] variables. *)
+let count_sat m node =
+  let cache = Hashtbl.create 256 in
+  (* models over the variables in [from_var, var_count) *)
+  let rec go id from_var =
+    if id = zero then 0.0
+    else if id = one then Float.of_int 1 *. (2.0 ** float_of_int (m.var_count - from_var))
+    else begin
+      let key = (id, from_var) in
+      match Hashtbl.find_opt cache key with
+      | Some n -> n
+      | None ->
+        let v = m.var.(id) in
+        let skipped = 2.0 ** float_of_int (v - from_var) in
+        let n = skipped *. (go (m.low.(id)) (v + 1) +. go (m.high.(id)) (v + 1)) in
+        Hashtbl.replace cache key n;
+        n
+    end
+  in
+  go node 0
+
+(* Number of distinct internal nodes reachable from [node]. *)
+let size m node =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if (not (is_terminal id)) && not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      go (m.low.(id));
+      go (m.high.(id))
+    end
+  in
+  go node;
+  Hashtbl.length seen
+
+let clear_caches m = Hashtbl.reset m.apply_cache
+
+let pp m ppf node =
+  let rec go ppf id =
+    if id = zero then Fmt.string ppf "0"
+    else if id = one then Fmt.string ppf "1"
+    else Fmt.pf ppf "(x%d ? %a : %a)" (m.var.(id)) go (m.high.(id)) go (m.low.(id))
+  in
+  go ppf node

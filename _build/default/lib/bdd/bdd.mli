@@ -1,0 +1,69 @@
+(** Reduced Ordered Binary Decision Diagrams (hash-consed, array-backed).
+
+    Purpose-built for this project's exact engines: exact signal
+    probabilities and exact error-propagation probabilities on circuits far
+    beyond the reach of 2{^k} input enumeration.  Canonical for a fixed
+    variable order: equal functions have equal node ids within one
+    manager. *)
+
+type t
+(** A BDD manager: owns the node store, the unique table and the apply
+    cache.  Node ids are only meaningful relative to their manager. *)
+
+val create : var_count:int -> t
+(** Manager over variables [0 .. var_count - 1] in natural order.
+    @raise Invalid_argument on a negative count. *)
+
+val var_count : t -> int
+
+val node_count : t -> int
+(** Total allocated nodes (terminals included) — the memory gauge. *)
+
+val zero : int
+val one : int
+val of_bool : bool -> int
+
+val var : t -> int -> int
+(** The function of a single variable.  @raise Invalid_argument if out of
+    range. *)
+
+val band : t -> int -> int -> int
+val bor : t -> int -> int -> int
+val bxor : t -> int -> int -> int
+val bnot : t -> int -> int
+val bnand : t -> int -> int -> int
+val bnor : t -> int -> int -> int
+val bxnor : t -> int -> int -> int
+val ite : t -> int -> int -> int -> int
+
+val is_terminal : int -> bool
+val var_of : t -> int -> int
+val low_of : t -> int -> int
+val high_of : t -> int -> int
+
+val eval : t -> int -> (int -> bool) -> bool
+(** Evaluate a node under a variable assignment. *)
+
+val probability : t -> ?var_p:(int -> float) -> int -> float
+(** Exact probability of the function being 1 when variable [v] is 1 with
+    probability [var_p v] (default 0.5), independently.  One memoized pass
+    over the DAG.  @raise Invalid_argument on a probability outside
+    [0, 1]. *)
+
+val any_sat : t -> int -> bool array option
+(** A satisfying assignment over all variables ([None] iff the function is
+    the constant zero).  Don't-care variables default to false. *)
+
+val count_sat : t -> int -> float
+(** Exact number of satisfying assignments over all [var_count] variables
+    (as a float: counts reach 2{^vars}). *)
+
+val size : t -> int -> int
+(** Distinct internal nodes reachable from the given root. *)
+
+val clear_caches : t -> unit
+(** Drop the apply cache (the unique table is kept — canonicity is
+    preserved). *)
+
+val pp : t -> int Fmt.t
+(** Debug rendering as nested if-then-else. *)

@@ -1,0 +1,67 @@
+(** Circuit functions as BDDs, and the exact analyses built on them:
+    exact signal probabilities and exact single-cycle error propagation
+    probabilities (the quantities the paper's analytical rules
+    approximate), bounded by BDD size rather than input count. *)
+
+type t
+(** A circuit compiled to BDDs: one function per node over the
+    pseudo-inputs as variables (node order). *)
+
+exception Too_large of { node_count : int; limit : int }
+(** Raised when the manager exceeds the node limit during construction. *)
+
+val default_node_limit : int
+
+val build : ?node_limit:int -> Netlist.Circuit.t -> t
+(** One topological pass.  @raise Too_large if the BDDs blow up. *)
+
+val circuit : t -> Netlist.Circuit.t
+val manager : t -> Bdd.t
+
+val node_function : t -> int -> int
+(** BDD id of a node's function. *)
+
+val signal_probability : ?input_sp:(int -> float) -> t -> int -> float
+(** Exact probability of the node being 1, with pseudo-input [v] being 1
+    with probability [input_sp v] (default 0.5), independently. *)
+
+val all_signal_probabilities : ?input_sp:(int -> float) -> t -> float array
+
+type site_exact = {
+  site : int;
+  p_sensitized : float;
+  per_observation : (Netlist.Circuit.observation * float) list;
+}
+
+type equivalence =
+  | Equivalent
+  | Interface_mismatch of string
+  | Differs of { output : string; counterexample : (string * bool) list }
+
+val check_equivalence :
+  ?node_limit:int -> Netlist.Circuit.t -> Netlist.Circuit.t -> equivalence
+(** Formal combinational equivalence of two circuits sharing pseudo-input
+    names: primary outputs compared positionally, flip-flop data functions
+    by FF name.  On a mismatch the counterexample names the differing
+    output and an input assignment separating the two circuits — a proof
+    object, unlike randomized simulation.  @raise Too_large. *)
+
+type witness = {
+  site : int;
+  observation : Netlist.Circuit.observation;
+  assignment : (int * bool) list;  (** pseudo-input node -> value *)
+}
+
+val propagation_witness : ?node_limit:int -> t -> int -> witness option
+(** A concrete input vector demonstrating the site's vulnerability: under
+    [assignment], flipping the site changes the value seen at
+    [observation].  [None] iff the site's error can never be observed
+    (exact [P_sensitized = 0]).  @raise Invalid_argument | Too_large. *)
+
+val epp_exact :
+  ?input_sp:(int -> float) -> ?node_limit:int -> t -> int -> site_exact
+(** Exact error propagation probability of a site: the faulty machine is
+    rebuilt over the site's forward cone with the site complemented; the
+    per-observation probability is [P(good_o XOR faulty_o)] and
+    [p_sensitized] is the probability of their disjunction.
+    @raise Invalid_argument on a bad site.  @raise Too_large. *)

@@ -1,0 +1,1 @@
+lib/bench_format/ast.ml: Fmt Netlist String

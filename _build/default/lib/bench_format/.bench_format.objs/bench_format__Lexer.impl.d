@@ -1,0 +1,1 @@
+lib/bench_format/lexer.ml: List Printf String Token

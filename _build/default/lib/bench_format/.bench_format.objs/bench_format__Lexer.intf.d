@@ -1,0 +1,1 @@
+lib/bench_format/lexer.mli: Token

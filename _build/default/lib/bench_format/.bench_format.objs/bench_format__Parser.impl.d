@@ -1,0 +1,1 @@
+lib/bench_format/parser.ml: Ast Filename Fmt Fun Lexer List Netlist String Token

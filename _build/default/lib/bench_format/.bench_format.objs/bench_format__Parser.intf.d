@@ -1,0 +1,1 @@
+lib/bench_format/parser.mli: Ast Netlist Token

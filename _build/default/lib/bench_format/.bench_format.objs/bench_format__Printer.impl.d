@@ -1,0 +1,1 @@
+lib/bench_format/printer.ml: Array Ast Buffer Circuit Fmt Fun List Netlist

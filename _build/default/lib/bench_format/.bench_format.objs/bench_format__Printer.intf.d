@@ -1,0 +1,1 @@
+lib/bench_format/printer.mli: Ast Netlist

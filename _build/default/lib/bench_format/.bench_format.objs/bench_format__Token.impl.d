@@ -1,0 +1,1 @@
+lib/bench_format/token.ml: Fmt Printf

@@ -1,0 +1,94 @@
+(* Hand-written lexer for the .bench format.
+
+   The format is simple enough that a character-level scanner beats pulling
+   in a generator: identifiers are any run of characters that are not
+   whitespace or punctuation ('=', '(', ')', ','); '#' starts a comment that
+   runs to end of line. *)
+
+exception Error of { message : string; pos : Token.position }
+
+type t = {
+  source : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+let of_string source = { source; offset = 0; line = 1; column = 1 }
+
+let position lx = { Token.line = lx.line; column = lx.column }
+
+let at_eof lx = lx.offset >= String.length lx.source
+
+let peek lx = if at_eof lx then None else Some lx.source.[lx.offset]
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.column <- 1
+  | Some _ -> lx.column <- lx.column + 1
+  | None -> ());
+  lx.offset <- lx.offset + 1
+
+let is_space = function
+  | ' ' | '\t' | '\r' | '\n' -> true
+  | _ -> false
+
+let is_punct = function
+  | '=' | '(' | ')' | ',' | '#' -> true
+  | _ -> false
+
+let is_ident_char c = (not (is_space c)) && not (is_punct c)
+
+let rec skip_blanks lx =
+  match peek lx with
+  | Some c when is_space c ->
+    advance lx;
+    skip_blanks lx
+  | Some '#' ->
+    let rec to_eol () =
+      match peek lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blanks lx
+  | Some _ | None -> ()
+
+let next lx =
+  skip_blanks lx;
+  let pos = position lx in
+  match peek lx with
+  | None -> { Token.kind = Eof; pos }
+  | Some '=' ->
+    advance lx;
+    { Token.kind = Equal; pos }
+  | Some '(' ->
+    advance lx;
+    { Token.kind = Lparen; pos }
+  | Some ')' ->
+    advance lx;
+    { Token.kind = Rparen; pos }
+  | Some ',' ->
+    advance lx;
+    { Token.kind = Comma; pos }
+  | Some c when is_ident_char c ->
+    let start = lx.offset in
+    while (not (at_eof lx)) && is_ident_char lx.source.[lx.offset] do
+      advance lx
+    done;
+    { Token.kind = Ident (String.sub lx.source start (lx.offset - start)); pos }
+  | Some c -> raise (Error { message = Printf.sprintf "unexpected character %C" c; pos })
+
+let all_tokens source =
+  let lx = of_string source in
+  let rec loop acc =
+    let tok = next lx in
+    match tok.Token.kind with
+    | Eof -> List.rev (tok :: acc)
+    | Ident _ | Equal | Lparen | Rparen | Comma -> loop (tok :: acc)
+  in
+  loop []

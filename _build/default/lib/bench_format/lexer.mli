@@ -1,0 +1,14 @@
+(** Character-level lexer for the [.bench] format. *)
+
+exception Error of { message : string; pos : Token.position }
+
+type t
+
+val of_string : string -> t
+
+val next : t -> Token.t
+(** Next token, skipping whitespace and ['#'] comments.  After [Eof] it keeps
+    returning [Eof].  @raise Error on an unexpected character. *)
+
+val all_tokens : string -> Token.t list
+(** The full token stream including the final [Eof].  @raise Error. *)

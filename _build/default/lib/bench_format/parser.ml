@@ -1,0 +1,134 @@
+(* Recursive-descent parser for the .bench format.
+
+   Grammar (line breaks are not significant once tokenized):
+
+     file      ::= statement* EOF
+     statement ::= "INPUT" "(" ident ")"
+                 | "OUTPUT" "(" ident ")"
+                 | ident "=" ident "(" ident-list ")"
+     ident-list ::= ident ("," ident)*
+
+   The identifier after "=" is a gate kind ("AND", "NOT", ...; see
+   Netlist.Gate.of_string for accepted aliases) or "DFF". *)
+
+exception Error of { message : string; pos : Token.position }
+
+let fail pos fmt = Fmt.kstr (fun message -> raise (Error { message; pos })) fmt
+
+type state = { lexer : Lexer.t; mutable lookahead : Token.t }
+
+let of_string source =
+  let lexer = Lexer.of_string source in
+  { lexer; lookahead = Lexer.next lexer }
+
+let peek st = st.lookahead
+
+let advance st = st.lookahead <- Lexer.next st.lexer
+
+let expect st expected =
+  let tok = peek st in
+  if tok.Token.kind = expected then advance st
+  else
+    fail tok.pos "expected %s, found %s"
+      (Token.kind_to_string expected)
+      (Token.kind_to_string tok.kind)
+
+let expect_ident st =
+  let tok = peek st in
+  match tok.Token.kind with
+  | Ident s ->
+    advance st;
+    s
+  | Equal | Lparen | Rparen | Comma | Eof ->
+    fail tok.pos "expected an identifier, found %s" (Token.kind_to_string tok.kind)
+
+let parse_paren_ident st =
+  expect st Token.Lparen;
+  let s = expect_ident st in
+  expect st Token.Rparen;
+  s
+
+let parse_ident_list st =
+  let first = expect_ident st in
+  let rec more acc =
+    match (peek st).Token.kind with
+    | Comma ->
+      advance st;
+      let s = expect_ident st in
+      more (s :: acc)
+    | Ident _ | Equal | Lparen | Rparen | Eof -> List.rev acc
+  in
+  more [ first ]
+
+let parse_assignment st ~output =
+  expect st Token.Equal;
+  let func_pos = (peek st).Token.pos in
+  let func = expect_ident st in
+  expect st Token.Lparen;
+  let fanins = parse_ident_list st in
+  expect st Token.Rparen;
+  if String.uppercase_ascii func = "DFF" then
+    match fanins with
+    | [ d ] -> Ast.Dff { q = output; d }
+    | _ :: _ :: _ | [] -> fail func_pos "DFF takes exactly one input, got %d" (List.length fanins)
+  else (
+    match Netlist.Gate.of_string func with
+    | Some kind -> Ast.Gate { output; kind; fanins }
+    | None -> fail func_pos "unknown gate kind %S" func)
+
+let parse_statement st =
+  let tok = peek st in
+  match tok.Token.kind with
+  | Ident s ->
+    advance st;
+    let keyword = String.uppercase_ascii s in
+    (* INPUT/OUTPUT are only keywords when followed by '('; a signal that
+       happens to be named "input" can still appear on the left of '='. *)
+    (match ((peek st).Token.kind, keyword) with
+    | Lparen, "INPUT" -> Ast.Input (parse_paren_ident st)
+    | Lparen, "OUTPUT" -> Ast.Output (parse_paren_ident st)
+    | Equal, _ -> parse_assignment st ~output:s
+    | (Ident _ | Lparen | Rparen | Comma | Eof), _ ->
+      fail tok.pos "expected '=' after signal %S (or INPUT(..)/OUTPUT(..))" s)
+  | Equal | Lparen | Rparen | Comma ->
+    fail tok.pos "expected a statement, found %s" (Token.kind_to_string tok.kind)
+  | Eof -> assert false
+
+let parse_ast ?(name = "bench") source =
+  let st = of_string source in
+  let rec loop acc =
+    match (peek st).Token.kind with
+    | Eof -> List.rev acc
+    | Ident _ | Equal | Lparen | Rparen | Comma -> loop (parse_statement st :: acc)
+  in
+  { Ast.name; statements = loop [] }
+
+let circuit_of_ast (ast : Ast.t) =
+  let b = Netlist.Builder.create ~name:ast.name () in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Input s -> Netlist.Builder.add_input b s
+      | Ast.Output s -> Netlist.Builder.add_output b s
+      | Ast.Dff { q; d } -> Netlist.Builder.add_dff b ~q ~d
+      | Ast.Gate { output; kind; fanins } -> Netlist.Builder.add_gate b ~output ~kind fanins)
+    ast.statements;
+  Netlist.Builder.freeze b
+
+let parse_string ?name source = circuit_of_ast (parse_ast ?name source)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let basename_without_extension path =
+  let base = Filename.basename path in
+  match Filename.chop_suffix_opt ~suffix:".bench" base with
+  | Some stem -> stem
+  | None -> Filename.remove_extension base
+
+let parse_file path =
+  let name = basename_without_extension path in
+  parse_string ~name (read_file path)

@@ -1,0 +1,51 @@
+(* Writer for the .bench format: the exact inverse of Parser on the
+   statement AST, and a netlist serializer on top of it. *)
+
+let statement_to_string = Fmt.str "%a" Ast.pp_statement
+
+let ast_to_string (ast : Ast.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf ("# " ^ ast.name ^ "\n");
+  List.iter
+    (fun stmt ->
+      Buffer.add_string buf (statement_to_string stmt);
+      Buffer.add_char buf '\n')
+    ast.statements;
+  Buffer.contents buf
+
+(* Serialize a circuit in a canonical statement order: INPUTs, OUTPUTs, DFFs,
+   then gates in node order.  Reparsing yields an identical circuit. *)
+let ast_of_circuit c =
+  let open Netlist in
+  let statements = ref [] in
+  let add s = statements := s :: !statements in
+  List.iter (fun v -> add (Ast.Input (Circuit.node_name c v))) (Circuit.inputs c);
+  List.iter (fun v -> add (Ast.Output (Circuit.node_name c v))) (Circuit.outputs c);
+  List.iter
+    (fun ff ->
+      match Circuit.node c ff with
+      | Circuit.Ff { data } ->
+        add (Ast.Dff { q = Circuit.node_name c ff; d = Circuit.node_name c data })
+      | Circuit.Input | Circuit.Gate _ -> assert false)
+    (Circuit.ffs c);
+  for v = 0 to Circuit.node_count c - 1 do
+    match Circuit.node c v with
+    | Circuit.Gate { kind; fanins } ->
+      add
+        (Ast.Gate
+           {
+             output = Circuit.node_name c v;
+             kind;
+             fanins = Array.to_list (Array.map (Circuit.node_name c) fanins);
+           })
+    | Circuit.Input | Circuit.Ff _ -> ()
+  done;
+  { Ast.name = Circuit.name c; statements = List.rev !statements }
+
+let circuit_to_string c = ast_to_string (ast_of_circuit c)
+
+let write_file path c =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (circuit_to_string c))

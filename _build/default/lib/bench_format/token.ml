@@ -1,0 +1,26 @@
+(* Tokens of the ISCAS-89 .bench netlist format, with source positions for
+   error reporting. *)
+
+type position = { line : int; column : int }
+
+type kind =
+  | Ident of string
+  | Equal
+  | Lparen
+  | Rparen
+  | Comma
+  | Eof
+
+type t = { kind : kind; pos : position }
+
+let pp_position ppf { line; column } = Fmt.pf ppf "line %d, column %d" line column
+
+let kind_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Equal -> "'='"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Eof -> "end of input"
+
+let pp ppf t = Fmt.pf ppf "%s at %a" (kind_to_string t.kind) pp_position t.pos

@@ -1,0 +1,18 @@
+(** Tokens of the ISCAS-89 [.bench] format. *)
+
+type position = { line : int; column : int }
+(** 1-based line, 1-based column. *)
+
+type kind =
+  | Ident of string
+  | Equal
+  | Lparen
+  | Rparen
+  | Comma
+  | Eof
+
+type t = { kind : kind; pos : position }
+
+val pp_position : position Fmt.t
+val kind_to_string : kind -> string
+val pp : t Fmt.t

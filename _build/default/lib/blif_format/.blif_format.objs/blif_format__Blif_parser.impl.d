@@ -1,0 +1,1 @@
+lib/blif_format/blif_parser.ml: Blif_ast Fmt Fun List Netlist Printf String

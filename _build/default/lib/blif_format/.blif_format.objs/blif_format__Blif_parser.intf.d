@@ -1,0 +1,1 @@
+lib/blif_format/blif_parser.mli: Blif_ast Netlist

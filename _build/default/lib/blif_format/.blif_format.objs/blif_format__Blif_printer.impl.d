@@ -1,0 +1,1 @@
+lib/blif_format/blif_printer.ml: Array Buffer Circuit Fun Gate List Netlist Printf String

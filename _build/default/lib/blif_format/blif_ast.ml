@@ -1,0 +1,62 @@
+(* AST of the Berkeley Logic Interchange Format subset.
+
+   Covered constructs:
+
+     .model NAME
+     .inputs a b c ...        (repeatable)
+     .outputs y z ...         (repeatable)
+     .latch INPUT OUTPUT [type clock] [init]
+     .names in1 ... ink out   followed by cover lines
+     .end
+
+   A cover line is an input plane over {0, 1, -} and an output value
+   (1 = on-set term, 0 = off-set term); a .names with no inputs and a
+   single "1" line is constant one, with no lines constant zero.
+   '#' comments and '\' line continuations are handled by the lexer. *)
+
+type cover_literal = Zero | One | Dont_care
+
+type cover_row = { input_plane : cover_literal list; output_value : bool }
+
+type command =
+  | Model of string
+  | Inputs of string list
+  | Outputs of string list
+  | Latch of { input : string; output : string; init : char option }
+  | Names of { terminals : string list; cover : cover_row list }
+  | End
+
+type t = command list
+
+let literal_to_char = function
+  | Zero -> '0'
+  | One -> '1'
+  | Dont_care -> '-'
+
+let literal_of_char = function
+  | '0' -> Some Zero
+  | '1' -> Some One
+  | '-' -> Some Dont_care
+  | _ -> None
+
+let pp_command ppf = function
+  | Model s -> Fmt.pf ppf ".model %s" s
+  | Inputs ss -> Fmt.pf ppf ".inputs %s" (String.concat " " ss)
+  | Outputs ss -> Fmt.pf ppf ".outputs %s" (String.concat " " ss)
+  | Latch { input; output; init } ->
+    Fmt.pf ppf ".latch %s %s%s" input output
+      (match init with
+      | Some c -> Printf.sprintf " %c" c
+      | None -> "")
+  | Names { terminals; cover } ->
+    Fmt.pf ppf ".names %s" (String.concat " " terminals);
+    List.iter
+      (fun row ->
+        Fmt.pf ppf "@,%s %c"
+          (String.init (List.length row.input_plane) (fun i ->
+               literal_to_char (List.nth row.input_plane i)))
+          (if row.output_value then '1' else '0'))
+      cover
+  | End -> Fmt.pf ppf ".end"
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_command) t

@@ -1,0 +1,21 @@
+(** AST of the BLIF subset (.model/.inputs/.outputs/.latch/.names/.end with
+    {0,1,-} covers).  See the implementation header for the grammar. *)
+
+type cover_literal = Zero | One | Dont_care
+
+type cover_row = { input_plane : cover_literal list; output_value : bool }
+
+type command =
+  | Model of string
+  | Inputs of string list
+  | Outputs of string list
+  | Latch of { input : string; output : string; init : char option }
+  | Names of { terminals : string list; cover : cover_row list }
+  | End
+
+type t = command list
+
+val literal_to_char : cover_literal -> char
+val literal_of_char : char -> cover_literal option
+val pp_command : command Fmt.t
+val pp : t Fmt.t

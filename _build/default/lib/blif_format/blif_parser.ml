@@ -1,0 +1,214 @@
+(* Line-oriented BLIF reader and its elaboration into a netlist.
+
+   Lexing: '#' starts a comment, '\' at end of line continues it, tokens
+   are whitespace-separated.  Parsing is a simple state machine — a .names
+   command consumes the following cover lines until the next '.command'.
+
+   Elaboration of a cover (sum of products over {0,1,-}):
+
+     product term   -> AND of the term's literals (NOT for 0 entries),
+                       skipping don't-cares; a single-literal term is the
+                       literal itself; an all-dont-care term is constant 1
+     on-set rows    -> OR of the products (single product stands alone)
+     off-set rows   -> the complement: NOT of the OR
+     empty cover    -> constant 0;  ".names out" + row "1" -> constant 1
+
+   Intermediate nodes are named <out>#t<i> (terms) and <out>#lit<i>
+   (negative literals), keeping rebuilt netlists readable. *)
+
+exception Error of { message : string; line : int }
+
+let fail line fmt = Fmt.kstr (fun message -> raise (Error { message; line })) fmt
+
+type logical_line = { number : int; tokens : string list }
+
+let logical_lines source =
+  let raw = String.split_on_char '\n' source in
+  let strip_comment s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let rec fold lines acc pending pending_start =
+    match lines with
+    | [] ->
+      let acc =
+        match pending with
+        | Some text -> { number = pending_start; tokens = String.split_on_char ' ' text } :: acc
+        | None -> acc
+      in
+      List.rev acc
+    | (number, line) :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+      let body = if continued then String.sub line 0 (String.length line - 1) else line in
+      let text, start =
+        match pending with
+        | Some prefix -> (prefix ^ " " ^ body, pending_start)
+        | None -> (body, number)
+      in
+      if continued then fold rest acc (Some text) start
+      else if String.trim text = "" then fold rest acc None 0
+      else
+        let tokens =
+          String.split_on_char ' ' text
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        in
+        fold rest ({ number = start; tokens } :: acc) None 0
+  in
+  fold (List.mapi (fun i l -> (i + 1, l)) raw) [] None 0
+
+let parse_cover_row line tokens =
+  match tokens with
+  | [ output ] ->
+    (* constant-one style row for a zero-input .names *)
+    (match output with
+    | "1" -> { Blif_ast.input_plane = []; output_value = true }
+    | "0" -> { Blif_ast.input_plane = []; output_value = false }
+    | _ -> fail line "bad constant cover row %S" output)
+  | [ plane; output ] ->
+    let literals =
+      List.init (String.length plane) (fun i ->
+          match Blif_ast.literal_of_char plane.[i] with
+          | Some l -> l
+          | None -> fail line "bad cover character %C" plane.[i])
+    in
+    let value =
+      match output with
+      | "1" -> true
+      | "0" -> false
+      | _ -> fail line "bad cover output %S" output
+    in
+    { Blif_ast.input_plane = literals; output_value = value }
+  | _ -> fail line "malformed cover row"
+
+let parse_ast source =
+  let lines = logical_lines source in
+  let rec loop lines acc =
+    match lines with
+    | [] -> List.rev acc
+    | { number; tokens } :: rest -> (
+      match tokens with
+      | ".model" :: [ name ] -> loop rest (Blif_ast.Model name :: acc)
+      | ".model" :: _ -> fail number ".model takes exactly one name"
+      | ".inputs" :: names -> loop rest (Blif_ast.Inputs names :: acc)
+      | ".outputs" :: names -> loop rest (Blif_ast.Outputs names :: acc)
+      | ".latch" :: args -> (
+        match args with
+        | [ input; output ] -> loop rest (Blif_ast.Latch { input; output; init = None } :: acc)
+        | [ input; output; init ] ->
+          loop rest (Blif_ast.Latch { input; output; init = Some init.[0] } :: acc)
+        | [ input; output; _ty; _clock; init ] ->
+          loop rest (Blif_ast.Latch { input; output; init = Some init.[0] } :: acc)
+        | _ -> fail number ".latch takes 2, 3 or 5 arguments")
+      | ".names" :: terminals ->
+        if terminals = [] then fail number ".names needs at least an output";
+        let rec covers lines acc_rows =
+          match lines with
+          | { tokens = t :: _; _ } :: _ when String.length t > 0 && t.[0] = '.' ->
+            (lines, List.rev acc_rows)
+          | ({ number; tokens } : logical_line) :: rest ->
+            covers rest (parse_cover_row number tokens :: acc_rows)
+          | [] -> ([], List.rev acc_rows)
+        in
+        let rest, cover = covers rest [] in
+        loop rest (Blif_ast.Names { terminals; cover } :: acc)
+      | ".end" :: _ -> loop rest (Blif_ast.End :: acc)
+      | cmd :: _ when String.length cmd > 0 && cmd.[0] = '.' ->
+        fail number "unsupported BLIF command %S" cmd
+      | _ -> fail number "expected a command, found %S" (String.concat " " tokens))
+  in
+  loop lines []
+
+(* --- elaboration -------------------------------------------------------------- *)
+
+exception Elaboration_error of string
+
+let efail fmt = Fmt.kstr (fun m -> raise (Elaboration_error m)) fmt
+
+let elaborate (ast : Blif_ast.t) =
+  let name =
+    match List.find_map (function Blif_ast.Model n -> Some n | _ -> None) ast with
+    | Some n -> n
+    | None -> "blif"
+  in
+  let b = Netlist.Builder.create ~name () in
+  let add_names terminals (cover : Blif_ast.cover_row list) =
+    let inputs, output =
+      match List.rev terminals with
+      | output :: rev_inputs -> (List.rev rev_inputs, output)
+      | [] -> assert false
+    in
+    let arity = List.length inputs in
+    List.iter
+      (fun (row : Blif_ast.cover_row) ->
+        if List.length row.Blif_ast.input_plane <> arity then
+          efail "cover row width mismatch for %s" output)
+      cover;
+    (* Check the cover is homogeneous (all on-set or all off-set). *)
+    let on_rows = List.filter (fun r -> r.Blif_ast.output_value) cover in
+    let off_rows = List.filter (fun r -> not r.Blif_ast.output_value) cover in
+    if on_rows <> [] && off_rows <> [] then efail "mixed on/off cover for %s" output;
+    let rows, complemented =
+      if off_rows <> [] then (off_rows, true) else (on_rows, false)
+    in
+    (* Build one product term; returns the signal name carrying it. *)
+    let fresh_counter = ref 0 in
+    let fresh suffix =
+      incr fresh_counter;
+      Printf.sprintf "%s#%s%d" output suffix !fresh_counter
+    in
+    let literal input = function
+      | Blif_ast.One -> Some input
+      | Blif_ast.Zero ->
+        let n = fresh "lit" in
+        Netlist.Builder.add_gate b ~output:n ~kind:Netlist.Gate.Not [ input ];
+        Some n
+      | Blif_ast.Dont_care -> None
+    in
+    let product ?(name = fresh "t") (row : Blif_ast.cover_row) =
+      let literals = List.filter_map Fun.id (List.map2 literal inputs row.Blif_ast.input_plane) in
+      match literals with
+      | [] ->
+        Netlist.Builder.add_gate b ~output:name ~kind:Netlist.Gate.Const1 [];
+        name
+      | [ one ] ->
+        Netlist.Builder.add_gate b ~output:name ~kind:Netlist.Gate.Buf [ one ];
+        name
+      | several ->
+        Netlist.Builder.add_gate b ~output:name ~kind:Netlist.Gate.And several;
+        name
+    in
+    let final_kind = if complemented then Netlist.Gate.Nor else Netlist.Gate.Or in
+    match rows with
+    | [] -> Netlist.Builder.add_gate b ~output ~kind:Netlist.Gate.Const0 []
+    | [ row ] when not complemented ->
+      (* single on-set product: name it directly *)
+      ignore (product ~name:output row)
+    | rows ->
+      let terms = List.map (fun row -> product row) rows in
+      Netlist.Builder.add_gate b ~output ~kind:final_kind terms
+  in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Blif_ast.Model _ | Blif_ast.End -> ()
+      | Blif_ast.Inputs names -> List.iter (Netlist.Builder.add_input b) names
+      | Blif_ast.Outputs names -> List.iter (Netlist.Builder.add_output b) names
+      | Blif_ast.Latch { input; output; init = _ } ->
+        Netlist.Builder.add_dff b ~q:output ~d:input
+      | Blif_ast.Names { terminals; cover } -> add_names terminals cover)
+    ast;
+  Netlist.Builder.freeze b
+
+let parse_string source = elaborate (parse_ast source)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path = parse_string (read_file path)

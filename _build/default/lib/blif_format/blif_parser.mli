@@ -1,0 +1,19 @@
+(** BLIF reader: line-oriented parser and sum-of-products elaboration into
+    a validated netlist (see the implementation header for the cover
+    semantics). *)
+
+exception Error of { message : string; line : int }
+(** Syntax error with its 1-based source line. *)
+
+exception Elaboration_error of string
+(** Cover-level problem (width mismatch, mixed on/off rows). *)
+
+val parse_ast : string -> Blif_ast.t
+(** @raise Error. *)
+
+val elaborate : Blif_ast.t -> Netlist.Circuit.t
+(** @raise Elaboration_error | Netlist.Builder.Error. *)
+
+val parse_string : string -> Netlist.Circuit.t
+val parse_file : string -> Netlist.Circuit.t
+(** @raise Sys_error | Error | Elaboration_error | Netlist.Builder.Error. *)

@@ -1,0 +1,83 @@
+(* BLIF writer: each gate becomes one .names cover, flip-flops become
+   .latch lines.  Covers per kind (inputs i1..in, output y):
+
+     AND   11..1 1                NAND  one row per input: 0 at i, - else
+     OR    one row per input      NOR   00..0 1
+     XOR   rows with odd numbers of 1s (2^(n-1) rows; arity <= 8 enforced)
+     XNOR  rows with even numbers of 1s
+     NOT   0 1                    BUF   1 1
+     CONST0  (empty cover)        CONST1  a single "1" row *)
+
+open Netlist
+
+exception Unprintable of string
+
+let cover_rows kind arity =
+  let row plane = (plane, true) in
+  let const c = String.make arity c in
+  let one_hot c fill i = String.init arity (fun j -> if i = j then c else fill) in
+  match kind with
+  | Gate.And -> [ row (const '1') ]
+  | Gate.Or -> List.init arity (fun i -> row (one_hot '1' '-' i))
+  | Gate.Nand -> List.init arity (fun i -> row (one_hot '0' '-' i))
+  | Gate.Nor -> [ row (const '0') ]
+  | Gate.Xor | Gate.Xnor ->
+    if arity > 8 then raise (Unprintable "XOR wider than 8 inputs");
+    let want_parity = (kind = Gate.Xor) in
+    let rows = ref [] in
+    for assignment = (1 lsl arity) - 1 downto 0 do
+      let ones = ref 0 in
+      let plane =
+        String.init arity (fun i ->
+            if assignment land (1 lsl i) <> 0 then begin
+              incr ones;
+              '1'
+            end
+            else '0')
+      in
+      if !ones mod 2 = (if want_parity then 1 else 0) then rows := row plane :: !rows
+    done;
+    !rows
+  | Gate.Not -> [ row "0" ]
+  | Gate.Buf -> [ row "1" ]
+  | Gate.Const0 -> []
+  | Gate.Const1 -> [ ("", true) ]
+
+let circuit_to_string circuit =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line ".model %s" (Circuit.name circuit);
+  let names nodes = String.concat " " (List.map (Circuit.node_name circuit) nodes) in
+  if Circuit.inputs circuit <> [] then line ".inputs %s" (names (Circuit.inputs circuit));
+  if Circuit.outputs circuit <> [] then line ".outputs %s" (names (Circuit.outputs circuit));
+  List.iter
+    (fun ff ->
+      match Circuit.node circuit ff with
+      | Circuit.Ff { data } ->
+        line ".latch %s %s 2" (Circuit.node_name circuit data) (Circuit.node_name circuit ff)
+      | Circuit.Input | Circuit.Gate _ -> assert false)
+    (Circuit.ffs circuit);
+  for v = 0 to Circuit.node_count circuit - 1 do
+    match Circuit.node circuit v with
+    | Circuit.Input | Circuit.Ff _ -> ()
+    | Circuit.Gate { kind; fanins } ->
+      let terminals =
+        String.concat " "
+          (Array.to_list (Array.map (Circuit.node_name circuit) fanins)
+          @ [ Circuit.node_name circuit v ])
+      in
+      line ".names %s" terminals;
+      List.iter
+        (fun (plane, value) ->
+          if plane = "" then line "%c" (if value then '1' else '0')
+          else line "%s %c" plane (if value then '1' else '0'))
+        (cover_rows kind (Array.length fanins))
+  done;
+  line ".end";
+  Buffer.contents buf
+
+let write_file path circuit =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (circuit_to_string circuit))

@@ -1,0 +1,11 @@
+(** BLIF writer: one [.names] cover per gate, [.latch] per flip-flop.
+    [Blif_parser.parse_string (circuit_to_string c)] reconstructs a circuit
+    with identical behaviour (cover elaboration may introduce helper
+    nodes). *)
+
+exception Unprintable of string
+(** Raised for XOR/XNOR gates wider than 8 inputs (the parity cover would
+    explode). *)
+
+val circuit_to_string : Netlist.Circuit.t -> string
+val write_file : string -> Netlist.Circuit.t -> unit

@@ -1,0 +1,1 @@
+lib/circuit_gen/embedded.ml: Bench_format List

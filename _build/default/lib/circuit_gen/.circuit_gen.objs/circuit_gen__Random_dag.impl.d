@@ -1,0 +1,1 @@
+lib/circuit_gen/random_dag.ml: Array Builder Fun Gate List Netlist Printf Profiles Rng

@@ -1,0 +1,1 @@
+lib/circuit_gen/random_dag.mli: Netlist Profiles

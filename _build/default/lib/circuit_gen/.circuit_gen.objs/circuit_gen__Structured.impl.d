@@ -1,0 +1,1 @@
+lib/circuit_gen/structured.ml: Array Builder Gate List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuit_gen/structured.mli: Netlist

@@ -1,0 +1,50 @@
+(* Real benchmark netlists small enough to embed verbatim.
+
+   s27 (ISCAS'89) and c17 (ISCAS'85) are the standard public hello-world
+   circuits of the test literature; they serve as golden samples for the
+   parser and as real-topology fixtures next to the synthetic generator. *)
+
+let s27_source =
+  "# s27 (ISCAS'89)\n\
+   INPUT(G0)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\n\
+   G6 = DFF(G11)\n\
+   G7 = DFF(G13)\n\
+   G14 = NOT(G0)\n\
+   G17 = NOT(G11)\n\
+   G8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\n\
+   G16 = OR(G3, G8)\n\
+   G9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\n\
+   G11 = NOR(G5, G9)\n\
+   G12 = NOR(G1, G7)\n\
+   G13 = NOR(G2, G12)\n"
+
+let c17_source =
+  "# c17 (ISCAS'85)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   INPUT(G6)\n\
+   INPUT(G7)\n\
+   OUTPUT(G22)\n\
+   OUTPUT(G23)\n\
+   G10 = NAND(G1, G3)\n\
+   G11 = NAND(G3, G6)\n\
+   G16 = NAND(G2, G11)\n\
+   G19 = NAND(G11, G7)\n\
+   G22 = NAND(G10, G16)\n\
+   G23 = NAND(G16, G19)\n"
+
+let s27 () = Bench_format.Parser.parse_string ~name:"s27" s27_source
+
+let c17 () = Bench_format.Parser.parse_string ~name:"c17" c17_source
+
+let all = [ ("s27", s27); ("c17", c17) ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,11 @@
+(** Real public benchmark netlists embedded verbatim: s27 (ISCAS'89) and c17
+    (ISCAS'85).  Golden fixtures for the parser and real-topology tests. *)
+
+val s27_source : string
+val c17_source : string
+
+val s27 : unit -> Netlist.Circuit.t
+val c17 : unit -> Netlist.Circuit.t
+
+val all : (string * (unit -> Netlist.Circuit.t)) list
+val find : string -> (unit -> Netlist.Circuit.t) option

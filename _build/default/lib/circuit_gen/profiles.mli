@@ -1,0 +1,43 @@
+(** Size profiles of the ISCAS'89 circuits (PI/PO/FF/gate counts from the
+    standard distribution), driving the synthetic generator for the Table-2
+    reproduction. *)
+
+type t = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  ffs : int;
+  gates : int;
+}
+
+val make : name:string -> inputs:int -> outputs:int -> ffs:int -> gates:int -> t
+
+val s27 : t
+val s298 : t
+val s344 : t
+val s386 : t
+val s526 : t
+val s641 : t
+val s820 : t
+val s953 : t
+val s1196 : t
+val s1238 : t
+val s1423 : t
+val s1488 : t
+val s1494 : t
+val s5378 : t
+val s9234 : t
+val s13207 : t
+val s15850 : t
+val s35932 : t
+val s38584 : t
+val s38417 : t
+
+val all : t list
+
+val table2 : t list
+(** The eleven circuits of the paper's Table 2, in row order. *)
+
+val find : string -> t option
+val node_count : t -> int
+val pp : t Fmt.t

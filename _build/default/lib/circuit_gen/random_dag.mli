@@ -1,0 +1,33 @@
+(** Profile-matched random netlist generation (deterministic from a seed).
+
+    Produces a valid sequential circuit with exactly the PI/PO/FF/gate counts
+    of the profile and a topology shaped like synthesized logic: mostly
+    fanin-2/3 gates, logarithmic-ish depth from a locality window, long-range
+    edges creating wide fanout and reconvergent paths, and observation points
+    placed on sinks first so logic stays observable.  See DESIGN.md for the
+    substitution argument versus the original ISCAS'89 netlists. *)
+
+type config = {
+  max_fanin : int;
+  inverter_fraction : float;
+  xor_fraction : float;
+  locality_window : int;
+  long_range_fraction : float;
+}
+
+val default_config : config
+
+val generate : ?config:config -> seed:int -> Profiles.t -> Netlist.Circuit.t
+(** @raise Invalid_argument on a profile without pseudo-inputs or a config
+    with [max_fanin < 2]. *)
+
+val generate_profile :
+  ?config:config ->
+  seed:int ->
+  name:string ->
+  inputs:int ->
+  outputs:int ->
+  ffs:int ->
+  gates:int ->
+  unit ->
+  Netlist.Circuit.t

@@ -1,0 +1,27 @@
+(** Structured benchmark circuits with verifiable arithmetic semantics:
+    ripple-carry adders (deep carry chains), array multipliers (dense
+    reconvergence — the independence assumption's hard case), parity trees
+    (pure XOR, the polarity-tracking showcase), MUX trees (controlling-value
+    masking), and a registered accumulator slice (sequential mix). *)
+
+val ripple_adder : width:int -> unit -> Netlist.Circuit.t
+(** Inputs [a0..], [b0..], [cin]; outputs [s0..], [cout].
+    @raise Invalid_argument if [width < 1]. *)
+
+val array_multiplier : width:int -> unit -> Netlist.Circuit.t
+(** Inputs [a0..], [b0..]; outputs [p0 .. p(2*width-1)].
+    @raise Invalid_argument if [width < 1]. *)
+
+val parity_tree : width:int -> unit -> Netlist.Circuit.t
+(** Inputs [x0..]; output [parity].  @raise Invalid_argument. *)
+
+val mux_tree : select_bits:int -> unit -> Netlist.Circuit.t
+(** Inputs [d0 .. d(2^select_bits - 1)], [sel0..]; output [y].
+    @raise Invalid_argument. *)
+
+val alu_accumulator : width:int -> unit -> Netlist.Circuit.t
+(** Registered accumulator: [acc <- op ? acc XOR in : acc + in], output
+    [zero] flag.  @raise Invalid_argument. *)
+
+val all : (string * (unit -> Netlist.Circuit.t)) list
+(** Named default instances (add8, mul4, parity16, mux4, acc8). *)

@@ -1,0 +1,1 @@
+lib/core/accuracy.ml: Epp_engine Fault_sim Float Fmt List

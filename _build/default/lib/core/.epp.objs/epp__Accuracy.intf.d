@@ -1,0 +1,1 @@
+lib/core/accuracy.mli: Epp_engine Fault_sim Fmt Rng

@@ -1,0 +1,1 @@
+lib/core/attribution.ml: Array Circuit Epp_engine Fmt Hashtbl List Netlist Printf Seu_model String

@@ -1,0 +1,1 @@
+lib/core/attribution.mli: Fmt Netlist Seu_model Sigprob

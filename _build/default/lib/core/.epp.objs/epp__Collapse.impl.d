@@ -1,0 +1,1 @@
+lib/core/collapse.ml: Array Circuit Epp_engine Gate Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/core/collapse.mli: Epp_engine Netlist

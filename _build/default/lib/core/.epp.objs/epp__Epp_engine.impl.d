@@ -1,0 +1,1 @@
+lib/core/epp_engine.ml: Array Circuit Fmt Fun List Netlist Prob4 Reach Rules Sigprob Site_analysis

@@ -1,0 +1,1 @@
+lib/core/epp_engine.mli: Fmt Netlist Prob4 Sigprob

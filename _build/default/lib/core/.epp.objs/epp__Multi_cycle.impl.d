@@ -1,0 +1,1 @@
+lib/core/multi_cycle.ml: Array Circuit Epp_engine Float Fmt Hashtbl List Netlist Option Prob4 Seu_model Sigprob

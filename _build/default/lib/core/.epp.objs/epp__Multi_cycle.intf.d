@@ -1,0 +1,1 @@
+lib/core/multi_cycle.mli: Epp_engine Fmt Netlist Seu_model

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Array Domain Epp_engine Fun List Netlist

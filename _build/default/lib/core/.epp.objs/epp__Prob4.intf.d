@@ -1,0 +1,1 @@
+lib/core/prob4.mli: Fmt

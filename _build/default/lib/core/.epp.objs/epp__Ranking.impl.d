@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Array Float Fmt List Ser_estimator

@@ -1,0 +1,1 @@
+lib/core/rules.ml: Array Float Gate Netlist Prob4 Sigprob

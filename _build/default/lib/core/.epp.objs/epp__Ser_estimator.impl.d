@@ -1,0 +1,1 @@
+lib/core/ser_estimator.ml: Array Bfs Circuit Epp_engine Fmt List Netlist Option Seu_model Sigprob

@@ -1,0 +1,1 @@
+lib/core/ser_estimator.mli: Epp_engine Fmt Netlist Seu_model Sigprob

@@ -1,0 +1,1 @@
+lib/core/site_analysis.ml: Array Circuit Fmt List Netlist Reach

@@ -1,0 +1,1 @@
+lib/core/site_analysis.mli: Fmt Netlist

@@ -1,0 +1,1 @@
+lib/core/test_set.ml: Array Circuit Circuit_bdd Fmt Fun Gate List Logic_sim Netlist Reach

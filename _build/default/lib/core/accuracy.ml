@@ -1,0 +1,74 @@
+(* Analytical-vs-simulation agreement metrics — the %Dif column of Table 2.
+
+   Both methods estimate probabilities, so the natural difference is in
+   percentage points:
+
+     %Dif = 100 × mean over compared sites of |epp(s) - sim(s)|
+
+   and "the accuracy of our approach versus random-simulation is 94%, in
+   average" reads as 100 − %Dif.  This is the primary metric.  A floored
+   relative difference is kept as a secondary diagnostic (useful to spot
+   sites whose small probabilities are estimated badly in proportion). *)
+
+type site_pair = {
+  site : int;
+  epp : float;  (** analytical P_sensitized *)
+  sim : float;  (** random-simulation P_sensitized *)
+}
+
+type summary = {
+  sites : int;
+  dif_percent : float;  (** the %Dif quantity: mean |epp - sim| × 100 *)
+  accuracy_percent : float;  (** 100 − dif_percent *)
+  mean_absolute_error : float;
+  max_absolute_error : float;
+  mean_relative_difference : float;  (** secondary, floored *)
+}
+
+let default_floor = 0.02
+
+let relative_difference ?(floor = default_floor) ~epp ~sim () =
+  if floor <= 0.0 then invalid_arg "Accuracy.relative_difference: floor must be positive";
+  if epp = 0.0 && sim = 0.0 then 0.0
+  else Float.abs (epp -. sim) /. Float.max sim floor
+
+let summarize ?(floor = default_floor) pairs =
+  match pairs with
+  | [] -> invalid_arg "Accuracy.summarize: no sites"
+  | _ :: _ ->
+    let n = float_of_int (List.length pairs) in
+    let rel_sum = ref 0.0 and abs_sum = ref 0.0 and abs_max = ref 0.0 in
+    List.iter
+      (fun { epp; sim; _ } ->
+        let abs_err = Float.abs (epp -. sim) in
+        rel_sum := !rel_sum +. relative_difference ~floor ~epp ~sim ();
+        abs_sum := !abs_sum +. abs_err;
+        if abs_err > !abs_max then abs_max := abs_err)
+      pairs;
+    let mae = !abs_sum /. n in
+    {
+      sites = List.length pairs;
+      dif_percent = 100.0 *. mae;
+      accuracy_percent = 100.0 -. (100.0 *. mae);
+      mean_absolute_error = mae;
+      max_absolute_error = !abs_max;
+      mean_relative_difference = !rel_sum /. n;
+    }
+
+let compare_sites engine fault_sim ~rng sites =
+  List.map
+    (fun site ->
+      let epp_result = Epp_engine.analyze_site engine site in
+      let sim_result = Fault_sim.Epp_sim.estimate_site fault_sim ~rng site in
+      {
+        site;
+        epp = epp_result.Epp_engine.p_sensitized;
+        sim = sim_result.Fault_sim.Epp_sim.p_sensitized;
+      })
+    sites
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d sites: %%Dif %.2f%%, max AE %.4f, rel %.1f%% (accuracy %.1f%%)" s.sites
+    s.dif_percent s.max_absolute_error
+    (100.0 *. s.mean_relative_difference)
+    s.accuracy_percent

@@ -1,0 +1,36 @@
+(** Agreement metrics between the analytical EPP engine and the
+    random-simulation baseline — the %Dif column (and the "94% accuracy"
+    claim) of the paper's Table 2.
+
+    Primary metric: percentage points, [%Dif = 100 × mean |epp − sim|];
+    accuracy = 100 − %Dif.  A floored relative difference is kept as a
+    secondary diagnostic. *)
+
+type site_pair = { site : int; epp : float; sim : float }
+
+type summary = {
+  sites : int;
+  dif_percent : float;  (** mean |epp − sim| × 100, the Table-2 %Dif *)
+  accuracy_percent : float;  (** 100 − dif_percent *)
+  mean_absolute_error : float;
+  max_absolute_error : float;
+  mean_relative_difference : float;  (** secondary, floored at {!default_floor} *)
+}
+
+val default_floor : float
+(** Denominator floor (0.02) protecting near-zero simulated probabilities in
+    the relative metric. *)
+
+val relative_difference : ?floor:float -> epp:float -> sim:float -> unit -> float
+(** Floored relative difference of one site; 0 when both methods report 0.
+    @raise Invalid_argument on a non-positive floor. *)
+
+val summarize : ?floor:float -> site_pair list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val compare_sites :
+  Epp_engine.t -> Fault_sim.Epp_sim.t -> rng:Rng.t -> int list -> site_pair list
+(** Run both methods on the same sites.  Both contexts must wrap the same
+    circuit. *)
+
+val pp_summary : summary Fmt.t

@@ -1,0 +1,93 @@
+(* Per-observation SER attribution: which outputs and flip-flops absorb the
+   failure rate.
+
+   The estimator's per-node view answers "which gates should be hardened";
+   this module answers the dual question — "which observation points are
+   exposed" — by accumulating, over all error sites,
+
+     rate(n, o) = R_SEU(n) × p_prop(n -> o) × P_capture(o)
+
+   the expected rate of erroneous captures at observation point o.  Column
+   sums rank the critical outputs (e.g. which architectural registers
+   deserve parity).  Note the column view counts each capture at each point
+   (an error reaching two outputs appears in both columns), so the matrix
+   total is an upper bound on the circuit failure rate, which de-duplicates
+   multi-capture events via the product formula. *)
+
+open Netlist
+
+type column = {
+  observation : Circuit.observation;
+  name : string;
+  fit : float;  (** expected erroneous captures at this point, in FIT *)
+  top_contributors : (int * float) list;  (** node, FIT — descending *)
+}
+
+type t = {
+  circuit : Circuit.t;
+  columns : column list;  (** sorted by FIT, descending *)
+  matrix_total_fit : float;
+}
+
+let compute ?(technology = Seu_model.Technology.default)
+    ?(latching = Seu_model.Latching.default) ?(top = 5) ?sp circuit =
+  if top < 0 then invalid_arg "Attribution.compute: negative top";
+  Seu_model.Latching.check latching;
+  let engine = Epp_engine.create ?sp circuit in
+  let observations = Circuit.observations circuit in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i obs -> Hashtbl.replace index obs i) observations;
+  let columns = Array.make (List.length observations) [] in
+  let totals = Array.make (List.length observations) 0.0 in
+  for site = 0 to Circuit.node_count circuit - 1 do
+    let r_seu = Seu_model.Technology.r_seu_node technology circuit site in
+    if r_seu > 0.0 then begin
+      let result = Epp_engine.analyze_site engine site in
+      List.iter
+        (fun (obs, p_prop) ->
+          let i = Hashtbl.find index obs in
+          let rate = r_seu *. p_prop *. Seu_model.Latching.p_latched latching obs in
+          if rate > 0.0 then begin
+            totals.(i) <- totals.(i) +. rate;
+            columns.(i) <- (site, rate) :: columns.(i)
+          end)
+        result.Epp_engine.per_observation
+    end
+  done;
+  let columns =
+    List.mapi
+      (fun i obs ->
+        let contributors =
+          List.sort (fun (_, a) (_, b) -> compare b a) columns.(i)
+          |> List.filteri (fun k _ -> k < top)
+          |> List.map (fun (node, rate) -> (node, Seu_model.Fit.of_rate_per_second rate))
+        in
+        {
+          observation = obs;
+          name = Circuit.observation_name circuit obs;
+          fit = Seu_model.Fit.of_rate_per_second totals.(i);
+          top_contributors = contributors;
+        })
+      observations
+    |> List.sort (fun a b -> compare b.fit a.fit)
+  in
+  {
+    circuit;
+    columns;
+    matrix_total_fit =
+      Seu_model.Fit.of_rate_per_second (Array.fold_left ( +. ) 0.0 totals);
+  }
+
+let pp ppf t =
+  let contributors col =
+    col.top_contributors
+    |> List.map (fun (node, fit) ->
+           Printf.sprintf "%s %.4f" (Circuit.node_name t.circuit node) fit)
+    |> String.concat ", "
+  in
+  Fmt.pf ppf "@[<v>observation-point exposure (%d points, matrix total %.4f FIT):@,%a@]"
+    (List.length t.columns) t.matrix_total_fit
+    Fmt.(
+      list ~sep:cut (fun ppf col ->
+          pf ppf "  %-12s %.5f FIT  (top: %s)" col.name col.fit (contributors col)))
+    t.columns

@@ -1,0 +1,82 @@
+(* Error-site collapsing — the EPP analog of classical fault collapsing.
+
+   If a net u has exactly one combinational consumer, that consumer g is a
+   NOT or BUF gate, and u is not itself an observation net, then every
+   propagation path from u runs through g and the error crosses g with
+   certainty (unary gates neither mask nor split):
+
+     P_sensitized(u) = P_sensitized(g),
+
+   and the per-observation propagation probabilities coincide as well (the
+   polarity flip of a NOT does not change Pa + Pā).  Chains of such nets
+   form equivalence classes whose downstream end is the representative;
+   analyzing one site per class gives identical results at a fraction of
+   the cost on buffer/inverter-rich netlists. *)
+
+open Netlist
+
+type t = {
+  representative : int array;  (** per node: the class representative *)
+  class_count : int;
+}
+
+let compute circuit =
+  let n = Circuit.node_count circuit in
+  let observed = Array.make n false in
+  List.iter
+    (fun obs -> observed.(Circuit.observation_net circuit obs) <- true)
+    (Circuit.observations circuit);
+  (* next.(u) = Some g when u forwards into unary g and is not observed *)
+  let next u =
+    if observed.(u) then None
+    else
+      match Circuit.fanouts circuit u with
+      | [ g ] -> (
+        match Circuit.kind_of circuit g with
+        | Some Gate.Not | Some Gate.Buf -> Some g
+        | Some Gate.And | Some Gate.Nand | Some Gate.Or | Some Gate.Nor | Some Gate.Xor
+        | Some Gate.Xnor | Some Gate.Const0 | Some Gate.Const1 | None ->
+          None)
+      | [] | _ :: _ :: _ -> None
+  in
+  let representative = Array.make n (-1) in
+  let rec resolve u =
+    if representative.(u) >= 0 then representative.(u)
+    else begin
+      let r =
+        match next u with
+        | Some g -> resolve g
+        | None -> u
+      in
+      representative.(u) <- r;
+      r
+    end
+  in
+  for u = 0 to n - 1 do
+    ignore (resolve u)
+  done;
+  let distinct = Hashtbl.create n in
+  Array.iter (fun r -> Hashtbl.replace distinct r ()) representative;
+  { representative; class_count = Hashtbl.length distinct }
+
+let representative t u = t.representative.(u)
+
+let savings t = Array.length t.representative - t.class_count
+
+(* analyze_all with one engine pass per class; the per-site results share
+   the representative's probabilities but keep their own site id. *)
+let analyze_all engine =
+  let circuit = Epp_engine.circuit engine in
+  let t = compute circuit in
+  let cache = Hashtbl.create t.class_count in
+  List.init (Circuit.node_count circuit) (fun site ->
+      let r = t.representative.(site) in
+      let rep_result =
+        match Hashtbl.find_opt cache r with
+        | Some result -> result
+        | None ->
+          let result = Epp_engine.analyze_site engine r in
+          Hashtbl.replace cache r result;
+          result
+      in
+      { rep_result with Epp_engine.site })

@@ -1,0 +1,186 @@
+(* The paper's EPP computation — Sec. 2, steps 1-3, per error site:
+
+   1. Path construction: forward DFS from the site (Site_analysis).
+   2. Ordering: one topological order, computed once per circuit and shared
+      by every site.
+   3. EPP computation: walk the on-path gates in topological order; on-path
+      fanins contribute their four-state vectors, off-path fanins contribute
+      their signal probability as P1/P0 mass; apply the Table-1 rules.
+
+   Afterwards, for the reachable outputs:
+
+     P_sensitized(n) = 1 - prod_j (1 - (Pa(POj) + Pā(POj)))
+
+   The engine owns the per-circuit invariants (topological order, signal
+   probabilities); each analyze_site call is a single linear pass over the
+   site's cone — this is the "SysT" cost of Table 2. *)
+
+open Netlist
+
+type mode =
+  | Polarity  (** the paper's four-state rules *)
+  | Naive  (** polarity-blind three-state ablation *)
+
+type t = {
+  circuit : Circuit.t;
+  sp : Sigprob.Sp.result;
+  order : int array;
+  mode : mode;
+  restrict_to_cone : bool;
+}
+
+type site_result = {
+  site : int;
+  p_sensitized : float;
+  per_observation : (Circuit.observation * float) list;
+  cone_size : int;
+  reached_outputs : int;
+}
+
+let create ?(mode = Polarity) ?(restrict_to_cone = true) ?sp circuit =
+  let sp =
+    match sp with
+    | Some r ->
+      if r.Sigprob.Sp.circuit != circuit then
+        invalid_arg "Epp_engine.create: sp computed on a different circuit";
+      r
+    | None ->
+      (* Sequential circuits get self-consistent FF-output probabilities;
+         combinational ones reduce to the plain topological pass. *)
+      if Circuit.ff_count circuit > 0 then
+        (Sigprob.Sp_sequential.compute circuit).Sigprob.Sp_sequential.result
+      else Sigprob.Sp_topological.compute circuit
+  in
+  { circuit; sp; order = Circuit.topological_order circuit; mode; restrict_to_cone }
+
+let circuit t = t.circuit
+let signal_probabilities t = t.sp
+
+(* FF outputs take their *data net's* converged probability when the
+   sequential fixpoint produced the sp result; Sp_sequential already stores
+   per-node values including FF outputs, so plain lookup is correct in both
+   cases. *)
+let off_path_sp t u = t.sp.Sigprob.Sp.values.(u)
+
+let p_sensitized_of_outputs per_observation =
+  1.0
+  -. List.fold_left (fun acc (_, p) -> acc *. (1.0 -. p)) 1.0 per_observation
+
+let analyze_polarity ?(initial = Prob4.error_site) t (sa : Site_analysis.t) =
+  let c = t.circuit in
+  let n = Circuit.node_count c in
+  let vec = Array.make n Prob4.error_site in
+  let have = Array.make n false in
+  vec.(sa.site) <- initial;
+  have.(sa.site) <- true;
+  let input_vector u =
+    if sa.on_path.(u) then begin
+      (* Topological processing guarantees every on-path fanin was already
+         computed (the only on-path non-gate is the site itself). *)
+      assert have.(u);
+      vec.(u)
+    end
+    else Prob4.of_sp (off_path_sp t u)
+  in
+  List.iter
+    (fun g ->
+      match Circuit.node c g with
+      | Circuit.Gate { kind; fanins } ->
+        vec.(g) <- Rules.propagate kind (Array.map input_vector fanins);
+        have.(g) <- true
+      | Circuit.Input | Circuit.Ff _ -> assert false)
+    sa.on_path_gates;
+  List.map
+    (fun obs ->
+      let net = Circuit.observation_net c obs in
+      (obs, vec.(net)))
+    sa.reached
+
+let analyze_naive t (sa : Site_analysis.t) =
+  let c = t.circuit in
+  let n = Circuit.node_count c in
+  let vec = Array.make n Rules.Naive.error_site in
+  vec.(sa.site) <- Rules.Naive.error_site;
+  let input_vector u =
+    if sa.on_path.(u) then vec.(u) else Rules.Naive.of_sp (off_path_sp t u)
+  in
+  List.iter
+    (fun g ->
+      match Circuit.node c g with
+      | Circuit.Gate { kind; fanins } ->
+        vec.(g) <- Rules.Naive.propagate kind (Array.map input_vector fanins)
+      | Circuit.Input | Circuit.Ff _ -> assert false)
+    sa.on_path_gates;
+  List.map
+    (fun obs ->
+      let net = Circuit.observation_net c obs in
+      (obs, vec.(net).Rules.Naive.pe))
+    sa.reached
+
+(* The whole-circuit ablation: ignore the cone restriction and process every
+   gate, feeding pure-SP vectors at gates the error cannot reach.  Produces
+   identical probabilities at strictly higher cost; exists so the bench can
+   show what the paper's path-construction step saves. *)
+let full_order_analysis t site =
+  let c = t.circuit in
+  let graph = Circuit.graph c in
+  let on_path = Reach.forward graph site in
+  let gates =
+    Array.to_list t.order |> List.filter (fun v -> v <> site && Circuit.is_gate c v)
+  in
+  {
+    Site_analysis.site;
+    on_path;
+    on_path_gates = gates;
+    off_path = [];
+    reached =
+      List.filter
+        (fun obs -> on_path.(Circuit.observation_net c obs))
+        (Circuit.observations c);
+  }
+
+let site_analysis t site =
+  if t.restrict_to_cone then Site_analysis.analyze ~order:t.order t.circuit site
+  else full_order_analysis t site
+
+(* Full four-state vectors at the reachable observation points, optionally
+   from a partial error at the site (the multi-cycle extension injects the
+   vector latched in a flip-flop during an earlier cycle).  Polarity mode
+   only: the naive ablation has no vector to expose. *)
+let analyze_site_vectors t ?initial site =
+  (match t.mode with
+  | Polarity -> ()
+  | Naive -> invalid_arg "Epp_engine.analyze_site_vectors: polarity mode only");
+  let n = Circuit.node_count t.circuit in
+  if site < 0 || site >= n then invalid_arg "Epp_engine.analyze_site_vectors: bad site";
+  analyze_polarity ?initial t (site_analysis t site)
+
+let analyze_site t site =
+  let sa = site_analysis t site in
+  let per_observation =
+    match t.mode with
+    | Polarity ->
+      List.map (fun (obs, v) -> (obs, Prob4.p_error v)) (analyze_polarity t sa)
+    | Naive -> analyze_naive t sa
+  in
+  {
+    site;
+    p_sensitized = Sigprob.Sp_rules.clamp (p_sensitized_of_outputs per_observation);
+    per_observation;
+    cone_size = Site_analysis.on_path_signal_count sa;
+    reached_outputs = List.length sa.reached;
+  }
+
+let analyze_sites t sites = List.map (analyze_site t) sites
+
+let analyze_all t =
+  analyze_sites t (List.init (Circuit.node_count t.circuit) Fun.id)
+
+let pp_site_result circuit ppf r =
+  Fmt.pf ppf "@[<v>site %s: P_sens = %.4f over %d output(s), cone %d@,%a@]"
+    (Circuit.node_name circuit r.site)
+    r.p_sensitized r.reached_outputs r.cone_size
+    Fmt.(
+      list ~sep:cut (fun ppf (obs, p) ->
+          pf ppf "  -> %s: %.4f" (Circuit.observation_name circuit obs) p))
+    r.per_observation

@@ -1,0 +1,53 @@
+(** The paper's analytical EPP computation (Sec. 2): per error site, one
+    topological pass over the site's output cone with the Table-1 rules,
+    yielding the per-output propagation probabilities and
+
+    [P_sensitized(n) = 1 - ∏ (1 - (Pa(POj) + Pā(POj)))].
+
+    An engine value owns the per-circuit invariants — the shared topological
+    order and the signal probabilities (computed once, the SPT column of
+    Table 2) — so each site analysis is a single cone-sized pass (the SysT
+    column). *)
+
+type mode =
+  | Polarity  (** the paper's four-state rules *)
+  | Naive  (** polarity-blind three-state ablation (see {!Rules.Naive}) *)
+
+type t
+
+type site_result = {
+  site : int;
+  p_sensitized : float;
+  per_observation : (Netlist.Circuit.observation * float) list;
+      (** [Pa + Pā] at each reachable observation point *)
+  cone_size : int;  (** number of on-path signals *)
+  reached_outputs : int;
+}
+
+val create :
+  ?mode:mode -> ?restrict_to_cone:bool -> ?sp:Sigprob.Sp.result -> Netlist.Circuit.t -> t
+(** [sp] defaults to the sequential fixpoint probabilities when the circuit
+    has flip-flops, and to the plain topological pass otherwise.
+    [restrict_to_cone:false] is the whole-circuit ablation: identical
+    results, no path-construction saving.
+    @raise Invalid_argument if [sp] belongs to a different circuit. *)
+
+val circuit : t -> Netlist.Circuit.t
+val signal_probabilities : t -> Sigprob.Sp.result
+
+val analyze_site : t -> int -> site_result
+(** Steps 1-3 of the paper's per-site algorithm.
+    @raise Invalid_argument on an out-of-range site. *)
+
+val analyze_site_vectors :
+  t -> ?initial:Prob4.t -> int -> (Netlist.Circuit.observation * Prob4.t) list
+(** The full four-state vectors at the reachable observation points,
+    optionally injecting a partial error vector at the site instead of the
+    certain [Prob4.error_site] (used by {!Multi_cycle} to continue errors
+    latched in flip-flops).  @raise Invalid_argument in [Naive] mode or on
+    an out-of-range site. *)
+
+val analyze_sites : t -> int list -> site_result list
+val analyze_all : t -> site_result list
+
+val pp_site_result : Netlist.Circuit.t -> site_result Fmt.t

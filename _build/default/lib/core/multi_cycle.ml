@@ -1,0 +1,164 @@
+(* Multi-cycle error propagation — the natural extension of the paper.
+
+   The paper's P_sensitized is single-cycle: an error counts as sensitized
+   the moment it reaches a primary output or a flip-flop data input.  But an
+   error captured by a flip-flop is not yet an architectural failure; it
+   keeps propagating from that flip-flop's output in later cycles, where it
+   may still be logically masked, reach a primary output, spread to more
+   flip-flops, or die out.  This module follows it.
+
+   Model (approximations stated explicitly):
+
+   - cycle 0: the standard per-site EPP pass.  Errors arriving at PO j are
+     detected with the PO capture probability; errors arriving at FF j's
+     data input are captured with the latching-window probability (the SEU
+     is a transient pulse, caught only if it overlaps the capture window),
+     with polarity preserved: e_j = (w·Pa(D_j), w·Pā(D_j), ...), the
+     blocked mass redistributed to the flip-flop's steady-state value
+     probabilities.
+
+   - cycle k: each infected flip-flop is treated as an independent partial
+     error site; its vector is pushed through its output cone with the same
+     Table-1 rules (Epp_engine.analyze_site_vectors ~initial).  Unlike the
+     initial transient, a latched error is a stable, full-cycle-wide wrong
+     value, so downstream flip-flops capture it with certainty (no window
+     factor) — only logical masking attenuates it from here on.  Detection
+     events and fresh captures from distinct infected flip-flops combine
+     under independence, like the paper's product over reachable outputs.
+     Correlations between simultaneously infected flip-flops are ignored —
+     the same independence assumption the single-cycle method already
+     makes, applied across state bits (quantified against the lock-step
+     fault-injection simulator Fault_sim.Seq_epp_sim by the tests).
+
+   - iteration stops when the circulating error mass falls below [epsilon]
+     or [max_cycles] is reached.  The cumulative detection probability and
+     the residual (still-latent) error mass are both reported, so callers
+     see exactly how much probability the cutoff leaves unresolved. *)
+
+open Netlist
+
+type config = {
+  max_cycles : int;
+  epsilon : float;  (** stop once circulating error mass drops below this *)
+  latching : Seu_model.Latching.t;
+}
+
+let default_config =
+  { max_cycles = 32; epsilon = 1e-6; latching = Seu_model.Latching.default }
+
+type cycle_report = {
+  cycle : int;
+  detection : float;  (** P(error observed at a PO during this cycle) *)
+  infected_ffs : int;  (** flip-flops carrying error mass entering the cycle *)
+  circulating_mass : float;  (** largest per-FF error mass entering the cycle *)
+}
+
+type result = {
+  site : int;
+  cycles : cycle_report list;
+  cumulative_detection : float;
+      (** P(error observed at a PO within the simulated horizon) *)
+  residual_mass : float;  (** error mass still latched when iteration stopped *)
+  single_cycle_p_sensitized : float;
+      (** the paper's quantity, for comparison: PO or FF capture in cycle 0 *)
+}
+
+let check_config config =
+  if config.max_cycles < 1 then invalid_arg "Multi_cycle.analyze: max_cycles must be >= 1";
+  if config.epsilon <= 0.0 then invalid_arg "Multi_cycle.analyze: epsilon must be positive";
+  Seu_model.Latching.check config.latching
+
+let analyze ?(config = default_config) engine site =
+  check_config config;
+  (* per-FF steady-state probabilities come from the engine's SP result *)
+  let sp = Epp_engine.signal_probabilities engine in
+  let w = Seu_model.Latching.p_latched_ff config.latching in
+  let po_capture = Seu_model.Latching.p_latched_po config.latching in
+  let ff_sp ff = sp.Sigprob.Sp.values.(ff) in
+  (* One propagation wave: error vectors at a set of sources -> per-PO
+     detection probability and per-FF freshly captured vectors.  [capture]
+     is the FF capture probability of this wave: the latching window for
+     the transient (cycle 0), certainty for stable latched errors. *)
+  let propagate ~capture sources =
+    let miss_detect = ref 1.0 in
+    let captured : (int, float * float) Hashtbl.t = Hashtbl.create 8 in
+    (* ff -> accumulated (pa, pā) under independence of sources *)
+    List.iter
+      (fun (source, initial) ->
+        let vectors = Epp_engine.analyze_site_vectors engine ~initial source in
+        List.iter
+          (fun (obs, v) ->
+            match obs with
+            | Circuit.Po _ ->
+              miss_detect := !miss_detect *. (1.0 -. (Prob4.p_error v *. po_capture))
+            | Circuit.Ff_data ff ->
+              let prev_a, prev_b =
+                Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt captured ff)
+              in
+              (* independent-union per polarity *)
+              let a = 1.0 -. ((1.0 -. prev_a) *. (1.0 -. (capture *. v.Prob4.pa))) in
+              let b = 1.0 -. ((1.0 -. prev_b) *. (1.0 -. (capture *. v.Prob4.pa_bar))) in
+              Hashtbl.replace captured ff (a, b))
+          vectors)
+      sources;
+    let next_sources =
+      Hashtbl.fold
+        (fun ff (pa, pa_bar) acc ->
+          let err = pa +. pa_bar in
+          if err < config.epsilon then acc
+          else begin
+            (* cap the polarity masses so the vector stays stochastic *)
+            let scale = if err > 1.0 then 1.0 /. err else 1.0 in
+            let pa = pa *. scale and pa_bar = pa_bar *. scale in
+            let rest = 1.0 -. pa -. pa_bar in
+            let v =
+              Prob4.normalize
+                { Prob4.pa; pa_bar; p1 = rest *. ff_sp ff; p0 = rest *. (1.0 -. ff_sp ff) }
+            in
+            (ff, v) :: acc
+          end)
+        captured []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    (1.0 -. !miss_detect, next_sources)
+  in
+  (* Cycle 0 from the actual site. *)
+  let single_cycle = Epp_engine.analyze_site engine site in
+  let detection_0, sources_1 = propagate ~capture:w [ (site, Prob4.error_site) ] in
+  let mass sources =
+    List.fold_left (fun acc (_, v) -> Float.max acc (Prob4.p_error v)) 0.0 sources
+  in
+  let rec cycles k sources miss acc =
+    if sources = [] || k > config.max_cycles then (List.rev acc, miss, mass sources)
+    else begin
+      let detection, next = propagate ~capture:1.0 sources in
+      let report =
+        { cycle = k; detection; infected_ffs = List.length sources;
+          circulating_mass = mass sources }
+      in
+      cycles (k + 1) next (miss *. (1.0 -. detection)) (report :: acc)
+    end
+  in
+  let report_0 =
+    { cycle = 0; detection = detection_0; infected_ffs = 0; circulating_mass = 1.0 }
+  in
+  let later, miss, residual =
+    cycles 1 sources_1 (1.0 -. detection_0) [ report_0 ]
+  in
+  {
+    site;
+    cycles = later;
+    cumulative_detection = 1.0 -. miss;
+    residual_mass = residual;
+    single_cycle_p_sensitized = single_cycle.Epp_engine.p_sensitized;
+  }
+
+let pp_result circuit ppf r =
+  Fmt.pf ppf "@[<v>site %s: cumulative PO detection %.4f (single-cycle P_sens %.4f, residual %.2g)@,%a@]"
+    (Circuit.node_name circuit r.site)
+    r.cumulative_detection r.single_cycle_p_sensitized r.residual_mass
+    Fmt.(
+      list ~sep:cut (fun ppf c ->
+          pf ppf "  cycle %d: detect %.4f (%d infected FFs, mass %.4f)" c.cycle c.detection
+            c.infected_ffs c.circulating_mass))
+    r.cycles

@@ -1,0 +1,53 @@
+(* Multicore site analysis (OCaml 5 domains).
+
+   An engine is immutable once created — analyze_site only reads the shared
+   topological order and signal probabilities and allocates its own
+   per-call scratch — so the per-site loop is embarrassingly parallel.
+   Sites are split into contiguous chunks, one domain each; results come
+   back in the input order.
+
+   This is a wall-clock optimization only: SysT in the Table-2 sense is
+   single-threaded by definition (and the paper's machine was), so the
+   experiment driver does not use this module. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let chunk_evenly items chunks =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let base = n / chunks and extra = n mod chunks in
+  let rec build i offset acc =
+    if i = chunks then List.rev acc
+    else begin
+      let size = base + (if i < extra then 1 else 0) in
+      build (i + 1) (offset + size) (Array.sub arr offset size :: acc)
+    end
+  in
+  build 0 0 []
+
+let analyze_sites ?domains engine sites =
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Parallel.analyze_sites: domains must be >= 1";
+      d
+    | None -> default_domains ()
+  in
+  match sites with
+  | [] -> []
+  | _ :: _ when domains = 1 || List.length sites < 2 * domains ->
+    Epp_engine.analyze_sites engine sites
+  | _ :: _ ->
+    let chunks = chunk_evenly sites domains in
+    let workers =
+      List.map
+        (fun chunk ->
+          Domain.spawn (fun () ->
+              Array.map (Epp_engine.analyze_site engine) chunk))
+        chunks
+    in
+    List.concat_map (fun d -> Array.to_list (Domain.join d)) workers
+
+let analyze_all ?domains engine =
+  let n = Netlist.Circuit.node_count (Epp_engine.circuit engine) in
+  analyze_sites ?domains engine (List.init n Fun.id)

@@ -1,0 +1,14 @@
+(** Multicore per-site analysis: the engine is immutable, so sites fan out
+    across OCaml 5 domains (contiguous chunks, results in input order).
+    Wall-clock only — the Table-2 SysT metric stays single-threaded. *)
+
+val default_domains : unit -> int
+(** [recommended_domain_count - 1], at least 1. *)
+
+val analyze_sites :
+  ?domains:int -> Epp_engine.t -> int list -> Epp_engine.site_result list
+(** Same results as {!Epp_engine.analyze_sites}, in the same order.  Falls
+    back to the sequential path for tiny batches.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val analyze_all : ?domains:int -> Epp_engine.t -> Epp_engine.site_result list

@@ -1,0 +1,82 @@
+(* The paper's four-state probability vector for an on-path signal.
+
+   For a signal U downstream of the error site, the paper (Sec. 2) tracks
+
+     Pa(U)  — the erroneous value reached U with an even number of inversions
+     Pā(U)  — ... with an odd number of inversions
+     P1(U)  — the error was blocked and U is 1
+     P0(U)  — the error was blocked and U is 0
+
+   with Pa + Pā + P1 + P0 = 1.  An off-path signal is the degenerate case
+   Pa = Pā = 0, P1 = SP, P0 = 1 - SP.  Tracking the two error polarities
+   separately is the paper's key idea: it is what makes reconvergent fanout
+   come out right (two branches carrying a and ā cancel in an XOR, reinforce
+   in an AND, etc.). *)
+
+type t = { pa : float; pa_bar : float; p1 : float; p0 : float }
+
+let tolerance = 1e-9
+
+exception Invalid of { vector : t; reason : string }
+
+let pp ppf v =
+  Fmt.pf ppf "%.4f(a) + %.4f(a\xCC\x84) + %.4f(1) + %.4f(0)" v.pa v.pa_bar v.p1 v.p0
+
+let sum v = v.pa +. v.pa_bar +. v.p1 +. v.p0
+
+let in_unit x = x >= -.tolerance && x <= 1.0 +. tolerance
+
+let validate v =
+  let fail reason = raise (Invalid { vector = v; reason }) in
+  if not (in_unit v.pa) then fail "Pa outside [0,1]";
+  if not (in_unit v.pa_bar) then fail "Pa-bar outside [0,1]";
+  if not (in_unit v.p1) then fail "P1 outside [0,1]";
+  if not (in_unit v.p0) then fail "P0 outside [0,1]";
+  if Float.abs (sum v -. 1.0) > 1e-6 then fail "components do not sum to 1"
+
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+(* Normalize away accumulated floating-point drift; every rule output goes
+   through here so downstream products stay well-conditioned. *)
+let normalize v =
+  let v =
+    { pa = clamp01 v.pa; pa_bar = clamp01 v.pa_bar; p1 = clamp01 v.p1; p0 = clamp01 v.p0 }
+  in
+  let s = sum v in
+  if s <= 0.0 then raise (Invalid { vector = v; reason = "zero mass" })
+  else if Float.abs (s -. 1.0) > 1e-6 then
+    raise (Invalid { vector = v; reason = "components do not sum to 1" })
+  else { pa = v.pa /. s; pa_bar = v.pa_bar /. s; p1 = v.p1 /. s; p0 = v.p0 /. s }
+
+let make ~pa ~pa_bar ~p1 ~p0 =
+  let v = { pa; pa_bar; p1; p0 } in
+  validate v;
+  normalize v
+
+(* The error site itself: the erroneous value is present with certainty and
+   zero inversions — P(site) = 1(a). *)
+let error_site = { pa = 1.0; pa_bar = 0.0; p1 = 0.0; p0 = 0.0 }
+
+(* An off-path signal with signal probability [sp]: the error cannot be
+   present, so all mass sits on the blocked states. *)
+let of_sp sp =
+  if not (sp >= 0.0 && sp <= 1.0) then
+    raise (Invalid { vector = { pa = 0.0; pa_bar = 0.0; p1 = sp; p0 = 1.0 -. sp };
+                     reason = "signal probability outside [0,1]" });
+  { pa = 0.0; pa_bar = 0.0; p1 = sp; p0 = 1.0 -. sp }
+
+(* Propagation probability of the signal: the chance it carries the error in
+   either polarity.  Summing the polarities at an output is exactly the
+   paper's Pa(POj) + Pā(POj). *)
+let p_error v = v.pa +. v.pa_bar
+
+let is_off_path v = v.pa = 0.0 && v.pa_bar = 0.0
+
+(* The NOT rule of Table 1: polarities swap, blocked values invert. *)
+let invert v = { pa = v.pa_bar; pa_bar = v.pa; p1 = v.p0; p0 = v.p1 }
+
+let equal_approx ?(eps = 1e-9) a b =
+  Float.abs (a.pa -. b.pa) <= eps
+  && Float.abs (a.pa_bar -. b.pa_bar) <= eps
+  && Float.abs (a.p1 -. b.p1) <= eps
+  && Float.abs (a.p0 -. b.p0) <= eps

@@ -1,0 +1,45 @@
+(** The paper's four-state probability vector for an on-path signal:
+    [Pa] (error present, even inversions), [Pā] (error present, odd
+    inversions), [P1]/[P0] (error blocked, signal at 1/0), summing to 1.
+    Polarity tracking is the core idea that makes reconvergent fanout
+    compose correctly. *)
+
+type t = { pa : float; pa_bar : float; p1 : float; p0 : float }
+
+exception Invalid of { vector : t; reason : string }
+
+val make : pa:float -> pa_bar:float -> p1:float -> p0:float -> t
+(** Validated, normalized construction.  @raise Invalid if a component is
+    outside [0,1] or the sum is not 1 (within 1e-6). *)
+
+val validate : t -> unit
+(** @raise Invalid. *)
+
+val normalize : t -> t
+(** Clamp rounding dust and rescale to sum exactly 1.  @raise Invalid if the
+    drift exceeds 1e-6 (a rule bug, not rounding). *)
+
+val error_site : t
+(** [P = 1(a)]: the vector at the struck node itself. *)
+
+val of_sp : float -> t
+(** Off-path signal with the given signal probability: [P1 = sp],
+    [P0 = 1 - sp], no error mass.  @raise Invalid if [sp] is outside
+    [0, 1]. *)
+
+val p_error : t -> float
+(** [Pa + Pā] — the probability the signal carries the error in either
+    polarity (the paper's per-output propagation probability). *)
+
+val is_off_path : t -> bool
+(** No error mass at all. *)
+
+val invert : t -> t
+(** The NOT rule of the paper's Table 1: swap polarities, swap blocked
+    values. *)
+
+val sum : t -> float
+val equal_approx : ?eps:float -> t -> t -> bool
+val pp : t Fmt.t
+(** Prints in the paper's notation: [0.042(a) + 0.392(ā) + 0.168(0) +
+    0.398(1)] ordering aside. *)

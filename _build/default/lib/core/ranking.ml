@@ -1,0 +1,67 @@
+(* Vulnerability ranking and selective-hardening selection.
+
+   The paper's stated application (Sec. 4): "This technique can be used to
+   identify the most vulnerable components to be protected by soft error
+   hardening techniques."  Hardening a node is modeled as eliminating its
+   contribution (e.g. by gate upsizing or local triplication); the selection
+   problem — fewest nodes to reach a target SER reduction — is then a
+   take-largest-first greedy, which is optimal for additive contributions. *)
+
+type entry = { rank : int; report : Ser_estimator.node_report }
+
+let ranked (report : Ser_estimator.report) =
+  let nodes = Array.copy report.Ser_estimator.nodes in
+  (* Sort by FIT contribution, descending; ties broken by node id so the
+     ranking is deterministic. *)
+  Array.sort
+    (fun (a : Ser_estimator.node_report) b ->
+      match compare b.Ser_estimator.fit a.Ser_estimator.fit with
+      | 0 -> compare a.Ser_estimator.node b.Ser_estimator.node
+      | c -> c)
+    nodes;
+  Array.to_list nodes |> List.mapi (fun i n -> { rank = i + 1; report = n })
+
+let top_k report k =
+  if k < 0 then invalid_arg "Ranking.top_k: negative k";
+  let all = ranked report in
+  List.filteri (fun i _ -> i < k) all
+
+(* Fewest nodes whose removal cuts total SER by [fraction]. *)
+type hardening_plan = {
+  target_fraction : float;
+  selected : entry list;
+  covered_fit : float;
+  covered_fraction : float;  (** achieved reduction; >= target unless capped *)
+  residual_fit : float;
+}
+
+let hardening_plan report ~target_fraction =
+  if not (target_fraction >= 0.0 && target_fraction <= 1.0) then
+    invalid_arg "Ranking.hardening_plan: target_fraction outside [0,1]";
+  let total = report.Ser_estimator.total_fit in
+  let goal = target_fraction *. total in
+  let rec take acc covered = function
+    | [] -> List.rev acc, covered
+    | e :: rest ->
+      if covered >= goal -. 1e-12 then List.rev acc, covered
+      else take (e :: acc) (covered +. e.report.Ser_estimator.fit) rest
+  in
+  let selected, covered_fit = take [] 0.0 (ranked report) in
+  {
+    target_fraction;
+    selected;
+    covered_fit;
+    covered_fraction = (if total > 0.0 then covered_fit /. total else 1.0);
+    residual_fit = Float.max 0.0 (total -. covered_fit);
+  }
+
+let pp_entry ppf e =
+  Fmt.pf ppf "#%d %s: %.4f FIT (P_sens %.4f, cone %d)" e.rank
+    e.report.Ser_estimator.name e.report.Ser_estimator.fit
+    e.report.Ser_estimator.p_sensitized e.report.Ser_estimator.cone_size
+
+let pp_plan ppf p =
+  Fmt.pf ppf "@[<v>harden %d node(s) for %.1f%% SER reduction (achieved %.1f%%):@,%a@]"
+    (List.length p.selected) (100.0 *. p.target_fraction) (100.0 *. p.covered_fraction)
+    Fmt.(list ~sep:cut pp_entry)
+    p.selected

@@ -1,0 +1,147 @@
+(* EPP propagation rules — the paper's Table 1, extended.
+
+   Table 1 gives AND, OR and NOT.  We add the remaining kinds:
+   NAND/NOR/XNOR compose the corresponding base rule with the NOT rule;
+   BUF is the identity; XOR is derived from first principles below.
+
+   AND (n inputs X1..Xn, assumed independent):
+     P1(out) = prod P1(Xi)
+     Pa(out) = prod [P1(Xi) + Pa(Xi)] - P1(out)
+     Pā(out) = prod [P1(Xi) + Pā(Xi)] - P1(out)
+     P0(out) = 1 - (P1 + Pa + Pā)
+
+   The Pa product reads: the output is erroneous-with-value-a iff every input
+   is either at 1 (non-controlling) or itself carries a, minus the case where
+   all are at plain 1.  Note how an input carrying ā contributes nothing to
+   the Pa(out) product: a AND ā is 0 whatever the value of a — exactly the
+   reconvergence cancellation the polarity split exists to capture.
+
+   XOR (2 inputs, then folded associatively):
+     output = x ⊕ y, so enumerate the 4x4 joint states:
+       a ⊕ 0 = a,  a ⊕ 1 = ā,  a ⊕ a = 0,  a ⊕ ā = 1
+     P1  = P1x·P0y + P0x·P1y + Pax·Pāy + Pāx·Pay
+     P0  = P0x·P0y + P1x·P1y + Pax·Pay + Pāx·Pāy
+     Pa  = Pax·P0y + Pāx·P1y + P0x·Pay + P1x·Pāy
+     Pā  = Pāx·P0y + Pax·P1y + P0x·Pāy + P1x·Pay
+   (All 16 joint terms appear exactly once, so the result sums to 1.) *)
+
+open Netlist
+
+let product f (inputs : Prob4.t array) =
+  let acc = ref 1.0 in
+  Array.iter (fun v -> acc := !acc *. f v) inputs;
+  !acc
+
+let and_rule inputs =
+  let p1 = product (fun v -> v.Prob4.p1) inputs in
+  let pa = product (fun v -> v.Prob4.p1 +. v.Prob4.pa) inputs -. p1 in
+  let pa_bar = product (fun v -> v.Prob4.p1 +. v.Prob4.pa_bar) inputs -. p1 in
+  let p0 = 1.0 -. (p1 +. pa +. pa_bar) in
+  Prob4.normalize { pa; pa_bar; p1; p0 }
+
+let or_rule inputs =
+  let p0 = product (fun v -> v.Prob4.p0) inputs in
+  let pa = product (fun v -> v.Prob4.p0 +. v.Prob4.pa) inputs -. p0 in
+  let pa_bar = product (fun v -> v.Prob4.p0 +. v.Prob4.pa_bar) inputs -. p0 in
+  let p1 = 1.0 -. (p0 +. pa +. pa_bar) in
+  Prob4.normalize { pa; pa_bar; p1; p0 }
+
+let xor2 (x : Prob4.t) (y : Prob4.t) =
+  let open Prob4 in
+  let p1 = (x.p1 *. y.p0) +. (x.p0 *. y.p1) +. (x.pa *. y.pa_bar) +. (x.pa_bar *. y.pa) in
+  let p0 = (x.p0 *. y.p0) +. (x.p1 *. y.p1) +. (x.pa *. y.pa) +. (x.pa_bar *. y.pa_bar) in
+  let pa = (x.pa *. y.p0) +. (x.pa_bar *. y.p1) +. (x.p0 *. y.pa) +. (x.p1 *. y.pa_bar) in
+  let pa_bar = (x.pa_bar *. y.p0) +. (x.pa *. y.p1) +. (x.p0 *. y.pa_bar) +. (x.p1 *. y.pa) in
+  Prob4.normalize { pa; pa_bar; p1; p0 }
+
+let xor_rule inputs =
+  match Array.length inputs with
+  | 0 -> invalid_arg "Rules.xor_rule: no inputs"
+  | _ ->
+    let acc = ref inputs.(0) in
+    for i = 1 to Array.length inputs - 1 do
+      acc := xor2 !acc inputs.(i)
+    done;
+    !acc
+
+let propagate kind (inputs : Prob4.t array) =
+  Gate.check_arity kind (Array.length inputs);
+  match kind with
+  | Gate.And -> and_rule inputs
+  | Gate.Nand -> Prob4.invert (and_rule inputs)
+  | Gate.Or -> or_rule inputs
+  | Gate.Nor -> Prob4.invert (or_rule inputs)
+  | Gate.Xor -> xor_rule inputs
+  | Gate.Xnor -> Prob4.invert (xor_rule inputs)
+  | Gate.Not -> Prob4.invert inputs.(0)
+  | Gate.Buf -> inputs.(0)
+  | Gate.Const0 -> Prob4.of_sp 0.0
+  | Gate.Const1 -> Prob4.of_sp 1.0
+
+(* --- polarity-blind ablation --------------------------------------------
+
+   The naive three-state propagation collapses Pa and Pā into a single
+   "erroneous" mass Pe.  Without polarity, a reconvergent gate cannot tell
+   a-meets-a from a-meets-ā, so it must assume any error in yields an error
+   out — a systematic overestimate that the ablation bench quantifies.  This
+   is what "EPP without the paper's key idea" looks like. *)
+
+module Naive = struct
+  type t = { pe : float; p1 : float; p0 : float }
+
+  let normalize v =
+    let c = Sigprob.Sp_rules.clamp in
+    let v = { pe = c v.pe; p1 = c v.p1; p0 = c v.p0 } in
+    let s = v.pe +. v.p1 +. v.p0 in
+    if Float.abs (s -. 1.0) > 1e-6 then
+      invalid_arg "Rules.Naive.normalize: components do not sum to 1"
+    else { pe = v.pe /. s; p1 = v.p1 /. s; p0 = v.p0 /. s }
+
+  let error_site = { pe = 1.0; p1 = 0.0; p0 = 0.0 }
+
+  let of_sp sp = { pe = 0.0; p1 = sp; p0 = 1.0 -. sp }
+
+  let invert v = { v with p1 = v.p0; p0 = v.p1 }
+
+  let product f (inputs : t array) =
+    let acc = ref 1.0 in
+    Array.iter (fun v -> acc := !acc *. f v) inputs;
+    !acc
+
+  let and_rule inputs =
+    let p1 = product (fun v -> v.p1) inputs in
+    let pe = product (fun v -> v.p1 +. v.pe) inputs -. p1 in
+    normalize { pe; p1; p0 = 1.0 -. p1 -. pe }
+
+  let or_rule inputs =
+    let p0 = product (fun v -> v.p0) inputs in
+    let pe = product (fun v -> v.p0 +. v.pe) inputs -. p0 in
+    normalize { pe; p0; p1 = 1.0 -. p0 -. pe }
+
+  let xor2 x y =
+    let p1 = (x.p1 *. y.p0) +. (x.p0 *. y.p1) in
+    let p0 = (x.p0 *. y.p0) +. (x.p1 *. y.p1) in
+    (* any error involvement counts as an error: the polarity-blind choice *)
+    normalize { pe = 1.0 -. p1 -. p0; p1; p0 }
+
+  let xor_rule inputs =
+    let acc = ref inputs.(0) in
+    for i = 1 to Array.length inputs - 1 do
+      acc := xor2 !acc inputs.(i)
+    done;
+    !acc
+
+  let propagate kind (inputs : t array) =
+    Gate.check_arity kind (Array.length inputs);
+    match kind with
+    | Gate.And -> and_rule inputs
+    | Gate.Nand -> invert (and_rule inputs)
+    | Gate.Or -> or_rule inputs
+    | Gate.Nor -> invert (or_rule inputs)
+    | Gate.Xor -> xor_rule inputs
+    | Gate.Xnor -> invert (xor_rule inputs)
+    | Gate.Not -> invert inputs.(0)
+    | Gate.Buf -> inputs.(0)
+    | Gate.Const0 -> of_sp 0.0
+    | Gate.Const1 -> of_sp 1.0
+end

@@ -1,0 +1,25 @@
+(** EPP propagation rules: the paper's Table 1 (AND/OR/NOT), extended to
+    NAND/NOR/BUF/XOR/XNOR and constants.  The XOR rule is derived by
+    enumerating the 4×4 joint polarity states (see the implementation
+    header); all rules assume independent inputs, exactly as the paper. *)
+
+val propagate : Netlist.Gate.kind -> Prob4.t array -> Prob4.t
+(** Output vector of a gate from its input vectors.
+    @raise Netlist.Gate.Arity_error on an arity violation.
+    @raise Prob4.Invalid if a rule produces an inconsistent vector (a bug,
+    surfaced loudly). *)
+
+val and_rule : Prob4.t array -> Prob4.t
+val or_rule : Prob4.t array -> Prob4.t
+val xor2 : Prob4.t -> Prob4.t -> Prob4.t
+
+(** Polarity-blind three-state ablation: [Pa] and [Pā] collapsed into one
+    error mass, forcing reconvergent gates to assume error-in implies
+    error-out.  Exists to measure what the paper's polarity tracking buys. *)
+module Naive : sig
+  type t = { pe : float; p1 : float; p0 : float }
+
+  val error_site : t
+  val of_sp : float -> t
+  val propagate : Netlist.Gate.kind -> t array -> t
+end

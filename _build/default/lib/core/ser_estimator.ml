@@ -1,0 +1,138 @@
+(* Full-circuit soft error rate estimation — the paper's composition
+
+     SER(n) = R_SEU(n) × P_latched(n) × P_sensitized(n)
+
+   with the EPP engine supplying P_sensitized analytically.
+
+   Two latching conventions are provided:
+   - [Per_node] is the paper's literal form: one P_latched factor per node,
+     multiplying the node's overall P_sensitized (we use the flip-flop
+     window probability, the dominant capture mechanism);
+   - [Per_observation] refines it: the error is latched if it is captured at
+     at least one reached observation point, each with its own window
+     probability — P_latched_effective(n) =
+     1 - prod_j (1 - p_prop_j × p_latch(obs_j)).  This distinguishes PO
+     capture from FF capture and is the default. *)
+
+open Netlist
+
+type latch_convention = Per_node | Per_observation
+
+type node_report = {
+  node : int;
+  name : string;
+  r_seu : float;  (** raw upsets per second *)
+  p_sensitized : float;
+  p_latched_effective : float;
+  failure_rate : float;  (** failures per second *)
+  fit : float;
+  cone_size : int;
+}
+
+type report = {
+  circuit : Circuit.t;
+  technology : Seu_model.Technology.t;
+  latching : Seu_model.Latching.t;
+  electrical : Seu_model.Electrical.t option;
+  convention : latch_convention;
+  nodes : node_report array;
+  total_failure_rate : float;
+  total_fit : float;
+}
+
+(* Per-observation capture probability, optionally derated by electrical
+   masking over the site->observation depth.  Depth is the true minimum
+   number of gate traversals (BFS distance from the site), computed lazily
+   once per site — the optimistic bound for pulse survival. *)
+let capture_probability ~latching ~electrical ~site_distances circuit ~site obs =
+  match electrical with
+  | None -> Seu_model.Latching.p_latched latching obs
+  | Some el ->
+    let distances =
+      match !site_distances with
+      | Some d -> d
+      | None ->
+        let d = Bfs.distances (Circuit.graph circuit) site in
+        site_distances := Some d;
+        d
+    in
+    let depth =
+      let d = distances.(Circuit.observation_net circuit obs) in
+      if d = Bfs.unreachable then 0 (* never queried: unreachable obs are not in per_observation *)
+      else d
+    in
+    Seu_model.Electrical.p_latched el latching ~levels:depth obs
+
+let effective_latch ~latching ~electrical ~convention circuit
+    (r : Epp_engine.site_result) =
+  match convention with
+  | Per_node ->
+    ignore circuit;
+    Seu_model.Latching.p_latched_ff latching *. r.Epp_engine.p_sensitized
+  | Per_observation ->
+    let site_distances = ref None in
+    let miss =
+      List.fold_left
+        (fun acc (obs, p_prop) ->
+          let capture =
+            capture_probability ~latching ~electrical ~site_distances circuit
+              ~site:r.Epp_engine.site obs
+          in
+          acc *. (1.0 -. (p_prop *. capture)))
+        1.0 r.Epp_engine.per_observation
+    in
+    1.0 -. miss
+
+let estimate ?(technology = Seu_model.Technology.default)
+    ?(latching = Seu_model.Latching.default) ?electrical ?(convention = Per_observation)
+    ?mode ?sp circuit =
+  Seu_model.Latching.check latching;
+  Option.iter Seu_model.Electrical.check electrical;
+  let engine = Epp_engine.create ?mode ?sp circuit in
+  let results = Epp_engine.analyze_all engine in
+  let nodes =
+    results
+    |> List.map (fun (r : Epp_engine.site_result) ->
+           let r_seu = Seu_model.Technology.r_seu_node technology circuit r.site in
+           (* The product P_latched × P_sensitized, folded per convention. *)
+           let sens_and_latch =
+             effective_latch ~latching ~electrical ~convention circuit r
+           in
+           let p_latched_effective =
+             if r.Epp_engine.p_sensitized > 0.0 then
+               sens_and_latch /. r.Epp_engine.p_sensitized
+             else 0.0
+           in
+           let failure_rate = r_seu *. sens_and_latch in
+           {
+             node = r.site;
+             name = Circuit.node_name circuit r.site;
+             r_seu;
+             p_sensitized = r.Epp_engine.p_sensitized;
+             p_latched_effective = Sigprob.Sp_rules.clamp p_latched_effective;
+             failure_rate;
+             fit = Seu_model.Fit.of_rate_per_second failure_rate;
+             cone_size = r.Epp_engine.cone_size;
+           })
+    |> Array.of_list
+  in
+  let total_failure_rate = Array.fold_left (fun acc n -> acc +. n.failure_rate) 0.0 nodes in
+  {
+    circuit;
+    technology;
+    latching;
+    electrical;
+    convention;
+    nodes;
+    total_failure_rate;
+    total_fit = Seu_model.Fit.of_rate_per_second total_failure_rate;
+  }
+
+let node_report report v =
+  if v < 0 || v >= Array.length report.nodes then
+    invalid_arg "Ser_estimator.node_report: bad node";
+  report.nodes.(v)
+
+let pp_summary ppf r =
+  Fmt.pf ppf "@[<v>%s: total SER %.4f FIT over %d nodes (tech %s)@]"
+    (Circuit.name r.circuit) r.total_fit (Array.length r.nodes) r.technology.Seu_model.Technology.name

@@ -1,0 +1,56 @@
+(** Full-circuit SER estimation: the paper's
+    [SER(n) = R_SEU(n) × P_latched(n) × P_sensitized(n)] with the analytical
+    EPP engine supplying [P_sensitized]. *)
+
+type latch_convention =
+  | Per_node
+      (** the paper's literal three-factor form, one FF-window latching
+          probability per node *)
+  | Per_observation
+      (** refined: latched at ≥1 reached observation point, each with its own
+          window probability (distinguishes PO from FF capture); default *)
+
+type node_report = {
+  node : int;
+  name : string;
+  r_seu : float;  (** raw upsets/second at the node *)
+  p_sensitized : float;
+  p_latched_effective : float;
+      (** the latching factor actually applied, averaged over outputs *)
+  failure_rate : float;  (** failures/second contributed by this node *)
+  fit : float;
+  cone_size : int;
+}
+
+type report = {
+  circuit : Netlist.Circuit.t;
+  technology : Seu_model.Technology.t;
+  latching : Seu_model.Latching.t;
+  electrical : Seu_model.Electrical.t option;
+  convention : latch_convention;
+  nodes : node_report array;  (** indexed by node id *)
+  total_failure_rate : float;
+  total_fit : float;
+}
+
+val estimate :
+  ?technology:Seu_model.Technology.t ->
+  ?latching:Seu_model.Latching.t ->
+  ?electrical:Seu_model.Electrical.t ->
+  ?convention:latch_convention ->
+  ?mode:Epp_engine.mode ->
+  ?sp:Sigprob.Sp.result ->
+  Netlist.Circuit.t ->
+  report
+(** Analyze every node as an error site and compose the three factors.
+    [electrical] adds pulse-attenuation derating per observation point
+    (depth = BFS gate-traversal distance from the site, the optimistic
+    bound for pulse survival); it only affects the [Per_observation]
+    convention.
+    @raise Invalid_argument on inconsistent parameters (bad latching or
+    electrical model, foreign [sp]). *)
+
+val node_report : report -> int -> node_report
+(** @raise Invalid_argument on a bad node id. *)
+
+val pp_summary : report Fmt.t

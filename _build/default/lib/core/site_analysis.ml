@@ -1,0 +1,68 @@
+(* Structural analysis of one error site — step 1 of the paper's algorithm.
+
+   Maps the paper's vocabulary onto the netlist:
+   - an *on-path signal* is a net on a path from the error site to a
+     reachable output: exactly the site's forward cone;
+   - an *on-path gate* is a gate with at least one on-path input;
+   - an *off-path signal* is an input of an on-path gate that is not itself
+     on-path (it contributes only its signal probability).
+
+   The forward DFS and the classification are pure structure; the EPP
+   traversal (Epp_engine) consumes this. *)
+
+open Netlist
+
+type t = {
+  site : int;
+  on_path : bool array;  (** on-path signals: the forward cone, site included *)
+  on_path_gates : int list;  (** topological order, site excluded *)
+  off_path : int list;  (** off-path signals, each listed once *)
+  reached : Circuit.observation list;  (** observation points inside the cone *)
+}
+
+let analyze ?order circuit site =
+  let n = Circuit.node_count circuit in
+  if site < 0 || site >= n then invalid_arg "Site_analysis.analyze: bad site";
+  let graph = Circuit.graph circuit in
+  let on_path = Reach.forward graph site in
+  let order =
+    match order with
+    | Some o -> o
+    | None -> Circuit.topological_order circuit
+  in
+  let on_path_gates =
+    Array.to_list order
+    |> List.filter (fun v -> on_path.(v) && v <> site && Circuit.is_gate circuit v)
+  in
+  let off_path_seen = Array.make n false in
+  let off_path = ref [] in
+  List.iter
+    (fun g ->
+      Array.iter
+        (fun u ->
+          if (not on_path.(u)) && not off_path_seen.(u) then begin
+            off_path_seen.(u) <- true;
+            off_path := u :: !off_path
+          end)
+        (Circuit.fanins circuit g))
+    on_path_gates;
+  let reached =
+    List.filter
+      (fun obs -> on_path.(Circuit.observation_net circuit obs))
+      (Circuit.observations circuit)
+  in
+  { site; on_path; on_path_gates; off_path = List.rev !off_path; reached }
+
+let on_path_signal_count t = Reach.count t.on_path
+
+let reaches_any_output t = t.reached <> []
+
+let pp circuit ppf t =
+  let name v = Circuit.node_name circuit v in
+  Fmt.pf ppf "@[<v>site %s: %d on-path signals, %d on-path gates, %d off-path signals@,\
+              reaches: %a@]"
+    (name t.site) (on_path_signal_count t)
+    (List.length t.on_path_gates)
+    (List.length t.off_path)
+    Fmt.(list ~sep:comma string)
+    (List.map (Circuit.observation_name circuit) t.reached)

@@ -1,0 +1,23 @@
+(** Structural analysis of one error site — step 1 (path construction) and
+    step 2 (ordering) of the paper's per-site algorithm, in the paper's own
+    vocabulary: on-path signals, on-path gates, off-path signals, reachable
+    outputs. *)
+
+type t = {
+  site : int;
+  on_path : bool array;  (** the site's forward cone (site included) *)
+  on_path_gates : int list;
+      (** gates with at least one on-path input, in topological order *)
+  off_path : int list;
+      (** inputs of on-path gates that are not themselves on-path *)
+  reached : Netlist.Circuit.observation list;
+      (** observation points whose net lies in the cone *)
+}
+
+val analyze : ?order:int array -> Netlist.Circuit.t -> int -> t
+(** [order] lets callers share one precomputed topological order across many
+    sites (the engine does).  @raise Invalid_argument on a bad site. *)
+
+val on_path_signal_count : t -> int
+val reaches_any_output : t -> bool
+val pp : Netlist.Circuit.t -> t Fmt.t

@@ -1,0 +1,21 @@
+(** Compact test sets for vulnerable sites: greedy vector selection seeded
+    by BDD propagation witnesses, with every coverage claim verified by
+    fault simulation.  The bridge from SER estimation to a fault-injection
+    or beam-test campaign. *)
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  vectors : bool array list;
+      (** pseudo-input assignments, {!Netlist.Circuit.pseudo_inputs} order *)
+  coverage : (int * int list) list;
+      (** per vector index: the sites it retired (each site appears once) *)
+  untestable : int list;  (** sites with exact [P_sensitized = 0] *)
+}
+
+val generate : ?sites:int list -> ?node_limit:int -> Netlist.Circuit.t -> t
+(** Cover all [sites] (default: every node).
+    @raise Invalid_argument on a bad site.  @raise Circuit_bdd.Too_large. *)
+
+val vector_count : t -> int
+val covered_count : t -> int
+val pp : t Fmt.t

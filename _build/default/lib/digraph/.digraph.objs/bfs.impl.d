@@ -1,0 +1,1 @@
+lib/digraph/bfs.ml: Array Digraph List Queue

@@ -1,0 +1,1 @@
+lib/digraph/bfs.mli: Digraph

@@ -1,0 +1,1 @@
+lib/digraph/reach.ml: Array Digraph List Stack

@@ -1,0 +1,1 @@
+lib/digraph/reach.mli: Digraph

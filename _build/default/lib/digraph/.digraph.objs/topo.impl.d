@@ -1,0 +1,1 @@
+lib/digraph/topo.ml: Array Digraph List Queue

@@ -1,0 +1,1 @@
+lib/digraph/topo.mli: Digraph

@@ -1,0 +1,49 @@
+(* Breadth-first shortest paths (unit edge weights).
+
+   Used by the electrical-masking refinement: the pulse attenuation depth
+   from an error site to an observation point is the minimum number of gate
+   traversals, i.e. the BFS distance in the combinational graph. *)
+
+let unreachable = -1
+
+let distances g source =
+  let n = Digraph.vertex_count g in
+  if source < 0 || source >= n then raise (Digraph.Invalid_vertex source);
+  let dist = Array.make n unreachable in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = unreachable then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Digraph.succ g u)
+  done;
+  dist
+
+let distance g ~source ~target =
+  let dist = distances g source in
+  if target < 0 || target >= Digraph.vertex_count g then raise (Digraph.Invalid_vertex target);
+  if dist.(target) = unreachable then None else Some dist.(target)
+
+(* One shortest path as a vertex list (source first), or None. *)
+let shortest_path g ~source ~target =
+  let dist = distances g source in
+  if target < 0 || target >= Digraph.vertex_count g then raise (Digraph.Invalid_vertex target);
+  if dist.(target) = unreachable then None
+  else begin
+    (* Walk backwards along strictly decreasing distances. *)
+    let rec back v acc =
+      if v = source then v :: acc
+      else
+        let prev =
+          List.find (fun u -> dist.(u) = dist.(v) - 1) (Digraph.pred g v)
+        in
+        back prev (v :: acc)
+    in
+    Some (back target [])
+  end

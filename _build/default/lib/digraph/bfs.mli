@@ -1,0 +1,15 @@
+(** Breadth-first shortest paths (unit weights) — the gate-traversal depth
+    metric of the electrical-masking refinement. *)
+
+val unreachable : int
+(** -1, the marker in {!distances}. *)
+
+val distances : Digraph.t -> Digraph.vertex -> int array
+(** BFS distance from the source to every vertex ([unreachable] where there
+    is no path).  @raise Digraph.Invalid_vertex. *)
+
+val distance : Digraph.t -> source:Digraph.vertex -> target:Digraph.vertex -> int option
+
+val shortest_path :
+  Digraph.t -> source:Digraph.vertex -> target:Digraph.vertex -> Digraph.vertex list option
+(** One shortest path, source first. *)

@@ -1,0 +1,63 @@
+(* Reachability and cone extraction by iterative depth-first search.
+
+   Step 1 of the paper's per-site algorithm: "Extract all on-path signals (and
+   gates) from n_i to every reachable primary output PO_j and/or flip-flop
+   FF_k using the forward Depth-First Search (DFS) algorithm."
+
+   All searches are iterative (explicit stack) so that circuits with tens of
+   thousands of gates do not overflow the OCaml stack. *)
+
+let forward_set g roots =
+  let n = Digraph.vertex_count g in
+  let visited = Array.make n false in
+  let stack = Stack.create () in
+  List.iter
+    (fun r ->
+      if r < 0 || r >= n then raise (Digraph.Invalid_vertex r);
+      if not visited.(r) then begin
+        visited.(r) <- true;
+        Stack.push r stack
+      end)
+    roots;
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    List.iter
+      (fun v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          Stack.push v stack
+        end)
+      (Digraph.succ g u)
+  done;
+  visited
+
+let backward_set g roots = forward_set (Digraph.reverse g) roots
+
+let forward g root = forward_set g [ root ]
+
+let members visited =
+  let acc = ref [] in
+  for v = Array.length visited - 1 downto 0 do
+    if visited.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let reachable g ~source ~target = (forward g source).(target)
+
+let count visited = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 visited
+
+(* The output cone of [site]: all vertices reachable from it, together with
+   the subset of designated sinks it reaches.  This is exactly the "on-path
+   signal" set of the paper once restricted to a netlist. *)
+type cone = {
+  site : Digraph.vertex;
+  in_cone : bool array;
+  reached_sinks : Digraph.vertex list;
+}
+
+let output_cone g ~sinks site =
+  let in_cone = forward g site in
+  let reached_sinks = List.filter (fun s -> in_cone.(s)) sinks in
+  { site; in_cone; reached_sinks }
+
+let cone_size c = count c.in_cone

@@ -1,0 +1,80 @@
+(* Tarjan's strongly-connected components, iterative.
+
+   Used for diagnostics only: when a netlist fails validation because of a
+   combinational cycle, the SCCs name the offending feedback loops precisely
+   instead of merely reporting "cyclic". *)
+
+let compute g =
+  let n = Digraph.vertex_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp_of = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let comp_count = ref 0 in
+  (* Iterative Tarjan: frames of (vertex, remaining successors). *)
+  let visit root =
+    let frames = Stack.create () in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    Stack.push root stack;
+    on_stack.(root) <- true;
+    Stack.push (root, Digraph.succ g root) frames;
+    while not (Stack.is_empty frames) do
+      let v, rest = Stack.pop frames in
+      match rest with
+      | w :: rest' ->
+        Stack.push (v, rest') frames;
+        if index.(w) = -1 then begin
+          index.(w) <- !next_index;
+          lowlink.(w) <- !next_index;
+          incr next_index;
+          Stack.push w stack;
+          on_stack.(w) <- true;
+          Stack.push (w, Digraph.succ g w) frames
+        end
+        else if on_stack.(w) && index.(w) < lowlink.(v) then lowlink.(v) <- index.(w)
+      | [] ->
+        if lowlink.(v) = index.(v) then begin
+          let comp = ref [] in
+          let continue = ref true in
+          while !continue do
+            let w = Stack.pop stack in
+            on_stack.(w) <- false;
+            comp_of.(w) <- !comp_count;
+            comp := w :: !comp;
+            if w = v then continue := false
+          done;
+          components := !comp :: !components;
+          incr comp_count
+        end;
+        (* Propagate lowlink to the parent frame, if any. *)
+        if not (Stack.is_empty frames) then begin
+          let p, _ = Stack.top frames in
+          if lowlink.(v) < lowlink.(p) then lowlink.(p) <- lowlink.(v)
+        end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (List.rev !components, comp_of)
+
+let components g = fst (compute g)
+
+let component_of g =
+  let _, comp_of = compute g in
+  comp_of
+
+let nontrivial g =
+  let comps = components g in
+  List.filter
+    (fun comp ->
+      match comp with
+      | [] -> false
+      | [ v ] -> Digraph.mem_edge g v v
+      | _ :: _ :: _ -> true)
+    comps

@@ -1,0 +1,91 @@
+(* Topological ordering and levelization (Kahn's algorithm).
+
+   The EPP engine of the paper depends on processing on-path gates "in a
+   topological order, from the error site to reachable outputs" (step 3 of the
+   algorithm in Sec. 2); levelization is also what makes the bit-parallel
+   logic simulator a single linear pass. *)
+
+exception Cycle of Digraph.vertex list
+
+let in_degrees g =
+  let n = Digraph.vertex_count g in
+  let deg = Array.make n 0 in
+  Digraph.iter_edges (fun _ v -> deg.(v) <- deg.(v) + 1) g;
+  deg
+
+(* Kahn's algorithm with a FIFO worklist: among ready vertices, lower indices
+   first, so the order is deterministic and stable across runs. *)
+let sort g =
+  let n = Digraph.vertex_count g in
+  let deg = in_degrees g in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if deg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    incr emitted;
+    List.iter
+      (fun v ->
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 0 then Queue.add v queue)
+      (Digraph.succ g u)
+  done;
+  if !emitted <> n then begin
+    let leftover = ref [] in
+    for v = n - 1 downto 0 do
+      if deg.(v) > 0 then leftover := v :: !leftover
+    done;
+    raise (Cycle !leftover)
+  end;
+  List.rev !order
+
+let sort_array g = Array.of_list (sort g)
+
+let is_acyclic g =
+  match sort g with
+  | _ -> true
+  | exception Cycle _ -> false
+
+(* level v = 0 for sources, otherwise 1 + max level of predecessors. *)
+let levels g =
+  let n = Digraph.vertex_count g in
+  let level = Array.make n 0 in
+  let order = sort g in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v -> if level.(u) + 1 > level.(v) then level.(v) <- level.(u) + 1)
+        (Digraph.succ g u))
+    order;
+  level
+
+let max_level g =
+  let lv = levels g in
+  Array.fold_left max 0 lv
+
+let by_level g =
+  let lv = levels g in
+  let depth = Array.fold_left max 0 lv in
+  let buckets = Array.make (depth + 1) [] in
+  for v = Digraph.vertex_count g - 1 downto 0 do
+    buckets.(lv.(v)) <- v :: buckets.(lv.(v))
+  done;
+  buckets
+
+let is_topological_order g order =
+  let n = Digraph.vertex_count g in
+  if List.length order <> n then false
+  else begin
+    let position = Array.make n (-1) in
+    List.iteri (fun i v -> if v >= 0 && v < n then position.(v) <- i) order;
+    if Array.exists (fun p -> p < 0) position then false
+    else begin
+      let ok = ref true in
+      Digraph.iter_edges (fun u v -> if position.(u) >= position.(v) then ok := false) g;
+      !ok
+    end
+  end

@@ -1,0 +1,34 @@
+(** Topological sorting and levelization.
+
+    Step 2 of the paper's per-site algorithm ("Ordering: Levelize signals on
+    these paths using the topological sorting algorithm") and the backbone of
+    the levelized logic simulator. *)
+
+exception Cycle of Digraph.vertex list
+(** Raised by {!sort} when the graph has a directed cycle; carries the
+    vertices still inside cyclic strongly-connected parts. *)
+
+val sort : Digraph.t -> Digraph.vertex list
+(** Kahn topological sort; deterministic (among ready vertices, lower indices
+    first).  @raise Cycle if the graph is cyclic. *)
+
+val sort_array : Digraph.t -> Digraph.vertex array
+(** Same as {!sort} as an array. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val levels : Digraph.t -> int array
+(** [levels g].(v) is 0 for sources and [1 + max] over predecessors otherwise
+    (the classic ASAP levelization of a netlist).  @raise Cycle. *)
+
+val max_level : Digraph.t -> int
+(** Depth of the graph: largest level.  @raise Cycle. *)
+
+val by_level : Digraph.t -> Digraph.vertex list array
+(** Vertices bucketed by level, each bucket in increasing vertex order.
+    @raise Cycle. *)
+
+val is_topological_order : Digraph.t -> Digraph.vertex list -> bool
+(** [is_topological_order g order] checks that [order] is a permutation of the
+    vertices in which every edge goes forward.  Used by the test suite as the
+    specification of {!sort}. *)

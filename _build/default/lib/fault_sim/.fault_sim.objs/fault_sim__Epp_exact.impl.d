@@ -1,0 +1,1 @@
+lib/fault_sim/epp_exact.ml: Array Circuit Gate List Logic_sim Netlist Reach Sigprob

@@ -1,0 +1,1 @@
+lib/fault_sim/epp_sim.ml: Array Circuit Fun Gate Int64 List Logic_sim Netlist Reach Rng

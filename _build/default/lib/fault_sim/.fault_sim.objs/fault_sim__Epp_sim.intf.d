@@ -1,0 +1,1 @@
+lib/fault_sim/epp_sim.mli: Netlist Rng

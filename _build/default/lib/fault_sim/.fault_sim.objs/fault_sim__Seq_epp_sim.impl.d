@@ -1,0 +1,1 @@
+lib/fault_sim/seq_epp_sim.ml: Array Circuit Hashtbl Int64 List Logic_sim Netlist Reach Rng

@@ -1,0 +1,1 @@
+lib/fault_sim/seq_epp_sim.mli: Netlist Rng

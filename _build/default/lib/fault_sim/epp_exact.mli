@@ -1,0 +1,20 @@
+(** Exact error propagation probability by weighted exhaustive enumeration —
+    the ground truth the analytical EPP engine is validated against.
+    Exponential in the pseudo-input count. *)
+
+exception Too_many_inputs of { inputs : int; limit : int }
+
+val default_limit : int
+(** 20 pseudo-inputs. *)
+
+type site_exact = {
+  site : int;
+  p_sensitized : float;
+  per_observation : (Netlist.Circuit.observation * float) list;
+}
+
+val compute :
+  ?input_sp:(int -> float) -> ?limit:int -> Netlist.Circuit.t -> int -> site_exact
+(** [compute circuit site] under independent inputs with the given
+    1-probabilities (default uniform 0.5).
+    @raise Too_many_inputs | Invalid_argument. *)

@@ -1,0 +1,46 @@
+(** Random-vector fault-injection estimation of [P_sensitized] — the
+    bit-parallel reimplementation of the paper's baseline ("random
+    simulation" in Table 2).
+
+    For each batch of 64 random vectors the fault-free machine is simulated
+    once; the faulty machine re-evaluates only the error site's forward cone
+    with the site forced to its complement. *)
+
+type site_estimate = {
+  site : int;
+  vectors : int;
+  p_sensitized : float;
+      (** fraction of vectors on which any observation point differed *)
+  per_observation : (Netlist.Circuit.observation * float) list;
+      (** per-point hit fractions, comparable to the EPP engine's
+          [Pa + Pā] at that output *)
+}
+
+type config = { vectors : int; input_sp : int -> float }
+
+val default_config : config
+(** 10,000 vectors, uniform inputs. *)
+
+type t
+(** Per-circuit context (compiled simulator, observation points), shared
+    across sites. *)
+
+val create : ?config:config -> Netlist.Circuit.t -> t
+(** @raise Invalid_argument if [config.vectors <= 0]. *)
+
+val circuit : t -> Netlist.Circuit.t
+
+val estimate_site : t -> rng:Rng.t -> int -> site_estimate
+(** @raise Invalid_argument on an out-of-range site. *)
+
+val estimate_site_scalar : t -> rng:Rng.t -> int -> site_estimate
+(** Scalar reference baseline: one vector at a time, full-circuit faulty
+    re-simulation — the 2005-era methodology the paper's SimT column timed.
+    Statistically identical to {!estimate_site}, roughly 100-200x slower;
+    used by the Table-2 harness so the speedup comparison is faithful to
+    the paper's baseline.  @raise Invalid_argument on a bad site. *)
+
+val estimate_sites : t -> rng:Rng.t -> int list -> site_estimate list
+
+val estimate_all : t -> rng:Rng.t -> site_estimate list
+(** Every node of the circuit as an error site. *)

@@ -1,0 +1,25 @@
+(** Multi-cycle fault-injection simulation: two lock-stepped machines (64
+    lanes per word), an SEU injected in cycle 0, primary outputs compared
+    for [horizon] cycles.  No independence assumptions — the Monte-Carlo
+    ground truth for {!Epp.Multi_cycle}. *)
+
+type result = {
+  site : int;
+  lanes : int;
+  per_cycle_detection : float array;
+      (** index k: fraction of injections first visible at a PO in cycle k *)
+  cumulative_detection : float;
+  residual : float;
+      (** fraction whose state still differs, undetected, at the horizon *)
+}
+
+val estimate :
+  ?warmup:int ->
+  ?horizon:int ->
+  ?lanes:int ->
+  rng:Rng.t ->
+  Netlist.Circuit.t ->
+  int ->
+  result
+(** Defaults: 8 warm-up cycles, horizon 32, 6400 injections.
+    @raise Invalid_argument on negative parameters or a bad site. *)

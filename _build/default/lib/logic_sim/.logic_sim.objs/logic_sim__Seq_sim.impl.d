@@ -1,0 +1,1 @@
+lib/logic_sim/seq_sim.ml: Array Circuit List Netlist Rng Sim

@@ -1,0 +1,1 @@
+lib/logic_sim/seq_sim.mli: Netlist Rng Sim

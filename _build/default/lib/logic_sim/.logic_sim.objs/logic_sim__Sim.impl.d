@@ -1,0 +1,1 @@
+lib/logic_sim/sim.ml: Array Circuit Gate Int64 List Netlist Rng

@@ -1,0 +1,1 @@
+lib/logic_sim/sim.mli: Netlist Rng

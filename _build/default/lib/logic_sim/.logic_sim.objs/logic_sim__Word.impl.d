@@ -1,0 +1,1 @@
+lib/logic_sim/word.ml: Fmt Int64 List

@@ -1,0 +1,1 @@
+lib/logic_sim/word.mli: Fmt

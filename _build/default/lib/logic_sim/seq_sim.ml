@@ -1,0 +1,51 @@
+(* Multi-cycle simulation of sequential circuits in the 64-pattern word
+   domain: each bit lane is an independent machine with its own flip-flop
+   state.  Used by the sequential signal-probability engine's Monte-Carlo
+   cross-check and by the tests of the FF-cutting convention. *)
+
+open Netlist
+
+type t = {
+  cs : Sim.compiled;
+  state : int64 array; (* node_count entries; meaningful at FF nodes *)
+}
+
+let create ?(init = fun _ -> 0L) cs =
+  let c = Sim.circuit cs in
+  let state = Array.make (Circuit.node_count c) 0L in
+  List.iter (fun ff -> state.(ff) <- init ff) (Circuit.ffs c);
+  { cs; state }
+
+let circuit t = Sim.circuit t.cs
+
+let ff_state t ff =
+  if not (Circuit.is_ff (circuit t) ff) then invalid_arg "Seq_sim.ff_state: not a flip-flop";
+  t.state.(ff)
+
+(* One clock cycle: evaluate the combinational core with the current FF
+   state and the given primary-input words, then latch every FF's data net
+   into its state.  Returns the full node-value array of the cycle. *)
+let cycle t ~pi =
+  let c = circuit t in
+  let values =
+    Sim.eval_words t.cs ~assign:(fun v ->
+        match Circuit.node c v with
+        | Circuit.Input -> pi v
+        | Circuit.Ff _ -> t.state.(v)
+        | Circuit.Gate _ -> assert false)
+  in
+  List.iter
+    (fun ff ->
+      match Circuit.node c ff with
+      | Circuit.Ff { data } -> t.state.(ff) <- values.(data)
+      | Circuit.Input | Circuit.Gate _ -> assert false)
+    (Circuit.ffs c);
+  values
+
+let run_random t ~rng ~cycles =
+  if cycles < 0 then invalid_arg "Seq_sim.run_random: negative cycle count";
+  let last = ref None in
+  for _ = 1 to cycles do
+    last := Some (cycle t ~pi:(fun _ -> Rng.word rng))
+  done;
+  !last

@@ -1,0 +1,24 @@
+(** Multi-cycle sequential simulation (64 independent machines per word).
+
+    Used to cross-check the sequential signal-probability fixpoint and the
+    flip-flop cutting convention of the EPP engine. *)
+
+type t
+
+val create : ?init:(int -> int64) -> Sim.compiled -> t
+(** Fresh simulator; flip-flop [ff] starts at [init ff] (default all-zero). *)
+
+val circuit : t -> Netlist.Circuit.t
+
+val ff_state : t -> int -> int64
+(** Current state word of a flip-flop node.  @raise Invalid_argument if the
+    node is not a flip-flop. *)
+
+val cycle : t -> pi:(int -> int64) -> int64 array
+(** One clock edge: evaluate the combinational core from the current state
+    and the primary-input words [pi], latch all FF data nets, return the full
+    node-value array. *)
+
+val run_random : t -> rng:Rng.t -> cycles:int -> int64 array option
+(** Clock [cycles] times with uniform random primary inputs; returns the last
+    cycle's values ([None] if [cycles = 0]). *)

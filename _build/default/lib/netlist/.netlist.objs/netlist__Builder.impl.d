@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array Circuit Fmt Gate Hashtbl List Printf Scc String

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Digraph Fmt Gate Hashtbl List Topo

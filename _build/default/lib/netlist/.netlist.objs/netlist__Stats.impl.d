@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Circuit Digraph Fmt Gate Hashtbl List Option Printf Reach String

@@ -1,0 +1,1 @@
+lib/netlist/transform.ml: Array Builder Circuit Gate Hashtbl List Reach

@@ -1,0 +1,137 @@
+(* Gate kinds and their semantics.
+
+   The same [kind] type drives every engine in the project: the scalar and
+   bit-parallel simulators, the signal-probability rules and the EPP
+   propagation rules of the paper's Table 1 (extended to the full set below).
+   Keeping the boolean semantics here, in one place, is what lets the test
+   suite check every analytical rule against brute-force enumeration. *)
+
+type kind =
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Not
+  | Buf
+  | Const0
+  | Const1
+
+let all = [ And; Nand; Or; Nor; Xor; Xnor; Not; Buf; Const0; Const1 ]
+
+let to_string = function
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Not -> "NOT"
+  | Buf -> "BUF"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "NOT" | "INV" | "INVERT" -> Some Not
+  | "BUF" | "BUFF" | "BUFFER" -> Some Buf
+  | "CONST0" | "GND" | "ZERO" -> Some Const0
+  | "CONST1" | "VDD" | "ONE" -> Some Const1
+  | _ -> None
+
+let pp = Fmt.of_to_string to_string
+
+exception Arity_error of { kind : kind; got : int }
+
+(* ISCAS'89 netlists occasionally use 1-input AND/OR as buffers, so n-ary
+   gates accept any arity >= 1. *)
+let arity_ok kind n =
+  match kind with
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 1
+  | Not | Buf -> n = 1
+  | Const0 | Const1 -> n = 0
+
+let check_arity kind n = if not (arity_ok kind n) then raise (Arity_error { kind; got = n })
+
+let eval kind inputs =
+  let n = Array.length inputs in
+  check_arity kind n;
+  let conj () =
+    let acc = ref true in
+    Array.iter (fun b -> acc := !acc && b) inputs;
+    !acc
+  in
+  let disj () =
+    let acc = ref false in
+    Array.iter (fun b -> acc := !acc || b) inputs;
+    !acc
+  in
+  let parity () =
+    let acc = ref false in
+    Array.iter (fun b -> acc := !acc <> b) inputs;
+    !acc
+  in
+  match kind with
+  | And -> conj ()
+  | Nand -> not (conj ())
+  | Or -> disj ()
+  | Nor -> not (disj ())
+  | Xor -> parity ()
+  | Xnor -> not (parity ())
+  | Not -> not inputs.(0)
+  | Buf -> inputs.(0)
+  | Const0 -> false
+  | Const1 -> true
+
+(* 64 patterns at a time: each bit position of the words is an independent
+   input vector.  This is the workhorse of the random-simulation baseline. *)
+let eval_word kind inputs =
+  let n = Array.length inputs in
+  check_arity kind n;
+  let fold f init =
+    let acc = ref init in
+    Array.iter (fun w -> acc := f !acc w) inputs;
+    !acc
+  in
+  match kind with
+  | And -> fold Int64.logand Int64.minus_one
+  | Nand -> Int64.lognot (fold Int64.logand Int64.minus_one)
+  | Or -> fold Int64.logor 0L
+  | Nor -> Int64.lognot (fold Int64.logor 0L)
+  | Xor -> fold Int64.logxor 0L
+  | Xnor -> Int64.lognot (fold Int64.logxor 0L)
+  | Not -> Int64.lognot inputs.(0)
+  | Buf -> inputs.(0)
+  | Const0 -> 0L
+  | Const1 -> Int64.minus_one
+
+(* The controlling value of a gate: the input value that forces the output
+   regardless of the other inputs (AND/NAND: 0, OR/NOR: 1).  XOR-family and
+   unary gates have none. *)
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Xor | Xnor | Not | Buf | Const0 | Const1 -> None
+
+(* Whether a single input change inverts the output when it propagates:
+   true for the "inverting" gates.  For XOR-family gates the propagation
+   polarity depends on the other inputs, so this is only meaningful for the
+   non-XOR kinds; the EPP rules handle XOR exactly. *)
+let inverting = function
+  | Nand | Nor | Not | Xnor -> true
+  | And | Or | Xor | Buf | Const0 | Const1 -> false
+
+let is_constant = function
+  | Const0 | Const1 -> true
+  | And | Nand | Or | Nor | Xor | Xnor | Not | Buf -> false
+
+let is_unary = function
+  | Not | Buf -> true
+  | And | Nand | Or | Nor | Xor | Xnor | Const0 | Const1 -> false

@@ -1,0 +1,55 @@
+(** Gate kinds and their boolean semantics.
+
+    One shared vocabulary for the parser, the simulators, the signal
+    probability engines and the EPP rules.  Keeping [eval] here lets the test
+    suite validate every analytical rule against brute-force enumeration of
+    this single reference semantics. *)
+
+type kind =
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Not
+  | Buf
+  | Const0
+  | Const1
+
+val all : kind list
+(** Every kind, for exhaustive property tests. *)
+
+val to_string : kind -> string
+
+val of_string : string -> kind option
+(** Case-insensitive; accepts the ISCAS aliases ([INV], [INVERT], [BUFF],
+    [GND], [VDD], ...). *)
+
+val pp : kind Fmt.t
+
+exception Arity_error of { kind : kind; got : int }
+
+val arity_ok : kind -> int -> bool
+(** N-ary gates accept arity >= 1 (ISCAS'89 uses 1-input AND/OR as buffers);
+    [Not]/[Buf] require exactly 1; constants require 0. *)
+
+val check_arity : kind -> int -> unit
+(** @raise Arity_error if {!arity_ok} is false. *)
+
+val eval : kind -> bool array -> bool
+(** Reference single-vector semantics.  @raise Arity_error. *)
+
+val eval_word : kind -> int64 array -> int64
+(** Bitwise semantics over 64 parallel patterns.  Bit [i] of the result is
+    [eval] applied to bit [i] of every input.  @raise Arity_error. *)
+
+val controlling_value : kind -> bool option
+(** The input value that forces the output on its own (AND/NAND: 0,
+    OR/NOR: 1); [None] for XOR-family, unary and constant gates. *)
+
+val inverting : kind -> bool
+(** True for NAND/NOR/NOT/XNOR: a propagating input change flips polarity. *)
+
+val is_constant : kind -> bool
+val is_unary : kind -> bool

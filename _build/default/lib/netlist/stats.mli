@@ -1,0 +1,30 @@
+(** Structural statistics of a netlist (sizes, depth, fanout profile,
+    reconvergence), printed by [bench_info] and alongside experiment rows. *)
+
+type t = {
+  name : string;
+  node_count : int;
+  input_count : int;
+  output_count : int;
+  ff_count : int;
+  gate_count : int;
+  gate_kind_counts : (Gate.kind * int) list;
+  depth : int;
+  max_fanin : int;
+  max_fanout : int;
+  average_fanout : float;
+  reconvergent_site_count : int;
+      (** -1 when not computed (it is quadratic); see [with_reconvergence] *)
+}
+
+val compute : ?with_reconvergence:bool -> Circuit.t -> t
+(** [with_reconvergence] (default false) additionally counts the fanout sites
+    whose branches reconverge — the situation the paper's polarity-tracked
+    EPP rules exist for.  Quadratic; only use on small circuits. *)
+
+val is_reconvergent_site : Circuit.t -> int -> bool
+(** Whether two distinct fanout branches of this node meet again downstream. *)
+
+val reconvergent_site_count : Circuit.t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,269 @@
+(* Netlist rewriting passes.
+
+   Three classic cleanups plus the hardening transform the paper's
+   conclusion motivates:
+
+   - [propagate_constants]: fold CONST0/CONST1 through the logic
+     (controlling values annihilate, non-controlling values drop out,
+     XOR inputs at 1 toggle the gate's polarity);
+   - [merge_duplicates]: structural hashing — gates with the same kind and
+     the same (sorted, for commutative kinds) fanins collapse to one;
+   - [sweep_unobservable]: delete logic outside the fan-in cones of every
+     observation point;
+   - [triplicate]: triple modular redundancy on selected gates with a
+     2-of-3 majority voter, the standard soft-error hardening realization.
+
+   All passes rebuild through Builder (so every invariant is re-validated)
+   and preserve the names of surviving signals, which is how callers track
+   nodes across a rewrite. *)
+
+(* The resolved value of a node during constant folding. *)
+type folded =
+  | Const of bool
+  | Alias of int (* same value as this (already resolved) node *)
+  | Keep of Gate.kind * int array
+
+let resolve_alias resolution v =
+  let rec go v =
+    match resolution.(v) with
+    | Alias u -> go u
+    | Const _ | Keep _ -> v
+  in
+  go v
+
+(* Fold one gate given the folded values of its fanins.  Fanins are node
+   ids already run through [resolve_alias]. *)
+let fold_gate resolution kind fanins =
+  let const_of u =
+    match resolution.(u) with
+    | Const b -> Some b
+    | Alias _ | Keep _ -> None
+  in
+  let live = ref [] in
+  let saw_controlling = ref false in
+  let parity = ref false in
+  let controlling =
+    match Gate.controlling_value kind with
+    | Some c -> c
+    | None -> false (* unused for XOR-family / unary below *)
+  in
+  (match kind with
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+    Array.iter
+      (fun u ->
+        match const_of u with
+        | Some b -> if b = controlling then saw_controlling := true
+        | None -> live := u :: !live)
+      fanins
+  | Gate.Xor | Gate.Xnor ->
+    Array.iter
+      (fun u ->
+        match const_of u with
+        | Some b -> if b then parity := not !parity
+        | None -> live := u :: !live)
+      fanins
+  | Gate.Not | Gate.Buf | Gate.Const0 | Gate.Const1 ->
+    Array.iter (fun u -> live := u :: !live) fanins);
+  let live = Array.of_list (List.rev !live) in
+  let inverted = Gate.inverting kind in
+  match kind with
+  | Gate.Const0 -> Const false
+  | Gate.Const1 -> Const true
+  | Gate.Buf -> (
+    match const_of live.(0) with
+    | Some b -> Const b
+    | None -> Alias live.(0))
+  | Gate.Not -> (
+    match const_of live.(0) with
+    | Some b -> Const (not b)
+    | None -> Keep (Gate.Not, live))
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+    if !saw_controlling then Const (controlling <> inverted)
+    else if Array.length live = 0 then
+      (* all inputs were non-controlling constants *)
+      Const (not controlling <> inverted)
+    else if Array.length live = 1 then
+      if inverted then Keep (Gate.Not, live) else Alias live.(0)
+    else Keep (kind, live)
+  | Gate.Xor | Gate.Xnor ->
+    let flip = !parity <> (kind = Gate.Xnor) in
+    if Array.length live = 0 then Const flip
+    else if Array.length live = 1 then
+      if flip then Keep (Gate.Not, live) else Alias live.(0)
+    else Keep ((if flip then Gate.Xnor else Gate.Xor), live)
+
+(* Rebuild a circuit from a resolution table.  Nodes resolving to constants
+   materialize as CONST gates only if something still references them. *)
+let rebuild circuit resolution =
+  let n = Circuit.node_count circuit in
+  let b = Builder.create ~name:(Circuit.name circuit) () in
+  let const_names = [| Circuit.name circuit ^ "#const0"; Circuit.name circuit ^ "#const1" |] in
+  let const_defined = [| false; false |] in
+  let name_of v = Circuit.node_name circuit v in
+  let reference v =
+    let v = resolve_alias resolution v in
+    match resolution.(v) with
+    | Const bool_v ->
+      let i = if bool_v then 1 else 0 in
+      if not const_defined.(i) then begin
+        const_defined.(i) <- true;
+        Builder.add_gate b ~output:const_names.(i)
+          ~kind:(if bool_v then Gate.Const1 else Gate.Const0)
+          []
+      end;
+      const_names.(i)
+    | Alias _ -> assert false
+    | Keep _ -> name_of v
+  in
+  (* Definitions in original node order keeps the result deterministic. *)
+  for v = 0 to n - 1 do
+    match Circuit.node circuit v with
+    | Circuit.Input -> Builder.add_input b (name_of v)
+    | Circuit.Ff { data } -> Builder.add_dff b ~q:(name_of v) ~d:(reference data)
+    | Circuit.Gate _ -> (
+      match resolution.(v) with
+      | Const _ | Alias _ -> () (* vanished *)
+      | Keep (kind, fanins) ->
+        Builder.add_gate b ~output:(name_of v) ~kind
+          (Array.to_list (Array.map reference fanins)))
+  done;
+  (* Two distinct primary outputs may resolve to the same surviving net
+     (e.g. structural hashing merged their drivers).  The PO interface must
+     keep its arity, so the collapsed output keeps its original name as a
+     buffer of the representative. *)
+  let declared_outputs = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let target = reference v in
+      if not (Hashtbl.mem declared_outputs target) then begin
+        Hashtbl.replace declared_outputs target ();
+        Builder.add_output b target
+      end
+      else begin
+        let buffer_name =
+          let original = name_of v in
+          if (not (Builder.is_defined b original)) && original <> target then original
+          else original ^ "#po"
+        in
+        Builder.add_gate b ~output:buffer_name ~kind:Gate.Buf [ target ];
+        Hashtbl.replace declared_outputs buffer_name ();
+        Builder.add_output b buffer_name
+      end)
+    (Circuit.outputs circuit);
+  Builder.freeze b
+
+let propagate_constants circuit =
+  let n = Circuit.node_count circuit in
+  let resolution = Array.make n (Const false) in
+  Array.iter
+    (fun v ->
+      match Circuit.node circuit v with
+      | Circuit.Input | Circuit.Ff _ -> resolution.(v) <- Keep (Gate.Buf, [||])
+      (* Pseudo-inputs are never folded; the Keep payload is unused for
+         them (rebuild handles them by node kind). *)
+      | Circuit.Gate { kind; fanins } ->
+        let resolved = Array.map (resolve_alias resolution) fanins in
+        resolution.(v) <- fold_gate resolution kind resolved)
+    (Circuit.topological_order circuit);
+  rebuild circuit resolution
+
+let merge_duplicates circuit =
+  let n = Circuit.node_count circuit in
+  let resolution = Array.make n (Const false) in
+  let table = Hashtbl.create (2 * n) in
+  let commutative = function
+    | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor -> true
+    | Gate.Not | Gate.Buf | Gate.Const0 | Gate.Const1 -> false
+  in
+  Array.iter
+    (fun v ->
+      match Circuit.node circuit v with
+      | Circuit.Input | Circuit.Ff _ -> resolution.(v) <- Keep (Gate.Buf, [||])
+      | Circuit.Gate { kind; fanins } ->
+        let resolved = Array.map (resolve_alias resolution) fanins in
+        let key_fanins = Array.copy resolved in
+        if commutative kind then Array.sort compare key_fanins;
+        let key = (kind, Array.to_list key_fanins) in
+        (match Hashtbl.find_opt table key with
+        | Some representative -> resolution.(v) <- Alias representative
+        | None ->
+          Hashtbl.replace table key v;
+          resolution.(v) <- Keep (kind, resolved)))
+    (Circuit.topological_order circuit);
+  rebuild circuit resolution
+
+let sweep_unobservable circuit =
+  let graph = Circuit.graph circuit in
+  let observed_nets =
+    List.map (Circuit.observation_net circuit) (Circuit.observations circuit)
+  in
+  let live = Reach.backward_set graph observed_nets in
+  let n = Circuit.node_count circuit in
+  let b = Builder.create ~name:(Circuit.name circuit) () in
+  for v = 0 to n - 1 do
+    match Circuit.node circuit v with
+    | Circuit.Input -> Builder.add_input b (Circuit.node_name circuit v)
+    | Circuit.Ff { data } ->
+      Builder.add_dff b ~q:(Circuit.node_name circuit v) ~d:(Circuit.node_name circuit data)
+    | Circuit.Gate { kind; fanins } ->
+      if live.(v) then
+        Builder.add_gate b ~output:(Circuit.node_name circuit v) ~kind
+          (Array.to_list (Array.map (Circuit.node_name circuit) fanins))
+  done;
+  List.iter
+    (fun v -> Builder.add_output b (Circuit.node_name circuit v))
+    (Circuit.outputs circuit);
+  Builder.freeze b
+
+let optimize circuit =
+  sweep_unobservable (merge_duplicates (propagate_constants circuit))
+
+(* --- triple modular redundancy ------------------------------------------------ *)
+
+exception Not_a_gate of string
+
+let majority_gates b ~base ~a0 ~a1 ~a2 =
+  (* MAJ3(a,b,c) = (a AND b) OR (b AND c) OR (a AND c) *)
+  let p01 = base ^ "#maj01" and p12 = base ^ "#maj12" and p02 = base ^ "#maj02" in
+  Builder.add_gate b ~output:p01 ~kind:Gate.And [ a0; a1 ];
+  Builder.add_gate b ~output:p12 ~kind:Gate.And [ a1; a2 ];
+  Builder.add_gate b ~output:p02 ~kind:Gate.And [ a0; a2 ];
+  let voter = base ^ "#vote" in
+  Builder.add_gate b ~output:voter ~kind:Gate.Or [ p01; p12; p02 ];
+  voter
+
+let triplicate circuit ~nodes =
+  let n = Circuit.node_count circuit in
+  let selected = Array.make n false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Transform.triplicate: bad node";
+      match Circuit.node circuit v with
+      | Circuit.Gate _ -> selected.(v) <- true
+      | Circuit.Input | Circuit.Ff _ ->
+        raise (Not_a_gate (Circuit.node_name circuit v)))
+    nodes;
+  let b = Builder.create ~name:(Circuit.name circuit) () in
+  (* A consumer of a triplicated node reads its voter output. *)
+  let reference v =
+    let name = Circuit.node_name circuit v in
+    if selected.(v) then name ^ "#vote" else name
+  in
+  for v = 0 to n - 1 do
+    let name = Circuit.node_name circuit v in
+    match Circuit.node circuit v with
+    | Circuit.Input -> Builder.add_input b name
+    | Circuit.Ff { data } -> Builder.add_dff b ~q:name ~d:(reference data)
+    | Circuit.Gate { kind; fanins } ->
+      let fanin_names = Array.to_list (Array.map reference fanins) in
+      Builder.add_gate b ~output:name ~kind fanin_names;
+      if selected.(v) then begin
+        (* Two replicas share the (possibly voted) fanins of the original. *)
+        let r1 = name ^ "#tmr1" and r2 = name ^ "#tmr2" in
+        Builder.add_gate b ~output:r1 ~kind fanin_names;
+        Builder.add_gate b ~output:r2 ~kind fanin_names;
+        ignore (majority_gates b ~base:name ~a0:name ~a1:r1 ~a2:r2)
+      end
+  done;
+  List.iter (fun v -> Builder.add_output b (reference v)) (Circuit.outputs circuit);
+  Builder.freeze b

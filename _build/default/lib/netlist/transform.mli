@@ -1,0 +1,36 @@
+(** Netlist rewriting: cleanup passes and the TMR hardening transform.
+
+    All passes rebuild through {!Builder} (re-validating every invariant)
+    and preserve the names of surviving signals, so callers can track nodes
+    across a rewrite by name.  Boolean behaviour at every observation point
+    is preserved by construction (tested by simulation equivalence). *)
+
+val propagate_constants : Circuit.t -> Circuit.t
+(** Fold CONST0/CONST1 through the logic: controlling constants annihilate
+    gates, non-controlling constants drop out, XOR-family inputs at 1
+    toggle polarity, and unary survivors collapse to aliases/NOTs. *)
+
+val merge_duplicates : Circuit.t -> Circuit.t
+(** Structural hashing: gates with equal kind and equal fanins (up to
+    permutation for commutative kinds) are merged.  Runs in topological
+    order, so merged fanins cascade. *)
+
+val sweep_unobservable : Circuit.t -> Circuit.t
+(** Delete gates outside every observation point's fan-in cone. *)
+
+val optimize : Circuit.t -> Circuit.t
+(** [sweep_unobservable (merge_duplicates (propagate_constants c))]. *)
+
+exception Not_a_gate of string
+(** Raised by {!triplicate} when asked to harden an input or flip-flop. *)
+
+val triplicate : Circuit.t -> nodes:int list -> Circuit.t
+(** Triple modular redundancy on the selected gates: each gets two replicas
+    (named [<n>#tmr1], [<n>#tmr2]) and a 2-of-3 majority voter
+    ([<n>#vote] = OR of the three pairwise ANDs); consumers are rewired to
+    the voter.  A single SEU on any replica is masked exactly — the BDD
+    oracle shows [P_sensitized = 0] for replicas, while the analytical EPP
+    engine (independence assumption) reports a small positive residual:
+    the voter's correlated side inputs are precisely what independence
+    misses.  @raise Invalid_argument on a bad node id.
+    @raise Not_a_gate when a non-gate is selected. *)

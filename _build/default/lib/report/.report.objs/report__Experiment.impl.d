@@ -1,0 +1,1 @@
+lib/report/experiment.ml: Array Circuit Circuit_gen Epp Fault_sim Fun List Netlist Rng Sigprob Table Timer

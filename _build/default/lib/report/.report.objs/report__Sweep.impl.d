@@ -1,0 +1,1 @@
+lib/report/sweep.ml: Epp Fmt List Printf Seu_model Table

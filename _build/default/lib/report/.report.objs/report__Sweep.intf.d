@@ -1,0 +1,1 @@
+lib/report/sweep.mli: Fmt Netlist Seu_model Sigprob

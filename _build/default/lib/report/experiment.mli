@@ -1,0 +1,71 @@
+(** The Table-2 experiment driver: per circuit, time the one-off signal
+    probability step (SPT), the per-site analytical EPP (SysT), and the
+    per-site random-simulation baseline (SimT); compute the %Dif agreement
+    and the two speedups
+
+    - ESP (excluding SP time) = SimT / SysT
+    - ISP (including SP time) = SimT / (SysT + SPT/gates)
+
+    matching the column semantics of the paper's published rows. *)
+
+type config = {
+  seed : int;
+  sim_vectors : int;
+  sp_mc_vectors : int;
+      (** Monte-Carlo SP refinement vectors (the paper's expensive external
+          SP step); 0 = analytical SP only *)
+  max_sim_sites : int;
+  max_epp_sites : int option;  (** [None] analyzes every node analytically *)
+  scalar_sim_sites : int;
+      (** sites timed with the scalar reference baseline for the SimT
+          column; 0 falls back to timing the bit-parallel baseline *)
+}
+
+val default_config : config
+
+type row = {
+  name : string;
+  nodes : int;
+  gates : int;
+  epp_sites : int;
+  sim_sites : int;
+  syst_ms : float;  (** average analytical time per site, ms *)
+  simt_s : float;  (** average scalar-baseline simulation time per site, s *)
+  simt_bp_s : float;  (** average bit-parallel baseline time per site, s *)
+  dif_percent : float;
+  spt_s : float;
+  isp : float;
+  esp : float;
+  total_fit : float;
+}
+
+type paper_row = {
+  p_name : string;
+  p_syst_ms : float;
+  p_simt_s : float;
+  p_dif : float;
+  p_spt_s : float;
+  p_isp : float;
+  p_esp : float;
+}
+
+val paper_table2 : paper_row list
+(** The paper's published Table 2, verbatim. *)
+
+val find_paper_row : string -> paper_row option
+
+val run : ?config:config -> Netlist.Circuit.t -> row
+
+val run_profile :
+  ?config:config ->
+  ?generator_config:Circuit_gen.Random_dag.config ->
+  ?seed:int ->
+  Circuit_gen.Profiles.t ->
+  row
+(** Generate the profile-matched synthetic circuit, then {!run}. *)
+
+val render_rows : row list -> string
+(** Table-2-shaped table (with an average row). *)
+
+val render_comparison : row list -> string
+(** Paper-vs-measured columns for %Dif, ESP, ISP. *)

@@ -1,0 +1,69 @@
+(* Parameter sweeps over the SER estimator.
+
+   The paper's introduction motivates EPP with the technology trend
+   (its reference [6], Shivakumar et al.): combinational SER grows with
+   scaling and with clock frequency, approaching the per-latch SER.  These
+   sweeps regenerate that qualitative picture on any circuit, fast enough
+   to run inside the bench harness because the analytical engine is the
+   evaluator. *)
+
+type point = {
+  label : string;
+  total_fit : float;
+  top_node : string;  (** most vulnerable node at this design point *)
+}
+
+let technology_sweep ?latching ?sp circuit =
+  List.map
+    (fun technology ->
+      let report = Epp.Ser_estimator.estimate ~technology ?latching ?sp circuit in
+      let top =
+        match Epp.Ranking.top_k report 1 with
+        | [ e ] -> e.Epp.Ranking.report.Epp.Ser_estimator.name
+        | _ -> "-"
+      in
+      {
+        label = technology.Seu_model.Technology.name;
+        total_fit = report.Epp.Ser_estimator.total_fit;
+        top_node = top;
+      })
+    Seu_model.Technology.presets
+
+let frequency_sweep ?technology ?sp ~frequencies_ghz circuit =
+  if frequencies_ghz = [] then invalid_arg "Sweep.frequency_sweep: no frequencies";
+  List.map
+    (fun ghz ->
+      if ghz <= 0.0 then invalid_arg "Sweep.frequency_sweep: non-positive frequency";
+      let latching =
+        { Seu_model.Latching.default with
+          Seu_model.Latching.clock_period = 1.0e-9 /. ghz }
+      in
+      let report = Epp.Ser_estimator.estimate ?technology ~latching ?sp circuit in
+      let top =
+        match Epp.Ranking.top_k report 1 with
+        | [ e ] -> e.Epp.Ranking.report.Epp.Ser_estimator.name
+        | _ -> "-"
+      in
+      {
+        label = Printf.sprintf "%.1f GHz" ghz;
+        total_fit = report.Epp.Ser_estimator.total_fit;
+        top_node = top;
+      })
+    frequencies_ghz
+
+let render ~title points =
+  let rows =
+    List.map
+      (fun p -> [ p.label; Printf.sprintf "%.5f" p.total_fit; p.top_node ])
+      points
+  in
+  title ^ "\n" ^ Table.render ~align:Table.[ Left; Right; Left ] ~header:[ "point"; "total FIT"; "top node" ] rows
+
+let monotonic points =
+  let rec check = function
+    | a :: (b :: _ as rest) -> a.total_fit <= b.total_fit +. 1e-15 && check rest
+    | [ _ ] | [] -> true
+  in
+  check points
+
+let pp ppf p = Fmt.pf ppf "%s: %.5f FIT (top %s)" p.label p.total_fit p.top_node

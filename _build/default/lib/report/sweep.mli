@@ -1,0 +1,32 @@
+(** Parameter sweeps over the analytical SER estimator: the technology and
+    clock-frequency trends that motivated the paper (its reference [6]). *)
+
+type point = {
+  label : string;
+  total_fit : float;
+  top_node : string;  (** most vulnerable node at this design point *)
+}
+
+val technology_sweep :
+  ?latching:Seu_model.Latching.t ->
+  ?sp:Sigprob.Sp.result ->
+  Netlist.Circuit.t ->
+  point list
+(** One point per {!Seu_model.Technology.presets} entry, oldest node
+    first. *)
+
+val frequency_sweep :
+  ?technology:Seu_model.Technology.t ->
+  ?sp:Sigprob.Sp.result ->
+  frequencies_ghz:float list ->
+  Netlist.Circuit.t ->
+  point list
+(** Scale the latching model's clock period.
+    @raise Invalid_argument on an empty list or non-positive frequency. *)
+
+val render : title:string -> point list -> string
+
+val monotonic : point list -> bool
+(** Whether total FIT is non-decreasing along the sweep (the trend claim). *)
+
+val pp : point Fmt.t

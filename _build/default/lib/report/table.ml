@@ -1,0 +1,58 @@
+(* Minimal ASCII table renderer for the experiment harness and the CLIs. *)
+
+type align = Left | Right
+
+exception Ragged_row of { expected : int; got : int }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with
+    | Left -> s ^ fill
+    | Right -> fill ^ s
+
+let render ?(align = []) ~header rows =
+  let columns = List.length header in
+  List.iter
+    (fun row ->
+      let got = List.length row in
+      if got <> columns then raise (Ragged_row { expected = columns; got }))
+    rows;
+  let aligns =
+    List.init columns (fun i ->
+        match List.nth_opt align i with
+        | Some a -> a
+        | None -> Left)
+  in
+  let widths = Array.make columns 0 in
+  let feed row = List.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)) row in
+  feed header;
+  List.iter feed rows;
+  let trim_trailing s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let line row =
+    row
+    |> List.mapi (fun i s -> pad (List.nth aligns i) widths.(i) s)
+    |> String.concat "  "
+    |> trim_trailing
+  in
+  let separator =
+    List.init columns (fun i -> String.make widths.(i) '-') |> String.concat "  "
+  in
+  String.concat "\n" (line header :: separator :: List.map line rows)
+
+let print ?align ~header rows = print_endline (render ?align ~header rows)
+
+(* Numeric formatting helpers shared by the harness output. *)
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f1 x = Printf.sprintf "%.1f" x
+let g3 x = Printf.sprintf "%.3g" x
+let int_str = string_of_int

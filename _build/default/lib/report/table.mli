@@ -1,0 +1,18 @@
+(** Minimal ASCII table renderer used by the experiment harness and CLIs. *)
+
+type align = Left | Right
+
+exception Ragged_row of { expected : int; got : int }
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** Column-aligned table with a dash separator under the header.  [align]
+    defaults to [Left] per column.  @raise Ragged_row if a row's width
+    differs from the header's. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+val f1 : float -> string
+val f2 : float -> string
+val f3 : float -> string
+val g3 : float -> string
+val int_str : int -> string

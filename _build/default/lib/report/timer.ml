@@ -1,0 +1,35 @@
+(* Wall-clock timing for the experiment harness.
+
+   Unix.gettimeofday is unavailable without the unix library in every
+   context; Sys.time measures processor time which is what the paper's
+   run-time columns report on a single-threaded tool.  We use a monotonic
+   source when available through Sys.time's CPU seconds — adequate because
+   every timed section here is pure computation. *)
+
+let now_seconds () = Sys.time ()
+
+let time f =
+  let t0 = now_seconds () in
+  let result = f () in
+  let t1 = now_seconds () in
+  (result, t1 -. t0)
+
+let time_ms f =
+  let result, s = time f in
+  (result, s *. 1000.0)
+
+(* Re-run short sections until a minimum total elapsed time so that
+   sub-millisecond measurements (the SysT of small circuits) have signal. *)
+let time_stable ?(min_seconds = 0.05) ?(max_runs = 1000) f =
+  let result, first = time f in
+  if first >= min_seconds then (result, first)
+  else begin
+    let runs = ref 1 in
+    let total = ref first in
+    while !total < min_seconds && !runs < max_runs do
+      let _, t = time f in
+      total := !total +. t;
+      incr runs
+    done;
+    (result, !total /. float_of_int !runs)
+  end

@@ -1,0 +1,13 @@
+(** CPU-time measurement for the experiment harness (the paper's run-time
+    columns are single-threaded tool times). *)
+
+val now_seconds : unit -> float
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed CPU seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+
+val time_stable : ?min_seconds:float -> ?max_runs:int -> (unit -> 'a) -> 'a * float
+(** Average over repeated runs until [min_seconds] of total time has
+    accumulated — stabilizes sub-millisecond sections. *)

@@ -1,0 +1,45 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    All randomness in the project — synthetic circuit generation, the
+    random-simulation baseline, Monte-Carlo signal probabilities — flows
+    through this module, so every experiment is reproducible from a seed
+    independently of the OCaml standard library. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val split : t -> t
+(** An independent child stream, seeded from the parent. *)
+
+val next_int64 : t -> int64
+(** The raw splitmix64 output: 64 uniform bits. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive.  @raise Invalid_argument if [lo > hi]. *)
+
+val word : t -> int64
+(** 64 independent fair coin flips (one per bit) — one word of the
+    bit-parallel simulators. *)
+
+val biased_word : t -> p:float -> int64
+(** 64 independent coin flips, each 1 with probability [p] (resolution
+    2{^-16}).  @raise Invalid_argument if [p] is outside [0, 1]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates. *)
+
+val sample_without_replacement : t -> count:int -> universe:int -> int array
+(** [count] distinct values drawn uniformly from [0, universe).  Used to pick
+    the error-site sample on large circuits, as the paper does ("a limited
+    number of gates of the circuits are simulated").
+    @raise Invalid_argument if [count > universe]. *)

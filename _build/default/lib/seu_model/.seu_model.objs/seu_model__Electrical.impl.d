@@ -1,0 +1,1 @@
+lib/seu_model/electrical.ml: Float Fmt Latching Netlist

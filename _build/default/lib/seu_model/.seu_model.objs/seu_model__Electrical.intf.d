@@ -1,0 +1,1 @@
+lib/seu_model/electrical.mli: Fmt Latching Netlist

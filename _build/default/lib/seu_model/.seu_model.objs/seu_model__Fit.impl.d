@@ -1,0 +1,1 @@
+lib/seu_model/fit.ml: Fmt

@@ -1,0 +1,1 @@
+lib/seu_model/latching.ml: Float Fmt Netlist

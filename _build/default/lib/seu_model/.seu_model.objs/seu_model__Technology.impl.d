@@ -1,0 +1,1 @@
+lib/seu_model/technology.ml: Array Circuit Fmt Gate List Netlist

@@ -1,0 +1,1 @@
+lib/seu_model/technology.mli: Fmt Netlist

@@ -1,0 +1,71 @@
+(* Electrical masking: pulse attenuation along the propagation path.
+
+   The third masking mechanism of Shivakumar et al. (DSN 2002 — the paper's
+   reference [6]), next to logical masking (the EPP engine) and
+   latching-window masking (Latching): each gate a transient traverses
+   attenuates it; pulses narrower than a threshold are filtered entirely
+   and can no longer be latched.
+
+   First-order linear model:
+
+     width(levels) = initial_pulse_width - attenuation_per_level * levels
+     filtered when width < minimum_width
+
+   The propagation depth between an error site and an observation point is
+   approximated by the difference of their topological levels — a lower
+   bound on the real path length, hence an optimistic (conservative for
+   hardening) derating. *)
+
+type t = {
+  initial_pulse_width : float;  (** seconds, at the struck gate *)
+  attenuation_per_level : float;  (** seconds lost per gate traversal *)
+  minimum_width : float;  (** pulses narrower than this are filtered *)
+}
+
+(* 130 nm-flavoured defaults: 150 ps initial transient, ~4 ps lost per
+   logic level, 25 ps minimum latchable width. *)
+let default =
+  { initial_pulse_width = 1.5e-10; attenuation_per_level = 4.0e-12; minimum_width = 2.5e-11 }
+
+let no_attenuation =
+  { initial_pulse_width = 1.5e-10; attenuation_per_level = 0.0; minimum_width = 0.0 }
+
+let check t =
+  if t.initial_pulse_width <= 0.0 then
+    invalid_arg "Electrical.check: initial_pulse_width must be positive";
+  if t.attenuation_per_level < 0.0 then
+    invalid_arg "Electrical.check: negative attenuation_per_level";
+  if t.minimum_width < 0.0 then invalid_arg "Electrical.check: negative minimum_width"
+
+let surviving_width t ~levels =
+  check t;
+  if levels < 0 then invalid_arg "Electrical.surviving_width: negative depth";
+  let w = t.initial_pulse_width -. (t.attenuation_per_level *. float_of_int levels) in
+  if w < t.minimum_width then 0.0 else w
+
+let filtered t ~levels = surviving_width t ~levels = 0.0
+
+(* The latching model evaluated with the attenuated pulse. *)
+let p_latched t latching ~levels (obs : Netlist.Circuit.observation) =
+  let width = surviving_width t ~levels in
+  if width = 0.0 then 0.0
+  else Latching.p_latched { latching with Latching.pulse_width = width } obs
+
+(* First depth at which every pulse is filtered — the electrical horizon.
+   A pulse exactly at the floor still survives, so the horizon is one past
+   the last surviving depth (tolerant of floating-point dust at the
+   boundary). *)
+let max_propagation_levels t =
+  check t;
+  if t.attenuation_per_level = 0.0 then max_int
+  else
+    let last_alive =
+      Float.floor
+        (((t.initial_pulse_width -. t.minimum_width) /. t.attenuation_per_level) +. 1e-9)
+    in
+    int_of_float last_alive + 1
+
+let pp ppf t =
+  Fmt.pf ppf "pulse %.3gs, -%.3gs/level, floor %.3gs (horizon %d levels)"
+    t.initial_pulse_width t.attenuation_per_level t.minimum_width
+    (max_propagation_levels t)

@@ -1,0 +1,33 @@
+(** Electrical masking: first-order linear pulse attenuation along the
+    propagation path (the third masking mechanism of the paper's reference
+    [6], next to logical and latching-window masking).  Depth is measured
+    in topological levels. *)
+
+type t = {
+  initial_pulse_width : float;  (** seconds at the struck gate *)
+  attenuation_per_level : float;
+  minimum_width : float;  (** narrower pulses are filtered entirely *)
+}
+
+val default : t
+val no_attenuation : t
+(** Degenerates to pure logical + window masking. *)
+
+val check : t -> unit
+(** @raise Invalid_argument on non-positive width or negative parameters. *)
+
+val surviving_width : t -> levels:int -> float
+(** Width after [levels] gate traversals; 0 when filtered.
+    @raise Invalid_argument on a negative depth. *)
+
+val filtered : t -> levels:int -> bool
+
+val p_latched :
+  t -> Latching.t -> levels:int -> Netlist.Circuit.observation -> float
+(** The latching model evaluated with the attenuated pulse width. *)
+
+val max_propagation_levels : t -> int
+(** First depth at which every pulse has been filtered — one past the last
+    surviving depth ([max_int] without attenuation). *)
+
+val pp : t Fmt.t

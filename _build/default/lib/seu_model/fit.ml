@@ -1,0 +1,23 @@
+(* FIT arithmetic: the unit the SER literature reports in.
+
+   1 FIT = one failure per 10^9 device-hours.  Internally every rate in this
+   project is in failures (or upsets) per second; conversion lives here so no
+   magic constant leaks into the estimators. *)
+
+let seconds_per_hour = 3600.0
+
+let fit_per_failure_rate = 1.0e9 *. seconds_per_hour
+(* failures/second -> FIT multiplier *)
+
+let of_rate_per_second r =
+  if r < 0.0 then invalid_arg "Fit.of_rate_per_second: negative rate";
+  r *. fit_per_failure_rate
+
+let to_rate_per_second fit =
+  if fit < 0.0 then invalid_arg "Fit.to_rate_per_second: negative FIT";
+  fit /. fit_per_failure_rate
+
+let mtbf_hours fit =
+  if fit <= 0.0 then infinity else 1.0e9 /. fit
+
+let pp ppf fit = Fmt.pf ppf "%.3f FIT" fit

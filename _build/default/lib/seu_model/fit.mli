@@ -1,0 +1,13 @@
+(** FIT (failures per 10⁹ device-hours) conversions.  Internal rates are
+    failures/second everywhere; conversion happens only here. *)
+
+val of_rate_per_second : float -> float
+(** @raise Invalid_argument on a negative rate. *)
+
+val to_rate_per_second : float -> float
+(** @raise Invalid_argument on a negative FIT value. *)
+
+val mtbf_hours : float -> float
+(** Mean time between failures implied by a FIT value; [infinity] at 0. *)
+
+val pp : float Fmt.t

@@ -1,0 +1,50 @@
+(* Latching-window model for P_latched(n).
+
+   A transient that reaches a flip-flop's data input is captured only if it
+   overlaps the latching window around the clock edge.  With a pulse of width
+   w arriving uniformly within a clock period T and a window of
+   (t_setup + t_hold), the classic first-order model is
+
+     P_latched = min(1, (w + t_setup + t_hold) / T)
+
+   (Mohanram & Touba, ITC 2003 — the paper's reference [3] — use this form.)
+   Errors observed at primary outputs are taken as latched downstream with
+   probability [po_capture] (default 1.0, the paper's implicit convention:
+   a PO is an architectural observation point). *)
+
+type t = {
+  clock_period : float;  (** seconds *)
+  setup_time : float;
+  hold_time : float;
+  pulse_width : float;  (** transient pulse width at the capture point *)
+  po_capture : float;  (** capture probability at a primary output *)
+}
+
+let check t =
+  if t.clock_period <= 0.0 then invalid_arg "Latching.check: clock_period must be positive";
+  if t.setup_time < 0.0 || t.hold_time < 0.0 || t.pulse_width < 0.0 then
+    invalid_arg "Latching.check: negative timing parameter";
+  if not (t.po_capture >= 0.0 && t.po_capture <= 1.0) then
+    invalid_arg "Latching.check: po_capture outside [0,1]"
+
+(* 1 GHz-era defaults: 1 ns period, 50 ps setup/hold, 100 ps transient. *)
+let default =
+  { clock_period = 1.0e-9; setup_time = 5.0e-11; hold_time = 5.0e-11; pulse_width = 1.0e-10;
+    po_capture = 1.0 }
+
+let p_latched_ff t =
+  check t;
+  Float.min 1.0 ((t.pulse_width +. t.setup_time +. t.hold_time) /. t.clock_period)
+
+let p_latched_po t =
+  check t;
+  t.po_capture
+
+let p_latched t (obs : Netlist.Circuit.observation) =
+  match obs with
+  | Netlist.Circuit.Po _ -> p_latched_po t
+  | Netlist.Circuit.Ff_data _ -> p_latched_ff t
+
+let pp ppf t =
+  Fmt.pf ppf "T=%.3gs setup=%.3gs hold=%.3gs pulse=%.3gs (P_latch,FF=%.4f)" t.clock_period
+    t.setup_time t.hold_time t.pulse_width (p_latched_ff t)

@@ -1,0 +1,26 @@
+(** First-order latching-window model for [P_latched(n)]:
+    [min(1, (pulse + setup + hold) / clock_period)] at flip-flops, a fixed
+    capture probability at primary outputs. *)
+
+type t = {
+  clock_period : float;  (** seconds *)
+  setup_time : float;
+  hold_time : float;
+  pulse_width : float;
+  po_capture : float;  (** capture probability at a primary output *)
+}
+
+val default : t
+(** 1 ns period, 50 ps setup/hold, 100 ps pulse, PO capture 1.0. *)
+
+val check : t -> unit
+(** @raise Invalid_argument on non-positive period, negative timings, or
+    [po_capture] outside [0, 1]. *)
+
+val p_latched_ff : t -> float
+val p_latched_po : t -> float
+
+val p_latched : t -> Netlist.Circuit.observation -> float
+(** Dispatch on the observation-point kind. *)
+
+val pp : t Fmt.t

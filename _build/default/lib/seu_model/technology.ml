@@ -1,0 +1,72 @@
+(* Technology model for the raw SEU rate R_SEU(n).
+
+   The paper takes R_SEU as an input: "the bit-flip rate at node n_i which
+   depends on the particle flux, the energy of the particle, type and size of
+   the gate, and the device characteristics."  We model exactly those
+   dependences with a small parametric form,
+
+     R_SEU(n) = flux * area(kind, fanin) * sensitivity
+
+   where area grows with fanin (more diffusion area exposed) and
+   [sensitivity] encodes the device characteristics (critical charge falling
+   with feature size — the technology trend of the paper's reference [6],
+   Shivakumar et al., DSN 2002).  Absolute numbers are representative, not
+   calibrated: every Table-2 quantity we reproduce is a ratio or a
+   probability, so any positive rates exercise the same code paths. *)
+
+open Netlist
+
+type t = {
+  name : string;
+  flux : float;  (** particles/cm²·s at sea level, neutron + alpha combined *)
+  unit_drain_area : float;  (** cm² of sensitive diffusion per unit of drive *)
+  sensitivity : float;  (** upsets per particle through sensitive area *)
+}
+
+(* Representative sea-level flux: ~14 n/cm²·h above 10 MeV ≈ 3.9e-3 n/cm²·s,
+   rounded; sensitivity chosen so that a mid-size circuit lands in the
+   hundreds-of-FIT range typical for the 130 nm-era literature. *)
+let nominal_flux = 4.0e-3
+
+let bulk_180nm =
+  { name = "bulk-180nm"; flux = nominal_flux; unit_drain_area = 1.0e-8; sensitivity = 2.0e-5 }
+
+let bulk_130nm =
+  { name = "bulk-130nm"; flux = nominal_flux; unit_drain_area = 6.0e-9; sensitivity = 8.0e-5 }
+
+let bulk_65nm =
+  { name = "bulk-65nm"; flux = nominal_flux; unit_drain_area = 2.5e-9; sensitivity = 4.0e-4 }
+
+let default = bulk_130nm
+
+let presets = [ bulk_180nm; bulk_130nm; bulk_65nm ]
+
+let find_preset name = List.find_opt (fun t -> t.name = name) presets
+
+(* Relative sensitive area by gate kind: inverters smallest, XOR-family
+   largest (more internal nodes); scaled by fanin (wider gates expose more
+   diffusion). *)
+let kind_area_factor = function
+  | Gate.Not | Gate.Buf -> 1.0
+  | Gate.And | Gate.Or -> 1.4
+  | Gate.Nand | Gate.Nor -> 1.2
+  | Gate.Xor | Gate.Xnor -> 2.2
+  | Gate.Const0 | Gate.Const1 -> 0.0
+
+let r_seu t ~kind ~fanin =
+  if fanin < 0 then invalid_arg "Technology.r_seu: negative fanin";
+  match kind with
+  | None ->
+    (* Primary inputs and FF outputs: upsets there belong to the source
+       flip-flop or to the upstream logic, not to this combinational site. *)
+    0.0
+  | Some k ->
+    let width = 1.0 +. (0.35 *. float_of_int (max 0 (fanin - 1))) in
+    t.flux *. t.unit_drain_area *. kind_area_factor k *. width *. t.sensitivity
+
+let r_seu_node t circuit v =
+  r_seu t ~kind:(Circuit.kind_of circuit v) ~fanin:(Array.length (Circuit.fanins circuit v))
+
+let pp ppf t =
+  Fmt.pf ppf "%s (flux %.3g/cm2s, area %.3g cm2, sensitivity %.3g)" t.name t.flux
+    t.unit_drain_area t.sensitivity

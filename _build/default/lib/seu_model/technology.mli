@@ -1,0 +1,36 @@
+(** Parametric technology model for the raw upset rate [R_SEU(n)] — particle
+    flux × sensitive area (by gate kind and width) × device sensitivity.
+    The paper consumes these rates as given; see DESIGN.md for why
+    representative (uncalibrated) values preserve every reproduced
+    quantity. *)
+
+type t = {
+  name : string;
+  flux : float;  (** particles/cm²·s *)
+  unit_drain_area : float;  (** cm² of sensitive diffusion per unit drive *)
+  sensitivity : float;  (** upsets per particle through the sensitive area *)
+}
+
+val nominal_flux : float
+
+val bulk_180nm : t
+val bulk_130nm : t
+val bulk_65nm : t
+
+val default : t
+(** [bulk_130nm] — the technology era of the paper. *)
+
+val presets : t list
+val find_preset : string -> t option
+
+val kind_area_factor : Netlist.Gate.kind -> float
+(** Relative sensitive area of a gate kind (constants have none). *)
+
+val r_seu : t -> kind:Netlist.Gate.kind option -> fanin:int -> float
+(** Upsets per second at one node.  [kind = None] (primary inputs, FF
+    outputs) yields 0: those upsets are charged to the upstream element.
+    @raise Invalid_argument on negative fanin. *)
+
+val r_seu_node : t -> Netlist.Circuit.t -> int -> float
+
+val pp : t Fmt.t

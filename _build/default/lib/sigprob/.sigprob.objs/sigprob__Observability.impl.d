@@ -1,0 +1,1 @@
+lib/sigprob/observability.ml: Array Circuit Fun Gate List Netlist Sp Sp_rules Sp_sequential Sp_topological

@@ -1,0 +1,1 @@
+lib/sigprob/observability.mli: Netlist Sp

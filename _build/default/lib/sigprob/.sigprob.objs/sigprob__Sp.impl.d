@@ -1,0 +1,1 @@
+lib/sigprob/sp.ml: Array Circuit Float Fmt Hashtbl List Netlist Option Printf Sp_rules

@@ -1,0 +1,1 @@
+lib/sigprob/sp.mli: Fmt Netlist

@@ -1,0 +1,1 @@
+lib/sigprob/sp_exact.ml: Array Circuit Logic_sim Netlist Sp Sp_rules

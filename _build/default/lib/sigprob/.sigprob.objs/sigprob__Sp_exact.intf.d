@@ -1,0 +1,1 @@
+lib/sigprob/sp_exact.mli: Netlist Sp

@@ -1,0 +1,1 @@
+lib/sigprob/sp_montecarlo.ml: Array Circuit Int64 List Logic_sim Netlist Sp Sp_rules

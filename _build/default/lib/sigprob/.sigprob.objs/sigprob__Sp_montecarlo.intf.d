@@ -1,0 +1,1 @@
+lib/sigprob/sp_montecarlo.mli: Netlist Rng Sp

@@ -1,0 +1,1 @@
+lib/sigprob/sp_rules.ml: Array Fun Gate Netlist Printf

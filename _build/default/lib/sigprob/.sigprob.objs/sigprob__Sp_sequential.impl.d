@@ -1,0 +1,1 @@
+lib/sigprob/sp_sequential.ml: Array Circuit Float Hashtbl Netlist Sp Sp_topological

@@ -1,0 +1,1 @@
+lib/sigprob/sp_sequential.mli: Netlist Sp

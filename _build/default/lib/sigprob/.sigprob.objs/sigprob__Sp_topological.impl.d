@@ -1,0 +1,1 @@
+lib/sigprob/sp_topological.ml: Array Circuit Netlist Sp Sp_rules

@@ -1,0 +1,1 @@
+lib/sigprob/sp_topological.mli: Netlist Sp

@@ -1,0 +1,1 @@
+lib/sigprob/sp_trace.ml: Array Circuit Hashtbl List Logic_sim Netlist Option Printf Rng Sp Sp_rules

@@ -1,0 +1,1 @@
+lib/sigprob/sp_trace.mli: Netlist Rng Sp

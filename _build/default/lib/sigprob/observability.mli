@@ -1,0 +1,18 @@
+(** COP-style observability: per-net probability that a value change is
+    observed at a primary output or flip-flop data input, computed for the
+    whole circuit in one backward pass.
+
+    The cheap pre-paper alternative to per-site EPP: no polarity tracking,
+    no per-site path construction — and correspondingly weaker on
+    reconvergent fanout, which the ablation bench quantifies.  Exact (and
+    equal to the EPP engine) on fanout-free circuits. *)
+
+type result = { circuit : Netlist.Circuit.t; values : float array }
+
+val compute : ?sp:Sp.result -> Netlist.Circuit.t -> result
+(** [sp] defaults as in {!Epp_engine.create}: sequential fixpoint when the
+    circuit has flip-flops, plain topological otherwise.
+    @raise Invalid_argument if [sp] belongs to a different circuit. *)
+
+val get : result -> int -> float
+val get_name : result -> string -> float

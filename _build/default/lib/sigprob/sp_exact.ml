@@ -1,0 +1,46 @@
+(* Exact signal probability by weighted exhaustive enumeration.
+
+   Exponential in the number of pseudo-inputs; usable up to ~20 inputs.  It
+   exists as the ground truth against which the test suite measures the
+   topological engine's reconvergence error, mirroring how we validate the
+   EPP engine itself. *)
+
+open Netlist
+
+exception Too_many_inputs of { inputs : int; limit : int }
+
+let default_limit = 20
+
+let compute ?(spec = Sp.uniform) ?(limit = default_limit) circuit =
+  let pseudo = Array.of_list (Circuit.pseudo_inputs circuit) in
+  let k = Array.length pseudo in
+  if k > limit then raise (Too_many_inputs { inputs = k; limit });
+  let n = Circuit.node_count circuit in
+  let input_p =
+    Array.map
+      (fun v ->
+        let p = spec.Sp.input_sp v in
+        Sp_rules.check_probability ~what:(Circuit.node_name circuit v) p;
+        p)
+      pseudo
+  in
+  let cs = Logic_sim.Sim.compile circuit in
+  let acc = Array.make n 0.0 in
+  let values = Array.make n false in
+  for assignment = 0 to (1 lsl k) - 1 do
+    (* Weight of this assignment under the product input distribution. *)
+    let weight = ref 1.0 in
+    Array.iteri
+      (fun i v ->
+        let bit = assignment land (1 lsl i) <> 0 in
+        values.(v) <- bit;
+        weight := !weight *. (if bit then input_p.(i) else 1.0 -. input_p.(i)))
+      pseudo;
+    if !weight > 0.0 then begin
+      Logic_sim.Sim.run_bool cs values;
+      for v = 0 to n - 1 do
+        if values.(v) then acc.(v) <- acc.(v) +. !weight
+      done
+    end
+  done;
+  { Sp.circuit; values = Array.map Sp_rules.clamp acc }

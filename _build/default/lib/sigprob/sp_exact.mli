@@ -1,0 +1,12 @@
+(** Exact signal probability by weighted exhaustive enumeration — the ground
+    truth used in tests to quantify the topological engine's reconvergence
+    error.  Exponential in the pseudo-input count. *)
+
+exception Too_many_inputs of { inputs : int; limit : int }
+
+val default_limit : int
+(** 20 pseudo-inputs (about one million vectors). *)
+
+val compute : ?spec:Sp.spec -> ?limit:int -> Netlist.Circuit.t -> Sp.result
+(** @raise Too_many_inputs above [limit].
+    @raise Invalid_argument on a bad [spec] probability. *)

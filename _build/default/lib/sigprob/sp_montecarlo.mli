@@ -1,0 +1,10 @@
+(** Monte-Carlo signal probability (bit-parallel random simulation).
+    Convergence is O(1/sqrt vectors) irrespective of reconvergent fanout, so
+    it cross-checks the topological engine at scales {!Sp_exact} cannot
+    reach. *)
+
+val compute :
+  ?spec:Sp.spec -> rng:Rng.t -> vectors:int -> Netlist.Circuit.t -> Sp.result
+(** Estimate from [vectors] random input vectors.
+    @raise Invalid_argument if [vectors <= 0] or on a bad [spec]
+    probability. *)

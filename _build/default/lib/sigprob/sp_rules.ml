@@ -1,0 +1,47 @@
+(* Signal-probability composition rules under the input-independence
+   assumption (Parker & McCluskey, IEEE ToC 1975 — reference [5] of the
+   paper).  For a gate whose inputs are independent with 1-probabilities
+   p_1..p_n:
+
+     AND : prod p_i                 NAND : 1 - prod p_i
+     OR  : 1 - prod (1 - p_i)       NOR  : prod (1 - p_i)
+     XOR : fold (a,b) -> a(1-b) + b(1-a)   (associative)   XNOR : 1 - XOR
+     NOT : 1 - p                    BUF  : p
+     CONST0 : 0                     CONST1 : 1 *)
+
+open Netlist
+
+let clamp p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p
+
+let check_probability ~what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Sp_rules: %s probability %g outside [0,1]" what p)
+
+let gate_sp kind inputs =
+  let n = Array.length inputs in
+  Gate.check_arity kind n;
+  Array.iter (check_probability ~what:"input") inputs;
+  let prod f =
+    let acc = ref 1.0 in
+    Array.iter (fun p -> acc := !acc *. f p) inputs;
+    !acc
+  in
+  let xor () =
+    let acc = ref 0.0 in
+    Array.iter (fun p -> acc := (!acc *. (1.0 -. p)) +. (p *. (1.0 -. !acc))) inputs;
+    !acc
+  in
+  let p =
+    match kind with
+    | Gate.And -> prod Fun.id
+    | Gate.Nand -> 1.0 -. prod Fun.id
+    | Gate.Or -> 1.0 -. prod (fun p -> 1.0 -. p)
+    | Gate.Nor -> prod (fun p -> 1.0 -. p)
+    | Gate.Xor -> xor ()
+    | Gate.Xnor -> 1.0 -. xor ()
+    | Gate.Not -> 1.0 -. inputs.(0)
+    | Gate.Buf -> inputs.(0)
+    | Gate.Const0 -> 0.0
+    | Gate.Const1 -> 1.0
+  in
+  clamp p

@@ -1,0 +1,66 @@
+(* Signal probability for sequential circuits by fixpoint iteration.
+
+   The combinational engines need a 1-probability for every flip-flop output
+   (pseudo-input).  This module computes them self-consistently: start every
+   FF at 0.5, run the topological engine, replace each FF-output probability
+   with the probability computed at its data net, repeat until the largest
+   change falls below the tolerance.  This is the standard steady-state
+   treatment; it converges geometrically on almost all practical circuits
+   (the contraction is the combinational probability transfer function). *)
+
+open Netlist
+
+type outcome = {
+  result : Sp.result;
+  iterations : int;
+  converged : bool;
+  residual : float; (* largest FF-output change in the last iteration *)
+}
+
+let default_tolerance = 1e-9
+let default_max_iterations = 1000
+
+let compute ?(spec = Sp.uniform) ?(tolerance = default_tolerance)
+    ?(max_iterations = default_max_iterations) circuit =
+  if tolerance <= 0.0 then invalid_arg "Sp_sequential.compute: tolerance must be positive";
+  if max_iterations <= 0 then
+    invalid_arg "Sp_sequential.compute: max_iterations must be positive";
+  let ffs = Array.of_list (Circuit.ffs circuit) in
+  let ff_sp = Hashtbl.create (Array.length ffs) in
+  Array.iter (fun ff -> Hashtbl.replace ff_sp ff 0.5) ffs;
+  let data_of ff =
+    match Circuit.node circuit ff with
+    | Circuit.Ff { data } -> data
+    | Circuit.Input | Circuit.Gate _ -> assert false
+  in
+  let iteration_spec =
+    Sp.of_fun (fun v ->
+        match Hashtbl.find_opt ff_sp v with
+        | Some p -> p
+        | None -> spec.Sp.input_sp v)
+  in
+  let rec iterate i =
+    let result = Sp_topological.compute ~spec:iteration_spec circuit in
+    let residual = ref 0.0 in
+    Array.iter
+      (fun ff ->
+        let fresh = result.Sp.values.(data_of ff) in
+        let old = Hashtbl.find ff_sp ff in
+        let d = Float.abs (fresh -. old) in
+        if d > !residual then residual := d;
+        Hashtbl.replace ff_sp ff fresh)
+      ffs;
+    if !residual <= tolerance then { result; iterations = i; converged = true; residual = !residual }
+    else if i >= max_iterations then
+      { result; iterations = i; converged = false; residual = !residual }
+    else iterate (i + 1)
+  in
+  iterate 1
+
+let spec_of_outcome outcome =
+  let circuit = outcome.result.Sp.circuit in
+  let values = outcome.result.Sp.values in
+  Sp.of_fun (fun v ->
+      match Circuit.node circuit v with
+      | Circuit.Ff { data } -> values.(data)
+      | Circuit.Input | Circuit.Gate _ -> values.(v))

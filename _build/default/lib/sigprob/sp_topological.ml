@@ -1,0 +1,25 @@
+(* Parker–McCluskey topological signal probability: one pass over the
+   levelized circuit, composing Sp_rules at each gate under the independence
+   assumption.  Exact on fanout-free circuits; an approximation in the
+   presence of reconvergent fanout (quantified against Sp_exact by the test
+   suite).  This is the "signal probability calculation, which is already
+   used in other steps of the design flow" that the paper's EPP step
+   leverages, and its cost is the SPT column of Table 2. *)
+
+open Netlist
+
+let compute ?(spec = Sp.uniform) circuit =
+  let n = Circuit.node_count circuit in
+  let values = Array.make n 0.0 in
+  let order = Circuit.topological_order circuit in
+  Array.iter
+    (fun v ->
+      match Circuit.node circuit v with
+      | Circuit.Input | Circuit.Ff _ ->
+        let p = spec.Sp.input_sp v in
+        Sp_rules.check_probability ~what:(Circuit.node_name circuit v) p;
+        values.(v) <- p
+      | Circuit.Gate { kind; fanins } ->
+        values.(v) <- Sp_rules.gate_sp kind (Array.map (fun u -> values.(u)) fanins))
+    order;
+  { Sp.circuit; values }

@@ -1,0 +1,8 @@
+(** Parker–McCluskey topological signal probability (single levelized pass,
+    independence assumption).  Exact on fanout-free circuits; approximate
+    under reconvergent fanout.  Its runtime is the SPT column of the paper's
+    Table 2. *)
+
+val compute : ?spec:Sp.spec -> Netlist.Circuit.t -> Sp.result
+(** Defaults to {!Sp.uniform} inputs.
+    @raise Invalid_argument if [spec] yields a probability outside [0, 1]. *)

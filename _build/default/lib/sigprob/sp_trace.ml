@@ -1,0 +1,65 @@
+(* Workload-driven signal probabilities.
+
+   The engines default to uniform-random inputs, but the paper's framework
+   explicitly feeds on "the signal probability calculation, which is
+   already used in other steps of the design flow" — in practice often
+   derived from a workload trace.  This module turns a trace (a sequence of
+   pseudo-input assignments) into:
+
+   - an empirical input spec (per-input 1-density) for the analytical
+     engines, and
+   - a direct per-node SP estimate by simulating the trace (which, unlike
+     the spec route, captures input correlations in the workload). *)
+
+open Netlist
+
+type trace = bool array list
+(* Each entry assigns all pseudo-inputs in Circuit.pseudo_inputs order. *)
+
+let check_trace circuit trace =
+  let width = List.length (Circuit.pseudo_inputs circuit) in
+  if trace = [] then invalid_arg "Sp_trace: empty trace";
+  List.iteri
+    (fun i entry ->
+      if Array.length entry <> width then
+        invalid_arg
+          (Printf.sprintf "Sp_trace: entry %d has width %d, expected %d" i
+             (Array.length entry) width))
+    trace
+
+let spec_of_trace circuit trace =
+  check_trace circuit trace;
+  let pseudo = Array.of_list (Circuit.pseudo_inputs circuit) in
+  let ones = Array.make (Array.length pseudo) 0 in
+  List.iter
+    (fun entry -> Array.iteri (fun i b -> if b then ones.(i) <- ones.(i) + 1) entry)
+    trace;
+  let total = float_of_int (List.length trace) in
+  let table = Hashtbl.create (Array.length pseudo) in
+  Array.iteri (fun i v -> Hashtbl.replace table v (float_of_int ones.(i) /. total)) pseudo;
+  Sp.of_fun (fun v -> Option.value ~default:0.5 (Hashtbl.find_opt table v))
+
+let compute circuit trace =
+  check_trace circuit trace;
+  let pseudo = Array.of_list (Circuit.pseudo_inputs circuit) in
+  let cs = Logic_sim.Sim.compile circuit in
+  let n = Circuit.node_count circuit in
+  let ones = Array.make n 0 in
+  let values = Array.make n false in
+  List.iter
+    (fun entry ->
+      Array.iteri (fun i v -> values.(v) <- entry.(i)) pseudo;
+      Logic_sim.Sim.run_bool cs values;
+      for v = 0 to n - 1 do
+        if values.(v) then ones.(v) <- ones.(v) + 1
+      done)
+    trace;
+  let total = float_of_int (List.length trace) in
+  { Sp.circuit; values = Array.map (fun c -> float_of_int c /. total) ones }
+
+let random_trace ?(bias = fun _ -> 0.5) ~rng ~length circuit =
+  if length <= 0 then invalid_arg "Sp_trace.random_trace: length must be positive";
+  let pseudo = Array.of_list (Circuit.pseudo_inputs circuit) in
+  let densities = Array.map bias pseudo in
+  Array.iter (fun p -> Sp_rules.check_probability ~what:"bias" p) densities;
+  List.init length (fun _ -> Array.map (fun p -> Rng.float rng < p) densities)

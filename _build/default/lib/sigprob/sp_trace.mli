@@ -1,0 +1,22 @@
+(** Workload-driven signal probabilities: turn an input trace into either
+    an empirical per-input spec (for the analytical engines) or a direct
+    per-node SP estimate by simulating the trace (capturing the workload's
+    input correlations). *)
+
+type trace = bool array list
+(** Each entry assigns every pseudo-input, in
+    {!Netlist.Circuit.pseudo_inputs} order. *)
+
+val spec_of_trace : Netlist.Circuit.t -> trace -> Sp.spec
+(** Per-input 1-densities of the trace.  @raise Invalid_argument on an
+    empty trace or a width mismatch. *)
+
+val compute : Netlist.Circuit.t -> trace -> Sp.result
+(** Simulate the trace and count 1s at every node.
+    @raise Invalid_argument on an empty trace or a width mismatch. *)
+
+val random_trace :
+  ?bias:(int -> float) -> rng:Rng.t -> length:int -> Netlist.Circuit.t -> trace
+(** Synthesize a trace with per-input 1-densities [bias] (default 0.5).
+    @raise Invalid_argument on a non-positive length or a bias outside
+    [0, 1]. *)

@@ -1,0 +1,1 @@
+lib/sta/delay_model.ml: Array Circuit Fmt Gate Netlist

@@ -1,0 +1,1 @@
+lib/sta/delay_model.mli: Fmt Netlist

@@ -1,0 +1,1 @@
+lib/sta/timing.ml: Array Circuit Delay_model Float Fmt List Netlist

@@ -1,0 +1,1 @@
+lib/sta/timing.mli: Delay_model Fmt Netlist

@@ -1,0 +1,122 @@
+(* Static timing analysis over the combinational core.
+
+   One forward pass computes arrival times (latest transition at each
+   net after a clock edge), one backward pass computes required times
+   against a clock constraint; slack and critical paths follow.  The SER
+   flow uses two products:
+
+   - the critical path / maximum delay (sets the minimum clock period);
+   - per-site arrival windows, feeding the timing-aware latching model
+     (a transient launched at a deep node reaches the flip-flops later in
+     the cycle, changing its chance of meeting the capture window). *)
+
+open Netlist
+
+type t = {
+  circuit : Circuit.t;
+  model : Delay_model.t;
+  arrival : float array;  (** latest arrival time at each net's output *)
+  earliest : float array;  (** earliest arrival (shortest path) *)
+  max_delay : float;  (** over observation nets: the critical path delay *)
+}
+
+let analyze ?(model = Delay_model.generic_130nm) circuit =
+  let n = Circuit.node_count circuit in
+  let arrival = Array.make n 0.0 in
+  let earliest = Array.make n 0.0 in
+  Array.iter
+    (fun v ->
+      match Circuit.node circuit v with
+      | Circuit.Input | Circuit.Ff _ -> ()
+      | Circuit.Gate { kind; fanins } ->
+        let d =
+          Delay_model.gate_delay model kind ~fanin:(Array.length fanins) +. model.Delay_model.wire
+        in
+        let latest = ref 0.0 and soonest = ref infinity in
+        Array.iter
+          (fun u ->
+            if arrival.(u) > !latest then latest := arrival.(u);
+            if earliest.(u) < !soonest then soonest := earliest.(u))
+          fanins;
+        let soonest = if !soonest = infinity then 0.0 else !soonest in
+        arrival.(v) <- !latest +. d;
+        earliest.(v) <- soonest +. d)
+    (Circuit.topological_order circuit);
+  let max_delay =
+    List.fold_left
+      (fun acc obs -> Float.max acc arrival.(Circuit.observation_net circuit obs))
+      0.0 (Circuit.observations circuit)
+  in
+  { circuit; model; arrival; earliest; max_delay }
+
+let arrival t v = t.arrival.(v)
+let earliest_arrival t v = t.earliest.(v)
+let max_delay t = t.max_delay
+
+let min_clock_period ?(setup = 0.0) t = t.max_delay +. setup
+
+(* Slack of each net against a clock period: how much later its transition
+   could arrive without violating capture at any observation point it
+   feeds.  Backward pass over required times. *)
+let slacks t ~clock_period =
+  if clock_period <= 0.0 then invalid_arg "Timing.slacks: clock_period must be positive";
+  let circuit = t.circuit in
+  let n = Circuit.node_count circuit in
+  let required = Array.make n infinity in
+  List.iter
+    (fun obs ->
+      let net = Circuit.observation_net circuit obs in
+      required.(net) <- Float.min required.(net) clock_period)
+    (Circuit.observations circuit);
+  let order = Circuit.topological_order circuit in
+  for i = Array.length order - 1 downto 0 do
+    let g = order.(i) in
+    match Circuit.node circuit g with
+    | Circuit.Input | Circuit.Ff _ -> ()
+    | Circuit.Gate { kind; fanins } ->
+      let d =
+        Delay_model.gate_delay t.model kind ~fanin:(Array.length fanins)
+        +. t.model.Delay_model.wire
+      in
+      Array.iter
+        (fun u -> required.(u) <- Float.min required.(u) (required.(g) -. d))
+        fanins
+  done;
+  Array.init n (fun v ->
+      if required.(v) = infinity then infinity else required.(v) -. t.arrival.(v))
+
+(* One critical path (latest-arrival chain) ending at the given net,
+   source first. *)
+let critical_path t target =
+  let circuit = t.circuit in
+  if target < 0 || target >= Circuit.node_count circuit then
+    invalid_arg "Timing.critical_path: bad net";
+  let rec back v acc =
+    match Circuit.node circuit v with
+    | Circuit.Input | Circuit.Ff _ -> v :: acc
+    | Circuit.Gate { fanins; _ } ->
+      if Array.length fanins = 0 then v :: acc
+      else begin
+        let worst = ref fanins.(0) in
+        Array.iter (fun u -> if t.arrival.(u) > t.arrival.(!worst) then worst := u) fanins;
+        back !worst (v :: acc)
+      end
+  in
+  back target []
+
+let circuit_critical_path t =
+  let worst = ref None in
+  List.iter
+    (fun obs ->
+      let net = Circuit.observation_net t.circuit obs in
+      match !worst with
+      | None -> worst := Some net
+      | Some w -> if t.arrival.(net) > t.arrival.(w) then worst := Some net)
+    (Circuit.observations t.circuit);
+  match !worst with
+  | None -> []
+  | Some net -> critical_path t net
+
+let pp ppf t =
+  Fmt.pf ppf "%s: critical path %.3g s under %a" (Circuit.name t.circuit) t.max_delay
+    Delay_model.pp t.model

@@ -1,0 +1,33 @@
+(** Static timing analysis over the combinational core: arrival times
+    (latest and earliest), critical paths, slacks — and the per-site
+    arrival data the timing-aware latching refinement consumes. *)
+
+type t
+
+val analyze : ?model:Delay_model.t -> Netlist.Circuit.t -> t
+(** One forward pass in topological order. *)
+
+val arrival : t -> int -> float
+(** Latest transition time at a net after the launching clock edge. *)
+
+val earliest_arrival : t -> int -> float
+
+val max_delay : t -> float
+(** Critical path delay over all observation nets. *)
+
+val min_clock_period : ?setup:float -> t -> float
+
+val slacks : t -> clock_period:float -> float array
+(** Per-net slack against the clock period; [infinity] for nets feeding no
+    observation point.  @raise Invalid_argument on a non-positive
+    period. *)
+
+val critical_path : t -> int -> int list
+(** The latest-arrival chain ending at a net, source first.
+    @raise Invalid_argument on a bad net. *)
+
+val circuit_critical_path : t -> int list
+(** Critical path of the whole circuit (empty for a circuit without
+    observation points). *)
+
+val pp : t Fmt.t

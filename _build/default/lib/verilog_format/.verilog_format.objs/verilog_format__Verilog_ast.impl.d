@@ -1,0 +1,1 @@
+lib/verilog_format/verilog_ast.ml: Fmt String

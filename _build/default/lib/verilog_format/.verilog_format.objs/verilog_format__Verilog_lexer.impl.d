@@ -1,0 +1,1 @@
+lib/verilog_format/verilog_lexer.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/verilog_format/verilog_parser.ml: Fmt Fun List Netlist Printf String Verilog_ast Verilog_lexer

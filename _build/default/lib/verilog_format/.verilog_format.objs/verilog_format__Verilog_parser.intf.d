@@ -1,0 +1,1 @@
+lib/verilog_format/verilog_parser.mli: Netlist Verilog_ast Verilog_lexer

@@ -1,0 +1,1 @@
+lib/verilog_format/verilog_printer.ml: Array Circuit Fmt Fun Gate List Netlist Printf Verilog_ast

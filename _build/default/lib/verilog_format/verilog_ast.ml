@@ -1,0 +1,46 @@
+(* AST of the gate-level structural Verilog subset.
+
+   The subset is what synthesis tools emit for pure gate-level netlists and
+   what the SER flow needs — nothing more:
+
+     module NAME (port, ...);
+       input a, b;
+       output y;
+       wire w1, w2;
+       and  g1 (y, a, b);      // output first, then inputs
+       not  g2 (w1, a);
+       dff  g3 (q, d);         // behavioural-free DFF instance
+     endmodule
+
+   Primitive names: and, nand, or, nor, xor, xnor, not, buf, dff.
+   Comments: // line and (* ... *) attribute-style are both skipped, plus
+   standard /* ... */ blocks. *)
+
+type declaration_kind = Input | Output | Wire
+
+type item =
+  | Declaration of { kind : declaration_kind; names : string list }
+  | Instance of { primitive : string; instance_name : string option; terminals : string list }
+
+type t = { module_name : string; ports : string list; items : item list }
+
+let pp_declaration_kind ppf = function
+  | Input -> Fmt.string ppf "input"
+  | Output -> Fmt.string ppf "output"
+  | Wire -> Fmt.string ppf "wire"
+
+let pp_item ppf = function
+  | Declaration { kind; names } ->
+    Fmt.pf ppf "  %a %s;" pp_declaration_kind kind (String.concat ", " names)
+  | Instance { primitive; instance_name; terminals } ->
+    Fmt.pf ppf "  %s %s(%s);" primitive
+      (match instance_name with
+      | Some n -> n ^ " "
+      | None -> "")
+      (String.concat ", " terminals)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>module %s (%s);@,%a@,endmodule@]" t.module_name
+    (String.concat ", " t.ports)
+    (Fmt.list ~sep:Fmt.cut pp_item)
+    t.items

@@ -1,0 +1,18 @@
+(** AST of the gate-level structural Verilog subset (see the implementation
+    header for the grammar sketch). *)
+
+type declaration_kind = Input | Output | Wire
+
+type item =
+  | Declaration of { kind : declaration_kind; names : string list }
+  | Instance of {
+      primitive : string;  (** and, nand, or, nor, xor, xnor, not, buf, dff *)
+      instance_name : string option;
+      terminals : string list;  (** output first, then inputs *)
+    }
+
+type t = { module_name : string; ports : string list; items : item list }
+
+val pp_declaration_kind : declaration_kind Fmt.t
+val pp_item : item Fmt.t
+val pp : t Fmt.t

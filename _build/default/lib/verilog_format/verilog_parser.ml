@@ -1,0 +1,197 @@
+(* Recursive-descent parser for the structural Verilog subset, and the
+   elaboration into a validated netlist.
+
+   Grammar:
+
+     file      ::= "module" ident "(" port-list? ")" ";" item* "endmodule" EOF
+     port-list ::= ident ("," ident)*
+     item      ::= ("input" | "output" | "wire") ident-list ";"
+                 | primitive ident? "(" ident-list ")" ";"
+     primitive ::= "and" | "nand" | "or" | "nor" | "xor" | "xnor"
+                 | "not" | "buf" | "dff"
+
+   Instance terminals are positional: output first, then inputs (the
+   Verilog primitive-gate convention). *)
+
+exception Error of { message : string; pos : Verilog_lexer.position }
+
+let fail pos fmt = Fmt.kstr (fun message -> raise (Error { message; pos })) fmt
+
+type state = { lexer : Verilog_lexer.t; mutable lookahead : Verilog_lexer.token }
+
+let of_string source =
+  let lexer = Verilog_lexer.of_string source in
+  { lexer; lookahead = Verilog_lexer.next lexer }
+
+let peek st = st.lookahead
+let advance st = st.lookahead <- Verilog_lexer.next st.lexer
+
+let expect st expected =
+  let tok = peek st in
+  if tok.Verilog_lexer.kind = expected then advance st
+  else
+    fail tok.pos "expected %s, found %s"
+      (Verilog_lexer.kind_to_string expected)
+      (Verilog_lexer.kind_to_string tok.kind)
+
+let expect_ident st =
+  let tok = peek st in
+  match tok.Verilog_lexer.kind with
+  | Ident s ->
+    advance st;
+    s
+  | Lparen | Rparen | Semicolon | Comma | Eof ->
+    fail tok.pos "expected an identifier, found %s" (Verilog_lexer.kind_to_string tok.kind)
+
+let expect_keyword st keyword =
+  let tok = peek st in
+  match tok.Verilog_lexer.kind with
+  | Ident s when String.lowercase_ascii s = keyword -> advance st
+  | _ -> fail tok.pos "expected %S" keyword
+
+let parse_ident_list st =
+  let first = expect_ident st in
+  let rec more acc =
+    match (peek st).Verilog_lexer.kind with
+    | Comma ->
+      advance st;
+      more (expect_ident st :: acc)
+    | Ident _ | Lparen | Rparen | Semicolon | Eof -> List.rev acc
+  in
+  more [ first ]
+
+let primitives = [ "and"; "nand"; "or"; "nor"; "xor"; "xnor"; "not"; "buf"; "dff" ]
+
+let declaration_kind_of = function
+  | "input" -> Some Verilog_ast.Input
+  | "output" -> Some Verilog_ast.Output
+  | "wire" -> Some Verilog_ast.Wire
+  | _ -> None
+
+let parse_item st =
+  let tok = peek st in
+  let word =
+    match tok.Verilog_lexer.kind with
+    | Ident s -> String.lowercase_ascii s
+    | Lparen | Rparen | Semicolon | Comma | Eof ->
+      fail tok.pos "expected a declaration or an instance, found %s"
+        (Verilog_lexer.kind_to_string tok.kind)
+  in
+  match declaration_kind_of word with
+  | Some kind ->
+    advance st;
+    let names = parse_ident_list st in
+    expect st Verilog_lexer.Semicolon;
+    Verilog_ast.Declaration { kind; names }
+  | None ->
+    if not (List.mem word primitives) then
+      fail tok.pos "unknown primitive %S (expected one of %s)" word
+        (String.concat ", " primitives);
+    advance st;
+    let instance_name =
+      match (peek st).Verilog_lexer.kind with
+      | Ident s ->
+        advance st;
+        Some s
+      | Lparen | Rparen | Semicolon | Comma | Eof -> None
+    in
+    expect st Verilog_lexer.Lparen;
+    let terminals = parse_ident_list st in
+    expect st Verilog_lexer.Rparen;
+    expect st Verilog_lexer.Semicolon;
+    Verilog_ast.Instance { primitive = word; instance_name; terminals }
+
+let parse_ast source =
+  let st = of_string source in
+  expect_keyword st "module";
+  let module_name = expect_ident st in
+  expect st Verilog_lexer.Lparen;
+  let ports =
+    match (peek st).Verilog_lexer.kind with
+    | Rparen -> []
+    | Ident _ | Lparen | Semicolon | Comma | Eof -> parse_ident_list st
+  in
+  expect st Verilog_lexer.Rparen;
+  expect st Verilog_lexer.Semicolon;
+  let rec items acc =
+    let tok = peek st in
+    match tok.Verilog_lexer.kind with
+    | Ident s when String.lowercase_ascii s = "endmodule" ->
+      advance st;
+      List.rev acc
+    | Eof -> fail tok.pos "missing endmodule"
+    | Ident _ | Lparen | Rparen | Semicolon | Comma -> items (parse_item st :: acc)
+  in
+  let items = items [] in
+  (match (peek st).Verilog_lexer.kind with
+  | Eof -> ()
+  | k -> fail (peek st).Verilog_lexer.pos "trailing input after endmodule: %s"
+           (Verilog_lexer.kind_to_string k));
+  { Verilog_ast.module_name; ports; items }
+
+(* --- elaboration ------------------------------------------------------------- *)
+
+let gate_kind_of_primitive = function
+  | "and" -> Some Netlist.Gate.And
+  | "nand" -> Some Netlist.Gate.Nand
+  | "or" -> Some Netlist.Gate.Or
+  | "nor" -> Some Netlist.Gate.Nor
+  | "xor" -> Some Netlist.Gate.Xor
+  | "xnor" -> Some Netlist.Gate.Xnor
+  | "not" -> Some Netlist.Gate.Not
+  | "buf" -> Some Netlist.Gate.Buf
+  | _ -> None
+
+exception Elaboration_error of string
+
+let elaborate (ast : Verilog_ast.t) =
+  let b = Netlist.Builder.create ~name:ast.module_name () in
+  (* First pass: declarations define inputs and collect outputs. *)
+  List.iter
+    (fun item ->
+      match item with
+      | Verilog_ast.Declaration { kind = Verilog_ast.Input; names } ->
+        List.iter (Netlist.Builder.add_input b) names
+      | Verilog_ast.Declaration { kind = Verilog_ast.Output; names } ->
+        List.iter (Netlist.Builder.add_output b) names
+      | Verilog_ast.Declaration { kind = Verilog_ast.Wire; names = _ } ->
+        (* wires are implied by their drivers *)
+        ()
+      | Verilog_ast.Instance _ -> ())
+    ast.items;
+  (* Second pass: instances define gates and flip-flops. *)
+  List.iter
+    (fun item ->
+      match item with
+      | Verilog_ast.Declaration _ -> ()
+      | Verilog_ast.Instance { primitive; instance_name; terminals } -> (
+        let describe () =
+          match instance_name with
+          | Some n -> Printf.sprintf "%s %s" primitive n
+          | None -> primitive
+        in
+        match (primitive, terminals) with
+        | "dff", [ q; d ] -> Netlist.Builder.add_dff b ~q ~d
+        | "dff", _ ->
+          raise
+            (Elaboration_error
+               (Printf.sprintf "%s: dff takes exactly (q, d), got %d terminals" (describe ())
+                  (List.length terminals)))
+        | _, output :: inputs -> (
+          match gate_kind_of_primitive primitive with
+          | Some kind -> Netlist.Builder.add_gate b ~output ~kind inputs
+          | None -> raise (Elaboration_error (Printf.sprintf "%s: unknown primitive" (describe ()))))
+        | _, [] ->
+          raise (Elaboration_error (Printf.sprintf "%s: instance with no terminals" (describe ())))))
+    ast.items;
+  Netlist.Builder.freeze b
+
+let parse_string source = elaborate (parse_ast source)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path = parse_string (read_file path)

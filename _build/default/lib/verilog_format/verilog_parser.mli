@@ -1,0 +1,24 @@
+(** Parser and elaborator for the structural Verilog subset (gate
+    primitives + [dff] instances, positional terminals, output first). *)
+
+exception Error of { message : string; pos : Verilog_lexer.position }
+(** Syntax error. *)
+
+exception Elaboration_error of string
+(** Structural error at the instance level (e.g. a [dff] with the wrong
+    terminal count).  Netlist-level problems raise
+    {!Netlist.Builder.Error}. *)
+
+val parse_ast : string -> Verilog_ast.t
+(** @raise Error. *)
+
+val elaborate : Verilog_ast.t -> Netlist.Circuit.t
+(** @raise Elaboration_error | Netlist.Builder.Error. *)
+
+val parse_string : string -> Netlist.Circuit.t
+(** [elaborate (parse_ast source)]. *)
+
+val parse_file : string -> Netlist.Circuit.t
+(** @raise Sys_error | Error | Elaboration_error | Netlist.Builder.Error. *)
+
+val gate_kind_of_primitive : string -> Netlist.Gate.kind option

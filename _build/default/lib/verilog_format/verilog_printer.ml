@@ -1,0 +1,81 @@
+(* Writer for the structural Verilog subset: the inverse of
+   Verilog_parser on netlists. *)
+
+let primitive_of_kind = function
+  | Netlist.Gate.And -> "and"
+  | Netlist.Gate.Nand -> "nand"
+  | Netlist.Gate.Or -> "or"
+  | Netlist.Gate.Nor -> "nor"
+  | Netlist.Gate.Xor -> "xor"
+  | Netlist.Gate.Xnor -> "xnor"
+  | Netlist.Gate.Not -> "not"
+  | Netlist.Gate.Buf -> "buf"
+  | Netlist.Gate.Const0 -> "const0"
+  | Netlist.Gate.Const1 -> "const1"
+
+exception Unprintable of string
+
+let ast_of_circuit circuit =
+  let open Netlist in
+  let name_of = Circuit.node_name circuit in
+  let inputs = List.map name_of (Circuit.inputs circuit) in
+  let outputs = List.map name_of (Circuit.outputs circuit) in
+  let wires = ref [] in
+  let instances = ref [] in
+  let gate_counter = ref 0 in
+  for v = 0 to Circuit.node_count circuit - 1 do
+    match Circuit.node circuit v with
+    | Circuit.Input -> ()
+    | Circuit.Ff { data } ->
+      incr gate_counter;
+      if not (List.mem (name_of v) outputs) then wires := name_of v :: !wires;
+      instances :=
+        Verilog_ast.Instance
+          {
+            primitive = "dff";
+            instance_name = Some (Printf.sprintf "ff%d" !gate_counter);
+            terminals = [ name_of v; name_of data ];
+          }
+        :: !instances
+    | Circuit.Gate { kind; fanins } ->
+      (match kind with
+      | Gate.Const0 | Gate.Const1 ->
+        (* The subset has no constant primitives; callers should run
+           Transform.propagate_constants first. *)
+        raise (Unprintable (Printf.sprintf "constant gate %s" (name_of v)))
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor | Gate.Not
+      | Gate.Buf ->
+        ());
+      incr gate_counter;
+      if not (List.mem (name_of v) outputs) then wires := name_of v :: !wires;
+      instances :=
+        Verilog_ast.Instance
+          {
+            primitive = primitive_of_kind kind;
+            instance_name = Some (Printf.sprintf "g%d" !gate_counter);
+            terminals = name_of v :: Array.to_list (Array.map name_of fanins);
+          }
+        :: !instances
+  done;
+  let declaration kind names =
+    match names with
+    | [] -> []
+    | _ :: _ -> [ Verilog_ast.Declaration { kind; names } ]
+  in
+  {
+    Verilog_ast.module_name = Circuit.name circuit;
+    ports = inputs @ outputs;
+    items =
+      declaration Verilog_ast.Input inputs
+      @ declaration Verilog_ast.Output outputs
+      @ declaration Verilog_ast.Wire (List.rev !wires)
+      @ List.rev !instances;
+  }
+
+let circuit_to_string circuit = Fmt.str "%a@." Verilog_ast.pp (ast_of_circuit circuit)
+
+let write_file path circuit =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (circuit_to_string circuit))

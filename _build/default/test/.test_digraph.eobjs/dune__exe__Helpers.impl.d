@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Builder Circuit Circuit_gen Gate List Netlist Printf QCheck2 QCheck_alcotest Rng Sigprob

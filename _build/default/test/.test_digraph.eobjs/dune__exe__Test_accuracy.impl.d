@@ -1,0 +1,1 @@
+test/test_accuracy.ml: Alcotest Epp Fault_sim Fun Helpers List Netlist Printf Rng Sigprob

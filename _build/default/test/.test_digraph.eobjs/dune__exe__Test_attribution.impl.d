@@ -1,0 +1,1 @@
+test/test_attribution.ml: Alcotest Builder Circuit_gen Epp Gate Helpers List Netlist

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Circuit_bdd Circuit_gen Fault_sim Float Fun Helpers List Logic_sim Netlist Printf Reach Rng Sigprob

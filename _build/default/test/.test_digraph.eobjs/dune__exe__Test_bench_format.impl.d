@@ -1,0 +1,1 @@
+test/test_bench_format.ml: Alcotest Array Bench_format Circuit_gen Filename Fun Hashtbl Helpers List Logic_sim Netlist Rng Sys

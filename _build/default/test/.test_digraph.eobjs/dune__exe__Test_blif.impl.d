@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Array Blif_format Builder Circuit Circuit_bdd Circuit_gen Filename Fun Gate Helpers List Logic_sim Netlist Printf Sys

@@ -1,0 +1,1 @@
+test/test_circuit_gen.ml: Alcotest Array Bench_format Circuit Circuit_gen Gate Helpers List Logic_sim Netlist Printf Stats

@@ -1,0 +1,1 @@
+test/test_collapse.ml: Alcotest Builder Circuit Circuit_gen Epp Float Gate Helpers List Netlist Sigprob

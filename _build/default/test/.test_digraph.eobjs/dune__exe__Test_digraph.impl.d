@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Bfs Digraph Fun Helpers List Reach Rng Scc Topo

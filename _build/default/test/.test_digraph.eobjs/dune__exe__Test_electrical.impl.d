@@ -1,0 +1,1 @@
+test/test_electrical.ml: Alcotest Array Circuit Circuit_gen Epp Helpers List Netlist Seu_model

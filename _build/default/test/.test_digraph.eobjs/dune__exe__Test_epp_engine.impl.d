@@ -1,0 +1,1 @@
+test/test_epp_engine.ml: Alcotest Builder Circuit Circuit_gen Epp Fault_sim Float Gate Helpers List Netlist Printf Sigprob

@@ -1,0 +1,1 @@
+test/test_epp_engine.mli:

@@ -1,0 +1,1 @@
+test/test_fault_sim.ml: Alcotest Builder Circuit Circuit_gen Fault_sim Float Gate Helpers List Netlist Rng

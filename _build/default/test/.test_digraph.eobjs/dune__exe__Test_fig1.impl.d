@@ -1,0 +1,1 @@
+test/test_fig1.ml: Alcotest Circuit Epp Fault_sim Gate Helpers List Netlist Rng Sigprob

@@ -1,0 +1,1 @@
+test/test_logic_sim.ml: Alcotest Array Circuit Gate Helpers Int64 List Logic_sim Netlist Reach Rng

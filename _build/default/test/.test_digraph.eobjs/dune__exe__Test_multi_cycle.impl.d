@@ -1,0 +1,1 @@
+test/test_multi_cycle.ml: Alcotest Builder Circuit Circuit_gen Epp Fun Gate Helpers List Netlist Printf Seu_model

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Builder Circuit Gate Helpers Int64 List Logic_sim Netlist Option Printf Rng Stats String Topo

@@ -1,0 +1,1 @@
+test/test_observability.ml: Alcotest Array Builder Circuit Epp Float Gate Helpers Netlist Sigprob

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Circuit Circuit_gen Epp Float Helpers List Netlist Rng Sigprob

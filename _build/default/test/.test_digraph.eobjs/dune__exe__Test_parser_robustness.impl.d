@@ -1,0 +1,1 @@
+test/test_parser_robustness.ml: Alcotest Bench_format Blif_format Buffer Bytes Circuit_gen Epp Helpers List Netlist Printexc Printf Rng Sigprob String Verilog_format

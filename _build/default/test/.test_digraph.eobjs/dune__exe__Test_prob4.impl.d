@@ -1,0 +1,1 @@
+test/test_prob4.ml: Alcotest Epp Float Fmt Helpers Rng String

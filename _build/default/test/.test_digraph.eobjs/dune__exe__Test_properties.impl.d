@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bench_format Blif_format Circuit Circuit_bdd Circuit_gen Epp Float Gate Helpers List Netlist Rng Sigprob Verilog_format

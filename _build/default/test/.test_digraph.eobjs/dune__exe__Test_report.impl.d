@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Circuit_gen Float Helpers List Report String Sys

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun Helpers Int64 List Logic_sim Printf Rng

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array Epp Float Gate Helpers List Netlist Rng

@@ -1,0 +1,1 @@
+test/test_seq_epp_sim.ml: Alcotest Array Builder Circuit Circuit_gen Epp Fault_sim Float Fun Gate Helpers List Netlist Printf Rng Seu_model

@@ -1,0 +1,1 @@
+test/test_ser.ml: Alcotest Array Circuit Circuit_gen Epp Float Gate Helpers List Netlist Seu_model

@@ -1,0 +1,1 @@
+test/test_sigprob.ml: Alcotest Array Builder Circuit Circuit_gen Float Gate Helpers Logic_sim Netlist Printf Rng Sigprob

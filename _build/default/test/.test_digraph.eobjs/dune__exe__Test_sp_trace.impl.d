@@ -1,0 +1,1 @@
+test/test_sp_trace.ml: Alcotest Array Builder Circuit Gate Helpers List Netlist Rng Sigprob

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Builder Circuit Circuit_gen Digraph Gate Helpers List Netlist Sta

@@ -1,0 +1,1 @@
+test/test_structured.ml: Alcotest Array Circuit Circuit_bdd Circuit_gen Epp Float Helpers List Logic_sim Netlist Printf Rng Sigprob String

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Circuit_gen Float Helpers List Report Seu_model String

@@ -1,0 +1,1 @@
+test/test_test_set.ml: Alcotest Array Builder Circuit Circuit_gen Epp Fun Gate Helpers List Logic_sim Netlist Reach

@@ -1,0 +1,1 @@
+test/test_test_set.mli:

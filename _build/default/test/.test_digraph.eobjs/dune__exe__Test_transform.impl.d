@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Builder Circuit Circuit_bdd Circuit_gen Epp Fun Gate Hashtbl Helpers List Logic_sim Netlist Option Rng Transform

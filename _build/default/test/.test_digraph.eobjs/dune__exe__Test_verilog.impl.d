@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Bench_format Builder Circuit Circuit_gen Filename Fun Gate Hashtbl Helpers List Logic_sim Netlist Rng String Sys Verilog_format

@@ -1,0 +1,90 @@
+(* Tests for the %Dif agreement metrics between the analytical engine and
+   the simulation baseline. *)
+
+open Helpers
+
+let pair site epp sim = { Epp.Accuracy.site; epp; sim }
+
+let test_relative_difference_basic () =
+  check_float "10% off" 0.1 (Epp.Accuracy.relative_difference ~epp:0.55 ~sim:0.5 ());
+  check_float "exact" 0.0 (Epp.Accuracy.relative_difference ~epp:0.5 ~sim:0.5 ())
+
+let test_relative_difference_both_zero () =
+  check_float "both zero counts as exact" 0.0 (Epp.Accuracy.relative_difference ~epp:0.0 ~sim:0.0 ())
+
+let test_relative_difference_floor () =
+  (* sim = 0.001 would explode without the floor. *)
+  let d = Epp.Accuracy.relative_difference ~epp:0.011 ~sim:0.001 () in
+  check_float_eps 1e-12 "floored denominator" (0.01 /. 0.02) d
+
+let test_relative_difference_bad_floor () =
+  Alcotest.check_raises "floor must be positive"
+    (Invalid_argument "Accuracy.relative_difference: floor must be positive") (fun () ->
+      ignore (Epp.Accuracy.relative_difference ~floor:0.0 ~epp:0.1 ~sim:0.1 ()))
+
+let test_summarize () =
+  let s =
+    Epp.Accuracy.summarize [ pair 0 0.55 0.5; pair 1 0.5 0.5; pair 2 0.45 0.5 ]
+  in
+  check_int "sites" 3 s.Epp.Accuracy.sites;
+  check_float_eps 1e-12 "mean relative" (0.2 /. 3.0) s.Epp.Accuracy.mean_relative_difference;
+  check_float_eps 1e-12 "MAE" (0.1 /. 3.0) s.Epp.Accuracy.mean_absolute_error;
+  check_float_eps 1e-12 "max AE" 0.05 s.Epp.Accuracy.max_absolute_error;
+  check_float_eps 1e-9 "dif in percentage points" (100.0 *. 0.1 /. 3.0) s.Epp.Accuracy.dif_percent;
+  check_float_eps 1e-9 "accuracy percent" (100.0 -. (100.0 *. 0.1 /. 3.0))
+    s.Epp.Accuracy.accuracy_percent
+
+let test_summarize_empty () =
+  Alcotest.check_raises "no sites" (Invalid_argument "Accuracy.summarize: no sites") (fun () ->
+      ignore (Epp.Accuracy.summarize []))
+
+let test_compare_sites_end_to_end () =
+  (* On fig1 with enough vectors, the analytical engine and the simulation
+     agree within a couple of percent at every site. *)
+  let c = fig1 () in
+  let sp = Sigprob.Sp_topological.compute ~spec:(fig1_spec c) c in
+  let engine = Epp.Epp_engine.create ~sp c in
+  let fault_sim =
+    Fault_sim.Epp_sim.create
+      ~config:{ Fault_sim.Epp_sim.vectors = 30_000; input_sp = fig1_input_sp c }
+      c
+  in
+  let sites = List.init (Netlist.Circuit.node_count c) Fun.id in
+  let pairs = Epp.Accuracy.compare_sites engine fault_sim ~rng:(Rng.create ~seed:11) sites in
+  check_int "one pair per site" (List.length sites) (List.length pairs);
+  let s = Epp.Accuracy.summarize pairs in
+  (* fig1 is tiny and maximally correlated (every signal is a function of
+     A's inputs), so the independence-assumption gap dominates.  The bound
+     guards against regressions an order of magnitude larger (a traversal
+     or rule bug shows up near 100 percentage points). *)
+  check_bool
+    (Printf.sprintf "%%Dif %.2f small" s.Epp.Accuracy.dif_percent)
+    true
+    (s.Epp.Accuracy.dif_percent < 8.0)
+
+let test_compare_sites_site_ids_preserved () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create ~sp:(Sigprob.Sp_topological.compute c) c in
+  let fault_sim = Fault_sim.Epp_sim.create c in
+  let pairs = Epp.Accuracy.compare_sites engine fault_sim ~rng:(Rng.create ~seed:1) [ 3; 7 ] in
+  Alcotest.(check (list int)) "sites" [ 3; 7 ]
+    (List.map (fun p -> p.Epp.Accuracy.site) pairs)
+
+let () =
+  Alcotest.run "accuracy"
+    [
+      ( "relative difference",
+        [
+          Alcotest.test_case "basic" `Quick test_relative_difference_basic;
+          Alcotest.test_case "both zero" `Quick test_relative_difference_both_zero;
+          Alcotest.test_case "floor" `Quick test_relative_difference_floor;
+          Alcotest.test_case "bad floor" `Quick test_relative_difference_bad_floor;
+        ] );
+      ( "summaries",
+        [
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "empty rejected" `Quick test_summarize_empty;
+          Alcotest.test_case "end-to-end on fig1" `Slow test_compare_sites_end_to_end;
+          Alcotest.test_case "site ids preserved" `Quick test_compare_sites_site_ids_preserved;
+        ] );
+    ]

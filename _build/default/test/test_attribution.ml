@@ -1,0 +1,90 @@
+(* Tests for the per-observation SER attribution. *)
+
+open Helpers
+open Netlist
+
+let test_single_po_absorbs_everything () =
+  let c = fig1 () in
+  let a = Epp.Attribution.compute c in
+  match a.Epp.Attribution.columns with
+  | [ col ] ->
+    check_string "the only PO" "H" col.Epp.Attribution.name;
+    check_float_eps 1e-12 "column equals matrix total" a.Epp.Attribution.matrix_total_fit
+      col.Epp.Attribution.fit;
+    check_bool "positive" true (col.Epp.Attribution.fit > 0.0)
+  | _ -> Alcotest.fail "fig1 has one observation"
+
+let test_columns_sorted_and_complete () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let a = Epp.Attribution.compute c in
+  check_int "1 PO + 3 FFs" 4 (List.length a.Epp.Attribution.columns);
+  let fits = List.map (fun col -> col.Epp.Attribution.fit) a.Epp.Attribution.columns in
+  check_bool "descending" true (List.sort (fun x y -> compare y x) fits = fits);
+  check_float_eps 1e-12 "total is the sum of columns"
+    (List.fold_left ( +. ) 0.0 fits)
+    a.Epp.Attribution.matrix_total_fit
+
+let test_top_contributors_bounded_and_sorted () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let a = Epp.Attribution.compute ~top:2 c in
+  List.iter
+    (fun col ->
+      check_bool "at most 2" true (List.length col.Epp.Attribution.top_contributors <= 2);
+      match col.Epp.Attribution.top_contributors with
+      | (_, f1) :: (_, f2) :: _ -> check_bool "descending" true (f1 >= f2)
+      | _ -> ())
+    a.Epp.Attribution.columns
+
+let test_matrix_upper_bounds_estimator () =
+  (* Column sums count multi-capture events once per column, so the matrix
+     total must upper-bound the (deduplicated) estimator total. *)
+  let c = Circuit_gen.Embedded.s27 () in
+  let a = Epp.Attribution.compute c in
+  let report = Epp.Ser_estimator.estimate c in
+  check_bool "upper bound" true
+    (a.Epp.Attribution.matrix_total_fit >= report.Epp.Ser_estimator.total_fit -. 1e-12)
+
+let test_unobserved_point_gets_zero () =
+  (* An output fed by a constant-free... simplest: a PO with no gates
+     upstream except an input: contributions only from gates; an
+     input-driven PO column is 0 because inputs have no R_SEU. *)
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "x";
+  Builder.add_gate b ~output:"y" ~kind:Gate.Not [ "x" ];
+  Builder.add_output b "a";
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let attribution = Epp.Attribution.compute c in
+  let col name =
+    List.find (fun col -> col.Epp.Attribution.name = name) attribution.Epp.Attribution.columns
+  in
+  check_float "input-only PO" 0.0 (col "a").Epp.Attribution.fit;
+  check_bool "gate-driven PO positive" true ((col "y").Epp.Attribution.fit > 0.0)
+
+let test_negative_top_rejected () =
+  Alcotest.check_raises "top" (Invalid_argument "Attribution.compute: negative top") (fun () ->
+      ignore (Epp.Attribution.compute ~top:(-1) (fig1 ())))
+
+let prop_columns_nonnegative =
+  qtest ~count:10 ~name:"all columns nonnegative on random DAGs" seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      let a = Epp.Attribution.compute c in
+      List.for_all (fun col -> col.Epp.Attribution.fit >= 0.0) a.Epp.Attribution.columns)
+
+let () =
+  Alcotest.run "attribution"
+    [
+      ( "columns",
+        [
+          Alcotest.test_case "single PO absorbs everything" `Quick
+            test_single_po_absorbs_everything;
+          Alcotest.test_case "sorted and complete" `Quick test_columns_sorted_and_complete;
+          Alcotest.test_case "top contributors" `Quick test_top_contributors_bounded_and_sorted;
+          Alcotest.test_case "matrix upper-bounds estimator" `Quick
+            test_matrix_upper_bounds_estimator;
+          Alcotest.test_case "unobserved point gets zero" `Quick test_unobserved_point_gets_zero;
+          Alcotest.test_case "negative top rejected" `Quick test_negative_top_rejected;
+          prop_columns_nonnegative;
+        ] );
+    ]

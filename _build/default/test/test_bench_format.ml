@@ -1,0 +1,222 @@
+(* Tests for the .bench lexer, parser and printer: token positions, all
+   statement forms, error reporting, and round-trip guarantees. *)
+
+open Helpers
+
+(* --- lexer ----------------------------------------------------------------- *)
+
+let kinds source = List.map (fun t -> t.Bench_format.Token.kind) (Bench_format.Lexer.all_tokens source)
+
+let test_lexer_simple () =
+  match kinds "y = AND(a, b)" with
+  | [ Ident "y"; Equal; Ident "AND"; Lparen; Ident "a"; Comma; Ident "b"; Rparen; Eof ] -> ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_comments_and_blanks () =
+  match kinds "# a comment\n  \t x # trailing\n(" with
+  | [ Ident "x"; Lparen; Eof ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lexer_positions () =
+  let toks = Bench_format.Lexer.all_tokens "ab\n  cd" in
+  match toks with
+  | [ { kind = Ident "ab"; pos = p1 }; { kind = Ident "cd"; pos = p2 }; _eof ] ->
+    check_int "line 1" 1 p1.Bench_format.Token.line;
+    check_int "col 1" 1 p1.Bench_format.Token.column;
+    check_int "line 2" 2 p2.Bench_format.Token.line;
+    check_int "col 3" 3 p2.Bench_format.Token.column
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_identifier_charset () =
+  (* ISCAS names can contain digits, dots, brackets, dashes. *)
+  match kinds "n_1.x[3]-q" with
+  | [ Ident "n_1.x[3]-q"; Eof ] -> ()
+  | _ -> Alcotest.fail "identifier split incorrectly"
+
+let test_lexer_empty () =
+  match kinds "" with
+  | [ Eof ] -> ()
+  | _ -> Alcotest.fail "empty input should give Eof only"
+
+(* --- parser ---------------------------------------------------------------- *)
+
+let parse = Bench_format.Parser.parse_ast ~name:"test"
+
+let test_parse_statements () =
+  let ast = parse "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\ny = NAND(a, q)\nd = NOT(a)" in
+  match ast.Bench_format.Ast.statements with
+  | [ Input "a"; Output "y"; Dff { q = "q"; d = "d" };
+      Gate { output = "y"; kind = Netlist.Gate.Nand; fanins = [ "a"; "q" ] };
+      Gate { output = "d"; kind = Netlist.Gate.Not; fanins = [ "a" ] } ] -> ()
+  | _ -> Alcotest.fail "unexpected AST"
+
+let test_parse_case_insensitive_keywords () =
+  let ast = parse "input(a)\noutput(a)" in
+  check_int "two statements" 2 (List.length ast.Bench_format.Ast.statements)
+
+let test_parse_gate_aliases () =
+  let ast = parse "INPUT(a)\ny = INVERT(a)\nz = BUFF(y)" in
+  match ast.Bench_format.Ast.statements with
+  | [ _; Gate { kind = Netlist.Gate.Not; _ }; Gate { kind = Netlist.Gate.Buf; _ } ] -> ()
+  | _ -> Alcotest.fail "aliases not resolved"
+
+let expect_parse_error ?check_pos source =
+  match parse source with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Bench_format.Parser.Error { pos; _ } -> (
+    match check_pos with
+    | None -> ()
+    | Some (line, column) ->
+      check_int "error line" line pos.Bench_format.Token.line;
+      check_int "error column" column pos.Bench_format.Token.column)
+
+let test_parse_error_unknown_gate () = expect_parse_error "INPUT(a)\ny = FROB(a)" ~check_pos:(2, 5)
+
+let test_parse_error_dff_arity () = expect_parse_error "q = DFF(a, b)"
+
+let test_parse_error_missing_paren () = expect_parse_error "INPUT a"
+
+let test_parse_error_dangling_equal () = expect_parse_error "y ="
+
+let test_parse_error_stray_punct () = expect_parse_error "(x)"
+
+let test_parse_empty_is_empty_circuit () =
+  let ast = parse "" in
+  check_int "no statements" 0 (List.length ast.Bench_format.Ast.statements)
+
+let test_parse_builds_circuit () =
+  let c =
+    Bench_format.Parser.parse_string ~name:"t"
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)"
+  in
+  check_int "gates" 1 (Netlist.Circuit.gate_count c);
+  check_string "name" "t" (Netlist.Circuit.name c)
+
+let test_parse_semantic_error_surfaces () =
+  Alcotest.check_raises "undefined signal"
+    (Netlist.Builder.Error
+       (Netlist.Builder.Undefined_signal { referenced_by = "y"; missing = "ghost" }))
+    (fun () ->
+      ignore (Bench_format.Parser.parse_string "INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)"))
+
+(* --- printer and round-trips ----------------------------------------------- *)
+
+let test_print_statement_forms () =
+  let open Bench_format.Ast in
+  check_string "input" "INPUT(a)" (Bench_format.Printer.statement_to_string (Input "a"));
+  check_string "dff" "q = DFF(d)"
+    (Bench_format.Printer.statement_to_string (Dff { q = "q"; d = "d" }));
+  check_string "gate" "y = NAND(a, b)"
+    (Bench_format.Printer.statement_to_string
+       (Gate { output = "y"; kind = Netlist.Gate.Nand; fanins = [ "a"; "b" ] }))
+
+let test_ast_roundtrip_exact () =
+  let source = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(y)\ny = XNOR(a, b)\n" in
+  let ast = parse source in
+  let printed = Bench_format.Printer.ast_to_string ast in
+  let ast2 = parse printed in
+  check_bool "statements identical" true
+    (ast.Bench_format.Ast.statements = ast2.Bench_format.Ast.statements)
+
+let circuit_equal_by_behaviour c1 c2 =
+  (* Same-named inputs get the same random words; outputs must agree. *)
+  let cs1 = Logic_sim.Sim.compile c1 and cs2 = Logic_sim.Sim.compile c2 in
+  let rng = Rng.create ~seed:99 in
+  let draws = Hashtbl.create 16 in
+  let assign c v =
+    let name = Netlist.Circuit.node_name c v in
+    match Hashtbl.find_opt draws name with
+    | Some w -> w
+    | None ->
+      let w = Rng.word rng in
+      Hashtbl.replace draws name w;
+      w
+  in
+  let v1 = Logic_sim.Sim.eval_words cs1 ~assign:(assign c1) in
+  let v2 = Logic_sim.Sim.eval_words cs2 ~assign:(assign c2) in
+  List.for_all2
+    (fun o1 o2 -> v1.(o1) = v2.(o2))
+    (Netlist.Circuit.outputs c1) (Netlist.Circuit.outputs c2)
+
+let test_circuit_roundtrip_s27 () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let c2 =
+    Bench_format.Parser.parse_string ~name:"s27" (Bench_format.Printer.circuit_to_string c)
+  in
+  check_int "nodes" (Netlist.Circuit.node_count c) (Netlist.Circuit.node_count c2);
+  check_int "gates" (Netlist.Circuit.gate_count c) (Netlist.Circuit.gate_count c2);
+  check_int "ffs" (Netlist.Circuit.ff_count c) (Netlist.Circuit.ff_count c2);
+  check_bool "same behaviour" true (circuit_equal_by_behaviour c c2)
+
+let prop_circuit_roundtrip_random =
+  qtest ~count:30 ~name:"print/parse round-trip preserves generated circuits" seed_arbitrary
+    (fun seed ->
+      let c = random_small_dag ~seed in
+      let printed = Bench_format.Printer.circuit_to_string c in
+      let c2 = Bench_format.Parser.parse_string ~name:(Netlist.Circuit.name c) printed in
+      Netlist.Circuit.node_count c = Netlist.Circuit.node_count c2
+      && Netlist.Circuit.gate_count c = Netlist.Circuit.gate_count c2
+      && circuit_equal_by_behaviour c c2)
+
+let prop_printed_ast_reparses_exactly =
+  qtest ~count:30 ~name:"ast_to_string/parse_ast is the identity" seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      let ast = Bench_format.Printer.ast_of_circuit c in
+      let ast2 = parse (Bench_format.Printer.ast_to_string ast) in
+      ast.Bench_format.Ast.statements = ast2.Bench_format.Ast.statements)
+
+let test_file_io () =
+  let c = Circuit_gen.Embedded.c17 () in
+  let path = Filename.temp_file "serprop" ".bench" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bench_format.Printer.write_file path c;
+      let c2 = Bench_format.Parser.parse_file path in
+      check_string "name from basename"
+        (Filename.remove_extension (Filename.basename path))
+        (Netlist.Circuit.name c2);
+      check_bool "same behaviour" true (circuit_equal_by_behaviour c c2))
+
+let test_parse_file_missing () =
+  match Bench_format.Parser.parse_file "/nonexistent/nope.bench" with
+  | _ -> Alcotest.fail "expected Sys_error"
+  | exception Sys_error _ -> ()
+
+let () =
+  Alcotest.run "bench_format"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "token stream" `Quick test_lexer_simple;
+          Alcotest.test_case "comments and blanks" `Quick test_lexer_comments_and_blanks;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "identifier charset" `Quick test_lexer_identifier_charset;
+          Alcotest.test_case "empty input" `Quick test_lexer_empty;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "all statement forms" `Quick test_parse_statements;
+          Alcotest.test_case "case-insensitive keywords" `Quick
+            test_parse_case_insensitive_keywords;
+          Alcotest.test_case "gate aliases" `Quick test_parse_gate_aliases;
+          Alcotest.test_case "unknown gate error + position" `Quick test_parse_error_unknown_gate;
+          Alcotest.test_case "DFF arity error" `Quick test_parse_error_dff_arity;
+          Alcotest.test_case "missing paren" `Quick test_parse_error_missing_paren;
+          Alcotest.test_case "dangling equal" `Quick test_parse_error_dangling_equal;
+          Alcotest.test_case "stray punctuation" `Quick test_parse_error_stray_punct;
+          Alcotest.test_case "empty file" `Quick test_parse_empty_is_empty_circuit;
+          Alcotest.test_case "builds a circuit" `Quick test_parse_builds_circuit;
+          Alcotest.test_case "semantic errors surface" `Quick test_parse_semantic_error_surfaces;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "statement forms" `Quick test_print_statement_forms;
+          Alcotest.test_case "ast round-trip" `Quick test_ast_roundtrip_exact;
+          Alcotest.test_case "s27 circuit round-trip" `Quick test_circuit_roundtrip_s27;
+          prop_circuit_roundtrip_random;
+          prop_printed_ast_reparses_exactly;
+          Alcotest.test_case "file IO" `Quick test_file_io;
+          Alcotest.test_case "missing file" `Quick test_parse_file_missing;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the BLIF reader/writer: covers, latches, comments and
+   continuations, elaboration semantics, round-trips. *)
+
+open Helpers
+open Netlist
+
+let half_adder_blif =
+  ".model half_adder\n\
+   .inputs a b\n\
+   .outputs sum carry\n\
+   # sum = a XOR b\n\
+   .names a b sum\n\
+   10 1\n\
+   01 1\n\
+   .names a b carry\n\
+   11 1\n\
+   .end\n"
+
+let test_parse_half_adder () =
+  let c = Blif_format.Blif_parser.parse_string half_adder_blif in
+  check_string "name" "half_adder" (Circuit.name c);
+  check_int "inputs" 2 (Circuit.input_count c);
+  check_int "outputs" 2 (Circuit.output_count c);
+  let cs = Logic_sim.Sim.compile c in
+  (* exhaustive truth check against the arithmetic *)
+  for i = 0 to 3 do
+    let a = i land 1 <> 0 and b = i land 2 <> 0 in
+    let v =
+      Logic_sim.Sim.eval_bool cs ~assign:(fun n ->
+          if Circuit.node_name c n = "a" then a else b)
+    in
+    check_bool
+      (Printf.sprintf "sum %d" i)
+      (a <> b)
+      v.(Circuit.find c "sum");
+    check_bool (Printf.sprintf "carry %d" i) (a && b) v.(Circuit.find c "carry")
+  done
+
+let test_dont_care_and_single_literal () =
+  (* y = a OR (NOT c): cover rows "1--" and "--0" over (a, b, c). *)
+  let src =
+    ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-- 1\n--0 1\n.end\n"
+  in
+  let c = Blif_format.Blif_parser.parse_string src in
+  let cs = Logic_sim.Sim.compile c in
+  for i = 0 to 7 do
+    let bit k = i land (1 lsl k) <> 0 in
+    let v =
+      Logic_sim.Sim.eval_bool cs ~assign:(fun n ->
+          match Circuit.node_name c n with
+          | "a" -> bit 0
+          | "b" -> bit 1
+          | _ -> bit 2)
+    in
+    check_bool (Printf.sprintf "case %d" i) (bit 0 || not (bit 2)) v.(Circuit.find c "y")
+  done
+
+let test_off_set_cover () =
+  (* y defined by its off-set: y = NOT(a AND b) i.e. NAND. *)
+  let src = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n" in
+  let c = Blif_format.Blif_parser.parse_string src in
+  let cs = Logic_sim.Sim.compile c in
+  let v = Logic_sim.Sim.eval_bool cs ~assign:(fun _ -> true) in
+  check_bool "11 -> 0" false v.(Circuit.find c "y");
+  let v0 = Logic_sim.Sim.eval_bool cs ~assign:(fun _ -> false) in
+  check_bool "00 -> 1" true v0.(Circuit.find c "y")
+
+let test_constants () =
+  let src = ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n" in
+  let c = Blif_format.Blif_parser.parse_string src in
+  let cs = Logic_sim.Sim.compile c in
+  let v = Logic_sim.Sim.eval_bool cs ~assign:(fun _ -> false) in
+  check_bool "one" true v.(Circuit.find c "one");
+  check_bool "zero" false v.(Circuit.find c "zero")
+
+let test_latch_forms () =
+  let src =
+    ".model m\n.inputs d\n.outputs q2\n.latch d q0 2\n.latch q0 q1\n.latch q1 q2 re clk 0\n.end\n"
+  in
+  let c = Blif_format.Blif_parser.parse_string src in
+  check_int "three latches" 3 (Circuit.ff_count c)
+
+let test_comments_and_continuation () =
+  let src =
+    "# leading comment\n.model m\n.inputs \\\na b # trailing\n.outputs y\n.names a b y\n11 1\n.end\n"
+  in
+  let c = Blif_format.Blif_parser.parse_string src in
+  check_int "both inputs found" 2 (Circuit.input_count c)
+
+let expect_error src =
+  match Blif_format.Blif_parser.parse_string src with
+  | _ -> Alcotest.fail "expected error"
+  | exception Blif_format.Blif_parser.Error _ -> ()
+  | exception Blif_format.Blif_parser.Elaboration_error _ -> ()
+
+let test_errors () =
+  expect_error ".model a b\n.end\n";
+  expect_error ".frobnicate\n.end\n";
+  expect_error ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n";
+  (* cover width mismatch *)
+  expect_error ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n";
+  (* mixed on/off rows *)
+  expect_error ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n"
+
+let test_error_carries_line () =
+  match Blif_format.Blif_parser.parse_string ".model m\n.inputs a\n.bogus\n.end\n" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Blif_format.Blif_parser.Error { line; _ } -> check_int "line" 3 line
+
+(* --- writer round-trips ---------------------------------------------------- *)
+
+let equivalent c1 c2 =
+  match Circuit_bdd.check_equivalence c1 c2 with
+  | Circuit_bdd.Equivalent -> true
+  | Circuit_bdd.Interface_mismatch _ | Circuit_bdd.Differs _ -> false
+
+let test_roundtrip_s27 () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let c2 = Blif_format.Blif_parser.parse_string (Blif_format.Blif_printer.circuit_to_string c) in
+  check_bool "formally equivalent" true (equivalent c c2)
+
+let test_roundtrip_c17 () =
+  let c = Circuit_gen.Embedded.c17 () in
+  let c2 = Blif_format.Blif_parser.parse_string (Blif_format.Blif_printer.circuit_to_string c) in
+  check_bool "formally equivalent" true (equivalent c c2)
+
+let prop_roundtrip_random =
+  qtest ~count:25 ~name:"blif round-trip is formally equivalent" seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      let c2 =
+        Blif_format.Blif_parser.parse_string (Blif_format.Blif_printer.circuit_to_string c)
+      in
+      equivalent c c2)
+
+let test_xor_cover_roundtrip () =
+  (* 3-input XNOR exercises the parity cover generator. *)
+  let b = Builder.create () in
+  List.iter (Builder.add_input b) [ "a"; "b"; "c" ];
+  Builder.add_gate b ~output:"y" ~kind:Gate.Xnor [ "a"; "b"; "c" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let c2 = Blif_format.Blif_parser.parse_string (Blif_format.Blif_printer.circuit_to_string c) in
+  check_bool "equivalent" true (equivalent c c2)
+
+let test_file_io () =
+  let c = Circuit_gen.Embedded.c17 () in
+  let path = Filename.temp_file "serprop" ".blif" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Blif_format.Blif_printer.write_file path c;
+      let c2 = Blif_format.Blif_parser.parse_file path in
+      check_bool "equivalent" true (equivalent c c2))
+
+let () =
+  Alcotest.run "blif"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "half adder" `Quick test_parse_half_adder;
+          Alcotest.test_case "don't cares and single literals" `Quick
+            test_dont_care_and_single_literal;
+          Alcotest.test_case "off-set cover" `Quick test_off_set_cover;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "latch forms" `Quick test_latch_forms;
+          Alcotest.test_case "comments and continuations" `Quick
+            test_comments_and_continuation;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error carries line number" `Quick test_error_carries_line;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "s27 round-trip" `Quick test_roundtrip_s27;
+          Alcotest.test_case "c17 round-trip" `Quick test_roundtrip_c17;
+          prop_roundtrip_random;
+          Alcotest.test_case "xor parity cover" `Quick test_xor_cover_roundtrip;
+          Alcotest.test_case "file IO" `Quick test_file_io;
+        ] );
+    ]

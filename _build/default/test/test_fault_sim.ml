@@ -1,0 +1,188 @@
+(* Tests for the random-simulation baseline and the exhaustive EPP oracle. *)
+
+open Helpers
+open Netlist
+
+(* --- exhaustive oracle ------------------------------------------------------ *)
+
+let test_exact_po_driver_always_sensitized () =
+  (* An error on the node driving a PO is always observed there. *)
+  let c = fig1 () in
+  let h = Circuit.find c "H" in
+  let r = Fault_sim.Epp_exact.compute c h in
+  check_float "P_sens = 1" 1.0 r.Fault_sim.Epp_exact.p_sensitized
+
+let test_exact_unobservable_site () =
+  (* A gate feeding nothing and not an output has P_sens = 0. *)
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_gate b ~output:"y" ~kind:Gate.Not [ "a" ];
+  Builder.add_gate b ~output:"dangling" ~kind:Gate.Not [ "a" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let r = Fault_sim.Epp_exact.compute c (Circuit.find c "dangling") in
+  check_float "unobservable" 0.0 r.Fault_sim.Epp_exact.p_sensitized
+
+let test_exact_input_limit () =
+  let profile = Circuit_gen.Profiles.make ~name:"wide" ~inputs:22 ~outputs:1 ~ffs:0 ~gates:5 in
+  let c = Circuit_gen.Random_dag.generate ~seed:3 profile in
+  Alcotest.check_raises "limit"
+    (Fault_sim.Epp_exact.Too_many_inputs { inputs = 22; limit = 20 }) (fun () ->
+      ignore (Fault_sim.Epp_exact.compute c 0))
+
+let test_exact_bad_site () =
+  let c = fig1 () in
+  Alcotest.check_raises "bad site" (Invalid_argument "Epp_exact.compute: bad site") (fun () ->
+      ignore (Fault_sim.Epp_exact.compute c 999))
+
+let test_exact_masked_by_constant () =
+  (* y = AND(x, 0) can never show an error on x. *)
+  let b = Builder.create () in
+  Builder.add_input b "x";
+  Builder.add_gate b ~output:"zero" ~kind:Gate.Const0 [];
+  Builder.add_gate b ~output:"y" ~kind:Gate.And [ "x"; "zero" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let r = Fault_sim.Epp_exact.compute c (Circuit.find c "x") in
+  check_float "masked" 0.0 r.Fault_sim.Epp_exact.p_sensitized
+
+let test_exact_per_observation_bounds () =
+  let c = Circuit_gen.Embedded.s27 () in
+  for site = 0 to Circuit.node_count c - 1 do
+    let r = Fault_sim.Epp_exact.compute c site in
+    let per = List.map snd r.Fault_sim.Epp_exact.per_observation in
+    let maxp = List.fold_left Float.max 0.0 per in
+    let sump = List.fold_left ( +. ) 0.0 per in
+    let ps = r.Fault_sim.Epp_exact.p_sensitized in
+    if ps < maxp -. 1e-9 || ps > sump +. 1e-9 then
+      Alcotest.failf "bounds violated at site %d: %.4f not in [%.4f, %.4f]" site ps maxp sump
+  done
+
+(* --- Monte-Carlo baseline ---------------------------------------------------- *)
+
+let test_sim_matches_exact_fig1 () =
+  let c = fig1 () in
+  let ctx =
+    Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors = 50_000; input_sp = (fun _ -> 0.5) } c
+  in
+  let rng = Rng.create ~seed:17 in
+  for site = 0 to Circuit.node_count c - 1 do
+    let sim = Fault_sim.Epp_sim.estimate_site ctx ~rng site in
+    let exact = Fault_sim.Epp_exact.compute c site in
+    let d =
+      Float.abs (sim.Fault_sim.Epp_sim.p_sensitized -. exact.Fault_sim.Epp_exact.p_sensitized)
+    in
+    if d > 0.01 then
+      Alcotest.failf "site %s: sim %.4f vs exact %.4f"
+        (Circuit.node_name c site)
+        sim.Fault_sim.Epp_sim.p_sensitized exact.Fault_sim.Epp_exact.p_sensitized
+  done
+
+let test_sim_per_observation_matches_exact () =
+  let c = Circuit_gen.Embedded.c17 () in
+  let ctx =
+    Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors = 50_000; input_sp = (fun _ -> 0.5) } c
+  in
+  let rng = Rng.create ~seed:23 in
+  let site = Circuit.find c "G11" in
+  let sim = Fault_sim.Epp_sim.estimate_site ctx ~rng site in
+  let exact = Fault_sim.Epp_exact.compute c site in
+  List.iter2
+    (fun (obs1, p_sim) (obs2, p_exact) ->
+      check_string "same observation order" (Circuit.observation_name c obs1)
+        (Circuit.observation_name c obs2);
+      check_float_eps 0.01 (Circuit.observation_name c obs1) p_exact p_sim)
+    sim.Fault_sim.Epp_sim.per_observation exact.Fault_sim.Epp_exact.per_observation
+
+let test_sim_deterministic () =
+  let c = fig1 () in
+  let ctx = Fault_sim.Epp_sim.create c in
+  let run () =
+    (Fault_sim.Epp_sim.estimate_site ctx ~rng:(Rng.create ~seed:5) 5).Fault_sim.Epp_sim
+    .p_sensitized
+  in
+  check_float "reproducible" (run ()) (run ())
+
+let test_sim_partial_word_vectors () =
+  (* A vector count that is not a multiple of 64 exercises the masked tail. *)
+  let c = fig1 () in
+  let ctx = Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors = 100; input_sp = (fun _ -> 0.5) } c in
+  let r = Fault_sim.Epp_sim.estimate_site ctx ~rng:(Rng.create ~seed:9) 0 in
+  check_int "vector count recorded" 100 r.Fault_sim.Epp_sim.vectors;
+  check_bool "probability in range" true
+    (r.Fault_sim.Epp_sim.p_sensitized >= 0.0 && r.Fault_sim.Epp_sim.p_sensitized <= 1.0)
+
+let test_sim_vector_validation () =
+  let c = fig1 () in
+  Alcotest.check_raises "zero vectors" (Invalid_argument "Epp_sim.create: vectors must be positive")
+    (fun () ->
+      ignore (Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors = 0; input_sp = (fun _ -> 0.5) } c))
+
+let test_sim_bad_site () =
+  let c = fig1 () in
+  let ctx = Fault_sim.Epp_sim.create c in
+  Alcotest.check_raises "bad site" (Invalid_argument "Epp_sim.estimate_site: bad site") (fun () ->
+      ignore (Fault_sim.Epp_sim.estimate_site ctx ~rng:(Rng.create ~seed:1) (-1)))
+
+let test_sim_estimate_all_covers_every_node () =
+  let c = Circuit_gen.Embedded.c17 () in
+  let ctx = Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors = 640; input_sp = (fun _ -> 0.5) } c in
+  let all = Fault_sim.Epp_sim.estimate_all ctx ~rng:(Rng.create ~seed:2) in
+  check_int "one estimate per node" (Circuit.node_count c) (List.length all);
+  List.iteri
+    (fun i e -> check_int "site order" i e.Fault_sim.Epp_sim.site)
+    all
+
+let test_sim_sequential_observations () =
+  (* In a sequential circuit, errors reaching only FF data inputs must still
+     count as sensitized. *)
+  let c = shift_register () in
+  let ctx = Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors = 6400; input_sp = (fun _ -> 0.5) } c in
+  let si = Circuit.find c "si" in
+  let r = Fault_sim.Epp_sim.estimate_site ctx ~rng:(Rng.create ~seed:3) si in
+  (* si drives q0.D directly: always captured there. *)
+  check_float "siphons into q0.D" 1.0 r.Fault_sim.Epp_sim.p_sensitized
+
+let prop_sim_close_to_exact_on_random_dags =
+  qtest ~count:15 ~name:"simulation close to exhaustive on random DAGs" seed_arbitrary
+    (fun seed ->
+      let c = random_small_dag ~seed in
+      let ctx =
+        Fault_sim.Epp_sim.create ~config:{ Fault_sim.Epp_sim.vectors = 20_000; input_sp = (fun _ -> 0.5) } c
+      in
+      let rng = Rng.create ~seed:(seed + 1) in
+      let site = seed mod Circuit.node_count c in
+      let sim = Fault_sim.Epp_sim.estimate_site ctx ~rng site in
+      let exact = Fault_sim.Epp_exact.compute c site in
+      Float.abs (sim.Fault_sim.Epp_sim.p_sensitized -. exact.Fault_sim.Epp_exact.p_sensitized)
+      < 0.02)
+
+let () =
+  Alcotest.run "fault_sim"
+    [
+      ( "exact oracle",
+        [
+          Alcotest.test_case "PO driver always sensitized" `Quick
+            test_exact_po_driver_always_sensitized;
+          Alcotest.test_case "unobservable site" `Quick test_exact_unobservable_site;
+          Alcotest.test_case "input limit" `Quick test_exact_input_limit;
+          Alcotest.test_case "bad site" `Quick test_exact_bad_site;
+          Alcotest.test_case "masking by constants" `Quick test_exact_masked_by_constant;
+          Alcotest.test_case "per-observation bounds (s27)" `Quick
+            test_exact_per_observation_bounds;
+        ] );
+      ( "monte-carlo",
+        [
+          Alcotest.test_case "matches exact on fig1 (all sites)" `Slow test_sim_matches_exact_fig1;
+          Alcotest.test_case "per-observation matches exact" `Slow
+            test_sim_per_observation_matches_exact;
+          Alcotest.test_case "deterministic from seed" `Quick test_sim_deterministic;
+          Alcotest.test_case "partial last word" `Quick test_sim_partial_word_vectors;
+          Alcotest.test_case "vector validation" `Quick test_sim_vector_validation;
+          Alcotest.test_case "bad site" `Quick test_sim_bad_site;
+          Alcotest.test_case "estimate_all covers all nodes" `Quick
+            test_sim_estimate_all_covers_every_node;
+          Alcotest.test_case "FF data inputs observed" `Quick test_sim_sequential_observations;
+          prop_sim_close_to_exact_on_random_dags;
+        ] );
+    ]

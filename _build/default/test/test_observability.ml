@@ -1,0 +1,116 @@
+(* Tests for the COP-style observability engine and its relationship to the
+   per-site EPP method it predates. *)
+
+open Helpers
+open Netlist
+
+let test_po_driver_is_fully_observable () =
+  let c = fig1 () in
+  let ob = Sigprob.Observability.compute c in
+  check_float "H drives the PO" 1.0 (Sigprob.Observability.get_name ob "H")
+
+let test_dangling_is_unobservable () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_gate b ~output:"y" ~kind:Gate.Not [ "a" ];
+  Builder.add_gate b ~output:"dead" ~kind:Gate.Buf [ "a" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let ob = Sigprob.Observability.compute c in
+  check_float "dead" 0.0 (Sigprob.Observability.get_name ob "dead");
+  check_float "a observable through y" 1.0 (Sigprob.Observability.get_name ob "a")
+
+let test_and_side_input_factor () =
+  (* y = AND(a, b) with SP(b) = 0.3: CO(a) = 0.3. *)
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_gate b ~output:"y" ~kind:Gate.And [ "a"; "b" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let sp = Sigprob.Sp_topological.compute ~spec:(Sigprob.Sp.of_alist c [ ("b", 0.3) ]) c in
+  let ob = Sigprob.Observability.compute ~sp c in
+  check_float_eps 1e-12 "CO(a)" 0.3 (Sigprob.Observability.get_name ob "a");
+  check_float_eps 1e-12 "CO(b)" 0.5 (Sigprob.Observability.get_name ob "b")
+
+let test_xor_transparent () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_gate b ~output:"y" ~kind:Gate.Xor [ "a"; "b" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let ob = Sigprob.Observability.compute c in
+  check_float "XOR always propagates" 1.0 (Sigprob.Observability.get_name ob "a")
+
+let test_ff_data_observed () =
+  let c = shift_register () in
+  let ob = Sigprob.Observability.compute c in
+  check_float "si feeds q0.D directly" 1.0 (Sigprob.Observability.get_name ob "si")
+
+(* On fanout-free circuits COP observability equals the per-site EPP (and
+   hence the exact propagation probability): no reconvergence, no
+   correlation, and single paths compose identically. *)
+let prop_equals_epp_on_trees =
+  qtest ~count:30 ~name:"observability equals EPP on fanout-free circuits" seed_arbitrary
+    (fun seed ->
+      let c = random_tree ~seed ~inputs:(3 + (seed mod 5)) in
+      let sp = Sigprob.Sp_topological.compute c in
+      let ob = Sigprob.Observability.compute ~sp c in
+      let engine = Epp.Epp_engine.create ~sp c in
+      let ok = ref true in
+      for v = 0 to Circuit.node_count c - 1 do
+        let epp = (Epp.Epp_engine.analyze_site engine v).Epp.Epp_engine.p_sensitized in
+        if Float.abs (Sigprob.Observability.get ob v -. epp) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_values_are_probabilities =
+  qtest ~count:30 ~name:"observability values in [0,1]" seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      let ob = Sigprob.Observability.compute c in
+      Array.for_all (fun p -> p >= 0.0 && p <= 1.0) ob.Sigprob.Observability.values)
+
+let test_foreign_sp_rejected () =
+  let c1 = fig1 () and c2 = small_tree () in
+  let sp2 = Sigprob.Sp_topological.compute c2 in
+  Alcotest.check_raises "foreign sp"
+    (Invalid_argument "Observability.compute: sp computed on a different circuit") (fun () ->
+      ignore (Sigprob.Observability.compute ~sp:sp2 c1))
+
+(* The design-choice comparison the ablation bench prints: observability is
+   a whole-circuit single pass while EPP is per-site, so the two should
+   broadly agree on easy sites but diverge under reconvergence. *)
+let test_fig1_divergence_is_bounded () =
+  let c = fig1 () in
+  let sp = Sigprob.Sp_topological.compute ~spec:(fig1_spec c) c in
+  let ob = Sigprob.Observability.compute ~sp c in
+  let engine = Epp.Epp_engine.create ~sp c in
+  for v = 0 to Circuit.node_count c - 1 do
+    let epp = (Epp.Epp_engine.analyze_site engine v).Epp.Epp_engine.p_sensitized in
+    let co = Sigprob.Observability.get ob v in
+    if Float.abs (co -. epp) > 0.35 then
+      Alcotest.failf "unreasonable divergence at %s: CO %.3f vs EPP %.3f"
+        (Circuit.node_name c v) co epp
+  done
+
+let () =
+  Alcotest.run "observability"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "PO driver" `Quick test_po_driver_is_fully_observable;
+          Alcotest.test_case "dangling logic" `Quick test_dangling_is_unobservable;
+          Alcotest.test_case "AND side factor" `Quick test_and_side_input_factor;
+          Alcotest.test_case "XOR transparent" `Quick test_xor_transparent;
+          Alcotest.test_case "FF data observed" `Quick test_ff_data_observed;
+          Alcotest.test_case "foreign sp rejected" `Quick test_foreign_sp_rejected;
+        ] );
+      ( "vs EPP",
+        [
+          prop_equals_epp_on_trees;
+          prop_values_are_probabilities;
+          Alcotest.test_case "bounded divergence on fig1" `Quick
+            test_fig1_divergence_is_bounded;
+        ] );
+    ]

@@ -1,0 +1,78 @@
+(* Tests for multicore site analysis. *)
+
+open Helpers
+open Netlist
+
+let results_equal a b =
+  List.for_all2
+    (fun (x : Epp.Epp_engine.site_result) (y : Epp.Epp_engine.site_result) ->
+      x.Epp.Epp_engine.site = y.Epp.Epp_engine.site
+      && Float.abs (x.Epp.Epp_engine.p_sensitized -. y.Epp.Epp_engine.p_sensitized) < 1e-15
+      && x.Epp.Epp_engine.cone_size = y.Epp.Epp_engine.cone_size)
+    a b
+
+let test_matches_sequential () =
+  let c = Circuit_gen.Random_dag.generate ~seed:13 Circuit_gen.Profiles.s344 in
+  let engine = Epp.Epp_engine.create c in
+  let sequential = Epp.Epp_engine.analyze_all engine in
+  let parallel = Epp.Parallel.analyze_all ~domains:4 engine in
+  check_int "same length" (List.length sequential) (List.length parallel);
+  check_bool "identical results in order" true (results_equal sequential parallel)
+
+let test_single_domain_degenerates () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create c in
+  let sites = [ 5; 6; 7 ] in
+  check_bool "same as sequential" true
+    (results_equal
+       (Epp.Epp_engine.analyze_sites engine sites)
+       (Epp.Parallel.analyze_sites ~domains:1 engine sites))
+
+let test_empty_sites () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create c in
+  check_int "empty" 0 (List.length (Epp.Parallel.analyze_sites ~domains:4 engine []))
+
+let test_small_batch_falls_back () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create c in
+  let r = Epp.Parallel.analyze_sites ~domains:8 engine [ 0; 1 ] in
+  check_int "both analyzed" 2 (List.length r)
+
+let test_domain_validation () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create c in
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Parallel.analyze_sites: domains must be >= 1") (fun () ->
+      ignore (Epp.Parallel.analyze_sites ~domains:0 engine [ 0 ]))
+
+let test_default_domains_positive () =
+  check_bool "at least one" true (Epp.Parallel.default_domains () >= 1)
+
+let prop_order_preserved =
+  qtest ~count:10 ~name:"results come back in input order" seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      let engine = Epp.Epp_engine.create ~sp:(Sigprob.Sp_topological.compute c) c in
+      let rng = Rng.create ~seed in
+      let sites =
+        List.init 12 (fun _ -> Rng.int rng ~bound:(Circuit.node_count c))
+      in
+      let results = Epp.Parallel.analyze_sites ~domains:3 engine sites in
+      List.for_all2
+        (fun site (r : Epp.Epp_engine.site_result) -> r.Epp.Epp_engine.site = site)
+        sites results)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "single domain degenerates" `Quick test_single_domain_degenerates;
+          Alcotest.test_case "empty sites" `Quick test_empty_sites;
+          Alcotest.test_case "small batch falls back" `Quick test_small_batch_falls_back;
+          Alcotest.test_case "domain validation" `Quick test_domain_validation;
+          Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+          prop_order_preserved;
+        ] );
+    ]

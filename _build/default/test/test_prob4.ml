@@ -1,0 +1,110 @@
+(* Tests for the four-state probability vector: construction, validation,
+   the NOT rule, and closure properties. *)
+
+open Helpers
+
+let random_vector rng =
+  (* Dirichlet-ish: four positive numbers normalized to 1. *)
+  let a = Rng.float rng +. 1e-6 in
+  let b = Rng.float rng +. 1e-6 in
+  let c = Rng.float rng +. 1e-6 in
+  let d = Rng.float rng +. 1e-6 in
+  let s = a +. b +. c +. d in
+  Epp.Prob4.make ~pa:(a /. s) ~pa_bar:(b /. s) ~p1:(c /. s) ~p0:(d /. s)
+
+let test_make_valid () =
+  let v = Epp.Prob4.make ~pa:0.042 ~pa_bar:0.392 ~p1:0.398 ~p0:0.168 in
+  check_float "pa" 0.042 v.Epp.Prob4.pa;
+  check_float "sum" 1.0 (Epp.Prob4.sum v)
+
+let test_make_rejects_bad_sum () =
+  match Epp.Prob4.make ~pa:0.5 ~pa_bar:0.5 ~p1:0.5 ~p0:0.5 with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Epp.Prob4.Invalid { reason; _ } ->
+    check_string "reason" "components do not sum to 1" reason
+
+let test_make_rejects_negative () =
+  match Epp.Prob4.make ~pa:(-0.1) ~pa_bar:0.4 ~p1:0.4 ~p0:0.3 with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Epp.Prob4.Invalid _ -> ()
+
+let test_make_rejects_nan () =
+  match Epp.Prob4.make ~pa:Float.nan ~pa_bar:0.4 ~p1:0.3 ~p0:0.3 with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Epp.Prob4.Invalid _ -> ()
+
+let test_normalize_rounding_dust () =
+  let v = Epp.Prob4.normalize { pa = 0.25; pa_bar = 0.25; p1 = 0.25; p0 = 0.25 +. 1e-12 } in
+  check_float "renormalized" 1.0 (Epp.Prob4.sum v)
+
+let test_error_site () =
+  let v = Epp.Prob4.error_site in
+  check_float "pa = 1" 1.0 v.Epp.Prob4.pa;
+  check_float "p_error" 1.0 (Epp.Prob4.p_error v);
+  check_bool "not off-path" false (Epp.Prob4.is_off_path v)
+
+let test_of_sp () =
+  let v = Epp.Prob4.of_sp 0.3 in
+  check_float "p1" 0.3 v.Epp.Prob4.p1;
+  check_float "p0" 0.7 v.Epp.Prob4.p0;
+  check_float "no error mass" 0.0 (Epp.Prob4.p_error v);
+  check_bool "off-path" true (Epp.Prob4.is_off_path v)
+
+let test_of_sp_invalid () =
+  match Epp.Prob4.of_sp 1.2 with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Epp.Prob4.Invalid _ -> ()
+
+let test_invert_table1 () =
+  (* The published NOT rule: P1(out)=P0(in), Pa(out)=Pā(in), and so on. *)
+  let v = Epp.Prob4.make ~pa:0.1 ~pa_bar:0.2 ~p1:0.3 ~p0:0.4 in
+  let i = Epp.Prob4.invert v in
+  check_float "pa" 0.2 i.Epp.Prob4.pa;
+  check_float "pa_bar" 0.1 i.Epp.Prob4.pa_bar;
+  check_float "p1" 0.4 i.Epp.Prob4.p1;
+  check_float "p0" 0.3 i.Epp.Prob4.p0
+
+let prop_invert_involution =
+  qtest ~name:"invert is an involution" seed_arbitrary (fun seed ->
+      let v = random_vector (Rng.create ~seed) in
+      Epp.Prob4.equal_approx v (Epp.Prob4.invert (Epp.Prob4.invert v)))
+
+let prop_invert_preserves_error_mass =
+  qtest ~name:"invert preserves Pa + Pā" seed_arbitrary (fun seed ->
+      let v = random_vector (Rng.create ~seed) in
+      Float.abs (Epp.Prob4.p_error v -. Epp.Prob4.p_error (Epp.Prob4.invert v)) < 1e-12)
+
+let test_equal_approx () =
+  let v = Epp.Prob4.make ~pa:0.25 ~pa_bar:0.25 ~p1:0.25 ~p0:0.25 in
+  check_bool "equal to itself" true (Epp.Prob4.equal_approx v v);
+  let w = Epp.Prob4.make ~pa:0.3 ~pa_bar:0.2 ~p1:0.25 ~p0:0.25 in
+  check_bool "differs" false (Epp.Prob4.equal_approx v w)
+
+let test_pp_uses_paper_notation () =
+  let v = Epp.Prob4.make ~pa:0.042 ~pa_bar:0.392 ~p1:0.398 ~p0:0.168 in
+  let s = Fmt.str "%a" Epp.Prob4.pp v in
+  check_bool "mentions (a)" true (String.length s > 0 && String.contains s 'a')
+
+let () =
+  Alcotest.run "prob4"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "valid vector" `Quick test_make_valid;
+          Alcotest.test_case "bad sum rejected" `Quick test_make_rejects_bad_sum;
+          Alcotest.test_case "negative rejected" `Quick test_make_rejects_negative;
+          Alcotest.test_case "NaN rejected" `Quick test_make_rejects_nan;
+          Alcotest.test_case "normalize rounding dust" `Quick test_normalize_rounding_dust;
+          Alcotest.test_case "error site vector" `Quick test_error_site;
+          Alcotest.test_case "of_sp" `Quick test_of_sp;
+          Alcotest.test_case "of_sp invalid" `Quick test_of_sp_invalid;
+        ] );
+      ( "operations",
+        [
+          Alcotest.test_case "NOT rule of Table 1" `Quick test_invert_table1;
+          prop_invert_involution;
+          prop_invert_preserves_error_mass;
+          Alcotest.test_case "equal_approx" `Quick test_equal_approx;
+          Alcotest.test_case "pp notation" `Quick test_pp_uses_paper_notation;
+        ] );
+    ]

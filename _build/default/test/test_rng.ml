@@ -1,0 +1,182 @@
+(* Tests for the deterministic PRNG: reproducibility, ranges, statistical
+   sanity of the biased word generator (which the whole random-simulation
+   baseline rests on). *)
+
+open Helpers
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:8 in
+  check_bool "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b);
+  ignore (Rng.next_int64 a);
+  (* advancing a does not advance b *)
+  let a' = Rng.next_int64 a and b' = Rng.next_int64 b in
+  check_bool "streams diverge after unequal draws" true (a' <> b')
+
+let test_split_diverges () =
+  let parent = Rng.create ~seed:11 in
+  let child = Rng.split parent in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 parent) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 child) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if not (x >= 0.0 && x < 1.0) then Alcotest.failf "float out of range: %g" x
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:6 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  check_float_eps 0.01 "mean near 0.5" 0.5 (!sum /. float_of_int n)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng ~bound:7 in
+    if x < 0 || x >= 7 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_int_bad_bound () =
+  let rng = Rng.create ~seed:9 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng ~bound:0))
+
+let test_int_in_range () =
+  let rng = Rng.create ~seed:10 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in_range rng ~lo:3 ~hi:5 in
+    if x < 3 || x > 5 then Alcotest.failf "out of range: %d" x
+  done;
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in_range: empty range")
+    (fun () -> ignore (Rng.int_in_range rng ~lo:2 ~hi:1))
+
+let test_int_covers_all_values () =
+  let rng = Rng.create ~seed:12 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng ~bound:5) <- true
+  done;
+  Array.iteri (fun i s -> if not s then Alcotest.failf "value %d never drawn" i) seen
+
+let test_word_bit_balance () =
+  let rng = Rng.create ~seed:13 in
+  let words = 2000 in
+  let ones = ref 0 in
+  for _ = 1 to words do
+    ones := !ones + Logic_sim.Word.popcount (Rng.word rng)
+  done;
+  let mean = float_of_int !ones /. float_of_int (words * 64) in
+  check_float_eps 0.01 "fair bits" 0.5 mean
+
+let biased_mean ~seed ~p ~words =
+  let rng = Rng.create ~seed in
+  let ones = ref 0 in
+  for _ = 1 to words do
+    ones := !ones + Logic_sim.Word.popcount (Rng.biased_word rng ~p)
+  done;
+  float_of_int !ones /. float_of_int (words * 64)
+
+let test_biased_word_means () =
+  List.iter
+    (fun p ->
+      let mean = biased_mean ~seed:17 ~p ~words:3000 in
+      check_float_eps 0.01 (Printf.sprintf "p = %g" p) p mean)
+    [ 0.1; 0.25; 0.5; 0.7; 0.9 ]
+
+let test_biased_word_extremes () =
+  let rng = Rng.create ~seed:19 in
+  Alcotest.(check int64) "p=0" 0L (Rng.biased_word rng ~p:0.0);
+  Alcotest.(check int64) "p=1" Int64.minus_one (Rng.biased_word rng ~p:1.0)
+
+let test_biased_word_invalid () =
+  let rng = Rng.create ~seed:19 in
+  Alcotest.check_raises "p > 1" (Invalid_argument "Rng.biased_word: p outside [0,1]")
+    (fun () -> ignore (Rng.biased_word rng ~p:1.5))
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:23 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng arr;
+  Alcotest.(check (list int)) "same multiset" (List.init 50 Fun.id)
+    (List.sort compare (Array.to_list arr))
+
+let test_shuffle_moves_something () =
+  let rng = Rng.create ~seed:23 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng arr;
+  check_bool "not identity" true (arr <> Array.init 50 Fun.id)
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:29 in
+  let s = Rng.sample_without_replacement rng ~count:10 ~universe:100 in
+  check_int "count" 10 (Array.length s);
+  let sorted = List.sort_uniq compare (Array.to_list s) in
+  check_int "distinct" 10 (List.length sorted);
+  List.iter (fun x -> check_bool "in range" true (x >= 0 && x < 100)) sorted
+
+let test_sample_too_many () =
+  let rng = Rng.create ~seed:29 in
+  Alcotest.check_raises "count > universe"
+    (Invalid_argument "Rng.sample_without_replacement: count > universe") (fun () ->
+      ignore (Rng.sample_without_replacement rng ~count:5 ~universe:3))
+
+let prop_float_in_unit =
+  qtest ~name:"float always in [0,1)" seed_arbitrary (fun seed ->
+      let rng = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let x = Rng.float rng in
+        if not (x >= 0.0 && x < 1.0) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "streams",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_split_diverges;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "int covers all values" `Quick test_int_covers_all_values;
+          Alcotest.test_case "word bit balance" `Quick test_word_bit_balance;
+          Alcotest.test_case "biased word means" `Quick test_biased_word_means;
+          Alcotest.test_case "biased word extremes" `Quick test_biased_word_extremes;
+          Alcotest.test_case "biased word invalid p" `Quick test_biased_word_invalid;
+          prop_float_in_unit;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle moves something" `Quick test_shuffle_moves_something;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "sample too many raises" `Quick test_sample_too_many;
+        ] );
+    ]

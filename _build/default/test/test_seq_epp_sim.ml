@@ -1,0 +1,114 @@
+(* Tests for the multi-cycle fault-injection simulator, and the validation
+   of the analytical Multi_cycle extension against it. *)
+
+open Helpers
+open Netlist
+
+(* si -> q0 -> q1 -> q2 -> po buffer pipeline (same as test_multi_cycle). *)
+let pipeline () =
+  let b = Builder.create ~name:"pipe3" () in
+  Builder.add_input b "si";
+  Builder.add_dff b ~q:"q0" ~d:"si";
+  Builder.add_gate b ~output:"w0" ~kind:Gate.Buf [ "q0" ];
+  Builder.add_dff b ~q:"q1" ~d:"w0";
+  Builder.add_gate b ~output:"w1" ~kind:Gate.Buf [ "q1" ];
+  Builder.add_dff b ~q:"q2" ~d:"w1";
+  Builder.add_gate b ~output:"po" ~kind:Gate.Buf [ "q2" ];
+  Builder.add_output b "po";
+  Builder.freeze b
+
+let test_pipeline_deterministic () =
+  let c = pipeline () in
+  let r =
+    Fault_sim.Seq_epp_sim.estimate ~lanes:640 ~horizon:6 ~rng:(Rng.create ~seed:5) c
+      (Circuit.find c "si")
+  in
+  check_float "nothing in cycle 0-2" 0.0
+    (r.Fault_sim.Seq_epp_sim.per_cycle_detection.(0)
+    +. r.Fault_sim.Seq_epp_sim.per_cycle_detection.(1)
+    +. r.Fault_sim.Seq_epp_sim.per_cycle_detection.(2));
+  check_float "all lanes detected in cycle 3" 1.0
+    r.Fault_sim.Seq_epp_sim.per_cycle_detection.(3);
+  check_float "cumulative 1" 1.0 r.Fault_sim.Seq_epp_sim.cumulative_detection;
+  check_float "no residual" 0.0 r.Fault_sim.Seq_epp_sim.residual
+
+let test_combinational_site_resolves_in_cycle_0 () =
+  let c = pipeline () in
+  let r =
+    Fault_sim.Seq_epp_sim.estimate ~lanes:640 ~horizon:4 ~rng:(Rng.create ~seed:5) c
+      (Circuit.find c "po")
+  in
+  check_float "PO driver detected immediately" 1.0
+    r.Fault_sim.Seq_epp_sim.per_cycle_detection.(0)
+
+let test_validation_args () =
+  let c = pipeline () in
+  Alcotest.check_raises "lanes" (Invalid_argument "Seq_epp_sim.estimate: lanes must be positive")
+    (fun () ->
+      ignore (Fault_sim.Seq_epp_sim.estimate ~lanes:0 ~rng:(Rng.create ~seed:1) c 0));
+  Alcotest.check_raises "site" (Invalid_argument "Seq_epp_sim.estimate: bad site") (fun () ->
+      ignore (Fault_sim.Seq_epp_sim.estimate ~rng:(Rng.create ~seed:1) c 999))
+
+let test_deterministic_from_seed () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let run () =
+    (Fault_sim.Seq_epp_sim.estimate ~lanes:640 ~horizon:8 ~rng:(Rng.create ~seed:9) c 7)
+      .Fault_sim.Seq_epp_sim.cumulative_detection
+  in
+  check_float "reproducible" (run ()) (run ())
+
+(* The headline validation: the analytical multi-cycle extension against
+   the lock-step simulator on every gate site of s27.  The simulator
+   injects a full-cycle-wide flip, which corresponds to a latching window
+   of 1 in the analytical model. *)
+let test_multi_cycle_model_agrees_with_simulation () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let engine = Epp.Epp_engine.create c in
+  let config =
+    { Epp.Multi_cycle.default_config with
+      Epp.Multi_cycle.latching =
+        { Seu_model.Latching.default with
+          Seu_model.Latching.pulse_width = 1.0e-9;
+          setup_time = 0.0;
+          hold_time = 0.0;
+        }
+    }
+  in
+  let rng = Rng.create ~seed:41 in
+  let total_gap = ref 0.0 in
+  let sites = List.filter (Circuit.is_gate c) (List.init (Circuit.node_count c) Fun.id) in
+  List.iter
+    (fun site ->
+      let analytical = Epp.Multi_cycle.analyze ~config engine site in
+      let simulated =
+        Fault_sim.Seq_epp_sim.estimate ~lanes:12_800 ~horizon:32 ~rng c site
+      in
+      let gap =
+        Float.abs
+          (analytical.Epp.Multi_cycle.cumulative_detection
+          -. simulated.Fault_sim.Seq_epp_sim.cumulative_detection)
+      in
+      total_gap := !total_gap +. gap)
+    sites;
+  let mean_gap = !total_gap /. float_of_int (List.length sites) in
+  check_bool
+    (Printf.sprintf "mean |analytical - simulated| = %.4f < 0.12" mean_gap)
+    true (mean_gap < 0.12)
+
+let () =
+  Alcotest.run "seq_epp_sim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "pipeline deterministic walk" `Quick test_pipeline_deterministic;
+          Alcotest.test_case "PO driver in cycle 0" `Quick
+            test_combinational_site_resolves_in_cycle_0;
+          Alcotest.test_case "argument validation" `Quick test_validation_args;
+          Alcotest.test_case "deterministic from seed" `Quick test_deterministic_from_seed;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "multi-cycle model vs lock-step simulation (s27)" `Slow
+            test_multi_cycle_model_agrees_with_simulation;
+        ] );
+    ]

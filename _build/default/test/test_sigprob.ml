@@ -1,0 +1,268 @@
+(* Tests for the signal-probability engines: per-gate rules against
+   enumeration, topological vs exact on trees, Monte-Carlo convergence, the
+   sequential fixpoint. *)
+
+open Helpers
+open Netlist
+
+(* Exact single-gate SP by enumerating input assignments weighted by the
+   input probabilities — the specification of Sp_rules.gate_sp. *)
+let enumerated_gate_sp kind probs =
+  let n = Array.length probs in
+  let total = ref 0.0 in
+  for assignment = 0 to (1 lsl n) - 1 do
+    let weight = ref 1.0 in
+    let bits = Array.make n false in
+    for i = 0 to n - 1 do
+      let b = assignment land (1 lsl i) <> 0 in
+      bits.(i) <- b;
+      weight := !weight *. (if b then probs.(i) else 1.0 -. probs.(i))
+    done;
+    if Gate.eval kind bits then total := !total +. !weight
+  done;
+  !total
+
+let test_gate_sp_known () =
+  check_float "AND 2" 0.25 (Sigprob.Sp_rules.gate_sp Gate.And [| 0.5; 0.5 |]);
+  check_float "OR 2" 0.75 (Sigprob.Sp_rules.gate_sp Gate.Or [| 0.5; 0.5 |]);
+  check_float "XOR 2" 0.5 (Sigprob.Sp_rules.gate_sp Gate.Xor [| 0.5; 0.5 |]);
+  check_float "NOT" 0.3 (Sigprob.Sp_rules.gate_sp Gate.Not [| 0.7 |]);
+  check_float "NAND" 0.875 (Sigprob.Sp_rules.gate_sp Gate.Nand [| 0.5; 0.5; 0.5 |]);
+  check_float "CONST1" 1.0 (Sigprob.Sp_rules.gate_sp Gate.Const1 [||])
+
+let prop_gate_sp_matches_enumeration =
+  qtest ~count:300 ~name:"gate_sp equals weighted enumeration" seed_arbitrary (fun seed ->
+      let rng = Rng.create ~seed in
+      let kinds = [| Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor |] in
+      let kind = kinds.(Rng.int rng ~bound:6) in
+      let arity = 1 + Rng.int rng ~bound:4 in
+      let probs = Array.init arity (fun _ -> Rng.float rng) in
+      let expected = enumerated_gate_sp kind probs in
+      Float.abs (Sigprob.Sp_rules.gate_sp kind probs -. expected) < 1e-9)
+
+let test_gate_sp_validates_inputs () =
+  Alcotest.check_raises "p > 1" (Invalid_argument "Sp_rules: input probability 1.5 outside [0,1]")
+    (fun () -> ignore (Sigprob.Sp_rules.gate_sp Gate.And [| 1.5; 0.2 |]))
+
+let test_gate_sp_rejects_nan () =
+  match Sigprob.Sp_rules.gate_sp Gate.And [| Float.nan; 0.2 |] with
+  | _ -> Alcotest.fail "NaN accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- topological engine ---------------------------------------------------- *)
+
+let test_topological_fig1 () =
+  let c = fig1 () in
+  let sp = Sigprob.Sp_topological.compute ~spec:(fig1_spec c) c in
+  (* A = AND(I1,I2) at 0.5 each -> 0.25; E = 0.75; G = AND(E,F) -> 0.525. *)
+  check_float "A" 0.25 (Sigprob.Sp.get_name sp "A");
+  check_float "E" 0.75 (Sigprob.Sp.get_name sp "E");
+  check_float "G" (0.75 *. 0.7) (Sigprob.Sp.get_name sp "G");
+  check_float "D" (0.25 *. 0.2) (Sigprob.Sp.get_name sp "D");
+  Sigprob.Sp.check_result sp
+
+let prop_topological_exact_on_trees =
+  qtest ~count:40 ~name:"topological equals exact on fanout-free circuits" seed_arbitrary
+    (fun seed ->
+      let c = random_tree ~seed ~inputs:(3 + (seed mod 6)) in
+      let topo = Sigprob.Sp_topological.compute c in
+      let exact = Sigprob.Sp_exact.compute c in
+      Sigprob.Sp.max_absolute_difference topo exact < 1e-9)
+
+let test_topological_approximate_under_reconvergence () =
+  (* y = AND(x, NOT x) is constant 0; independence assumption says 0.25. *)
+  let b = Builder.create () in
+  Builder.add_input b "x";
+  Builder.add_gate b ~output:"nx" ~kind:Gate.Not [ "x" ];
+  Builder.add_gate b ~output:"y" ~kind:Gate.And [ "x"; "nx" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let topo = Sigprob.Sp_topological.compute c in
+  let exact = Sigprob.Sp_exact.compute c in
+  check_float "exact knows it is 0" 0.0 (Sigprob.Sp.get_name exact "y");
+  check_float "independence gives 1/4" 0.25 (Sigprob.Sp.get_name topo "y")
+
+let test_spec_of_alist_unknown () =
+  let c = fig1 () in
+  Alcotest.check_raises "unknown signal" (Invalid_argument "Sp.of_alist: unknown signal \"zz\"")
+    (fun () -> ignore (Sigprob.Sp.of_alist c [ ("zz", 0.5) ]))
+
+let test_spec_of_alist_bad_probability () =
+  let c = fig1 () in
+  match Sigprob.Sp.of_alist c [ ("B", 1.2) ] with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+(* --- exact engine ---------------------------------------------------------- *)
+
+let test_exact_limit () =
+  let profile = Circuit_gen.Profiles.make ~name:"wide" ~inputs:25 ~outputs:1 ~ffs:0 ~gates:30 in
+  let c = Circuit_gen.Random_dag.generate ~seed:5 profile in
+  Alcotest.check_raises "too many inputs"
+    (Sigprob.Sp_exact.Too_many_inputs { inputs = 25; limit = 20 }) (fun () ->
+      ignore (Sigprob.Sp_exact.compute c))
+
+let test_exact_weighted_inputs () =
+  (* Single AND gate with p = 0.3, 0.9: exact = 0.27 regardless of engine. *)
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_gate b ~output:"y" ~kind:Gate.And [ "a"; "b" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let spec = Sigprob.Sp.of_alist c [ ("a", 0.3); ("b", 0.9) ] in
+  let exact = Sigprob.Sp_exact.compute ~spec c in
+  check_float "weighted" 0.27 (Sigprob.Sp.get_name exact "y")
+
+(* --- Monte-Carlo engine ---------------------------------------------------- *)
+
+let test_montecarlo_converges () =
+  let c = fig1 () in
+  let spec = fig1_spec c in
+  let exact = Sigprob.Sp_exact.compute ~spec c in
+  let mc =
+    Sigprob.Sp_montecarlo.compute ~spec ~rng:(Rng.create ~seed:77) ~vectors:200_000 c
+  in
+  check_bool "within 3 sigma-ish" true (Sigprob.Sp.max_absolute_difference mc exact < 0.01)
+
+let test_montecarlo_vector_count_validated () =
+  let c = fig1 () in
+  Alcotest.check_raises "zero vectors"
+    (Invalid_argument "Sp_montecarlo.compute: vectors must be positive") (fun () ->
+      ignore (Sigprob.Sp_montecarlo.compute ~rng:(Rng.create ~seed:1) ~vectors:0 c))
+
+let test_montecarlo_partial_word () =
+  (* 70 vectors = one full word + 6 live bits; result must stay a valid
+     probability. *)
+  let c = fig1 () in
+  let mc = Sigprob.Sp_montecarlo.compute ~rng:(Rng.create ~seed:5) ~vectors:70 c in
+  Sigprob.Sp.check_result mc
+
+let test_montecarlo_deterministic () =
+  let c = fig1 () in
+  let run () = Sigprob.Sp_montecarlo.compute ~rng:(Rng.create ~seed:123) ~vectors:640 c in
+  check_float "same seed, same estimate" (Sigprob.Sp.get_name (run ()) "H")
+    (Sigprob.Sp.get_name (run ()) "H")
+
+(* --- sequential fixpoint ---------------------------------------------------- *)
+
+let test_sequential_combinational_degenerates () =
+  let c = fig1 () in
+  let outcome = Sigprob.Sp_sequential.compute c in
+  check_bool "converges in one step" true
+    (outcome.Sigprob.Sp_sequential.converged && outcome.Sigprob.Sp_sequential.iterations <= 2);
+  let direct = Sigprob.Sp_topological.compute c in
+  check_bool "same values" true
+    (Sigprob.Sp.max_absolute_difference outcome.Sigprob.Sp_sequential.result direct < 1e-12)
+
+let test_sequential_shift_register () =
+  (* FF probabilities must converge to the input probability (0.5). *)
+  let c = shift_register () in
+  let outcome = Sigprob.Sp_sequential.compute c in
+  check_bool "converged" true outcome.Sigprob.Sp_sequential.converged;
+  let r = outcome.Sigprob.Sp_sequential.result in
+  check_float_eps 1e-9 "q2 at 0.5" 0.5 (Sigprob.Sp.get_name r "q2");
+  (* tap = q0 XOR q2 at independent 0.5s -> 0.5 *)
+  check_float_eps 1e-9 "tap" 0.5 (Sigprob.Sp.get_name r "tap")
+
+let test_sequential_biased_input () =
+  let c = shift_register () in
+  let si = Circuit.find c "si" in
+  let spec = Sigprob.Sp.of_fun (fun v -> if v = si then 0.9 else 0.5) in
+  let outcome = Sigprob.Sp_sequential.compute ~spec c in
+  let r = outcome.Sigprob.Sp_sequential.result in
+  check_float_eps 1e-6 "q0 tracks si" 0.9 (Sigprob.Sp.get_name r "q0");
+  check_float_eps 1e-6 "q2 tracks si" 0.9 (Sigprob.Sp.get_name r "q2")
+
+let test_sequential_s27_converges () =
+  let outcome = Sigprob.Sp_sequential.compute (Circuit_gen.Embedded.s27 ()) in
+  check_bool "converged" true outcome.Sigprob.Sp_sequential.converged;
+  Sigprob.Sp.check_result outcome.Sigprob.Sp_sequential.result
+
+let test_sequential_validates_args () =
+  let c = shift_register () in
+  Alcotest.check_raises "bad tolerance"
+    (Invalid_argument "Sp_sequential.compute: tolerance must be positive") (fun () ->
+      ignore (Sigprob.Sp_sequential.compute ~tolerance:0.0 c))
+
+let test_sequential_spec_of_outcome () =
+  let c = shift_register () in
+  let outcome = Sigprob.Sp_sequential.compute c in
+  let spec = Sigprob.Sp_sequential.spec_of_outcome outcome in
+  let q0 = Circuit.find c "q0" in
+  check_float_eps 1e-9 "spec exposes FF value" 0.5 (spec.Sigprob.Sp.input_sp q0)
+
+(* Monte-Carlo cross-check of the sequential fixpoint: long multi-cycle
+   simulation of s27 must land near the fixpoint probabilities. *)
+let test_sequential_vs_simulation_s27 () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let fix = (Sigprob.Sp_sequential.compute c).Sigprob.Sp_sequential.result in
+  let cs = Logic_sim.Sim.compile c in
+  let sim = Logic_sim.Seq_sim.create (Logic_sim.Sim.compile c) in
+  ignore cs;
+  let rng = Rng.create ~seed:31 in
+  (* warm-up, then accumulate *)
+  for _ = 1 to 50 do
+    ignore (Logic_sim.Seq_sim.cycle sim ~pi:(fun _ -> Rng.word rng))
+  done;
+  let cycles = 3000 in
+  let ones = Array.make (Circuit.node_count c) 0 in
+  for _ = 1 to cycles do
+    let values = Logic_sim.Seq_sim.cycle sim ~pi:(fun _ -> Rng.word rng) in
+    Array.iteri (fun v w -> ones.(v) <- ones.(v) + Logic_sim.Word.popcount w) values
+  done;
+  let total = float_of_int (cycles * 64) in
+  let worst = ref 0.0 in
+  for v = 0 to Circuit.node_count c - 1 do
+    let simulated = float_of_int ones.(v) /. total in
+    let d = Float.abs (simulated -. fix.Sigprob.Sp.values.(v)) in
+    if d > !worst then worst := d
+  done;
+  (* s27 has reconvergent fanout, so the independence-based fixpoint is an
+     approximation: agreement within a few percent, not exact. *)
+  check_bool (Printf.sprintf "worst gap %.4f < 0.06" !worst) true (!worst < 0.06)
+
+let () =
+  Alcotest.run "sigprob"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "known values" `Quick test_gate_sp_known;
+          prop_gate_sp_matches_enumeration;
+          Alcotest.test_case "input validation" `Quick test_gate_sp_validates_inputs;
+          Alcotest.test_case "NaN rejected" `Quick test_gate_sp_rejects_nan;
+        ] );
+      ( "topological",
+        [
+          Alcotest.test_case "fig1 hand values" `Quick test_topological_fig1;
+          prop_topological_exact_on_trees;
+          Alcotest.test_case "approximate under reconvergence" `Quick
+            test_topological_approximate_under_reconvergence;
+          Alcotest.test_case "of_alist unknown signal" `Quick test_spec_of_alist_unknown;
+          Alcotest.test_case "of_alist bad probability" `Quick test_spec_of_alist_bad_probability;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "input limit" `Quick test_exact_limit;
+          Alcotest.test_case "weighted inputs" `Quick test_exact_weighted_inputs;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "converges to exact" `Slow test_montecarlo_converges;
+          Alcotest.test_case "vector count validated" `Quick test_montecarlo_vector_count_validated;
+          Alcotest.test_case "partial last word" `Quick test_montecarlo_partial_word;
+          Alcotest.test_case "deterministic from seed" `Quick test_montecarlo_deterministic;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "combinational degenerates" `Quick
+            test_sequential_combinational_degenerates;
+          Alcotest.test_case "shift register" `Quick test_sequential_shift_register;
+          Alcotest.test_case "biased input propagates" `Quick test_sequential_biased_input;
+          Alcotest.test_case "s27 converges" `Quick test_sequential_s27_converges;
+          Alcotest.test_case "argument validation" `Quick test_sequential_validates_args;
+          Alcotest.test_case "spec_of_outcome" `Quick test_sequential_spec_of_outcome;
+          Alcotest.test_case "fixpoint vs long simulation (s27)" `Slow
+            test_sequential_vs_simulation_s27;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* Tests for workload-trace signal probabilities. *)
+
+open Helpers
+open Netlist
+
+let test_spec_of_trace_densities () =
+  let c = small_tree () in
+  (* inputs a b c d in pseudo_inputs order *)
+  let trace =
+    [ [| true; false; false; false |];
+      [| true; true; false; false |];
+      [| true; false; false; true |];
+      [| true; true; false; false |] ]
+  in
+  let spec = Sigprob.Sp_trace.spec_of_trace c trace in
+  let p name = spec.Sigprob.Sp.input_sp (Circuit.find c name) in
+  check_float "a always 1" 1.0 (p "a");
+  check_float "b half" 0.5 (p "b");
+  check_float "c never" 0.0 (p "c");
+  check_float "d quarter" 0.25 (p "d")
+
+let test_compute_counts_internal_nodes () =
+  let c = small_tree () in
+  (* single entry: a=1,b=0,c=1,d=1: t1 = OR(1,0)=1; t2 = NAND(1,1)=0; y = 0 *)
+  let sp = Sigprob.Sp_trace.compute c [ [| true; false; true; true |] ] in
+  check_float "t1" 1.0 (Sigprob.Sp.get_name sp "t1");
+  check_float "t2" 0.0 (Sigprob.Sp.get_name sp "t2");
+  check_float "y" 0.0 (Sigprob.Sp.get_name sp "y")
+
+let test_trace_validation () =
+  let c = small_tree () in
+  Alcotest.check_raises "empty" (Invalid_argument "Sp_trace: empty trace") (fun () ->
+      ignore (Sigprob.Sp_trace.compute c []));
+  Alcotest.check_raises "width"
+    (Invalid_argument "Sp_trace: entry 0 has width 2, expected 4") (fun () ->
+      ignore (Sigprob.Sp_trace.compute c [ [| true; false |] ]))
+
+let test_random_trace_shape () =
+  let c = small_tree () in
+  let trace = Sigprob.Sp_trace.random_trace ~rng:(Rng.create ~seed:7) ~length:100 c in
+  check_int "length" 100 (List.length trace);
+  List.iter (fun e -> check_int "width" 4 (Array.length e)) trace
+
+let test_random_trace_bias () =
+  let c = small_tree () in
+  let a = Circuit.find c "a" in
+  let trace =
+    Sigprob.Sp_trace.random_trace
+      ~bias:(fun v -> if v = a then 0.9 else 0.5)
+      ~rng:(Rng.create ~seed:11) ~length:5000 c
+  in
+  let spec = Sigprob.Sp_trace.spec_of_trace c trace in
+  check_float_eps 0.03 "a near 0.9" 0.9 (spec.Sigprob.Sp.input_sp a)
+
+let prop_trace_sp_converges_to_engine =
+  (* A long unbiased trace's per-node SP must approach the exact SP. *)
+  qtest ~count:10 ~name:"trace SP converges to exact SP" seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      let trace =
+        Sigprob.Sp_trace.random_trace ~rng:(Rng.create ~seed:(seed + 1)) ~length:20_000 c
+      in
+      let traced = Sigprob.Sp_trace.compute c trace in
+      let exact = Sigprob.Sp_exact.compute c in
+      Sigprob.Sp.max_absolute_difference traced exact < 0.03)
+
+let test_correlated_workload_beats_spec_route () =
+  (* A workload where b = NOT a always: y = AND(a, b) is constantly 0.
+     The direct trace SP sees it; the per-input spec route cannot. *)
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_gate b ~output:"y" ~kind:Gate.And [ "a"; "b" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let rng = Rng.create ~seed:3 in
+  let trace =
+    List.init 1000 (fun _ ->
+        let a = Rng.bool rng in
+        [| a; not a |])
+  in
+  let direct = Sigprob.Sp_trace.compute c trace in
+  check_float "direct sees the correlation" 0.0 (Sigprob.Sp.get_name direct "y");
+  let via_spec =
+    Sigprob.Sp_topological.compute ~spec:(Sigprob.Sp_trace.spec_of_trace c trace) c
+  in
+  check_bool "spec route cannot (independence)" true
+    (Sigprob.Sp.get_name via_spec "y" > 0.2)
+
+let () =
+  Alcotest.run "sp_trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "empirical densities" `Quick test_spec_of_trace_densities;
+          Alcotest.test_case "internal node counting" `Quick test_compute_counts_internal_nodes;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "random trace shape" `Quick test_random_trace_shape;
+          Alcotest.test_case "random trace bias" `Quick test_random_trace_bias;
+          prop_trace_sp_converges_to_engine;
+          Alcotest.test_case "correlated workload" `Quick
+            test_correlated_workload_beats_spec_route;
+        ] );
+    ]

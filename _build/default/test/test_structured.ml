@@ -1,0 +1,241 @@
+(* Tests for the structured circuit generators: the arithmetic is checked
+   bit-for-bit against OCaml integers via simulation. *)
+
+open Helpers
+open Netlist
+
+let eval_with circuit assign =
+  let cs = Logic_sim.Sim.compile circuit in
+  Logic_sim.Sim.eval_bool cs ~assign:(fun v -> assign (Circuit.node_name circuit v))
+
+let bit x i = (x lsr i) land 1 = 1
+
+(* --- adder ------------------------------------------------------------------ *)
+
+let adder_result circuit ~width ~a ~b ~cin =
+  let v =
+    eval_with circuit (fun name ->
+        if name = "cin" then cin
+        else
+          let prefix = name.[0] and index = int_of_string (String.sub name 1 (String.length name - 1)) in
+          match prefix with
+          | 'a' -> bit a index
+          | 'b' -> bit b index
+          | _ -> false)
+  in
+  let sum = ref 0 in
+  for i = 0 to width - 1 do
+    if v.(Circuit.find circuit (Printf.sprintf "s%d" i)) then sum := !sum lor (1 lsl i)
+  done;
+  if v.(Circuit.find circuit "cout") then sum := !sum lor (1 lsl width);
+  !sum
+
+let test_adder_exhaustive_4bit () =
+  let width = 4 in
+  let c = Circuit_gen.Structured.ripple_adder ~width () in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      List.iter
+        (fun cin ->
+          let expected = a + b + (if cin then 1 else 0) in
+          let got = adder_result c ~width ~a ~b ~cin in
+          if got <> expected then Alcotest.failf "%d + %d + %b = %d, got %d" a b cin expected got)
+        [ false; true ]
+    done
+  done
+
+let prop_adder_random_16bit =
+  qtest ~count:100 ~name:"16-bit adder agrees with OCaml ints" seed_arbitrary (fun seed ->
+      let width = 16 in
+      let c = Circuit_gen.Structured.ripple_adder ~width () in
+      let rng = Rng.create ~seed in
+      let a = Rng.int rng ~bound:65536 and b = Rng.int rng ~bound:65536 in
+      adder_result c ~width ~a ~b ~cin:false = a + b)
+
+(* --- multiplier -------------------------------------------------------------- *)
+
+let multiplier_result circuit ~width ~a ~b =
+  let v =
+    eval_with circuit (fun name ->
+        match name.[0] with
+        | 'a' -> bit a (int_of_string (String.sub name 1 (String.length name - 1)))
+        | 'b' -> bit b (int_of_string (String.sub name 1 (String.length name - 1)))
+        | _ -> false)
+  in
+  let p = ref 0 in
+  for k = 0 to (2 * width) - 1 do
+    if v.(Circuit.find circuit (Printf.sprintf "p%d" k)) then p := !p lor (1 lsl k)
+  done;
+  !p
+
+let test_multiplier_exhaustive_3bit () =
+  let width = 3 in
+  let c = Circuit_gen.Structured.array_multiplier ~width () in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let got = multiplier_result c ~width ~a ~b in
+      if got <> a * b then Alcotest.failf "%d * %d = %d, got %d" a b (a * b) got
+    done
+  done
+
+let test_multiplier_4bit_spot () =
+  let c = Circuit_gen.Structured.array_multiplier ~width:4 () in
+  List.iter
+    (fun (a, b) ->
+      check_int (Printf.sprintf "%d*%d" a b) (a * b) (multiplier_result c ~width:4 ~a ~b))
+    [ (15, 15); (0, 9); (7, 11); (12, 13) ]
+
+(* --- parity tree -------------------------------------------------------------- *)
+
+let test_parity_exhaustive_8bit () =
+  let c = Circuit_gen.Structured.parity_tree ~width:8 () in
+  for x = 0 to 255 do
+    let v =
+      eval_with c (fun name ->
+          if name = "parity" then false
+          else bit x (int_of_string (String.sub name 1 (String.length name - 1))))
+    in
+    let expected =
+      let rec pop i acc = if i = 8 then acc else pop (i + 1) (acc <> bit x i) in
+      pop 0 false
+    in
+    if v.(Circuit.find c "parity") <> expected then Alcotest.failf "parity of %d wrong" x
+  done
+
+let test_parity_is_polarity_showcase () =
+  (* every internal XOR site in a parity tree has exact EPP: P_sens = 1
+     (single path, XOR transparent), and the naive rules agree here; the
+     showcase is that the *whole tree* stays exact under the BDD oracle. *)
+  let c = Circuit_gen.Structured.parity_tree ~width:16 () in
+  let engine = Epp.Epp_engine.create c in
+  let cb = Circuit_bdd.build c in
+  for v = 0 to Circuit.node_count c - 1 do
+    let analytical = (Epp.Epp_engine.analyze_site engine v).Epp.Epp_engine.p_sensitized in
+    let exact = (Circuit_bdd.epp_exact cb v).Circuit_bdd.p_sensitized in
+    if Float.abs (analytical -. exact) > 1e-12 then
+      Alcotest.failf "parity tree not exact at %s" (Circuit.node_name c v)
+  done
+
+(* --- mux tree ----------------------------------------------------------------- *)
+
+let test_mux_selects_correctly () =
+  let select_bits = 3 in
+  let c = Circuit_gen.Structured.mux_tree ~select_bits () in
+  let leaves = 1 lsl select_bits in
+  for sel = 0 to leaves - 1 do
+    for d = 0 to leaves - 1 do
+      (* data pattern: only leaf d is 1 *)
+      let v =
+        eval_with c (fun name ->
+            if String.length name > 3 && String.sub name 0 3 = "sel" then
+              bit sel (int_of_string (String.sub name 3 (String.length name - 3)))
+            else if name.[0] = 'd' then
+              int_of_string (String.sub name 1 (String.length name - 1)) = d
+            else false)
+      in
+      let expected = sel = d in
+      if v.(Circuit.find c "y") <> expected then
+        Alcotest.failf "mux sel=%d d=%d wrong" sel d
+    done
+  done
+
+let test_mux_select_observability_dominates () =
+  (* A select input is far more observable than any single data leaf. *)
+  let c = Circuit_gen.Structured.mux_tree ~select_bits:4 () in
+  let ob = Sigprob.Observability.compute c in
+  let sel0 = Sigprob.Observability.get_name ob "sel0" in
+  let d3 = Sigprob.Observability.get_name ob "d3" in
+  check_bool
+    (Printf.sprintf "sel0 %.4f > d3 %.4f" sel0 d3)
+    true (sel0 > d3)
+
+(* --- accumulator ---------------------------------------------------------------- *)
+
+let test_accumulator_add_then_xor () =
+  let width = 8 in
+  let c = Circuit_gen.Structured.alu_accumulator ~width () in
+  let cs = Logic_sim.Sim.compile c in
+  let seq = Logic_sim.Seq_sim.create cs in
+  let word_of_int x =
+    (* broadcast a scalar value into lane 0 only; other lanes get zero *)
+    if x then 1L else 0L
+  in
+  let cycle ~op ~operand =
+    Logic_sim.Seq_sim.cycle seq ~pi:(fun v ->
+        let name = Circuit.node_name c v in
+        if name = "op" then word_of_int op
+        else word_of_int (bit operand (int_of_string (String.sub name 2 (String.length name - 2)))))
+  in
+  let acc_value () =
+    let x = ref 0 in
+    for i = 0 to width - 1 do
+      if Logic_sim.Word.get (Logic_sim.Seq_sim.ff_state seq (Circuit.find c (Printf.sprintf "acc%d" i))) 0
+      then x := !x lor (1 lsl i)
+    done;
+    !x
+  in
+  (* add 23, add 100, xor 0x5A; acc starts at 0 *)
+  ignore (cycle ~op:false ~operand:23);
+  check_int "after add 23" 23 (acc_value ());
+  ignore (cycle ~op:false ~operand:100);
+  check_int "after add 100" 123 (acc_value ());
+  ignore (cycle ~op:true ~operand:0x5A);
+  check_int "after xor 0x5A" (123 lxor 0x5A) (acc_value ())
+
+let test_accumulator_zero_flag () =
+  let c = Circuit_gen.Structured.alu_accumulator ~width:4 () in
+  let cs = Logic_sim.Sim.compile c in
+  let seq = Logic_sim.Seq_sim.create cs in
+  (* acc = 0 initially: zero flag is 1 on the first evaluation *)
+  let values = Logic_sim.Seq_sim.cycle seq ~pi:(fun _ -> 0L) in
+  check_bool "zero flag set" true (Logic_sim.Word.get values.(Circuit.find c "zero") 0)
+
+let test_generators_validate_width () =
+  Alcotest.check_raises "adder" (Invalid_argument "Structured.ripple_adder: width must be >= 1")
+    (fun () -> ignore (Circuit_gen.Structured.ripple_adder ~width:0 ()));
+  Alcotest.check_raises "mux" (Invalid_argument "Structured.mux_tree: select_bits must be >= 1")
+    (fun () -> ignore (Circuit_gen.Structured.mux_tree ~select_bits:0 ()))
+
+let test_registry () =
+  List.iter
+    (fun (name, f) ->
+      let c = f () in
+      check_bool (name ^ " builds and validates") true (Circuit.node_count c > 0))
+    Circuit_gen.Structured.all
+
+let () =
+  Alcotest.run "structured"
+    [
+      ( "adder",
+        [
+          Alcotest.test_case "4-bit exhaustive" `Quick test_adder_exhaustive_4bit;
+          prop_adder_random_16bit;
+        ] );
+      ( "multiplier",
+        [
+          Alcotest.test_case "3-bit exhaustive" `Quick test_multiplier_exhaustive_3bit;
+          Alcotest.test_case "4-bit spot checks" `Quick test_multiplier_4bit_spot;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "8-bit exhaustive" `Quick test_parity_exhaustive_8bit;
+          Alcotest.test_case "EPP exact on the whole tree" `Quick
+            test_parity_is_polarity_showcase;
+        ] );
+      ( "mux",
+        [
+          Alcotest.test_case "selects correctly" `Quick test_mux_selects_correctly;
+          Alcotest.test_case "select observability dominates" `Quick
+            test_mux_select_observability_dominates;
+        ] );
+      ( "accumulator",
+        [
+          Alcotest.test_case "add then xor" `Quick test_accumulator_add_then_xor;
+          Alcotest.test_case "zero flag" `Quick test_accumulator_zero_flag;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "width validation" `Quick test_generators_validate_width;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+(* Tests for the technology and frequency sweeps. *)
+
+open Helpers
+
+let test_technology_trend_monotonic () =
+  (* Presets are ordered old -> new; per-gate susceptibility rises, so the
+     circuit trend must too (the motivation of the paper's introduction). *)
+  let c = Circuit_gen.Embedded.s27 () in
+  let points = Report.Sweep.technology_sweep c in
+  check_int "one point per preset" (List.length Seu_model.Technology.presets)
+    (List.length points);
+  check_bool "SER grows with scaling" true (Report.Sweep.monotonic points)
+
+let test_frequency_trend_monotonic () =
+  (* Higher frequency -> shorter period -> larger window fraction. *)
+  let c = Circuit_gen.Embedded.s27 () in
+  let points =
+    Report.Sweep.frequency_sweep ~frequencies_ghz:[ 0.5; 1.0; 2.0; 4.0 ] c
+  in
+  check_int "four points" 4 (List.length points);
+  check_bool "SER grows with frequency" true (Report.Sweep.monotonic points)
+
+let test_frequency_saturates_at_combinational_limit () =
+  (* Once the window covers the whole period the latch factor caps at 1 and
+     further frequency increases stop helping. *)
+  let c = fig1 () in
+  let points = Report.Sweep.frequency_sweep ~frequencies_ghz:[ 5.0; 50.0 ] c in
+  match points with
+  | [ a; b ] ->
+    check_bool "saturation" true
+      (Float.abs (b.Report.Sweep.total_fit -. a.Report.Sweep.total_fit)
+      < 0.5 *. a.Report.Sweep.total_fit)
+  | _ -> Alcotest.fail "two points expected"
+
+let test_validation () =
+  let c = fig1 () in
+  Alcotest.check_raises "empty list" (Invalid_argument "Sweep.frequency_sweep: no frequencies")
+    (fun () -> ignore (Report.Sweep.frequency_sweep ~frequencies_ghz:[] c));
+  Alcotest.check_raises "bad frequency"
+    (Invalid_argument "Sweep.frequency_sweep: non-positive frequency") (fun () ->
+      ignore (Report.Sweep.frequency_sweep ~frequencies_ghz:[ -1.0 ] c))
+
+let test_render () =
+  let c = fig1 () in
+  let points = Report.Sweep.technology_sweep c in
+  let s = Report.Sweep.render ~title:"trend" points in
+  check_bool "title present" true (String.length s > 5 && String.sub s 0 5 = "trend");
+  check_int "one line per point + title + header + separator"
+    (List.length points + 3)
+    (List.length (String.split_on_char '\n' s))
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "trends",
+        [
+          Alcotest.test_case "technology monotonic" `Quick test_technology_trend_monotonic;
+          Alcotest.test_case "frequency monotonic" `Quick test_frequency_trend_monotonic;
+          Alcotest.test_case "frequency saturates" `Quick
+            test_frequency_saturates_at_combinational_limit;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+    ]

@@ -1,0 +1,317 @@
+(* Tests for the netlist rewriting passes: constant propagation, structural
+   hashing, sweeping, and TMR hardening.  The master property throughout is
+   behavioural equivalence at the observation points, checked by shared-name
+   random simulation. *)
+
+open Helpers
+open Netlist
+
+(* Same-named inputs get the same random words; observation values must
+   agree.  FF states are seeded identically by name as well. *)
+let equivalent_behaviour c1 c2 =
+  let cs1 = Logic_sim.Sim.compile c1 and cs2 = Logic_sim.Sim.compile c2 in
+  let rng = Rng.create ~seed:424242 in
+  let draws = Hashtbl.create 32 in
+  let assign c v =
+    let name = Circuit.node_name c v in
+    match Hashtbl.find_opt draws name with
+    | Some w -> w
+    | None ->
+      let w = Rng.word rng in
+      Hashtbl.replace draws name w;
+      w
+  in
+  let v1 = Logic_sim.Sim.eval_words cs1 ~assign:(assign c1) in
+  let v2 = Logic_sim.Sim.eval_words cs2 ~assign:(assign c2) in
+  (* Primary outputs compare positionally (a pass may rename the driving
+     net); flip-flop data inputs compare by the FF's stable name. *)
+  let po_words c values = List.map (fun v -> values.(v)) (Circuit.outputs c) in
+  let ff_words c values =
+    List.map
+      (fun ff ->
+        match Circuit.node c ff with
+        | Circuit.Ff { data } -> (Circuit.node_name c ff, values.(data))
+        | Circuit.Input | Circuit.Gate _ -> assert false)
+      (Circuit.ffs c)
+    |> List.sort compare
+  in
+  po_words c1 v1 = po_words c2 v2 && ff_words c1 v1 = ff_words c2 v2
+
+(* --- constant propagation ------------------------------------------------------ *)
+
+let with_constants () =
+  let b = Builder.create ~name:"consts" () in
+  List.iter (Builder.add_input b) [ "a"; "b" ];
+  Builder.add_gate b ~output:"zero" ~kind:Gate.Const0 [];
+  Builder.add_gate b ~output:"one" ~kind:Gate.Const1 [];
+  Builder.add_gate b ~output:"dead_and" ~kind:Gate.And [ "a"; "zero" ];
+  Builder.add_gate b ~output:"pass_and" ~kind:Gate.And [ "a"; "one" ];
+  Builder.add_gate b ~output:"toggle" ~kind:Gate.Xor [ "b"; "one" ];
+  Builder.add_gate b ~output:"y" ~kind:Gate.Or [ "dead_and"; "pass_and"; "toggle" ];
+  Builder.add_output b "y";
+  Builder.freeze b
+
+let test_constant_folding_shrinks () =
+  let c = with_constants () in
+  let c' = Transform.propagate_constants c in
+  (* y = OR(0, a, NOT b) -> gates: the NOT and the OR (2); constants and
+     pass-throughs vanish. *)
+  check_bool "fewer gates" true (Circuit.gate_count c' < Circuit.gate_count c);
+  check_bool "equivalent" true (equivalent_behaviour c c');
+  check_bool "no constants left" true
+    (List.for_all
+       (fun v ->
+         match Circuit.kind_of c' v with
+         | Some Gate.Const0 | Some Gate.Const1 -> false
+         | _ -> true)
+       (List.init (Circuit.node_count c') Fun.id))
+
+let test_constant_folding_to_pure_constant () =
+  (* y = AND(a, 0): the output itself becomes constant 0. *)
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_gate b ~output:"zero" ~kind:Gate.Const0 [];
+  Builder.add_gate b ~output:"y" ~kind:Gate.And [ "a"; "zero" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let c' = Transform.propagate_constants c in
+  check_bool "equivalent" true (equivalent_behaviour c c');
+  (* The PO must now be driven by a materialized constant. *)
+  let out = List.hd (Circuit.outputs c') in
+  Alcotest.(check (option bool))
+    "output is const0"
+    (Some true)
+    (Option.map (fun k -> k = Gate.Const0) (Circuit.kind_of c' out))
+
+let test_nand_with_zero_is_one () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_gate b ~output:"zero" ~kind:Gate.Const0 [];
+  Builder.add_gate b ~output:"y" ~kind:Gate.Nand [ "a"; "zero" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let c' = Transform.propagate_constants c in
+  let out = List.hd (Circuit.outputs c') in
+  Alcotest.(check (option bool))
+    "output is const1"
+    (Some true)
+    (Option.map (fun k -> k = Gate.Const1) (Circuit.kind_of c' out));
+  check_bool "equivalent" true (equivalent_behaviour c c')
+
+let test_xnor_parity_folding () =
+  (* XNOR(b, 1) = b; XNOR(b, 0) = NOT b. *)
+  let build kind const =
+    let b = Builder.create () in
+    Builder.add_input b "b";
+    Builder.add_gate b ~output:"k" ~kind:const [];
+    Builder.add_gate b ~output:"y" ~kind [ "b"; "k" ];
+    Builder.add_output b "y";
+    Builder.freeze b
+  in
+  let c1 = build Gate.Xnor Gate.Const1 in
+  check_bool "XNOR(b,1) = b" true (equivalent_behaviour c1 (Transform.propagate_constants c1));
+  let c2 = build Gate.Xnor Gate.Const0 in
+  check_bool "XNOR(b,0) = NOT b" true (equivalent_behaviour c2 (Transform.propagate_constants c2))
+
+let prop_constant_folding_preserves_behaviour =
+  qtest ~count:30 ~name:"constant propagation preserves behaviour" seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      equivalent_behaviour c (Transform.propagate_constants c))
+
+(* --- structural hashing ---------------------------------------------------------- *)
+
+let test_merge_duplicates () =
+  let b = Builder.create () in
+  List.iter (Builder.add_input b) [ "a"; "b" ];
+  Builder.add_gate b ~output:"g1" ~kind:Gate.And [ "a"; "b" ];
+  Builder.add_gate b ~output:"g2" ~kind:Gate.And [ "b"; "a" ]; (* commutative duplicate *)
+  Builder.add_gate b ~output:"g3" ~kind:Gate.Nand [ "a"; "b" ]; (* different kind: kept *)
+  Builder.add_gate b ~output:"y" ~kind:Gate.Xor [ "g1"; "g2" ];
+  Builder.add_gate b ~output:"z" ~kind:Gate.Or [ "y"; "g3" ];
+  Builder.add_output b "z";
+  let c = Builder.freeze b in
+  let c' = Transform.merge_duplicates c in
+  check_bool "equivalent" true (equivalent_behaviour c c');
+  (* g2 merges into g1, so y = XOR(g1, g1)... which is still a gate here
+     (merge does not fold); the gate count drops by exactly one. *)
+  check_int "one gate merged" (Circuit.gate_count c - 1) (Circuit.gate_count c')
+
+let test_merge_cascades () =
+  (* Two identical subtrees must collapse completely. *)
+  let b = Builder.create () in
+  List.iter (Builder.add_input b) [ "a"; "b" ];
+  Builder.add_gate b ~output:"l1" ~kind:Gate.And [ "a"; "b" ];
+  Builder.add_gate b ~output:"l2" ~kind:Gate.Not [ "l1" ];
+  Builder.add_gate b ~output:"r1" ~kind:Gate.And [ "b"; "a" ];
+  Builder.add_gate b ~output:"r2" ~kind:Gate.Not [ "r1" ];
+  Builder.add_gate b ~output:"y" ~kind:Gate.Or [ "l2"; "r2" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let c' = Transform.merge_duplicates c in
+  check_int "both levels merged" 3 (Circuit.gate_count c');
+  check_bool "equivalent" true (equivalent_behaviour c c')
+
+let prop_merge_preserves_behaviour =
+  qtest ~count:30 ~name:"structural hashing preserves behaviour" seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      equivalent_behaviour c (Transform.merge_duplicates c))
+
+(* --- sweeping ---------------------------------------------------------------------- *)
+
+let test_sweep_removes_dangling () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_gate b ~output:"y" ~kind:Gate.Not [ "a" ];
+  Builder.add_gate b ~output:"dead1" ~kind:Gate.Buf [ "a" ];
+  Builder.add_gate b ~output:"dead2" ~kind:Gate.Not [ "dead1" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze b in
+  let c' = Transform.sweep_unobservable c in
+  check_int "only y remains" 1 (Circuit.gate_count c');
+  check_bool "equivalent" true (equivalent_behaviour c c')
+
+let test_sweep_keeps_ff_cones () =
+  (* Logic feeding only a flip-flop's data input is observable. *)
+  let c = shift_register () in
+  let c' = Transform.sweep_unobservable c in
+  check_int "nothing removed" (Circuit.gate_count c) (Circuit.gate_count c');
+  check_bool "equivalent" true (equivalent_behaviour c c')
+
+let prop_optimize_preserves_behaviour =
+  qtest ~count:30 ~name:"full optimize pipeline preserves behaviour" seed_arbitrary
+    (fun seed ->
+      let c = random_small_dag ~seed in
+      equivalent_behaviour c (Transform.optimize c))
+
+let test_optimize_s27_is_stable () =
+  (* s27 is already clean: optimize must not change its size. *)
+  let c = Circuit_gen.Embedded.s27 () in
+  let c' = Transform.optimize c in
+  check_int "same gates" (Circuit.gate_count c) (Circuit.gate_count c');
+  check_bool "equivalent" true (equivalent_behaviour c c')
+
+(* --- TMR ---------------------------------------------------------------------------- *)
+
+let test_tmr_structure () =
+  let c = fig1 () in
+  let g = Circuit.find c "G" in
+  let c' = Transform.triplicate c ~nodes:[ g ] in
+  (* +2 replicas +4 voter gates *)
+  check_int "six extra gates" (Circuit.gate_count c + 6) (Circuit.gate_count c');
+  check_bool "replica exists" true (Circuit.find_opt c' "G#tmr1" <> None);
+  check_bool "voter exists" true (Circuit.find_opt c' "G#vote" <> None);
+  check_bool "equivalent" true (equivalent_behaviour c c')
+
+let test_tmr_masks_replica_errors_exactly () =
+  (* The BDD oracle sees perfect masking: P_sens of every replica is 0. *)
+  let c = fig1 () in
+  let g = Circuit.find c "G" in
+  let c' = Transform.triplicate c ~nodes:[ g ] in
+  let cb = Circuit_bdd.build c' in
+  List.iter
+    (fun name ->
+      let r = Circuit_bdd.epp_exact cb (Circuit.find c' name) in
+      check_float (name ^ " fully masked") 0.0 r.Circuit_bdd.p_sensitized)
+    [ "G"; "G#tmr1"; "G#tmr2" ]
+
+let test_tmr_epp_overestimates_residual () =
+  (* The analytical EPP treats the voter's side inputs as independent, so
+     it reports a positive residual where the truth is 0 — the documented
+     limit of the independence assumption, surfaced by this transform. *)
+  let c = fig1 () in
+  let g = Circuit.find c "G" in
+  let c' = Transform.triplicate c ~nodes:[ g ] in
+  let engine = Epp.Epp_engine.create c' in
+  let r = Epp.Epp_engine.analyze_site engine (Circuit.find c' "G") in
+  check_bool "positive residual" true (r.Epp.Epp_engine.p_sensitized > 0.0)
+
+let test_tmr_reduces_exact_ser () =
+  (* Hardening the top FIT contributor must reduce the exact (BDD-based)
+     sensitization summed over the original gates. *)
+  let c = fig1 () in
+  let cb = Circuit_bdd.build c in
+  let total_before =
+    List.fold_left
+      (fun acc v ->
+        if Circuit.is_gate c v then
+          acc +. (Circuit_bdd.epp_exact cb v).Circuit_bdd.p_sensitized
+        else acc)
+      0.0
+      (List.init (Circuit.node_count c) Fun.id)
+  in
+  let g = Circuit.find c "D" in
+  let c' = Transform.triplicate c ~nodes:[ g ] in
+  let cb' = Circuit_bdd.build c' in
+  let total_after =
+    List.fold_left
+      (fun acc name ->
+        match Circuit.find_opt c' name with
+        | Some v -> acc +. (Circuit_bdd.epp_exact cb' v).Circuit_bdd.p_sensitized
+        | None -> acc)
+      0.0
+      [ "A"; "E"; "G"; "D"; "H" ]
+  in
+  check_bool "exact sensitization drops" true (total_after < total_before)
+
+let test_tmr_rejects_non_gates () =
+  let c = fig1 () in
+  Alcotest.check_raises "input selected" (Transform.Not_a_gate "B") (fun () ->
+      ignore (Transform.triplicate c ~nodes:[ Circuit.find c "B" ]))
+
+let test_tmr_bad_node () =
+  let c = fig1 () in
+  Alcotest.check_raises "bad id" (Invalid_argument "Transform.triplicate: bad node") (fun () ->
+      ignore (Transform.triplicate c ~nodes:[ 999 ]))
+
+let prop_tmr_preserves_behaviour =
+  qtest ~count:20 ~name:"TMR preserves behaviour for any gate choice" seed_arbitrary
+    (fun seed ->
+      let c = random_small_dag ~seed in
+      let gates =
+        List.filter (Circuit.is_gate c) (List.init (Circuit.node_count c) Fun.id)
+      in
+      match gates with
+      | [] -> true
+      | g :: _ ->
+        let pick = List.nth gates (seed mod List.length gates) in
+        ignore g;
+        equivalent_behaviour c (Transform.triplicate c ~nodes:[ pick ]))
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "constants",
+        [
+          Alcotest.test_case "folding shrinks" `Quick test_constant_folding_shrinks;
+          Alcotest.test_case "output becomes constant" `Quick
+            test_constant_folding_to_pure_constant;
+          Alcotest.test_case "NAND with 0 is 1" `Quick test_nand_with_zero_is_one;
+          Alcotest.test_case "XNOR parity folding" `Quick test_xnor_parity_folding;
+          prop_constant_folding_preserves_behaviour;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "commutative duplicates merge" `Quick test_merge_duplicates;
+          Alcotest.test_case "merging cascades" `Quick test_merge_cascades;
+          prop_merge_preserves_behaviour;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "dangling logic removed" `Quick test_sweep_removes_dangling;
+          Alcotest.test_case "FF cones kept" `Quick test_sweep_keeps_ff_cones;
+          prop_optimize_preserves_behaviour;
+          Alcotest.test_case "s27 stable under optimize" `Quick test_optimize_s27_is_stable;
+        ] );
+      ( "tmr",
+        [
+          Alcotest.test_case "structure" `Quick test_tmr_structure;
+          Alcotest.test_case "exact masking of replicas" `Quick
+            test_tmr_masks_replica_errors_exactly;
+          Alcotest.test_case "EPP residual (independence limit)" `Quick
+            test_tmr_epp_overestimates_residual;
+          Alcotest.test_case "exact SER drops" `Quick test_tmr_reduces_exact_ser;
+          Alcotest.test_case "rejects non-gates" `Quick test_tmr_rejects_non_gates;
+          Alcotest.test_case "bad node id" `Quick test_tmr_bad_node;
+          prop_tmr_preserves_behaviour;
+        ] );
+    ]

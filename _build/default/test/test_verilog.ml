@@ -1,0 +1,227 @@
+(* Tests for the structural Verilog subset: lexing (comments, escaped
+   identifiers), parsing, elaboration errors, printing, and conversion
+   round-trips against the .bench pipeline. *)
+
+open Helpers
+open Netlist
+
+let kinds source =
+  List.map (fun t -> t.Verilog_format.Verilog_lexer.kind) (Verilog_format.Verilog_lexer.all_tokens source)
+
+(* --- lexer ------------------------------------------------------------------ *)
+
+let test_lexer_tokens () =
+  match kinds "module m (a); endmodule" with
+  | [ Ident "module"; Ident "m"; Lparen; Ident "a"; Rparen; Semicolon; Ident "endmodule"; Eof ]
+    -> ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_line_comment () =
+  match kinds "a // comment ; ( )\nb" with
+  | [ Ident "a"; Ident "b"; Eof ] -> ()
+  | _ -> Alcotest.fail "line comment not skipped"
+
+let test_lexer_block_comment () =
+  match kinds "a /* multi\nline ; */ b" with
+  | [ Ident "a"; Ident "b"; Eof ] -> ()
+  | _ -> Alcotest.fail "block comment not skipped"
+
+let test_lexer_attribute () =
+  match kinds "(* keep = 1 *) wire" with
+  | [ Ident "wire"; Eof ] -> ()
+  | _ -> Alcotest.fail "attribute not skipped"
+
+let test_lexer_unterminated_comment () =
+  match kinds "a /* oops" with
+  | _ -> Alcotest.fail "expected Error"
+  | exception Verilog_format.Verilog_lexer.Error { message; _ } ->
+    check_bool "message mentions comment" true
+      (String.length message > 0 && String.contains message '/')
+
+let test_lexer_escaped_ident () =
+  match kinds "\\weird[0].name rest" with
+  | [ Ident "weird[0].name"; Ident "rest"; Eof ] -> ()
+  | _ -> Alcotest.fail "escaped identifier not handled"
+
+let test_lexer_bracket_idents () =
+  match kinds "data[3] bus_1$x" with
+  | [ Ident "data[3]"; Ident "bus_1$x"; Eof ] -> ()
+  | _ -> Alcotest.fail "identifier charset wrong"
+
+(* --- parser ------------------------------------------------------------------ *)
+
+let half_adder_source =
+  "// half adder\n\
+   module half_adder (a, b, sum, carry);\n\
+  \  input a, b;\n\
+  \  output sum, carry;\n\
+  \  xor g1 (sum, a, b);\n\
+  \  and g2 (carry, a, b);\n\
+   endmodule\n"
+
+let test_parse_half_adder () =
+  let ast = Verilog_format.Verilog_parser.parse_ast half_adder_source in
+  check_string "module name" "half_adder" ast.Verilog_format.Verilog_ast.module_name;
+  Alcotest.(check (list string)) "ports" [ "a"; "b"; "sum"; "carry" ]
+    ast.Verilog_format.Verilog_ast.ports;
+  check_int "items" 4 (List.length ast.Verilog_format.Verilog_ast.items)
+
+let test_parse_anonymous_instance () =
+  let ast =
+    Verilog_format.Verilog_parser.parse_ast
+      "module m (a, y);\ninput a;\noutput y;\nnot (y, a);\nendmodule"
+  in
+  match ast.Verilog_format.Verilog_ast.items with
+  | [ _; _; Verilog_format.Verilog_ast.Instance { instance_name = None; _ } ] -> ()
+  | _ -> Alcotest.fail "anonymous instance not parsed"
+
+let test_parse_empty_ports () =
+  let ast = Verilog_format.Verilog_parser.parse_ast "module m ();\nendmodule" in
+  Alcotest.(check (list string)) "no ports" [] ast.Verilog_format.Verilog_ast.ports
+
+let expect_syntax_error source =
+  match Verilog_format.Verilog_parser.parse_ast source with
+  | _ -> Alcotest.fail "expected syntax error"
+  | exception Verilog_format.Verilog_parser.Error _ -> ()
+
+let test_parse_errors () =
+  expect_syntax_error "module m (a) endmodule"; (* missing ';' *)
+  expect_syntax_error "module m (a);"; (* missing endmodule *)
+  expect_syntax_error "module m (a);\nfrobnicate g (x, a);\nendmodule"; (* unknown primitive *)
+  expect_syntax_error "module m (a);\nendmodule trailing"
+
+let test_elaborate_half_adder () =
+  let c = Verilog_format.Verilog_parser.parse_string half_adder_source in
+  check_string "name" "half_adder" (Circuit.name c);
+  check_int "inputs" 2 (Circuit.input_count c);
+  check_int "outputs" 2 (Circuit.output_count c);
+  check_int "gates" 2 (Circuit.gate_count c);
+  (* truth check: 1 + 1 = 10 *)
+  let cs = Logic_sim.Sim.compile c in
+  let v = Logic_sim.Sim.eval_bool cs ~assign:(fun _ -> true) in
+  check_bool "sum" false v.(Circuit.find c "sum");
+  check_bool "carry" true v.(Circuit.find c "carry")
+
+let test_elaborate_dff () =
+  let c =
+    Verilog_format.Verilog_parser.parse_string
+      "module m (d, q);\ninput d;\noutput q;\ndff ff1 (q, d);\nendmodule"
+  in
+  check_int "one ff" 1 (Circuit.ff_count c)
+
+let test_elaborate_dff_arity_error () =
+  match
+    Verilog_format.Verilog_parser.parse_string
+      "module m (d, q);\ninput d;\noutput q;\ndff ff1 (q, d, d);\nendmodule"
+  with
+  | _ -> Alcotest.fail "expected Elaboration_error"
+  | exception Verilog_format.Verilog_parser.Elaboration_error _ -> ()
+
+let test_elaborate_undefined_signal () =
+  match
+    Verilog_format.Verilog_parser.parse_string
+      "module m (a, y);\ninput a;\noutput y;\nnot g (y, ghost);\nendmodule"
+  with
+  | _ -> Alcotest.fail "expected Builder.Error"
+  | exception Builder.Error (Builder.Undefined_signal _) -> ()
+
+(* --- printer and round-trips --------------------------------------------------- *)
+
+let equivalent c1 c2 =
+  let cs1 = Logic_sim.Sim.compile c1 and cs2 = Logic_sim.Sim.compile c2 in
+  let rng = Rng.create ~seed:2025 in
+  let draws = Hashtbl.create 16 in
+  let assign c v =
+    let name = Circuit.node_name c v in
+    match Hashtbl.find_opt draws name with
+    | Some w -> w
+    | None ->
+      let w = Rng.word rng in
+      Hashtbl.replace draws name w;
+      w
+  in
+  let v1 = Logic_sim.Sim.eval_words cs1 ~assign:(assign c1) in
+  let v2 = Logic_sim.Sim.eval_words cs2 ~assign:(assign c2) in
+  List.for_all2
+    (fun o1 o2 -> v1.(o1) = v2.(o2))
+    (Circuit.outputs c1) (Circuit.outputs c2)
+
+let test_print_parse_roundtrip_s27 () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let v = Verilog_format.Verilog_printer.circuit_to_string c in
+  let c2 = Verilog_format.Verilog_parser.parse_string v in
+  check_int "gates" (Circuit.gate_count c) (Circuit.gate_count c2);
+  check_int "ffs" (Circuit.ff_count c) (Circuit.ff_count c2);
+  check_bool "behaviour preserved" true (equivalent c c2)
+
+let prop_verilog_roundtrip_random =
+  qtest ~count:25 ~name:"verilog print/parse round-trip on generated circuits"
+    seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      let c2 = Verilog_format.Verilog_parser.parse_string (Verilog_format.Verilog_printer.circuit_to_string c) in
+      Circuit.gate_count c = Circuit.gate_count c2 && equivalent c c2)
+
+let test_bench_to_verilog_to_bench () =
+  (* Cross-format conversion preserves behaviour. *)
+  let c = Circuit_gen.Embedded.c17 () in
+  let via_verilog =
+    Verilog_format.Verilog_parser.parse_string (Verilog_format.Verilog_printer.circuit_to_string c)
+  in
+  let back =
+    Bench_format.Parser.parse_string ~name:"c17"
+      (Bench_format.Printer.circuit_to_string via_verilog)
+  in
+  check_bool "behaviour preserved across formats" true (equivalent c back)
+
+let test_printer_rejects_constants () =
+  let b = Builder.create () in
+  Builder.add_gate b ~output:"k" ~kind:Gate.Const1 [];
+  Builder.add_output b "k";
+  let c = Builder.freeze b in
+  match Verilog_format.Verilog_printer.circuit_to_string c with
+  | _ -> Alcotest.fail "expected Unprintable"
+  | exception Verilog_format.Verilog_printer.Unprintable _ -> ()
+
+let test_file_io () =
+  let c = Circuit_gen.Embedded.c17 () in
+  let path = Filename.temp_file "serprop" ".v" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Verilog_format.Verilog_printer.write_file path c;
+      let c2 = Verilog_format.Verilog_parser.parse_file path in
+      check_bool "behaviour preserved" true (equivalent c c2))
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "token stream" `Quick test_lexer_tokens;
+          Alcotest.test_case "line comments" `Quick test_lexer_line_comment;
+          Alcotest.test_case "block comments" `Quick test_lexer_block_comment;
+          Alcotest.test_case "attributes" `Quick test_lexer_attribute;
+          Alcotest.test_case "unterminated comment" `Quick test_lexer_unterminated_comment;
+          Alcotest.test_case "escaped identifiers" `Quick test_lexer_escaped_ident;
+          Alcotest.test_case "identifier charset" `Quick test_lexer_bracket_idents;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "half adder" `Quick test_parse_half_adder;
+          Alcotest.test_case "anonymous instance" `Quick test_parse_anonymous_instance;
+          Alcotest.test_case "empty port list" `Quick test_parse_empty_ports;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+          Alcotest.test_case "elaborate half adder" `Quick test_elaborate_half_adder;
+          Alcotest.test_case "elaborate dff" `Quick test_elaborate_dff;
+          Alcotest.test_case "dff arity error" `Quick test_elaborate_dff_arity_error;
+          Alcotest.test_case "undefined signal" `Quick test_elaborate_undefined_signal;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "s27 round-trip" `Quick test_print_parse_roundtrip_s27;
+          prop_verilog_roundtrip_random;
+          Alcotest.test_case "bench <-> verilog conversion" `Quick test_bench_to_verilog_to_bench;
+          Alcotest.test_case "constants rejected" `Quick test_printer_rejects_constants;
+          Alcotest.test_case "file IO" `Quick test_file_io;
+        ] );
+    ]
