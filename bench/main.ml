@@ -17,7 +17,12 @@
    Also prints the Fig. 1 regeneration (the paper's only figure with
    numerical content).
 
-   Usage: dune exec bench/main.exe [-- --quick | -- --micro-only | -- --table-only] *)
+   3. The kernel-vs-reference sweep — times the whole-circuit EPP pass
+      through the boxed reference engine and through the allocation-free
+      workspace kernel, checks 1e-12 agreement, and can record the perf
+      trajectory in BENCH_epp_kernel.json.
+
+   See the flag summary above the entry point at the bottom of this file. *)
 
 open Bechamel
 open Toolkit
@@ -97,6 +102,14 @@ let micro_tests () =
         Epp.Epp_engine.analyze_all epp953_shared));
     Test.make ~name:"epp/all-sites-collapsed:s953" (Staged.stage (fun () ->
         Epp.Collapse.analyze_all epp953_shared));
+    (* The allocation-free workspace kernel against the boxed reference
+       (epp/site:* above is the reference path). *)
+    (let ws = Epp.Epp_engine.Workspace.create epp953 in
+     Test.make ~name:"epp/site-kernel:s953" (Staged.stage (fun () ->
+         Epp.Epp_engine.Workspace.analyze_site ws site953)));
+    (let ws = Epp.Epp_engine.Workspace.create epp1196 in
+     Test.make ~name:"epp/site-kernel:s1196" (Staged.stage (fun () ->
+         Epp.Epp_engine.Workspace.analyze_site ws site1196)));
   ]
 
 let run_micro () =
@@ -211,6 +224,153 @@ let run_table2 ~quick () =
     "(Speedup magnitudes scale with the baseline's vector budget and our bit-parallel@.";
   Fmt.pr " 64x-faster simulator; see EXPERIMENTS.md for the shape argument.)@."
 
+(* --- kernel vs reference: the perf-trajectory benchmark -----------------------
+
+   Times the whole-circuit EPP sweep (analyze_all) twice per fixture: once
+   through the boxed reference engine (O(circuit) allocation and topo-order
+   filtering per site) and once through the allocation-free workspace kernel
+   (CSR cone DFS, epoch-stamped marks, SoA vectors, cone-local ordering).
+   Verifies the results agree within 1e-12 site by site — the kernel's
+   bit-compatibility contract — and optionally records sites/sec and the
+   speedups in BENCH_epp_kernel.json so later PRs can track the trajectory.
+
+   Two fixtures, two regimes:
+   - a >= 5k-gate parity tree (cone-local regime: every cone is a root path,
+     so the reference's O(circuit)-per-site overhead dominates and the
+     kernel's O(cone log cone) bound shows as an order-of-magnitude win;
+     real netlists sit between the regimes, nearer this one);
+   - the s9234-profile random DAG (dense-reachability regime: the generator's
+     long-range edges percolate, cones cover ~half the circuit, both engines
+     are bound by the same rule arithmetic, and the kernel's win is the
+     constant factor of allocation-freedom).  [min_speedup] is asserted only
+     where the margin is structural, not timing noise. *)
+
+type kernel_fixture = {
+  kf_label : string;
+  kf_build : unit -> Netlist.Circuit.t;
+  kf_min_speedup : float option;
+}
+
+let kernel_fixtures ~smoke =
+  if smoke then
+    [
+      { kf_label = "parity-1024 (tree, cone-local)";
+        kf_build = (fun () -> Circuit_gen.Structured.parity_tree ~width:1024 ());
+        kf_min_speedup = None };
+      { kf_label = "s1196-profile (dense random DAG)";
+        kf_build = (fun () -> Circuit_gen.Random_dag.generate ~seed:1 Circuit_gen.Profiles.s1196);
+        kf_min_speedup = None };
+    ]
+  else
+    [
+      { kf_label = "parity-8192 (tree, cone-local)";
+        kf_build = (fun () -> Circuit_gen.Structured.parity_tree ~width:8192 ());
+        kf_min_speedup = Some 5.0 };
+      { kf_label = "s9234-profile (dense random DAG)";
+        kf_build = (fun () -> Circuit_gen.Random_dag.generate ~seed:1 Circuit_gen.Profiles.s9234);
+        kf_min_speedup = None };
+    ]
+
+type kernel_row = {
+  kr_label : string;
+  kr_nodes : int;
+  kr_gates : int;
+  kr_reference_s : float;
+  kr_kernel_s : float;
+  kr_speedup : float;
+  kr_max_diff : float;
+}
+
+let run_kernel_fixture f =
+  let c = f.kf_build () in
+  let engine = Epp.Epp_engine.create ~sp:(sp_of c) c in
+  let n = Netlist.Circuit.node_count c in
+  let sites = List.init n Fun.id in
+  let reference, kr_reference_s =
+    Report.Timer.time (fun () -> List.map (Epp.Epp_engine.analyze_site engine) sites)
+  in
+  let kernel, kr_kernel_s =
+    Report.Timer.time (fun () -> Epp.Epp_engine.analyze_all engine)
+  in
+  let kr_max_diff =
+    List.fold_left2
+      (fun acc (a : Epp.Epp_engine.site_result) (b : Epp.Epp_engine.site_result) ->
+        Float.max acc
+          (Float.abs (a.Epp.Epp_engine.p_sensitized -. b.Epp.Epp_engine.p_sensitized)))
+      0.0 reference kernel
+  in
+  {
+    kr_label = f.kf_label;
+    kr_nodes = n;
+    kr_gates = Netlist.Circuit.gate_count c;
+    kr_reference_s;
+    kr_kernel_s;
+    kr_speedup = kr_reference_s /. kr_kernel_s;
+    kr_max_diff;
+  }
+
+let run_kernel_bench ?(json = false) ?(smoke = false) () =
+  print_endline "== EPP kernel vs reference engine (analyze_all, single domain) ==";
+  let fixtures = kernel_fixtures ~smoke in
+  let rows = List.map run_kernel_fixture fixtures in
+  Report.Table.print
+    ~align:Report.Table.[ Left; Right; Right; Right; Right; Right ]
+    ~header:[ "fixture"; "gates"; "reference"; "kernel"; "speedup"; "max |dP|" ]
+    (List.map
+       (fun r ->
+         [ r.kr_label; string_of_int r.kr_gates;
+           Printf.sprintf "%.3f s" r.kr_reference_s;
+           Printf.sprintf "%.3f s" r.kr_kernel_s;
+           Printf.sprintf "%.1fx" r.kr_speedup;
+           Printf.sprintf "%.1e" r.kr_max_diff ])
+       rows);
+  let failed = ref false in
+  List.iter2
+    (fun f r ->
+      if r.kr_max_diff > 1e-12 then begin
+        Fmt.epr "FAIL: %s: kernel diverged from reference (max diff %.3g > 1e-12)@."
+          r.kr_label r.kr_max_diff;
+        failed := true
+      end;
+      match f.kf_min_speedup with
+      | Some min when r.kr_speedup < min ->
+        Fmt.epr "FAIL: %s: speedup %.1fx below the %.0fx floor@." r.kr_label
+          r.kr_speedup min;
+        failed := true
+      | Some _ | None -> ())
+    fixtures rows;
+  if !failed then exit 1;
+  print_endline "kernel matches reference within 1e-12 on every fixture: PASS";
+  print_newline ();
+  if json then begin
+    let oc = open_out "BENCH_epp_kernel.json" in
+    Printf.fprintf oc "{\n  \"benchmark\": \"epp_kernel_vs_reference\",\n  \"domains\": 1,\n  \"fixtures\": [";
+    List.iteri
+      (fun i r ->
+        let sps t = float_of_int r.kr_nodes /. t in
+        Printf.fprintf oc
+          "%s\n    {\n\
+          \      \"label\": %S,\n\
+          \      \"nodes\": %d,\n\
+          \      \"gates\": %d,\n\
+          \      \"sites\": %d,\n\
+          \      \"reference_s\": %.6f,\n\
+          \      \"kernel_s\": %.6f,\n\
+          \      \"reference_sites_per_sec\": %.1f,\n\
+          \      \"kernel_sites_per_sec\": %.1f,\n\
+          \      \"speedup\": %.2f,\n\
+          \      \"max_abs_diff\": %.3e\n\
+          \    }"
+          (if i = 0 then "" else ",")
+          r.kr_label r.kr_nodes r.kr_gates r.kr_nodes r.kr_reference_s r.kr_kernel_s
+          (sps r.kr_reference_s) (sps r.kr_kernel_s) r.kr_speedup r.kr_max_diff)
+      rows;
+    Printf.fprintf oc "\n  ]\n}\n";
+    close_out oc;
+    print_endline "wrote BENCH_epp_kernel.json";
+    print_newline ()
+  end
+
 (* --- design-choice ablations ------------------------------------------------
    Accuracy of each estimator against the BDD-exact ground truth on a
    mid-size circuit, quantifying what each design ingredient buys:
@@ -282,14 +442,30 @@ let run_ablation () =
   run_ablation_on ~label:"s298 profile, XOR-rich variant (50% XOR)"
     (Circuit_gen.Random_dag.generate ~config:xor_rich ~seed:4 Circuit_gen.Profiles.s298)
 
+(* Usage: dune exec bench/main.exe --
+     (no flag)       full run: micro + fig1 + kernel + ablations + Table 2
+     --quick         3-circuit Table-2 smoke version
+     --micro-only    Bechamel microbenchmarks only
+     --table-only    Table-2 harness only
+     --kernel-only   kernel-vs-reference sweep only (>= 5k-gate fixtures)
+     --json          with the kernel bench: also write BENCH_epp_kernel.json
+     --smoke         fast CI check: kernel equivalence on a small profile
+                     (also available as `dune build @bench-smoke`) *)
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro-only" args in
   let table_only = List.mem "--table-only" args in
-  if not table_only then run_micro ();
-  if not micro_only then begin
-    run_fig1 ();
-    run_ablation ();
-    run_table2 ~quick ()
+  let kernel_only = List.mem "--kernel-only" args in
+  let json = List.mem "--json" args in
+  if List.mem "--smoke" args then run_kernel_bench ~smoke:true ()
+  else if kernel_only then run_kernel_bench ~json ()
+  else begin
+    if not table_only then run_micro ();
+    if not micro_only then begin
+      run_fig1 ();
+      run_kernel_bench ~json ();
+      run_ablation ();
+      run_table2 ~quick ()
+    end
   end

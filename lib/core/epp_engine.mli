@@ -47,7 +47,32 @@ val analyze_site_vectors :
     latched in flip-flops).  @raise Invalid_argument in [Naive] mode or on
     an out-of-range site. *)
 
+(** The allocation-free per-site kernel.  A workspace bundles the reusable
+    scratch state of the sweep — the four-state vectors as unboxed
+    structure-of-arrays float components, epoch-stamped visited/on-path
+    marks (bumping a counter replaces clearing an O(n) array per site), a
+    flat DFS stack over the circuit's CSR adjacency, and the cone buffer
+    sorted by precomputed topological position — so analyzing a site costs
+    O(cone · log cone) and allocates only the result.  Results are
+    bit-identical to {!analyze_site}, the boxed reference implementation.
+
+    A workspace is mutable single-owner state: share the {e engine} across
+    domains freely, but create one workspace per domain. *)
+module Workspace : sig
+  type ws
+
+  val create : t -> ws
+  val engine : ws -> t
+
+  val analyze_site : ws -> int -> site_result
+  (** Same results as the reference {!analyze_site} (bit-identical), at
+      cone-local cost.  @raise Invalid_argument on an out-of-range site. *)
+end
+
 val analyze_sites : t -> int list -> site_result list
+(** Batch analysis through a private {!Workspace} (the fast kernel);
+    results are bit-identical to mapping {!analyze_site}. *)
+
 val analyze_all : t -> site_result list
 
 val pp_site_result : Netlist.Circuit.t -> site_result Fmt.t

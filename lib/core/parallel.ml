@@ -1,10 +1,14 @@
 (* Multicore site analysis (OCaml 5 domains).
 
-   An engine is immutable once created — analyze_site only reads the shared
-   topological order and signal probabilities and allocates its own
-   per-call scratch — so the per-site loop is embarrassingly parallel.
-   Sites are split into contiguous chunks, one domain each; results come
-   back in the input order.
+   An engine is immutable once created, so the per-site loop is
+   embarrassingly parallel — but cone sizes vary by orders of magnitude
+   across a netlist, so the old static contiguous chunking left domains
+   idle behind whichever chunk drew the deep cones.  Sites are instead
+   claimed one at a time from a shared Atomic counter (work stealing by
+   index); each domain owns one Epp_engine.Workspace, so the whole sweep
+   allocates per-domain scratch once and per-site results only.  Results
+   land in a shared array at their input index, so output order is the
+   input order regardless of which domain analyzed what.
 
    This is a wall-clock optimization only: SysT in the Table-2 sense is
    single-threaded by definition (and the paper's machine was), so the
@@ -12,18 +16,14 @@
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
-let chunk_evenly items chunks =
-  let arr = Array.of_list items in
-  let n = Array.length arr in
-  let base = n / chunks and extra = n mod chunks in
-  let rec build i offset acc =
-    if i = chunks then List.rev acc
-    else begin
-      let size = base + (if i < extra then 1 else 0) in
-      build (i + 1) (offset + size) (Array.sub arr offset size :: acc)
-    end
-  in
-  build 0 0 []
+(* [shorter_than l n] walks at most [n] cons cells — the small-batch check
+   must not pay O(length sites) just to learn the batch is large. *)
+let rec shorter_than l n =
+  n > 0
+  &&
+  match l with
+  | [] -> true
+  | _ :: tl -> shorter_than tl (n - 1)
 
 let analyze_sites ?domains engine sites =
   let domains =
@@ -35,18 +35,32 @@ let analyze_sites ?domains engine sites =
   in
   match sites with
   | [] -> []
-  | _ :: _ when domains = 1 || List.length sites < 2 * domains ->
+  | _ :: _ when domains = 1 || shorter_than sites (2 * domains) ->
     Epp_engine.analyze_sites engine sites
   | _ :: _ ->
-    let chunks = chunk_evenly sites domains in
-    let workers =
-      List.map
-        (fun chunk ->
-          Domain.spawn (fun () ->
-              Array.map (Epp_engine.analyze_site engine) chunk))
-        chunks
+    let arr = Array.of_list sites in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let ws = Epp_engine.Workspace.create engine in
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else results.(i) <- Some (Epp_engine.Workspace.analyze_site ws arr.(i))
+      done
     in
-    List.concat_map (fun d -> Array.to_list (Domain.join d)) workers
+    let helpers = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain participates instead of blocking in join. *)
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* counter handed out every index *))
+         results)
 
 let analyze_all ?domains engine =
   let n = Netlist.Circuit.node_count (Epp_engine.circuit engine) in

@@ -1,5 +1,8 @@
 (** Multicore per-site analysis: the engine is immutable, so sites fan out
-    across OCaml 5 domains (contiguous chunks, results in input order).
+    across OCaml 5 domains.  Each domain claims the next site index from a
+    shared [Atomic] counter (work stealing — static chunks load-imbalance
+    badly because cone sizes vary by orders of magnitude) and runs it on its
+    own {!Epp_engine.Workspace}; results come back in input order.
     Wall-clock only — the Table-2 SysT metric stays single-threaded. *)
 
 val default_domains : unit -> int

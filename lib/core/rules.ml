@@ -78,6 +78,187 @@ let propagate kind (inputs : Prob4.t array) =
   | Gate.Const0 -> Prob4.of_sp 0.0
   | Gate.Const1 -> Prob4.of_sp 1.0
 
+(* --- structure-of-arrays kernels -----------------------------------------
+
+   The boxed rules above are the reference implementation: one Prob4.t per
+   signal, one [Array.map] per gate.  On a whole-circuit sweep that is two
+   short-lived blocks per gate per site — pure GC traffic.  The SoA kernels
+   below compute the *same arithmetic in the same order* (so results are
+   bit-identical), but read gate inputs from four reusable float arrays (the
+   gather scratch) and write the output into caller-owned per-node float
+   arrays at a given index.  Nothing is allocated on the success path; the
+   Prob4.t record is only materialized to raise the usual exception when a
+   rule produces an inconsistent vector.
+
+   Float accumulators are local [ref]s in closure-free loops, which the
+   native compiler keeps unboxed. *)
+
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+module Soa = struct
+  type t = {
+    mutable pa : float array;
+    mutable pa_bar : float array;
+    mutable p1 : float array;
+    mutable p0 : float array;
+  }
+
+  let create ~max_fanin =
+    let k = max 1 max_fanin in
+    {
+      pa = Array.make k 0.0;
+      pa_bar = Array.make k 0.0;
+      p1 = Array.make k 0.0;
+      p0 = Array.make k 0.0;
+    }
+
+  let capacity s = Array.length s.pa
+
+  let reserve s k =
+    if capacity s < k then begin
+      let k = max k (2 * capacity s) in
+      s.pa <- Array.make k 0.0;
+      s.pa_bar <- Array.make k 0.0;
+      s.p1 <- Array.make k 0.0;
+      s.p0 <- Array.make k 0.0
+    end
+
+  (* Mirror of Prob4.normalize followed by the store; raises the same
+     Prob4.Invalid on the same conditions. *)
+  let normalize_store ~pa ~pa_bar ~p1 ~p0 ~dst_pa ~dst_pa_bar ~dst_p1 ~dst_p0 dst =
+    let pa = clamp01 pa
+    and pa_bar = clamp01 pa_bar
+    and p1 = clamp01 p1
+    and p0 = clamp01 p0 in
+    let s = pa +. pa_bar +. p1 +. p0 in
+    if s <= 0.0 then
+      raise (Prob4.Invalid { vector = { Prob4.pa; pa_bar; p1; p0 }; reason = "zero mass" })
+    else if Float.abs (s -. 1.0) > 1e-6 then
+      raise
+        (Prob4.Invalid
+           { vector = { Prob4.pa; pa_bar; p1; p0 };
+             reason = "components do not sum to 1" })
+    else begin
+      dst_pa.(dst) <- pa /. s;
+      dst_pa_bar.(dst) <- pa_bar /. s;
+      dst_p1.(dst) <- p1 /. s;
+      dst_p0.(dst) <- p0 /. s
+    end
+
+  (* AND/OR raw components, same product order as the boxed [product]. *)
+  let and_components s k =
+    let p1 = ref 1.0 and qa = ref 1.0 and qab = ref 1.0 in
+    for i = 0 to k - 1 do
+      p1 := !p1 *. s.p1.(i);
+      qa := !qa *. (s.p1.(i) +. s.pa.(i));
+      qab := !qab *. (s.p1.(i) +. s.pa_bar.(i))
+    done;
+    let p1 = !p1 in
+    let pa = !qa -. p1 in
+    let pa_bar = !qab -. p1 in
+    let p0 = 1.0 -. (p1 +. pa +. pa_bar) in
+    (pa, pa_bar, p1, p0)
+
+  let or_components s k =
+    let p0 = ref 1.0 and qa = ref 1.0 and qab = ref 1.0 in
+    for i = 0 to k - 1 do
+      p0 := !p0 *. s.p0.(i);
+      qa := !qa *. (s.p0.(i) +. s.pa.(i));
+      qab := !qab *. (s.p0.(i) +. s.pa_bar.(i))
+    done;
+    let p0 = !p0 in
+    let pa = !qa -. p0 in
+    let pa_bar = !qab -. p0 in
+    let p1 = 1.0 -. (p0 +. pa +. pa_bar) in
+    (pa, pa_bar, p1, p0)
+
+  (* XOR fold: accumulator starts at the raw first input (exactly like the
+     boxed xor_rule) and each xor2 step normalizes, mirroring Prob4.normalize
+     inline so the accumulator never leaves the unboxed registers. *)
+  let xor_components s k =
+    let apa = ref s.pa.(0)
+    and apab = ref s.pa_bar.(0)
+    and ap1 = ref s.p1.(0)
+    and ap0 = ref s.p0.(0) in
+    for i = 1 to k - 1 do
+      let xpa = !apa and xpab = !apab and xp1 = !ap1 and xp0 = !ap0 in
+      let ypa = s.pa.(i) and ypab = s.pa_bar.(i) and yp1 = s.p1.(i) and yp0 = s.p0.(i) in
+      let p1 = (xp1 *. yp0) +. (xp0 *. yp1) +. (xpa *. ypab) +. (xpab *. ypa) in
+      let p0 = (xp0 *. yp0) +. (xp1 *. yp1) +. (xpa *. ypa) +. (xpab *. ypab) in
+      let pa = (xpa *. yp0) +. (xpab *. yp1) +. (xp0 *. ypa) +. (xp1 *. ypab) in
+      let pa_bar = (xpab *. yp0) +. (xpa *. yp1) +. (xp0 *. ypab) +. (xp1 *. ypa) in
+      let pa = clamp01 pa
+      and pa_bar = clamp01 pa_bar
+      and p1 = clamp01 p1
+      and p0 = clamp01 p0 in
+      let sum = pa +. pa_bar +. p1 +. p0 in
+      if sum <= 0.0 then
+        raise
+          (Prob4.Invalid { vector = { Prob4.pa; pa_bar; p1; p0 }; reason = "zero mass" })
+      else if Float.abs (sum -. 1.0) > 1e-6 then
+        raise
+          (Prob4.Invalid
+             { vector = { Prob4.pa; pa_bar; p1; p0 };
+               reason = "components do not sum to 1" });
+      apa := pa /. sum;
+      apab := pa_bar /. sum;
+      ap1 := p1 /. sum;
+      ap0 := p0 /. sum
+    done;
+    (!apa, !apab, !ap1, !ap0)
+
+  let propagate s kind ~arity ~dst_pa ~dst_pa_bar ~dst_p1 ~dst_p0 dst =
+    Gate.check_arity kind arity;
+    match kind with
+    | Gate.And ->
+      let pa, pa_bar, p1, p0 = and_components s arity in
+      normalize_store ~pa ~pa_bar ~p1 ~p0 ~dst_pa ~dst_pa_bar ~dst_p1 ~dst_p0 dst
+    | Gate.Nand ->
+      (* normalize first, then swap — the boxed path is invert(and_rule). *)
+      let pa, pa_bar, p1, p0 = and_components s arity in
+      normalize_store ~pa ~pa_bar ~p1 ~p0 ~dst_pa:dst_pa_bar ~dst_pa_bar:dst_pa
+        ~dst_p1:dst_p0 ~dst_p0:dst_p1 dst
+    | Gate.Or ->
+      let pa, pa_bar, p1, p0 = or_components s arity in
+      normalize_store ~pa ~pa_bar ~p1 ~p0 ~dst_pa ~dst_pa_bar ~dst_p1 ~dst_p0 dst
+    | Gate.Nor ->
+      let pa, pa_bar, p1, p0 = or_components s arity in
+      normalize_store ~pa ~pa_bar ~p1 ~p0 ~dst_pa:dst_pa_bar ~dst_pa_bar:dst_pa
+        ~dst_p1:dst_p0 ~dst_p0:dst_p1 dst
+    | Gate.Xor ->
+      let pa, pa_bar, p1, p0 = xor_components s arity in
+      dst_pa.(dst) <- pa;
+      dst_pa_bar.(dst) <- pa_bar;
+      dst_p1.(dst) <- p1;
+      dst_p0.(dst) <- p0
+    | Gate.Xnor ->
+      let pa, pa_bar, p1, p0 = xor_components s arity in
+      dst_pa.(dst) <- pa_bar;
+      dst_pa_bar.(dst) <- pa;
+      dst_p1.(dst) <- p0;
+      dst_p0.(dst) <- p1
+    | Gate.Not ->
+      dst_pa.(dst) <- s.pa_bar.(0);
+      dst_pa_bar.(dst) <- s.pa.(0);
+      dst_p1.(dst) <- s.p0.(0);
+      dst_p0.(dst) <- s.p1.(0)
+    | Gate.Buf ->
+      dst_pa.(dst) <- s.pa.(0);
+      dst_pa_bar.(dst) <- s.pa_bar.(0);
+      dst_p1.(dst) <- s.p1.(0);
+      dst_p0.(dst) <- s.p0.(0)
+    | Gate.Const0 ->
+      dst_pa.(dst) <- 0.0;
+      dst_pa_bar.(dst) <- 0.0;
+      dst_p1.(dst) <- 0.0;
+      dst_p0.(dst) <- 1.0
+    | Gate.Const1 ->
+      dst_pa.(dst) <- 0.0;
+      dst_pa_bar.(dst) <- 0.0;
+      dst_p1.(dst) <- 1.0;
+      dst_p0.(dst) <- 0.0
+end
+
 (* --- polarity-blind ablation --------------------------------------------
 
    The naive three-state propagation collapses Pa and Pā into a single
@@ -144,4 +325,120 @@ module Naive = struct
     | Gate.Buf -> inputs.(0)
     | Gate.Const0 -> of_sp 0.0
     | Gate.Const1 -> of_sp 1.0
+
+  (* Three-state twin of {!Rules.Soa}: same arithmetic as the boxed naive
+     rules, gather scratch in, per-node float arrays out, no allocation on
+     the success path. *)
+  module Soa = struct
+    type scratch = {
+      mutable pe : float array;
+      mutable p1 : float array;
+      mutable p0 : float array;
+    }
+
+    let create ~max_fanin =
+      let k = max 1 max_fanin in
+      { pe = Array.make k 0.0; p1 = Array.make k 0.0; p0 = Array.make k 0.0 }
+
+    let capacity s = Array.length s.pe
+
+    let reserve s k =
+      if capacity s < k then begin
+        let k = max k (2 * capacity s) in
+        s.pe <- Array.make k 0.0;
+        s.p1 <- Array.make k 0.0;
+        s.p0 <- Array.make k 0.0
+      end
+
+    let normalize_store ~pe ~p1 ~p0 ~dst_pe ~dst_p1 ~dst_p0 dst =
+      let pe = clamp01 pe and p1 = clamp01 p1 and p0 = clamp01 p0 in
+      let s = pe +. p1 +. p0 in
+      if Float.abs (s -. 1.0) > 1e-6 then
+        invalid_arg "Rules.Naive.normalize: components do not sum to 1"
+      else begin
+        dst_pe.(dst) <- pe /. s;
+        dst_p1.(dst) <- p1 /. s;
+        dst_p0.(dst) <- p0 /. s
+      end
+
+    let and_components s k =
+      let p1 = ref 1.0 and q = ref 1.0 in
+      for i = 0 to k - 1 do
+        p1 := !p1 *. s.p1.(i);
+        q := !q *. (s.p1.(i) +. s.pe.(i))
+      done;
+      let p1 = !p1 in
+      let pe = !q -. p1 in
+      (pe, p1, 1.0 -. p1 -. pe)
+
+    let or_components s k =
+      let p0 = ref 1.0 and q = ref 1.0 in
+      for i = 0 to k - 1 do
+        p0 := !p0 *. s.p0.(i);
+        q := !q *. (s.p0.(i) +. s.pe.(i))
+      done;
+      let p0 = !p0 in
+      let pe = !q -. p0 in
+      (pe, 1.0 -. p0 -. pe, p0)
+
+    let xor_components s k =
+      let ape = ref s.pe.(0) and ap1 = ref s.p1.(0) and ap0 = ref s.p0.(0) in
+      for i = 1 to k - 1 do
+        let xp1 = !ap1 and xp0 = !ap0 in
+        let yp1 = s.p1.(i) and yp0 = s.p0.(i) in
+        let p1 = (xp1 *. yp0) +. (xp0 *. yp1) in
+        let p0 = (xp0 *. yp0) +. (xp1 *. yp1) in
+        let pe = 1.0 -. p1 -. p0 in
+        let pe = clamp01 pe and p1 = clamp01 p1 and p0 = clamp01 p0 in
+        let sum = pe +. p1 +. p0 in
+        if Float.abs (sum -. 1.0) > 1e-6 then
+          invalid_arg "Rules.Naive.normalize: components do not sum to 1";
+        ape := pe /. sum;
+        ap1 := p1 /. sum;
+        ap0 := p0 /. sum
+      done;
+      (!ape, !ap1, !ap0)
+
+    let propagate s kind ~arity ~dst_pe ~dst_p1 ~dst_p0 dst =
+      Gate.check_arity kind arity;
+      match kind with
+      | Gate.And ->
+        let pe, p1, p0 = and_components s arity in
+        normalize_store ~pe ~p1 ~p0 ~dst_pe ~dst_p1 ~dst_p0 dst
+      | Gate.Nand ->
+        let pe, p1, p0 = and_components s arity in
+        normalize_store ~pe ~p1 ~p0 ~dst_pe ~dst_p1:dst_p0 ~dst_p0:dst_p1 dst
+      | Gate.Or ->
+        let pe, p1, p0 = or_components s arity in
+        normalize_store ~pe ~p1 ~p0 ~dst_pe ~dst_p1 ~dst_p0 dst
+      | Gate.Nor ->
+        let pe, p1, p0 = or_components s arity in
+        normalize_store ~pe ~p1 ~p0 ~dst_pe ~dst_p1:dst_p0 ~dst_p0:dst_p1 dst
+      | Gate.Xor ->
+        let pe, p1, p0 = xor_components s arity in
+        dst_pe.(dst) <- pe;
+        dst_p1.(dst) <- p1;
+        dst_p0.(dst) <- p0
+      | Gate.Xnor ->
+        let pe, p1, p0 = xor_components s arity in
+        dst_pe.(dst) <- pe;
+        dst_p1.(dst) <- p0;
+        dst_p0.(dst) <- p1
+      | Gate.Not ->
+        dst_pe.(dst) <- s.pe.(0);
+        dst_p1.(dst) <- s.p0.(0);
+        dst_p0.(dst) <- s.p1.(0)
+      | Gate.Buf ->
+        dst_pe.(dst) <- s.pe.(0);
+        dst_p1.(dst) <- s.p1.(0);
+        dst_p0.(dst) <- s.p0.(0)
+      | Gate.Const0 ->
+        dst_pe.(dst) <- 0.0;
+        dst_p1.(dst) <- 0.0;
+        dst_p0.(dst) <- 1.0
+      | Gate.Const1 ->
+        dst_pe.(dst) <- 0.0;
+        dst_p1.(dst) <- 1.0;
+        dst_p0.(dst) <- 0.0
+  end
 end

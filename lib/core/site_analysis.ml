@@ -23,8 +23,7 @@ type t = {
 let analyze ?order circuit site =
   let n = Circuit.node_count circuit in
   if site < 0 || site >= n then invalid_arg "Site_analysis.analyze: bad site";
-  let graph = Circuit.graph circuit in
-  let on_path = Reach.forward graph site in
+  let on_path = Reach.forward_csr (Circuit.csr circuit) site in
   let order =
     match order with
     | Some o -> o

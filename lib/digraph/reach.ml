@@ -35,6 +35,42 @@ let backward_set g roots = forward_set (Digraph.reverse g) roots
 
 let forward g root = forward_set g [ root ]
 
+(* CSR variants: identical visit semantics, but the successor scan walks two
+   flat int arrays instead of cons cells.  The whole-circuit EPP sweep runs
+   one of these per site, so this is a hot path. *)
+let forward_set_csr csr roots =
+  let n = Csr.vertex_count csr in
+  let offsets = Csr.offsets csr and targets = Csr.targets csr in
+  let visited = Array.make n false in
+  (* Each vertex is pushed at most once, so a flat array of size n is a
+     sufficient stack and nothing is allocated during the search. *)
+  let stack = Array.make (max n 1) 0 in
+  let top = ref 0 in
+  List.iter
+    (fun r ->
+      if r < 0 || r >= n then raise (Digraph.Invalid_vertex r);
+      if not visited.(r) then begin
+        visited.(r) <- true;
+        stack.(!top) <- r;
+        incr top
+      end)
+    roots;
+  while !top > 0 do
+    decr top;
+    let u = stack.(!top) in
+    for i = offsets.(u) to offsets.(u + 1) - 1 do
+      let v = targets.(i) in
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        stack.(!top) <- v;
+        incr top
+      end
+    done
+  done;
+  visited
+
+let forward_csr csr root = forward_set_csr csr [ root ]
+
 let members visited =
   let acc = ref [] in
   for v = Array.length visited - 1 downto 0 do

@@ -13,6 +13,13 @@ val forward_set : Digraph.t -> Digraph.vertex list -> bool array
 val backward_set : Digraph.t -> Digraph.vertex list -> bool array
 (** Reachability in the reversed graph (fan-in cones). *)
 
+val forward_csr : Csr.t -> Digraph.vertex -> bool array
+(** Same as {!forward} over a CSR view: the successor scan walks flat int
+    arrays, and the search allocates only the result.  Used by the per-site
+    hot paths. *)
+
+val forward_set_csr : Csr.t -> Digraph.vertex list -> bool array
+
 val members : bool array -> Digraph.vertex list
 (** Indices set to true, increasing. *)
 

@@ -24,6 +24,7 @@ type t = {
   outputs : int array;
   ffs : int array;
   graph : Digraph.t;  (* combinational graph: fanin -> gate edges only *)
+  csr : Csr.t;  (* packed adjacency of [graph], shared by per-site hot paths *)
 }
 
 let name t = t.name
@@ -117,6 +118,7 @@ let observation_name t = function
   | Ff_data ff -> t.names.(ff) ^ ".D"
 
 let graph t = t.graph
+let csr t = t.csr
 
 let fanouts t v = Digraph.succ t.graph v
 
@@ -141,7 +143,10 @@ let make ~name ~nodes ~names ~inputs ~outputs ~ffs =
     nodes;
   Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
   let graph = Digraph.of_successors succ in
-  { name; nodes; names; index; inputs; outputs; ffs; graph }
+  (* Built eagerly (not lazily) so engines created before a domain fan-out
+     can hand the view to every worker without a racy first force. *)
+  let csr = Csr.of_graph graph in
+  { name; nodes; names; index; inputs; outputs; ffs; graph; csr }
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>circuit %S: %d nodes (%d PI, %d PO, %d FF, %d gates)@]" t.name

@@ -83,6 +83,11 @@ val graph : t -> Digraph.t
 (** The combinational graph: an edge per (fanin, gate) pair.  Acyclic for any
     circuit produced by {!Builder.freeze}. *)
 
+val csr : t -> Csr.t
+(** The CSR (packed int-array) view of {!graph}, built once with the circuit
+    and shared by the per-site hot paths (cone DFS, the EPP kernel).
+    Immutable; safe to share across domains. *)
+
 val topological_order : t -> int array
 val levels : t -> int array
 

@@ -1,0 +1,174 @@
+(* Tests for the allocation-free EPP kernel (Epp_engine.Workspace) and the
+   work-stealing parallel driver built on it.
+
+   The kernel is a reimplementation of the per-site pass — CSR cone DFS,
+   epoch-stamped marks, SoA vectors, cone-local ordering — so the contract
+   is equivalence with the boxed reference engine: every field of every
+   site_result must match within 1e-12 (the arithmetic is mirrored
+   operation-for-operation, so in practice the values are bit-identical),
+   on every circuit shape, in both modes, with and without the cone
+   restriction. *)
+
+open Helpers
+open Netlist
+
+let obs_equal (a : Circuit.observation) (b : Circuit.observation) =
+  match a, b with
+  | Circuit.Po x, Circuit.Po y -> x = y
+  | Circuit.Ff_data x, Circuit.Ff_data y -> x = y
+  | (Circuit.Po _ | Circuit.Ff_data _), _ -> false
+
+let results_match (a : Epp.Epp_engine.site_result) (b : Epp.Epp_engine.site_result) =
+  a.Epp.Epp_engine.site = b.Epp.Epp_engine.site
+  && a.Epp.Epp_engine.cone_size = b.Epp.Epp_engine.cone_size
+  && a.Epp.Epp_engine.reached_outputs = b.Epp.Epp_engine.reached_outputs
+  && Float.abs (a.Epp.Epp_engine.p_sensitized -. b.Epp.Epp_engine.p_sensitized) <= 1e-12
+  && List.length a.Epp.Epp_engine.per_observation
+     = List.length b.Epp.Epp_engine.per_observation
+  && List.for_all2
+       (fun (o1, p1) (o2, p2) -> obs_equal o1 o2 && Float.abs (p1 -. p2) <= 1e-12)
+       a.Epp.Epp_engine.per_observation b.Epp.Epp_engine.per_observation
+
+let sp_for c =
+  if Circuit.ff_count c > 0 then
+    (Sigprob.Sp_sequential.compute c).Sigprob.Sp_sequential.result
+  else Sigprob.Sp_topological.compute c
+
+(* One workspace reused across every site of the circuit — exactly the
+   epoch-stamp reuse pattern the kernel exists for. *)
+let kernel_matches_reference ?(restrict_to_cone = true) ~mode c =
+  let engine = Epp.Epp_engine.create ~mode ~restrict_to_cone ~sp:(sp_for c) c in
+  let ws = Epp.Epp_engine.Workspace.create engine in
+  let ok = ref true in
+  for site = 0 to Circuit.node_count c - 1 do
+    let reference = Epp.Epp_engine.analyze_site engine site in
+    let kernel = Epp.Epp_engine.Workspace.analyze_site ws site in
+    if not (results_match reference kernel) then ok := false
+  done;
+  !ok
+
+let gen_combinational ~seed =
+  let profile =
+    Circuit_gen.Profiles.make
+      ~name:(Printf.sprintf "kcomb%d" seed)
+      ~inputs:6 ~outputs:3 ~ffs:0
+      ~gates:(30 + (seed mod 50))
+  in
+  Circuit_gen.Random_dag.generate ~seed profile
+
+let gen_sequential ~seed =
+  let profile =
+    Circuit_gen.Profiles.make
+      ~name:(Printf.sprintf "kseq%d" seed)
+      ~inputs:4 ~outputs:3
+      ~ffs:(3 + (seed mod 4))
+      ~gates:(30 + (seed mod 50))
+  in
+  Circuit_gen.Random_dag.generate ~seed profile
+
+let prop_polarity_combinational =
+  qtest ~count:30 ~name:"kernel = reference (polarity, combinational)" seed_arbitrary
+    (fun seed -> kernel_matches_reference ~mode:Epp.Epp_engine.Polarity (gen_combinational ~seed))
+
+let prop_polarity_sequential =
+  qtest ~count:30 ~name:"kernel = reference (polarity, sequential)" seed_arbitrary
+    (fun seed -> kernel_matches_reference ~mode:Epp.Epp_engine.Polarity (gen_sequential ~seed))
+
+let prop_naive_combinational =
+  qtest ~count:30 ~name:"kernel = reference (naive, combinational)" seed_arbitrary
+    (fun seed -> kernel_matches_reference ~mode:Epp.Epp_engine.Naive (gen_combinational ~seed))
+
+let prop_naive_sequential =
+  qtest ~count:30 ~name:"kernel = reference (naive, sequential)" seed_arbitrary
+    (fun seed -> kernel_matches_reference ~mode:Epp.Epp_engine.Naive (gen_sequential ~seed))
+
+let prop_no_cone_ablation =
+  qtest ~count:10 ~name:"kernel = reference (whole-circuit ablation)" seed_arbitrary
+    (fun seed ->
+      kernel_matches_reference ~restrict_to_cone:false ~mode:Epp.Epp_engine.Polarity
+        (gen_sequential ~seed))
+
+(* Deterministic mid-size fixtures: the embedded real s27 netlist and an
+   ISCAS-profiled random DAG. *)
+let test_s27_both_modes () =
+  let c = Circuit_gen.Embedded.s27 () in
+  check_bool "polarity" true (kernel_matches_reference ~mode:Epp.Epp_engine.Polarity c);
+  check_bool "naive" true (kernel_matches_reference ~mode:Epp.Epp_engine.Naive c)
+
+let test_s344_profile () =
+  let c = Circuit_gen.Random_dag.generate ~seed:4 Circuit_gen.Profiles.s344 in
+  check_bool "polarity" true (kernel_matches_reference ~mode:Epp.Epp_engine.Polarity c)
+
+let test_analyze_sites_uses_kernel_consistently () =
+  (* Batch API vs reference single-site API on repeated/unordered sites. *)
+  let c = Circuit_gen.Random_dag.generate ~seed:7 Circuit_gen.Profiles.s298 in
+  let engine = Epp.Epp_engine.create ~sp:(sp_for c) c in
+  let sites = [ 11; 3; 11; 0; Circuit.node_count c - 1 ] in
+  let batch = Epp.Epp_engine.analyze_sites engine sites in
+  List.iter2
+    (fun site r ->
+      check_bool
+        (Printf.sprintf "site %d" site)
+        true
+        (results_match (Epp.Epp_engine.analyze_site engine site) r))
+    sites batch
+
+let test_workspace_bad_site () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create ~sp:(Sigprob.Sp_topological.compute c) c in
+  let ws = Epp.Epp_engine.Workspace.create engine in
+  Alcotest.check_raises "negative site"
+    (Invalid_argument "Epp_engine.Workspace.analyze_site: bad site") (fun () ->
+      ignore (Epp.Epp_engine.Workspace.analyze_site ws (-1)))
+
+(* --- parallel driver --------------------------------------------------------- *)
+
+let prop_parallel_domains_identical =
+  qtest ~count:10 ~name:"Parallel.analyze_sites identical for domains 1/2/4"
+    seed_arbitrary (fun seed ->
+      let c = gen_sequential ~seed in
+      let engine = Epp.Epp_engine.create ~sp:(sp_for c) c in
+      let sites = List.init (Circuit.node_count c) Fun.id in
+      let expected = Epp.Epp_engine.analyze_sites engine sites in
+      List.for_all
+        (fun domains ->
+          let got = Epp.Parallel.analyze_sites ~domains engine sites in
+          List.length got = List.length expected
+          && List.for_all2 results_match expected got)
+        [ 1; 2; 4 ])
+
+let test_parallel_order_with_duplicates () =
+  let c = Circuit_gen.Random_dag.generate ~seed:5 Circuit_gen.Profiles.s344 in
+  let engine = Epp.Epp_engine.create ~sp:(sp_for c) c in
+  let n = Circuit.node_count c in
+  (* enough sites to defeat the small-batch fallback at 4 domains *)
+  let sites = List.init 64 (fun i -> (i * 37) mod n) in
+  let got = Epp.Parallel.analyze_sites ~domains:4 engine sites in
+  List.iter2
+    (fun site (r : Epp.Epp_engine.site_result) ->
+      check_int "input order preserved" site r.Epp.Epp_engine.site)
+    sites got
+
+let () =
+  Alcotest.run "epp_kernel"
+    [
+      ( "equivalence",
+        [
+          prop_polarity_combinational;
+          prop_polarity_sequential;
+          prop_naive_combinational;
+          prop_naive_sequential;
+          prop_no_cone_ablation;
+          Alcotest.test_case "s27 both modes" `Quick test_s27_both_modes;
+          Alcotest.test_case "s344 profile" `Quick test_s344_profile;
+          Alcotest.test_case "batch API consistent" `Quick
+            test_analyze_sites_uses_kernel_consistently;
+          Alcotest.test_case "bad site" `Quick test_workspace_bad_site;
+        ] );
+      ( "parallel",
+        [
+          prop_parallel_domains_identical;
+          Alcotest.test_case "order with duplicate sites" `Quick
+            test_parallel_order_with_duplicates;
+        ] );
+    ]
