@@ -1,0 +1,116 @@
+(* resilience_smoke: CI gate for the supervised sweep (dune build
+   @resilience-smoke).
+
+   On the embedded s27 netlist, with k sites deterministically poisoned on
+   both rungs through the supervisor's fault-injection seam, the sweep must
+
+   - complete and quarantine exactly those k sites (typed faults on both
+     rungs),
+   - leave every non-poisoned site bit-identical to the unsupervised sweep,
+   - and, after a simulated mid-run kill, resume from its checkpoint to a
+     final report bit-identical to an uninterrupted run (same total FIT).
+
+   Any drift exits non-zero and fails the alias. *)
+
+exception Killed
+
+let bits = Int64.bits_of_float
+
+let same_result (a : Epp.Epp_engine.site_result) (b : Epp.Epp_engine.site_result) =
+  a.Epp.Epp_engine.site = b.Epp.Epp_engine.site
+  && bits a.Epp.Epp_engine.p_sensitized = bits b.Epp.Epp_engine.p_sensitized
+  && a.Epp.Epp_engine.cone_size = b.Epp.Epp_engine.cone_size
+  && List.for_all2
+       (fun (o1, p1) (o2, p2) -> o1 = o2 && bits p1 = bits p2)
+       a.Epp.Epp_engine.per_observation b.Epp.Epp_engine.per_observation
+
+let failures = ref 0
+
+let check what ok =
+  if ok then Fmt.pr "ok: %s@." what
+  else begin
+    incr failures;
+    Fmt.pr "FAIL: %s@." what
+  end
+
+let () =
+  let circuit = Circuit_gen.Embedded.s27 () in
+  let engine = Epp.Epp_engine.create circuit in
+  let n = Netlist.Circuit.node_count circuit in
+  let poisoned = [ 2; 9; 14 ] in
+  let k = List.length poisoned in
+  let poison site = List.mem site poisoned in
+  let kernel ws site =
+    if poison site then failwith "injected kernel fault"
+    else Epp.Epp_engine.Workspace.analyze_site ws site
+  in
+  let reference engine site =
+    if poison site then failwith "injected reference fault"
+    else Epp.Epp_engine.analyze_site engine site
+  in
+  let unsupervised = Epp.Epp_engine.analyze_all engine in
+
+  (* 1. Fault isolation: exactly k quarantines, survivors bit-identical. *)
+  let outcome = Epp.Supervisor.sweep_all ~domains:2 ~kernel ~reference engine in
+  let qs = Epp.Supervisor.quarantines outcome in
+  check
+    (Printf.sprintf "exactly %d quarantined sites (got %d)" k (List.length qs))
+    (List.length qs = k);
+  check "quarantined exactly the poisoned sites"
+    (List.map (fun q -> q.Epp.Diag.site) qs = poisoned);
+  check "both rungs recorded a typed fault per quarantine"
+    (List.for_all (fun q -> List.length q.Epp.Diag.faults = 2) qs);
+  let survivors =
+    List.filter (fun (r : Epp.Epp_engine.site_result) -> not (poison r.Epp.Epp_engine.site))
+      unsupervised
+  in
+  check "non-poisoned sites bit-identical to the unsupervised sweep"
+    (List.for_all2 same_result survivors (Epp.Supervisor.results outcome));
+
+  (* 2. Kill/resume: interrupt after the first chunk's snapshot, resume, and
+     compare totals against the uninterrupted supervised run. *)
+  let path = Filename.temp_file "serprop_resilience" ".ck" in
+  let fp = Report.Checkpoint.fingerprint engine in
+  let saved = ref [] in
+  (try
+     ignore
+       (Epp.Supervisor.sweep ~domains:2 ~chunk_size:5 ~kernel ~reference
+          ~on_chunk:(fun ~done_count ~total:_ entries ->
+            saved := entries @ !saved;
+            Report.Checkpoint.save path
+              {
+                Report.Checkpoint.fingerprint = fp;
+                total_sites = n;
+                entries = List.sort compare !saved;
+              };
+            if done_count >= 5 then raise Killed)
+          engine
+          (List.init n Fun.id))
+   with Killed -> ());
+  (match
+     Report.Checkpoint.supervised_sweep ~domains:2 ~chunk_size:5 ~checkpoint:path
+       ~resume:true ~kernel ~reference engine
+   with
+  | Error e -> check (Report.Checkpoint.error_message e) false
+  | Ok resumed ->
+    check "resume replayed the snapshot"
+      (resumed.Epp.Supervisor.stats.Epp.Diag.resumed = 5);
+    check "resumed sweep covers every site"
+      (List.length resumed.Epp.Supervisor.entries = n);
+    let total results =
+      (Epp.Ser_estimator.of_site_results circuit results).Epp.Ser_estimator.total_fit
+    in
+    let clean_fit = total (Epp.Supervisor.results outcome) in
+    let resumed_fit = total (Epp.Supervisor.results resumed) in
+    check
+      (Printf.sprintf "resumed total FIT bit-identical (%h vs %h)" resumed_fit
+         clean_fit)
+      (bits resumed_fit = bits clean_fit));
+  Sys.remove path;
+
+  Fmt.pr "@.%a@." Epp.Diag.pp_stats outcome.Epp.Supervisor.stats;
+  if !failures > 0 then begin
+    Fmt.pr "resilience smoke: %d check(s) FAILED@." !failures;
+    exit 1
+  end
+  else Fmt.pr "resilience smoke: all checks passed@."

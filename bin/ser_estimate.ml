@@ -2,15 +2,27 @@
 
    Runs the paper's pipeline — signal probabilities, per-site EPP, the
    three-factor SER composition — and prints the circuit total plus the most
-   vulnerable nodes (the hardening candidates of the paper's conclusion). *)
+   vulnerable nodes (the hardening candidates of the paper's conclusion).
+
+   The supervised mode (--supervised, or implied by --checkpoint / --resume /
+   --strict) runs the sweep under Epp.Supervisor's degradation ladder:
+   sites that crash or trip a numeric sentinel on the fast kernel are
+   retried on the boxed reference path, and sites that fail both rungs are
+   quarantined into a typed report instead of killing the run.  --checkpoint
+   snapshots completed sites atomically after every chunk; --resume replays
+   a matching snapshot and analyzes only the remainder.
+
+   Exit codes: 0 success; 3 quarantined sites under --strict; 4 unusable
+   checkpoint (fingerprint mismatch or corrupt file); 124 cmdliner CLI
+   errors. *)
 
 open Cmdliner
 
-let run circuit technology top_k target_reduction by_output electrical =
-  let electrical = if electrical then Some Seu_model.Electrical.default else None in
-  let (report : Epp.Ser_estimator.report), elapsed =
-    Report.Timer.time (fun () -> Epp.Ser_estimator.estimate ~technology ?electrical circuit)
-  in
+let exit_quarantined = 3
+let exit_checkpoint = 4
+
+let print_report circuit technology (report : Epp.Ser_estimator.report) elapsed
+    top_k target_reduction by_output =
   Fmt.pr "%a@." Netlist.Circuit.pp circuit;
   Fmt.pr "technology: %a@." Seu_model.Technology.pp technology;
   Fmt.pr "total SER: %.6f FIT (MTBF %.3g hours), estimated in %.1f ms@.@."
@@ -45,8 +57,53 @@ let run circuit technology top_k target_reduction by_output electrical =
   if by_output then begin
     let attribution = Epp.Attribution.compute ~technology circuit in
     Fmt.pr "@.%a@." Epp.Attribution.pp attribution
-  end;
-  0
+  end
+
+let run_supervised circuit technology top_k target_reduction by_output
+    electrical checkpoint resume strict domains =
+  let engine = Epp.Epp_engine.create circuit in
+  let swept, elapsed =
+    Report.Timer.time (fun () ->
+        Report.Checkpoint.supervised_sweep ?domains ?checkpoint ~resume engine)
+  in
+  match swept with
+  | Error e ->
+    Fmt.epr "ser_estimate: %s@." (Report.Checkpoint.error_message e);
+    exit_checkpoint
+  | Ok outcome ->
+    let results = Epp.Supervisor.results outcome in
+    let report =
+      Epp.Ser_estimator.of_site_results ~technology ?electrical circuit results
+    in
+    let quarantines = Epp.Supervisor.quarantines outcome in
+    if quarantines <> [] then
+      Fmt.pr "WARNING: partial total — %d site(s) quarantined@."
+        (List.length quarantines);
+    print_report circuit technology report elapsed top_k target_reduction
+      by_output;
+    Fmt.pr "@.supervised sweep: %a@." Epp.Diag.pp_stats
+      outcome.Epp.Supervisor.stats;
+    if quarantines <> [] then Fmt.pr "%a@." Epp.Diag.pp_quarantine_table quarantines;
+    if strict && quarantines <> [] then exit_quarantined else 0
+
+let run circuit technology top_k target_reduction by_output electrical
+    supervised checkpoint resume strict domains =
+  let electrical = if electrical then Some Seu_model.Electrical.default else None in
+  let supervised =
+    supervised || checkpoint <> None || resume || strict
+  in
+  if supervised then
+    run_supervised circuit technology top_k target_reduction by_output
+      electrical checkpoint resume strict domains
+  else begin
+    let (report : Epp.Ser_estimator.report), elapsed =
+      Report.Timer.time (fun () ->
+          Epp.Ser_estimator.estimate ~technology ?electrical circuit)
+    in
+    print_report circuit technology report elapsed top_k target_reduction
+      by_output;
+    0
+  end
 
 let top_k_arg =
   let doc = "Number of most-vulnerable nodes to list." in
@@ -64,12 +121,54 @@ let electrical_arg =
   let doc = "Apply the electrical (pulse attenuation) masking model." in
   Arg.(value & flag & info [ "electrical" ] ~doc)
 
+let supervised_arg =
+  let doc =
+    "Run the sweep under the fault-isolating supervisor (degradation ladder: \
+     kernel, reference retry, quarantine).  Implied by $(b,--checkpoint), \
+     $(b,--resume) and $(b,--strict)."
+  in
+  Arg.(value & flag & info [ "supervised" ] ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Snapshot completed sites to $(docv) (atomically, after every chunk) so \
+     an interrupted sweep can be resumed with $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Replay a matching $(b,--checkpoint) snapshot and analyze only the \
+     remaining sites.  A snapshot from a different circuit / probabilities \
+     is rejected (exit 4)."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let strict_arg =
+  let doc =
+    "Exit non-zero (3) if any site was quarantined.  The default \
+     ($(b,--permissive)) prints the quarantine table and the partial total."
+  in
+  let permissive_doc = "Tolerate quarantined sites (default; see $(b,--strict))." in
+  Arg.(
+    value
+    & vflag false
+        [
+          (true, info [ "strict" ] ~doc);
+          (false, info [ "permissive" ] ~doc:permissive_doc);
+        ])
+
+let domains_arg =
+  let doc = "Worker domains for the supervised sweep (default: cores - 1)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "analytical soft-error-rate estimation (EPP method, DATE'05)" in
   Cmd.v
     (Cmd.info "ser_estimate" ~doc)
     Term.(
       const run $ Cli_common.circuit_arg $ Cli_common.technology_arg $ top_k_arg $ target_arg
-      $ by_output_arg $ electrical_arg)
+      $ by_output_arg $ electrical_arg $ supervised_arg $ checkpoint_arg $ resume_arg
+      $ strict_arg $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,51 @@
+(** Typed per-site diagnostics for the supervised sweep ({!Supervisor}).
+
+    A multi-million-site sweep must not die because one site misbehaves:
+    every failure is captured as a typed {!fault} attached to the degradation
+    rung ({!step}) it occurred on, and a site whose every rung failed becomes
+    a {!quarantine} record in the final report instead of an exception in
+    some worker domain. *)
+
+type step =
+  | Kernel  (** the allocation-free {!Epp_engine.Workspace} fast path *)
+  | Reference  (** the boxed {!Epp_engine.analyze_site} specification path *)
+
+type fault =
+  | Exception of { exn : string }
+      (** the rung raised; [exn] is [Printexc.to_string] of the exception *)
+  | Nan of { where : string }
+      (** a NaN component in a vector or result (numeric sentinel) *)
+  | Sum_defect of { defect : float; tolerance : float }
+      (** a four-state vector sum drifted from 1 beyond tolerance *)
+  | Out_of_range of { where : string; value : float }
+      (** a finite probability outside [0, 1] *)
+
+type quarantine = {
+  site : int;
+  name : string;  (** the site's signal name, for the report *)
+  cone_size : int option;
+      (** on-path signal count when the (pure, arithmetic-free) cone DFS
+          still succeeds; [None] when even that fails *)
+  faults : (step * fault) list;
+      (** what failed at each rung, in the order the rungs were tried *)
+}
+
+type stats = {
+  total : int;  (** sites swept, including resumed ones *)
+  kernel_ok : int;  (** sites analyzed by the fast kernel, first try *)
+  degraded : int;  (** sites that needed the reference-path retry *)
+  quarantined : int;
+  resumed : int;  (** sites replayed from a checkpoint, not re-analyzed *)
+}
+
+val step_to_string : step -> string
+val fault_to_string : fault -> string
+
+val pp_step : step Fmt.t
+val pp_fault : fault Fmt.t
+val pp_quarantine : quarantine Fmt.t
+
+val pp_quarantine_table : quarantine list Fmt.t
+(** One row per quarantined site: id, name, cone size, the per-rung faults. *)
+
+val pp_stats : stats Fmt.t

@@ -42,12 +42,40 @@ type site_result = {
   reached_outputs : int;
 }
 
+exception
+  Invalid_signal_probability of { node : int; name : string; value : float }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_signal_probability { node; name; value } ->
+      Some
+        (Printf.sprintf
+           "Epp_engine.Invalid_signal_probability(node %d %S, value %h)" node
+           name value)
+    | _ -> None)
+
+(* A caller-provided sp vector is the one numeric input the engine cannot
+   vouch for: a single NaN or out-of-range entry would silently poison every
+   cone that consumes the node off-path.  Reject it up front, naming the
+   offending node.  (The engine-computed defaults are produced by engines
+   that already guarantee [0, 1] values.) *)
+let validate_sp circuit (r : Sigprob.Sp.result) =
+  let values = r.Sigprob.Sp.values in
+  for v = 0 to Array.length values - 1 do
+    let x = values.(v) in
+    if not (x >= 0.0 && x <= 1.0) then
+      raise
+        (Invalid_signal_probability
+           { node = v; name = Circuit.node_name circuit v; value = x })
+  done
+
 let create ?(mode = Polarity) ?(restrict_to_cone = true) ?sp circuit =
   let sp =
     match sp with
     | Some r ->
       if r.Sigprob.Sp.circuit != circuit then
         invalid_arg "Epp_engine.create: sp computed on a different circuit";
+      validate_sp circuit r;
       r
     | None ->
       (* Sequential circuits get self-consistent FF-output probabilities;
@@ -82,6 +110,8 @@ let create ?(mode = Polarity) ?(restrict_to_cone = true) ?sp circuit =
 
 let circuit t = t.circuit
 let signal_probabilities t = t.sp
+let mode t = t.mode
+let restrict_to_cone t = t.restrict_to_cone
 
 (* FF outputs take their *data net's* converged probability when the
    sequential fixpoint produced the sp result; Sp_sequential already stores
@@ -452,6 +482,27 @@ module Workspace = struct
       cone_size = clen;
       reached_outputs = List.length per_observation;
     }
+
+  (* Numeric sentinel for the supervised sweep: the four-state invariant
+     pa + pā + p1 + p0 = 1 must hold at every observation net the last
+     analyzed site reached (in Naive mode pa doubles as pe and pa_bar stays
+     0, so the same sum checks pe + p1 + p0 = 1).  Reads the vectors still
+     sitting in the workspace — no recomputation. *)
+  let last_vector_defect w =
+    let epoch = w.epoch in
+    let obs = w.engine.obs in
+    let worst = ref 0.0 in
+    let saw_nan = ref false in
+    for i = 0 to Array.length obs - 1 do
+      let _, net = obs.(i) in
+      if w.mark.(net) = epoch then begin
+        let sum = w.pa.(net) +. w.pa_bar.(net) +. w.p1.(net) +. w.p0.(net) in
+        let d = Float.abs (sum -. 1.0) in
+        if Float.is_nan d then saw_nan := true
+        else if d > !worst then worst := d
+      end
+    done;
+    if !saw_nan then Float.nan else !worst
 end
 
 (* Batch entry points default to the workspace kernel: one reusable scratch

@@ -24,16 +24,26 @@ type site_result = {
   reached_outputs : int;
 }
 
+exception
+  Invalid_signal_probability of { node : int; name : string; value : float }
+(** A caller-provided signal probability that is NaN or outside [0, 1] —
+    named after the offending node instead of silently poisoning every cone
+    that consumes it. *)
+
 val create :
   ?mode:mode -> ?restrict_to_cone:bool -> ?sp:Sigprob.Sp.result -> Netlist.Circuit.t -> t
 (** [sp] defaults to the sequential fixpoint probabilities when the circuit
     has flip-flops, and to the plain topological pass otherwise.
     [restrict_to_cone:false] is the whole-circuit ablation: identical
     results, no path-construction saving.
-    @raise Invalid_argument if [sp] belongs to a different circuit. *)
+    @raise Invalid_argument if [sp] belongs to a different circuit.
+    @raise Invalid_signal_probability if a provided [sp] entry is NaN or
+    outside [0, 1]. *)
 
 val circuit : t -> Netlist.Circuit.t
 val signal_probabilities : t -> Sigprob.Sp.result
+val mode : t -> mode
+val restrict_to_cone : t -> bool
 
 val analyze_site : t -> int -> site_result
 (** Steps 1-3 of the paper's per-site algorithm.
@@ -67,6 +77,13 @@ module Workspace : sig
   val analyze_site : ws -> int -> site_result
   (** Same results as the reference {!analyze_site} (bit-identical), at
       cone-local cost.  @raise Invalid_argument on an out-of-range site. *)
+
+  val last_vector_defect : ws -> float
+  (** Numeric sentinel over the most recent {!analyze_site}: the largest
+      [|pa + pā + p1 + p0 − 1|] across the observation nets that site
+      reached (NaN if any component is NaN).  Reads the vectors still in
+      the workspace, so it costs one pass over the observation list.
+      Meaningful only directly after an [analyze_site] call. *)
 end
 
 val analyze_sites : t -> int list -> site_result list

@@ -3,12 +3,21 @@
    An engine is immutable once created, so the per-site loop is
    embarrassingly parallel — but cone sizes vary by orders of magnitude
    across a netlist, so the old static contiguous chunking left domains
-   idle behind whichever chunk drew the deep cones.  Sites are instead
+   idle behind whichever chunk drew the deep cones.  Work items are instead
    claimed one at a time from a shared Atomic counter (work stealing by
-   index); each domain owns one Epp_engine.Workspace, so the whole sweep
-   allocates per-domain scratch once and per-site results only.  Results
-   land in a shared array at their input index, so output order is the
-   input order regardless of which domain analyzed what.
+   index); each domain owns one workspace, so the whole sweep allocates
+   per-domain scratch once and per-item results only.  Results land in a
+   shared array at their input index, so output order is the input order
+   regardless of which domain analyzed what.
+
+   Exception safety: spawned helper domains are always joined — the calling
+   domain participates as a worker under [Fun.protect], and workers never
+   let an exception escape their domain.  A failing item records its
+   exception in a shared slot (lowest input index wins, so the propagated
+   exception is deterministic regardless of domain scheduling); the
+   remaining workers stop claiming new items, every started item still
+   finishes, and the recorded exception is re-raised with its backtrace
+   after all domains are joined.
 
    This is a wall-clock optimization only: SysT in the Table-2 sense is
    single-threaded by definition (and the paper's machine was), so the
@@ -25,42 +34,75 @@ let rec shorter_than l n =
   | [] -> true
   | _ :: tl -> shorter_than tl (n - 1)
 
-let analyze_sites ?domains engine sites =
-  let domains =
-    match domains with
-    | Some d ->
-      if d < 1 then invalid_arg "Parallel.analyze_sites: domains must be >= 1";
-      d
-    | None -> default_domains ()
+let resolve_domains ~who = function
+  | Some d ->
+    if d < 1 then invalid_arg (who ^ ": domains must be >= 1");
+    d
+  | None -> default_domains ()
+
+(* Record (index, exn, backtrace) keeping the lowest index.  Indexes are
+   claimed in increasing order from the shared counter and every claimed item
+   runs to completion (success or record), so after the join the slot holds
+   the exception of the lowest failing input index — deterministically. *)
+let record_failure failure i exn bt =
+  let rec loop () =
+    let cur = Atomic.get failure in
+    match cur with
+    | Some (j, _, _) when j <= i -> ()
+    | _ -> if not (Atomic.compare_and_set failure cur (Some (i, exn, bt))) then loop ()
   in
+  loop ()
+
+let map_array ?domains ~workspace ~f items =
+  let domains = resolve_domains ~who:"Parallel.map_array" domains in
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if domains = 1 || n < 2 * domains then begin
+    let ws = workspace () in
+    Array.map (f ws) items
+  end
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let ws = workspace () in
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f ws items.(i) with
+          | r -> results.(i) <- Some r
+          | exception e -> record_failure failure i e (Printexc.get_raw_backtrace ())
+      done
+    in
+    let helpers = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain participates instead of blocking in join; the
+       [protect] guarantees the joins even if this worker's own [workspace]
+       call raises. *)
+    Fun.protect ~finally:(fun () -> List.iter Domain.join helpers) worker;
+    match Atomic.get failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map
+        (function
+          | Some r -> r
+          | None -> assert false (* counter handed out every index *))
+        results
+  end
+
+let analyze_sites ?domains engine sites =
+  let domains = resolve_domains ~who:"Parallel.analyze_sites" domains in
   match sites with
   | [] -> []
   | _ :: _ when domains = 1 || shorter_than sites (2 * domains) ->
     Epp_engine.analyze_sites engine sites
   | _ :: _ ->
-    let arr = Array.of_list sites in
-    let n = Array.length arr in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let ws = Epp_engine.Workspace.create engine in
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else results.(i) <- Some (Epp_engine.Workspace.analyze_site ws arr.(i))
-      done
-    in
-    let helpers = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    (* The calling domain participates instead of blocking in join. *)
-    worker ();
-    List.iter Domain.join helpers;
-    Array.to_list
-      (Array.map
-         (function
-           | Some r -> r
-           | None -> assert false (* counter handed out every index *))
-         results)
+    map_array ~domains
+      ~workspace:(fun () -> Epp_engine.Workspace.create engine)
+      ~f:Epp_engine.Workspace.analyze_site (Array.of_list sites)
+    |> Array.to_list
 
 let analyze_all ?domains engine =
   let n = Netlist.Circuit.node_count (Epp_engine.circuit engine) in

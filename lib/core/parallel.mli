@@ -1,12 +1,31 @@
 (** Multicore per-site analysis: the engine is immutable, so sites fan out
-    across OCaml 5 domains.  Each domain claims the next site index from a
+    across OCaml 5 domains.  Each domain claims the next work index from a
     shared [Atomic] counter (work stealing — static chunks load-imbalance
     badly because cone sizes vary by orders of magnitude) and runs it on its
-    own {!Epp_engine.Workspace}; results come back in input order.
-    Wall-clock only — the Table-2 SysT metric stays single-threaded. *)
+    own per-domain workspace; results come back in input order.
+
+    Exception safety: helper domains are always joined ([Fun.protect]), and
+    when workers raise, the exception of the {e lowest} failing input index
+    is re-raised (with its backtrace) after the join — deterministic
+    regardless of domain scheduling.  Wall-clock only — the Table-2 SysT
+    metric stays single-threaded. *)
 
 val default_domains : unit -> int
 (** [recommended_domain_count - 1], at least 1. *)
+
+val map_array :
+  ?domains:int ->
+  workspace:(unit -> 'w) ->
+  f:('w -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** Generic work-stealing fan-out: [workspace ()] is called once per
+    participating domain, [f ws item] once per item, results in input order.
+    Small batches ([< 2 × domains]) run sequentially on one workspace.
+    Used by {!analyze_sites} and by {!Supervisor.sweep}'s fault-isolating
+    per-site wrapper.
+    @raise Invalid_argument if [domains < 1]; re-raises the first (lowest
+    input index) worker exception after joining every spawned domain. *)
 
 val analyze_sites :
   ?domains:int -> Epp_engine.t -> int list -> Epp_engine.site_result list

@@ -83,13 +83,11 @@ let effective_latch ~latching ~electrical ~convention circuit
     in
     1.0 -. miss
 
-let estimate ?(technology = Seu_model.Technology.default)
+let of_site_results ?(technology = Seu_model.Technology.default)
     ?(latching = Seu_model.Latching.default) ?electrical ?(convention = Per_observation)
-    ?mode ?sp circuit =
+    circuit results =
   Seu_model.Latching.check latching;
   Option.iter Seu_model.Electrical.check electrical;
-  let engine = Epp_engine.create ?mode ?sp circuit in
-  let results = Epp_engine.analyze_all engine in
   let nodes =
     results
     |> List.map (fun (r : Epp_engine.site_result) ->
@@ -127,6 +125,11 @@ let estimate ?(technology = Seu_model.Technology.default)
     total_failure_rate;
     total_fit = Seu_model.Fit.of_rate_per_second total_failure_rate;
   }
+
+let estimate ?technology ?latching ?electrical ?convention ?mode ?sp circuit =
+  let engine = Epp_engine.create ?mode ?sp circuit in
+  of_site_results ?technology ?latching ?electrical ?convention circuit
+    (Epp_engine.analyze_all engine)
 
 let node_report report v =
   if v < 0 || v >= Array.length report.nodes then

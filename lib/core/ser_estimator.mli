@@ -28,10 +28,27 @@ type report = {
   latching : Seu_model.Latching.t;
   electrical : Seu_model.Electrical.t option;
   convention : latch_convention;
-  nodes : node_report array;  (** indexed by node id *)
+  nodes : node_report array;
+      (** one entry per analyzed site, input order; node-id-indexed for a
+          full {!estimate} sweep, a subset under {!of_site_results} *)
   total_failure_rate : float;
   total_fit : float;
 }
+
+val of_site_results :
+  ?technology:Seu_model.Technology.t ->
+  ?latching:Seu_model.Latching.t ->
+  ?electrical:Seu_model.Electrical.t ->
+  ?convention:latch_convention ->
+  Netlist.Circuit.t ->
+  Epp_engine.site_result list ->
+  report
+(** Compose the three factors from precomputed per-site EPP results — the
+    entry point for supervised / partial sweeps ({!Supervisor},
+    checkpoint resume), where quarantined sites are absent and the totals
+    are explicitly partial.  [nodes] holds one entry per given result, in
+    input order; for a full [analyze_all] sweep that coincides with
+    node-id indexing. *)
 
 val estimate :
   ?technology:Seu_model.Technology.t ->

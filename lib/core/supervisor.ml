@@ -1,0 +1,186 @@
+(* The degradation ladder: kernel -> reference -> quarantine.
+
+   The per-site wrapper [analyze_entry] converts every failure mode —
+   exceptions out of either engine, NaN components, four-state sums that
+   drifted beyond tolerance, probabilities outside [0, 1] — into a typed
+   Diag.fault and either a degraded retry or a quarantine record.  It never
+   raises, which is what makes the parallel fan-out safe: a worker domain
+   can always finish its claim.
+
+   The sentinels are deliberately layered: the kernel rung checks the raw
+   four-state vectors (Workspace.last_vector_defect) *and* the published
+   result; the reference rung re-checks the result only (the boxed path
+   validates its vectors internally via Prob4).  A defect that only a
+   sentinel sees — e.g. an sp value mutated to something that still feeds
+   finite arithmetic — degrades exactly like a crash does. *)
+
+open Netlist
+
+type entry =
+  | Analyzed of { result : Epp_engine.site_result; step : Diag.step }
+  | Quarantined of Diag.quarantine
+
+type outcome = {
+  entries : (int * entry) list;
+  stats : Diag.stats;
+}
+
+(* Matches Prob4.normalize's drift bound: anything larger is a rule bug or a
+   poisoned input, not rounding dust. *)
+let default_tolerance = 1e-6
+
+(* First NaN / out-of-range component of a published result, if any. *)
+let result_fault circuit (r : Epp_engine.site_result) =
+  let check where value =
+    if Float.is_nan value then Some (Diag.Nan { where })
+    else if not (value >= 0.0 && value <= 1.0) then
+      Some (Diag.Out_of_range { where; value })
+    else None
+  in
+  match check "p_sensitized" r.Epp_engine.p_sensitized with
+  | Some f -> Some f
+  | None ->
+    List.find_map
+      (fun (obs, p) ->
+        check ("P(" ^ Circuit.observation_name circuit obs ^ ")") p)
+      r.Epp_engine.per_observation
+
+let vector_fault ~tolerance defect =
+  if Float.is_nan defect then Some (Diag.Nan { where = "four-state vector" })
+  else if defect > tolerance then
+    Some (Diag.Sum_defect { defect; tolerance })
+  else None
+
+(* Cone size for the quarantine record: the pure graph traversal (no float
+   arithmetic), so it normally survives whatever poisoned the analysis; when
+   even it fails (out-of-range site), record None. *)
+let safe_cone_size circuit site =
+  match Reach.forward_csr (Circuit.csr circuit) site with
+  | reach -> Some (Reach.count reach)
+  | exception _ -> None
+
+let analyze_entry ?(tolerance = default_tolerance) ?kernel ?reference ws site =
+  let engine = Epp_engine.Workspace.engine ws in
+  let circuit = Epp_engine.circuit engine in
+  let faults = ref [] in
+  let fail step fault =
+    faults := (step, fault) :: !faults;
+    None
+  in
+  (* Rung 1: the fast kernel, sentinel-checked. *)
+  let kernel_result =
+    match
+      match kernel with
+      | Some f -> (f ws site, None)
+      | None ->
+        let r = Epp_engine.Workspace.analyze_site ws site in
+        (r, Some (Epp_engine.Workspace.last_vector_defect ws))
+    with
+    | exception e ->
+      fail Diag.Kernel (Diag.Exception { exn = Printexc.to_string e })
+    | r, defect -> (
+      match
+        match Option.bind defect (fun d -> vector_fault ~tolerance d) with
+        | Some f -> Some f
+        | None -> result_fault circuit r
+      with
+      | Some f -> fail Diag.Kernel f
+      | None -> Some r)
+  in
+  match kernel_result with
+  | Some result -> Analyzed { result; step = Diag.Kernel }
+  | None -> (
+    (* Rung 2: the boxed reference path, result-checked. *)
+    let reference_result =
+      match
+        match reference with
+        | Some f -> f engine site
+        | None -> Epp_engine.analyze_site engine site
+      with
+      | exception e ->
+        fail Diag.Reference (Diag.Exception { exn = Printexc.to_string e })
+      | r -> (
+        match result_fault circuit r with
+        | Some f -> fail Diag.Reference f
+        | None -> Some r)
+    in
+    match reference_result with
+    | Some result -> Analyzed { result; step = Diag.Reference }
+    | None ->
+      (* Rung 3: quarantine and keep sweeping. *)
+      let name =
+        match Circuit.node_name circuit site with
+        | name -> name
+        | exception _ -> Printf.sprintf "#%d" site
+      in
+      Quarantined
+        {
+          Diag.site;
+          name;
+          cone_size = safe_cone_size circuit site;
+          faults = List.rev !faults;
+        })
+
+let stats_of_entries ?(resumed = 0) entries =
+  let kernel_ok = ref 0 and degraded = ref 0 and quarantined = ref 0 in
+  List.iter
+    (fun (_, entry) ->
+      match entry with
+      | Analyzed { step = Diag.Kernel; _ } -> incr kernel_ok
+      | Analyzed { step = Diag.Reference; _ } -> incr degraded
+      | Quarantined _ -> incr quarantined)
+    entries;
+  {
+    Diag.total = List.length entries;
+    kernel_ok = !kernel_ok;
+    degraded = !degraded;
+    quarantined = !quarantined;
+    resumed;
+  }
+
+let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?kernel ?reference
+    engine sites =
+  if chunk_size < 1 then invalid_arg "Supervisor.sweep: chunk_size must be >= 1";
+  let arr = Array.of_list sites in
+  let n = Array.length arr in
+  let acc = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk_size (n - !pos) in
+    let chunk = Array.sub arr !pos len in
+    let entries =
+      Parallel.map_array ?domains
+        ~workspace:(fun () -> Epp_engine.Workspace.create engine)
+        ~f:(fun ws site -> (site, analyze_entry ?tolerance ?kernel ?reference ws site))
+        chunk
+      |> Array.to_list
+    in
+    acc := entries :: !acc;
+    pos := !pos + len;
+    match on_chunk with
+    | Some f -> f ~done_count:!pos ~total:n entries
+    | None -> ()
+  done;
+  let entries = List.concat (List.rev !acc) in
+  { entries; stats = stats_of_entries entries }
+
+let sweep_all ?domains ?tolerance ?chunk_size ?on_chunk ?kernel ?reference engine =
+  let n = Circuit.node_count (Epp_engine.circuit engine) in
+  sweep ?domains ?tolerance ?chunk_size ?on_chunk ?kernel ?reference engine
+    (List.init n Fun.id)
+
+let results outcome =
+  List.filter_map
+    (fun (_, entry) ->
+      match entry with
+      | Analyzed { result; _ } -> Some result
+      | Quarantined _ -> None)
+    outcome.entries
+
+let quarantines outcome =
+  List.filter_map
+    (fun (_, entry) ->
+      match entry with
+      | Quarantined q -> Some q
+      | Analyzed _ -> None)
+    outcome.entries

@@ -1,0 +1,83 @@
+(** Supervised per-site analysis: the degradation ladder that lets a sweep
+    survive poisoned sites instead of dying on the first one.
+
+    Every site is tried on a three-rung ladder:
+
+    + the allocation-free {!Epp_engine.Workspace} kernel, post-checked by
+      the numeric sentinels (NaN components,
+      {!Epp_engine.Workspace.last_vector_defect} beyond tolerance, result
+      probabilities outside [0, 1]);
+    + on any kernel exception or sentinel trip, the boxed
+      {!Epp_engine.analyze_site} reference path, post-checked the same way;
+    + if that also fails, the site is {e quarantined} into a typed
+      {!Diag.quarantine} record and the sweep continues.
+
+    Fan-out uses {!Parallel.map_array}, so a supervised sweep keeps the
+    work-stealing parallelism of the raw kernel; because the per-site
+    wrapper never raises, one bad site can neither kill nor deadlock the
+    sweep.  Sites are processed in chunks so a checkpoint callback
+    ({!Report.Checkpoint} wires one) sees completed results periodically. *)
+
+type entry =
+  | Analyzed of { result : Epp_engine.site_result; step : Diag.step }
+      (** the rung that produced the result *)
+  | Quarantined of Diag.quarantine
+
+type outcome = {
+  entries : (int * entry) list;  (** (site, entry), in input order *)
+  stats : Diag.stats;
+}
+
+val default_tolerance : float
+(** [1e-6] — matches {!Prob4.normalize}'s drift bound: a larger defect is a
+    rule bug or poisoned input, not rounding. *)
+
+val analyze_entry :
+  ?tolerance:float ->
+  ?kernel:(Epp_engine.Workspace.ws -> int -> Epp_engine.site_result) ->
+  ?reference:(Epp_engine.t -> int -> Epp_engine.site_result) ->
+  Epp_engine.Workspace.ws ->
+  int ->
+  entry
+(** One site through the full ladder; never raises.  [kernel] / [reference]
+    replace the rung implementations — the deterministic fault-injection
+    seam used by the resilience tests (a stub that raises or returns a
+    defective result exercises each rung; the vector-sum sentinel only runs
+    for the real kernel, since a stub leaves no vectors in the workspace). *)
+
+val sweep :
+  ?domains:int ->
+  ?tolerance:float ->
+  ?chunk_size:int ->
+  ?on_chunk:(done_count:int -> total:int -> (int * entry) list -> unit) ->
+  ?kernel:(Epp_engine.Workspace.ws -> int -> Epp_engine.site_result) ->
+  ?reference:(Epp_engine.t -> int -> Epp_engine.site_result) ->
+  Epp_engine.t ->
+  int list ->
+  outcome
+(** Supervised parallel sweep over the given sites.  [on_chunk] fires after
+    each completed chunk ([chunk_size] sites, default 1024) with that
+    chunk's entries, on the calling domain — the checkpoint hook.  An
+    exception from [on_chunk] itself aborts the sweep (all domains already
+    joined) and propagates.
+    @raise Invalid_argument if [domains < 1] or [chunk_size < 1]. *)
+
+val sweep_all :
+  ?domains:int ->
+  ?tolerance:float ->
+  ?chunk_size:int ->
+  ?on_chunk:(done_count:int -> total:int -> (int * entry) list -> unit) ->
+  ?kernel:(Epp_engine.Workspace.ws -> int -> Epp_engine.site_result) ->
+  ?reference:(Epp_engine.t -> int -> Epp_engine.site_result) ->
+  Epp_engine.t ->
+  outcome
+(** {!sweep} over every node of the engine's circuit. *)
+
+val results : outcome -> Epp_engine.site_result list
+(** The successfully analyzed results, input order (quarantines dropped). *)
+
+val quarantines : outcome -> Diag.quarantine list
+
+val stats_of_entries : ?resumed:int -> (int * entry) list -> Diag.stats
+(** Recount a merged entry list (checkpoint replay + fresh analysis);
+    [resumed] is carried into the result. *)

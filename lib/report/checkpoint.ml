@@ -1,0 +1,298 @@
+(* Checkpoint / resume for supervised sweeps.
+
+   Line-oriented text format, one entry per line, floats in hexadecimal
+   (%h — bit-exact round trip, including nan/infinity), strings quoted with
+   %S so names and exception messages survive spaces:
+
+     serprop-checkpoint v1
+     fingerprint <md5-hex>
+     total <site-count>
+     ok <site> <k|r> <cone> <reached> <p_sens> <nobs> { <p|f> <net> <p> }*
+     qr <site> <name> <cone|-1> <nfaults> { <k|r> <e|n|s|o> <payload> }*
+
+   Saves are atomic: the snapshot is written to "<path>.tmp" and renamed
+   over <path>, so a sweep killed mid-write leaves the previous snapshot
+   (or no file) — never a torn one.  The fingerprint ties a snapshot to the
+   exact analysis: circuit structure *and* the engine's signal-probability
+   vector and mode, because resuming EPP results against different
+   probabilities would be silently wrong. *)
+
+open Netlist
+
+type t = {
+  fingerprint : string;
+  total_sites : int;
+  entries : (int * Epp.Supervisor.entry) list;
+}
+
+type error =
+  | Fingerprint_mismatch of { expected : string; found : string }
+  | Corrupt of { path : string; message : string }
+
+let error_message = function
+  | Fingerprint_mismatch { expected; found } ->
+    Printf.sprintf
+      "checkpoint belongs to a different analysis (fingerprint %s, expected %s)"
+      found expected
+  | Corrupt { path; message } ->
+    Printf.sprintf "corrupt checkpoint %s: %s" path message
+
+(* --- fingerprint --------------------------------------------------------- *)
+
+let fingerprint engine =
+  let c = Epp.Epp_engine.circuit engine in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Circuit.name c);
+  Buffer.add_char buf '\000';
+  let n = Circuit.node_count c in
+  Printf.bprintf buf "%d;" n;
+  for v = 0 to n - 1 do
+    (match Circuit.node c v with
+    | Circuit.Input -> Buffer.add_string buf "i"
+    | Circuit.Ff { data } -> Printf.bprintf buf "F%d" data
+    | Circuit.Gate { kind; fanins } ->
+      Buffer.add_string buf (Gate.to_string kind);
+      Array.iter (fun u -> Printf.bprintf buf ",%d" u) fanins);
+    Printf.bprintf buf "=%s;" (Circuit.node_name c v)
+  done;
+  List.iter (fun o -> Printf.bprintf buf "o%d;" o) (Circuit.outputs c);
+  (* The sp values the engine will actually read, bit-exact. *)
+  let sp = Epp.Epp_engine.signal_probabilities engine in
+  Array.iter
+    (fun x -> Printf.bprintf buf "%Lx;" (Int64.bits_of_float x))
+    sp.Sigprob.Sp.values;
+  Printf.bprintf buf "mode=%s;cone=%b"
+    (match Epp.Epp_engine.mode engine with
+    | Epp.Epp_engine.Polarity -> "polarity"
+    | Epp.Epp_engine.Naive -> "naive")
+    (Epp.Epp_engine.restrict_to_cone engine);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- writing ------------------------------------------------------------- *)
+
+let step_tag = function
+  | Epp.Diag.Kernel -> "k"
+  | Epp.Diag.Reference -> "r"
+
+let write_fault buf (step, fault) =
+  Printf.bprintf buf " %s" (step_tag step);
+  match fault with
+  | Epp.Diag.Exception { exn } -> Printf.bprintf buf " e %S" exn
+  | Epp.Diag.Nan { where } -> Printf.bprintf buf " n %S" where
+  | Epp.Diag.Sum_defect { defect; tolerance } ->
+    Printf.bprintf buf " s %h %h" defect tolerance
+  | Epp.Diag.Out_of_range { where; value } ->
+    Printf.bprintf buf " o %S %h" where value
+
+let write_entry buf (site, entry) =
+  match entry with
+  | Epp.Supervisor.Analyzed { result = r; step } ->
+    Printf.bprintf buf "ok %d %s %d %d %h %d" site (step_tag step)
+      r.Epp.Epp_engine.cone_size r.Epp.Epp_engine.reached_outputs
+      r.Epp.Epp_engine.p_sensitized
+      (List.length r.Epp.Epp_engine.per_observation);
+    List.iter
+      (fun (obs, p) ->
+        match obs with
+        | Circuit.Po net -> Printf.bprintf buf " p %d %h" net p
+        | Circuit.Ff_data node -> Printf.bprintf buf " f %d %h" node p)
+      r.Epp.Epp_engine.per_observation;
+    Buffer.add_char buf '\n'
+  | Epp.Supervisor.Quarantined q ->
+    Printf.bprintf buf "qr %d %S %d %d" site q.Epp.Diag.name
+      (match q.Epp.Diag.cone_size with
+      | Some k -> k
+      | None -> -1)
+      (List.length q.Epp.Diag.faults);
+    List.iter (write_fault buf) q.Epp.Diag.faults;
+    Buffer.add_char buf '\n'
+
+let save path t =
+  let buf = Buffer.create (4096 + (64 * List.length t.entries)) in
+  Buffer.add_string buf "serprop-checkpoint v1\n";
+  Printf.bprintf buf "fingerprint %s\n" t.fingerprint;
+  Printf.bprintf buf "total %d\n" t.total_sites;
+  List.iter (write_entry buf) t.entries;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Buffer.output_buffer oc buf;
+      flush oc);
+  Sys.rename tmp path
+
+(* --- reading ------------------------------------------------------------- *)
+
+(* Floats travel as whitespace-free tokens (%h output), so a plain %s token
+   read plus float_of_string round-trips them bit-exactly — Scanf's own
+   float directives don't accept the hex form. *)
+let read_int ib = Scanf.bscanf ib " %d" Fun.id
+let read_string ib = Scanf.bscanf ib " %S" Fun.id
+let read_token ib = Scanf.bscanf ib " %s" Fun.id
+let read_float ib = float_of_string (read_token ib)
+
+let read_step ib =
+  match read_token ib with
+  | "k" -> Epp.Diag.Kernel
+  | "r" -> Epp.Diag.Reference
+  | s -> failwith (Printf.sprintf "unknown step tag %S" s)
+
+let read_fault ib =
+  let step = read_step ib in
+  let fault =
+    match read_token ib with
+    | "e" -> Epp.Diag.Exception { exn = read_string ib }
+    | "n" -> Epp.Diag.Nan { where = read_string ib }
+    | "s" ->
+      let defect = read_float ib in
+      let tolerance = read_float ib in
+      Epp.Diag.Sum_defect { defect; tolerance }
+    | "o" ->
+      let where = read_string ib in
+      Epp.Diag.Out_of_range { where; value = read_float ib }
+    | s -> failwith (Printf.sprintf "unknown fault tag %S" s)
+  in
+  (step, fault)
+
+let read_entry_line line =
+  let ib = Scanf.Scanning.from_string line in
+  match read_token ib with
+  | "ok" ->
+    let site = read_int ib in
+    let step = read_step ib in
+    let cone_size = read_int ib in
+    let reached_outputs = read_int ib in
+    let p_sensitized = read_float ib in
+    let nobs = read_int ib in
+    let per_observation =
+      List.init nobs (fun _ ->
+          let obs =
+            match read_token ib with
+            | "p" -> Circuit.Po (read_int ib)
+            | "f" -> Circuit.Ff_data (read_int ib)
+            | s -> failwith (Printf.sprintf "unknown observation tag %S" s)
+          in
+          (obs, read_float ib))
+    in
+    ( site,
+      Epp.Supervisor.Analyzed
+        {
+          result =
+            {
+              Epp.Epp_engine.site;
+              p_sensitized;
+              per_observation;
+              cone_size;
+              reached_outputs;
+            };
+          step;
+        } )
+  | "qr" ->
+    let site = read_int ib in
+    let name = read_string ib in
+    let cone = read_int ib in
+    let nfaults = read_int ib in
+    let faults = List.init nfaults (fun _ -> read_fault ib) in
+    ( site,
+      Epp.Supervisor.Quarantined
+        {
+          Epp.Diag.site;
+          name;
+          cone_size = (if cone < 0 then None else Some cone);
+          faults;
+        } )
+  | s -> failwith (Printf.sprintf "unknown entry tag %S" s)
+
+let load path =
+  let corrupt message = Error (Corrupt { path; message }) in
+  match open_in path with
+  | exception Sys_error msg -> corrupt msg
+  | ic ->
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> ());
+    (match List.rev !lines with
+    | header :: rest when String.trim header = "serprop-checkpoint v1" -> (
+      match rest with
+      | fp_line :: total_line :: entry_lines -> (
+        try
+          let fingerprint =
+            Scanf.sscanf fp_line " fingerprint %s" Fun.id
+          in
+          let total_sites = Scanf.sscanf total_line " total %d" Fun.id in
+          let entries =
+            entry_lines
+            |> List.filter (fun l -> String.trim l <> "")
+            |> List.map read_entry_line
+          in
+          Ok { fingerprint; total_sites; entries }
+        with
+        | Scanf.Scan_failure msg | Failure msg -> corrupt msg
+        | End_of_file -> corrupt "truncated entry")
+      | _ -> corrupt "missing fingerprint/total header")
+    | _ -> corrupt "not a serprop checkpoint")
+
+(* --- the resumable supervised sweep -------------------------------------- *)
+
+let by_site (a, _) (b, _) = compare (a : int) b
+
+let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
+    ?(resume = false) ?kernel ?reference engine =
+  let circuit = Epp.Epp_engine.circuit engine in
+  let n = Circuit.node_count circuit in
+  let fp = fingerprint engine in
+  let preloaded =
+    if not resume then Ok []
+    else
+      match checkpoint with
+      | Some path when Sys.file_exists path -> (
+        match load path with
+        | Ok t when t.fingerprint = fp -> Ok t.entries
+        | Ok t ->
+          Error (Fingerprint_mismatch { expected = fp; found = t.fingerprint })
+        | Error e -> Error e)
+      | _ -> Ok []
+  in
+  match preloaded with
+  | Error e -> Error e
+  | Ok preloaded ->
+    let have = Hashtbl.create (max 16 (List.length preloaded)) in
+    List.iter (fun (s, _) -> Hashtbl.replace have s ()) preloaded;
+    let remaining =
+      List.filter (fun s -> not (Hashtbl.mem have s)) (List.init n Fun.id)
+    in
+    let completed = ref preloaded in
+    let snapshot () =
+      match checkpoint with
+      | None -> ()
+      | Some path ->
+        save path
+          {
+            fingerprint = fp;
+            total_sites = n;
+            entries = List.sort by_site !completed;
+          }
+    in
+    let on_chunk ~done_count:_ ~total:_ entries =
+      completed := entries @ !completed;
+      snapshot ()
+    in
+    ignore
+      (Epp.Supervisor.sweep ?domains ?tolerance ?chunk_size ~on_chunk ?kernel
+         ?reference engine remaining);
+    snapshot ();
+    let entries = List.sort by_site !completed in
+    Ok
+      {
+        Epp.Supervisor.entries;
+        stats =
+          Epp.Supervisor.stats_of_entries ~resumed:(List.length preloaded)
+            entries;
+      }

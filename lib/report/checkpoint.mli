@@ -1,0 +1,58 @@
+(** Checkpoint / resume for supervised sweeps.
+
+    A checkpoint is a periodic atomic snapshot (write-temp-then-rename, so a
+    kill mid-write leaves the previous snapshot intact) of every completed
+    {!Epp.Supervisor.entry}, keyed by a fingerprint of the analysis — the
+    circuit structure, the signal probabilities actually in the engine, and
+    the engine mode — so a snapshot can never silently resume against a
+    different analysis.  Floats are serialized in hexadecimal ([%h]), so a
+    resumed sweep replays results bit-identically. *)
+
+type t = {
+  fingerprint : string;
+  total_sites : int;  (** of the full sweep the snapshot belongs to *)
+  entries : (int * Epp.Supervisor.entry) list;  (** sorted by site id *)
+}
+
+type error =
+  | Fingerprint_mismatch of { expected : string; found : string }
+      (** the snapshot belongs to a different circuit / sp / mode *)
+  | Corrupt of { path : string; message : string }
+
+val error_message : error -> string
+
+val fingerprint : Epp.Epp_engine.t -> string
+(** Hex digest over the circuit name and structure (node kinds, fanins,
+    outputs, flip-flops, signal names), the engine's signal-probability
+    vector (bit-exact), and the engine mode / cone-restriction flags. *)
+
+val save : string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames over [path].
+    @raise Sys_error on I/O failure. *)
+
+val load : string -> (t, error) result
+(** Parses a snapshot; never raises on malformed input ([Corrupt]). *)
+
+val supervised_sweep :
+  ?domains:int ->
+  ?tolerance:float ->
+  ?chunk_size:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?kernel:(Epp.Epp_engine.Workspace.ws -> int -> Epp.Epp_engine.site_result) ->
+  ?reference:(Epp.Epp_engine.t -> int -> Epp.Epp_engine.site_result) ->
+  Epp.Epp_engine.t ->
+  (Epp.Supervisor.outcome, error) result
+(** The full supervised sweep over every site, wired to checkpointing:
+
+    - with [checkpoint], a snapshot of all completed entries is rewritten
+      atomically after every chunk and once more at the end;
+    - with [resume] (and an existing checkpoint file), entries whose
+      fingerprint matches are replayed without re-analysis — only the
+      remainder is swept — and [stats.resumed] counts them.  A missing
+      checkpoint file resumes from nothing; a mismatched or corrupt one is
+      an [Error], never silently ignored.
+
+    [kernel] / [reference] pass through to {!Epp.Supervisor.sweep}'s
+    fault-injection seam.  Entries come back sorted by site id — input
+    order for a whole-circuit sweep. *)

@@ -1,0 +1,213 @@
+(* Tests for Report.Checkpoint: bit-exact save/load round trips, atomicity
+   hygiene, fingerprint keying, and corrupt-file rejection. *)
+
+open Helpers
+
+let bits = Int64.bits_of_float
+
+let entries_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (s1, e1) (s2, e2) ->
+         s1 = s2
+         &&
+         match (e1, e2) with
+         | ( Epp.Supervisor.Analyzed { result = r1; step = st1 },
+             Epp.Supervisor.Analyzed { result = r2; step = st2 } ) ->
+           st1 = st2
+           && r1.Epp.Epp_engine.site = r2.Epp.Epp_engine.site
+           && bits r1.Epp.Epp_engine.p_sensitized = bits r2.Epp.Epp_engine.p_sensitized
+           && r1.Epp.Epp_engine.cone_size = r2.Epp.Epp_engine.cone_size
+           && r1.Epp.Epp_engine.reached_outputs = r2.Epp.Epp_engine.reached_outputs
+           && List.for_all2
+                (fun (o1, p1) (o2, p2) -> o1 = o2 && bits p1 = bits p2)
+                r1.Epp.Epp_engine.per_observation r2.Epp.Epp_engine.per_observation
+         | Epp.Supervisor.Quarantined q1, Epp.Supervisor.Quarantined q2 ->
+           q1 = q2
+         | _ -> false)
+       a b
+
+(* Entries exercising every serialized shape: both steps, PO and FF
+   observations, awkward floats (hex round-trip), every fault constructor,
+   strings with spaces and quotes. *)
+let sample_entries () =
+  [
+    ( 0,
+      Epp.Supervisor.Analyzed
+        {
+          result =
+            {
+              Epp.Epp_engine.site = 0;
+              p_sensitized = 0.1;
+              per_observation =
+                [ (Netlist.Circuit.Po 9, 1.0 /. 3.0); (Netlist.Circuit.Ff_data 4, 1e-300) ];
+              cone_size = 7;
+              reached_outputs = 2;
+            };
+          step = Epp.Diag.Kernel;
+        } );
+    ( 3,
+      Epp.Supervisor.Analyzed
+        {
+          result =
+            {
+              Epp.Epp_engine.site = 3;
+              p_sensitized = 0.9999999999999999;
+              per_observation = [];
+              cone_size = 1;
+              reached_outputs = 0;
+            };
+          step = Epp.Diag.Reference;
+        } );
+    ( 5,
+      Epp.Supervisor.Quarantined
+        {
+          Epp.Diag.site = 5;
+          name = "a name \"with\" spaces";
+          cone_size = Some 12;
+          faults =
+            [
+              (Epp.Diag.Kernel, Epp.Diag.Nan { where = "four-state vector" });
+              ( Epp.Diag.Reference,
+                Epp.Diag.Exception { exn = "Failure(\"boom with spaces\")" } );
+            ];
+        } );
+    ( 6,
+      Epp.Supervisor.Quarantined
+        {
+          Epp.Diag.site = 6;
+          name = "g6";
+          cone_size = None;
+          faults =
+            [
+              (Epp.Diag.Kernel, Epp.Diag.Sum_defect { defect = 0.25; tolerance = 1e-6 });
+              (Epp.Diag.Reference, Epp.Diag.Out_of_range { where = "p_sensitized"; value = 2.5 });
+            ];
+        } );
+  ]
+
+let test_round_trip () =
+  let path = Filename.temp_file "serprop_ck" ".txt" in
+  let t =
+    {
+      Report.Checkpoint.fingerprint = "abc123";
+      total_sites = 10;
+      entries = sample_entries ();
+    }
+  in
+  Report.Checkpoint.save path t;
+  check_bool "no tmp file left behind" false (Sys.file_exists (path ^ ".tmp"));
+  (match Report.Checkpoint.load path with
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e)
+  | Ok loaded ->
+    check_string "fingerprint" t.Report.Checkpoint.fingerprint
+      loaded.Report.Checkpoint.fingerprint;
+    check_int "total" t.Report.Checkpoint.total_sites loaded.Report.Checkpoint.total_sites;
+    check_bool "entries round-trip bit-exactly" true
+      (entries_equal t.Report.Checkpoint.entries loaded.Report.Checkpoint.entries));
+  Sys.remove path
+
+let test_overwrite_is_atomic_rename () =
+  let path = Filename.temp_file "serprop_ck" ".txt" in
+  let t fingerprint =
+    { Report.Checkpoint.fingerprint; total_sites = 1; entries = [] }
+  in
+  Report.Checkpoint.save path (t "first");
+  Report.Checkpoint.save path (t "second");
+  (match Report.Checkpoint.load path with
+  | Ok { Report.Checkpoint.fingerprint = "second"; _ } -> ()
+  | Ok _ -> Alcotest.fail "stale snapshot survived the overwrite"
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e));
+  Sys.remove path
+
+let test_corrupt_files () =
+  let reject name content =
+    let path = Filename.temp_file "serprop_ck" ".txt" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    (match Report.Checkpoint.load path with
+    | Error (Report.Checkpoint.Corrupt _) -> ()
+    | Error _ -> Alcotest.fail (name ^ ": wrong error class")
+    | Ok _ -> Alcotest.fail (name ^ ": accepted corrupt input"));
+    Sys.remove path
+  in
+  reject "empty file" "";
+  reject "wrong magic" "not a checkpoint\n";
+  reject "missing header" "serprop-checkpoint v1\n";
+  reject "bad entry tag"
+    "serprop-checkpoint v1\nfingerprint x\ntotal 3\nbogus 1 2 3\n";
+  reject "truncated entry"
+    "serprop-checkpoint v1\nfingerprint x\ntotal 3\nok 0 k 1 1\n";
+  check_bool "missing file is Corrupt, not an exception" true
+    (match Report.Checkpoint.load "/nonexistent/serprop.ck" with
+    | Error (Report.Checkpoint.Corrupt _) -> true
+    | _ -> false)
+
+let test_fingerprint_keys () =
+  let c1 = fig1 () in
+  let c2 = small_tree () in
+  let e1 = Epp.Epp_engine.create c1 in
+  let e1' = Epp.Epp_engine.create ~mode:Epp.Epp_engine.Naive c1 in
+  let e2 = Epp.Epp_engine.create c2 in
+  let f1 = Report.Checkpoint.fingerprint e1 in
+  check_string "deterministic" f1 (Report.Checkpoint.fingerprint e1);
+  check_bool "circuit changes it" true (f1 <> Report.Checkpoint.fingerprint e2);
+  check_bool "mode changes it" true (f1 <> Report.Checkpoint.fingerprint e1');
+  let sp = fig1_spec c1 in
+  let e1_sp =
+    Epp.Epp_engine.create ~sp:(Sigprob.Sp_topological.compute ~spec:sp c1) c1
+  in
+  check_bool "sp changes it" true (f1 <> Report.Checkpoint.fingerprint e1_sp)
+
+let test_resume_without_file () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create c in
+  (* A path that does not exist yet — supervised_sweep will create it at the
+     end of the run, so delete it afterwards to keep the test stateless. *)
+  let path = Filename.temp_file "serprop_ck_missing" ".txt" in
+  Sys.remove path;
+  (match
+     Report.Checkpoint.supervised_sweep ~domains:1 ~resume:true ~checkpoint:path
+       engine
+   with
+  | Ok outcome ->
+    check_int "nothing resumed" 0 outcome.Epp.Supervisor.stats.Epp.Diag.resumed;
+    check_int "everything analyzed" (Netlist.Circuit.node_count c)
+      (List.length outcome.Epp.Supervisor.entries)
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e));
+  if Sys.file_exists path then Sys.remove path
+
+let test_mismatch_rejected () =
+  let c1 = fig1 () in
+  let c2 = small_tree () in
+  let e1 = Epp.Epp_engine.create c1 in
+  let e2 = Epp.Epp_engine.create c2 in
+  let path = Filename.temp_file "serprop_ck" ".txt" in
+  (match Report.Checkpoint.supervised_sweep ~domains:1 ~checkpoint:path e1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e));
+  (match
+     Report.Checkpoint.supervised_sweep ~domains:1 ~checkpoint:path ~resume:true e2
+   with
+  | Error (Report.Checkpoint.Fingerprint_mismatch _) -> ()
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e)
+  | Ok _ -> Alcotest.fail "accepted a snapshot from a different circuit");
+  Sys.remove path
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "atomic overwrite" `Quick test_overwrite_is_atomic_rename;
+          Alcotest.test_case "corrupt files" `Quick test_corrupt_files;
+        ] );
+      ( "keying",
+        [
+          Alcotest.test_case "fingerprint keys" `Quick test_fingerprint_keys;
+          Alcotest.test_case "resume without file" `Quick test_resume_without_file;
+          Alcotest.test_case "mismatch rejected" `Quick test_mismatch_rejected;
+        ] );
+    ]

@@ -161,6 +161,31 @@ let test_foreign_sp_rejected () =
     (Invalid_argument "Epp_engine.create: sp computed on a different circuit") (fun () ->
       ignore (Epp.Epp_engine.create ~sp:sp2 c1))
 
+(* A provided sp vector with a NaN / out-of-range entry must be rejected at
+   create, with the offending node named — not fed silently into the SoA
+   kernel. *)
+let test_invalid_sp_rejected () =
+  let c = fig1 () in
+  let poisoned value =
+    let sp = Sigprob.Sp_topological.compute c in
+    let values = Array.copy sp.Sigprob.Sp.values in
+    let victim = Circuit.find c "B" in
+    values.(victim) <- value;
+    ({ Sigprob.Sp.circuit = c; values }, victim)
+  in
+  List.iter
+    (fun bad ->
+      let sp, victim = poisoned bad in
+      match Epp.Epp_engine.create ~sp c with
+      | _ -> Alcotest.failf "accepted sp value %h" bad
+      | exception Epp.Epp_engine.Invalid_signal_probability { node; name; value }
+        ->
+        check_int "offending node id" victim node;
+        check_string "offending node name" "B" name;
+        check_bool "offending value carried" true
+          (Int64.bits_of_float value = Int64.bits_of_float bad))
+    [ Float.nan; 1.5; -0.25; Float.infinity; Float.neg_infinity ]
+
 let test_analyze_all_covers_all () =
   let c = fig1 () in
   let engine = uniform_engine c in
@@ -220,6 +245,7 @@ let () =
       ( "api",
         [
           Alcotest.test_case "foreign sp rejected" `Quick test_foreign_sp_rejected;
+          Alcotest.test_case "invalid sp rejected" `Quick test_invalid_sp_rejected;
           Alcotest.test_case "analyze_all covers all" `Quick test_analyze_all_covers_all;
           Alcotest.test_case "sequential default SP" `Quick test_default_sp_sequential;
           prop_psens_is_probability;

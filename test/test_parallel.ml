@@ -49,6 +49,47 @@ let test_domain_validation () =
 let test_default_domains_positive () =
   check_bool "at least one" true (Epp.Parallel.default_domains () >= 1)
 
+(* A raising site must not leak unjoined domains or hang the sweep: the
+   exception propagates to the caller after every helper is joined, and the
+   module stays usable afterwards. *)
+let test_raising_site () =
+  let c = Circuit_gen.Random_dag.generate ~seed:7 Circuit_gen.Profiles.s344 in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let sites = List.init 64 (fun i -> if i = 40 then n + 1000 else i mod n) in
+  Alcotest.check_raises "bad site raises out of the parallel sweep"
+    (Invalid_argument "Epp_engine.Workspace.analyze_site: bad site") (fun () ->
+      ignore (Epp.Parallel.analyze_sites ~domains:4 engine sites));
+  (* No deadlock / leaked-domain fallout: an immediate clean sweep works. *)
+  check_int "sweep still works after the failure" n
+    (List.length (Epp.Parallel.analyze_all ~domains:4 engine))
+
+(* The propagated exception is the lowest failing input index, regardless of
+   which domain hit which site first. *)
+let test_first_failure_deterministic () =
+  let items = Array.init 200 Fun.id in
+  let f () i = if i mod 31 = 17 then failwith (string_of_int i) else i in
+  for _ = 1 to 10 do
+    match
+      Epp.Parallel.map_array ~domains:4 ~workspace:(fun () -> ()) ~f items
+    with
+    | _ -> Alcotest.fail "expected a failure"
+    | exception Failure msg -> check_string "lowest failing index" "17" msg
+  done
+
+let test_map_array_order () =
+  let items = Array.init 100 Fun.id in
+  let r =
+    Epp.Parallel.map_array ~domains:4 ~workspace:(fun () -> ()) ~f:(fun () i -> i * i) items
+  in
+  check_bool "results in input order" true
+    (Array.for_all Fun.id (Array.mapi (fun i x -> x = i * i) r))
+
+let test_map_array_empty () =
+  check_int "empty input" 0
+    (Array.length
+       (Epp.Parallel.map_array ~domains:4 ~workspace:(fun () -> ()) ~f:(fun () i -> i) [||]))
+
 let prop_order_preserved =
   qtest ~count:10 ~name:"results come back in input order" seed_arbitrary (fun seed ->
       let c = random_small_dag ~seed in
@@ -74,5 +115,13 @@ let () =
           Alcotest.test_case "domain validation" `Quick test_domain_validation;
           Alcotest.test_case "default domains" `Quick test_default_domains_positive;
           prop_order_preserved;
+        ] );
+      ( "exception safety",
+        [
+          Alcotest.test_case "raising site" `Quick test_raising_site;
+          Alcotest.test_case "first failure deterministic" `Quick
+            test_first_failure_deterministic;
+          Alcotest.test_case "map_array order" `Quick test_map_array_order;
+          Alcotest.test_case "map_array empty" `Quick test_map_array_empty;
         ] );
     ]

@@ -1,0 +1,242 @@
+(* Tests for the supervised sweep: the degradation ladder (kernel ->
+   reference -> quarantine), the numeric sentinels, and the checkpoint
+   kill/resume round trip.
+
+   Fault injection is deterministic: hostile sites are poisoned through the
+   supervisor's kernel/reference override seam (a stub raising or returning
+   defective results), or by mutating the engine's sp vector after creation
+   (the post-validation corruption a long-lived batch job might suffer). *)
+
+open Helpers
+open Netlist
+
+exception Killed
+(** simulates the sweep process dying mid-run (raised from [on_chunk]) *)
+
+let bits = Int64.bits_of_float
+
+(* Bit-identical comparison of two site results. *)
+let same_result (a : Epp.Epp_engine.site_result) (b : Epp.Epp_engine.site_result) =
+  a.Epp.Epp_engine.site = b.Epp.Epp_engine.site
+  && bits a.Epp.Epp_engine.p_sensitized = bits b.Epp.Epp_engine.p_sensitized
+  && a.Epp.Epp_engine.cone_size = b.Epp.Epp_engine.cone_size
+  && a.Epp.Epp_engine.reached_outputs = b.Epp.Epp_engine.reached_outputs
+  && List.for_all2
+       (fun (o1, p1) (o2, p2) -> o1 = o2 && bits p1 = bits p2)
+       a.Epp.Epp_engine.per_observation b.Epp.Epp_engine.per_observation
+
+let test_circuit () =
+  Circuit_gen.Random_dag.generate ~seed:5 Circuit_gen.Profiles.s344
+
+(* A clean sweep is all-kernel, quarantine-free, and bit-identical to the
+   unsupervised batch path. *)
+let test_clean_sweep () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let unsupervised = Epp.Epp_engine.analyze_all engine in
+  let outcome = Epp.Supervisor.sweep_all ~domains:3 ~chunk_size:37 engine in
+  let stats = outcome.Epp.Supervisor.stats in
+  check_int "total" (Circuit.node_count c) stats.Epp.Diag.total;
+  check_int "all kernel" (Circuit.node_count c) stats.Epp.Diag.kernel_ok;
+  check_int "none degraded" 0 stats.Epp.Diag.degraded;
+  check_int "none quarantined" 0 stats.Epp.Diag.quarantined;
+  check_bool "bit-identical to unsupervised" true
+    (List.for_all2 same_result unsupervised (Epp.Supervisor.results outcome))
+
+(* Kernel stub raising on k sites: those degrade to the reference path and
+   still produce the unsupervised results, everything stays analyzed. *)
+let test_degrade_to_reference () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let poisoned = [ 3; n / 2; n - 1 ] in
+  let kernel ws site =
+    if List.mem site poisoned then failwith "injected kernel fault"
+    else Epp.Epp_engine.Workspace.analyze_site ws site
+  in
+  let unsupervised = Epp.Epp_engine.analyze_all engine in
+  let outcome = Epp.Supervisor.sweep_all ~domains:3 ~kernel engine in
+  let stats = outcome.Epp.Supervisor.stats in
+  check_int "degraded = k" (List.length poisoned) stats.Epp.Diag.degraded;
+  check_int "none quarantined" 0 stats.Epp.Diag.quarantined;
+  check_bool "degraded results match the reference bit-identically" true
+    (List.for_all2 same_result unsupervised (Epp.Supervisor.results outcome));
+  List.iter
+    (fun (site, entry) ->
+      match entry with
+      | Epp.Supervisor.Analyzed { step; _ } ->
+        check_bool
+          (Printf.sprintf "site %d on the right rung" site)
+          true
+          (if List.mem site poisoned then step = Epp.Diag.Reference
+           else step = Epp.Diag.Kernel)
+      | Epp.Supervisor.Quarantined _ -> Alcotest.fail "unexpected quarantine")
+    outcome.Epp.Supervisor.entries
+
+(* A NaN in the kernel's published result trips the sentinel (no exception
+   involved) and degrades; so does an out-of-range probability. *)
+let test_sentinel_trips () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let defective p (r : Epp.Epp_engine.site_result) =
+    { r with Epp.Epp_engine.p_sensitized = p }
+  in
+  let kernel ws site =
+    let r = Epp.Epp_engine.Workspace.analyze_site ws site in
+    if site = 1 then defective Float.nan r
+    else if site = 2 then defective 2.5 r
+    else r
+  in
+  let outcome = Epp.Supervisor.sweep_all ~domains:1 ~kernel engine in
+  let stats = outcome.Epp.Supervisor.stats in
+  check_int "both sentinel trips degraded" 2 stats.Epp.Diag.degraded;
+  check_int "none quarantined" 0 stats.Epp.Diag.quarantined
+
+(* Both rungs poisoned: exactly k quarantines with a typed fault per rung,
+   and every other site bit-identical to the unsupervised sweep. *)
+let test_quarantine_exactly_k () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let poisoned = [ 0; 7; n - 2 ] in
+  let poison site = List.mem site poisoned in
+  let kernel ws site =
+    if poison site then failwith "injected kernel fault"
+    else Epp.Epp_engine.Workspace.analyze_site ws site
+  in
+  let reference engine site =
+    if poison site then failwith "injected reference fault"
+    else Epp.Epp_engine.analyze_site engine site
+  in
+  let unsupervised = Epp.Epp_engine.analyze_all engine in
+  let outcome = Epp.Supervisor.sweep_all ~domains:3 ~kernel ~reference engine in
+  let qs = Epp.Supervisor.quarantines outcome in
+  check_int "exactly k quarantines" (List.length poisoned) (List.length qs);
+  check_bool "quarantined the poisoned sites" true
+    (List.for_all2 (fun q s -> q.Epp.Diag.site = s) qs poisoned);
+  List.iter
+    (fun (q : Epp.Diag.quarantine) ->
+      check_int "one fault per rung" 2 (List.length q.Epp.Diag.faults);
+      check_bool "rungs in order, typed as exceptions" true
+        (match q.Epp.Diag.faults with
+        | [ (Epp.Diag.Kernel, Epp.Diag.Exception _);
+            (Epp.Diag.Reference, Epp.Diag.Exception _) ] -> true
+        | _ -> false);
+      check_bool "cone size recorded" true (q.Epp.Diag.cone_size <> None))
+    qs;
+  let expected =
+    List.filter
+      (fun (r : Epp.Epp_engine.site_result) -> not (poison r.Epp.Epp_engine.site))
+      unsupervised
+  in
+  check_bool "non-poisoned sites bit-identical" true
+    (List.for_all2 same_result expected (Epp.Supervisor.results outcome))
+
+(* Post-create sp corruption (the validation in create can no longer see it):
+   affected sites fail on both rungs and are quarantined; the sweep finishes
+   and the unaffected sites match a pre-corruption sweep bit-identically. *)
+let test_hostile_sp_mutation () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create ~sp:(Sigprob.Sp_topological.compute c) c in
+  let before = Epp.Epp_engine.analyze_all engine in
+  let victim = List.hd (Circuit.inputs c) in
+  let sp = Epp.Epp_engine.signal_probabilities engine in
+  sp.Sigprob.Sp.values.(victim) <- Float.nan;
+  let outcome = Epp.Supervisor.sweep_all ~domains:3 engine in
+  let qs = Epp.Supervisor.quarantines outcome in
+  check_bool "some sites quarantined" true (qs <> []);
+  (* The poisoned node feeds NaN only into cones that consume it off-path;
+     every simultaneously-failing site must be quarantined, none analyzed. *)
+  let affected =
+    List.filter
+      (fun site ->
+        match Epp.Epp_engine.analyze_site engine site with
+        | r ->
+          Float.is_nan r.Epp.Epp_engine.p_sensitized
+          || List.exists (fun (_, p) -> Float.is_nan p) r.Epp.Epp_engine.per_observation
+        | exception _ -> true)
+      (List.init (Circuit.node_count c) Fun.id)
+  in
+  check_int "exactly the affected sites are quarantined" (List.length affected)
+    (List.length qs);
+  let survivors =
+    List.filter
+      (fun (r : Epp.Epp_engine.site_result) ->
+        not (List.mem r.Epp.Epp_engine.site affected))
+      before
+  in
+  check_bool "unaffected sites bit-identical to the pre-corruption sweep" true
+    (List.for_all2 same_result survivors (Epp.Supervisor.results outcome))
+
+(* An out-of-range site id in the input is quarantined, not fatal. *)
+let test_bad_site_quarantined () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create c in
+  let outcome = Epp.Supervisor.sweep ~domains:1 engine [ 0; 999; 1 ] in
+  check_int "two analyzed" 2 (List.length (Epp.Supervisor.results outcome));
+  match Epp.Supervisor.quarantines outcome with
+  | [ q ] ->
+    check_int "the bad site" 999 q.Epp.Diag.site;
+    check_bool "no cone size for an invalid site" true (q.Epp.Diag.cone_size = None)
+  | qs -> Alcotest.fail (Printf.sprintf "expected 1 quarantine, got %d" (List.length qs))
+
+(* Kill mid-run (on_chunk raises after the checkpoint write), then resume:
+   the merged report is bit-identical to an uninterrupted sweep and the
+   resumed count matches what the snapshot held. *)
+let test_kill_resume_round_trip () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let path = Filename.temp_file "serprop_ck" ".txt" in
+  let fp = Report.Checkpoint.fingerprint engine in
+  let n = Circuit.node_count c in
+  let saved = ref [] in
+  let kill_after = 3 in
+  let chunks = ref 0 in
+  (try
+     ignore
+       (Epp.Supervisor.sweep ~domains:2 ~chunk_size:16
+          ~on_chunk:(fun ~done_count:_ ~total:_ entries ->
+            saved := entries @ !saved;
+            Report.Checkpoint.save path
+              {
+                Report.Checkpoint.fingerprint = fp;
+                total_sites = n;
+                entries = List.sort compare !saved;
+              };
+            incr chunks;
+            if !chunks = kill_after then raise Killed)
+          engine
+          (List.init n Fun.id));
+     Alcotest.fail "sweep should have been killed"
+   with Killed -> ());
+  let partial = kill_after * 16 in
+  let clean = Epp.Supervisor.sweep_all ~domains:2 engine in
+  match Report.Checkpoint.supervised_sweep ~domains:2 ~chunk_size:16
+          ~checkpoint:path ~resume:true engine
+  with
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e)
+  | Ok resumed ->
+    check_int "resumed sites" partial resumed.Epp.Supervisor.stats.Epp.Diag.resumed;
+    check_int "all sites present" n
+      (List.length resumed.Epp.Supervisor.entries);
+    check_bool "identical final report" true
+      (List.for_all2 same_result
+         (Epp.Supervisor.results clean)
+         (Epp.Supervisor.results resumed));
+    Sys.remove path
+
+let () =
+  Alcotest.run "supervisor"
+    [
+      ( "ladder",
+        [
+          Alcotest.test_case "clean sweep" `Quick test_clean_sweep;
+          Alcotest.test_case "degrade to reference" `Quick test_degrade_to_reference;
+          Alcotest.test_case "sentinel trips" `Quick test_sentinel_trips;
+          Alcotest.test_case "exactly k quarantines" `Quick test_quarantine_exactly_k;
+          Alcotest.test_case "hostile sp mutation" `Quick test_hostile_sp_mutation;
+          Alcotest.test_case "bad site quarantined" `Quick test_bad_site_quarantined;
+        ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "kill/resume round trip" `Quick test_kill_resume_round_trip ] );
+    ]
