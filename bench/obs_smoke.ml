@@ -1,0 +1,129 @@
+(* obs_smoke: CI gate for the telemetry surface (dune build @obs-smoke).
+
+   The alias first runs the real CLI —
+
+     ser_estimate embedded:s27 --supervised --metrics M --trace T
+
+   — then runs this validator on the two files it wrote.  The checks pin
+   the acceptance contract of the telemetry layer:
+
+   - both artifacts parse under the strict Obs.Json parser;
+   - the metrics snapshot has nonzero epp.sites_analyzed and
+     parallel.tasks_executed counters (the pipeline was actually observed,
+     not just the registry created);
+   - the trace is Perfetto-loadable in shape: a traceEvents list whose
+     B/E events balance per name, with >= 3 distinct phase names, numeric
+     pid/tid on every event, and a thread_name metadata record for every
+     tid that appears.
+
+   Usage: obs_smoke.exe METRICS.json TRACE.json *)
+
+let failures = ref 0
+
+let check what ok =
+  if ok then Fmt.pr "ok: %s@." what
+  else begin
+    incr failures;
+    Fmt.pr "FAIL: %s@." what
+  end
+
+let parse_or_die label path =
+  match Obs.Json.parse_file path with
+  | Ok v ->
+    Fmt.pr "ok: %s parses as JSON (%s)@." label path;
+    v
+  | Error msg ->
+    Fmt.pr "FAIL: %s does not parse (%s): %s@." label path msg;
+    exit 1
+
+let counter_value metrics name =
+  match Option.bind (Obs.Json.member "counters" metrics) (Obs.Json.member name) with
+  | Some v -> Option.value ~default:0.0 (Obs.Json.to_number v)
+  | None -> 0.0
+
+let () =
+  let metrics_path, trace_path =
+    match Sys.argv with
+    | [| _; m; t |] -> (m, t)
+    | _ ->
+      prerr_endline "usage: obs_smoke METRICS.json TRACE.json";
+      exit 2
+  in
+  let metrics = parse_or_die "metrics snapshot" metrics_path in
+  let trace = parse_or_die "trace" trace_path in
+
+  let sites = counter_value metrics "epp.sites_analyzed" in
+  let tasks = counter_value metrics "parallel.tasks_executed" in
+  check
+    (Printf.sprintf "epp.sites_analyzed > 0 (got %.0f)" sites)
+    (sites > 0.0);
+  check
+    (Printf.sprintf "parallel.tasks_executed > 0 (got %.0f)" tasks)
+    (tasks > 0.0);
+
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" trace) Obs.Json.to_list with
+    | Some l -> l
+    | None ->
+      check "trace has a traceEvents list" false;
+      []
+  in
+  let field name e = Obs.Json.member name e in
+  let str name e = Option.bind (field name e) Obs.Json.to_string_value in
+  let num name e = Option.bind (field name e) Obs.Json.to_number in
+  let ph e = Option.value ~default:"?" (str "ph" e) in
+  (* Per-name B/E balance: a Perfetto duration stack never goes negative
+     and ends empty. *)
+  let opens = Hashtbl.create 16 in
+  let balanced = ref true in
+  List.iter
+    (fun e ->
+      let name = Option.value ~default:"?" (str "name" e) in
+      match ph e with
+      | "B" ->
+        Hashtbl.replace opens name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt opens name))
+      | "E" ->
+        let d = Option.value ~default:0 (Hashtbl.find_opt opens name) - 1 in
+        if d < 0 then balanced := false else Hashtbl.replace opens name d
+      | _ -> ())
+    events;
+  Hashtbl.iter (fun _ d -> if d <> 0 then balanced := false) opens;
+  check "B/E events balance per phase name" !balanced;
+
+  let phase_names =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e -> if ph e = "B" then str "name" e else None)
+         events)
+  in
+  check
+    (Printf.sprintf ">= 3 distinct phase names (got %d: %s)"
+       (List.length phase_names)
+       (String.concat ", " phase_names))
+    (List.length phase_names >= 3);
+
+  check "every event has numeric pid/tid/ts"
+    (List.for_all
+       (fun e -> num "pid" e <> None && num "tid" e <> None && num "ts" e <> None)
+       events);
+
+  let tids = List.sort_uniq compare (List.filter_map (num "tid") events) in
+  let named_tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e ->
+           if ph e = "M" && str "name" e = Some "thread_name" then num "tid" e
+           else None)
+         events)
+  in
+  check
+    (Printf.sprintf "every tid has thread_name metadata (%d tid(s))"
+       (List.length tids))
+    (List.for_all (fun t -> List.mem t named_tids) tids);
+
+  if !failures > 0 then begin
+    Fmt.pr "obs smoke: %d check(s) FAILED@." !failures;
+    exit 1
+  end
+  else Fmt.pr "obs smoke: all checks passed@."

@@ -10,7 +10,12 @@
    - and, after a simulated mid-run kill, resume from its checkpoint to a
      final report bit-identical to an uninterrupted run (same total FIT).
 
-   Any drift exits non-zero and fails the alias. *)
+   Any drift exits non-zero and fails the alias.
+
+   With --json, also writes BENCH_resilience.json (same shape as
+   BENCH_epp_kernel.json: a benchmark tag, per-check results, and the
+   run's metrics snapshot) so the robustness path joins the bench
+   trajectory. *)
 
 exception Killed
 
@@ -25,8 +30,10 @@ let same_result (a : Epp.Epp_engine.site_result) (b : Epp.Epp_engine.site_result
        a.Epp.Epp_engine.per_observation b.Epp.Epp_engine.per_observation
 
 let failures = ref 0
+let checks = ref []
 
 let check what ok =
+  checks := (what, ok) :: !checks;
   if ok then Fmt.pr "ok: %s@." what
   else begin
     incr failures;
@@ -34,6 +41,11 @@ let check what ok =
   end
 
 let () =
+  let json = Array.exists (String.equal "--json") Sys.argv in
+  (* Live metrics for the whole run so the supervisor / parallel counters
+     land in the artifact. *)
+  let metrics = Obs.Metrics.create () in
+  Obs.Hooks.set_metrics metrics;
   let circuit = Circuit_gen.Embedded.s27 () in
   let engine = Epp.Epp_engine.create circuit in
   let n = Netlist.Circuit.node_count circuit in
@@ -109,6 +121,36 @@ let () =
   Sys.remove path;
 
   Fmt.pr "@.%a@." Epp.Diag.pp_stats outcome.Epp.Supervisor.stats;
+  if json then begin
+    let s = outcome.Epp.Supervisor.stats in
+    let open Obs.Json in
+    to_file ~pretty:true "BENCH_resilience.json"
+      (Obj
+         [
+           ("benchmark", String "resilience_supervised_sweep");
+           ("circuit", String "s27");
+           ("domains", int 2);
+           ("poisoned_sites", List (List.map int poisoned));
+           ( "checks",
+             List
+               (List.rev_map
+                  (fun (what, ok) ->
+                    Obj [ ("name", String what); ("ok", Bool ok) ])
+                  !checks) );
+           ("failures", int !failures);
+           ( "stats",
+             Obj
+               [
+                 ("total", int s.Epp.Diag.total);
+                 ("kernel_ok", int s.Epp.Diag.kernel_ok);
+                 ("degraded", int s.Epp.Diag.degraded);
+                 ("quarantined", int s.Epp.Diag.quarantined);
+                 ("resumed", int s.Epp.Diag.resumed);
+               ] );
+           ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot metrics));
+         ]);
+    Fmt.pr "wrote BENCH_resilience.json@."
+  end;
   if !failures > 0 then begin
     Fmt.pr "resilience smoke: %d check(s) FAILED@." !failures;
     exit 1

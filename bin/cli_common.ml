@@ -103,3 +103,64 @@ let seed_arg =
 let vectors_arg ~default =
   let doc = "Random vectors per error site for the simulation baseline." in
   Arg.(value & opt int default & info [ "n"; "vectors" ] ~docv:"N" ~doc)
+
+(* --- telemetry ------------------------------------------------------------ *)
+
+let metrics_arg =
+  let doc =
+    "Write a JSON metrics snapshot of the run (counters, gauges, fixed-bucket \
+     histograms: per-phase EPP timings, cone sizes, parallel steal counters, \
+     supervisor ladder steps, checkpoint I/O) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write Chrome trace-event JSON to $(docv): nestable phase spans with one \
+     track per OCaml domain.  Load the file in chrome://tracing or \
+     https://ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a single-line progress meter (done/total, rate, ETA) to stderr \
+     during long per-site sweeps."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* Install live sinks before the pipeline is built (instrument handles are
+   resolved at workspace/engine creation), run [f], and always write the
+   artifact files — even when [f] raises or exits non-zero, a partial trace
+   is exactly what one wants for a post-mortem. *)
+let with_telemetry ~metrics ~trace f =
+  let registry =
+    Option.map
+      (fun _ ->
+        let m = Obs.Metrics.create () in
+        Obs.Hooks.set_metrics m;
+        m)
+      metrics
+  in
+  let tracer =
+    Option.map
+      (fun _ ->
+        let t = Obs.Trace.create () in
+        Obs.Hooks.set_tracer t;
+        t)
+      trace
+  in
+  let write_artifacts () =
+    (match (metrics, registry) with
+    | Some path, Some m ->
+      Obs.Json.to_file ~pretty:true path
+        (Obs.Metrics.to_json (Obs.Metrics.snapshot m));
+      Fmt.epr "wrote metrics snapshot to %s@." path
+    | _ -> ());
+    match (trace, tracer) with
+    | Some path, Some t ->
+      Obs.Trace.to_file t path;
+      Fmt.epr "wrote trace to %s (chrome://tracing, Perfetto)@." path
+    | _ -> ()
+  in
+  Fun.protect ~finally:write_artifacts f

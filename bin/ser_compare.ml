@@ -3,7 +3,32 @@
 
 open Cmdliner
 
-let run circuit vectors sites seed =
+(* Map [f] over [items] while stepping a progress meter (when requested —
+   the simulation baseline is minutes long on big circuits). *)
+let map_with_progress ~progress ~label items f =
+  if not progress then List.map f items
+  else begin
+    let meter =
+      Obs.Progress.create ~label ~total:(List.length items) ()
+    in
+    let i = ref 0 in
+    let results =
+      List.map
+        (fun item ->
+          let r = f item in
+          incr i;
+          Obs.Progress.report meter !i;
+          r)
+        items
+    in
+    Obs.Progress.finish meter;
+    results
+  end
+
+let run circuit vectors sites seed metrics trace progress =
+  Cli_common.with_telemetry ~metrics ~trace @@ fun () ->
+  let tracer = Obs.Hooks.tracer () in
+  Obs.Trace.span tracer ~cat:"cli" "ser_compare" @@ fun () ->
   let rng = Rng.create ~seed in
   let sp, spt =
     Report.Timer.time (fun () ->
@@ -23,10 +48,15 @@ let run circuit vectors sites seed =
       Array.to_list (Rng.sample_without_replacement rng ~count:sites ~universe:node_count)
   in
   let epp_results, syst =
-    Report.Timer.time (fun () -> Epp.Epp_engine.analyze_sites engine chosen)
+    Report.Timer.time (fun () ->
+        Obs.Trace.span tracer ~cat:"compare" "compare.epp" (fun () ->
+            Epp.Epp_engine.analyze_sites engine chosen))
   in
   let sim_results, simt =
-    Report.Timer.time (fun () -> List.map (Fault_sim.Epp_sim.estimate_site sim_ctx ~rng) chosen)
+    Report.Timer.time (fun () ->
+        Obs.Trace.span tracer ~cat:"compare" "compare.simulate" (fun () ->
+            map_with_progress ~progress ~label:"simulate" chosen
+              (Fault_sim.Epp_sim.estimate_site sim_ctx ~rng)))
   in
   let rows =
     List.map2
@@ -74,6 +104,7 @@ let cmd =
     Term.(
       const run $ Cli_common.circuit_arg
       $ Cli_common.vectors_arg ~default:10_000
-      $ sites_arg $ Cli_common.seed_arg)
+      $ sites_arg $ Cli_common.seed_arg $ Cli_common.metrics_arg
+      $ Cli_common.trace_arg $ Cli_common.progress_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,6 +12,12 @@
    snapshots completed sites atomically after every chunk; --resume replays
    a matching snapshot and analyzes only the remainder.
 
+   Telemetry: --metrics FILE writes a JSON snapshot of the run's counters /
+   histograms (per-phase EPP timings, cone sizes, parallel steals,
+   supervisor ladder steps); --trace FILE writes Chrome trace-event JSON
+   (load in chrome://tracing or Perfetto, one track per domain);
+   --progress prints a rate + ETA line during supervised sweeps.
+
    Exit codes: 0 success; 3 quarantined sites under --strict; 4 unusable
    checkpoint (fingerprint mismatch or corrupt file); 124 cmdliner CLI
    errors. *)
@@ -60,12 +66,26 @@ let print_report circuit technology (report : Epp.Ser_estimator.report) elapsed
   end
 
 let run_supervised circuit technology top_k target_reduction by_output
-    electrical checkpoint resume strict domains =
+    electrical checkpoint resume strict domains progress =
   let engine = Epp.Epp_engine.create circuit in
+  let meter =
+    if progress then
+      Some
+        (Obs.Progress.create ~label:"supervised sweep"
+           ~total:(Netlist.Circuit.node_count circuit) ())
+    else None
+  in
+  let on_progress =
+    Option.map
+      (fun meter ~done_count ~total:_ -> Obs.Progress.report meter done_count)
+      meter
+  in
   let swept, elapsed =
     Report.Timer.time (fun () ->
-        Report.Checkpoint.supervised_sweep ?domains ?checkpoint ~resume engine)
+        Report.Checkpoint.supervised_sweep ?domains ?checkpoint ~resume
+          ?on_progress engine)
   in
+  Option.iter Obs.Progress.finish meter;
   match swept with
   | Error e ->
     Fmt.epr "ser_estimate: %s@." (Report.Checkpoint.error_message e);
@@ -87,14 +107,16 @@ let run_supervised circuit technology top_k target_reduction by_output
     if strict && quarantines <> [] then exit_quarantined else 0
 
 let run circuit technology top_k target_reduction by_output electrical
-    supervised checkpoint resume strict domains =
+    supervised checkpoint resume strict domains metrics trace progress =
+  Cli_common.with_telemetry ~metrics ~trace @@ fun () ->
+  Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"cli" "ser_estimate" @@ fun () ->
   let electrical = if electrical then Some Seu_model.Electrical.default else None in
   let supervised =
     supervised || checkpoint <> None || resume || strict
   in
   if supervised then
     run_supervised circuit technology top_k target_reduction by_output
-      electrical checkpoint resume strict domains
+      electrical checkpoint resume strict domains progress
   else begin
     let (report : Epp.Ser_estimator.report), elapsed =
       Report.Timer.time (fun () ->
@@ -169,6 +191,7 @@ let cmd =
     Term.(
       const run $ Cli_common.circuit_arg $ Cli_common.technology_arg $ top_k_arg $ target_arg
       $ by_output_arg $ electrical_arg $ supervised_arg $ checkpoint_arg $ resume_arg
-      $ strict_arg $ domains_arg)
+      $ strict_arg $ domains_arg $ Cli_common.metrics_arg $ Cli_common.trace_arg
+      $ Cli_common.progress_arg)
 
 let () = exit (Cmd.eval' cmd)

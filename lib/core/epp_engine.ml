@@ -70,6 +70,8 @@ let validate_sp circuit (r : Sigprob.Sp.result) =
   done
 
 let create ?(mode = Polarity) ?(restrict_to_cone = true) ?sp circuit =
+  let tracer = Obs.Hooks.tracer () in
+  Obs.Trace.span tracer ~cat:"epp" "epp.create" @@ fun () ->
   let sp =
     match sp with
     | Some r ->
@@ -84,6 +86,7 @@ let create ?(mode = Polarity) ?(restrict_to_cone = true) ?sp circuit =
         (Sigprob.Sp_sequential.compute circuit).Sigprob.Sp_sequential.result
       else Sigprob.Sp_topological.compute circuit
   in
+  Obs.Trace.span tracer ~cat:"epp" "epp.levelize" @@ fun () ->
   let order = Circuit.topological_order circuit in
   let n = Circuit.node_count circuit in
   let pos = Array.make n 0 in
@@ -256,6 +259,37 @@ let analyze_site t site =
 type engine = t
 
 module Workspace = struct
+  (* Instrument handles resolved once per workspace from the process-wide
+     sink (Obs.Hooks).  With the default no-op sink every handle is a no-op
+     and [timed] is false, so the per-site cost of instrumentation is a few
+     predictable branches — measured against itself by the bench overhead
+     guard.  With a live sink, each analyze_site adds three wall-clock phase
+     samples (extract / order / propagate) and a few atomic adds. *)
+  type instruments = {
+    timed : bool;
+    sites : Obs.Metrics.counter;  (* epp.sites_analyzed *)
+    cone_nodes : Obs.Metrics.counter;  (* epp.cone_nodes_visited *)
+    epoch_resets : Obs.Metrics.counter;  (* epp.workspace_epoch_resets *)
+    cone_hist : Obs.Metrics.histogram;  (* epp.cone_size *)
+    t_extract : Obs.Metrics.histogram;  (* epp.phase.extract_seconds *)
+    t_order : Obs.Metrics.histogram;  (* epp.phase.order_seconds *)
+    t_propagate : Obs.Metrics.histogram;  (* epp.phase.propagate_seconds *)
+  }
+
+  let instruments () =
+    let m = Obs.Hooks.metrics () in
+    {
+      timed = not (Obs.Metrics.is_null m);
+      sites = Obs.Metrics.counter m "epp.sites_analyzed";
+      cone_nodes = Obs.Metrics.counter m "epp.cone_nodes_visited";
+      epoch_resets = Obs.Metrics.counter m "epp.workspace_epoch_resets";
+      cone_hist =
+        Obs.Metrics.histogram ~buckets:Obs.Metrics.size_buckets m "epp.cone_size";
+      t_extract = Obs.Metrics.histogram m "epp.phase.extract_seconds";
+      t_order = Obs.Metrics.histogram m "epp.phase.order_seconds";
+      t_propagate = Obs.Metrics.histogram m "epp.phase.propagate_seconds";
+    }
+
   type ws = {
     engine : engine;
     offsets : int array;  (* CSR view of the combinational graph *)
@@ -271,6 +305,7 @@ module Workspace = struct
     cone : int array;  (* collected cone members, sorted by topo position *)
     scratch : Rules.Soa.t;
     nscratch : Rules.Naive.Soa.scratch;
+    obs_i : instruments;
   }
 
   let engine w = w.engine
@@ -292,6 +327,7 @@ module Workspace = struct
       cone = Array.make (max n 1) 0;
       scratch = Rules.Soa.create ~max_fanin:engine.max_fanin;
       nscratch = Rules.Naive.Soa.create ~max_fanin:engine.max_fanin;
+      obs_i = instruments ();
     }
 
   (* In-place heapsort of cone.(0 .. len-1) by topological position: O(k log k),
@@ -334,7 +370,8 @@ module Workspace = struct
     w.epoch <- w.epoch + 1;
     if w.epoch = max_int then begin
       Array.fill w.mark 0 (Array.length w.mark) 0;
-      w.epoch <- 1
+      w.epoch <- 1;
+      Obs.Metrics.incr w.obs_i.epoch_resets
     end;
     let epoch = w.epoch in
     let offsets = w.offsets and targets = w.targets in
@@ -439,7 +476,11 @@ module Workspace = struct
     let n = Circuit.node_count e.circuit in
     if site < 0 || site >= n then
       invalid_arg "Epp_engine.Workspace.analyze_site: bad site";
+    let m = w.obs_i in
+    let timed = m.timed in
+    let t0 = if timed then Obs.Clock.wall_seconds () else 0.0 in
     let clen = run_dfs w site in
+    let t1 = if timed then Obs.Clock.wall_seconds () else 0.0 in
     let epoch = w.epoch in
     (* Initialize the site's vector: a certain error, even polarity —
        Prob4.error_site / Rules.Naive.error_site as unboxed components. *)
@@ -447,16 +488,17 @@ module Workspace = struct
     w.pa_bar.(site) <- 0.0;
     w.p1.(site) <- 0.0;
     w.p0.(site) <- 0.0;
+    (* After sorting by topological position the site is cone.(0): every
+       other member is strictly downstream of it.  (The no-cone ablation
+       walks the shared gate order instead and skips the sort.) *)
+    if e.restrict_to_cone then sort_by_pos e.pos w.cone clen;
+    let t2 = if timed then Obs.Clock.wall_seconds () else 0.0 in
     (match e.mode, e.restrict_to_cone with
     | Polarity, true ->
-      (* After sorting by topological position the site is cone.(0): every
-         other member is strictly downstream of it. *)
-      sort_by_pos e.pos w.cone clen;
       for i = 1 to clen - 1 do
         process_polarity w epoch w.cone.(i)
       done
     | Naive, true ->
-      sort_by_pos e.pos w.cone clen;
       for i = 1 to clen - 1 do
         process_naive w epoch w.cone.(i)
       done
@@ -475,6 +517,15 @@ module Workspace = struct
         if g <> site then process_naive w epoch g
       done);
     let per_observation = collect w epoch in
+    Obs.Metrics.incr m.sites;
+    Obs.Metrics.add m.cone_nodes clen;
+    Obs.Metrics.observe m.cone_hist (float_of_int clen);
+    if timed then begin
+      let t3 = Obs.Clock.wall_seconds () in
+      Obs.Metrics.observe m.t_extract (t1 -. t0);
+      Obs.Metrics.observe m.t_order (t2 -. t1);
+      Obs.Metrics.observe m.t_propagate (t3 -. t2)
+    end;
     {
       site;
       p_sensitized = Sigprob.Sp_rules.clamp (p_sensitized_of_outputs per_observation);

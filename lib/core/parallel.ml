@@ -53,35 +53,88 @@ let record_failure failure i exn bt =
   in
   loop ()
 
+(* Telemetry handles for one map_array call.  [tasks] counts every executed
+   item (including the sequential small-batch path — the CLI acceptance
+   check reads it on tiny embedded circuits); [stolen] counts items executed
+   by spawned helper domains, i.e. work that migrated off the calling
+   domain.  Worker wall/busy times only get sampled when a live metrics
+   sink is installed. *)
+type instruments = {
+  timed : bool;
+  tasks : Obs.Metrics.counter;  (* parallel.tasks_executed *)
+  stolen : Obs.Metrics.counter;  (* parallel.tasks_stolen *)
+  batches : Obs.Metrics.counter;  (* parallel.batches *)
+  spawned : Obs.Metrics.counter;  (* parallel.workers_spawned *)
+  idle : Obs.Metrics.histogram;  (* parallel.worker_idle_seconds *)
+  busy : Obs.Metrics.histogram;  (* parallel.worker_busy_seconds *)
+}
+
+let instruments () =
+  let m = Obs.Hooks.metrics () in
+  {
+    timed = not (Obs.Metrics.is_null m);
+    tasks = Obs.Metrics.counter m "parallel.tasks_executed";
+    stolen = Obs.Metrics.counter m "parallel.tasks_stolen";
+    batches = Obs.Metrics.counter m "parallel.batches";
+    spawned = Obs.Metrics.counter m "parallel.workers_spawned";
+    idle = Obs.Metrics.histogram m "parallel.worker_idle_seconds";
+    busy = Obs.Metrics.histogram m "parallel.worker_busy_seconds";
+  }
+
 let map_array ?domains ~workspace ~f items =
   let domains = resolve_domains ~who:"Parallel.map_array" domains in
   let n = Array.length items in
+  let m = instruments () in
+  Obs.Metrics.incr m.batches;
   if n = 0 then [||]
   else if domains = 1 || n < 2 * domains then begin
     let ws = workspace () in
+    Obs.Metrics.add m.tasks n;
     Array.map (f ws) items
   end
   else begin
+    let tracer = Obs.Hooks.tracer () in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
-    let worker () =
+    let worker ~helper () =
+      Obs.Trace.span tracer ~cat:"parallel" "parallel.worker" @@ fun () ->
+      let started = if m.timed then Obs.Clock.wall_seconds () else 0.0 in
+      let busy = ref 0.0 in
+      let executed = ref 0 in
       let ws = workspace () in
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Atomic.get failure <> None then continue := false
-        else
-          match f ws items.(i) with
+        else begin
+          let item_t0 = if m.timed then Obs.Clock.wall_seconds () else 0.0 in
+          (match f ws items.(i) with
           | r -> results.(i) <- Some r
-          | exception e -> record_failure failure i e (Printexc.get_raw_backtrace ())
-      done
+          | exception e ->
+            record_failure failure i e (Printexc.get_raw_backtrace ()));
+          if m.timed then busy := !busy +. (Obs.Clock.wall_seconds () -. item_t0);
+          incr executed
+        end
+      done;
+      Obs.Metrics.add m.tasks !executed;
+      if helper then Obs.Metrics.add m.stolen !executed;
+      if m.timed then begin
+        let elapsed = Obs.Clock.wall_seconds () -. started in
+        Obs.Metrics.observe m.busy !busy;
+        Obs.Metrics.observe m.idle (Float.max 0.0 (elapsed -. !busy))
+      end
     in
-    let helpers = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    let helpers =
+      List.init (domains - 1) (fun _ -> Domain.spawn (worker ~helper:true))
+    in
+    Obs.Metrics.add m.spawned (domains - 1);
     (* The calling domain participates instead of blocking in join; the
        [protect] guarantees the joins even if this worker's own [workspace]
        call raises. *)
-    Fun.protect ~finally:(fun () -> List.iter Domain.join helpers) worker;
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join helpers)
+      (worker ~helper:false);
     match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->

@@ -141,6 +141,13 @@ let stats_of_entries ?(resumed = 0) entries =
 let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?kernel ?reference
     engine sites =
   if chunk_size < 1 then invalid_arg "Supervisor.sweep: chunk_size must be >= 1";
+  let m = Obs.Hooks.metrics () in
+  let tracer = Obs.Hooks.tracer () in
+  let c_kernel_ok = Obs.Metrics.counter m "supervisor.kernel_ok" in
+  let c_degraded = Obs.Metrics.counter m "supervisor.degraded_to_reference" in
+  let c_quarantined = Obs.Metrics.counter m "supervisor.quarantined" in
+  let c_chunks = Obs.Metrics.counter m "supervisor.chunks" in
+  Obs.Trace.span tracer ~cat:"supervisor" "supervisor.sweep" @@ fun () ->
   let arr = Array.of_list sites in
   let n = Array.length arr in
   let acc = ref [] in
@@ -149,12 +156,24 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?kernel ?reference
     let len = min chunk_size (n - !pos) in
     let chunk = Array.sub arr !pos len in
     let entries =
+      Obs.Trace.span tracer ~cat:"supervisor" "supervisor.chunk" @@ fun () ->
       Parallel.map_array ?domains
         ~workspace:(fun () -> Epp_engine.Workspace.create engine)
         ~f:(fun ws site -> (site, analyze_entry ?tolerance ?kernel ?reference ws site))
         chunk
       |> Array.to_list
     in
+    (* Ladder-step accounting happens here, on the calling domain, instead
+       of inside the per-site wrapper: one scan per chunk versus a registry
+       lookup per site. *)
+    Obs.Metrics.incr c_chunks;
+    List.iter
+      (fun (_, entry) ->
+        match entry with
+        | Analyzed { step = Diag.Kernel; _ } -> Obs.Metrics.incr c_kernel_ok
+        | Analyzed { step = Diag.Reference; _ } -> Obs.Metrics.incr c_degraded
+        | Quarantined _ -> Obs.Metrics.incr c_quarantined)
+      entries;
     acc := entries :: !acc;
     pos := !pos + len;
     match on_chunk with

@@ -1,0 +1,11 @@
+(* The two clocks of the telemetry layer, named for what they measure.
+
+   Every duration the observability layer publishes is wall-clock time:
+   [Sys.time] sums processor time across OCaml 5 domains, so under the
+   parallel sweep it reports up to [domains]x the elapsed time — a silently
+   corrupt number for any throughput or ETA computation.  CPU seconds remain
+   available for the paper-style single-threaded run-time columns, where
+   processor time of a single domain is exactly what Table 2 reports. *)
+
+let wall_seconds () = Unix.gettimeofday ()
+let cpu_seconds () = Sys.time ()

@@ -1,0 +1,9 @@
+(** Wall-clock and CPU-time sources for the telemetry layer. *)
+
+val wall_seconds : unit -> float
+(** Elapsed real time ([Unix.gettimeofday]).  The right clock for every
+    parallel or I/O-bearing measurement: CPU time sums across domains. *)
+
+val cpu_seconds : unit -> float
+(** Processor time of this process ([Sys.time]) — the paper-style
+    single-threaded run-time metric.  Do not use for parallel sections. *)

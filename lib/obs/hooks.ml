@@ -1,0 +1,25 @@
+(* The process-wide telemetry sinks.
+
+   Instrumented modules read the current sinks at a natural registration
+   point (workspace creation, the top of a sweep or a save) and hold the
+   handles; the CLIs install live sinks before building the pipeline.  The
+   defaults are the no-op sinks, so an uninstrumented process pays only the
+   pattern match inside each instrument operation.
+
+   The cells are [Atomic] for publication safety: a sink installed by the
+   main domain before spawning workers is visible to them. *)
+
+let metrics_cell = Atomic.make Metrics.null
+let tracer_cell = Atomic.make Trace.null
+
+let metrics () = Atomic.get metrics_cell
+let tracer () = Atomic.get tracer_cell
+
+let set_metrics m = Atomic.set metrics_cell m
+let set_tracer t = Atomic.set tracer_cell t
+
+let reset () =
+  Atomic.set metrics_cell Metrics.null;
+  Atomic.set tracer_cell Trace.null
+
+let enabled () = not (Metrics.is_null (metrics ()) && Trace.is_null (tracer ()))

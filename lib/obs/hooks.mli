@@ -1,0 +1,21 @@
+(** Process-wide telemetry sinks, no-op by default.
+
+    Instrumented code obtains the current sinks here at registration points
+    (workspace creation, sweep entry) — install live sinks {e before}
+    constructing the pipeline.  Setting a sink from the main domain before
+    spawning workers publishes it to them ([Atomic] cells). *)
+
+val metrics : unit -> Metrics.t
+(** The current metrics registry ({!Metrics.null} by default). *)
+
+val tracer : unit -> Trace.t
+(** The current span collector ({!Trace.null} by default). *)
+
+val set_metrics : Metrics.t -> unit
+val set_tracer : Trace.t -> unit
+
+val reset : unit -> unit
+(** Back to the no-op sinks (tests). *)
+
+val enabled : unit -> bool
+(** Whether any live sink is installed. *)

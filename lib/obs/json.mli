@@ -1,0 +1,37 @@
+(** A minimal JSON tree — emitter, strict parser, and accessors.
+
+    Used by the telemetry exporters ({!Metrics.to_json}, {!Trace.to_json}),
+    the bench artifacts, and the [@obs-smoke] validator that re-parses what
+    the CLI wrote.  Numbers are floats; NaN/infinity emit as [null] (JSON
+    cannot represent them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [Number (float_of_int n)]. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents two spaces per level. *)
+
+val to_file : ?pretty:bool -> string -> t -> unit
+(** [to_file path v] writes [v] plus a trailing newline.
+    @raise Sys_error on I/O failure. *)
+
+val parse : string -> (t, string) result
+(** Strict RFC-8259 subset: rejects trailing garbage, raw control characters
+    in strings, unpaired surrogates.  Never raises. *)
+
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** First binding of the key in an object; [None] on non-objects. *)
+
+val to_list : t -> t list option
+val to_number : t -> float option
+val to_string_value : t -> string option

@@ -1,0 +1,296 @@
+(* Domain-safe metrics registry.
+
+   Design constraints, in order:
+
+   1. Zero cost when telemetry is off.  The [Null] registry hands out [None]
+      handles, so every hot-path operation is one pattern match on an
+      immutable option — no atomic traffic, no branches on shared state.
+   2. Domain-safe when on.  Counters and histogram buckets are [int
+      Atomic.t]; the float-valued cells (gauges, histogram sums) are boxed
+      [float Atomic.t] updated by CAS retry — physical equality on the boxed
+      read makes the CAS exact.
+   3. Instrument registration is rare (per workspace / per call into a
+      subsystem), so the name tables sit behind one mutex; operations on an
+      obtained handle never touch the registry again.
+
+   Snapshots are plain immutable data, read instrument-by-instrument with
+   atomic loads: a snapshot taken while domains are writing is per-cell
+   consistent but not a global cut — fine for progress and reporting, and
+   the final snapshot (after joins) is exact.  Merge is associative and
+   commutative (counters and histograms add, gauges take the max), so
+   per-domain snapshots can fold in any order. *)
+
+type hist = {
+  bounds : float array;  (* strictly increasing upper bucket bounds *)
+  buckets : int Atomic.t array;  (* length bounds + 1; last is +inf *)
+  hcount : int Atomic.t;
+  hsum : float Atomic.t;
+}
+
+type live = {
+  mutex : Mutex.t;
+  counters : (string, int Atomic.t) Hashtbl.t;
+  gauges : (string, float Atomic.t) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
+}
+
+type t =
+  | Null
+  | Live of live
+
+let null = Null
+
+let create () =
+  Live
+    {
+      mutex = Mutex.create ();
+      counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 8;
+      histograms = Hashtbl.create 16;
+    }
+
+let is_null = function
+  | Null -> true
+  | Live _ -> false
+
+let with_registry l f =
+  Mutex.lock l.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock l.mutex) f
+
+(* --- instruments --------------------------------------------------------- *)
+
+type counter = int Atomic.t option
+type gauge = float Atomic.t option
+type histogram = hist option
+
+let counter t name =
+  match t with
+  | Null -> None
+  | Live l ->
+    Some
+      (with_registry l (fun () ->
+           match Hashtbl.find_opt l.counters name with
+           | Some cell -> cell
+           | None ->
+             let cell = Atomic.make 0 in
+             Hashtbl.replace l.counters name cell;
+             cell))
+
+let incr = function
+  | None -> ()
+  | Some cell -> Atomic.incr cell
+
+let add c n =
+  match c with
+  | None -> ()
+  | Some cell -> ignore (Atomic.fetch_and_add cell n)
+
+let gauge t name =
+  match t with
+  | Null -> None
+  | Live l ->
+    Some
+      (with_registry l (fun () ->
+           match Hashtbl.find_opt l.gauges name with
+           | Some cell -> cell
+           | None ->
+             let cell = Atomic.make 0.0 in
+             Hashtbl.replace l.gauges name cell;
+             cell))
+
+let set_gauge g x =
+  match g with
+  | None -> ()
+  | Some cell -> Atomic.set cell x
+
+let rec cas_add cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then cas_add cell x
+
+(* Durations below 1 µs round to the first bucket; 60 s+ lands in +inf. *)
+let time_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 60.0 |]
+
+(* Powers of four: cone sizes span 1 .. circuit, log-uniform-ish. *)
+let size_buckets = [| 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384.; 65536. |]
+
+let validate_bounds name bounds =
+  if Array.length bounds = 0 then
+    invalid_arg (Printf.sprintf "Metrics.histogram %s: empty bucket bounds" name);
+  for i = 1 to Array.length bounds - 1 do
+    if not (bounds.(i) > bounds.(i - 1)) then
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram %s: bounds not strictly increasing"
+           name)
+  done
+
+let histogram ?(buckets = time_buckets) t name =
+  match t with
+  | Null -> None
+  | Live l ->
+    validate_bounds name buckets;
+    Some
+      (with_registry l (fun () ->
+           match Hashtbl.find_opt l.histograms name with
+           | Some h ->
+             if h.bounds <> buckets then
+               invalid_arg
+                 (Printf.sprintf
+                    "Metrics.histogram %s: registered with different buckets"
+                    name);
+             h
+           | None ->
+             let bounds = Array.copy buckets in
+             let h =
+               {
+                 bounds;
+                 buckets =
+                   Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+                 hcount = Atomic.make 0;
+                 hsum = Atomic.make 0.0;
+               }
+             in
+             Hashtbl.replace l.histograms name h;
+             h))
+
+let observe h x =
+  match h with
+  | None -> ()
+  | Some h ->
+    let k = Array.length h.bounds in
+    (* Linear scan: bucket arrays are ~10 entries, the branch predictor wins
+       over binary search at this size. *)
+    let i = ref 0 in
+    while !i < k && x > h.bounds.(!i) do
+      Stdlib.incr i
+    done;
+    Atomic.incr h.buckets.(!i);
+    Atomic.incr h.hcount;
+    cas_add h.hsum x
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type histogram_snapshot = {
+  bounds : float array;
+  counts : int array;  (** length [bounds] + 1; last bucket is +inf *)
+  count : int;
+  sum : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let empty = { counters = []; gauges = []; histograms = [] }
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot = function
+  | Null -> empty
+  | Live l ->
+    with_registry l (fun () ->
+        {
+          counters =
+            Hashtbl.fold (fun k cell acc -> (k, Atomic.get cell) :: acc)
+              l.counters []
+            |> List.sort by_name;
+          gauges =
+            Hashtbl.fold (fun k cell acc -> (k, Atomic.get cell) :: acc)
+              l.gauges []
+            |> List.sort by_name;
+          histograms =
+            Hashtbl.fold
+              (fun k (h : hist) acc ->
+                ( k,
+                  {
+                    bounds = Array.copy h.bounds;
+                    counts = Array.map Atomic.get h.buckets;
+                    count = Atomic.get h.hcount;
+                    sum = Atomic.get h.hsum;
+                  } )
+                :: acc)
+              l.histograms []
+            |> List.sort by_name;
+        })
+
+(* Merge two sorted assoc lists, combining values on equal keys. *)
+let rec merge_assoc combine a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+    let c = compare ka kb in
+    if c < 0 then (ka, va) :: merge_assoc combine ta b
+    else if c > 0 then (kb, vb) :: merge_assoc combine a tb
+    else (ka, combine ka va vb) :: merge_assoc combine ta tb
+
+let merge_hist name a b =
+  if a.bounds <> b.bounds then
+    invalid_arg
+      (Printf.sprintf "Metrics.merge: histogram %s has mismatched buckets" name);
+  {
+    bounds = a.bounds;
+    counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+  }
+
+let merge a b =
+  {
+    counters = merge_assoc (fun _ x y -> x + y) a.counters b.counters;
+    gauges = merge_assoc (fun _ x y -> Float.max x y) a.gauges b.gauges;
+    histograms = merge_assoc merge_hist a.histograms b.histograms;
+  }
+
+let counter_value s name =
+  Option.value ~default:0 (List.assoc_opt name s.counters)
+
+let gauge_value s name = List.assoc_opt name s.gauges
+let histogram_value s name = List.assoc_opt name s.histograms
+
+(* --- export -------------------------------------------------------------- *)
+
+let histogram_to_json h =
+  let bucket_fields =
+    List.init
+      (Array.length h.counts)
+      (fun i ->
+        let le =
+          if i < Array.length h.bounds then Json.Number h.bounds.(i)
+          else Json.String "+inf"
+        in
+        Json.Obj [ ("le", le); ("count", Json.int h.counts.(i)) ])
+  in
+  Json.Obj
+    [
+      ("count", Json.int h.count);
+      ("sum", Json.Number h.sum);
+      ( "mean",
+        if h.count = 0 then Json.Null
+        else Json.Number (h.sum /. float_of_int h.count) );
+      ("buckets", Json.List bucket_fields);
+    ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Number v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, histogram_to_json h)) s.histograms)
+      );
+    ]
+
+let pp ppf s =
+  let open Format in
+  fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> fprintf ppf "%s %d@," k v) s.counters;
+  List.iter (fun (k, v) -> fprintf ppf "%s %g@," k v) s.gauges;
+  List.iter
+    (fun (k, h) ->
+      fprintf ppf "%s count=%d sum=%g" k h.count h.sum;
+      if h.count > 0 then fprintf ppf " mean=%g" (h.sum /. float_of_int h.count);
+      fprintf ppf "@,")
+    s.histograms;
+  fprintf ppf "@]"

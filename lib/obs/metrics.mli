@@ -1,0 +1,90 @@
+(** Domain-safe metrics registry: atomic counters, gauges, and fixed-bucket
+    histograms, with immutable snapshots, associative merge, and JSON/text
+    export.
+
+    The {!null} registry hands out no-op instrument handles, so instrumented
+    hot paths cost one pattern match when telemetry is off.  A {!create}d
+    registry is safe to write from any number of domains: counters and
+    bucket counts are [Atomic] integers, float cells (gauges, histogram
+    sums) update by CAS retry.  Registration (obtaining a handle by name)
+    takes the registry mutex; operations on the handle never do. *)
+
+type t
+(** A registry — {!null} or live. *)
+
+val null : t
+(** The default no-op sink: every instrument it returns ignores updates and
+    {!snapshot} is empty. *)
+
+val create : unit -> t
+val is_null : t -> bool
+
+(** {1 Instruments}
+
+    Registration is idempotent by name: asking twice returns the same
+    underlying cell. *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+
+type histogram
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit +inf bucket
+    is appended.  Defaults to {!time_buckets}.
+    @raise Invalid_argument on empty/unsorted bounds, or if [name] is
+    already registered with different bounds. *)
+
+val observe : histogram -> float -> unit
+
+val time_buckets : float array
+(** Exponential seconds buckets, 1 µs .. 60 s. *)
+
+val size_buckets : float array
+(** Powers of four, 1 .. 65536 — cone sizes, batch sizes. *)
+
+(** {1 Snapshots} *)
+
+type histogram_snapshot = {
+  bounds : float array;
+  counts : int array;  (** length [bounds] + 1; the last bucket is +inf *)
+  count : int;
+  sum : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+val empty : snapshot
+
+val snapshot : t -> snapshot
+(** Safe to take while other domains write: each cell is read atomically,
+    but the snapshot is not a global cut across instruments.  After domains
+    are joined it is exact. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Associative and commutative: counters and histograms add, gauges take
+    the max.  Union over instrument names.
+    @raise Invalid_argument if a histogram appears in both snapshots with
+    different bucket bounds. *)
+
+val counter_value : snapshot -> string -> int
+(** 0 when absent. *)
+
+val gauge_value : snapshot -> string -> float option
+val histogram_value : snapshot -> string -> histogram_snapshot option
+
+val to_json : snapshot -> Json.t
+val pp : Format.formatter -> snapshot -> unit
+(** One instrument per line: [name value] / [name count=… sum=… mean=…]. *)

@@ -1,0 +1,81 @@
+(* A single-line progress meter for long sweeps: done/total, rate, ETA.
+
+   Rendering is rate-limited (default 5 Hz) and rewrites one line with \r;
+   [finish] prints the final state and a newline.  The rate is computed over
+   the whole run (wall clock), which converges to the true throughput and
+   keeps the ETA stable against chunk-size jitter. *)
+
+type t = {
+  out : out_channel;
+  label : string;
+  total : int;
+  min_interval : float;
+  started : float;
+  mutable last_print : float;
+  mutable last_width : int;
+  mutable finished : bool;
+}
+
+let create ?(out = stderr) ?(min_interval = 0.2) ~label ~total () =
+  if total < 0 then invalid_arg "Progress.create: total must be >= 0";
+  {
+    out;
+    label;
+    total;
+    min_interval;
+    started = Clock.wall_seconds ();
+    last_print = 0.0;
+    last_width = 0;
+    finished = false;
+  }
+
+let format_eta seconds =
+  if Float.is_nan seconds || seconds = Float.infinity then "?"
+  else if seconds < 60.0 then Printf.sprintf "%.0fs" seconds
+  else if seconds < 3600.0 then
+    Printf.sprintf "%dm%02ds"
+      (int_of_float seconds / 60)
+      (int_of_float seconds mod 60)
+  else
+    Printf.sprintf "%dh%02dm"
+      (int_of_float seconds / 3600)
+      (int_of_float seconds mod 3600 / 60)
+
+let render t done_count now =
+  let done_count = min done_count t.total in
+  let elapsed = Float.max 1e-9 (now -. t.started) in
+  let rate = float_of_int done_count /. elapsed in
+  let percent =
+    if t.total = 0 then 100.0
+    else 100.0 *. float_of_int done_count /. float_of_int t.total
+  in
+  let eta =
+    if done_count >= t.total then "0s"
+    else if done_count = 0 then "?"
+    else format_eta (float_of_int (t.total - done_count) /. rate)
+  in
+  Printf.sprintf "%s: %d/%d (%.1f%%) | %.0f sites/s | ETA %s" t.label done_count
+    t.total percent rate eta
+
+let print_line t line =
+  (* Pad with spaces so a shrinking line fully overwrites the previous one. *)
+  let pad = max 0 (t.last_width - String.length line) in
+  Printf.fprintf t.out "\r%s%s%!" line (String.make pad ' ');
+  t.last_width <- String.length line
+
+let report t done_count =
+  if not t.finished then begin
+    let now = Clock.wall_seconds () in
+    if done_count >= t.total || now -. t.last_print >= t.min_interval then begin
+      t.last_print <- now;
+      print_line t (render t done_count now)
+    end
+  end
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    let now = Clock.wall_seconds () in
+    print_line t (render t t.total now);
+    Printf.fprintf t.out " (%.1fs)\n%!" (now -. t.started)
+  end

@@ -1,0 +1,18 @@
+(** Single-line progress meter: done/total, overall rate, ETA.
+
+    Writes [\r]-rewritten lines to [out] (default [stderr]), rate-limited to
+    [min_interval] seconds (default 0.2).  Not domain-safe by itself — call
+    {!report} from one domain (the sweep's chunk callback already runs on
+    the calling domain). *)
+
+type t
+
+val create :
+  ?out:out_channel -> ?min_interval:float -> label:string -> total:int -> unit -> t
+(** @raise Invalid_argument if [total < 0]. *)
+
+val report : t -> int -> unit
+(** [report t done_count] — renders at most every [min_interval] seconds. *)
+
+val finish : t -> unit
+(** Render the final state, elapsed time, and a newline.  Idempotent. *)

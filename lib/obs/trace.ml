@@ -1,0 +1,128 @@
+(* Span tracer emitting Chrome trace-event JSON.
+
+   The output (--trace FILE on the CLIs) loads directly into
+   chrome://tracing or https://ui.perfetto.dev: a {"traceEvents": [...]}
+   object of B/E duration events plus i instants, with one track (tid) per
+   OCaml domain — the work-stealing sweep shows up as parallel lanes.
+
+   Timestamps are wall-clock microseconds relative to the collector's
+   creation ([Clock.wall_seconds]; CPU time would compress every parallel
+   lane onto one axis).  Recording takes one mutex around a list cons: spans
+   mark coarse phases (circuit creation, sp computation, sweep chunks,
+   worker lifetimes, checkpoint writes), not per-site events, so contention
+   is negligible next to the work inside any span.
+
+   The [Null] collector makes every operation a single pattern match — the
+   default when --trace is absent. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char;  (* 'B' begin, 'E' end, 'i' instant, 'M' metadata *)
+  ts : float;  (* microseconds since collector creation *)
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type live = {
+  mutex : Mutex.t;
+  t0 : float;
+  mutable events : event list;  (* newest first *)
+  mutable named_tids : int list;
+}
+
+type t =
+  | Null
+  | Live of live
+
+let null = Null
+
+let create () =
+  Live
+    {
+      mutex = Mutex.create ();
+      t0 = Clock.wall_seconds ();
+      events = [];
+      named_tids = [];
+    }
+
+let is_null = function
+  | Null -> true
+  | Live _ -> false
+
+let locked l f =
+  Mutex.lock l.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock l.mutex) f
+
+let record l ~name ~cat ~ph ~args =
+  let ts = (Clock.wall_seconds () -. l.t0) *. 1e6 in
+  let tid = (Domain.self () :> int) in
+  locked l (fun () ->
+      if not (List.mem tid l.named_tids) then begin
+        l.named_tids <- tid :: l.named_tids;
+        l.events <-
+          {
+            name = "thread_name";
+            cat = "";
+            ph = 'M';
+            ts = 0.0;
+            tid;
+            args = [ ("name", Json.String (Printf.sprintf "domain-%d" tid)) ];
+          }
+          :: l.events
+      end;
+      l.events <- { name; cat; ph; ts; tid; args } :: l.events)
+
+let begin_span t ?(cat = "serprop") name =
+  match t with
+  | Null -> ()
+  | Live l -> record l ~name ~cat ~ph:'B' ~args:[]
+
+let end_span t ?(cat = "serprop") name =
+  match t with
+  | Null -> ()
+  | Live l -> record l ~name ~cat ~ph:'E' ~args:[]
+
+let instant t ?(cat = "serprop") ?(args = []) name =
+  match t with
+  | Null -> ()
+  | Live l -> record l ~name ~cat ~ph:'i' ~args
+
+(* B/E stay balanced even when [f] raises. *)
+let span t ?cat name f =
+  match t with
+  | Null -> f ()
+  | Live _ ->
+    begin_span t ?cat name;
+    Fun.protect ~finally:(fun () -> end_span t ?cat name) f
+
+let events = function
+  | Null -> []
+  | Live l -> locked l (fun () -> List.rev l.events)
+
+let event_to_json e =
+  let base =
+    [
+      ("name", Json.String e.name);
+      ("ph", Json.String (String.make 1 e.ph));
+      ("ts", Json.Number e.ts);
+      ("pid", Json.int 0);
+      ("tid", Json.int e.tid);
+    ]
+  in
+  let base = if e.cat = "" then base else base @ [ ("cat", Json.String e.cat) ] in
+  let base =
+    if e.args = [] then base else base @ [ ("args", Json.Obj e.args) ]
+  in
+  (* Instants need a scope or some viewers drop them; "t" = thread. *)
+  let base = if e.ph = 'i' then base @ [ ("s", Json.String "t") ] else base in
+  Json.Obj base
+
+let to_json t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json (events t)));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_file t path = Json.to_file ~pretty:true path (to_json t)

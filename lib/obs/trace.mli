@@ -1,0 +1,42 @@
+(** Span tracer emitting Chrome trace-event JSON.
+
+    A live collector records nestable B/E duration spans and instants, one
+    track per OCaml domain, timestamped in wall-clock microseconds; the
+    file written by {!to_file} loads into [chrome://tracing] or Perfetto.
+    The {!null} collector makes every operation a no-op — the default sink.
+
+    Spans are meant for coarse phases (pipeline stages, sweep chunks,
+    worker lifetimes), not per-site events: recording takes a mutex. *)
+
+type t
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant, ['M'] metadata *)
+  ts : float;  (** microseconds since collector creation *)
+  tid : int;  (** OCaml domain id *)
+  args : (string * Json.t) list;
+}
+
+val null : t
+val create : unit -> t
+val is_null : t -> bool
+
+val begin_span : t -> ?cat:string -> string -> unit
+val end_span : t -> ?cat:string -> string -> unit
+
+val span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span t name f] brackets [f] in a B/E pair; the E event is emitted even
+    when [f] raises. *)
+
+val instant : t -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+
+val events : t -> event list
+(** Chronological.  Includes the [M] thread-name metadata events. *)
+
+val to_json : t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val to_file : t -> string -> unit
+(** @raise Sys_error on I/O failure. *)

@@ -108,6 +108,12 @@ let write_entry buf (site, entry) =
     Buffer.add_char buf '\n'
 
 let save path t =
+  let m = Obs.Hooks.metrics () in
+  Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"checkpoint" "checkpoint.save"
+  @@ fun () ->
+  let t0 =
+    if Obs.Metrics.is_null m then 0.0 else Obs.Clock.wall_seconds ()
+  in
   let buf = Buffer.create (4096 + (64 * List.length t.entries)) in
   Buffer.add_string buf "serprop-checkpoint v1\n";
   Printf.bprintf buf "fingerprint %s\n" t.fingerprint;
@@ -120,7 +126,14 @@ let save path t =
     (fun () ->
       Buffer.output_buffer oc buf;
       flush oc);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  Obs.Metrics.incr (Obs.Metrics.counter m "checkpoint.snapshots");
+  Obs.Metrics.add (Obs.Metrics.counter m "checkpoint.bytes_written")
+    (Buffer.length buf);
+  if not (Obs.Metrics.is_null m) then
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram m "checkpoint.save_seconds")
+      (Obs.Clock.wall_seconds () -. t0)
 
 (* --- reading ------------------------------------------------------------- *)
 
@@ -205,6 +218,8 @@ let read_entry_line line =
   | s -> failwith (Printf.sprintf "unknown entry tag %S" s)
 
 let load path =
+  Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"checkpoint" "checkpoint.load"
+  @@ fun () ->
   let corrupt message = Error (Corrupt { path; message }) in
   match open_in path with
   | exception Sys_error msg -> corrupt msg
@@ -244,7 +259,7 @@ let load path =
 let by_site (a, _) (b, _) = compare (a : int) b
 
 let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
-    ?(resume = false) ?kernel ?reference engine =
+    ?(resume = false) ?on_progress ?kernel ?reference engine =
   let circuit = Epp.Epp_engine.circuit engine in
   let n = Circuit.node_count circuit in
   let fp = fingerprint engine in
@@ -280,9 +295,15 @@ let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
             entries = List.sort by_site !completed;
           }
     in
-    let on_chunk ~done_count:_ ~total:_ entries =
+    (* Progress reports overall coverage: replayed entries count as done
+       even though the sweep only iterates the remainder. *)
+    let resumed_count = List.length preloaded in
+    let on_chunk ~done_count ~total:_ entries =
       completed := entries @ !completed;
-      snapshot ()
+      snapshot ();
+      match on_progress with
+      | Some f -> f ~done_count:(resumed_count + done_count) ~total:n
+      | None -> ()
     in
     ignore
       (Epp.Supervisor.sweep ?domains ?tolerance ?chunk_size ~on_chunk ?kernel
@@ -292,7 +313,5 @@ let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
     Ok
       {
         Epp.Supervisor.entries;
-        stats =
-          Epp.Supervisor.stats_of_entries ~resumed:(List.length preloaded)
-            entries;
+        stats = Epp.Supervisor.stats_of_entries ~resumed:resumed_count entries;
       }

@@ -39,6 +39,7 @@ val supervised_sweep :
   ?chunk_size:int ->
   ?checkpoint:string ->
   ?resume:bool ->
+  ?on_progress:(done_count:int -> total:int -> unit) ->
   ?kernel:(Epp.Epp_engine.Workspace.ws -> int -> Epp.Epp_engine.site_result) ->
   ?reference:(Epp.Epp_engine.t -> int -> Epp.Epp_engine.site_result) ->
   Epp.Epp_engine.t ->
@@ -54,5 +55,7 @@ val supervised_sweep :
       an [Error], never silently ignored.
 
     [kernel] / [reference] pass through to {!Epp.Supervisor.sweep}'s
-    fault-injection seam.  Entries come back sorted by site id — input
-    order for a whole-circuit sweep. *)
+    fault-injection seam.  [on_progress] fires after every chunk on the
+    calling domain with {e overall} coverage — replayed entries count as
+    done (the progress-meter hook).  Entries come back sorted by site id —
+    input order for a whole-circuit sweep. *)

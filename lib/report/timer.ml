@@ -1,17 +1,26 @@
-(* Wall-clock timing for the experiment harness.
+(* Timing for the experiment harness.
 
-   Unix.gettimeofday is unavailable without the unix library in every
-   context; Sys.time measures processor time which is what the paper's
-   run-time columns report on a single-threaded tool.  We use a monotonic
-   source when available through Sys.time's CPU seconds — adequate because
-   every timed section here is pure computation. *)
+   [now_seconds] (and therefore [time] / [time_ms] / [time_stable]) is
+   wall-clock time: Sys.time measures *processor* time, which sums across
+   OCaml 5 domains — under the parallel sweep it reports up to [domains]x
+   the elapsed time, silently corrupting every throughput, speedup, and ETA
+   number derived from it.  The paper's run-time columns (SysT, SimT, SPT)
+   are single-threaded tool times, for which processor time is the honest
+   metric; those call [cpu_seconds] / [time_cpu] explicitly. *)
 
-let now_seconds () = Sys.time ()
+let now_seconds () = Obs.Clock.wall_seconds ()
+let cpu_seconds () = Obs.Clock.cpu_seconds ()
 
 let time f =
   let t0 = now_seconds () in
   let result = f () in
   let t1 = now_seconds () in
+  (result, t1 -. t0)
+
+let time_cpu f =
+  let t0 = cpu_seconds () in
+  let result = f () in
+  let t1 = cpu_seconds () in
   (result, t1 -. t0)
 
 let time_ms f =

@@ -1,13 +1,27 @@
-(** CPU-time measurement for the experiment harness (the paper's run-time
-    columns are single-threaded tool times). *)
+(** Timing for the experiment harness.
+
+    Elapsed measurements are {e wall-clock} ([Unix.gettimeofday] via
+    {!Obs.Clock}): processor time sums across OCaml 5 domains, so it is the
+    wrong clock for anything that may run parallel sections.  The
+    paper-style single-threaded run-time columns use {!cpu_seconds} /
+    {!time_cpu} explicitly. *)
 
 val now_seconds : unit -> float
+(** Wall-clock seconds (monotonic enough for elapsed-time deltas on a
+    machine that is not stepping its clock mid-benchmark). *)
+
+val cpu_seconds : unit -> float
+(** Processor time of this process ([Sys.time]) — the Table-2 SysT/SimT
+    metric.  Sums across domains: single-threaded sections only. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** Result and elapsed CPU seconds. *)
+(** Result and elapsed wall-clock seconds. *)
+
+val time_cpu : (unit -> 'a) -> 'a * float
+(** Result and elapsed CPU seconds (paper-style, single-threaded). *)
 
 val time_ms : (unit -> 'a) -> 'a * float
 
 val time_stable : ?min_seconds:float -> ?max_runs:int -> (unit -> 'a) -> 'a * float
-(** Average over repeated runs until [min_seconds] of total time has
+(** Average over repeated runs until [min_seconds] of total wall time has
     accumulated — stabilizes sub-millisecond sections. *)

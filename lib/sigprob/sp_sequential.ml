@@ -25,6 +25,10 @@ let compute ?(spec = Sp.uniform) ?(tolerance = default_tolerance)
   if tolerance <= 0.0 then invalid_arg "Sp_sequential.compute: tolerance must be positive";
   if max_iterations <= 0 then
     invalid_arg "Sp_sequential.compute: max_iterations must be positive";
+  Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"sp" "sp.sequential" @@ fun () ->
+  let m = Obs.Hooks.metrics () in
+  let c_iterations = Obs.Metrics.counter m "sp.fixpoint_iterations" in
+  let g_residual = Obs.Metrics.gauge m "sp.fixpoint_residual" in
   let ffs = Array.of_list (Circuit.ffs circuit) in
   let ff_sp = Hashtbl.create (Array.length ffs) in
   Array.iter (fun ff -> Hashtbl.replace ff_sp ff 0.5) ffs;
@@ -50,6 +54,8 @@ let compute ?(spec = Sp.uniform) ?(tolerance = default_tolerance)
         if d > !residual then residual := d;
         Hashtbl.replace ff_sp ff fresh)
       ffs;
+    Obs.Metrics.incr c_iterations;
+    Obs.Metrics.set_gauge g_residual !residual;
     if !residual <= tolerance then { result; iterations = i; converged = true; residual = !residual }
     else if i >= max_iterations then
       { result; iterations = i; converged = false; residual = !residual }

@@ -9,7 +9,11 @@
 open Netlist
 
 let compute ?(spec = Sp.uniform) circuit =
+  Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"sp" "sp.topological" @@ fun () ->
   let n = Circuit.node_count circuit in
+  Obs.Metrics.add
+    (Obs.Metrics.counter (Obs.Hooks.metrics ()) "sp.node_evaluations")
+    n;
   let values = Array.make n 0.0 in
   let order = Circuit.topological_order circuit in
   Array.iter

@@ -1,0 +1,303 @@
+(* Tests for the Obs telemetry layer: metrics registry semantics (merge
+   algebra, domain-safety), trace-event JSON shape, the hand-rolled JSON
+   round trip, and the Timer wall/CPU clock split. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- metrics: basics ----------------------------------------------------- *)
+
+let test_counter_gauge_histogram () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "c" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  let g = Obs.Metrics.gauge m "g" in
+  Obs.Metrics.set_gauge g 2.5;
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 10.0 |] m "h" in
+  Obs.Metrics.observe h 0.5;
+  Obs.Metrics.observe h 5.0;
+  Obs.Metrics.observe h 50.0;
+  let s = Obs.Metrics.snapshot m in
+  check_int "counter" 5 (Obs.Metrics.counter_value s "c");
+  check_int "absent counter is 0" 0 (Obs.Metrics.counter_value s "nope");
+  Alcotest.(check (option (float 0.0))) "gauge" (Some 2.5)
+    (Obs.Metrics.gauge_value s "g");
+  match Obs.Metrics.histogram_value s "h" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some h ->
+    check_int "observations" 3 h.Obs.Metrics.count;
+    Alcotest.(check (float 1e-9)) "sum" 55.5 h.Obs.Metrics.sum;
+    Alcotest.(check (array int)) "bucket counts" [| 1; 1; 1 |]
+      h.Obs.Metrics.counts
+
+let test_registration_idempotent () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr (Obs.Metrics.counter m "c");
+  Obs.Metrics.incr (Obs.Metrics.counter m "c");
+  check_int "same cell by name" 2
+    (Obs.Metrics.counter_value (Obs.Metrics.snapshot m) "c");
+  check "mismatched histogram bounds rejected"
+    (match Obs.Metrics.histogram ~buckets:[| 1.0 |] m "h" with
+    | _ -> (
+      match Obs.Metrics.histogram ~buckets:[| 2.0 |] m "h" with
+      | _ -> false
+      | exception Invalid_argument _ -> true))
+    true
+
+let test_null_registry () =
+  let m = Obs.Metrics.null in
+  check "is_null" (Obs.Metrics.is_null m) true;
+  Obs.Metrics.incr (Obs.Metrics.counter m "c");
+  Obs.Metrics.observe (Obs.Metrics.histogram m "h") 1.0;
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge m "g") 1.0;
+  check "null snapshot is empty"
+    (Obs.Metrics.snapshot m = Obs.Metrics.empty)
+    true
+
+(* --- metrics: merge algebra ---------------------------------------------- *)
+
+let snap build =
+  let m = Obs.Metrics.create () in
+  build m;
+  Obs.Metrics.snapshot m
+
+let test_merge_associative_commutative () =
+  let a =
+    snap (fun m ->
+        Obs.Metrics.add (Obs.Metrics.counter m "c") 1;
+        Obs.Metrics.set_gauge (Obs.Metrics.gauge m "g") 1.0;
+        Obs.Metrics.observe (Obs.Metrics.histogram ~buckets:[| 1.0 |] m "h") 0.5)
+  in
+  let b =
+    snap (fun m ->
+        Obs.Metrics.add (Obs.Metrics.counter m "c") 10;
+        Obs.Metrics.add (Obs.Metrics.counter m "only-b") 7;
+        Obs.Metrics.set_gauge (Obs.Metrics.gauge m "g") 3.0;
+        Obs.Metrics.observe (Obs.Metrics.histogram ~buckets:[| 1.0 |] m "h") 2.0)
+  in
+  let c =
+    snap (fun m ->
+        Obs.Metrics.add (Obs.Metrics.counter m "c") 100;
+        Obs.Metrics.set_gauge (Obs.Metrics.gauge m "g") 2.0)
+  in
+  let open Obs.Metrics in
+  check "associative" (merge (merge a b) c = merge a (merge b c)) true;
+  check "commutative" (merge a b = merge b a) true;
+  check "empty is identity" (merge a empty = a && merge empty a = a) true;
+  let abc = merge (merge a b) c in
+  check_int "counters add" 111 (counter_value abc "c");
+  check_int "union over names" 7 (counter_value abc "only-b");
+  Alcotest.(check (option (float 0.0))) "gauges take the max" (Some 3.0)
+    (gauge_value abc "g");
+  (match histogram_value abc "h" with
+  | Some h ->
+    check_int "histograms add counts" 2 h.count;
+    Alcotest.(check (array int)) "bucket-wise" [| 1; 1 |] h.counts
+  | None -> Alcotest.fail "merged histogram missing");
+  check "mismatched bounds rejected"
+    (let bad =
+       snap (fun m ->
+           Obs.Metrics.observe
+             (Obs.Metrics.histogram ~buckets:[| 9.0 |] m "h")
+             0.5)
+     in
+     match merge a bad with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+    true
+
+(* --- metrics: domain-safety ---------------------------------------------- *)
+
+let test_concurrent_writes_exact () =
+  let m = Obs.Metrics.create () in
+  let per_domain = 25_000 and domains = 4 in
+  let body () =
+    (* Register inside the domain: registration takes the mutex, updates
+       do not — both paths must be domain-safe. *)
+    let c = Obs.Metrics.counter m "c" in
+    let h = Obs.Metrics.histogram ~buckets:[| 0.5 |] m "h" in
+    for i = 1 to per_domain do
+      Obs.Metrics.incr c;
+      Obs.Metrics.observe h (if i land 1 = 0 then 0.25 else 0.75)
+    done
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn body) in
+  (* Snapshots under concurrent writes must not crash or tear a cell. *)
+  let mid = Obs.Metrics.snapshot m in
+  check "mid-flight snapshot is sane"
+    (Obs.Metrics.counter_value mid "c" <= domains * per_domain)
+    true;
+  List.iter Domain.join spawned;
+  let s = Obs.Metrics.snapshot m in
+  check_int "no lost counter updates" (domains * per_domain)
+    (Obs.Metrics.counter_value s "c");
+  (match Obs.Metrics.histogram_value s "h" with
+  | Some h ->
+    check_int "no lost observations" (domains * per_domain) h.Obs.Metrics.count;
+    check_int "bucket splits exactly"
+      (domains * per_domain / 2)
+      h.Obs.Metrics.counts.(0)
+  | None -> Alcotest.fail "histogram missing");
+  (* A snapshot is an immutable value: later writes don't reach into it. *)
+  Obs.Metrics.incr (Obs.Metrics.counter m "c");
+  check_int "snapshot isolated from later writes" (domains * per_domain)
+    (Obs.Metrics.counter_value s "c")
+
+(* --- trace --------------------------------------------------------------- *)
+
+let test_trace_round_trip () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.span t ~cat:"test" "outer" (fun () ->
+      Obs.Trace.span t ~cat:"test" "inner" (fun () -> ());
+      Obs.Trace.instant t "tick");
+  Domain.join
+    (Domain.spawn (fun () -> Obs.Trace.span t ~cat:"test" "worker" (fun () -> ())));
+  check "span result passes through"
+    (Obs.Trace.span t "r" (fun () -> 42) = 42)
+    true;
+  check "E emitted when f raises"
+    (match Obs.Trace.span t "raiser" (fun () -> failwith "boom") with
+    | () -> false
+    | exception Failure _ -> true)
+    true;
+  let json = Obs.Trace.to_json t in
+  (* The JSON round trip: what we emit, our strict parser accepts. *)
+  let reparsed =
+    match Obs.Json.parse (Obs.Json.to_string ~pretty:true json) with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail ("trace JSON does not reparse: " ^ msg)
+  in
+  let events =
+    match
+      Option.bind (Obs.Json.member "traceEvents" reparsed) Obs.Json.to_list
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents list"
+  in
+  let str name e = Option.bind (Obs.Json.member name e) Obs.Json.to_string_value in
+  let num name e = Option.bind (Obs.Json.member name e) Obs.Json.to_number in
+  let phs p = List.filter (fun e -> str "ph" e = Some p) events in
+  check_int "balanced B/E" (List.length (phs "B")) (List.length (phs "E"));
+  check_int "five spans" 5 (List.length (phs "B"));
+  check_int "one instant" 1 (List.length (phs "i"));
+  let tids = List.sort_uniq compare (List.filter_map (num "tid") events) in
+  check "per-domain tids" (List.length tids >= 2) true;
+  let named =
+    List.filter_map
+      (fun e ->
+        if str "ph" e = Some "M" && str "name" e = Some "thread_name" then
+          num "tid" e
+        else None)
+      (phs "M")
+  in
+  check "every tid has a thread_name record"
+    (List.for_all (fun tid -> List.mem tid named) tids)
+    true;
+  (* Chronological, non-negative microsecond timestamps. *)
+  let ts =
+    List.filter_map (num "ts")
+      (List.filter (fun e -> str "ph" e <> Some "M") events)
+  in
+  check "timestamps non-negative" (List.for_all (fun t -> t >= 0.0) ts) true;
+  check "timestamps chronological"
+    (List.for_all2 ( <= ) ts (List.tl ts @ [ infinity ]))
+    true
+
+let test_trace_null () =
+  let t = Obs.Trace.null in
+  check "is_null" (Obs.Trace.is_null t) true;
+  Obs.Trace.span t "x" (fun () -> ());
+  Obs.Trace.instant t "y";
+  check "null records nothing" (Obs.Trace.events t = []) true
+
+(* --- json ---------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("s", String "a \"b\" \\ \n \t \x01 é");
+          ("n", Number 0.1);
+          ("i", int (-42));
+          ("big", Number 1.7976931348623157e308);
+          ("null", Null);
+          ("b", Bool false);
+          ("l", List [ Number 1.0; String ""; Obj [] ]);
+        ])
+  in
+  (match Obs.Json.parse (Obs.Json.to_string v) with
+  | Ok v' -> check "compact round trip" (v = v') true
+  | Error m -> Alcotest.fail m);
+  (match Obs.Json.parse (Obs.Json.to_string ~pretty:true v) with
+  | Ok v' -> check "pretty round trip" (v = v') true
+  | Error m -> Alcotest.fail m);
+  check "nan emits as null"
+    (Obs.Json.to_string (Obs.Json.Number Float.nan) = "null")
+    true
+
+let test_json_parser_strict () =
+  let rejects s =
+    match Obs.Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  let accepts s =
+    match Obs.Json.parse s with Ok _ -> true | Error _ -> false
+  in
+  check "trailing garbage" (rejects "{} x") true;
+  check "trailing comma" (rejects "[1,]") true;
+  check "unterminated string" (rejects "\"abc") true;
+  check "raw control char" (rejects "\"a\nb\"") true;
+  check "lone surrogate" (rejects "\"\\ud800\"") true;
+  check "surrogate pair" (accepts "\"\\ud83d\\ude00\"") true;
+  check "unicode escape" (Obs.Json.parse "\"\\u00e9\"" = Ok (Obs.Json.String "é")) true;
+  check "scientific notation" (accepts "[1e3, -0.5E-2, 0]") true;
+  check "leading zero" (rejects "[01]") true
+
+(* --- timer --------------------------------------------------------------- *)
+
+let test_timer_wall_clock () =
+  let t0 = Report.Timer.now_seconds () in
+  Unix.sleepf 0.05;
+  let elapsed = Report.Timer.now_seconds () -. t0 in
+  check "elapsed >= 0 across a sleep" (elapsed >= 0.0) true;
+  check
+    (Printf.sprintf "wall clock sees the sleep (%.3fs)" elapsed)
+    (elapsed >= 0.04)
+    true;
+  let (), timed = Report.Timer.time (fun () -> Unix.sleepf 0.05) in
+  check "Timer.time measures wall time" (timed >= 0.04) true;
+  (* The regression this PR fixes: the old Sys.time-based Timer charged a
+     sleeping (or parallel) section ~0 CPU seconds and called it elapsed
+     time.  CPU time must now be asked for explicitly. *)
+  let (), cpu = Report.Timer.time_cpu (fun () -> Unix.sleepf 0.05) in
+  check "cpu clock does not see the sleep" (cpu < 0.04) true
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge/histogram" `Quick
+            test_counter_gauge_histogram;
+          Alcotest.test_case "registration idempotent" `Quick
+            test_registration_idempotent;
+          Alcotest.test_case "null registry" `Quick test_null_registry;
+          Alcotest.test_case "merge algebra" `Quick
+            test_merge_associative_commutative;
+          Alcotest.test_case "concurrent writes exact" `Quick
+            test_concurrent_writes_exact;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "round trip" `Quick test_trace_round_trip;
+          Alcotest.test_case "null tracer" `Quick test_trace_null;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "strict parser" `Quick test_json_parser_strict;
+        ] );
+      ( "timer",
+        [ Alcotest.test_case "wall vs cpu" `Quick test_timer_wall_clock ] );
+    ]
