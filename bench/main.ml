@@ -402,7 +402,106 @@ let measure_overhead ?(reps = 15) () =
     oh_live_overhead_percent = (live -. noop) /. noop *. 100.0;
   }
 
-let run_kernel_bench ?(json = false) ?(smoke = false) () =
+(* Shared-analysis reuse check (smoke only).  The module-level fixtures
+   above were analyzed under the null sink, so this builds a *fresh* s27 —
+   its memo cells are empty — and runs the full pipeline (engine creation
+   with the sequential-fixpoint SP default, the kernel sweep, COP
+   observability) under a live registry.  The counters then prove the
+   sharing contract: the topological sort ran exactly once for the whole
+   pipeline, every later consumer was a cache hit, and no engine fell back
+   to a direct [Circuit.topological_order] recomputation. *)
+let run_analysis_reuse_check () =
+  print_endline "== Shared-analysis reuse on a fresh embedded s27 (live counters) ==";
+  let live = Obs.Metrics.create () in
+  Obs.Hooks.set_metrics live;
+  Fun.protect ~finally:Obs.Hooks.reset (fun () ->
+      let c = Circuit_gen.Embedded.s27 () in
+      let engine = Epp.Epp_engine.create c in
+      ignore (Epp.Epp_engine.analyze_all engine);
+      ignore (Sigprob.Observability.compute c));
+  let s = Obs.Metrics.snapshot live in
+  let v name = Obs.Metrics.counter_value s name in
+  let failed = ref false in
+  let expect what ok =
+    if ok then Fmt.pr "ok: %s@." what
+    else begin
+      Fmt.epr "FAIL: %s@." what;
+      failed := true
+    end
+  in
+  expect
+    (Printf.sprintf "analysis.topo.computed = 1 (got %d)" (v "analysis.topo.computed"))
+    (v "analysis.topo.computed" = 1);
+  expect
+    (Printf.sprintf "analysis.context.computed = 1 (got %d)" (v "analysis.context.computed"))
+    (v "analysis.context.computed" = 1);
+  expect
+    (Printf.sprintf "analysis.cache.hit > 0 (got %d)" (v "analysis.cache.hit"))
+    (v "analysis.cache.hit" > 0);
+  expect
+    (Printf.sprintf "analysis.topo.direct_calls = 0 (got %d)"
+       (v "analysis.topo.direct_calls"))
+    (v "analysis.topo.direct_calls" = 0);
+  if !failed then exit 1;
+  print_newline ()
+
+(* Perf-trajectory baseline comparison (--baseline FILE).  Reads a
+   previously committed BENCH_epp_kernel.json and flags any fixture whose
+   regenerated speedup regressed more than 5% against the recorded one.
+   Labels that don't appear in the baseline (e.g. smoke fixtures against a
+   full-run baseline) are skipped with a note.  One re-measure before
+   failing: a single sweep's timing carries machine-load noise that a
+   5% guard would otherwise convert into flakes. *)
+let baseline_speedups path =
+  match Obs.Json.parse_file path with
+  | Error msg ->
+    Fmt.epr "FAIL: baseline %s does not parse: %s@." path msg;
+    exit 1
+  | Ok v ->
+    let fixtures =
+      Option.value ~default:[]
+        (Option.bind (Obs.Json.member "fixtures" v) Obs.Json.to_list)
+    in
+    List.filter_map
+      (fun f ->
+        match
+          ( Option.bind (Obs.Json.member "label" f) Obs.Json.to_string_value,
+            Option.bind (Obs.Json.member "speedup" f) Obs.Json.to_number )
+        with
+        | Some label, Some speedup -> Some (label, speedup)
+        | _ -> None)
+      fixtures
+
+let check_against_baseline ~fixtures ~rows path =
+  let recorded = baseline_speedups path in
+  let tolerance = 0.05 in
+  let failed = ref false in
+  List.iter2
+    (fun f r ->
+      match List.assoc_opt r.kr_label recorded with
+      | None -> Fmt.pr "baseline: %s not in %s — skipped@." r.kr_label path
+      | Some old ->
+        let regression r = (old -. r.kr_speedup) /. old in
+        let r =
+          if regression r > tolerance then begin
+            Fmt.pr "baseline: %s speedup %.1fx vs recorded %.1fx — re-measuring once@."
+              r.kr_label r.kr_speedup old;
+            run_kernel_fixture f
+          end
+          else r
+        in
+        if regression r > tolerance then begin
+          Fmt.epr "FAIL: %s: speedup %.1fx regressed >%.0f%% vs recorded %.1fx@."
+            r.kr_label r.kr_speedup (tolerance *. 100.0) old;
+          failed := true
+        end
+        else
+          Fmt.pr "baseline: %s speedup %.1fx vs recorded %.1fx — within %.0f%%@."
+            r.kr_label r.kr_speedup old (tolerance *. 100.0))
+    fixtures rows;
+  if !failed then exit 1
+
+let run_kernel_bench ?(json = false) ?(smoke = false) ?baseline () =
   print_endline "== EPP kernel vs reference engine (analyze_all, single domain) ==";
   let fixtures = kernel_fixtures ~smoke in
   let rows = List.map run_kernel_fixture fixtures in
@@ -434,6 +533,7 @@ let run_kernel_bench ?(json = false) ?(smoke = false) () =
     fixtures rows;
   if !failed then exit 1;
   print_endline "kernel matches reference within 1e-12 on every fixture: PASS";
+  Option.iter (check_against_baseline ~fixtures ~rows) baseline;
   let print_overhead oh =
     Fmt.pr
       "instrumentation overhead (%s, %d rounds): no-op sinks %.4f s vs %.4f s \
@@ -580,7 +680,10 @@ let run_ablation () =
      --table-only    Table-2 harness only
      --kernel-only   kernel-vs-reference sweep only (>= 5k-gate fixtures)
      --json          with the kernel bench: also write BENCH_epp_kernel.json
-     --smoke         fast CI check: kernel equivalence on a small profile
+     --baseline F    with the kernel bench: fail if any fixture's speedup
+                     regressed >5% against the recorded BENCH_epp_kernel.json
+     --smoke         fast CI check: kernel equivalence on a small profile plus
+                     the shared-analysis reuse counters on the embedded s27
                      (also available as `dune build @bench-smoke`) *)
 let () =
   let args = Array.to_list Sys.argv in
@@ -589,13 +692,22 @@ let () =
   let table_only = List.mem "--table-only" args in
   let kernel_only = List.mem "--kernel-only" args in
   let json = List.mem "--json" args in
-  if List.mem "--smoke" args then run_kernel_bench ~smoke:true ()
-  else if kernel_only then run_kernel_bench ~json ()
+  let rec baseline_of = function
+    | "--baseline" :: file :: _ -> Some file
+    | _ :: rest -> baseline_of rest
+    | [] -> None
+  in
+  let baseline = baseline_of args in
+  if List.mem "--smoke" args then begin
+    run_kernel_bench ~smoke:true ?baseline ();
+    run_analysis_reuse_check ()
+  end
+  else if kernel_only then run_kernel_bench ~json ?baseline ()
   else begin
     if not table_only then run_micro ();
     if not micro_only then begin
       run_fig1 ();
-      run_kernel_bench ~json ();
+      run_kernel_bench ~json ?baseline ();
       run_ablation ();
       run_table2 ~quick ()
     end

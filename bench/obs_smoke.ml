@@ -11,6 +11,11 @@
    - the metrics snapshot has nonzero epp.sites_analyzed and
      parallel.tasks_executed counters (the pipeline was actually observed,
      not just the registry created);
+   - the shared-analysis contract held for the whole run:
+     analysis.topo.computed is exactly 1 (one topological sort served every
+     engine), analysis.cache.hit is nonzero (the context was actually
+     reused), and analysis.topo.direct_calls is 0 (no engine bypassed the
+     context);
    - the trace is Perfetto-loadable in shape: a traceEvents list whose
      B/E events balance per name, with >= 3 distinct phase names, numeric
      pid/tid on every event, and a thread_name metadata record for every
@@ -60,6 +65,21 @@ let () =
   check
     (Printf.sprintf "parallel.tasks_executed > 0 (got %.0f)" tasks)
     (tasks > 0.0);
+
+  (* The shared-analysis acceptance criterion: the whole supervised run cost
+     one topological sort, everything after it hit the memoized context. *)
+  let topo = counter_value metrics "analysis.topo.computed" in
+  let hits = counter_value metrics "analysis.cache.hit" in
+  let direct = counter_value metrics "analysis.topo.direct_calls" in
+  check
+    (Printf.sprintf "analysis.topo.computed = 1 (got %.0f)" topo)
+    (topo = 1.0);
+  check
+    (Printf.sprintf "analysis.cache.hit > 0 (got %.0f)" hits)
+    (hits > 0.0);
+  check
+    (Printf.sprintf "analysis.topo.direct_calls = 0 (got %.0f)" direct)
+    (direct = 0.0);
 
   let events =
     match Option.bind (Obs.Json.member "traceEvents" trace) Obs.Json.to_list with

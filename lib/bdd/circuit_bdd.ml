@@ -65,7 +65,7 @@ let build ?(node_limit = default_node_limit) circuit =
       | Circuit.Gate { kind; fanins } ->
         node_fn.(v) <- gate_fn manager kind (Array.map (fun u -> node_fn.(u)) fanins));
       check_limit manager node_limit)
-    (Circuit.topological_order circuit);
+    (Analysis.order (Analysis.get circuit));
   { circuit; manager; var_of_node; node_fn }
 
 let circuit t = t.circuit
@@ -96,8 +96,10 @@ type site_exact = {
 
 let faulty_functions ?(node_limit = default_node_limit) t site =
   let c = t.circuit in
-  let graph = Circuit.graph c in
-  let cone = Reach.forward graph site in
+  let ctx = Analysis.get c in
+  (* Test generation calls this for site after site on one circuit; the
+     context's cone cache spares the repeated DFS. *)
+  let cone = Analysis.cone ctx site in
   let faulty = Array.copy t.node_fn in
   faulty.(site) <- Bdd.bnot t.manager t.node_fn.(site);
   Array.iter
@@ -109,7 +111,7 @@ let faulty_functions ?(node_limit = default_node_limit) t site =
           check_limit t.manager node_limit
         | Circuit.Input | Circuit.Ff _ -> ()
       end)
-    (Circuit.topological_order c);
+    (Analysis.order ctx);
   (cone, faulty)
 
 (* --- formal equivalence ------------------------------------------------------ *)
@@ -149,7 +151,7 @@ let check_equivalence ?(node_limit = default_node_limit) c1 c2 =
           | Circuit.Gate { kind; fanins } ->
             fn.(v) <- gate_fn manager kind (Array.map (fun u -> fn.(u)) fanins));
           check_limit manager node_limit)
-        (Circuit.topological_order c);
+        (Analysis.order (Analysis.get c));
       fn
     in
     let fn1 = build_functions c1 and fn2 = build_functions c2 in

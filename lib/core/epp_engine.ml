@@ -24,12 +24,11 @@ type mode =
 type t = {
   circuit : Circuit.t;
   sp : Sigprob.Sp.result;
-  order : int array;
-  pos : int array;  (* pos.(v) = index of v in order; lets the kernel sort a
-                       cone locally instead of filtering the whole order *)
-  gate_order : int array;  (* gates only, topological — the no-cone ablation *)
-  obs : (Circuit.observation * int) array;  (* (observation, net), POs then FFs *)
-  max_fanin : int;
+  ctx : Analysis.t;
+      (* the circuit's shared analysis context: topological order and its
+         inverse permutation (lets the kernel sort a cone locally instead of
+         filtering the whole order), gates-only order (the no-cone ablation),
+         observation arrays, max fanin *)
   mode : mode;
   restrict_to_cone : bool;
 }
@@ -87,31 +86,14 @@ let create ?(mode = Polarity) ?(restrict_to_cone = true) ?sp circuit =
       else Sigprob.Sp_topological.compute circuit
   in
   Obs.Trace.span tracer ~cat:"epp" "epp.levelize" @@ fun () ->
-  let order = Circuit.topological_order circuit in
-  let n = Circuit.node_count circuit in
-  let pos = Array.make n 0 in
-  Array.iteri (fun i v -> pos.(v) <- i) order;
-  let gate_order =
-    let acc = ref [] in
-    for i = Array.length order - 1 downto 0 do
-      let v = order.(i) in
-      if Circuit.is_gate circuit v then acc := v :: !acc
-    done;
-    Array.of_list !acc
-  in
-  let obs =
-    Circuit.observations circuit
-    |> List.map (fun o -> (o, Circuit.observation_net circuit o))
-    |> Array.of_list
-  in
-  let max_fanin = ref 1 in
-  for v = 0 to n - 1 do
-    max_fanin := max !max_fanin (Array.length (Circuit.fanins circuit v))
-  done;
-  { circuit; sp; order; pos; gate_order; obs; max_fanin = !max_fanin; mode;
-    restrict_to_cone }
+  (* Everything structural comes from the shared context: the first engine
+     on a circuit pays for the topological sort, every later engine (and
+     every other subsystem on the same circuit) reuses it. *)
+  let ctx = Analysis.get circuit in
+  { circuit; sp; ctx; mode; restrict_to_cone }
 
 let circuit t = t.circuit
+let analysis t = t.ctx
 let signal_probabilities t = t.sp
 let mode t = t.mode
 let restrict_to_cone t = t.restrict_to_cone
@@ -189,23 +171,21 @@ let analyze_naive t (sa : Site_analysis.t) =
    show what the paper's path-construction step saves. *)
 let full_order_analysis t site =
   let c = t.circuit in
-  let on_path = Reach.forward_csr (Circuit.csr c) site in
+  let on_path = Analysis.cone t.ctx site in
   let gates =
-    Array.to_list t.order |> List.filter (fun v -> v <> site && Circuit.is_gate c v)
+    Array.to_list (Analysis.order t.ctx)
+    |> List.filter (fun v -> v <> site && Circuit.is_gate c v)
   in
   {
     Site_analysis.site;
     on_path;
     on_path_gates = gates;
     off_path = [];
-    reached =
-      List.filter
-        (fun obs -> on_path.(Circuit.observation_net c obs))
-        (Circuit.observations c);
+    reached = Analysis.reached_observations t.ctx site;
   }
 
 let site_analysis t site =
-  if t.restrict_to_cone then Site_analysis.analyze ~order:t.order t.circuit site
+  if t.restrict_to_cone then Site_analysis.analyze t.circuit site
   else full_order_analysis t site
 
 (* Full four-state vectors at the reachable observation points, optionally
@@ -325,8 +305,8 @@ module Workspace = struct
       epoch = 0;
       stack = Array.make (max n 1) 0;
       cone = Array.make (max n 1) 0;
-      scratch = Rules.Soa.create ~max_fanin:engine.max_fanin;
-      nscratch = Rules.Naive.Soa.create ~max_fanin:engine.max_fanin;
+      scratch = Rules.Soa.create ~max_fanin:(Analysis.max_fanin engine.ctx);
+      nscratch = Rules.Naive.Soa.create ~max_fanin:(Analysis.max_fanin engine.ctx);
       obs_i = instruments ();
     }
 
@@ -456,7 +436,7 @@ module Workspace = struct
      points, in observation order (POs first, then FF data inputs) — exactly
      the list the reference engine builds. *)
   let collect w epoch =
-    let obs = w.engine.obs in
+    let obs = Analysis.observations w.engine.ctx in
     let acc = ref [] in
     for i = Array.length obs - 1 downto 0 do
       let o, net = obs.(i) in
@@ -491,7 +471,7 @@ module Workspace = struct
     (* After sorting by topological position the site is cone.(0): every
        other member is strictly downstream of it.  (The no-cone ablation
        walks the shared gate order instead and skips the sort.) *)
-    if e.restrict_to_cone then sort_by_pos e.pos w.cone clen;
+    if e.restrict_to_cone then sort_by_pos (Analysis.position e.ctx) w.cone clen;
     let t2 = if timed then Obs.Clock.wall_seconds () else 0.0 in
     (match e.mode, e.restrict_to_cone with
     | Polarity, true ->
@@ -505,13 +485,13 @@ module Workspace = struct
     | Polarity, false ->
       (* The whole-circuit ablation: evaluate every gate, cone or not, in
          the shared topological order — same results, no cone saving. *)
-      let go = e.gate_order in
+      let go = Analysis.gate_order e.ctx in
       for i = 0 to Array.length go - 1 do
         let g = go.(i) in
         if g <> site then process_polarity w epoch g
       done
     | Naive, false ->
-      let go = e.gate_order in
+      let go = Analysis.gate_order e.ctx in
       for i = 0 to Array.length go - 1 do
         let g = go.(i) in
         if g <> site then process_naive w epoch g
@@ -541,7 +521,7 @@ module Workspace = struct
      sitting in the workspace — no recomputation. *)
   let last_vector_defect w =
     let epoch = w.epoch in
-    let obs = w.engine.obs in
+    let obs = Analysis.observations w.engine.ctx in
     let worst = ref 0.0 in
     let saw_nan = ref false in
     for i = 0 to Array.length obs - 1 do

@@ -4,10 +4,10 @@
 
     [P_sensitized(n) = 1 - ∏ (1 - (Pa(POj) + Pā(POj)))].
 
-    An engine value owns the per-circuit invariants — the shared topological
-    order and the signal probabilities (computed once, the SPT column of
-    Table 2) — so each site analysis is a single cone-sized pass (the SysT
-    column). *)
+    An engine value holds the circuit's shared {!Netlist.Analysis} context
+    (topological order and friends, computed once per circuit, the SPT
+    column of Table 2) and the signal probabilities, so each site analysis
+    is a single cone-sized pass (the SysT column). *)
 
 type mode =
   | Polarity  (** the paper's four-state rules *)
@@ -41,6 +41,11 @@ val create :
     outside [0, 1]. *)
 
 val circuit : t -> Netlist.Circuit.t
+
+val analysis : t -> Netlist.Analysis.t
+(** The circuit's shared analysis context the engine pulls its structural
+    facts from. *)
+
 val signal_probabilities : t -> Sigprob.Sp.result
 val mode : t -> mode
 val restrict_to_cone : t -> bool

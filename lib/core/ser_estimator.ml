@@ -42,22 +42,18 @@ type report = {
 
 (* Per-observation capture probability, optionally derated by electrical
    masking over the site->observation depth.  Depth is the true minimum
-   number of gate traversals (BFS distance from the site), computed lazily
-   once per site — the optimistic bound for pulse survival. *)
-let capture_probability ~latching ~electrical ~site_distances circuit ~site obs =
+   number of gate traversals (BFS distance from the site).  It is read from
+   the analysis context's per-observation distance maps — one backward BFS
+   per observation point over the reverse CSR, shared by every site —
+   instead of one forward BFS per site: O(obs · E) total, not O(sites · E).
+   BFS unit-weight distances are unique, so the values are bit-identical to
+   the per-site computation. *)
+let capture_probability ~latching ~electrical ~ctx circuit ~site obs =
   match electrical with
   | None -> Seu_model.Latching.p_latched latching obs
   | Some el ->
-    let distances =
-      match !site_distances with
-      | Some d -> d
-      | None ->
-        let d = Bfs.distances (Circuit.graph circuit) site in
-        site_distances := Some d;
-        d
-    in
     let depth =
-      let d = distances.(Circuit.observation_net circuit obs) in
+      let d = (Analysis.distances_to ctx (Circuit.observation_net circuit obs)).(site) in
       if d = Bfs.unreachable then 0 (* never queried: unreachable obs are not in per_observation *)
       else d
     in
@@ -70,12 +66,12 @@ let effective_latch ~latching ~electrical ~convention circuit
     ignore circuit;
     Seu_model.Latching.p_latched_ff latching *. r.Epp_engine.p_sensitized
   | Per_observation ->
-    let site_distances = ref None in
+    let ctx = Analysis.get circuit in
     let miss =
       List.fold_left
         (fun acc (obs, p_prop) ->
           let capture =
-            capture_probability ~latching ~electrical ~site_distances circuit
+            capture_probability ~latching ~electrical ~ctx circuit
               ~site:r.Epp_engine.site obs
           in
           acc *. (1.0 -. (p_prop *. capture)))

@@ -20,15 +20,16 @@ type t = {
   reached : Circuit.observation list;  (** observation points inside the cone *)
 }
 
-let analyze ?order circuit site =
+let analyze circuit site =
   let n = Circuit.node_count circuit in
   if site < 0 || site >= n then invalid_arg "Site_analysis.analyze: bad site";
-  let on_path = Reach.forward_csr (Circuit.csr circuit) site in
-  let order =
-    match order with
-    | Some o -> o
-    | None -> Circuit.topological_order circuit
-  in
+  (* The cone and the topological order come from the circuit's shared
+     analysis context: repeated analyses of the same site (test generation,
+     interleaved engines) hit the bounded cone cache instead of re-running
+     the DFS.  [on_path] is the cached array — read-only by contract. *)
+  let ctx = Analysis.get circuit in
+  let on_path = Analysis.cone ctx site in
+  let order = Analysis.order ctx in
   let on_path_gates =
     Array.to_list order
     |> List.filter (fun v -> on_path.(v) && v <> site && Circuit.is_gate circuit v)
@@ -45,11 +46,7 @@ let analyze ?order circuit site =
           end)
         (Circuit.fanins circuit g))
     on_path_gates;
-  let reached =
-    List.filter
-      (fun obs -> on_path.(Circuit.observation_net circuit obs))
-      (Circuit.observations circuit)
-  in
+  let reached = Analysis.reached_observations ctx site in
   { site; on_path; on_path_gates; off_path = List.rev !off_path; reached }
 
 let on_path_signal_count t = Reach.count t.on_path

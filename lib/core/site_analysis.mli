@@ -14,9 +14,11 @@ type t = {
       (** observation points whose net lies in the cone *)
 }
 
-val analyze : ?order:int array -> Netlist.Circuit.t -> int -> t
-(** [order] lets callers share one precomputed topological order across many
-    sites (the engine does).  @raise Invalid_argument on a bad site. *)
+val analyze : Netlist.Circuit.t -> int -> t
+(** Pulls the cone and the topological order from the circuit's shared
+    {!Netlist.Analysis} context, so repeated analyses reuse one computation;
+    [on_path] is the cached cone array — treat it as read-only.
+    @raise Invalid_argument on a bad site. *)
 
 val on_path_signal_count : t -> int
 val reaches_any_output : t -> bool

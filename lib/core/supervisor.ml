@@ -53,9 +53,11 @@ let vector_fault ~tolerance defect =
 
 (* Cone size for the quarantine record: the pure graph traversal (no float
    arithmetic), so it normally survives whatever poisoned the analysis; when
-   even it fails (out-of-range site), record None. *)
+   even it fails (out-of-range site), record None.  Served from the shared
+   cone cache — the quarantined site was just analyzed, so its cone is
+   usually still resident. *)
 let safe_cone_size circuit site =
-  match Reach.forward_csr (Circuit.csr circuit) site with
+  match Analysis.cone (Analysis.get circuit) site with
   | reach -> Some (Reach.count reach)
   | exception _ -> None
 

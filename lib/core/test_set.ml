@@ -29,9 +29,12 @@ let vector_count t = List.length t.vectors
 let covered_count t = List.fold_left (fun acc (_, sites) -> acc + List.length sites) 0 t.coverage
 
 (* Does flipping [site] under [values] (a completed fault-free evaluation)
-   change any observation net? *)
-let detects circuit cs ~order ~obs_nets values site =
-  let cone = Reach.forward (Circuit.graph circuit) site in
+   change any observation net?  The greedy loop fault-simulates every
+   still-uncovered site under every candidate vector, so the same site's
+   cone is needed over and over — served from the context's cone cache
+   instead of a fresh DFS per (vector, site) pair. *)
+let detects circuit cs ~ctx ~obs_nets values site =
+  let cone = Analysis.cone ctx site in
   ignore cs;
   let faulty = Array.copy values in
   faulty.(site) <- not values.(site);
@@ -42,7 +45,7 @@ let detects circuit cs ~order ~obs_nets values site =
         | Circuit.Gate { kind; fanins } ->
           faulty.(v) <- Gate.eval kind (Array.map (fun u -> faulty.(u)) fanins)
         | Circuit.Input | Circuit.Ff _ -> ())
-    order;
+    (Analysis.order ctx);
   List.exists (fun net -> values.(net) <> faulty.(net)) obs_nets
 
 let generate ?sites ?node_limit circuit =
@@ -58,8 +61,8 @@ let generate ?sites ?node_limit circuit =
   in
   let cb = Circuit_bdd.build ?node_limit circuit in
   let cs = Logic_sim.Sim.compile circuit in
-  let order = Circuit.topological_order circuit in
-  let obs_nets = List.map (Circuit.observation_net circuit) (Circuit.observations circuit) in
+  let ctx = Analysis.get circuit in
+  let obs_nets = Array.to_list (Analysis.observation_nets ctx) in
   let pseudo = Array.of_list (Circuit.pseudo_inputs circuit) in
   let uncovered = ref sites in
   let untestable = ref [] in
@@ -86,7 +89,7 @@ let generate ?sites ?node_limit circuit =
         Array.iteri (fun i v -> values.(v) <- entry.(i)) pseudo;
         Logic_sim.Sim.run_bool cs values;
         let retired, remaining =
-          List.partition (fun s -> detects circuit cs ~order ~obs_nets values s) !uncovered
+          List.partition (fun s -> detects circuit cs ~ctx ~obs_nets values s) !uncovered
         in
         (* The witness's own site must be among the retired ones — the BDD
            said so exactly; anything else is a bug worth crashing on. *)

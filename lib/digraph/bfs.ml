@@ -25,6 +25,35 @@ let distances g source =
   done;
   dist
 
+(* CSR variant: identical visit semantics over the packed adjacency, with a
+   flat int-array ring as the queue (each vertex enqueued at most once), so
+   nothing but the result array is allocated.  The analysis context runs one
+   of these per observation point over the reverse CSR, replacing the
+   per-site forward BFS of the electrical-masking path. *)
+let distances_csr csr source =
+  let n = Csr.vertex_count csr in
+  if source < 0 || source >= n then raise (Digraph.Invalid_vertex source);
+  let offsets = Csr.offsets csr and targets = Csr.targets csr in
+  let dist = Array.make n unreachable in
+  dist.(source) <- 0;
+  let queue = Array.make (max n 1) 0 in
+  queue.(0) <- source;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) in
+    for i = offsets.(u) to offsets.(u + 1) - 1 do
+      let v = targets.(i) in
+      if dist.(v) = unreachable then begin
+        dist.(v) <- du + 1;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
+  done;
+  dist
+
 let distance g ~source ~target =
   let dist = distances g source in
   if target < 0 || target >= Digraph.vertex_count g then raise (Digraph.Invalid_vertex target);

@@ -64,5 +64,34 @@ let of_graph g =
   done;
   { vertex_count = n; offsets; targets }
 
+(* Transpose: an edge u -> v becomes v -> u.  Built by counting sort in
+   O(V + E) without touching a Digraph.  Multi-edges are preserved (a gate
+   reading the same net twice contributes two reverse edges), and the
+   reversed successor lists come out sorted by source vertex, so the result
+   is deterministic.  This is the backward view the analysis context serves
+   to whole-circuit backward passes (required-time traversals, per-
+   observation-point BFS distance maps). *)
+let reverse t =
+  let n = t.vertex_count in
+  let m = Array.length t.targets in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to m - 1 do
+    let v = t.targets.(i) in
+    offsets.(v + 1) <- offsets.(v + 1) + 1
+  done;
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v + 1) + offsets.(v)
+  done;
+  let targets = Array.make m 0 in
+  let cursor = Array.copy offsets in
+  for u = 0 to n - 1 do
+    for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+      let v = t.targets.(i) in
+      targets.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
+  { vertex_count = n; offsets; targets }
+
 let pp ppf t =
   Fmt.pf ppf "csr (%d vertices, %d edges)" t.vertex_count (edge_count t)

@@ -13,6 +13,11 @@ type t
 val of_graph : Digraph.t -> t
 (** One-time O(V + E) conversion; successor order is preserved. *)
 
+val reverse : t -> t
+(** Transpose in O(V + E): every edge [u -> v] becomes [v -> u].
+    Multi-edges are preserved; each reversed successor list is sorted by
+    source vertex, so the result is deterministic. *)
+
 val vertex_count : t -> int
 val edge_count : t -> int
 

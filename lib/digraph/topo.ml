@@ -50,18 +50,22 @@ let is_acyclic g =
   | _ -> true
   | exception Cycle _ -> false
 
-(* level v = 0 for sources, otherwise 1 + max level of predecessors. *)
-let levels g =
+(* level v = 0 for sources, otherwise 1 + max level of predecessors.  The
+   [levels_from] variant takes an already-computed topological order so a
+   caller that memoizes the sort (Circuit's analysis context) does not pay
+   for a second one; [levels] keeps the self-contained signature. *)
+let levels_from g order =
   let n = Digraph.vertex_count g in
   let level = Array.make n 0 in
-  let order = sort g in
-  List.iter
+  Array.iter
     (fun u ->
       List.iter
         (fun v -> if level.(u) + 1 > level.(v) then level.(v) <- level.(u) + 1)
         (Digraph.succ g u))
     order;
   level
+
+let levels g = levels_from g (sort_array g)
 
 let max_level g =
   let lv = levels g in

@@ -21,6 +21,11 @@ val levels : Digraph.t -> int array
 (** [levels g].(v) is 0 for sources and [1 + max] over predecessors otherwise
     (the classic ASAP levelization of a netlist).  @raise Cycle. *)
 
+val levels_from : Digraph.t -> Digraph.vertex array -> int array
+(** Same levelization from an already-computed topological order of the
+    graph, saving the re-sort.  The order must be valid for [g] (as produced
+    by {!sort_array}); the result is unspecified otherwise. *)
+
 val max_level : Digraph.t -> int
 (** Depth of the graph: largest level.  @raise Cycle. *)
 

@@ -27,9 +27,10 @@ let compute ?(input_sp = fun _ -> 0.5) ?(limit = default_limit) circuit site =
   let input_p = Array.map input_sp pseudo in
   Array.iter (fun p -> Sigprob.Sp_rules.check_probability ~what:"input" p) input_p;
   let cs = Logic_sim.Sim.compile circuit in
-  let cone = Reach.forward (Circuit.graph circuit) site in
+  let ctx = Analysis.get circuit in
+  let cone = Analysis.cone ctx site in
   let observations = Circuit.observations circuit in
-  let obs_nets = Array.of_list (List.map (Circuit.observation_net circuit) observations) in
+  let obs_nets = Array.copy (Analysis.observation_nets ctx) in
   let obs_count = Array.length obs_nets in
   let any_weight = ref 0.0 in
   let obs_weight = Array.make obs_count 0.0 in
@@ -54,7 +55,7 @@ let compute ?(input_sp = fun _ -> 0.5) ?(limit = default_limit) circuit site =
             | Circuit.Gate { kind; fanins } ->
               faulty.(v) <- Gate.eval kind (Array.map (fun u -> faulty.(u)) fanins)
             | Circuit.Input | Circuit.Ff _ -> ())
-        (Circuit.topological_order circuit);
+        (Analysis.order ctx);
       let any = ref false in
       Array.iteri
         (fun i net ->

@@ -33,11 +33,11 @@ type t = {
 
 let create ?(config = default_config) circuit =
   if config.vectors <= 0 then invalid_arg "Epp_sim.create: vectors must be positive";
-  let observations = Circuit.observations circuit in
+  let ctx = Analysis.get circuit in
   {
     cs = Logic_sim.Sim.compile circuit;
-    observations;
-    obs_nets = Array.of_list (List.map (Circuit.observation_net circuit) observations);
+    observations = Circuit.observations circuit;
+    obs_nets = Array.copy (Analysis.observation_nets ctx);
     config;
   }
 
@@ -47,7 +47,7 @@ let estimate_site t ~rng site =
   let c = circuit t in
   let n = Circuit.node_count c in
   if site < 0 || site >= n then invalid_arg "Epp_sim.estimate_site: bad site";
-  let cone = Reach.forward (Circuit.graph c) site in
+  let cone = Analysis.cone (Analysis.get c) site in
   let obs_count = Array.length t.obs_nets in
   let any_hits = ref 0 in
   let obs_hits = Array.make obs_count 0 in
@@ -97,7 +97,7 @@ let estimate_site_scalar t ~rng site =
   let pseudo = Circuit.pseudo_inputs c in
   let base = Array.make n false in
   let faulty = Array.make n false in
-  let order = Circuit.topological_order c in
+  let order = Analysis.order (Analysis.get c) in
   for _ = 1 to t.config.vectors do
     List.iter (fun v -> base.(v) <- Rng.float rng < t.config.input_sp v) pseudo;
     Logic_sim.Sim.run_bool t.cs base;

@@ -35,7 +35,7 @@ let estimate ?(warmup = 8) ?(horizon = 32) ?(lanes = 6400) ~rng circuit site =
   let n = Circuit.node_count circuit in
   if site < 0 || site >= n then invalid_arg "Seq_epp_sim.estimate: bad site";
   let cs = Logic_sim.Sim.compile circuit in
-  let cone = Reach.forward (Circuit.graph circuit) site in
+  let cone = Analysis.cone (Analysis.get circuit) site in
   let po_nets = Array.of_list (Circuit.outputs circuit) in
   let ffs = Circuit.ffs circuit in
   let batches = (lanes + Logic_sim.Word.bits - 1) / Logic_sim.Word.bits in

@@ -14,9 +14,10 @@ type compiled = {
 }
 
 let compile circuit =
-  let all = Circuit.topological_order circuit in
-  let gates_only = Array.to_list all |> List.filter (Circuit.is_gate circuit) in
-  { circuit; order = Array.of_list gates_only }
+  (* The gates-only order is exactly the analysis context's [gate_order]:
+     compile shares the cached array (read-only by contract) instead of
+     re-deriving it per compiled simulator. *)
+  { circuit; order = Analysis.gate_order (Analysis.get circuit) }
 
 let circuit cs = cs.circuit
 

@@ -1,0 +1,196 @@
+(* The shared circuit-analysis context.
+
+   Every engine in the pipeline needs the same handful of structural facts —
+   a topological order, its inverse permutation, the gates-only order, the
+   observation-point arrays, forward-reach cones, distance maps — and until
+   this module existed each of them recomputed its own copy per run (or, for
+   cones and distances, once per site).  The context computes each fact once
+   per circuit and serves the shared instance:
+
+   - whole-graph facts (order, positions, gate order, observation arrays,
+     max fanin) are assembled once, on first [get], from the circuit's own
+     memoized accessors;
+   - per-site artifacts (forward cones, per-observation-point BFS distance
+     maps) sit behind bounded LRU caches keyed by node id, so interleaved
+     engines (a supervised sweep runs SP, EPP and ranking over one circuit)
+     and repeated queries (test generation fault-simulating the same sites
+     under many vectors) reuse instead of re-traversing.
+
+   Ownership/aliasing contract (DESIGN.md §11): everything returned here is
+   the cached instance, immutable by contract.  Engines must treat the
+   arrays as read-only; a writer would corrupt every other consumer of the
+   circuit.  The caches are mutex-protected and the whole-graph arrays are
+   written once before publication, so a context is safe to share across
+   domains — build it (or the engine owning it) before fanning out.
+
+   Reuse is observable: [analysis.cache.hit] / [analysis.cache.miss] count
+   every served-from-cache vs computed fact (including the circuit-level
+   memos), and [analysis.*.computed] counters prove single-pass behaviour. *)
+
+let count name =
+  Obs.Metrics.incr (Obs.Metrics.counter (Obs.Hooks.metrics ()) name)
+
+let cache_hit () = count "analysis.cache.hit"
+let cache_miss () = count "analysis.cache.miss"
+
+(* Bounded LRU keyed by a small int (node id).  Lookup and insert run under
+   the cache mutex, including the compute of a missing entry: the payloads
+   are whole-graph traversals, so serializing rare concurrent misses is
+   cheaper than ever computing one twice.  Eviction scans for the oldest
+   stamp — O(capacity), trivial next to the traversal it replaces. *)
+module Lru = struct
+  type 'a entry = { mutable stamp : int; value : 'a }
+
+  type 'a t = {
+    capacity : int;
+    table : (int, 'a entry) Hashtbl.t;
+    mutable tick : int;
+    lock : Mutex.t;
+  }
+
+  let create capacity =
+    {
+      capacity = max 1 capacity;
+      table = Hashtbl.create 64;
+      tick = 0;
+      lock = Mutex.create ();
+    }
+
+  let evict_oldest t =
+    let victim = ref (-1) in
+    let oldest = ref max_int in
+    Hashtbl.iter
+      (fun key e ->
+        if e.stamp < !oldest then begin
+          oldest := e.stamp;
+          victim := key
+        end)
+      t.table;
+    if !victim >= 0 then Hashtbl.remove t.table !victim
+
+  let find_or_compute t key compute =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+    t.tick <- t.tick + 1;
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+      e.stamp <- t.tick;
+      cache_hit ();
+      e.value
+    | None ->
+      let value = compute () in
+      cache_miss ();
+      if Hashtbl.length t.table >= t.capacity then evict_oldest t;
+      Hashtbl.replace t.table key { stamp = t.tick; value };
+      value
+end
+
+type t = {
+  circuit : Circuit.t;
+  order : int array;  (* one topological order, all nodes *)
+  position : int array;  (* position.(v) = index of v in order *)
+  gate_order : int array;  (* gates only, topological *)
+  observations : (Circuit.observation * int) array;  (* (obs, observed net) *)
+  observation_nets : int array;  (* the nets, same order *)
+  max_fanin : int;
+  cones : bool array Lru.t;  (* site -> forward-reach marks *)
+  distance_maps : int array Lru.t;  (* obs net -> reverse-BFS distances *)
+}
+
+(* Cache bounds.  A cone is [node_count] bools, so the cone cache tops out
+   at 256 * node_count bytes — a few MB on the largest ISCAS'89 profiles —
+   and recomputes on evict beyond that.  The distance cache instead scales
+   with the circuit's observation count: the electrical-masking path scans a
+   site's reached observations in a fixed order, and a cache smaller than
+   that working set would evict every map right before its reuse (cyclic
+   scans are LRU's worst case), costing one BFS per (site, observation)
+   pair — worse than the per-site BFS it replaces.  Sized to the observation
+   count, each map is computed exactly once: O(obs · E) total. *)
+let cone_cache_capacity = 256
+let distance_cache_floor = 64
+
+type Circuit.context += Context of t
+
+let build circuit =
+  let order = Circuit.order_for_context circuit in
+  let n = Circuit.node_count circuit in
+  let position = Array.make n 0 in
+  Array.iteri (fun i v -> position.(v) <- i) order;
+  let gate_order =
+    let acc = ref [] in
+    for i = Array.length order - 1 downto 0 do
+      let v = order.(i) in
+      if Circuit.is_gate circuit v then acc := v :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let observations =
+    Circuit.observations circuit
+    |> List.map (fun o -> (o, Circuit.observation_net circuit o))
+    |> Array.of_list
+  in
+  let observation_nets = Array.map snd observations in
+  let max_fanin = ref 1 in
+  for v = 0 to n - 1 do
+    max_fanin := max !max_fanin (Array.length (Circuit.fanins circuit v))
+  done;
+  {
+    circuit;
+    order;
+    position;
+    gate_order;
+    observations;
+    observation_nets;
+    max_fanin = !max_fanin;
+    cones = Lru.create cone_cache_capacity;
+    distance_maps =
+      Lru.create (max distance_cache_floor (Array.length observation_nets));
+  }
+
+let get circuit =
+  match Circuit.context_slot circuit (fun () -> Context (build circuit)) with
+  | Context ctx -> ctx
+  | _ -> assert false (* the slot only ever holds our constructor *)
+
+let circuit t = t.circuit
+let order t = t.order
+let position t = t.position
+let gate_order t = t.gate_order
+let observations t = t.observations
+let observation_nets t = t.observation_nets
+let max_fanin t = t.max_fanin
+
+(* Delegates to the circuit-level memos (same cache counters). *)
+let levels t = Circuit.levels t.circuit
+let depth t = Circuit.depth t.circuit
+let csr t = Circuit.csr t.circuit
+let reverse_csr t = Circuit.reverse_csr t.circuit
+
+let check_node t v ~what =
+  if v < 0 || v >= Circuit.node_count t.circuit then
+    invalid_arg (Printf.sprintf "Analysis.%s: bad node %d" what v)
+
+let cone t site =
+  check_node t site ~what:"cone";
+  Lru.find_or_compute t.cones site (fun () ->
+      count "analysis.cones.computed";
+      Reach.forward_csr (Circuit.csr t.circuit) site)
+
+let distances_to t target =
+  check_node t target ~what:"distances_to";
+  (* One backward BFS per *target* (observation net) replaces one forward
+     BFS per *site*: sites outnumber observation points by orders of
+     magnitude, and the map answers every site's depth query at once. *)
+  let rev = Circuit.reverse_csr t.circuit in
+  Lru.find_or_compute t.distance_maps target (fun () ->
+      count "analysis.distance_maps.computed";
+      Bfs.distances_csr rev target)
+
+let reached_observations t site =
+  let in_cone = cone t site in
+  let acc = ref [] in
+  for i = Array.length t.observations - 1 downto 0 do
+    let (obs, net) = t.observations.(i) in
+    if in_cone.(net) then acc := obs :: !acc
+  done;
+  !acc

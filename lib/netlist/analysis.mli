@@ -1,0 +1,80 @@
+(** Shared circuit-analysis context.
+
+    One {!t} per circuit, obtained with {!get} (lazily built, memoized on the
+    circuit itself).  It bundles the whole-graph traversal facts every engine
+    needs — topological order, inverse permutation, gates-only order,
+    observation-point arrays, maximum fanin — plus bounded LRU caches for
+    per-site artifacts (forward-reach cones, per-observation-point BFS
+    distance maps), so interleaved engines reuse one computation instead of
+    each re-deriving its own.
+
+    Ownership/aliasing contract (DESIGN.md §11): every array returned by this
+    module is the cached instance, shared by all consumers of the circuit.
+    Treat them as read-only; copy before mutating.  The context is safe to
+    share across domains: the whole-graph arrays are written once before
+    publication and the per-site caches are mutex-protected.
+
+    Reuse is observable through [analysis.cache.hit] / [analysis.cache.miss]
+    and the per-fact [analysis.*.computed] counters. *)
+
+type t
+
+val get : Circuit.t -> t
+(** The circuit's analysis context, built on first use and shared
+    thereafter ([analysis.context.computed] counts the builds). *)
+
+val circuit : t -> Circuit.t
+
+(** {2 Whole-graph facts} *)
+
+val order : t -> int array
+(** The circuit's topological order (all nodes) — the one shared instance
+    also served by {!Circuit.topological_order}. *)
+
+val position : t -> int array
+(** Inverse permutation of {!order}: [position ctx.(v)] is the index of node
+    [v] in the order. *)
+
+val gate_order : t -> int array
+(** Gates only, in topological order — the evaluation schedule of the logic
+    simulator and the EPP kernel. *)
+
+val observations : t -> (Circuit.observation * int) array
+(** Observation points paired with the net each observes: POs in declaration
+    order, then FF data inputs (same order as {!Circuit.observations}). *)
+
+val observation_nets : t -> int array
+(** Just the observed nets, aligned with {!observations}. *)
+
+val max_fanin : t -> int
+(** Largest gate fanin in the circuit (at least 1), sizing per-gate scratch
+    in the kernels. *)
+
+val levels : t -> int array
+(** ASAP levelization; delegates to the memo on {!Circuit.levels}. *)
+
+val depth : t -> int
+(** Maximum logic level; delegates to {!Circuit.depth}. *)
+
+val csr : t -> Csr.t
+val reverse_csr : t -> Csr.t
+
+(** {2 Per-site cached artifacts}
+
+    Bounded LRU caches (a few hundred whole-circuit arrays at most); on
+    eviction the artifact is simply recomputed on next demand. *)
+
+val cone : t -> int -> bool array
+(** [cone ctx site] marks every node forward-reachable from [site]
+    (including [site]).  @raise Invalid_argument on a bad node id. *)
+
+val distances_to : t -> int -> int array
+(** [distances_to ctx target].(v) is the BFS edge-distance from node [v] to
+    [target] in the forward graph (computed as one backward BFS from
+    [target] over the reverse CSR), or [-1] when [target] is unreachable
+    from [v].  One map per observation point answers the depth query of
+    every site at once.  @raise Invalid_argument on a bad node id. *)
+
+val reached_observations : t -> int -> Circuit.observation list
+(** Observation points inside [site]'s forward cone, in {!observations}
+    order. *)

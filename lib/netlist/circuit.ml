@@ -15,6 +15,12 @@ type node =
   | Ff of { data : int }
   | Gate of { kind : Gate.kind; fanins : int array }
 
+(* Extension point for the shared analysis context (Analysis.t).  The
+   context needs the circuit and the circuit carries the context, so the
+   slot is an extensible variant: Analysis adds its constructor without
+   creating a module cycle. *)
+type context = ..
+
 type t = {
   name : string;
   nodes : node array;
@@ -25,6 +31,18 @@ type t = {
   ffs : int array;
   graph : Digraph.t;  (* combinational graph: fanin -> gate edges only *)
   csr : Csr.t;  (* packed adjacency of [graph], shared by per-site hot paths *)
+  (* Memoized whole-graph facts.  Each cell is written exactly once (under
+     [lock], double-checked) and the cached arrays are immutable by
+     contract: every accessor returns the shared array, so a caller that
+     wrote into one would corrupt every other engine on the circuit.
+     [Atomic] cells publish the initialized payload to domains that race on
+     the first force. *)
+  lock : Mutex.t;
+  topo : int array option Atomic.t;
+  level_memo : int array option Atomic.t;
+  depth_memo : int option Atomic.t;
+  rev_csr : Csr.t option Atomic.t;
+  context : context option Atomic.t;
 }
 
 let name t = t.name
@@ -122,11 +140,92 @@ let csr t = t.csr
 
 let fanouts t v = Digraph.succ t.graph v
 
-let topological_order t = Topo.sort_array t.graph
+(* --- memoized analysis facts ----------------------------------------------
 
-let levels t = Topo.levels t.graph
+   Counter names are shared with Analysis so one pair of metrics
+   (analysis.cache.{hit,miss}) tells the whole reuse story; the per-fact
+   *.computed counters prove single-pass behaviour (a supervised sweep must
+   report exactly one analysis.topo.computed).  Counter handles are resolved
+   per event: the events are rare once memoized, and with the default null
+   sink the lookup is a single pattern match. *)
 
-let depth t = Topo.max_level t.graph
+let count name =
+  Obs.Metrics.incr (Obs.Metrics.counter (Obs.Hooks.metrics ()) name)
+
+let cache_hit () = count "analysis.cache.hit"
+let cache_miss () = count "analysis.cache.miss"
+
+(* Double-checked memoization: the fast path is one atomic load; the slow
+   path computes under [t.lock].  [compute] must not re-enter another
+   memoized accessor of the same circuit (the lock is not reentrant) —
+   derived facts fetch their inputs before calling [memoize]. *)
+let memoize t cell ~computed compute =
+  match Atomic.get cell with
+  | Some v ->
+    cache_hit ();
+    v
+  | None ->
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+    (match Atomic.get cell with
+    | Some v ->
+      cache_hit ();
+      v
+    | None ->
+      let v = compute () in
+      cache_miss ();
+      count computed;
+      Atomic.set cell (Some v);
+      v)
+
+(* The one topological sort of the circuit's life.  Not metered as a direct
+   call: this is the context-internal accessor Analysis pulls from;
+   stragglers go through [topological_order] below. *)
+let order_for_context t =
+  memoize t t.topo ~computed:"analysis.topo.computed" (fun () ->
+      Topo.sort_array t.graph)
+
+(* Kept for compatibility; served from the same memo.  The extra counter
+   makes call sites that still recompute-by-accessor (instead of pulling a
+   shared Analysis context) visible in metrics output. *)
+let topological_order t =
+  count "analysis.topo.direct_calls";
+  order_for_context t
+
+let levels t =
+  let order = order_for_context t in
+  memoize t t.level_memo ~computed:"analysis.levels.computed" (fun () ->
+      Topo.levels_from t.graph order)
+
+let depth t =
+  let lv = levels t in
+  memoize t t.depth_memo ~computed:"analysis.depth.computed" (fun () ->
+      Array.fold_left max 0 lv)
+
+let reverse_csr t =
+  memoize t t.rev_csr ~computed:"analysis.reverse_csr.computed" (fun () ->
+      Csr.reverse t.csr)
+
+(* Build-or-get for the analysis context.  [build] runs *outside* the lock
+   (it reads the memoized facts above, which take it); if two domains race
+   on the very first force, the loser's context is discarded — the winner's
+   is the one every later caller sees. *)
+let context_slot t build =
+  match Atomic.get t.context with
+  | Some c ->
+    cache_hit ();
+    c
+  | None ->
+    let c = build () in
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+    (match Atomic.get t.context with
+    | Some c' -> c'
+    | None ->
+      cache_miss ();
+      count "analysis.context.computed";
+      Atomic.set t.context (Some c);
+      c)
 
 (* Construction: used by Builder; performs no validation beyond indices. *)
 let make ~name ~nodes ~names ~inputs ~outputs ~ffs =
@@ -146,7 +245,23 @@ let make ~name ~nodes ~names ~inputs ~outputs ~ffs =
   (* Built eagerly (not lazily) so engines created before a domain fan-out
      can hand the view to every worker without a racy first force. *)
   let csr = Csr.of_graph graph in
-  { name; nodes; names; index; inputs; outputs; ffs; graph; csr }
+  {
+    name;
+    nodes;
+    names;
+    index;
+    inputs;
+    outputs;
+    ffs;
+    graph;
+    csr;
+    lock = Mutex.create ();
+    topo = Atomic.make None;
+    level_memo = Atomic.make None;
+    depth_memo = Atomic.make None;
+    rev_csr = Atomic.make None;
+    context = Atomic.make None;
+  }
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>circuit %S: %d nodes (%d PI, %d PO, %d FF, %d gates)@]" t.name

@@ -88,11 +88,47 @@ val csr : t -> Csr.t
     and shared by the per-site hot paths (cone DFS, the EPP kernel).
     Immutable; safe to share across domains. *)
 
+val reverse_csr : t -> Csr.t
+(** The transposed CSR view (edge [u -> v] becomes [v -> u]), computed once
+    on first use and shared thereafter.  Backs whole-circuit backward
+    traversals and the per-observation-point BFS distance maps of the
+    analysis context. *)
+
 val topological_order : t -> int array
+(** A topological order of {!graph}, computed once per circuit and served
+    from a memo on every later call ([analysis.topo.computed] counts the
+    sorts that actually ran; this accessor additionally bumps
+    [analysis.topo.direct_calls] so call sites that bypass the shared
+    {!Analysis} context stay visible in metrics output).  The returned
+    array is the shared cached instance — do not mutate it.  Prefer
+    {!Analysis.order}, which also carries the inverse permutation and the
+    gates-only order. *)
+
 val levels : t -> int array
+(** ASAP levelization, memoized like {!topological_order}; the returned
+    array is shared — do not mutate. *)
 
 val depth : t -> int
-(** Maximum logic level. *)
+(** Maximum logic level (memoized). *)
+
+(** {2 Analysis-context plumbing}
+
+    {!Analysis} hangs a per-circuit context (shared traversal facts and
+    per-site caches) off the circuit.  The slot is an extensible variant so
+    [Analysis] can live in its own module without a dependency cycle.
+    Nothing outside [Analysis] should touch these. *)
+
+type context = ..
+
+val context_slot : t -> (unit -> context) -> context
+(** Get the memoized context, building it with the callback on first use.
+    The callback runs outside the circuit's internal lock (it may call the
+    memoized accessors above); if two domains race on the first force, one
+    build is discarded. *)
+
+val order_for_context : t -> int array
+(** Same memo as {!topological_order} without the direct-call counter; used
+    by [Analysis] to assemble the context. *)
 
 val pp : t Fmt.t
 (** One-line summary (name and size counts). *)

@@ -42,12 +42,18 @@ let is_reconvergent_site c v =
   match Digraph.succ g v with
   | [] | [ _ ] -> false
   | fanouts ->
+    (* Branch cones come from the analysis context's cache: a net with k
+       fanin gates is a fanout branch of k different sites, so a full
+       reconvergence sweep reuses each cone k times instead of re-running
+       the DFS (the old per-branch Reach.forward made the sweep quadratic
+       on fanout-heavy circuits). *)
+    let ctx = Analysis.get c in
     let n = Digraph.vertex_count g in
     let seen = Array.make n false in
     let rec loop = function
       | [] -> false
       | f :: rest ->
-        let reach = Reach.forward g f in
+        let reach = Analysis.cone ctx f in
         let dup = ref false in
         for u = 0 to n - 1 do
           if reach.(u) then

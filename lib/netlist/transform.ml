@@ -164,7 +164,7 @@ let propagate_constants circuit =
       | Circuit.Gate { kind; fanins } ->
         let resolved = Array.map (resolve_alias resolution) fanins in
         resolution.(v) <- fold_gate resolution kind resolved)
-    (Circuit.topological_order circuit);
+    (Analysis.order (Analysis.get circuit));
   rebuild circuit resolution
 
 let merge_duplicates circuit =
@@ -189,7 +189,7 @@ let merge_duplicates circuit =
         | None ->
           Hashtbl.replace table key v;
           resolution.(v) <- Keep (kind, resolved)))
-    (Circuit.topological_order circuit);
+    (Analysis.order (Analysis.get circuit));
   rebuild circuit resolution
 
 let sweep_unobservable circuit =

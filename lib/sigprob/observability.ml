@@ -59,7 +59,7 @@ let compute ?sp circuit =
   List.iter
     (fun obs -> miss.(Circuit.observation_net circuit obs) <- 0.0)
     (Circuit.observations circuit);
-  let order = Circuit.topological_order circuit in
+  let order = Analysis.order (Analysis.get circuit) in
   (* Backward pass: when we reach gate g (in reverse topological order) its
      own observability is final; push contributions to its fanins. *)
   for i = Array.length order - 1 downto 0 do

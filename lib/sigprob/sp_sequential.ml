@@ -44,6 +44,9 @@ let compute ?(spec = Sp.uniform) ?(tolerance = default_tolerance)
         | None -> spec.Sp.input_sp v)
   in
   let rec iterate i =
+    (* Each iteration re-runs the topological pass, but every run after the
+       first serves its order from the shared analysis context: the whole
+       fixpoint costs one topological sort. *)
     let result = Sp_topological.compute ~spec:iteration_spec circuit in
     let residual = ref 0.0 in
     Array.iter

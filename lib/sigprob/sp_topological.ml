@@ -15,7 +15,9 @@ let compute ?(spec = Sp.uniform) circuit =
     (Obs.Metrics.counter (Obs.Hooks.metrics ()) "sp.node_evaluations")
     n;
   let values = Array.make n 0.0 in
-  let order = Circuit.topological_order circuit in
+  (* Shared topological order from the analysis context: the sequential
+     fixpoint calls this pass once per iteration, all on one sort. *)
+  let order = Analysis.order (Analysis.get circuit) in
   Array.iter
     (fun v ->
       match Circuit.node circuit v with

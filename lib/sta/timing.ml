@@ -41,7 +41,7 @@ let analyze ?(model = Delay_model.generic_130nm) circuit =
         let soonest = if !soonest = infinity then 0.0 else !soonest in
         arrival.(v) <- !latest +. d;
         earliest.(v) <- soonest +. d)
-    (Circuit.topological_order circuit);
+    (Analysis.order (Analysis.get circuit));
   let max_delay =
     List.fold_left
       (fun acc obs -> Float.max acc arrival.(Circuit.observation_net circuit obs))
@@ -68,7 +68,7 @@ let slacks t ~clock_period =
       let net = Circuit.observation_net circuit obs in
       required.(net) <- Float.min required.(net) clock_period)
     (Circuit.observations circuit);
-  let order = Circuit.topological_order circuit in
+  let order = Analysis.order (Analysis.get circuit) in
   for i = Array.length order - 1 downto 0 do
     let g = order.(i) in
     match Circuit.node circuit g with

@@ -251,6 +251,76 @@ let prop_bfs_distance_at_most_levels =
       done;
       !ok)
 
+(* --- CSR transpose and BFS ------------------------------------------------- *)
+
+let test_csr_reverse_empty () =
+  let rev = Csr.reverse (Csr.of_graph (Digraph.of_edges ~vertex_count:0 [])) in
+  check_int "vertices" 0 (Csr.vertex_count rev);
+  check_int "edges" 0 (Csr.edge_count rev)
+
+let test_csr_reverse_diamond () =
+  let rev = Csr.reverse (Csr.of_graph (diamond ())) in
+  check_int "edge count preserved" 4 (Csr.edge_count rev);
+  Alcotest.(check (list int)) "succ 3 in reverse" [ 1; 2 ] (Csr.succ_list rev 3);
+  Alcotest.(check (list int)) "succ 1 in reverse" [ 0 ] (Csr.succ_list rev 1);
+  Alcotest.(check (list int)) "succ 0 in reverse" [] (Csr.succ_list rev 0)
+
+let test_csr_reverse_multi_edge () =
+  let g = Digraph.of_edges ~vertex_count:3 [ (0, 1); (0, 1); (2, 1) ] in
+  let rev = Csr.reverse (Csr.of_graph g) in
+  check_int "multi-edges kept" 3 (Csr.edge_count rev);
+  Alcotest.(check (list int)) "both copies, sorted by source" [ 0; 0; 2 ]
+    (Csr.succ_list rev 1)
+
+let test_csr_double_reverse () =
+  let csr = Csr.of_graph (diamond ()) in
+  let back = Csr.reverse (Csr.reverse csr) in
+  Alcotest.(check (array int)) "offsets" (Csr.offsets csr) (Csr.offsets back);
+  Alcotest.(check (array int)) "targets" (Csr.targets csr) (Csr.targets back)
+
+let prop_csr_reverse_transpose =
+  qtest ~name:"Csr.reverse agrees with Digraph.reverse on random DAGs"
+    seed_arbitrary (fun seed ->
+      let g = random_dag ~seed ~n:15 ~density:0.25 in
+      let rev = Csr.reverse (Csr.of_graph g) in
+      let spec = Digraph.reverse g in
+      let ok = ref (Csr.edge_count rev = Digraph.edge_count spec) in
+      for v = 0 to 14 do
+        if
+          List.sort compare (Csr.succ_list rev v)
+          <> List.sort compare (Digraph.succ spec v)
+        then ok := false
+      done;
+      !ok)
+
+let prop_bfs_distances_csr_agrees =
+  qtest ~name:"Bfs.distances_csr matches Bfs.distances" seed_arbitrary
+    (fun seed ->
+      let g = random_dag ~seed ~n:15 ~density:0.25 in
+      let csr = Csr.of_graph g in
+      let ok = ref true in
+      for s = 0 to 14 do
+        if Bfs.distances_csr csr s <> Bfs.distances g s then ok := false
+      done;
+      !ok)
+
+let prop_reverse_bfs_is_forward_distance =
+  (* The trick the analysis context's distance maps rest on: one backward
+     BFS from a target over the transpose gives every vertex's forward
+     distance to that target. *)
+  qtest ~name:"BFS on Csr.reverse gives distance-to-target" seed_arbitrary
+    (fun seed ->
+      let g = random_dag ~seed ~n:15 ~density:0.25 in
+      let rev = Csr.reverse (Csr.of_graph g) in
+      let ok = ref true in
+      for target = 0 to 14 do
+        let to_target = Bfs.distances_csr rev target in
+        for v = 0 to 14 do
+          if to_target.(v) <> (Bfs.distances g v).(target) then ok := false
+        done
+      done;
+      !ok)
+
 (* --- strongly connected components ---------------------------------------- *)
 
 let test_scc_dag_trivial () =
@@ -354,6 +424,16 @@ let () =
           Alcotest.test_case "shortest path" `Quick test_bfs_shortest_path;
           Alcotest.test_case "invalid vertex" `Quick test_bfs_invalid_vertex;
           prop_bfs_distance_at_most_levels;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "reverse of empty graph" `Quick test_csr_reverse_empty;
+          Alcotest.test_case "reverse of diamond" `Quick test_csr_reverse_diamond;
+          Alcotest.test_case "reverse keeps multi-edges" `Quick test_csr_reverse_multi_edge;
+          Alcotest.test_case "double reverse is identity" `Quick test_csr_double_reverse;
+          prop_csr_reverse_transpose;
+          prop_bfs_distances_csr_agrees;
+          prop_reverse_bfs_is_forward_distance;
         ] );
       ( "scc",
         [

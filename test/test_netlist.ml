@@ -232,6 +232,91 @@ let test_topological_order_valid () =
   let order = Array.to_list (Circuit.topological_order c) in
   check_bool "valid order" true (Topo.is_topological_order (Circuit.graph c) order)
 
+(* --- analysis context ------------------------------------------------------ *)
+
+let test_analysis_memo_identity () =
+  let c = fig1 () in
+  let o1 = Circuit.topological_order c in
+  check_bool "order served from one memo" true (o1 == Circuit.topological_order c);
+  let ctx = Analysis.get c in
+  check_bool "context shares the memoized order" true (Analysis.order ctx == o1);
+  check_bool "context itself is memoized" true (Analysis.get c == ctx);
+  check_bool "levels memoized" true (Circuit.levels c == Circuit.levels c);
+  check_bool "context shares levels" true (Analysis.levels ctx == Circuit.levels c);
+  check_bool "reverse CSR memoized" true
+    (Circuit.reverse_csr c == Circuit.reverse_csr c);
+  check_bool "cone served from cache" true
+    (Analysis.cone ctx 0 == Analysis.cone ctx 0);
+  check_bool "distance map served from cache" true
+    (Analysis.distances_to ctx 0 == Analysis.distances_to ctx 0)
+
+let test_analysis_counters () =
+  let registry = Obs.Metrics.create () in
+  Obs.Hooks.set_metrics registry;
+  Fun.protect ~finally:Obs.Hooks.reset @@ fun () ->
+  let c = fig1 () in
+  ignore (Circuit.topological_order c);
+  ignore (Circuit.topological_order c);
+  let ctx = Analysis.get c in
+  ignore (Analysis.order ctx);
+  ignore (Analysis.levels ctx);
+  ignore (Analysis.depth ctx);
+  let s = Obs.Metrics.snapshot registry in
+  check_int "exactly one sort ran" 1
+    (Obs.Metrics.counter_value s "analysis.topo.computed");
+  check_int "accessor bypasses are metered" 2
+    (Obs.Metrics.counter_value s "analysis.topo.direct_calls");
+  check_int "context built once" 1
+    (Obs.Metrics.counter_value s "analysis.context.computed");
+  check_bool "reuse shows up as cache hits" true
+    (Obs.Metrics.counter_value s "analysis.cache.hit" > 0)
+
+(* The ownership contract of DESIGN.md §11: every array the context hands
+   out is shared, and no engine may write into it.  Snapshot all of them,
+   run every engine family over the circuit, and compare. *)
+let prop_analysis_arrays_immutable =
+  qtest ~count:25 ~name:"engines never mutate the shared analysis arrays"
+    seed_arbitrary (fun seed ->
+      let c = random_small_dag ~seed in
+      let ctx = Analysis.get c in
+      let rev = Analysis.reverse_csr ctx in
+      let obs_net = (Analysis.observation_nets ctx).(0) in
+      let snapshots =
+        [
+          Array.copy (Analysis.order ctx);
+          Array.copy (Analysis.position ctx);
+          Array.copy (Analysis.gate_order ctx);
+          Array.copy (Analysis.levels ctx);
+          Array.copy (Analysis.observation_nets ctx);
+          Array.copy (Csr.offsets rev);
+          Array.copy (Csr.targets rev);
+          Array.copy (Analysis.distances_to ctx obs_net);
+        ]
+      in
+      let cone_snapshot = Array.copy (Analysis.cone ctx 0) in
+      let engine = Epp.Epp_engine.create c in
+      ignore (Epp.Epp_engine.analyze_all engine);
+      ignore (Sigprob.Sp_topological.compute c);
+      ignore (Sigprob.Observability.compute c);
+      let timing = Sta.Timing.analyze c in
+      ignore
+        (Sta.Timing.slacks timing
+           ~clock_period:(Sta.Timing.max_delay timing +. 1.0));
+      let current =
+        [
+          Analysis.order ctx;
+          Analysis.position ctx;
+          Analysis.gate_order ctx;
+          Analysis.levels ctx;
+          Analysis.observation_nets ctx;
+          Csr.offsets rev;
+          Csr.targets rev;
+          Analysis.distances_to ctx obs_net;
+        ]
+      in
+      List.for_all2 (fun a b -> a = b) snapshots current
+      && cone_snapshot = Analysis.cone ctx 0)
+
 (* --- statistics ----------------------------------------------------------- *)
 
 let test_stats_fig1 () =
@@ -288,6 +373,13 @@ let () =
           Alcotest.test_case "observations (sequential)" `Quick test_observations_sequential;
           Alcotest.test_case "pseudo inputs" `Quick test_pseudo_inputs;
           Alcotest.test_case "topological order valid" `Quick test_topological_order_valid;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "memoized facts are shared instances" `Quick
+            test_analysis_memo_identity;
+          Alcotest.test_case "reuse counters" `Quick test_analysis_counters;
+          prop_analysis_arrays_immutable;
         ] );
       ( "stats",
         [
