@@ -1,0 +1,41 @@
+(* Validator for the @fuzz-smoke artifact: re-parse BENCH_fuzz.json (with
+   the strict Obs.Json parser — also a round-trip check on the emitter) and
+   assert the conformance acceptance numbers: at least 200 cases, at least
+   4 comparable oracle pairs, and zero non-statistical disagreements. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("fuzz_smoke: " ^ s); exit 1) fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_fuzz.json" in
+  let json =
+    match Obs.Json.parse_file path with
+    | Ok v -> v
+    | Error e -> fail "%s does not parse: %s" path e
+  in
+  let number key =
+    match Option.bind (Obs.Json.member key json) Obs.Json.to_number with
+    | Some n -> n
+    | None -> fail "missing numeric field %S" key
+  in
+  let cases = int_of_float (number "cases") in
+  if cases < 200 then fail "only %d cases (need >= 200)" cases;
+  let pairs =
+    match Obs.Json.member "pairs" json with
+    | Some (Obs.Json.Obj l) -> List.length l
+    | _ -> fail "missing pairs object"
+  in
+  if pairs < 4 then fail "only %d oracle pairs (need >= 4)" pairs;
+  (match Obs.Json.member "hard_findings" json with
+  | Some (Obs.Json.List []) -> ()
+  | Some (Obs.Json.List l) -> fail "%d hard findings" (List.length l)
+  | _ -> fail "missing hard_findings list");
+  if number "comparisons" <= 0.0 then fail "no comparisons ran";
+  if number "invariant_checks" <= 0.0 then fail "no metamorphic invariant checks ran";
+  let envelope_mean = number "envelope_mean" in
+  if envelope_mean < 0.0 || envelope_mean > 0.10 then
+    fail "envelope mean %.4f outside [0, 0.10] (paper claims ~6%% average)" envelope_mean;
+  Printf.printf
+    "fuzz smoke OK: %d cases, %d oracle pairs, %d comparisons, envelope mean %.4f\n"
+    cases pairs
+    (int_of_float (number "comparisons"))
+    envelope_mean

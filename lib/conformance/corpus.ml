@@ -1,0 +1,14 @@
+let load dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".blif")
+  |> List.sort String.compare
+  |> List.map (fun f -> (f, Blif_format.Blif_parser.parse_file (Filename.concat dir f)))
+
+let save ~dir ~name c =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".blif") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Shrinker.to_blif c));
+  path

@@ -1,0 +1,16 @@
+(** Replayable conformance corpus: a directory of BLIF netlists.
+
+    Every circuit that ever exposed a disagreement (plus a few structural
+    staples) lives in [test/corpus/] and is replayed through the full
+    oracle panel by the tier-1 suite, so a fixed regression never needs
+    the fuzzer to be rediscovered. *)
+
+val load : string -> (string * Netlist.Circuit.t) list
+(** [load dir] parses every [*.blif] file in [dir], sorted by filename for
+    deterministic replay order.  Returns [(filename, circuit)] pairs.
+    @raise Sys_error if the directory cannot be read.
+    @raise Blif_format.Blif_parser.Parse_error on a malformed entry. *)
+
+val save : dir:string -> name:string -> Netlist.Circuit.t -> string
+(** [save ~dir ~name c] writes [c] (names sanitized for BLIF) to
+    [dir/name.blif] and returns the path.  Creates [dir] if missing. *)

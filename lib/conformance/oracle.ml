@@ -1,0 +1,294 @@
+(* The oracle registry: every P_sensitized back-end behind one interface.
+
+   The crucial modelling decision is the input distribution.  The exact
+   oracles (enumeration, BDD) and the Monte-Carlo baseline all treat the
+   pseudo-inputs — primary inputs AND flip-flop outputs — as independent
+   with the given 1-probabilities.  The analytical engine's default signal
+   probabilities for sequential circuits are the *sequential fixpoint*
+   (steady-state FF distributions), which models a different question.  So
+   every analytical oracle here is built over the plain topological pass
+   with the same input spec, making all seven oracles answer the same
+   question and keeping the four analytical ones bit-comparable. *)
+
+open Netlist
+
+type soundness =
+  | Exact
+  | Analytical
+  | Statistical of { vectors : int }
+
+type result = {
+  p_sensitized : float;
+  per_observation : (Circuit.observation * float) list;
+}
+
+type t = {
+  name : string;
+  soundness : soundness;
+  available : Circuit.t -> string option;
+  run : Circuit.t -> sites:int array -> result array;
+}
+
+let always_available _ = None
+
+let spec_of input_sp =
+  match input_sp with
+  | None -> Sigprob.Sp.uniform
+  | Some f -> Sigprob.Sp.of_fun f
+
+let analytical_engine ?input_sp c =
+  let sp = Sigprob.Sp_topological.compute ~spec:(spec_of input_sp) c in
+  Epp.Epp_engine.create ~sp c
+
+let of_site_result (r : Epp.Epp_engine.site_result) =
+  { p_sensitized = r.Epp.Epp_engine.p_sensitized;
+    per_observation = r.Epp.Epp_engine.per_observation }
+
+(* --- the back-ends -------------------------------------------------------- *)
+
+let exact_enum ?input_sp ?(limit = 16) () =
+  {
+    name = "exact-enum";
+    soundness = Exact;
+    available =
+      (fun c ->
+        let k = List.length (Circuit.pseudo_inputs c) in
+        if k > limit then
+          Some (Printf.sprintf "%d pseudo-inputs exceed the %d enumeration limit" k limit)
+        else None);
+    run =
+      (fun c ~sites ->
+        Array.map
+          (fun site ->
+            let r = Fault_sim.Epp_exact.compute ?input_sp ~limit c site in
+            { p_sensitized = r.Fault_sim.Epp_exact.p_sensitized;
+              per_observation = r.Fault_sim.Epp_exact.per_observation })
+          sites);
+  }
+
+let exact_bdd ?input_sp ?node_limit () =
+  {
+    name = "exact-bdd";
+    soundness = Exact;
+    available =
+      (fun c ->
+        (* A conservative structural pre-check; Too_large during the build
+           is still caught by the driver as a capacity skip. *)
+        if Circuit.node_count c > 5_000 then Some "circuit too large for the BDD oracle"
+        else None);
+    run =
+      (fun c ~sites ->
+        let cb = Circuit_bdd.build ?node_limit c in
+        Array.map
+          (fun site ->
+            let r = Circuit_bdd.epp_exact ?input_sp ?node_limit cb site in
+            { p_sensitized = r.Circuit_bdd.p_sensitized;
+              per_observation = r.Circuit_bdd.per_observation })
+          sites);
+  }
+
+let monte_carlo ?input_sp ?(vectors = 2048) ?(seed = 424242) () =
+  {
+    name = Printf.sprintf "mc-%d" vectors;
+    soundness = Statistical { vectors };
+    available = always_available;
+    run =
+      (fun c ~sites ->
+        let input_sp = match input_sp with None -> fun _ -> 0.5 | Some f -> f in
+        let sim = Fault_sim.Epp_sim.create ~config:{ vectors; input_sp } c in
+        let rng = Rng.create ~seed in
+        Array.map
+          (fun site ->
+            let r = Fault_sim.Epp_sim.estimate_site sim ~rng site in
+            { p_sensitized = r.Fault_sim.Epp_sim.p_sensitized;
+              per_observation = r.Fault_sim.Epp_sim.per_observation })
+          sites);
+  }
+
+let reference ?input_sp () =
+  {
+    name = "reference";
+    soundness = Analytical;
+    available = always_available;
+    run =
+      (fun c ~sites ->
+        let engine = analytical_engine ?input_sp c in
+        Array.map (fun site -> of_site_result (Epp.Epp_engine.analyze_site engine site)) sites);
+  }
+
+let kernel ?input_sp () =
+  {
+    name = "kernel";
+    soundness = Analytical;
+    available = always_available;
+    run =
+      (fun c ~sites ->
+        let engine = analytical_engine ?input_sp c in
+        let ws = Epp.Epp_engine.Workspace.create engine in
+        Array.map
+          (fun site -> of_site_result (Epp.Epp_engine.Workspace.analyze_site ws site))
+          sites);
+  }
+
+let parallel ?input_sp ?domains () =
+  {
+    name = "parallel";
+    soundness = Analytical;
+    available = always_available;
+    run =
+      (fun c ~sites ->
+        let engine = analytical_engine ?input_sp c in
+        Epp.Parallel.analyze_sites ?domains engine (Array.to_list sites)
+        |> List.map of_site_result
+        |> Array.of_list);
+  }
+
+let supervised ?input_sp ?kernel ?reference () =
+  {
+    name = "supervised";
+    soundness = Analytical;
+    available = always_available;
+    run =
+      (fun c ~sites ->
+        let engine = analytical_engine ?input_sp c in
+        let outcome =
+          Epp.Supervisor.sweep ?kernel ?reference engine (Array.to_list sites)
+        in
+        outcome.Epp.Supervisor.entries
+        |> List.map (fun (_site, entry) ->
+               match entry with
+               | Epp.Supervisor.Analyzed { result; _ } -> of_site_result result
+               | Epp.Supervisor.Quarantined _ ->
+                 (* A quarantine in a conformance run is itself a finding:
+                    surface it as NaN so every policy flags it. *)
+                 { p_sensitized = Float.nan; per_observation = [] })
+        |> Array.of_list);
+  }
+
+let default ?input_sp ?mc_vectors ?mc_seed ?enum_limit () =
+  [
+    exact_enum ?input_sp ?limit:enum_limit ();
+    exact_bdd ?input_sp ();
+    monte_carlo ?input_sp ?vectors:mc_vectors ?seed:mc_seed ();
+    reference ?input_sp ();
+    kernel ?input_sp ();
+    parallel ?input_sp ();
+    supervised ?input_sp ();
+  ]
+
+(* --- agreement policies ---------------------------------------------------- *)
+
+type policy =
+  | Bitwise
+  | Within of float
+  | Envelope of float
+  | Wilson of { z : float; vectors : int; slack : float }
+
+let default_envelope = 0.65
+let default_z = 4.5
+
+let policy ~envelope ~z a b =
+  match (a.soundness, b.soundness) with
+  | Analytical, Analytical -> Some Bitwise
+  | Exact, Exact -> Some (Within 1e-9)
+  | Exact, Analytical | Analytical, Exact -> Some (Envelope envelope)
+  | Statistical { vectors }, Exact | Exact, Statistical { vectors } ->
+    Some (Wilson { z; vectors; slack = 0.0 })
+  | Statistical { vectors }, Analytical | Analytical, Statistical { vectors } ->
+    Some (Wilson { z; vectors; slack = envelope })
+  | Statistical _, Statistical _ -> None
+
+let is_statistical = function
+  | Wilson _ -> true
+  | Bitwise | Within _ | Envelope _ -> false
+
+type mismatch = {
+  left : string;
+  right : string;
+  site : int;
+  site_name : string;
+  quantity : string;
+  lhs : float;
+  rhs : float;
+  policy : policy;
+  gap : float;
+}
+
+(* Distance beyond the allowance; [infinity] for NaN operands.  [phat] must
+   be the statistical side's estimate for the Wilson policy. *)
+let excess policy ~phat ~other =
+  if Float.is_nan phat || Float.is_nan other then infinity
+  else
+    match policy with
+    | Bitwise -> if phat = other then 0.0 else Float.abs (phat -. other)
+    | Within eps -> Float.max 0.0 (Float.abs (phat -. other) -. eps)
+    | Envelope e -> Float.max 0.0 (Float.abs (phat -. other) -. e)
+    | Wilson { z; vectors; slack } ->
+      let n = float_of_int vectors in
+      let z2 = z *. z in
+      let denom = 1.0 +. (z2 /. n) in
+      let center = (phat +. (z2 /. (2.0 *. n))) /. denom in
+      let half =
+        z /. denom *. sqrt ((phat *. (1.0 -. phat) /. n) +. (z2 /. (4.0 *. n *. n)))
+      in
+      (* At the degenerate estimates (phat 0 or 1) the interval endpoint
+         equals phat only in real arithmetic; absorb the float rounding of
+         center +/- half with an epsilon far below any statistical signal. *)
+      Float.max 0.0 (Float.abs (other -. center) -. half -. slack -. 1e-9)
+
+let deviation a b =
+  if Float.is_nan a.p_sensitized || Float.is_nan b.p_sensitized then infinity
+  else Float.abs (a.p_sensitized -. b.p_sensitized)
+
+(* Union of the two per-observation lists, keyed by observation point;
+   an absent entry (an unreached point) reads 0. *)
+let aligned_observations circuit a b =
+  let keys = Circuit.observations circuit in
+  List.filter_map
+    (fun obs ->
+      let find l = List.assoc_opt obs l in
+      match (find a.per_observation, find b.per_observation) with
+      | None, None -> None
+      | va, vb ->
+        Some
+          ( "obs:" ^ Circuit.observation_name circuit obs,
+            Option.value va ~default:0.0,
+            Option.value vb ~default:0.0 ))
+    keys
+
+let compare_site ~policy:p ~left ~right circuit site ra rb =
+  let site_name = Circuit.node_name circuit site in
+  let quantities =
+    match p with
+    | Bitwise | Within _ ->
+      ("p_sensitized", ra.p_sensitized, rb.p_sensitized)
+      :: aligned_observations circuit ra rb
+    | Envelope _ | Wilson _ -> [ ("p_sensitized", ra.p_sensitized, rb.p_sensitized) ]
+  in
+  List.filter_map
+    (fun (quantity, lhs, rhs) ->
+      (* For Wilson, [phat] must be the statistical side. *)
+      let phat, other =
+        match (p, left.soundness, right.soundness) with
+        | Wilson _, Statistical _, _ -> (lhs, rhs)
+        | Wilson _, _, Statistical _ -> (rhs, lhs)
+        | _ -> (lhs, rhs)
+      in
+      let gap = excess p ~phat ~other in
+      if gap > 0.0 then
+        Some
+          { left = left.name; right = right.name; site; site_name; quantity; lhs; rhs;
+            policy = p; gap }
+      else None)
+    quantities
+
+let pp_policy ppf = function
+  | Bitwise -> Fmt.string ppf "bitwise"
+  | Within eps -> Fmt.pf ppf "within %g" eps
+  | Envelope e -> Fmt.pf ppf "envelope %g" e
+  | Wilson { z; vectors; slack } ->
+    Fmt.pf ppf "wilson z=%g n=%d slack=%g" z vectors slack
+
+let pp_mismatch ppf m =
+  Fmt.pf ppf "%s ~ %s disagree at site %d (%s) on %s: %.9g vs %.9g (policy %a, gap %.3g)"
+    m.left m.right m.site m.site_name m.quantity m.lhs m.rhs pp_policy m.policy m.gap

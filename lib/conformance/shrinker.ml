@@ -1,0 +1,302 @@
+(* Delta-debugging shrinker for oracle disagreements.
+
+   The reduction operators all rebuild through Builder (re-validating every
+   invariant) and keep surviving signals under their original names, so the
+   disagreeing site can be tracked by name across steps.  Reductions that
+   produce an invalid netlist (duplicate outputs after a bypass, an empty
+   observation list) are discarded by catching Builder.Error — the check
+   predicate is only consulted on well-formed candidates. *)
+
+open Netlist
+
+type outcome = {
+  circuit : Circuit.t;
+  site : int;
+  steps : int;
+  checks : int;
+  initial_gates : int;
+  final_gates : int;
+}
+
+(* --- reduction operators --------------------------------------------------
+
+   Each returns [Some candidate] (already swept of unobservable logic) or
+   [None] when inapplicable / invalid.  [protect] localizes the Builder
+   exceptions. *)
+
+let protect f = match f () with c -> Some c | exception Builder.Error _ -> None
+
+let sweep c =
+  (* Sweeping can fail only on a circuit with no observations; reductions
+     guard against that before calling. *)
+  Transform.sweep_unobservable c
+
+(* Copy [c] node-for-node, with three override hooks. *)
+let rebuild ?(node : (Builder.t -> int -> bool) option) ?(rewire = fun _ v -> v)
+    ?(outputs : int list option) c =
+  let b = Builder.create ~name:(Circuit.name c) () in
+  let name v = Circuit.node_name c v in
+  let handled = match node with None -> fun _ _ -> false | Some f -> f in
+  for v = 0 to Circuit.node_count c - 1 do
+    if not (handled b v) then
+      match Circuit.node c v with
+      | Circuit.Input -> Builder.add_input b (name v)
+      | Circuit.Ff { data } -> Builder.add_dff b ~q:(name v) ~d:(name (rewire c data))
+      | Circuit.Gate { kind; fanins } ->
+        Builder.add_gate b ~output:(name v) ~kind
+          (Array.to_list (Array.map (fun u -> name (rewire c u)) fanins))
+  done;
+  let outs = match outputs with None -> Circuit.outputs c | Some l -> l in
+  List.iter (fun v -> Builder.add_output b (name (rewire c v))) outs;
+  Builder.freeze b
+
+let drop_observation c i =
+  let outs = Circuit.outputs c in
+  if List.length outs + Circuit.ff_count c < 2 then None
+  else
+    protect (fun () ->
+        let outputs = List.filteri (fun j _ -> j <> i) outs in
+        sweep (rebuild ~outputs c))
+
+let replace_with_input c g =
+  match Circuit.node c g with
+  | Circuit.Gate _ ->
+    protect (fun () ->
+        sweep
+          (rebuild c ~node:(fun b v ->
+               if v = g then begin
+                 Builder.add_input b (Circuit.node_name c v);
+                 true
+               end
+               else false)))
+  | Circuit.Input | Circuit.Ff _ -> None
+
+let bypass c g k =
+  match Circuit.node c g with
+  | Circuit.Gate { fanins; _ } when k < Array.length fanins ->
+    let target = fanins.(k) in
+    let resolve _ v = if v = g then target else v in
+    protect (fun () ->
+        sweep
+          (rebuild c ~rewire:resolve ~node:(fun _ v -> v = g)))
+  | _ -> None
+
+let drop_fanin c g k =
+  match Circuit.node c g with
+  | Circuit.Gate
+      { kind = (Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor) as kind;
+        fanins }
+    when Array.length fanins >= 2 && k < Array.length fanins ->
+    protect (fun () ->
+        sweep
+          (rebuild c ~node:(fun b v ->
+               if v = g then begin
+                 let kept =
+                   Array.to_list fanins
+                   |> List.filteri (fun j _ -> j <> k)
+                   |> List.map (Circuit.node_name c)
+                 in
+                 Builder.add_gate b ~output:(Circuit.node_name c v) ~kind kept;
+                 true
+               end
+               else false)))
+  | _ -> None
+
+(* Inputs with no consumers survive [sweep]; drop every dead one at once so
+   the final repro has a minimal interface too. *)
+let drop_dead_inputs c ~site =
+  let n = Circuit.node_count c in
+  let used = Array.make n false in
+  for v = 0 to n - 1 do
+    match Circuit.node c v with
+    | Circuit.Input -> ()
+    | Circuit.Ff { data } -> used.(data) <- true
+    | Circuit.Gate { fanins; _ } -> Array.iter (fun u -> used.(u) <- true) fanins
+  done;
+  List.iter (fun v -> used.(v) <- true) (Circuit.outputs c);
+  used.(site) <- true;
+  let dead v = (match Circuit.node c v with Circuit.Input -> not used.(v) | _ -> false) in
+  if not (List.exists dead (List.init n Fun.id)) then None
+  else protect (fun () -> rebuild c ~node:(fun _ v -> dead v))
+
+let ff_to_input c f =
+  match Circuit.node c f with
+  | Circuit.Ff _ ->
+    protect (fun () ->
+        sweep
+          (rebuild c ~node:(fun b v ->
+               if v = f then begin
+                 Builder.add_input b (Circuit.node_name c v);
+                 true
+               end
+               else false)))
+  | Circuit.Input | Circuit.Gate _ -> None
+
+(* Candidate reductions of [c], most aggressive first, lazily produced.
+   [site] is the node id of the protected site in [c]. *)
+let candidates c ~site =
+  let n = Circuit.node_count c in
+  let po_count = List.length (Circuit.outputs c) in
+  let gates = List.filter (fun v -> Circuit.is_gate c v && v <> site) (List.init n Fun.id) in
+  (* Cutting upstream cones first shrinks fastest: visit gates in reverse
+     topological order of the shared analysis context. *)
+  let order = Analysis.order (Analysis.get c) in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  let gates = List.sort (fun a b -> compare pos.(b) pos.(a)) gates in
+  let seq_of_list l = List.to_seq l in
+  Seq.cons
+    (fun () -> drop_dead_inputs c ~site)
+    (Seq.append
+       (Seq.concat_map
+          (fun i -> Seq.return (fun () -> drop_observation c i))
+          (seq_of_list (List.init po_count Fun.id)))
+       (Seq.append
+          (Seq.concat_map
+             (fun g -> Seq.return (fun () -> replace_with_input c g))
+             (seq_of_list gates))
+          (Seq.append
+             (Seq.concat_map
+                (fun g ->
+                  let arity =
+                    match Circuit.node c g with
+                    | Circuit.Gate { fanins; _ } -> Array.length fanins
+                    | _ -> 0
+                  in
+                  Seq.concat_map
+                    (fun k ->
+                      Seq.cons (fun () -> bypass c g k)
+                        (Seq.return (fun () -> drop_fanin c g k)))
+                    (seq_of_list (List.init arity Fun.id)))
+                (seq_of_list (site :: gates |> List.filter (Circuit.is_gate c))))
+             (Seq.concat_map
+                (fun f -> Seq.return (fun () -> ff_to_input c f))
+                (seq_of_list (Circuit.ffs c))))))
+
+let shrink ?(max_checks = 4000) ~check circuit ~site =
+  let n = Circuit.node_count circuit in
+  if site < 0 || site >= n then invalid_arg "Shrinker.shrink: bad site";
+  let site_name = Circuit.node_name circuit site in
+  let checks = ref 0 in
+  let guarded c s =
+    incr checks;
+    check c s
+  in
+  if not (guarded circuit site) then
+    invalid_arg "Shrinker.shrink: the disagreement does not reproduce on the input";
+  let current = ref circuit and current_site = ref site and steps = ref 0 in
+  let budget () = !checks < max_checks in
+  let improved = ref true in
+  while !improved && budget () do
+    improved := false;
+    let cands = candidates !current ~site:!current_site in
+    let rec scan seq =
+      if budget () then
+        match Seq.uncons seq with
+        | None -> ()
+        | Some (make, rest) -> (
+          match make () with
+          | None -> scan rest
+          | Some cand -> (
+            match Circuit.find_opt cand site_name with
+            | None -> scan rest
+            | Some s ->
+              if guarded cand s then begin
+                current := cand;
+                current_site := s;
+                incr steps;
+                improved := true
+              end
+              else scan rest))
+    in
+    scan cands
+  done;
+  {
+    circuit = !current;
+    site = !current_site;
+    steps = !steps;
+    checks = !checks;
+    initial_gates = Circuit.gate_count circuit;
+    final_gates = Circuit.gate_count !current;
+  }
+
+(* --- emitters -------------------------------------------------------------- *)
+
+let blif_safe name =
+  String.map
+    (fun ch ->
+      match ch with
+      | '#' | ' ' | '\t' | '\\' | '=' -> '_'
+      | c -> c)
+    name
+
+let sanitize_names c =
+  let n = Circuit.node_count c in
+  let used = Hashtbl.create (2 * n) in
+  let renamed = Array.make n "" in
+  for v = 0 to n - 1 do
+    let base = blif_safe (Circuit.node_name c v) in
+    let name =
+      if not (Hashtbl.mem used base) then base
+      else
+        let rec go i =
+          let cand = Printf.sprintf "%s_%d" base i in
+          if Hashtbl.mem used cand then go (i + 1) else cand
+        in
+        go 2
+    in
+    Hashtbl.replace used name ();
+    renamed.(v) <- name
+  done;
+  let b = Builder.create ~name:(blif_safe (Circuit.name c)) () in
+  for v = 0 to n - 1 do
+    match Circuit.node c v with
+    | Circuit.Input -> Builder.add_input b renamed.(v)
+    | Circuit.Ff { data } -> Builder.add_dff b ~q:renamed.(v) ~d:renamed.(data)
+    | Circuit.Gate { kind; fanins } ->
+      Builder.add_gate b ~output:renamed.(v) ~kind
+        (Array.to_list (Array.map (fun u -> renamed.(u)) fanins))
+  done;
+  List.iter (fun v -> Builder.add_output b renamed.(v)) (Circuit.outputs c);
+  Builder.freeze b
+
+let to_blif c = Blif_format.Blif_printer.circuit_to_string (sanitize_names c)
+
+let kind_constructor = function
+  | Gate.And -> "Netlist.Gate.And"
+  | Gate.Nand -> "Netlist.Gate.Nand"
+  | Gate.Or -> "Netlist.Gate.Or"
+  | Gate.Nor -> "Netlist.Gate.Nor"
+  | Gate.Xor -> "Netlist.Gate.Xor"
+  | Gate.Xnor -> "Netlist.Gate.Xnor"
+  | Gate.Not -> "Netlist.Gate.Not"
+  | Gate.Buf -> "Netlist.Gate.Buf"
+  | Gate.Const0 -> "Netlist.Gate.Const0"
+  | Gate.Const1 -> "Netlist.Gate.Const1"
+
+let to_ocaml c ~site =
+  if site < 0 || site >= Circuit.node_count c then invalid_arg "Shrinker.to_ocaml: bad site";
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "(* Minimal conformance repro for circuit %S; the disagreeing site is %S. *)"
+    (Circuit.name c) (Circuit.node_name c site);
+  line "let repro () =";
+  line "  let b = Netlist.Builder.create ~name:%S () in" (Circuit.name c);
+  for v = 0 to Circuit.node_count c - 1 do
+    match Circuit.node c v with
+    | Circuit.Input -> line "  Netlist.Builder.add_input b %S;" (Circuit.node_name c v)
+    | Circuit.Ff { data } ->
+      line "  Netlist.Builder.add_dff b ~q:%S ~d:%S;" (Circuit.node_name c v)
+        (Circuit.node_name c data)
+    | Circuit.Gate { kind; fanins } ->
+      line "  Netlist.Builder.add_gate b ~output:%S ~kind:%s [ %s ];"
+        (Circuit.node_name c v) (kind_constructor kind)
+        (String.concat "; "
+           (Array.to_list (Array.map (fun u -> Printf.sprintf "%S" (Circuit.node_name c u)) fanins)))
+  done;
+  List.iter
+    (fun v -> line "  Netlist.Builder.add_output b %S;" (Circuit.node_name c v))
+    (Circuit.outputs c);
+  line "  let c = Netlist.Builder.freeze b in";
+  line "  (c, Netlist.Circuit.find c %S)" (Circuit.node_name c site);
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** Minimizing shrinker: delta-debug a circuit exhibiting an oracle
+    disagreement down to a minimal repro.
+
+    Greedy reduction to a fixpoint (DESIGN.md §12): at every step the
+    candidate reductions are tried in decreasing aggressiveness — drop a
+    primary output, cut a gate's whole fan-in cone by turning the gate into
+    a fresh primary input, bypass a gate with one of its fanins, drop one
+    fanin of an n-ary gate, turn a flip-flop into a plain input — each
+    candidate is garbage-collected with {!Netlist.Transform.sweep_unobservable}
+    and re-checked; the first candidate on which the disagreement still
+    reproduces is accepted and the scan restarts.  The disagreeing site is
+    tracked by name and never reduced away; a candidate that loses it (or
+    fails netlist validation) is rejected without consulting [check]. *)
+
+type outcome = {
+  circuit : Netlist.Circuit.t;  (** the minimal repro *)
+  site : int;  (** the disagreeing site in [circuit] *)
+  steps : int;  (** accepted reductions *)
+  checks : int;  (** predicate evaluations spent *)
+  initial_gates : int;
+  final_gates : int;
+}
+
+val shrink :
+  ?max_checks:int ->
+  check:(Netlist.Circuit.t -> int -> bool) ->
+  Netlist.Circuit.t ->
+  site:int ->
+  outcome
+(** [shrink ~check c ~site] minimizes [c] while [check candidate site']
+    holds ([site'] is [site] re-resolved by name).  [max_checks] (default
+    4000) bounds the predicate budget.
+    @raise Invalid_argument if [site] is out of range or [check c site] is
+    already false. *)
+
+val sanitize_names : Netlist.Circuit.t -> Netlist.Circuit.t
+(** Rename signals so the circuit round-trips through BLIF: characters BLIF
+    treats specially ([#] starts a comment, whitespace separates tokens)
+    become [_], with numeric suffixes on collision. *)
+
+val to_blif : Netlist.Circuit.t -> string
+(** The repro as a BLIF netlist ({!sanitize_names} applied first). *)
+
+val to_ocaml : Netlist.Circuit.t -> site:int -> string
+(** The repro as a self-contained OCaml test snippet: builds the circuit
+    through {!Netlist.Builder} and returns [(circuit, site)]. *)

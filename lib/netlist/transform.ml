@@ -232,6 +232,147 @@ let majority_gates b ~base ~a0 ~a1 ~a2 =
   Builder.add_gate b ~output:voter ~kind:Gate.Or [ p01; p12; p02 ];
   voter
 
+(* --- metamorphic mutations ---------------------------------------------------- *)
+
+(* A generated helper name must not collide with an existing signal (a
+   mutation may be applied to the same net twice). *)
+let fresh_name circuit base =
+  if Circuit.find_opt circuit base = None then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s%d" base i in
+      if Circuit.find_opt circuit candidate = None then candidate else go (i + 1)
+    in
+    go 2
+
+let check_node circuit v ~what =
+  if v < 0 || v >= Circuit.node_count circuit then invalid_arg what
+
+(* Copy every node under its own name, rewriting fanin / FF-data / PO
+   references through [rewire] and running [extra] after the copies (new
+   helper gates may reference any original signal). *)
+let copy_with_rewire circuit ~rewire ~extra =
+  let b = Builder.create ~name:(Circuit.name circuit) () in
+  let name v = Circuit.node_name circuit v in
+  for v = 0 to Circuit.node_count circuit - 1 do
+    match Circuit.node circuit v with
+    | Circuit.Input -> Builder.add_input b (name v)
+    | Circuit.Ff { data } -> Builder.add_dff b ~q:(name v) ~d:(rewire data)
+    | Circuit.Gate { kind; fanins } ->
+      Builder.add_gate b ~output:(name v) ~kind (Array.to_list (Array.map rewire fanins))
+  done;
+  extra b;
+  List.iter (fun v -> Builder.add_output b (rewire v)) (Circuit.outputs circuit);
+  Builder.freeze b
+
+let insert_identity ?(double_invert = false) circuit ~net =
+  check_node circuit net ~what:"Transform.insert_identity: bad net";
+  let base = Circuit.node_name circuit net in
+  let tap =
+    fresh_name circuit (base ^ if double_invert then "#ii2" else "#buf")
+  in
+  let rewire v = if v = net then tap else Circuit.node_name circuit v in
+  copy_with_rewire circuit ~rewire ~extra:(fun b ->
+      if double_invert then begin
+        let mid = fresh_name circuit (base ^ "#ii1") in
+        Builder.add_gate b ~output:mid ~kind:Gate.Not [ base ];
+        Builder.add_gate b ~output:tap ~kind:Gate.Not [ mid ]
+      end
+      else Builder.add_gate b ~output:tap ~kind:Gate.Buf [ base ])
+
+let split_fanout circuit ~net =
+  check_node circuit net ~what:"Transform.split_fanout: bad net";
+  (* Count consumer slots in the same deterministic order the rebuild visits
+     them: node order (gate fanin positions, FF data), then PO declarations. *)
+  let slots = ref 0 in
+  for v = 0 to Circuit.node_count circuit - 1 do
+    match Circuit.node circuit v with
+    | Circuit.Input -> ()
+    | Circuit.Ff { data } -> if data = net then incr slots
+    | Circuit.Gate { fanins; _ } ->
+      Array.iter (fun u -> if u = net then incr slots) fanins
+  done;
+  List.iter (fun v -> if v = net then incr slots) (Circuit.outputs circuit);
+  if !slots < 2 then circuit
+  else begin
+    let base = Circuit.node_name circuit net in
+    let tap = fresh_name circuit (base ^ "#split") in
+    let seen = ref 0 in
+    let rewire v =
+      if v = net then begin
+        let slot = !seen in
+        incr seen;
+        if slot land 1 = 1 then tap else base
+      end
+      else Circuit.node_name circuit v
+    in
+    copy_with_rewire circuit ~rewire ~extra:(fun b ->
+        Builder.add_gate b ~output:tap ~kind:Gate.Buf [ base ])
+  end
+
+let de_morgan circuit ~gate =
+  check_node circuit gate ~what:"Transform.de_morgan: bad node";
+  match Circuit.node circuit gate with
+  | Circuit.Gate { kind = (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) as kind; fanins } ->
+    let gname = Circuit.node_name circuit gate in
+    let inverter_names =
+      Array.mapi (fun i _ -> fresh_name circuit (Printf.sprintf "%s#dm%d" gname i)) fanins
+    in
+    let dual_name = fresh_name circuit (gname ^ "#dual") in
+    let b = Builder.create ~name:(Circuit.name circuit) () in
+    let name v = Circuit.node_name circuit v in
+    for v = 0 to Circuit.node_count circuit - 1 do
+      match Circuit.node circuit v with
+      | Circuit.Input -> Builder.add_input b (name v)
+      | Circuit.Ff { data } -> Builder.add_dff b ~q:(name v) ~d:(name data)
+      | Circuit.Gate { kind = k; fanins = f } ->
+        if v = gate then begin
+          Array.iteri
+            (fun i u ->
+              Builder.add_gate b ~output:inverter_names.(i) ~kind:Gate.Not [ name u ])
+            fanins;
+          let nots = Array.to_list inverter_names in
+          match kind with
+          | Gate.Nand -> Builder.add_gate b ~output:gname ~kind:Gate.Or nots
+          | Gate.Nor -> Builder.add_gate b ~output:gname ~kind:Gate.And nots
+          | Gate.And ->
+            Builder.add_gate b ~output:dual_name ~kind:Gate.Or nots;
+            Builder.add_gate b ~output:gname ~kind:Gate.Not [ dual_name ]
+          | Gate.Or ->
+            Builder.add_gate b ~output:dual_name ~kind:Gate.And nots;
+            Builder.add_gate b ~output:gname ~kind:Gate.Not [ dual_name ]
+          | _ -> assert false
+        end
+        else Builder.add_gate b ~output:(name v) ~kind:k (Array.to_list (Array.map name f))
+    done;
+    List.iter (fun v -> Builder.add_output b (name v)) (Circuit.outputs circuit);
+    Builder.freeze b
+  | Circuit.Gate _ | Circuit.Input | Circuit.Ff _ ->
+    invalid_arg "Transform.de_morgan: not an AND/OR/NAND/NOR gate"
+
+let permute_observations circuit ~perm =
+  let outs = Array.of_list (Circuit.outputs circuit) in
+  let k = Array.length outs in
+  if Array.length perm <> k then invalid_arg "Transform.permute_observations: bad length";
+  let seen = Array.make (max k 1) false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= k || seen.(i) then
+        invalid_arg "Transform.permute_observations: not a permutation"
+      else seen.(i) <- true)
+    perm;
+  let b = Builder.create ~name:(Circuit.name circuit) () in
+  let name v = Circuit.node_name circuit v in
+  for v = 0 to Circuit.node_count circuit - 1 do
+    match Circuit.node circuit v with
+    | Circuit.Input -> Builder.add_input b (name v)
+    | Circuit.Ff { data } -> Builder.add_dff b ~q:(name v) ~d:(name data)
+    | Circuit.Gate { kind; fanins } ->
+      Builder.add_gate b ~output:(name v) ~kind (Array.to_list (Array.map name fanins))
+  done;
+  Array.iter (fun i -> Builder.add_output b (name outs.(i))) perm;
+  Builder.freeze b
+
 let triplicate circuit ~nodes =
   let n = Circuit.node_count circuit in
   let selected = Array.make n false in

@@ -34,3 +34,47 @@ val triplicate : Circuit.t -> nodes:int list -> Circuit.t
     the voter's correlated side inputs are precisely what independence
     misses.  @raise Invalid_argument on a bad node id.
     @raise Not_a_gate when a non-gate is selected. *)
+
+(** {2 Metamorphic mutations}
+
+    Semantics-preserving rewrites used by the conformance fuzzer
+    ([lib/conformance]): each keeps every original node alive under its own
+    name and preserves the boolean function at every observation point, so
+    [P_sensitized] of every surviving site is unchanged — {e exactly} for
+    the exact oracles (enumeration, BDD, simulation over the same vectors),
+    and up to floating-point re-association (≲1e-12 at test sizes) for the
+    analytical EPP engine, whose signal probabilities may be recomputed
+    through differently-ordered but mathematically equal expressions. *)
+
+val insert_identity : ?double_invert:bool -> Circuit.t -> net:int -> Circuit.t
+(** Insert an identity stage on [net]'s fanout: every consumer (gate fanin,
+    FF data input, primary-output declaration) is rewired to read a fresh
+    [BUF] of [net] ([<n>#buf]) — or, with [double_invert], a NOT-NOT chain
+    ([<n>#ii1], [<n>#ii2]).  EPP invariant: the identity stage copies (or
+    twice complements) the four-state vector, so the propagation probability
+    of every original site is unchanged.  @raise Invalid_argument on a bad
+    node id. *)
+
+val split_fanout : Circuit.t -> net:int -> Circuit.t
+(** Split [net]'s fanout: consumer slots alternate between reading [net]
+    directly and reading a fresh buffer copy ([<n>#split]).  Returns the
+    circuit unchanged when [net] has fewer than two consumer slots.  Same
+    EPP invariant as {!insert_identity}.  @raise Invalid_argument on a bad
+    node id. *)
+
+val de_morgan : Circuit.t -> gate:int -> Circuit.t
+(** Rewrite one AND/OR/NAND/NOR gate by De Morgan's law, keeping its output
+    name: [NAND(x…)] becomes [OR(NOT x…)], [NOR(x…)] becomes [AND(NOT x…)],
+    and [AND]/[OR] become [NOT] of the rewritten dual ([<n>#dual]); the
+    fanin inverters are named [<n>#dm<i>].  The rules of Table 1 are exact
+    duals, so the EPP of every original site is preserved (up to float
+    rounding in the recomputed signal probabilities).
+    @raise Invalid_argument on a bad node id or a gate outside the
+    AND/OR/NAND/NOR family. *)
+
+val permute_observations : Circuit.t -> perm:int array -> Circuit.t
+(** Re-declare the primary outputs in permuted order ([perm] maps new
+    position to old position).  [P_sensitized = 1 - ∏(1 - p_obs)] is
+    order-independent, so per-site results are preserved (product
+    re-association only).  @raise Invalid_argument if [perm] is not a
+    permutation of the output indices. *)

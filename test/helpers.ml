@@ -123,3 +123,25 @@ let seed_arbitrary = QCheck2.Gen.int_range 1 1_000_000
 
 let qtest ?(count = 100) ~name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* --- failure reproduction ------------------------------------------------- *)
+
+(* One-line structural fingerprint (counts + hash) shared with the fuzzer:
+   printed alongside the failing seed so a property failure in CI can be
+   rebuilt without rerunning the whole suite. *)
+let fingerprint = Conformance.Fuzz.fingerprint
+
+(* [with_repro ~build seed prop] runs [prop] on [build seed]; when the
+   property fails (or raises), the QCheck counterexample report carries the
+   seed and the circuit fingerprint. *)
+let with_repro ~build seed prop =
+  let c = build seed in
+  let repro detail =
+    QCheck2.Test.fail_report
+      (Printf.sprintf "failing seed %d, circuit %s%s" seed (fingerprint c) detail)
+  in
+  match prop c with
+  | true -> true
+  | false -> repro ""
+  | exception QCheck2.Test.Test_fail (msg, _) -> repro (": " ^ msg)
+  | exception exn -> repro (Printf.sprintf " (raised %s)" (Printexc.to_string exn))

@@ -1,0 +1,279 @@
+(* Tier-1 tests for the conformance subsystem: the oracle registry and its
+   agreement policies, corpus replay through the full panel, a bounded
+   fixed-seed fuzz run, the metamorphic invariants on the embedded
+   circuits, and the shrinker (driven through the supervisor's
+   fault-injection seam). *)
+
+open Helpers
+open Netlist
+module Oracle = Conformance.Oracle
+module Fuzz = Conformance.Fuzz
+module Shrinker = Conformance.Shrinker
+module Corpus = Conformance.Corpus
+
+(* --- agreement policies ------------------------------------------------------ *)
+
+let test_policy_matrix () =
+  let an = Oracle.reference () in
+  let ex = Oracle.exact_enum () in
+  let mc = Oracle.monte_carlo ~vectors:1024 () in
+  let is = function
+    | Some p -> p
+    | None -> Alcotest.fail "expected a comparable pair"
+  in
+  let p = Oracle.policy ~envelope:0.1 ~z:3.0 in
+  (match is (p an (Oracle.kernel ())) with
+  | Oracle.Bitwise -> ()
+  | _ -> Alcotest.fail "analytical pair must be bitwise");
+  (match is (p ex (Oracle.exact_bdd ())) with
+  | Oracle.Within eps -> check_bool "tight" true (eps <= 1e-6)
+  | _ -> Alcotest.fail "exact pair must be Within");
+  (match is (p ex an) with
+  | Oracle.Envelope e -> check_float "envelope" 0.1 e
+  | _ -> Alcotest.fail "exact vs analytical must be Envelope");
+  (match is (p mc ex) with
+  | Oracle.Wilson { slack; vectors; _ } ->
+    check_float "no slack vs exact" 0.0 slack;
+    check_int "vectors" 1024 vectors
+  | _ -> Alcotest.fail "statistical vs exact must be Wilson");
+  (match is (p mc an) with
+  | Oracle.Wilson { slack; _ } -> check_float "slack = envelope" 0.1 slack
+  | _ -> Alcotest.fail "statistical vs analytical must be Wilson");
+  check_bool "statistical pair incomparable" true
+    (p mc (Oracle.monte_carlo ~vectors:64 ()) = None)
+
+let test_wilson_endpoints () =
+  (* Degenerate estimates must not trip the interval on rounding alone. *)
+  let mc = Oracle.monte_carlo ~vectors:2048 () in
+  let ex = Oracle.exact_enum () in
+  let c = cancellation () in
+  let one = { Oracle.p_sensitized = 1.0; per_observation = [] } in
+  let zero = { Oracle.p_sensitized = 0.0; per_observation = [] } in
+  let policy =
+    match Oracle.policy ~envelope:0.65 ~z:4.5 mc ex with
+    | Some p -> p
+    | None -> Alcotest.fail "comparable"
+  in
+  check_int "1 vs 1 agrees" 0
+    (List.length (Oracle.compare_site ~policy ~left:mc ~right:ex c 0 one one));
+  check_int "0 vs 0 agrees" 0
+    (List.length (Oracle.compare_site ~policy ~left:mc ~right:ex c 0 zero zero));
+  check_bool "a real gap still trips" true
+    (Oracle.compare_site ~policy ~left:mc ~right:ex c 0 one zero <> [])
+
+(* --- full-panel agreement on the embedded circuits --------------------------- *)
+
+let run_panel ?(envelope = Oracle.default_envelope) c =
+  let ck = Fuzz.check_all_sites ~envelope c in
+  (match List.filter Fuzz.is_hard ck.Fuzz.findings with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "hard finding: %a" Fuzz.pp_finding f);
+  ck
+
+let test_panel_fig1 () =
+  let ck = run_panel (fig1 ()) in
+  check_bool "compared the full panel" true (List.length ck.Fuzz.pairs >= 4);
+  check_bool "no capacity skips on fig1" true (ck.Fuzz.skipped = [])
+
+let test_panel_s27 () = ignore (run_panel (Circuit_gen.Embedded.s27 ()))
+let test_panel_c17 () = ignore (run_panel (Circuit_gen.Embedded.c17 ()))
+
+let test_panel_cancellation () =
+  (* Reconvergent cancellation: the polarity-tracked analytical engines and
+     both exact oracles all agree P_sensitized(x) = 0. *)
+  ignore (run_panel ~envelope:1e-9 (cancellation ()))
+
+(* --- corpus replay ------------------------------------------------------------ *)
+
+(* dune runtest runs from the test directory (where the corpus glob deps are
+   staged); dune exec runs from the workspace root. *)
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+let test_corpus_replay () =
+  let entries = Corpus.load corpus_dir in
+  check_bool "corpus is populated" true (List.length entries >= 5);
+  List.iter
+    (fun (file, c) ->
+      let ck = run_panel c in
+      check_bool (file ^ " compared") true (ck.Fuzz.comparisons > 0))
+    entries
+
+let test_corpus_roundtrip () =
+  (* A mutated circuit (names contain '#') survives the BLIF round-trip
+     after sanitizing and keeps its P_sensitized per surviving site. *)
+  let c = fig1 () in
+  let m = Transform.insert_identity ~double_invert:true c ~net:(Circuit.find c "A") in
+  let s = Shrinker.sanitize_names m in
+  let reparsed = Blif_format.Blif_parser.parse_string (Shrinker.to_blif m) in
+  (* The parser may re-elaborate wide gates, so compare the interface and
+     the semantics rather than the node count. *)
+  check_int "same inputs" (Circuit.input_count s) (Circuit.input_count reparsed);
+  check_int "same outputs" (Circuit.output_count s) (Circuit.output_count reparsed);
+  let p c name =
+    let sp = Sigprob.Sp_topological.compute c in
+    let e = Epp.Epp_engine.create ~sp c in
+    (Epp.Epp_engine.analyze_site e (Circuit.find c name)).Epp.Epp_engine.p_sensitized
+  in
+  check_float "EPP preserved" (p c "H") (p reparsed "H")
+
+(* --- bounded fixed-seed fuzz --------------------------------------------------- *)
+
+let test_fixed_seed_fuzz () =
+  (* A small deterministic fuzz run inside the tier-1 budget (~2s): no hard
+     findings, decent pair coverage, envelope mean near the paper's claim. *)
+  let config =
+    { Fuzz.default_config with seed = 20260806; cases = 12; mc_vectors = 1024 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Fuzz.run config in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match r.Fuzz.hard with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "hard finding: %a" Fuzz.pp_finding f);
+  check_int "all cases ran" 12 r.Fuzz.cases;
+  check_bool "mutants were checked" true (r.Fuzz.mutants > 0);
+  check_bool "invariants were checked" true (r.Fuzz.invariant_checks > 100);
+  check_bool ">=4 oracle pairs" true (List.length r.Fuzz.pair_counts >= 4);
+  check_bool "within the 2s budget" true (dt < 2.0);
+  check_int "deterministic comparisons" r.Fuzz.comparisons (Fuzz.run config).Fuzz.comparisons
+
+(* --- metamorphic invariants on the embedded circuits --------------------------- *)
+
+let epp_of c name =
+  let sp = Sigprob.Sp_topological.compute c in
+  let e = Epp.Epp_engine.create ~sp c in
+  (Epp.Epp_engine.analyze_site e (Circuit.find c name)).Epp.Epp_engine.p_sensitized
+
+let check_mutation_invariant c mutant =
+  for v = 0 to Circuit.node_count c - 1 do
+    let name = Circuit.node_name c v in
+    match Circuit.find_opt mutant name with
+    | None -> ()
+    | Some _ ->
+      check_float_eps 1e-12
+        (Printf.sprintf "site %s" name)
+        (epp_of c name) (epp_of mutant name)
+  done
+
+let test_metamorphic_s27 () =
+  let c = Circuit_gen.Embedded.s27 () in
+  check_mutation_invariant c (Transform.insert_identity c ~net:(Circuit.find c "G10"));
+  let dm =
+    List.find
+      (fun v ->
+        match Circuit.kind_of c v with
+        | Some (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) -> true
+        | _ -> false)
+      (List.init (Circuit.node_count c) Fun.id)
+  in
+  check_mutation_invariant c (Transform.de_morgan c ~gate:dm)
+
+let test_metamorphic_fig1 () =
+  let c = fig1 () in
+  check_mutation_invariant c
+    (Transform.insert_identity ~double_invert:true c ~net:(Circuit.find c "A"));
+  check_mutation_invariant c (Transform.split_fanout c ~net:(Circuit.find c "A"))
+
+(* --- shrinker ------------------------------------------------------------------ *)
+
+let test_shrinker_demo () =
+  (* The acceptance gate: perturb the kernel through the supervisor seam,
+     find a disagreement, shrink it to <=10 gates, and the repro must still
+     disagree and emit as BLIF + OCaml. *)
+  let demo = Fuzz.shrink_demo ~seed:2026 () in
+  let o = demo.Fuzz.outcome in
+  check_bool "still disagrees" true demo.Fuzz.still_disagrees;
+  check_bool "repro has <=10 gates" true (o.Shrinker.final_gates <= 10);
+  check_bool "it shrank" true (o.Shrinker.final_gates < o.Shrinker.initial_gates);
+  check_bool "BLIF emitted" true (String.length demo.Fuzz.blif > 0);
+  check_bool "snippet mentions the site" true
+    (let site = Circuit.node_name o.Shrinker.circuit o.Shrinker.site in
+     let needle = Printf.sprintf "%S" site in
+     let hay = demo.Fuzz.snippet in
+     let n = String.length needle and h = String.length hay in
+     let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+     scan 0)
+
+let test_shrinker_tracks_site () =
+  (* Shrinking under a predicate that only needs the site observable keeps
+     the site alive and reaches a tiny circuit. *)
+  let c = random_small_dag ~seed:5 in
+  let site =
+    List.find (Circuit.is_gate c) (List.init (Circuit.node_count c) Fun.id)
+  in
+  let name = Circuit.node_name c site in
+  let check cand s =
+    Circuit.node_name cand s = name
+    && (epp_of cand name > 0.0 || Circuit.output_count cand > 0)
+  in
+  if check c site then begin
+    let o = Shrinker.shrink ~check c ~site in
+    check_string "site name preserved" name
+      (Circuit.node_name o.Shrinker.circuit o.Shrinker.site);
+    check_bool "did not grow" true (o.Shrinker.final_gates <= o.Shrinker.initial_gates)
+  end
+
+let test_shrinker_rejects_non_repro () =
+  let c = fig1 () in
+  Alcotest.check_raises "must reproduce"
+    (Invalid_argument "Shrinker.shrink: the disagreement does not reproduce on the input")
+    (fun () -> ignore (Shrinker.shrink ~check:(fun _ _ -> false) c ~site:0))
+
+let test_sanitize_names () =
+  let c = fig1 () in
+  let m = Transform.insert_identity ~double_invert:true c ~net:(Circuit.find c "A") in
+  let s = Shrinker.sanitize_names m in
+  for v = 0 to Circuit.node_count s - 1 do
+    String.iter
+      (fun ch ->
+        if ch = '#' || ch = ' ' || ch = '\\' || ch = '=' then
+          Alcotest.failf "unsafe char %C survives in %s" ch (Circuit.node_name s v))
+      (Circuit.node_name s v)
+  done
+
+(* --- fingerprint ----------------------------------------------------------------- *)
+
+let test_fingerprint_distinguishes () =
+  let a = Fuzz.fingerprint (fig1 ()) in
+  check_string "stable" a (Fuzz.fingerprint (fig1 ()));
+  check_bool "sensitive to structure" true
+    (a <> Fuzz.fingerprint (Transform.insert_identity (fig1 ()) ~net:0))
+
+let () =
+  Alcotest.run "conformance"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "soundness matrix" `Quick test_policy_matrix;
+          Alcotest.test_case "Wilson endpoints" `Quick test_wilson_endpoints;
+        ] );
+      ( "panel",
+        [
+          Alcotest.test_case "fig1" `Quick test_panel_fig1;
+          Alcotest.test_case "s27" `Quick test_panel_s27;
+          Alcotest.test_case "c17" `Quick test_panel_c17;
+          Alcotest.test_case "cancellation" `Quick test_panel_cancellation;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "replay" `Slow test_corpus_replay;
+          Alcotest.test_case "BLIF round-trip of mutants" `Quick test_corpus_roundtrip;
+        ] );
+      ("fuzz", [ Alcotest.test_case "fixed-seed run" `Slow test_fixed_seed_fuzz ]);
+      ( "metamorphic",
+        [
+          Alcotest.test_case "s27 invariants" `Quick test_metamorphic_s27;
+          Alcotest.test_case "fig1 invariants" `Quick test_metamorphic_fig1;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "perturbed-kernel demo" `Quick test_shrinker_demo;
+          Alcotest.test_case "tracks the site by name" `Quick test_shrinker_tracks_site;
+          Alcotest.test_case "rejects a non-repro" `Quick test_shrinker_rejects_non_repro;
+          Alcotest.test_case "name sanitizing" `Quick test_sanitize_names;
+        ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "stable and sensitive" `Quick test_fingerprint_distinguishes ]
+      );
+    ]

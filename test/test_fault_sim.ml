@@ -30,6 +30,46 @@ let test_exact_input_limit () =
     (Fault_sim.Epp_exact.Too_many_inputs { inputs = 22; limit = 20 }) (fun () ->
       ignore (Fault_sim.Epp_exact.compute c 0))
 
+let test_exact_exactly_at_limit () =
+  (* [Too_many_inputs] fires strictly above the limit: a circuit with exactly
+     [default_limit] pseudo-inputs must enumerate (2^20 assignments). *)
+  let width = Fault_sim.Epp_exact.default_limit in
+  let c = Circuit_gen.Structured.parity_tree ~width () in
+  check_int "fixture width" width (Circuit.input_count c);
+  let r = Fault_sim.Epp_exact.compute c 0 in
+  (* Every site of a parity tree is sensitized on every assignment. *)
+  check_float "parity leaf" 1.0 r.Fault_sim.Epp_exact.p_sensitized
+
+let test_exact_limit_override () =
+  let c = small_tree () in
+  (* 4 inputs: a limit of 3 must refuse, an explicit limit of 4 must run. *)
+  Alcotest.check_raises "tightened"
+    (Fault_sim.Epp_exact.Too_many_inputs { inputs = 4; limit = 3 }) (fun () ->
+      ignore (Fault_sim.Epp_exact.compute ~limit:3 c 0));
+  let r = Fault_sim.Epp_exact.compute ~limit:4 c (Circuit.find c "y") in
+  check_float "explicit limit runs" 1.0 r.Fault_sim.Epp_exact.p_sensitized
+
+let test_exact_biased_inputs_match_bdd () =
+  (* Non-uniform input_sp: weighted enumeration against the independent BDD
+     oracle, every site of fig1 under the paper's Fig.-1 biases. *)
+  let c = fig1 () in
+  let input_sp = fig1_input_sp c in
+  let cb = Circuit_bdd.build c in
+  for site = 0 to Circuit.node_count c - 1 do
+    let e = Fault_sim.Epp_exact.compute ~input_sp c site in
+    let b = Circuit_bdd.epp_exact ~input_sp cb site in
+    check_float
+      (Printf.sprintf "site %s" (Circuit.node_name c site))
+      b.Circuit_bdd.p_sensitized e.Fault_sim.Epp_exact.p_sensitized;
+    List.iter
+      (fun (obs, p) ->
+        check_float
+          (Printf.sprintf "site %s obs" (Circuit.node_name c site))
+          (List.assoc obs b.Circuit_bdd.per_observation)
+          p)
+      e.Fault_sim.Epp_exact.per_observation
+  done
+
 let test_exact_bad_site () =
   let c = fig1 () in
   Alcotest.check_raises "bad site" (Invalid_argument "Epp_exact.compute: bad site") (fun () ->
@@ -166,6 +206,10 @@ let () =
             test_exact_po_driver_always_sensitized;
           Alcotest.test_case "unobservable site" `Quick test_exact_unobservable_site;
           Alcotest.test_case "input limit" `Quick test_exact_input_limit;
+          Alcotest.test_case "exactly at the limit" `Slow test_exact_exactly_at_limit;
+          Alcotest.test_case "limit override" `Quick test_exact_limit_override;
+          Alcotest.test_case "biased inputs match BDD" `Quick
+            test_exact_biased_inputs_match_bdd;
           Alcotest.test_case "bad site" `Quick test_exact_bad_site;
           Alcotest.test_case "masking by constants" `Quick test_exact_masked_by_constant;
           Alcotest.test_case "per-observation bounds (s27)" `Quick

@@ -277,6 +277,124 @@ let prop_tmr_preserves_behaviour =
         ignore g;
         equivalent_behaviour c (Transform.triplicate c ~nodes:[ pick ]))
 
+(* --- metamorphic mutations ------------------------------------------------- *)
+
+(* The conformance invariant (DESIGN.md §12): a mutation must preserve the
+   analytical P_sensitized of every surviving site, bit-for-bit up to 1e-12.
+   Computed over the plain topological signal probabilities, like the
+   conformance oracles. *)
+let epp_by_name c =
+  let sp = Sigprob.Sp_topological.compute c in
+  let engine = Epp.Epp_engine.create ~sp c in
+  List.map
+    (fun (r : Epp.Epp_engine.site_result) ->
+      (Circuit.node_name c r.Epp.Epp_engine.site, r.Epp.Epp_engine.p_sensitized))
+    (Epp.Epp_engine.analyze_all engine)
+
+let check_epp_invariant msg parent mutant =
+  let after = epp_by_name mutant in
+  List.iter
+    (fun (name, p) ->
+      match List.assoc_opt name after with
+      | None -> ()
+      | Some p' ->
+        if Float.abs (p -. p') > 1e-12 then
+          Alcotest.failf "%s: surviving site %s moved %.17g -> %.17g" msg name p p')
+    (epp_by_name parent)
+
+let test_insert_buffer_invariant () =
+  let c = fig1 () in
+  for net = 0 to Circuit.node_count c - 1 do
+    let m = Transform.insert_identity c ~net in
+    check_int "one gate added" (Circuit.gate_count c + 1) (Circuit.gate_count m);
+    check_bool "behaviour" true (equivalent_behaviour c m);
+    check_epp_invariant (Printf.sprintf "buffer on net %d" net) c m
+  done
+
+let test_insert_inverter_pair_invariant () =
+  let c = fig1 () in
+  for net = 0 to Circuit.node_count c - 1 do
+    let m = Transform.insert_identity ~double_invert:true c ~net in
+    check_int "two gates added" (Circuit.gate_count c + 2) (Circuit.gate_count m);
+    check_bool "behaviour" true (equivalent_behaviour c m);
+    check_epp_invariant (Printf.sprintf "inverter pair on net %d" net) c m
+  done
+
+let test_split_fanout_invariant () =
+  let c = fig1 () in
+  (* A drives E and D: a genuine fanout split. *)
+  let m = Transform.split_fanout c ~net:(Circuit.find c "A") in
+  check_int "one buffer added" (Circuit.gate_count c + 1) (Circuit.gate_count m);
+  check_bool "behaviour" true (equivalent_behaviour c m);
+  check_epp_invariant "split A" c m;
+  (* A single-consumer net is left untouched. *)
+  let u = Transform.split_fanout c ~net:(Circuit.find c "E") in
+  check_int "unchanged" (Circuit.gate_count c) (Circuit.gate_count u)
+
+let test_de_morgan_invariant () =
+  let c = fig1 () in
+  List.iter
+    (fun v ->
+      match Circuit.kind_of c v with
+      | Some (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) ->
+        let m = Transform.de_morgan c ~gate:v in
+        check_bool "behaviour" true (equivalent_behaviour c m);
+        check_epp_invariant
+          (Printf.sprintf "de Morgan on %s" (Circuit.node_name c v))
+          c m
+      | _ -> ())
+    (List.init (Circuit.node_count c) Fun.id);
+  Alcotest.check_raises "not eligible"
+    (Invalid_argument "Transform.de_morgan: not an AND/OR/NAND/NOR gate") (fun () ->
+      ignore (Transform.de_morgan c ~gate:(Circuit.find c "E")))
+
+let test_permute_observations_invariant () =
+  let c = random_small_dag ~seed:11 in
+  let k = Circuit.output_count c in
+  check_bool "fixture has several POs" true (k >= 2);
+  let perm = Array.init k (fun i -> (i + 1) mod k) in
+  let m = Transform.permute_observations c ~perm in
+  check_epp_invariant "permute POs" c m;
+  (* The observed nets are the same multiset, in permuted order. *)
+  let nets c = List.map (Circuit.node_name c) (Circuit.outputs c) in
+  check_bool "same nets" true
+    (List.sort compare (nets c) = List.sort compare (nets m));
+  check_bool "order permuted" true (nets c <> nets m || k = 1);
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Transform.permute_observations: bad length") (fun () ->
+      ignore (Transform.permute_observations c ~perm:[| 0 |]));
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Transform.permute_observations: not a permutation") (fun () ->
+      ignore (Transform.permute_observations c ~perm:(Array.make k 0)))
+
+let prop_mutations_preserve_epp =
+  qtest ~count:25 ~name:"mutation chain preserves EPP of surviving sites" seed_arbitrary
+    (fun seed ->
+      with_repro ~build:(fun s -> random_small_dag ~seed:s) seed (fun c ->
+          let rng = Rng.create ~seed in
+          let n = Circuit.node_count c in
+          let m1 = Transform.insert_identity c ~net:(Rng.int rng ~bound:n) in
+          let m2 =
+            Transform.insert_identity ~double_invert:true m1
+              ~net:(Rng.int rng ~bound:(Circuit.node_count m1))
+          in
+          let m3 =
+            match
+              List.filter
+                (fun v ->
+                  match Circuit.kind_of m2 v with
+                  | Some (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) -> true
+                  | _ -> false)
+                (List.init (Circuit.node_count m2) Fun.id)
+            with
+            | [] -> m2
+            | eligible ->
+              Transform.de_morgan m2
+                ~gate:(List.nth eligible (Rng.int rng ~bound:(List.length eligible)))
+          in
+          check_epp_invariant "chain" c m3;
+          equivalent_behaviour c m3))
+
 let () =
   Alcotest.run "transform"
     [
@@ -313,5 +431,16 @@ let () =
           Alcotest.test_case "rejects non-gates" `Quick test_tmr_rejects_non_gates;
           Alcotest.test_case "bad node id" `Quick test_tmr_bad_node;
           prop_tmr_preserves_behaviour;
+        ] );
+      ( "metamorphic",
+        [
+          Alcotest.test_case "buffer insertion" `Quick test_insert_buffer_invariant;
+          Alcotest.test_case "inverter-pair insertion" `Quick
+            test_insert_inverter_pair_invariant;
+          Alcotest.test_case "fanout split" `Quick test_split_fanout_invariant;
+          Alcotest.test_case "de Morgan rewrite" `Quick test_de_morgan_invariant;
+          Alcotest.test_case "observation permutation" `Quick
+            test_permute_observations_invariant;
+          prop_mutations_preserve_epp;
         ] );
     ]
