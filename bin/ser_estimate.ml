@@ -6,9 +6,11 @@
 
    The supervised mode (--supervised, or implied by --checkpoint / --resume /
    --strict) runs the sweep under Epp.Supervisor's degradation ladder:
-   sites that crash or trip a numeric sentinel on the fast kernel are
-   retried on the boxed reference path, and sites that fail both rungs are
-   quarantined into a typed report instead of killing the run.  --checkpoint
+   dense sweeps start on the batched block engine (--batch-mode), lanes
+   that fault drop to the per-site kernel, sites that crash or trip a
+   numeric sentinel there are retried on the boxed reference path, and
+   sites that fail every rung are quarantined into a typed report instead
+   of killing the run.  --checkpoint
    snapshots completed sites atomically after every chunk; --resume replays
    a matching snapshot and analyzes only the remainder.
 
@@ -66,7 +68,7 @@ let print_report circuit technology (report : Epp.Ser_estimator.report) elapsed
   end
 
 let run_supervised circuit technology top_k target_reduction by_output
-    electrical checkpoint resume strict domains progress =
+    electrical checkpoint resume strict domains batch progress =
   let engine = Epp.Epp_engine.create circuit in
   let meter =
     if progress then
@@ -83,7 +85,7 @@ let run_supervised circuit technology top_k target_reduction by_output
   let swept, elapsed =
     Report.Timer.time (fun () ->
         Report.Checkpoint.supervised_sweep ?domains ?checkpoint ~resume
-          ?on_progress engine)
+          ~batch ?on_progress engine)
   in
   Option.iter Obs.Progress.finish meter;
   match swept with
@@ -107,7 +109,7 @@ let run_supervised circuit technology top_k target_reduction by_output
     if strict && quarantines <> [] then exit_quarantined else 0
 
 let run circuit technology top_k target_reduction by_output electrical
-    supervised checkpoint resume strict domains metrics trace progress =
+    supervised checkpoint resume strict domains batch metrics trace progress =
   Cli_common.with_telemetry ~metrics ~trace @@ fun () ->
   Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"cli" "ser_estimate" @@ fun () ->
   let electrical = if electrical then Some Seu_model.Electrical.default else None in
@@ -116,7 +118,7 @@ let run circuit technology top_k target_reduction by_output electrical
   in
   if supervised then
     run_supervised circuit technology top_k target_reduction by_output
-      electrical checkpoint resume strict domains progress
+      electrical checkpoint resume strict domains batch progress
   else begin
     let (report : Epp.Ser_estimator.report), elapsed =
       Report.Timer.time (fun () ->
@@ -184,6 +186,26 @@ let domains_arg =
   let doc = "Worker domains for the supervised sweep (default: cores - 1)." in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let batch_mode_arg =
+  let doc =
+    "Batch-rung policy for the supervised sweep: $(b,auto) takes the \
+     level-synchronous block engine when the circuit is dense enough, \
+     $(b,always) forces it (polarity mode permitting), $(b,never) keeps the \
+     per-site kernel.  Results are bit-identical either way."
+  in
+  let modes =
+    Arg.enum
+      [
+        ("auto", Epp.Supervisor.Auto);
+        ("always", Epp.Supervisor.Always);
+        ("never", Epp.Supervisor.Never);
+      ]
+  in
+  Arg.(
+    value
+    & opt modes Epp.Supervisor.Auto
+    & info [ "batch-mode" ] ~docv:"auto|always|never" ~doc)
+
 let cmd =
   let doc = "analytical soft-error-rate estimation (EPP method, DATE'05)" in
   Cmd.v
@@ -191,7 +213,7 @@ let cmd =
     Term.(
       const run $ Cli_common.circuit_arg $ Cli_common.technology_arg $ top_k_arg $ target_arg
       $ by_output_arg $ electrical_arg $ supervised_arg $ checkpoint_arg $ resume_arg
-      $ strict_arg $ domains_arg $ Cli_common.metrics_arg $ Cli_common.trace_arg
+      $ strict_arg $ domains_arg $ batch_mode_arg $ Cli_common.metrics_arg $ Cli_common.trace_arg
       $ Cli_common.progress_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,8 +7,8 @@
    probabilities for sequential circuits are the *sequential fixpoint*
    (steady-state FF distributions), which models a different question.  So
    every analytical oracle here is built over the plain topological pass
-   with the same input spec, making all seven oracles answer the same
-   question and keeping the four analytical ones bit-comparable. *)
+   with the same input spec, making all eight oracles answer the same
+   question and keeping the five analytical ones bit-comparable. *)
 
 open Netlist
 
@@ -130,6 +130,18 @@ let kernel ?input_sp () =
           sites);
   }
 
+let batch ?input_sp ?lanes () =
+  {
+    name = "batch";
+    soundness = Analytical;
+    available = always_available;
+    run =
+      (fun c ~sites ->
+        let engine = analytical_engine ?input_sp c in
+        Array.map of_site_result
+          (Epp.Epp_batch.analyze_site_array ?lanes engine sites));
+  }
+
 let parallel ?input_sp ?domains () =
   {
     name = "parallel";
@@ -172,6 +184,7 @@ let default ?input_sp ?mc_vectors ?mc_seed ?enum_limit () =
     monte_carlo ?input_sp ?vectors:mc_vectors ?seed:mc_seed ();
     reference ?input_sp ();
     kernel ?input_sp ();
+    batch ?input_sp ();
     parallel ?input_sp ();
     supervised ?input_sp ();
   ]

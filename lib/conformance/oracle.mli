@@ -6,8 +6,9 @@
     Soundness classes drive the policy (DESIGN.md §12):
 
     - two {e analytical} oracles implement the same Table-1 specification
-      (the boxed reference, the SoA kernel, the work-stealing parallel
-      driver, the supervised sweep) and must agree {e bit-wise};
+      (the boxed reference, the SoA kernel, the level-synchronous batch
+      engine, the work-stealing parallel driver, the supervised sweep) and
+      must agree {e bit-wise};
     - two {e exact} oracles (weighted enumeration, BDD) compute the same
       real number along different float paths and must agree within [1e-9];
     - an {e analytical} oracle against an {e exact} one is the paper's own
@@ -66,6 +67,12 @@ val reference : ?input_sp:(int -> float) -> unit -> t
 val kernel : ?input_sp:(int -> float) -> unit -> t
 (** The allocation-free {!Epp.Epp_engine.Workspace} SoA kernel. *)
 
+val batch : ?input_sp:(int -> float) -> ?lanes:int -> unit -> t
+(** The level-synchronous {!Epp.Epp_batch} block engine ([lanes] sites per
+    O(V + E) pass, default {!Epp.Epp_batch.max_lanes}).  Analytical — it
+    joins the Bitwise-compared panel, so any arithmetic divergence from the
+    per-site kernel is a hard failure. *)
+
 val parallel : ?input_sp:(int -> float) -> ?domains:int -> unit -> t
 (** {!Epp.Parallel.analyze_sites} work-stealing fan-out. *)
 
@@ -82,7 +89,7 @@ val supervised :
 
 val default : ?input_sp:(int -> float) -> ?mc_vectors:int -> ?mc_seed:int -> ?enum_limit:int -> unit -> t list
 (** The full registry, in fixed order: exact-enum, exact-bdd, monte-carlo,
-    reference, kernel, parallel, supervised. *)
+    reference, kernel, batch, parallel, supervised. *)
 
 (** {1 Agreement policies} *)
 

@@ -5,6 +5,7 @@
    drivers and the checkpoint serializer can share the vocabulary. *)
 
 type step =
+  | Batch
   | Kernel
   | Reference
 
@@ -23,6 +24,7 @@ type quarantine = {
 
 type stats = {
   total : int;
+  batch_ok : int;
   kernel_ok : int;
   degraded : int;
   quarantined : int;
@@ -30,6 +32,7 @@ type stats = {
 }
 
 let step_to_string = function
+  | Batch -> "batch"
   | Kernel -> "kernel"
   | Reference -> "reference"
 
@@ -64,6 +67,6 @@ let pp_quarantine_table ppf = function
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "%d site(s): %d kernel, %d degraded to reference, %d quarantined, %d \
-     resumed from checkpoint"
-    s.total s.kernel_ok s.degraded s.quarantined s.resumed
+    "%d site(s): %d batch, %d kernel, %d degraded to reference, %d \
+     quarantined, %d resumed from checkpoint"
+    s.total s.batch_ok s.kernel_ok s.degraded s.quarantined s.resumed

@@ -7,7 +7,8 @@
     some worker domain. *)
 
 type step =
-  | Kernel  (** the allocation-free {!Epp_engine.Workspace} fast path *)
+  | Batch  (** the level-synchronous {!Epp_batch} block fast path *)
+  | Kernel  (** the allocation-free {!Epp_engine.Workspace} per-site path *)
   | Reference  (** the boxed {!Epp_engine.analyze_site} specification path *)
 
 type fault =
@@ -32,7 +33,8 @@ type quarantine = {
 
 type stats = {
   total : int;  (** sites swept, including resumed ones *)
-  kernel_ok : int;  (** sites analyzed by the fast kernel, first try *)
+  batch_ok : int;  (** sites analyzed by the batched block engine *)
+  kernel_ok : int;  (** sites analyzed by the per-site kernel, first try *)
   degraded : int;  (** sites that needed the reference-path retry *)
   quarantined : int;
   resumed : int;  (** sites replayed from a checkpoint, not re-analyzed *)

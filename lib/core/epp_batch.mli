@@ -1,0 +1,95 @@
+(** Level-synchronous batched EPP sweep: the four-state vectors of a block
+    of up to {!max_lanes} error sites propagate together in one level-order
+    pass over the shared forward CSR.
+
+    Where the per-site kernel ({!Epp_engine.Workspace}) extracts and walks
+    each site's cone — O(sites · E) when cones are dense — the batch engine
+    pays one O(V + E) pass per block: node-major lane-stride float planes,
+    a per-node lane bitmask in place of per-site cones, gates scheduled by
+    ASAP level ({!Netlist.Analysis.level_gates}), and lane compaction inside
+    {!Rules.Lanes} so drained lanes cost nothing.  Per lane the arithmetic
+    mirrors the kernel operation-for-operation, so results are
+    bit-identical; the per-site kernel remains the conformance oracle.
+
+    Polarity mode only; an engine in [Naive] mode is rejected at block
+    creation. *)
+
+val max_lanes : int
+(** Sites per block, 62: one OCaml int per node carries the block's cone
+    membership bitmask. *)
+
+(** One block workspace: the reusable planes, masks and scratch for blocks
+    of up to [lanes] sites.  Single-owner mutable state — one per domain,
+    reusable across any number of blocks. *)
+module Block : sig
+  type ws
+
+  val create : ?lanes:int -> Epp_engine.t -> ws
+  (** Workspace for blocks of up to [lanes] (default {!max_lanes}) sites.
+      @raise Invalid_argument if the engine is in [Naive] mode or [lanes]
+      is outside [1, max_lanes]. *)
+
+  val engine : ws -> Epp_engine.t
+
+  val lanes : ws -> int
+  (** The block capacity this workspace was created with. *)
+
+  val run : ws -> int array -> (Epp_engine.site_result, exn) result array
+  (** [run b sites] analyzes every site of the block in one shared pass and
+      returns per-lane results aligned with [sites].  A lane whose site
+      would make the per-site kernel raise (invalid off-path probability,
+      rule defect, arity violation) yields [Error] with that exception —
+      the exception the kernel would have raised — while the other lanes
+      complete normally.  Duplicate sites are allowed.
+      @raise Invalid_argument on a bad site id or more than [lanes b]
+      sites. *)
+
+  val lane_vector_defect : ws -> int -> float
+  (** Block twin of {!Epp_engine.Workspace.last_vector_defect}: the worst
+      four-state sum drift from 1 at the observation nets lane [l] reached
+      in the last {!run} (NaN if any component is NaN).  Only meaningful
+      between a [run] and the next one. *)
+end
+
+(** {2 Whole-sweep drivers}
+
+    Sequential block-at-a-time drivers with the same signatures and
+    exception behaviour as {!Epp_engine.analyze_sites} /
+    {!Epp_engine.analyze_all} (the earliest failing site's exception is
+    raised).  {!Epp.Parallel} schedules blocks across domains on top of
+    {!Block.run}. *)
+
+val analyze_site_array :
+  ?lanes:int -> Epp_engine.t -> int array -> Epp_engine.site_result array
+
+val analyze_sites :
+  ?lanes:int -> Epp_engine.t -> int list -> Epp_engine.site_result list
+
+val analyze_all : ?lanes:int -> Epp_engine.t -> Epp_engine.site_result list
+
+(** {2 Density heuristic} *)
+
+val density : Epp_engine.t -> float
+(** Estimated mean cone size over circuit size, from {!density_samples}
+    evenly-spaced sample cones served by the shared analysis cache.
+    Exposed as the [epp.batch.density] gauge. *)
+
+val density_samples : int
+
+val should_batch :
+  ?density_threshold:float ->
+  ?min_nodes:int ->
+  ?min_sites:int ->
+  Epp_engine.t ->
+  sites:int ->
+  bool
+(** The batch-vs-per-site dispatch decision: batch only pays when cones are
+    dense and the sweep is big.  True iff the engine is polarity-mode with
+    the cone restriction on, the circuit has at least [min_nodes] (default
+    256) nodes, the sweep covers at least [min_sites] (default 8) sites,
+    and {!density} is at least [density_threshold] (default 0.02).  Tiny or
+    cone-local circuits keep the per-site kernel. *)
+
+val default_density_threshold : float
+val default_min_nodes : int
+val default_min_sites : int

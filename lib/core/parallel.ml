@@ -157,6 +157,75 @@ let analyze_sites ?domains engine sites =
       ~f:Epp_engine.Workspace.analyze_site (Array.of_list sites)
     |> Array.to_list
 
+(* Array-native per-site sweep: the whole-circuit driver used to build a
+   [List.init n] just to turn it back into an array here — on a
+   million-node netlist that is a million cons cells on the hot path for
+   nothing.  The array goes straight to the work-stealing loop. *)
+let analyze_site_array ?domains engine sites =
+  let domains = resolve_domains ~who:"Parallel.analyze_site_array" domains in
+  let n = Array.length sites in
+  if n = 0 then [||]
+  else if domains = 1 || n < 2 * domains then begin
+    let ws = Epp_engine.Workspace.create engine in
+    Array.map (Epp_engine.Workspace.analyze_site ws) sites
+  end
+  else
+    map_array ~domains
+      ~workspace:(fun () -> Epp_engine.Workspace.create engine)
+      ~f:Epp_engine.Workspace.analyze_site sites
+
+(* Batched sweep: each work item is a whole block (one O(V + E) pass over
+   up to [lanes] sites), so the small-batch spawn decision counts *blocks*,
+   not sites — the per-site threshold would spawn domains for sweeps the
+   block engine finishes in a handful of passes. *)
+let analyze_sites_batched ?domains ?lanes engine sites =
+  let domains = resolve_domains ~who:"Parallel.analyze_sites_batched" domains in
+  let lanes =
+    match lanes with
+    | None -> Epp_batch.max_lanes
+    | Some l ->
+      if l < 1 || l > Epp_batch.max_lanes then
+        invalid_arg
+          (Printf.sprintf
+             "Parallel.analyze_sites_batched: lanes must be in [1, %d]"
+             Epp_batch.max_lanes);
+      l
+  in
+  let total = Array.length sites in
+  if total = 0 then [||]
+  else begin
+    let nblocks = (total + lanes - 1) / lanes in
+    if domains = 1 || nblocks < 2 * domains then
+      Epp_batch.analyze_site_array ~lanes engine sites
+    else begin
+      let blocks =
+        Array.init nblocks (fun i ->
+            let off = i * lanes in
+            Array.sub sites off (min lanes (total - off)))
+      in
+      let per_block =
+        map_array ~domains
+          ~workspace:(fun () -> Epp_batch.Block.create ~lanes engine)
+          ~f:Epp_batch.Block.run blocks
+      in
+      (* The earliest failing site's exception propagates, matching the
+         sequential drivers: blocks and lanes are scanned in input order. *)
+      let out = Array.make total None in
+      Array.iteri
+        (fun bi results ->
+          Array.iteri
+            (fun l r ->
+              match r with
+              | Ok r -> out.((bi * lanes) + l) <- Some r
+              | Error e -> raise e)
+            results)
+        per_block;
+      Array.map
+        (function Some r -> r | None -> assert false (* every lane filled *))
+        out
+    end
+  end
+
 let analyze_all ?domains engine =
   let n = Netlist.Circuit.node_count (Epp_engine.circuit engine) in
-  analyze_sites ?domains engine (List.init n Fun.id)
+  Array.to_list (analyze_site_array ?domains engine (Array.init n Fun.id))

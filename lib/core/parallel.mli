@@ -33,4 +33,24 @@ val analyze_sites :
     back to the sequential path for tiny batches.
     @raise Invalid_argument if [domains < 1]. *)
 
+val analyze_site_array :
+  ?domains:int -> Epp_engine.t -> int array -> Epp_engine.site_result array
+(** Array-native {!analyze_sites}: no list round-trip on the hot path. *)
+
+val analyze_sites_batched :
+  ?domains:int ->
+  ?lanes:int ->
+  Epp_engine.t ->
+  int array ->
+  Epp_engine.site_result array
+(** The batched multicore sweep: sites are chunked into {!Epp_batch} blocks
+    of [lanes] (default {!Epp_batch.max_lanes}) and whole {e blocks} are
+    scheduled per domain — each work item is one O(V + E) level-synchronous
+    pass, so the small-batch fallback counts blocks, not sites.  Results
+    are bit-identical to {!analyze_site_array} and come back in input
+    order; the earliest failing site's exception propagates, as in the
+    sequential drivers.
+    @raise Invalid_argument if [domains < 1], [lanes] is out of range, the
+    engine is in [Naive] mode, or a site id is bad. *)
+
 val analyze_all : ?domains:int -> Epp_engine.t -> Epp_engine.site_result list

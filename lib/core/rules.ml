@@ -259,6 +259,505 @@ module Soa = struct
       dst_p0.(dst) <- 0.0
 end
 
+(* --- lane-vectorized kernels ---------------------------------------------
+
+   The batched engine (Epp_batch) propagates one gate for a whole *block* of
+   error sites at once: the four-state vectors live in node-major float
+   planes with a lane stride ([plane.(u * stride + lane)]), and a per-node
+   bitmask says which lanes have the node on-path.  The kernels below
+   evaluate one gate for every live lane of the block in straight-line loops
+   over those contiguous floats.
+
+   Bit-compatibility contract, same as {!Soa}: per lane, the float
+   operations are the mirror of the boxed rules in the same order —
+   fanin-order products, the same association in the sums, the same clamps,
+   the same normalize conditions.  An off-path fanin contributes its signal
+   probability [sv] exactly as the per-site gather does: the [qa]/[qab]
+   factors there are [sv +. 0.0], which IEEE-754 guarantees equals [sv] for
+   every value in [0, 1], so the scalar fast path multiplies by [sv]
+   directly.
+
+   Fault isolation replaces exceptions: a lane whose arithmetic trips a
+   normalize condition (or that reads an invalid off-path probability — the
+   mirror of {!Prob4.of_sp}) is recorded in [scratch.faults] with exactly
+   the exception the per-site kernel would have raised, and only that lane
+   drops out; the rest of the block continues. *)
+
+module Lanes = struct
+  (* Trailing-zero count of a nonzero word: branchy binary search, no
+     lookup tables (OCaml ints are 63-bit, which rules out the usual
+     64-bit de Bruijn multiply). *)
+  let ntz x =
+    let x = ref (x land -x) in
+    let n = ref 0 in
+    if !x land 0xFFFFFFFF = 0 then begin
+      n := !n + 32;
+      x := !x lsr 32
+    end;
+    if !x land 0xFFFF = 0 then begin
+      n := !n + 16;
+      x := !x lsr 16
+    end;
+    if !x land 0xFF = 0 then begin
+      n := !n + 8;
+      x := !x lsr 8
+    end;
+    if !x land 0xF = 0 then begin
+      n := !n + 4;
+      x := !x lsr 4
+    end;
+    if !x land 0x3 = 0 then begin
+      n := !n + 2;
+      x := !x lsr 2
+    end;
+    if !x land 0x1 = 0 then incr n;
+    !n
+
+  type scratch = {
+    lanes : int array;  (* live lanes of the current gate, compacted *)
+    aa : float array;  (* AND/OR: value product; XOR: pa accumulator *)
+    ab : float array;  (* AND/OR: qa product;    XOR: pa_bar *)
+    ac : float array;  (* AND/OR: qab product;   XOR: p1 *)
+    ad : float array;  (* XOR: p0 *)
+    mutable faults : (int * exn) list;
+    mutable last_live : int;  (* lanes that evaluated the last gate rule *)
+  }
+
+  let create ~lanes =
+    let k = max 1 lanes in
+    {
+      lanes = Array.make k 0;
+      aa = Array.make k 0.0;
+      ab = Array.make k 0.0;
+      ac = Array.make k 0.0;
+      ad = Array.make k 0.0;
+      faults = [];
+      last_live = 0;
+    }
+
+  let capacity s = Array.length s.lanes
+  let faults s = s.faults
+  let last_live s = s.last_live
+
+  let fault s fm l e =
+    s.faults <- (l, e) :: s.faults;
+    fm lor (1 lsl l)
+
+  let fault_all s fm bits e =
+    let m = ref (bits land lnot fm) in
+    let fm = ref fm in
+    while !m <> 0 do
+      let l = ntz !m in
+      fm := fault s !fm l e;
+      m := !m land (!m - 1)
+    done;
+    !fm
+
+  (* The mirror of the per-site gather's off-path validation: the kernel
+     calls [Prob4.of_sp sv] (which raises) on the first invalid off-path
+     fanin it gathers, before any rule arithmetic.  Here every lane for
+     which some fanin is off-path with an invalid probability faults with
+     that same exception, fanin order deciding which one when several
+     qualify. *)
+  let prescan_sp s ~fanins ~mask ~sp ~em =
+    let fm = ref 0 in
+    for j = 0 to Array.length fanins - 1 do
+      let u = Array.unsafe_get fanins j in
+      let off = em land lnot (Array.unsafe_get mask u) in
+      if off <> 0 then begin
+        let sv = Array.unsafe_get sp u in
+        if not (sv >= 0.0 && sv <= 1.0) then
+          fm :=
+            fault_all s !fm off
+              (Prob4.Invalid
+                 {
+                   vector = { Prob4.pa = 0.0; pa_bar = 0.0; p1 = sv; p0 = 1.0 -. sv };
+                   reason = "signal probability outside [0,1]";
+                 })
+      end
+    done;
+    !fm
+
+  (* Mirror of {!Soa.normalize_store} for one lane; a defect faults the lane
+     instead of raising.  Returns the updated fault mask. *)
+  let store_lane s fm ~vpa ~vpab ~vp1 ~vp0 ~dst_pa ~dst_pa_bar ~dst_p1 ~dst_p0 idx l =
+    let vpa = clamp01 vpa
+    and vpab = clamp01 vpab
+    and vp1 = clamp01 vp1
+    and vp0 = clamp01 vp0 in
+    let sum = vpa +. vpab +. vp1 +. vp0 in
+    if sum <= 0.0 then
+      fault s fm l
+        (Prob4.Invalid
+           { vector = { Prob4.pa = vpa; pa_bar = vpab; p1 = vp1; p0 = vp0 };
+             reason = "zero mass" })
+    else if Float.abs (sum -. 1.0) > 1e-6 then
+      fault s fm l
+        (Prob4.Invalid
+           { vector = { Prob4.pa = vpa; pa_bar = vpab; p1 = vp1; p0 = vp0 };
+             reason = "components do not sum to 1" })
+    else if sum = 1.0 then begin
+      (* the common case: division by 1.0 is an IEEE identity, so skipping
+         the four divides stays bit-identical to the normalizing store *)
+      Array.unsafe_set dst_pa idx vpa;
+      Array.unsafe_set dst_pa_bar idx vpab;
+      Array.unsafe_set dst_p1 idx vp1;
+      Array.unsafe_set dst_p0 idx vp0;
+      fm
+    end
+    else begin
+      Array.unsafe_set dst_pa idx (vpa /. sum);
+      Array.unsafe_set dst_pa_bar idx (vpab /. sum);
+      Array.unsafe_set dst_p1 idx (vp1 /. sum);
+      Array.unsafe_set dst_p0 idx (vp0 /. sum);
+      fm
+    end
+
+  (* AND/OR accumulation: [value] is the controlling-component plane (p1 for
+     AND, p0 for OR) — per live lane, fold the fanins in order, collecting
+     the controlling product into aa and the qa/qab products into ab/ac so
+     the per-lane operation order matches the per-site
+     [and_components]/[or_components] exactly.  [complement] says how an
+     off-path fanin's factor derives from its signal probability: [sv] for
+     AND (the gathered p1), [1.0 -. sv] for OR (the gathered p0) — the
+     error components of an off-path fanin are zero so all three products
+     share the one factor.
+
+     Two loop orders, picked by the live-lane count, both applying the same
+     per-lane multiplication sequence (so both are bit-identical to the
+     per-site fold): narrow gates go lane-major with the three accumulators
+     as float arguments of a local tail call — unboxed in registers, no
+     accumulator-array traffic, which is what the cone-local (tree) regime
+     mostly sees.  Wide gates go fanin-major: a fanin that is on-path for
+     every live lane takes a branch-free contiguous inner loop, which is
+     what dense blocks with most of their 62 lanes live mostly see. *)
+  let accumulate_products s ~fanins ~mask ~em ~sp ~stride ~value ~err_a ~err_b
+      ~complement ~live =
+    let lanes = s.lanes and aa = s.aa and ab = s.ab and ac = s.ac in
+    let nf = Array.length fanins in
+    if live <= 16 then
+      for i = 0 to live - 1 do
+        let l = Array.unsafe_get lanes i in
+        let bit = 1 lsl l in
+        let rec go j a b c =
+          if j = nf then begin
+            Array.unsafe_set aa i a;
+            Array.unsafe_set ab i b;
+            Array.unsafe_set ac i c
+          end
+          else begin
+            let u = Array.unsafe_get fanins j in
+            if Array.unsafe_get mask u land bit <> 0 then begin
+              let idx = (u * stride) + l in
+              let v = Array.unsafe_get value idx in
+              let ea = Array.unsafe_get err_a idx in
+              let eb = Array.unsafe_get err_b idx in
+              go (j + 1) (a *. v) (b *. (v +. ea)) (c *. (v +. eb))
+            end
+            else begin
+              let sv = Array.unsafe_get sp u in
+              let f = if complement then 1.0 -. sv else sv in
+              go (j + 1) (a *. f) (b *. f) (c *. f)
+            end
+          end
+        in
+        go 0 1.0 1.0 1.0
+      done
+    else begin
+      for i = 0 to live - 1 do
+        Array.unsafe_set aa i 1.0;
+        Array.unsafe_set ab i 1.0;
+        Array.unsafe_set ac i 1.0
+      done;
+      for j = 0 to nf - 1 do
+        let u = Array.unsafe_get fanins j in
+        let mu = Array.unsafe_get mask u land em in
+        let base = u * stride in
+        if mu = em then
+          for i = 0 to live - 1 do
+            let l = Array.unsafe_get lanes i in
+            let v = Array.unsafe_get value (base + l) in
+            let ea = Array.unsafe_get err_a (base + l) in
+            let eb = Array.unsafe_get err_b (base + l) in
+            Array.unsafe_set aa i (Array.unsafe_get aa i *. v);
+            Array.unsafe_set ab i (Array.unsafe_get ab i *. (v +. ea));
+            Array.unsafe_set ac i (Array.unsafe_get ac i *. (v +. eb))
+          done
+        else if mu = 0 then begin
+          let sv = Array.unsafe_get sp u in
+          let f = if complement then 1.0 -. sv else sv in
+          for i = 0 to live - 1 do
+            Array.unsafe_set aa i (Array.unsafe_get aa i *. f);
+            Array.unsafe_set ab i (Array.unsafe_get ab i *. f);
+            Array.unsafe_set ac i (Array.unsafe_get ac i *. f)
+          done
+        end
+        else begin
+          let sv = Array.unsafe_get sp u in
+          let f = if complement then 1.0 -. sv else sv in
+          for i = 0 to live - 1 do
+            let l = Array.unsafe_get lanes i in
+            if mu land (1 lsl l) <> 0 then begin
+              let v = Array.unsafe_get value (base + l) in
+              let ea = Array.unsafe_get err_a (base + l) in
+              let eb = Array.unsafe_get err_b (base + l) in
+              Array.unsafe_set aa i (Array.unsafe_get aa i *. v);
+              Array.unsafe_set ab i (Array.unsafe_get ab i *. (v +. ea));
+              Array.unsafe_set ac i (Array.unsafe_get ac i *. (v +. eb))
+            end
+            else begin
+              Array.unsafe_set aa i (Array.unsafe_get aa i *. f);
+              Array.unsafe_set ab i (Array.unsafe_get ab i *. f);
+              Array.unsafe_set ac i (Array.unsafe_get ac i *. f)
+            end
+          done
+        end
+      done
+    end
+
+  (* XOR fold per live lane, mirroring {!Soa.xor_components}: accumulator
+     starts at the raw (un-normalized) first input and each step applies the
+     16-term expansion followed by the inline normalize.  A lane whose step
+     trips a normalize condition faults; its accumulator is parked at the
+     (valid) constant-0 vector so the remaining fanin-major loop stays
+     branch-light, and its final store is suppressed via the fault mask. *)
+  let accumulate_xor s fm ~fanins ~mask ~em ~sp ~stride ~pa ~pa_bar ~p1 ~p0 ~live =
+    let lanes = s.lanes and apa = s.aa and apab = s.ab and ap1 = s.ac and ap0 = s.ad in
+    (* first input, gathered raw *)
+    let u0 = Array.unsafe_get fanins 0 in
+    let mu0 = Array.unsafe_get mask u0 land em in
+    let base0 = u0 * stride in
+    let sv0 = Array.unsafe_get sp u0 in
+    for i = 0 to live - 1 do
+      let l = Array.unsafe_get lanes i in
+      if mu0 land (1 lsl l) <> 0 then begin
+        Array.unsafe_set apa i (Array.unsafe_get pa (base0 + l));
+        Array.unsafe_set apab i (Array.unsafe_get pa_bar (base0 + l));
+        Array.unsafe_set ap1 i (Array.unsafe_get p1 (base0 + l));
+        Array.unsafe_set ap0 i (Array.unsafe_get p0 (base0 + l))
+      end
+      else begin
+        Array.unsafe_set apa i 0.0;
+        Array.unsafe_set apab i 0.0;
+        Array.unsafe_set ap1 i sv0;
+        Array.unsafe_set ap0 i (1.0 -. sv0)
+      end
+    done;
+    let fm = ref fm in
+    for j = 1 to Array.length fanins - 1 do
+      let u = Array.unsafe_get fanins j in
+      let mu = Array.unsafe_get mask u land em in
+      let base = u * stride in
+      let sv = Array.unsafe_get sp u in
+      for i = 0 to live - 1 do
+        let l = Array.unsafe_get lanes i in
+        let on = mu land (1 lsl l) <> 0 in
+        let ypa = if on then Array.unsafe_get pa (base + l) else 0.0 in
+        let ypab = if on then Array.unsafe_get pa_bar (base + l) else 0.0 in
+        let yp1 = if on then Array.unsafe_get p1 (base + l) else sv in
+        let yp0 = if on then Array.unsafe_get p0 (base + l) else 1.0 -. sv in
+        let xpa = Array.unsafe_get apa i
+        and xpab = Array.unsafe_get apab i
+        and xp1 = Array.unsafe_get ap1 i
+        and xp0 = Array.unsafe_get ap0 i in
+        let vp1 = (xp1 *. yp0) +. (xp0 *. yp1) +. (xpa *. ypab) +. (xpab *. ypa) in
+        let vp0 = (xp0 *. yp0) +. (xp1 *. yp1) +. (xpa *. ypa) +. (xpab *. ypab) in
+        let vpa = (xpa *. yp0) +. (xpab *. yp1) +. (xp0 *. ypa) +. (xp1 *. ypab) in
+        let vpab = (xpab *. yp0) +. (xpa *. yp1) +. (xp0 *. ypab) +. (xp1 *. ypa) in
+        let vpa = clamp01 vpa
+        and vpab = clamp01 vpab
+        and vp1 = clamp01 vp1
+        and vp0 = clamp01 vp0 in
+        let sum = vpa +. vpab +. vp1 +. vp0 in
+        let defect =
+          if sum <= 0.0 then
+            Some
+              (Prob4.Invalid
+                 { vector = { Prob4.pa = vpa; pa_bar = vpab; p1 = vp1; p0 = vp0 };
+                   reason = "zero mass" })
+          else if Float.abs (sum -. 1.0) > 1e-6 then
+            Some
+              (Prob4.Invalid
+                 { vector = { Prob4.pa = vpa; pa_bar = vpab; p1 = vp1; p0 = vp0 };
+                   reason = "components do not sum to 1" })
+          else None
+        in
+        match defect with
+        | Some e ->
+          if !fm land (1 lsl l) = 0 then fm := fault s !fm l e;
+          Array.unsafe_set apa i 0.0;
+          Array.unsafe_set apab i 0.0;
+          Array.unsafe_set ap1 i 0.0;
+          Array.unsafe_set ap0 i 1.0
+        | None ->
+          if sum = 1.0 then begin
+            (* division by 1.0 is exact — skip it, bit-identically *)
+            Array.unsafe_set apa i vpa;
+            Array.unsafe_set apab i vpab;
+            Array.unsafe_set ap1 i vp1;
+            Array.unsafe_set ap0 i vp0
+          end
+          else begin
+            Array.unsafe_set apa i (vpa /. sum);
+            Array.unsafe_set apab i (vpab /. sum);
+            Array.unsafe_set ap1 i (vp1 /. sum);
+            Array.unsafe_set ap0 i (vp0 /. sum)
+          end
+      done
+    done;
+    !fm
+
+  (* One gate, every live lane of the block.
+
+     [em] is the gate's evaluation mask: the lanes that (a) have the gate
+     on-path, (b) are still alive, and (c) are not seeded at this very node
+     (a lane's own error site keeps its injected vector).  Writes the output
+     vectors at [gate * stride + lane] of the four planes for every lane
+     that completes, records per-lane faults in [scratch.faults] (reset on
+     entry) and returns their bitmask. *)
+  let propagate s kind ~fanins ~mask ~sp ~em ~stride ~pa ~pa_bar ~p1 ~p0 gate =
+    s.faults <- [];
+    s.last_live <- 0;
+    let fm = prescan_sp s ~fanins ~mask ~sp ~em in
+    let em = em land lnot fm in
+    if em = 0 then fm
+    else
+      match Gate.check_arity kind (Array.length fanins) with
+      | exception e -> fault_all s fm em e
+      | () ->
+        (* compact the live lanes once; every inner loop then runs over
+           [lanes.(0 .. live-1)].  A contiguous mask (2^t - 1 — the dense
+           common case: every lane of a full block live) compacts to the
+           identity without the per-bit ntz walk. *)
+        let live = ref 0 in
+        if em land (em + 1) = 0 then begin
+          let m = ref em in
+          while !m <> 0 do
+            Array.unsafe_set s.lanes !live !live;
+            incr live;
+            m := !m lsr 1
+          done
+        end
+        else begin
+          let m = ref em in
+          while !m <> 0 do
+            Array.unsafe_set s.lanes !live (ntz !m);
+            incr live;
+            m := !m land (!m - 1)
+          done
+        end;
+        let live = !live in
+        s.last_live <- live;
+        let gbase = gate * stride in
+        let sp_values = sp in
+        (match kind with
+        | Gate.And | Gate.Nand ->
+          accumulate_products s ~fanins ~mask ~em ~sp:sp_values ~stride ~value:p1
+            ~err_a:pa ~err_b:pa_bar ~complement:false ~live;
+          (* NAND: normalize first, then swap destinations — the boxed path
+             is invert(and_rule). *)
+          let dst_pa, dst_pa_bar, dst_p1, dst_p0 =
+            match kind with
+            | Gate.And -> (pa, pa_bar, p1, p0)
+            | _ -> (pa_bar, pa, p0, p1)
+          in
+          let fm = ref fm in
+          for i = 0 to live - 1 do
+            let l = Array.unsafe_get s.lanes i in
+            let vp1 = Array.unsafe_get s.aa i in
+            let vpa = Array.unsafe_get s.ab i -. vp1 in
+            let vpab = Array.unsafe_get s.ac i -. vp1 in
+            let vp0 = 1.0 -. (vp1 +. vpa +. vpab) in
+            fm :=
+              store_lane s !fm ~vpa ~vpab ~vp1 ~vp0 ~dst_pa ~dst_pa_bar ~dst_p1
+                ~dst_p0 (gbase + l) l
+          done;
+          !fm
+        | Gate.Or | Gate.Nor ->
+          accumulate_products s ~fanins ~mask ~em ~sp:sp_values ~stride ~value:p0
+            ~err_a:pa ~err_b:pa_bar ~complement:true ~live;
+          let dst_pa, dst_pa_bar, dst_p1, dst_p0 =
+            match kind with
+            | Gate.Or -> (pa, pa_bar, p1, p0)
+            | _ -> (pa_bar, pa, p0, p1)
+          in
+          let fm = ref fm in
+          for i = 0 to live - 1 do
+            let l = Array.unsafe_get s.lanes i in
+            let vp0 = Array.unsafe_get s.aa i in
+            let vpa = Array.unsafe_get s.ab i -. vp0 in
+            let vpab = Array.unsafe_get s.ac i -. vp0 in
+            let vp1 = 1.0 -. (vp0 +. vpa +. vpab) in
+            fm :=
+              store_lane s !fm ~vpa ~vpab ~vp1 ~vp0 ~dst_pa ~dst_pa_bar ~dst_p1
+                ~dst_p0 (gbase + l) l
+          done;
+          !fm
+        | Gate.Xor | Gate.Xnor ->
+          let fm =
+            accumulate_xor s fm ~fanins ~mask ~em ~sp:sp_values ~stride ~pa ~pa_bar
+              ~p1 ~p0 ~live
+          in
+          (* XOR stores the folded accumulator without a final normalize,
+             XNOR the polarity/value swap of it — exactly like Soa. *)
+          for i = 0 to live - 1 do
+            let l = Array.unsafe_get s.lanes i in
+            if fm land (1 lsl l) = 0 then begin
+              let vpa = Array.unsafe_get s.aa i
+              and vpab = Array.unsafe_get s.ab i
+              and vp1 = Array.unsafe_get s.ac i
+              and vp0 = Array.unsafe_get s.ad i in
+              match kind with
+              | Gate.Xor ->
+                Array.unsafe_set pa (gbase + l) vpa;
+                Array.unsafe_set pa_bar (gbase + l) vpab;
+                Array.unsafe_set p1 (gbase + l) vp1;
+                Array.unsafe_set p0 (gbase + l) vp0
+              | _ ->
+                Array.unsafe_set pa (gbase + l) vpab;
+                Array.unsafe_set pa_bar (gbase + l) vpa;
+                Array.unsafe_set p1 (gbase + l) vp0;
+                Array.unsafe_set p0 (gbase + l) vp1
+            end
+          done;
+          fm
+        | Gate.Not | Gate.Buf ->
+          let u = Array.unsafe_get fanins 0 in
+          let mu = Array.unsafe_get mask u land em in
+          let base = u * stride in
+          let sv = Array.unsafe_get sp_values u in
+          for i = 0 to live - 1 do
+            let l = Array.unsafe_get s.lanes i in
+            let on = mu land (1 lsl l) <> 0 in
+            let vpa = if on then Array.unsafe_get pa (base + l) else 0.0 in
+            let vpab = if on then Array.unsafe_get pa_bar (base + l) else 0.0 in
+            let vp1 = if on then Array.unsafe_get p1 (base + l) else sv in
+            let vp0 = if on then Array.unsafe_get p0 (base + l) else 1.0 -. sv in
+            match kind with
+            | Gate.Not ->
+              Array.unsafe_set pa (gbase + l) vpab;
+              Array.unsafe_set pa_bar (gbase + l) vpa;
+              Array.unsafe_set p1 (gbase + l) vp0;
+              Array.unsafe_set p0 (gbase + l) vp1
+            | _ ->
+              Array.unsafe_set pa (gbase + l) vpa;
+              Array.unsafe_set pa_bar (gbase + l) vpab;
+              Array.unsafe_set p1 (gbase + l) vp1;
+              Array.unsafe_set p0 (gbase + l) vp0
+          done;
+          fm
+        | Gate.Const0 | Gate.Const1 ->
+          let vp1 = match kind with Gate.Const1 -> 1.0 | _ -> 0.0 in
+          for i = 0 to live - 1 do
+            let l = Array.unsafe_get s.lanes i in
+            Array.unsafe_set pa (gbase + l) 0.0;
+            Array.unsafe_set pa_bar (gbase + l) 0.0;
+            Array.unsafe_set p1 (gbase + l) vp1;
+            Array.unsafe_set p0 (gbase + l) (1.0 -. vp1)
+          done;
+          fm)
+end
+
 (* --- polarity-blind ablation --------------------------------------------
 
    The naive three-state propagation collapses Pa and Pā into a single

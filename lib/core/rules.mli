@@ -50,6 +50,64 @@ module Soa : sig
       {!propagate}. *)
 end
 
+(** Lane-vectorized evaluation of the same rules for the level-synchronous
+    batched engine ({!Epp_batch}): one gate is propagated for a whole block
+    of error sites at once.  The four-state vectors live in caller-owned
+    node-major float planes with a lane stride ([plane.(node * stride +
+    lane)]); a per-node bitmask says which lanes have the node on-path, and
+    off-path fanins contribute their signal probability exactly as the
+    per-site gather does.  Per lane, the arithmetic mirrors {!Soa}
+    operation-for-operation, so batch results are bit-identical to the
+    kernel's.  Defects that would make the per-site kernel raise
+    ({!Prob4.Invalid} on off-path probabilities or normalize failures,
+    {!Netlist.Gate.Arity_error}) instead fault only the offending lanes. *)
+module Lanes : sig
+  type scratch
+  (** Per-evaluator scratch: compacted live-lane indices, accumulator
+      arrays, and the fault list of the last {!propagate} call.  Not
+      shareable across domains. *)
+
+  val create : lanes:int -> scratch
+  (** Scratch for blocks of up to [lanes] sites. *)
+
+  val capacity : scratch -> int
+
+  val faults : scratch -> (int * exn) list
+  (** Per-lane faults recorded by the last {!propagate} call, newest first:
+      each is [(lane, exn)] with exactly the exception the per-site kernel
+      would have raised for that site. *)
+
+  val last_live : scratch -> int
+  (** Number of lanes that evaluated the gate rule in the last {!propagate}
+      call (the eval mask's population after the off-path prescan), without
+      recounting bits — 0 when every lane faulted before rule entry. *)
+
+  val ntz : int -> int
+  (** Trailing-zero count of a nonzero word (lowest set lane index). *)
+
+  val propagate :
+    scratch ->
+    Netlist.Gate.kind ->
+    fanins:int array ->
+    mask:int array ->
+    sp:float array ->
+    em:int ->
+    stride:int ->
+    pa:float array ->
+    pa_bar:float array ->
+    p1:float array ->
+    p0:float array ->
+    int ->
+    int
+  (** [propagate s kind ~fanins ~mask ~sp ~em ~stride ~pa ~pa_bar ~p1 ~p0 g]
+      evaluates gate [g] for every lane in the evaluation mask [em] (lanes
+      with [g] on-path, still alive, and not seeded at [g]), reading fanin
+      vectors from the planes where the fanin is on-path ([mask.(u)] bit
+      set) and from [sp.(u)] otherwise, then writes the output at
+      [g * stride + lane].  Returns the bitmask of lanes that faulted
+      (recorded in {!faults}); their plane slots are left unwritten. *)
+end
+
 (** Polarity-blind three-state ablation: [Pa] and [Pā] collapsed into one
     error mass, forcing reconvergent gates to assume error-in implies
     error-out.  Exists to measure what the paper's polarity tracking buys. *)

@@ -122,10 +122,40 @@ let of_site_results ?(technology = Seu_model.Technology.default)
     total_fit = Seu_model.Fit.of_rate_per_second total_failure_rate;
   }
 
-let estimate ?technology ?latching ?electrical ?convention ?mode ?sp circuit =
+(* --- batch-vs-per-site dispatch -------------------------------------------
+
+   The estimator is the whole-stack entry point, so the engine choice lives
+   here: dense circuits (mean cone a few percent of the nodes, per
+   Epp_batch.should_batch) take the level-synchronous block engine, tiny or
+   cone-local ones keep the per-site kernel.  Both produce bit-identical
+   results; the choice is recorded in the epp.batch.dispatch.* counters and
+   the epp.batch.density gauge so a sweep's routing is observable. *)
+
+let dispatch_count name =
+  Obs.Metrics.incr (Obs.Metrics.counter (Obs.Hooks.metrics ()) name)
+
+let analyze_site_array ?(domains = 1) engine sites =
+  if Epp_batch.should_batch engine ~sites:(Array.length sites) then begin
+    dispatch_count "epp.batch.dispatch.batched";
+    Parallel.analyze_sites_batched ~domains engine sites
+  end
+  else begin
+    dispatch_count "epp.batch.dispatch.per_site";
+    Parallel.analyze_site_array ~domains engine sites
+  end
+
+let analyze_sites ?domains engine sites =
+  Array.to_list (analyze_site_array ?domains engine (Array.of_list sites))
+
+let analyze_all ?domains engine =
+  let n = Circuit.node_count (Epp_engine.circuit engine) in
+  Array.to_list (analyze_site_array ?domains engine (Array.init n Fun.id))
+
+let estimate ?technology ?latching ?electrical ?convention ?mode ?sp ?domains
+    circuit =
   let engine = Epp_engine.create ?mode ?sp circuit in
   of_site_results ?technology ?latching ?electrical ?convention circuit
-    (Epp_engine.analyze_all engine)
+    (analyze_all ?domains engine)
 
 let node_report report v =
   if v < 0 || v >= Array.length report.nodes then

@@ -50,6 +50,27 @@ val of_site_results :
     input order; for a full [analyze_all] sweep that coincides with
     node-id indexing. *)
 
+(** {2 Dispatching EPP drivers}
+
+    The estimator picks the EPP engine per sweep: when
+    {!Epp_batch.should_batch} says the circuit is dense enough (mean cone a
+    few percent of the nodes, ≥ 256 nodes, ≥ 8 sites), sites run through
+    the level-synchronous block engine; otherwise the per-site kernel.
+    Results are bit-identical either way — the choice is pure wall-clock —
+    and recorded in the [epp.batch.dispatch.batched] /
+    [epp.batch.dispatch.per_site] counters and the [epp.batch.density]
+    gauge. *)
+
+val analyze_site_array :
+  ?domains:int -> Epp_engine.t -> int array -> Epp_engine.site_result array
+(** Batch-vs-per-site dispatching sweep ([domains] defaults to 1). *)
+
+val analyze_sites :
+  ?domains:int -> Epp_engine.t -> int list -> Epp_engine.site_result list
+
+val analyze_all : ?domains:int -> Epp_engine.t -> Epp_engine.site_result list
+(** Every node of the engine's circuit through the dispatching sweep. *)
+
 val estimate :
   ?technology:Seu_model.Technology.t ->
   ?latching:Seu_model.Latching.t ->
@@ -57,13 +78,14 @@ val estimate :
   ?convention:latch_convention ->
   ?mode:Epp_engine.mode ->
   ?sp:Sigprob.Sp.result ->
+  ?domains:int ->
   Netlist.Circuit.t ->
   report
-(** Analyze every node as an error site and compose the three factors.
-    [electrical] adds pulse-attenuation derating per observation point
-    (depth = BFS gate-traversal distance from the site, the optimistic
-    bound for pulse survival); it only affects the [Per_observation]
-    convention.
+(** Analyze every node as an error site (through the dispatching
+    {!analyze_all}) and compose the three factors.  [electrical] adds
+    pulse-attenuation derating per observation point (depth = BFS
+    gate-traversal distance from the site, the optimistic bound for pulse
+    survival); it only affects the [Per_observation] convention.
     @raise Invalid_argument on inconsistent parameters (bad latching or
     electrical model, foreign [sp]). *)
 

@@ -1,4 +1,4 @@
-(* The degradation ladder: kernel -> reference -> quarantine.
+(* The degradation ladder: batch -> kernel -> reference -> quarantine.
 
    The per-site wrapper [analyze_entry] converts every failure mode —
    exceptions out of either engine, NaN components, four-state sums that
@@ -19,6 +19,11 @@ open Netlist
 type entry =
   | Analyzed of { result : Epp_engine.site_result; step : Diag.step }
   | Quarantined of Diag.quarantine
+
+type batch_mode =
+  | Auto
+  | Always
+  | Never
 
 type outcome = {
   entries : (int * entry) list;
@@ -61,10 +66,14 @@ let safe_cone_size circuit site =
   | reach -> Some (Reach.count reach)
   | exception _ -> None
 
-let analyze_entry ?(tolerance = default_tolerance) ?kernel ?reference ws site =
+let analyze_entry ?(tolerance = default_tolerance) ?(prior_faults = []) ?kernel
+    ?reference ws site =
   let engine = Epp_engine.Workspace.engine ws in
   let circuit = Epp_engine.circuit engine in
-  let faults = ref [] in
+  (* [faults] accumulates newest-first; earlier rungs' faults (the batch
+     rung hands its lane fault down here) seed the list so the final
+     quarantine record reads in ladder order. *)
+  let faults = ref (List.rev prior_faults) in
   let fail step fault =
     faults := (step, fault) :: !faults;
     None
@@ -124,27 +133,99 @@ let analyze_entry ?(tolerance = default_tolerance) ?kernel ?reference ws site =
         })
 
 let stats_of_entries ?(resumed = 0) entries =
-  let kernel_ok = ref 0 and degraded = ref 0 and quarantined = ref 0 in
+  let batch_ok = ref 0
+  and kernel_ok = ref 0
+  and degraded = ref 0
+  and quarantined = ref 0 in
   List.iter
     (fun (_, entry) ->
       match entry with
+      | Analyzed { step = Diag.Batch; _ } -> incr batch_ok
       | Analyzed { step = Diag.Kernel; _ } -> incr kernel_ok
       | Analyzed { step = Diag.Reference; _ } -> incr degraded
       | Quarantined _ -> incr quarantined)
     entries;
   {
     Diag.total = List.length entries;
+    batch_ok = !batch_ok;
     kernel_ok = !kernel_ok;
     degraded = !degraded;
     quarantined = !quarantined;
     resumed;
   }
 
-let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?kernel ?reference
-    engine sites =
+(* --- the batch rung -------------------------------------------------------
+
+   A batched sweep analyzes whole blocks of sites on the Epp_batch engine;
+   a lane that faults (or whose published result trips a sentinel) drops
+   down to the per-site ladder [analyze_entry] with its batch fault carried
+   along, so one bad site degrades alone instead of sinking its block.  The
+   per-site kernel workspace is built lazily per domain — a healthy batched
+   sweep never constructs it. *)
+
+let can_batch engine =
+  match Epp_engine.mode engine with
+  | Epp_engine.Polarity -> true
+  | Epp_engine.Naive -> false
+
+type batch_ws = {
+  block : Epp_batch.Block.ws;
+  kernel_ws : Epp_engine.Workspace.ws Lazy.t;
+      (* domain-local, so the lazy cell is single-owner *)
+}
+
+let analyze_block ?tolerance ?kernel ?reference ?batch_run bw sites =
+  let engine = Epp_batch.Block.engine bw.block in
+  let circuit = Epp_engine.circuit engine in
+  let degrade site fault =
+    ( site,
+      analyze_entry ?tolerance ~prior_faults:[ (Diag.Batch, fault) ] ?kernel
+        ?reference (Lazy.force bw.kernel_ws) site )
+  in
+  let real_batch, run =
+    match batch_run with
+    | Some f -> (false, f)
+    | None -> (true, Epp_batch.Block.run)
+  in
+  match run bw.block sites with
+  | exception e ->
+    (* a whole-block failure (e.g. a bad site id) degrades every lane *)
+    let fault = Diag.Exception { exn = Printexc.to_string e } in
+    Array.map (fun site -> degrade site fault) sites
+  | results ->
+    Array.mapi
+      (fun l result ->
+        let site = sites.(l) in
+        match result with
+        | Error e ->
+          degrade site (Diag.Exception { exn = Printexc.to_string e })
+        | Ok r -> (
+          let tolerance =
+            Option.value tolerance ~default:default_tolerance
+          in
+          let fault =
+            (* the vector-sum sentinel only runs for the real engine: a
+               [batch_run] stub leaves no vectors in the planes *)
+            match
+              if real_batch then
+                vector_fault ~tolerance
+                  (Epp_batch.Block.lane_vector_defect bw.block l)
+              else None
+            with
+            | Some f -> Some f
+            | None -> result_fault circuit r
+          in
+          match fault with
+          | Some f -> degrade site f
+          | None -> (site, Analyzed { result = r; step = Diag.Batch })))
+      results
+
+let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
+    ?batch_run ?kernel ?reference engine sites =
   if chunk_size < 1 then invalid_arg "Supervisor.sweep: chunk_size must be >= 1";
   let m = Obs.Hooks.metrics () in
   let tracer = Obs.Hooks.tracer () in
+  let c_batch_ok = Obs.Metrics.counter m "supervisor.batch_ok" in
   let c_kernel_ok = Obs.Metrics.counter m "supervisor.kernel_ok" in
   let c_degraded = Obs.Metrics.counter m "supervisor.degraded_to_reference" in
   let c_quarantined = Obs.Metrics.counter m "supervisor.quarantined" in
@@ -152,6 +233,12 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?kernel ?reference
   Obs.Trace.span tracer ~cat:"supervisor" "supervisor.sweep" @@ fun () ->
   let arr = Array.of_list sites in
   let n = Array.length arr in
+  let use_batch =
+    match batch with
+    | Never -> false
+    | Always -> can_batch engine
+    | Auto -> can_batch engine && Epp_batch.should_batch engine ~sites:n
+  in
   let acc = ref [] in
   let pos = ref 0 in
   while !pos < n do
@@ -159,11 +246,35 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?kernel ?reference
     let chunk = Array.sub arr !pos len in
     let entries =
       Obs.Trace.span tracer ~cat:"supervisor" "supervisor.chunk" @@ fun () ->
-      Parallel.map_array ?domains
-        ~workspace:(fun () -> Epp_engine.Workspace.create engine)
-        ~f:(fun ws site -> (site, analyze_entry ?tolerance ?kernel ?reference ws site))
-        chunk
-      |> Array.to_list
+      if use_batch then begin
+        (* blocks per domain: each work item is a whole block, so a domain
+           claims O(V + E) passes, not per-site crumbs *)
+        let lanes = Epp_batch.max_lanes in
+        let nblocks = (len + lanes - 1) / lanes in
+        let blocks =
+          Array.init nblocks (fun i ->
+              let off = i * lanes in
+              Array.sub chunk off (min lanes (len - off)))
+        in
+        Parallel.map_array ?domains
+          ~workspace:(fun () ->
+            {
+              block = Epp_batch.Block.create engine;
+              kernel_ws = lazy (Epp_engine.Workspace.create engine);
+            })
+          ~f:(fun bw block ->
+            analyze_block ?tolerance ?kernel ?reference ?batch_run bw block)
+          blocks
+        |> Array.to_list
+        |> List.concat_map Array.to_list
+      end
+      else
+        Parallel.map_array ?domains
+          ~workspace:(fun () -> Epp_engine.Workspace.create engine)
+          ~f:(fun ws site ->
+            (site, analyze_entry ?tolerance ?kernel ?reference ws site))
+          chunk
+        |> Array.to_list
     in
     (* Ladder-step accounting happens here, on the calling domain, instead
        of inside the per-site wrapper: one scan per chunk versus a registry
@@ -172,6 +283,7 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?kernel ?reference
     List.iter
       (fun (_, entry) ->
         match entry with
+        | Analyzed { step = Diag.Batch; _ } -> Obs.Metrics.incr c_batch_ok
         | Analyzed { step = Diag.Kernel; _ } -> Obs.Metrics.incr c_kernel_ok
         | Analyzed { step = Diag.Reference; _ } -> Obs.Metrics.incr c_degraded
         | Quarantined _ -> Obs.Metrics.incr c_quarantined)
@@ -185,9 +297,11 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?kernel ?reference
   let entries = List.concat (List.rev !acc) in
   { entries; stats = stats_of_entries entries }
 
-let sweep_all ?domains ?tolerance ?chunk_size ?on_chunk ?kernel ?reference engine =
+let sweep_all ?domains ?tolerance ?chunk_size ?on_chunk ?batch ?batch_run
+    ?kernel ?reference engine =
   let n = Circuit.node_count (Epp_engine.circuit engine) in
-  sweep ?domains ?tolerance ?chunk_size ?on_chunk ?kernel ?reference engine
+  sweep ?domains ?tolerance ?chunk_size ?on_chunk ?batch ?batch_run ?kernel
+    ?reference engine
     (List.init n Fun.id)
 
 let results outcome =

@@ -95,6 +95,8 @@ type t = {
   max_fanin : int;
   cones : bool array Lru.t;  (* site -> forward-reach marks *)
   distance_maps : int array Lru.t;  (* obs net -> reverse-BFS distances *)
+  level_gates : int array array option Atomic.t;
+      (* gates bucketed by ASAP level, memoized on first demand *)
 }
 
 (* Cache bounds.  A cone is [node_count] bools, so the cone cache tops out
@@ -145,6 +147,7 @@ let build circuit =
     cones = Lru.create cone_cache_capacity;
     distance_maps =
       Lru.create (max distance_cache_floor (Array.length observation_nets));
+    level_gates = Atomic.make None;
   }
 
 let get circuit =
@@ -165,6 +168,44 @@ let levels t = Circuit.levels t.circuit
 let depth t = Circuit.depth t.circuit
 let csr t = Circuit.csr t.circuit
 let reverse_csr t = Circuit.reverse_csr t.circuit
+
+(* Gates bucketed by ASAP level — the evaluation schedule of the
+   level-synchronous batch engine.  Filling the buckets from [gate_order]
+   keeps each bucket in topological-position order, so a bucket walk is a
+   valid topological schedule.  Built at most once per circuit: racing
+   domains may both compute, but only the published instance is ever
+   served, so the shared-instance contract holds. *)
+let level_gates t =
+  match Atomic.get t.level_gates with
+  | Some buckets ->
+    cache_hit ();
+    buckets
+  | None ->
+    let lv = levels t in
+    let buckets =
+      let counts = Array.make (depth t + 1) 0 in
+      Array.iter (fun g -> counts.(lv.(g)) <- counts.(lv.(g)) + 1) t.gate_order;
+      let buckets = Array.map (fun k -> Array.make k 0) counts in
+      let cursor = Array.make (Array.length counts) 0 in
+      Array.iter
+        (fun g ->
+          let l = lv.(g) in
+          buckets.(l).(cursor.(l)) <- g;
+          cursor.(l) <- cursor.(l) + 1)
+        t.gate_order;
+      buckets
+    in
+    if Atomic.compare_and_set t.level_gates None (Some buckets) then begin
+      count "analysis.level_gates.computed";
+      cache_miss ();
+      buckets
+    end
+    else begin
+      cache_hit ();
+      match Atomic.get t.level_gates with
+      | Some published -> published
+      | None -> assert false (* the cell is set-once *)
+    end
 
 let check_node t v ~what =
   if v < 0 || v >= Circuit.node_count t.circuit then

@@ -59,6 +59,12 @@ val depth : t -> int
 val csr : t -> Csr.t
 val reverse_csr : t -> Csr.t
 
+val level_gates : t -> int array array
+(** Gates bucketed by ASAP level ([level_gates ctx.(l)] holds the gates at
+    level [l], in topological-position order), indices [0 .. depth].  The
+    schedule of the level-synchronous batch engine; computed once per
+    circuit ([analysis.level_gates.computed]) and shared thereafter. *)
+
 (** {2 Per-site cached artifacts}
 
     Bounded LRU caches (a few hundred whole-circuit arrays at most); on

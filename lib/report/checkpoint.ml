@@ -71,6 +71,7 @@ let fingerprint engine =
 (* --- writing ------------------------------------------------------------- *)
 
 let step_tag = function
+  | Epp.Diag.Batch -> "b"
   | Epp.Diag.Kernel -> "k"
   | Epp.Diag.Reference -> "r"
 
@@ -147,6 +148,7 @@ let read_float ib = float_of_string (read_token ib)
 
 let read_step ib =
   match read_token ib with
+  | "b" -> Epp.Diag.Batch
   | "k" -> Epp.Diag.Kernel
   | "r" -> Epp.Diag.Reference
   | s -> failwith (Printf.sprintf "unknown step tag %S" s)
@@ -259,7 +261,7 @@ let load path =
 let by_site (a, _) (b, _) = compare (a : int) b
 
 let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
-    ?(resume = false) ?on_progress ?kernel ?reference engine =
+    ?(resume = false) ?on_progress ?batch ?kernel ?reference engine =
   let circuit = Epp.Epp_engine.circuit engine in
   let n = Circuit.node_count circuit in
   let fp = fingerprint engine in
@@ -306,8 +308,8 @@ let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
       | None -> ()
     in
     ignore
-      (Epp.Supervisor.sweep ?domains ?tolerance ?chunk_size ~on_chunk ?kernel
-         ?reference engine remaining);
+      (Epp.Supervisor.sweep ?domains ?tolerance ?chunk_size ~on_chunk ?batch
+         ?kernel ?reference engine remaining);
     snapshot ();
     let entries = List.sort by_site !completed in
     Ok

@@ -29,6 +29,24 @@ let results_match (a : Epp.Epp_engine.site_result) (b : Epp.Epp_engine.site_resu
        (fun (o1, p1) (o2, p2) -> obs_equal o1 o2 && Float.abs (p1 -. p2) <= 1e-12)
        a.Epp.Epp_engine.per_observation b.Epp.Epp_engine.per_observation
 
+(* The batch engine's contract is stronger than the kernel's 1e-12: the
+   arithmetic is mirrored per lane, so every float must be *bit-identical*
+   to the per-site kernel's. *)
+let results_match_bitwise (a : Epp.Epp_engine.site_result)
+    (b : Epp.Epp_engine.site_result) =
+  a.Epp.Epp_engine.site = b.Epp.Epp_engine.site
+  && a.Epp.Epp_engine.cone_size = b.Epp.Epp_engine.cone_size
+  && a.Epp.Epp_engine.reached_outputs = b.Epp.Epp_engine.reached_outputs
+  && Int64.equal
+       (Int64.bits_of_float a.Epp.Epp_engine.p_sensitized)
+       (Int64.bits_of_float b.Epp.Epp_engine.p_sensitized)
+  && List.length a.Epp.Epp_engine.per_observation
+     = List.length b.Epp.Epp_engine.per_observation
+  && List.for_all2
+       (fun (o1, p1) (o2, p2) ->
+         obs_equal o1 o2 && Int64.equal (Int64.bits_of_float p1) (Int64.bits_of_float p2))
+       a.Epp.Epp_engine.per_observation b.Epp.Epp_engine.per_observation
+
 let sp_for c =
   if Circuit.ff_count c > 0 then
     (Sigprob.Sp_sequential.compute c).Sigprob.Sp_sequential.result
@@ -121,6 +139,96 @@ let test_workspace_bad_site () =
     (Invalid_argument "Epp_engine.Workspace.analyze_site: bad site") (fun () ->
       ignore (Epp.Epp_engine.Workspace.analyze_site ws (-1)))
 
+(* --- level-synchronous batch engine ----------------------------------------- *)
+
+(* Every site of the circuit through the batch engine at a given block size
+   must be bit-identical to the per-site kernel. *)
+let batch_matches_kernel ?lanes c =
+  let engine = Epp.Epp_engine.create ~sp:(sp_for c) c in
+  let ws = Epp.Epp_engine.Workspace.create engine in
+  let n = Circuit.node_count c in
+  let batch = Epp.Epp_batch.analyze_site_array ?lanes engine (Array.init n Fun.id) in
+  let ok = ref true in
+  for site = 0 to n - 1 do
+    let kernel = Epp.Epp_engine.Workspace.analyze_site ws site in
+    if not (results_match_bitwise kernel batch.(site)) then ok := false
+  done;
+  !ok
+
+let prop_batch_bitwise_combinational =
+  qtest ~count:20 ~name:"batch = kernel bitwise (combinational)" seed_arbitrary
+    (fun seed -> batch_matches_kernel (gen_combinational ~seed))
+
+let prop_batch_bitwise_sequential =
+  qtest ~count:20 ~name:"batch = kernel bitwise (sequential)" seed_arbitrary
+    (fun seed -> batch_matches_kernel (gen_sequential ~seed))
+
+(* Block-size sweep: a degenerate 1-lane block, a ragged odd width, and the
+   full lane width all chunk the same site list to the same bits.  With 7
+   lanes, node_count sites always leaves a ragged final block (sites mod 7
+   cycles), covering partial-block compaction. *)
+let prop_batch_block_sizes =
+  qtest ~count:10 ~name:"batch bitwise across block sizes 1/7/62" seed_arbitrary
+    (fun seed ->
+      let c = gen_sequential ~seed in
+      List.for_all
+        (fun lanes -> batch_matches_kernel ~lanes c)
+        [ 1; 7; Epp.Epp_batch.max_lanes ])
+
+let test_batch_s27 () =
+  check_bool "s27" true (batch_matches_kernel (Circuit_gen.Embedded.s27 ()))
+
+let test_batch_s344 () =
+  let c = Circuit_gen.Random_dag.generate ~seed:4 Circuit_gen.Profiles.s344 in
+  check_bool "s344 profile" true (batch_matches_kernel c)
+
+let test_batch_duplicates_and_order () =
+  (* Duplicate sites share lanes' seed bits; order must be preserved. *)
+  let c = Circuit_gen.Random_dag.generate ~seed:7 Circuit_gen.Profiles.s298 in
+  let engine = Epp.Epp_engine.create ~sp:(sp_for c) c in
+  let sites = [ 11; 3; 11; 0; Circuit.node_count c - 1; 11 ] in
+  let batch = Epp.Epp_batch.analyze_sites engine sites in
+  List.iter2
+    (fun site r ->
+      check_bool
+        (Printf.sprintf "site %d" site)
+        true
+        (results_match_bitwise (Epp.Epp_engine.analyze_site engine site) r))
+    sites batch
+
+let test_batch_rejects_naive () =
+  let c = fig1 () in
+  let engine =
+    Epp.Epp_engine.create ~mode:Epp.Epp_engine.Naive
+      ~sp:(Sigprob.Sp_topological.compute c) c
+  in
+  Alcotest.check_raises "naive rejected"
+    (Invalid_argument "Epp_batch.Block.create: polarity mode only") (fun () ->
+      ignore (Epp.Epp_batch.Block.create engine))
+
+(* The density heuristic must keep tiny circuits on the per-site path and
+   route dense mid-size sweeps to batch. *)
+let test_density_cutover () =
+  let s27 = Circuit_gen.Embedded.s27 () in
+  let e27 = Epp.Epp_engine.create ~sp:(sp_for s27) s27 in
+  check_bool "tiny circuit stays per-site" false
+    (Epp.Epp_batch.should_batch e27 ~sites:(Circuit.node_count s27));
+  let c = Circuit_gen.Random_dag.generate ~seed:4 Circuit_gen.Profiles.s344 in
+  let engine = Epp.Epp_engine.create ~sp:(sp_for c) c in
+  check_bool "small sweep stays per-site" false
+    (Epp.Epp_batch.should_batch ~min_nodes:1 engine ~sites:2);
+  check_bool "dense sweep batches" true
+    (Epp.Epp_batch.should_batch ~min_nodes:1 ~density_threshold:0.0 engine
+       ~sites:64);
+  let d = Epp.Epp_batch.density engine in
+  check_bool "density in (0, 1]" true (d > 0.0 && d <= 1.0);
+  (* ablation engines never batch: the whole-circuit reference path is a
+     measurement tool, not a production sweep *)
+  let abl = Epp.Epp_engine.create ~restrict_to_cone:false ~sp:(sp_for c) c in
+  check_bool "no-cone ablation stays per-site" false
+    (Epp.Epp_batch.should_batch ~min_nodes:1 ~density_threshold:0.0 abl
+       ~sites:64)
+
 (* --- parallel driver --------------------------------------------------------- *)
 
 let prop_parallel_domains_identical =
@@ -164,6 +272,18 @@ let () =
           Alcotest.test_case "batch API consistent" `Quick
             test_analyze_sites_uses_kernel_consistently;
           Alcotest.test_case "bad site" `Quick test_workspace_bad_site;
+        ] );
+      ( "batch",
+        [
+          prop_batch_bitwise_combinational;
+          prop_batch_bitwise_sequential;
+          prop_batch_block_sizes;
+          Alcotest.test_case "s27" `Quick test_batch_s27;
+          Alcotest.test_case "s344 profile" `Quick test_batch_s344;
+          Alcotest.test_case "duplicates and order" `Quick
+            test_batch_duplicates_and_order;
+          Alcotest.test_case "naive rejected" `Quick test_batch_rejects_naive;
+          Alcotest.test_case "density cutover" `Quick test_density_cutover;
         ] );
       ( "parallel",
         [

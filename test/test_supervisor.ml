@@ -1,4 +1,4 @@
-(* Tests for the supervised sweep: the degradation ladder (kernel ->
+(* Tests for the supervised sweep: the degradation ladder (batch -> kernel ->
    reference -> quarantine), the numeric sentinels, and the checkpoint
    kill/resume round trip.
 
@@ -168,6 +168,142 @@ let test_hostile_sp_mutation () =
   check_bool "unaffected sites bit-identical to the pre-corruption sweep" true
     (List.for_all2 same_result survivors (Epp.Supervisor.results outcome))
 
+(* A forced-batch clean sweep runs every site on the batch rung and is
+   bit-identical to the unsupervised per-site sweep. *)
+let test_batch_clean_sweep () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let unsupervised = Epp.Epp_engine.analyze_all engine in
+  let outcome =
+    Epp.Supervisor.sweep_all ~domains:3 ~chunk_size:100 ~batch:Epp.Supervisor.Always
+      engine
+  in
+  let stats = outcome.Epp.Supervisor.stats in
+  check_int "all batch" n stats.Epp.Diag.batch_ok;
+  check_int "no kernel" 0 stats.Epp.Diag.kernel_ok;
+  check_int "none degraded" 0 stats.Epp.Diag.degraded;
+  check_int "none quarantined" 0 stats.Epp.Diag.quarantined;
+  check_bool "bit-identical to unsupervised" true
+    (List.for_all2 same_result unsupervised (Epp.Supervisor.results outcome))
+
+(* [batch:Never] keeps even a batchable sweep on the per-site ladder, and a
+   Naive-mode engine can never take the batch rung regardless of the mode. *)
+let test_batch_opt_out () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let outcome =
+    Epp.Supervisor.sweep_all ~batch:Epp.Supervisor.Never engine
+  in
+  check_int "never: no batch" 0 outcome.Epp.Supervisor.stats.Epp.Diag.batch_ok;
+  let naive = Epp.Epp_engine.create ~mode:Epp.Epp_engine.Naive c in
+  let outcome =
+    Epp.Supervisor.sweep_all ~batch:Epp.Supervisor.Always naive
+  in
+  let stats = outcome.Epp.Supervisor.stats in
+  check_int "naive: no batch" 0 stats.Epp.Diag.batch_ok;
+  check_int "naive: all kernel" (Circuit.node_count c) stats.Epp.Diag.kernel_ok
+
+(* Per-lane quarantine injection through the [batch_run] seam: poisoned
+   lanes degrade to the kernel rung alone — their block-mates stay on the
+   batch rung — and every site still gets the unsupervised result. *)
+let test_batch_lane_degrades_alone () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let poisoned = [ 3; n / 2; n - 1 ] in
+  let batch_run block sites =
+    let results = Epp.Epp_batch.Block.run block sites in
+    Array.mapi
+      (fun l r ->
+        if List.mem sites.(l) poisoned then Error (Failure "injected lane fault")
+        else r)
+      results
+  in
+  let unsupervised = Epp.Epp_engine.analyze_all engine in
+  let outcome =
+    Epp.Supervisor.sweep_all ~domains:3 ~batch:Epp.Supervisor.Always ~batch_run
+      engine
+  in
+  let stats = outcome.Epp.Supervisor.stats in
+  check_int "healthy lanes stay batched" (n - List.length poisoned)
+    stats.Epp.Diag.batch_ok;
+  check_int "poisoned lanes on the kernel rung" (List.length poisoned)
+    stats.Epp.Diag.kernel_ok;
+  check_int "none quarantined" 0 stats.Epp.Diag.quarantined;
+  check_bool "all sites bit-identical to unsupervised" true
+    (List.for_all2 same_result unsupervised (Epp.Supervisor.results outcome));
+  List.iter
+    (fun (site, entry) ->
+      match entry with
+      | Epp.Supervisor.Analyzed { step; _ } ->
+        check_bool
+          (Printf.sprintf "site %d on the right rung" site)
+          true
+          (if List.mem site poisoned then step = Epp.Diag.Kernel
+           else step = Epp.Diag.Batch)
+      | Epp.Supervisor.Quarantined _ -> Alcotest.fail "unexpected quarantine")
+    outcome.Epp.Supervisor.entries
+
+(* All three rungs poisoned for one site: the quarantine record carries one
+   typed fault per rung, in ladder order batch -> kernel -> reference. *)
+let test_batch_full_ladder_quarantine () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let victim = n / 3 in
+  let batch_run block sites =
+    let results = Epp.Epp_batch.Block.run block sites in
+    Array.mapi
+      (fun l r ->
+        if sites.(l) = victim then Error (Failure "injected batch fault") else r)
+      results
+  in
+  let kernel ws site =
+    if site = victim then failwith "injected kernel fault"
+    else Epp.Epp_engine.Workspace.analyze_site ws site
+  in
+  let reference engine site =
+    if site = victim then failwith "injected reference fault"
+    else Epp.Epp_engine.analyze_site engine site
+  in
+  let outcome =
+    Epp.Supervisor.sweep_all ~batch:Epp.Supervisor.Always ~batch_run ~kernel
+      ~reference engine
+  in
+  let stats = outcome.Epp.Supervisor.stats in
+  check_int "one quarantine" 1 stats.Epp.Diag.quarantined;
+  check_int "everyone else batched" (n - 1) stats.Epp.Diag.batch_ok;
+  match Epp.Supervisor.quarantines outcome with
+  | [ q ] ->
+    check_int "the victim" victim q.Epp.Diag.site;
+    check_bool "one fault per rung, in ladder order" true
+      (match q.Epp.Diag.faults with
+      | [ (Epp.Diag.Batch, Epp.Diag.Exception _);
+          (Epp.Diag.Kernel, Epp.Diag.Exception _);
+          (Epp.Diag.Reference, Epp.Diag.Exception _) ] -> true
+      | _ -> false)
+  | qs -> Alcotest.fail (Printf.sprintf "expected 1 quarantine, got %d" (List.length qs))
+
+(* A whole-block batch failure (the run itself raises) degrades every lane
+   of that block to the per-site ladder; the sweep still completes with
+   every site analyzed. *)
+let test_batch_whole_block_failure () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let batch_run _block _sites = failwith "injected block fault" in
+  let unsupervised = Epp.Epp_engine.analyze_all engine in
+  let outcome =
+    Epp.Supervisor.sweep_all ~batch:Epp.Supervisor.Always ~batch_run engine
+  in
+  let stats = outcome.Epp.Supervisor.stats in
+  check_int "no batch survivors" 0 stats.Epp.Diag.batch_ok;
+  check_int "every lane degraded to kernel" n stats.Epp.Diag.kernel_ok;
+  check_int "none quarantined" 0 stats.Epp.Diag.quarantined;
+  check_bool "results still bit-identical" true
+    (List.for_all2 same_result unsupervised (Epp.Supervisor.results outcome))
+
 (* An out-of-range site id in the input is quarantined, not fatal. *)
 let test_bad_site_quarantined () =
   let c = fig1 () in
@@ -236,6 +372,16 @@ let () =
           Alcotest.test_case "exactly k quarantines" `Quick test_quarantine_exactly_k;
           Alcotest.test_case "hostile sp mutation" `Quick test_hostile_sp_mutation;
           Alcotest.test_case "bad site quarantined" `Quick test_bad_site_quarantined;
+        ] );
+      ( "batch rung",
+        [
+          Alcotest.test_case "clean batch sweep" `Quick test_batch_clean_sweep;
+          Alcotest.test_case "opt-out modes" `Quick test_batch_opt_out;
+          Alcotest.test_case "lane degrades alone" `Quick test_batch_lane_degrades_alone;
+          Alcotest.test_case "full-ladder quarantine" `Quick
+            test_batch_full_ladder_quarantine;
+          Alcotest.test_case "whole-block failure" `Quick
+            test_batch_whole_block_failure;
         ] );
       ( "checkpoint",
         [ Alcotest.test_case "kill/resume round trip" `Quick test_kill_resume_round_trip ] );
