@@ -515,6 +515,66 @@ let run_analysis_reuse_check () =
   if !failed then exit 1;
   print_newline ()
 
+(* In-process load run against the serd request engine (--service): the
+   protocol, cache, and deadline paths without subprocess plumbing — the
+   scripted end-to-end session lives in @service-smoke.  Measures the
+   cache-hit request path (one cold miss, then repeats) and prints the
+   latency summary the smoke writes to BENCH_service.json. *)
+let run_service_load () =
+  print_endline "== serd request engine: in-process load (cache-hit path) ==";
+  let live = Obs.Metrics.create () in
+  Obs.Hooks.set_metrics live;
+  Fun.protect ~finally:Obs.Hooks.reset @@ fun () ->
+  let server = Service.Server.create Service.Server.default_config in
+  let request =
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [
+           ("op", Obs.Json.String "analyze");
+           ( "circuit",
+             Obs.Json.Obj
+               [
+                 ("format", Obs.Json.String "embedded");
+                 ("source", Obs.Json.String "s27");
+               ] );
+         ])
+  in
+  let iterations = 200 in
+  let load = Service.Load.create () in
+  let t0 = Obs.Clock.monotonic_seconds () in
+  for _ = 1 to iterations do
+    let q0 = Obs.Clock.monotonic_seconds () in
+    (match Service.Server.handle_line server request with
+    | `Reply _ -> ()
+    | `Shutdown _ -> assert false);
+    Service.Load.record load (Obs.Clock.monotonic_seconds () -. q0)
+  done;
+  let wall = Obs.Clock.monotonic_seconds () -. t0 in
+  let s = Obs.Metrics.snapshot live in
+  let v name = Obs.Metrics.counter_value s name in
+  let pct p = Service.Load.percentile load p *. 1000.0 in
+  Report.Table.print
+    ~align:Report.Table.[ Left; Right ]
+    ~header:[ "measure"; "value" ]
+    [
+      [ "requests"; string_of_int (Service.Load.count load) ];
+      [ "qps"; Printf.sprintf "%.0f" (float_of_int iterations /. wall) ];
+      [ "p50 latency"; Printf.sprintf "%.3f ms" (pct 50.0) ];
+      [ "p99 latency"; Printf.sprintf "%.3f ms" (pct 99.0) ];
+      [
+        "engine cache";
+        Printf.sprintf "%d hit / %d miss"
+          (v "analysis.cache.engine.hit")
+          (v "analysis.cache.engine.miss");
+      ];
+      [ "topo computed"; string_of_int (v "analysis.topo.computed") ];
+    ];
+  if v "analysis.cache.engine.hit" < iterations - 1 then begin
+    Fmt.epr "FAIL: repeat requests were not served from the engine cache@.";
+    exit 1
+  end;
+  print_newline ()
+
 (* Perf-trajectory baseline comparison (--baseline FILE).  Reads a
    previously committed BENCH_epp_kernel.json and flags any fixture whose
    regenerated speedup regressed more than 5% against the recorded one.
@@ -797,6 +857,7 @@ let run_ablation () =
      --micro-only    Bechamel microbenchmarks only
      --table-only    Table-2 harness only
      --kernel-only   kernel-vs-reference sweep only (>= 5k-gate fixtures)
+     --service       in-process load run against the serd request engine
      --json          with the kernel bench: also write BENCH_epp_kernel.json
      --baseline F    with the kernel bench: fail if any fixture's speedup
                      regressed >5% against the recorded BENCH_epp_kernel.json
@@ -820,6 +881,7 @@ let () =
     run_kernel_bench ~smoke:true ?baseline ();
     run_analysis_reuse_check ()
   end
+  else if List.mem "--service" args then run_service_load ()
   else if kernel_only then run_kernel_bench ~json ?baseline ()
   else begin
     if not table_only then run_micro ();

@@ -1,0 +1,373 @@
+(* service_smoke: CI gate for the serd daemon (dune build @service-smoke).
+
+   Drives a real serd subprocess over its stdio transport through a
+   scripted mixed session and asserts the robustness contract end to end:
+
+   - one process survives, in order: malformed JSON, over-deep nesting, an
+     over-long line, an invalid netlist, a whole-circuit analyze (miss),
+     the same analyze again (cache hit + checkpoint resume), a
+     zero-budget analyze (partial, not a crash), an inline .bench
+     payload, and an overload burst behind a sleep (shed, not buffered);
+   - repeat queries are served from the warmed-engine cache: the final
+     metrics dump shows analysis.topo.computed stuck at one per distinct
+     circuit while the cache-hit counter grows with every repeat;
+   - a second daemon kill -9'd mid-session leaves a checkpoint a third
+     daemon resumes (stats.resumed = stats.total on the repeat query).
+
+   A latency loop over the cache-hit path feeds BENCH_service.json
+   (p50/p99/mean latency, qps, cache hit rate, shed and partial counts),
+   which is re-parsed after writing; the response transcript is kept as
+   newline-delimited JSON in BENCH_service_session.jsonl and re-parsed
+   with the same framing helpers serd itself uses.  Any failed check
+   exits non-zero and fails the alias. *)
+
+module Json = Obs.Json
+
+let failures = ref 0
+let checks = ref []
+
+let check what ok =
+  checks := (what, ok) :: !checks;
+  if ok then Fmt.pr "ok: %s@." what
+  else begin
+    incr failures;
+    Fmt.pr "FAIL: %s@." what
+  end
+
+(* --- JSON plumbing -------------------------------------------------------- *)
+
+let jstr key v = Option.bind (Json.member key v) Json.to_string_value
+let jnum key v = Option.bind (Json.member key v) Json.to_number
+let status v = jstr "status" v
+
+let error_code v =
+  Option.bind (Json.member "error" v) (fun e -> jstr "code" e)
+
+let stat key v =
+  Option.bind (Json.member "stats" v) (fun s -> jnum key s)
+
+let metric name v =
+  Option.bind (Json.member "metrics" v) @@ fun m ->
+  Option.bind (Json.member "counters" m) @@ fun c ->
+  match Json.member name c with
+  | Some j -> Json.to_number j
+  | None -> Some 0.0 (* an untouched counter is absent from the snapshot *)
+
+(* --- daemon subprocess ---------------------------------------------------- *)
+
+type daemon = {
+  pid : int;
+  ic : in_channel;
+  oc : out_channel;
+  transcript : Buffer.t option;
+}
+
+let spawn ?transcript exe args =
+  let to_d_read, to_d_write = Unix.pipe ~cloexec:false () in
+  let from_d_read, from_d_write = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      to_d_read from_d_write Unix.stderr
+  in
+  Unix.close to_d_read;
+  Unix.close from_d_write;
+  {
+    pid;
+    ic = Unix.in_channel_of_descr from_d_read;
+    oc = Unix.out_channel_of_descr to_d_write;
+    transcript;
+  }
+
+let send d v = Json.emit_line d.oc v
+
+let send_raw d line =
+  output_string d.oc line;
+  output_char d.oc '\n';
+  flush d.oc
+
+let recv d =
+  let line = input_line d.ic in
+  (match d.transcript with
+  | Some b ->
+    Buffer.add_string b line;
+    Buffer.add_char b '\n'
+  | None -> ());
+  match Json.parse line with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "unparseable response %S: %s" line msg)
+
+let rpc d v =
+  send d v;
+  recv d
+
+let wait d =
+  close_out_noerr d.oc;
+  close_in_noerr d.ic;
+  snd (Unix.waitpid [] d.pid)
+
+(* --- request builders ----------------------------------------------------- *)
+
+let obj = List.map (fun (k, v) -> (k, v))
+
+let analyze ?id ?sites ?budget_ms ?top_k ~format ~source () =
+  let base =
+    [
+      ("op", Json.String "analyze");
+      ( "circuit",
+        Json.Obj
+          [ ("format", Json.String format); ("source", Json.String source) ] );
+    ]
+  in
+  let opt k f = function
+    | None -> []
+    | Some v -> [ (k, f v) ]
+  in
+  Json.Obj
+    (obj
+       (opt "id" Json.int id
+       @ base
+       @ opt "sites" (fun l -> Json.List (List.map Json.int l)) sites
+       @ opt "budget_ms" (fun b -> Json.Number b) budget_ms
+       @ opt "top_k" Json.int top_k))
+
+let op ?id name fields =
+  let id_f =
+    match id with
+    | None -> []
+    | Some i -> [ ("id", Json.int i) ]
+  in
+  Json.Obj (id_f @ (("op", Json.String name) :: fields))
+
+let tiny_bench =
+  "INPUT(a)\nINPUT(b)\nINPUT(c)\nx = AND(a, b)\ny = OR(x, c)\nOUTPUT(y)\n"
+
+(* --- the scripted session ------------------------------------------------- *)
+
+let rm_rf_checkpoints dir =
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".ck" then Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir)
+
+let () =
+  (* A wedged daemon must fail CI, not hang it. *)
+  ignore (Unix.alarm 240);
+  let serd =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else failwith "usage: service_smoke SERD_EXE"
+  in
+  let ck_a = "service_smoke_ck_a" and ck_b = "service_smoke_ck_b" in
+  rm_rf_checkpoints ck_a;
+  rm_rf_checkpoints ck_b;
+  let transcript = Buffer.create 4096 in
+  let burst = 12 and high_water = 4 in
+  let d =
+    spawn ~transcript serd
+      [
+        "--checkpoint-dir"; ck_a;
+        "--queue-high-water"; string_of_int high_water;
+        "--domains"; "1";
+        "--max-request-bytes"; "2048";
+      ]
+  in
+
+  (* 1. ping *)
+  let r = rpc d (op ~id:1 "ping" []) in
+  check "ping answers ok" (status r = Some "ok");
+  check "ping echoes id" (jnum "id" r = Some 1.0);
+
+  (* 2. malformed JSON -> typed parse error, daemon survives *)
+  send_raw d "this is not json";
+  let r = recv d in
+  check "malformed JSON answers parse_error"
+    (status r = Some "error" && error_code r = Some "parse_error");
+
+  (* 3. over-deep nesting -> request_too_large *)
+  send_raw d (String.make 80 '[' ^ "1" ^ String.make 80 ']');
+  let r = recv d in
+  check "over-deep nesting answers request_too_large"
+    (status r = Some "error" && error_code r = Some "request_too_large");
+
+  (* 4. over-long line -> request_too_large (streamed, never buffered) *)
+  send_raw d (String.make 4000 ' ');
+  let r = recv d in
+  check "over-long line answers request_too_large"
+    (status r = Some "error" && error_code r = Some "request_too_large");
+
+  (* 5. invalid netlist -> typed error, daemon survives *)
+  let r =
+    rpc d (analyze ~id:5 ~format:"bench" ~source:"INPUT(broken" ())
+  in
+  check "invalid netlist answers invalid_netlist"
+    (status r = Some "error" && error_code r = Some "invalid_netlist");
+
+  (* 6. whole-circuit analyze: cold -> miss, complete, nothing resumed *)
+  let r = rpc d (analyze ~id:6 ~format:"embedded" ~source:"s27" ~top_k:3 ()) in
+  let total =
+    match stat "total" r with
+    | Some t -> int_of_float t
+    | None -> 0
+  in
+  check "cold analyze completes" (status r = Some "ok");
+  check "cold analyze is a cache miss" (jstr "cache" r = Some "miss");
+  check "cold analyze covers the circuit" (total > 0);
+  check "cold analyze resumed nothing" (stat "resumed" r = Some 0.0);
+
+  (* 7. repeat analyze: warmed engine + checkpoint replay *)
+  let r = rpc d (analyze ~id:7 ~format:"embedded" ~source:"s27" ()) in
+  check "repeat analyze hits the engine cache" (jstr "cache" r = Some "hit");
+  check "repeat analyze resumes every site from the checkpoint"
+    (stat "resumed" r = Some (float_of_int total) && status r = Some "ok");
+
+  (* 8. zero budget on an explicit site list: partial, not a crash *)
+  let sites = List.init total Fun.id in
+  let r =
+    rpc d
+      (analyze ~id:8 ~format:"embedded" ~source:"s27" ~sites ~budget_ms:0.0 ())
+  in
+  check "zero budget answers partial" (status r = Some "partial");
+  check "zero budget reports the uncovered remainder"
+    (Option.bind (Json.member "deadline" r) (jnum "remaining")
+    = Some (float_of_int total));
+
+  (* 9. inline .bench payload parses and analyzes *)
+  let r = rpc d (analyze ~id:9 ~format:"bench" ~source:tiny_bench ()) in
+  check "inline .bench analyze completes" (status r = Some "ok");
+
+  (* 10. overload: a burst behind a sleep is shed, not buffered.  Shed
+     responses are emitted the moment the queue overflows — i.e. while the
+     sleep is still being served — so responses are classified by content,
+     not arrival order. *)
+  send d (op ~id:100 "sleep" [ ("seconds", Json.Number 0.3) ]);
+  for i = 1 to burst do
+    send d (op ~id:(100 + i) "ping" [])
+  done;
+  let slept = ref 0 and pongs = ref 0 and shed = ref 0 in
+  for _ = 0 to burst do
+    let r = recv d in
+    match (status r, error_code r) with
+    | Some "ok", _ ->
+      if Json.member "slept" r <> None then incr slept else incr pongs
+    | Some "error", Some "overloaded" -> incr shed
+    | _ -> ()
+  done;
+  check "sleep completes" (!slept = 1);
+  check "every burst request is answered" (!pongs + !shed = burst);
+  check "some of the burst is served" (!pongs >= 1);
+  check "the overflow is shed as overloaded"
+    (!shed >= burst - (2 * high_water));
+
+  (* 11. latency loop on the hot path *)
+  let load = Service.Load.create () in
+  let iterations = 50 in
+  let t0 = Obs.Clock.monotonic_seconds () in
+  for i = 1 to iterations do
+    let q0 = Obs.Clock.monotonic_seconds () in
+    let r = rpc d (analyze ~id:(1000 + i) ~format:"embedded" ~source:"s27" ()) in
+    Service.Load.record load (Obs.Clock.monotonic_seconds () -. q0);
+    if status r <> Some "ok" then
+      check (Printf.sprintf "latency iteration %d" i) false
+  done;
+  let wall = Obs.Clock.monotonic_seconds () -. t0 in
+
+  (* 12. the cache served the repeats: topo count stuck at one per circuit *)
+  let m = rpc d (op "metrics" []) in
+  let topo = metric "analysis.topo.computed" m in
+  let hits = metric "analysis.cache.engine.hit" m in
+  let misses = metric "analysis.cache.engine.miss" m in
+  check "one topological sort per distinct circuit, despite the repeats"
+    (topo = Some 2.0);
+  check "the repeats were engine-cache hits"
+    (match hits with
+    | Some h -> h >= float_of_int iterations
+    | None -> false);
+  check "shed requests are metered"
+    (match metric "serd.shed" m with
+    | Some s -> int_of_float s = !shed
+    | None -> false);
+  check "deadline partials are metered"
+    (match metric "serd.deadline_partial" m with
+    | Some p -> p >= 1.0
+    | None -> false);
+
+  (* 13. clean shutdown *)
+  let r = rpc d (op ~id:99 "shutdown" []) in
+  check "shutdown is acknowledged" (status r = Some "ok");
+  check "daemon exits cleanly on shutdown" (wait d = Unix.WEXITED 0);
+
+  (* 14. kill -9 mid-session, then a fresh daemon resumes the checkpoint *)
+  let d1 = spawn serd [ "--checkpoint-dir"; ck_b; "--domains"; "1" ] in
+  let r = rpc d1 (analyze ~id:1 ~format:"embedded" ~source:"s27" ()) in
+  check "victim daemon analyzes before the kill" (status r = Some "ok");
+  Unix.kill d1.pid Sys.sigkill;
+  check "kill -9 takes the victim down"
+    (wait d1 = Unix.WSIGNALED Sys.sigkill);
+  check "the checkpoint survived the kill"
+    (Array.exists
+       (fun f -> Filename.check_suffix f ".ck")
+       (Sys.readdir ck_b));
+  let d2 = spawn serd [ "--checkpoint-dir"; ck_b; "--domains"; "1" ] in
+  let r = rpc d2 (analyze ~id:2 ~format:"embedded" ~source:"s27" ()) in
+  check "restarted daemon serves the repeat query"
+    (status r = Some "ok");
+  check "restarted daemon resumes every site from the checkpoint"
+    (stat "resumed" r = Some (float_of_int total)
+    && stat "total" r = Some (float_of_int total));
+  ignore (rpc d2 (op "shutdown" []));
+  check "restarted daemon exits cleanly" (wait d2 = Unix.WEXITED 0);
+
+  (* --- artifacts ---------------------------------------------------------- *)
+
+  let session_path = "BENCH_service_session.jsonl" in
+  let oc = open_out session_path in
+  output_string oc (Buffer.contents transcript);
+  close_out oc;
+  let frames = Json.parse_lines (Buffer.contents transcript) in
+  check "every transcript frame re-parses"
+    (frames <> [] && List.for_all Result.is_ok frames);
+
+  let cache_hit_rate =
+    match (hits, misses) with
+    | Some h, Some m when h +. m > 0.0 -> h /. (h +. m)
+    | _ -> 0.0
+  in
+  let artifact_path = "BENCH_service.json" in
+  let artifact =
+    Service.Load.summary_json load ~wall_seconds:wall
+      ~extra:
+        [
+          ("benchmark", Json.String "service");
+          ( "cache",
+            Json.Obj
+              [
+                ("hit", Json.Number (Option.value hits ~default:0.0));
+                ("miss", Json.Number (Option.value misses ~default:0.0));
+                ("hit_rate", Json.Number cache_hit_rate);
+              ] );
+          ("shed", Json.int !shed);
+          ( "checks",
+            Json.List
+              (List.rev_map
+                 (fun (what, ok) ->
+                   Json.Obj
+                     [ ("name", Json.String what); ("ok", Json.Bool ok) ])
+                 !checks) );
+        ]
+  in
+  Json.to_file ~pretty:true artifact_path artifact;
+  (match Json.parse_file artifact_path with
+  | Error msg -> check (Printf.sprintf "artifact re-parses (%s)" msg) false
+  | Ok v ->
+    check "artifact re-parses with the latency summary"
+      (jnum "qps" v <> None
+      && Option.bind (Json.member "latency_ms" v) (jnum "p50") <> None
+      && Option.bind (Json.member "latency_ms" v) (jnum "p99") <> None));
+  Fmt.pr "wrote %s and %s@." artifact_path session_path;
+
+  if !failures > 0 then begin
+    Fmt.pr "@.%d service smoke check(s) failed@." !failures;
+    exit 1
+  end
+  else Fmt.pr "@.service smoke: all %d checks passed@." (List.length !checks)

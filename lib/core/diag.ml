@@ -31,6 +31,14 @@ type stats = {
   resumed : int;
 }
 
+type completion =
+  | Complete
+  | Deadline_expired of {
+      analyzed : int;
+      remaining : int;
+      budget_seconds : float;
+    }
+
 let step_to_string = function
   | Batch -> "batch"
   | Kernel -> "kernel"
@@ -64,6 +72,15 @@ let pp_quarantine_table ppf = function
     Fmt.pf ppf "@[<v>%d quarantined site(s):@,%a@]" (List.length qs)
       Fmt.(list ~sep:cut pp_quarantine)
       qs
+
+let completion_to_string = function
+  | Complete -> "complete"
+  | Deadline_expired { analyzed; remaining; budget_seconds } ->
+    Printf.sprintf
+      "deadline expired after %gs: %d site(s) analyzed, %d remaining"
+      budget_seconds analyzed remaining
+
+let pp_completion ppf c = Fmt.string ppf (completion_to_string c)
 
 let pp_stats ppf s =
   Fmt.pf ppf

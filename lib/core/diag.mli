@@ -40,8 +40,22 @@ type stats = {
   resumed : int;  (** sites replayed from a checkpoint, not re-analyzed *)
 }
 
+(** Whether a supervised sweep covered every requested site, or was cut
+    short by its {!Obs.Deadline} budget.  Expiry is cooperative and loses
+    nothing: [analyzed] entries are all present in the outcome, the
+    [remaining] sites were simply never started. *)
+type completion =
+  | Complete
+  | Deadline_expired of {
+      analyzed : int;
+      remaining : int;
+      budget_seconds : float;  (** the budget the sweep was given *)
+    }
+
 val step_to_string : step -> string
 val fault_to_string : fault -> string
+val completion_to_string : completion -> string
+val pp_completion : completion Fmt.t
 
 val pp_step : step Fmt.t
 val pp_fault : fault Fmt.t

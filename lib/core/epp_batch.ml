@@ -365,14 +365,18 @@ let raise_first_fault results =
 
 (* Chunk [sites] into blocks and run them in order on one reusable block
    workspace.  Exception semantics mirror the per-site list API: the fault
-   of the earliest failing site (input order) is raised. *)
-let analyze_site_array ?lanes engine sites =
+   of the earliest failing site (input order) is raised.  These drivers
+   return whole arrays, so a [deadline] cannot express a partial result —
+   expiry between blocks raises {!Obs.Deadline.Expired} instead (callers
+   that want partials use {!Supervisor.sweep}). *)
+let analyze_site_array ?lanes ?(deadline = Obs.Deadline.never) engine sites =
   let b = Block.create ?lanes engine in
   let total = Array.length sites in
   let w = Block.lanes b in
   let out = Array.make total None in
   let off = ref 0 in
   while !off < total do
+    Obs.Deadline.raise_if_expired deadline;
     let k = min w (total - !off) in
     let chunk = Array.sub sites !off k in
     let results = Block.run b chunk in
@@ -385,13 +389,16 @@ let analyze_site_array ?lanes engine sites =
   done;
   Array.map (function Some r -> r | None -> assert false) out
 
-let analyze_sites ?lanes engine sites =
-  let results = analyze_site_array ?lanes engine (Array.of_list sites) in
+let analyze_sites ?lanes ?deadline engine sites =
+  let results =
+    analyze_site_array ?lanes ?deadline engine (Array.of_list sites)
+  in
   Array.to_list results
 
-let analyze_all ?lanes engine =
+let analyze_all ?lanes ?deadline engine =
   let n = Circuit.node_count (Epp_engine.circuit engine) in
-  Array.to_list (analyze_site_array ?lanes engine (Array.init n Fun.id))
+  Array.to_list
+    (analyze_site_array ?lanes ?deadline engine (Array.init n Fun.id))
 
 (* --- density heuristic ----------------------------------------------------
 

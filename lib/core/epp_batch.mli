@@ -57,15 +57,32 @@ end
     exception behaviour as {!Epp_engine.analyze_sites} /
     {!Epp_engine.analyze_all} (the earliest failing site's exception is
     raised).  {!Epp.Parallel} schedules blocks across domains on top of
-    {!Block.run}. *)
+    {!Block.run}.
+
+    [deadline] (default {!Obs.Deadline.never}) is polled at block
+    boundaries; since these drivers return whole arrays, expiry raises
+    {!Obs.Deadline.Expired} rather than returning partial results — use
+    {!Supervisor.sweep} when partial coverage should be kept. *)
 
 val analyze_site_array :
-  ?lanes:int -> Epp_engine.t -> int array -> Epp_engine.site_result array
+  ?lanes:int ->
+  ?deadline:Obs.Deadline.t ->
+  Epp_engine.t ->
+  int array ->
+  Epp_engine.site_result array
 
 val analyze_sites :
-  ?lanes:int -> Epp_engine.t -> int list -> Epp_engine.site_result list
+  ?lanes:int ->
+  ?deadline:Obs.Deadline.t ->
+  Epp_engine.t ->
+  int list ->
+  Epp_engine.site_result list
 
-val analyze_all : ?lanes:int -> Epp_engine.t -> Epp_engine.site_result list
+val analyze_all :
+  ?lanes:int ->
+  ?deadline:Obs.Deadline.t ->
+  Epp_engine.t ->
+  Epp_engine.site_result list
 
 (** {2 Density heuristic} *)
 

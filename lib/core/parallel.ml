@@ -81,16 +81,30 @@ let instruments () =
     busy = Obs.Metrics.histogram m "parallel.worker_busy_seconds";
   }
 
-let map_array ?domains ~workspace ~f items =
-  let domains = resolve_domains ~who:"Parallel.map_array" domains in
+(* The shared work-stealing core.  [deadline] is checked at task dispatch:
+   a worker that finds the budget expired stops claiming — every item
+   already claimed still runs to completion, so the option array holds
+   exactly the finished prefix of claims and [None] for items never
+   started.  With [Obs.Deadline.never] every index is handed out and every
+   slot is [Some]. *)
+let run_stealing ~domains ~deadline ~workspace ~f items =
   let n = Array.length items in
   let m = instruments () in
   Obs.Metrics.incr m.batches;
   if n = 0 then [||]
   else if domains = 1 || n < 2 * domains then begin
     let ws = workspace () in
-    Obs.Metrics.add m.tasks n;
-    Array.map (f ws) items
+    let results = Array.make n None in
+    let executed = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         if Obs.Deadline.expired deadline then raise Exit;
+         results.(i) <- Some (f ws items.(i));
+         incr executed
+       done
+     with Exit -> ());
+    Obs.Metrics.add m.tasks !executed;
+    results
   end
   else begin
     let tracer = Obs.Hooks.tracer () in
@@ -105,16 +119,20 @@ let map_array ?domains ~workspace ~f items =
       let ws = workspace () in
       let continue = ref true in
       while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failure <> None then continue := false
+        if Obs.Deadline.expired deadline then continue := false
         else begin
-          let item_t0 = if m.timed then Obs.Clock.wall_seconds () else 0.0 in
-          (match f ws items.(i) with
-          | r -> results.(i) <- Some r
-          | exception e ->
-            record_failure failure i e (Printexc.get_raw_backtrace ()));
-          if m.timed then busy := !busy +. (Obs.Clock.wall_seconds () -. item_t0);
-          incr executed
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n || Atomic.get failure <> None then continue := false
+          else begin
+            let item_t0 = if m.timed then Obs.Clock.wall_seconds () else 0.0 in
+            (match f ws items.(i) with
+            | r -> results.(i) <- Some r
+            | exception e ->
+              record_failure failure i e (Printexc.get_raw_backtrace ()));
+            if m.timed then
+              busy := !busy +. (Obs.Clock.wall_seconds () -. item_t0);
+            incr executed
+          end
         end
       done;
       Obs.Metrics.add m.tasks !executed;
@@ -137,13 +155,20 @@ let map_array ?domains ~workspace ~f items =
       (worker ~helper:false);
     match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
-    | None ->
-      Array.map
-        (function
-          | Some r -> r
-          | None -> assert false (* counter handed out every index *))
-        results
+    | None -> results
   end
+
+let map_array ?domains ~workspace ~f items =
+  let domains = resolve_domains ~who:"Parallel.map_array" domains in
+  run_stealing ~domains ~deadline:Obs.Deadline.never ~workspace ~f items
+  |> Array.map (function
+       | Some r -> r
+       | None -> assert false (* no deadline: counter handed out every index *))
+
+let map_array_until ?domains ?(deadline = Obs.Deadline.never) ~workspace ~f
+    items =
+  let domains = resolve_domains ~who:"Parallel.map_array_until" domains in
+  run_stealing ~domains ~deadline ~workspace ~f items
 
 let analyze_sites ?domains engine sites =
   let domains = resolve_domains ~who:"Parallel.analyze_sites" domains in

@@ -27,6 +27,20 @@ val map_array :
     @raise Invalid_argument if [domains < 1]; re-raises the first (lowest
     input index) worker exception after joining every spawned domain. *)
 
+val map_array_until :
+  ?domains:int ->
+  ?deadline:Obs.Deadline.t ->
+  workspace:(unit -> 'w) ->
+  f:('w -> 'a -> 'b) ->
+  'a array ->
+  'b option array
+(** {!map_array} with a cooperative budget checked at task dispatch: once
+    [deadline] expires, workers stop claiming new items — items already
+    started still finish, so the result holds [Some] for every completed
+    item and [None] for items never started, and no finished work is lost.
+    With the default {!Obs.Deadline.never} every slot is [Some].  Exception
+    propagation is as in {!map_array}. *)
+
 val analyze_sites :
   ?domains:int -> Epp_engine.t -> int list -> Epp_engine.site_result list
 (** Same results as {!Epp_engine.analyze_sites}, in the same order.  Falls

@@ -28,6 +28,7 @@ type batch_mode =
 type outcome = {
   entries : (int * entry) list;
   stats : Diag.stats;
+  completion : Diag.completion;
 }
 
 (* Matches Prob4.normalize's drift bound: anything larger is a rule bug or a
@@ -221,7 +222,8 @@ let analyze_block ?tolerance ?kernel ?reference ?batch_run bw sites =
       results
 
 let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
-    ?batch_run ?kernel ?reference engine sites =
+    ?batch_run ?kernel ?reference ?(deadline = Obs.Deadline.never) engine sites
+    =
   if chunk_size < 1 then invalid_arg "Supervisor.sweep: chunk_size must be >= 1";
   let m = Obs.Hooks.metrics () in
   let tracer = Obs.Hooks.tracer () in
@@ -240,68 +242,95 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
     | Auto -> can_batch engine && Epp_batch.should_batch engine ~sites:n
   in
   let acc = ref [] in
+  let analyzed = ref 0 in
   let pos = ref 0 in
-  while !pos < n do
-    let len = min chunk_size (n - !pos) in
-    let chunk = Array.sub arr !pos len in
-    let entries =
-      Obs.Trace.span tracer ~cat:"supervisor" "supervisor.chunk" @@ fun () ->
-      if use_batch then begin
-        (* blocks per domain: each work item is a whole block, so a domain
-           claims O(V + E) passes, not per-site crumbs *)
-        let lanes = Epp_batch.max_lanes in
-        let nblocks = (len + lanes - 1) / lanes in
-        let blocks =
-          Array.init nblocks (fun i ->
-              let off = i * lanes in
-              Array.sub chunk off (min lanes (len - off)))
-        in
-        Parallel.map_array ?domains
-          ~workspace:(fun () ->
-            {
-              block = Epp_batch.Block.create engine;
-              kernel_ws = lazy (Epp_engine.Workspace.create engine);
-            })
-          ~f:(fun bw block ->
-            analyze_block ?tolerance ?kernel ?reference ?batch_run bw block)
-          blocks
-        |> Array.to_list
-        |> List.concat_map Array.to_list
-      end
-      else
-        Parallel.map_array ?domains
-          ~workspace:(fun () -> Epp_engine.Workspace.create engine)
-          ~f:(fun ws site ->
-            (site, analyze_entry ?tolerance ?kernel ?reference ws site))
-          chunk
-        |> Array.to_list
-    in
-    (* Ladder-step accounting happens here, on the calling domain, instead
-       of inside the per-site wrapper: one scan per chunk versus a registry
-       lookup per site. *)
-    Obs.Metrics.incr c_chunks;
-    List.iter
-      (fun (_, entry) ->
-        match entry with
-        | Analyzed { step = Diag.Batch; _ } -> Obs.Metrics.incr c_batch_ok
-        | Analyzed { step = Diag.Kernel; _ } -> Obs.Metrics.incr c_kernel_ok
-        | Analyzed { step = Diag.Reference; _ } -> Obs.Metrics.incr c_degraded
-        | Quarantined _ -> Obs.Metrics.incr c_quarantined)
-      entries;
-    acc := entries :: !acc;
-    pos := !pos + len;
-    match on_chunk with
-    | Some f -> f ~done_count:!pos ~total:n entries
-    | None -> ()
+  let expired = ref false in
+  (* The deadline is checked at the two dispatch boundaries the sweep owns:
+     before starting a chunk (here), and — via [map_array_until] — before
+     each task claim inside one.  Either way, entries already finished are
+     kept; the sweep never tears a site mid-analysis and never raises on
+     expiry. *)
+  while !pos < n && not !expired do
+    if Obs.Deadline.expired deadline then expired := true
+    else begin
+      let len = min chunk_size (n - !pos) in
+      let chunk = Array.sub arr !pos len in
+      let entries =
+        Obs.Trace.span tracer ~cat:"supervisor" "supervisor.chunk" @@ fun () ->
+        if use_batch then begin
+          (* blocks per domain: each work item is a whole block, so a domain
+             claims O(V + E) passes, not per-site crumbs *)
+          let lanes = Epp_batch.max_lanes in
+          let nblocks = (len + lanes - 1) / lanes in
+          let blocks =
+            Array.init nblocks (fun i ->
+                let off = i * lanes in
+                Array.sub chunk off (min lanes (len - off)))
+          in
+          Parallel.map_array_until ?domains ~deadline
+            ~workspace:(fun () ->
+              {
+                block = Epp_batch.Block.create engine;
+                kernel_ws = lazy (Epp_engine.Workspace.create engine);
+              })
+            ~f:(fun bw block ->
+              analyze_block ?tolerance ?kernel ?reference ?batch_run bw block)
+            blocks
+          |> Array.to_list
+          |> List.concat_map (function
+               | Some block_entries -> Array.to_list block_entries
+               | None -> [])
+        end
+        else
+          Parallel.map_array_until ?domains ~deadline
+            ~workspace:(fun () -> Epp_engine.Workspace.create engine)
+            ~f:(fun ws site ->
+              (site, analyze_entry ?tolerance ?kernel ?reference ws site))
+            chunk
+          |> Array.to_list |> List.filter_map Fun.id
+      in
+      let completed = List.length entries in
+      if completed < len then expired := true;
+      (* Ladder-step accounting happens here, on the calling domain, instead
+         of inside the per-site wrapper: one scan per chunk versus a registry
+         lookup per site. *)
+      Obs.Metrics.incr c_chunks;
+      List.iter
+        (fun (_, entry) ->
+          match entry with
+          | Analyzed { step = Diag.Batch; _ } -> Obs.Metrics.incr c_batch_ok
+          | Analyzed { step = Diag.Kernel; _ } -> Obs.Metrics.incr c_kernel_ok
+          | Analyzed { step = Diag.Reference; _ } -> Obs.Metrics.incr c_degraded
+          | Quarantined _ -> Obs.Metrics.incr c_quarantined)
+        entries;
+      acc := entries :: !acc;
+      analyzed := !analyzed + completed;
+      pos := !pos + len;
+      match on_chunk with
+      | Some f -> f ~done_count:!analyzed ~total:n entries
+      | None -> ()
+    end
   done;
   let entries = List.concat (List.rev !acc) in
-  { entries; stats = stats_of_entries entries }
+  let completion =
+    if !expired then begin
+      Obs.Metrics.incr (Obs.Metrics.counter m "supervisor.deadline_expired");
+      Diag.Deadline_expired
+        {
+          analyzed = !analyzed;
+          remaining = n - !analyzed;
+          budget_seconds = Obs.Deadline.budget_seconds deadline;
+        }
+    end
+    else Diag.Complete
+  in
+  { entries; stats = stats_of_entries entries; completion }
 
 let sweep_all ?domains ?tolerance ?chunk_size ?on_chunk ?batch ?batch_run
-    ?kernel ?reference engine =
+    ?kernel ?reference ?deadline engine =
   let n = Circuit.node_count (Epp_engine.circuit engine) in
   sweep ?domains ?tolerance ?chunk_size ?on_chunk ?batch ?batch_run ?kernel
-    ?reference engine
+    ?reference ?deadline engine
     (List.init n Fun.id)
 
 let results outcome =

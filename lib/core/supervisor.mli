@@ -41,6 +41,10 @@ type batch_mode =
 type outcome = {
   entries : (int * entry) list;  (** (site, entry), in input order *)
   stats : Diag.stats;
+  completion : Diag.completion;
+      (** whether every requested site was covered, or the sweep's
+          {!Obs.Deadline} budget expired first (entries then hold the
+          finished subset — nothing finished is ever dropped) *)
 }
 
 val default_tolerance : float
@@ -76,6 +80,7 @@ val sweep :
     (Epp_engine.site_result, exn) result array) ->
   ?kernel:(Epp_engine.Workspace.ws -> int -> Epp_engine.site_result) ->
   ?reference:(Epp_engine.t -> int -> Epp_engine.site_result) ->
+  ?deadline:Obs.Deadline.t ->
   Epp_engine.t ->
   int list ->
   outcome
@@ -88,6 +93,14 @@ val sweep :
     seam for the batch rung (per-lane [Error]s degrade those lanes, a raise
     degrades the whole block; the lane vector sentinel only runs for the
     real engine).
+
+    [deadline] (default {!Obs.Deadline.never}) is polled cooperatively at
+    chunk boundaries and at each task claim inside a chunk: on expiry the
+    sweep stops starting new sites, keeps every finished entry, reports the
+    partial coverage in [outcome.completion] ({!Diag.Deadline_expired}),
+    and returns normally — it never raises on expiry, and [on_chunk] has
+    already seen every finished entry, so a checkpoint written from it
+    holds exactly the completed work.
     @raise Invalid_argument if [domains < 1] or [chunk_size < 1]. *)
 
 val sweep_all :
@@ -102,6 +115,7 @@ val sweep_all :
     (Epp_engine.site_result, exn) result array) ->
   ?kernel:(Epp_engine.Workspace.ws -> int -> Epp_engine.site_result) ->
   ?reference:(Epp_engine.t -> int -> Epp_engine.site_result) ->
+  ?deadline:Obs.Deadline.t ->
   Epp_engine.t ->
   outcome
 (** {!sweep} over every node of the engine's circuit. *)

@@ -1,11 +1,19 @@
-(* The two clocks of the telemetry layer, named for what they measure.
+(* The clocks of the telemetry layer, named for what they measure.
 
    Every duration the observability layer publishes is wall-clock time:
    [Sys.time] sums processor time across OCaml 5 domains, so under the
    parallel sweep it reports up to [domains]x the elapsed time — a silently
    corrupt number for any throughput or ETA computation.  CPU seconds remain
    available for the paper-style single-threaded run-time columns, where
-   processor time of a single domain is exactly what Table 2 reports. *)
+   processor time of a single domain is exactly what Table 2 reports.
+
+   Deadlines get their own source: [Unix.gettimeofday] jumps under NTP
+   steps, and a clock that jumps backwards turns an expired budget into an
+   unexpired one (or the reverse) — fatal for a daemon that promises to
+   answer within its budget.  [monotonic_seconds] reads CLOCK_MONOTONIC
+   through the bechamel stub, which is immune to wall-clock adjustment.  Its
+   epoch is arbitrary: only differences are meaningful. *)
 
 let wall_seconds () = Unix.gettimeofday ()
 let cpu_seconds () = Sys.time ()
+let monotonic_seconds () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9

@@ -7,3 +7,8 @@ val wall_seconds : unit -> float
 val cpu_seconds : unit -> float
 (** Processor time of this process ([Sys.time]) — the paper-style
     single-threaded run-time metric.  Do not use for parallel sections. *)
+
+val monotonic_seconds : unit -> float
+(** CLOCK_MONOTONIC as seconds from an arbitrary epoch: immune to NTP
+    steps, so it is the only clock {!Deadline} budgets may read.  Only
+    differences between two readings are meaningful. *)

@@ -114,11 +114,42 @@ let to_file ?pretty path v =
       output_string oc (to_string ?pretty v);
       output_char oc '\n')
 
+(* --- framing --------------------------------------------------------------
+
+   Newline-delimited JSON is the service wire format (one compact value per
+   line) — shared by the serd daemon, the load generator, and the session
+   transcripts the bench artifacts keep, instead of three ad-hoc framings.
+   Compact emission never contains a raw newline (strings escape control
+   characters), so '\n' is an unambiguous frame boundary. *)
+
+let emit_line oc v =
+  output_string oc (to_string v);
+  output_char oc '\n';
+  flush oc
+
 (* --- parsing ------------------------------------------------------------- *)
 
-exception Fail of int * string
+type limits = {
+  max_bytes : int;
+  max_depth : int;
+}
 
-let parse s =
+(* Depth 512 nests deeper than any sane payload while keeping the
+   recursive-descent parser far from stack exhaustion on hostile input. *)
+let default_limits = { max_bytes = max_int; max_depth = 512 }
+
+type error =
+  | Syntax of { offset : int; message : string }
+  | Limit of { message : string }
+
+let error_message = function
+  | Syntax { offset; message } -> Printf.sprintf "at offset %d: %s" offset message
+  | Limit { message } -> message
+
+exception Fail of int * string
+exception Fail_limit of string
+
+let parse_with_limits limits s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Fail (!pos, msg)) in
@@ -248,8 +279,13 @@ let parse s =
     | _ -> ());
     Number (float_of_string (String.sub s start (!pos - start)))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
+    if depth > limits.max_depth then
+      raise
+        (Fail_limit
+           (Printf.sprintf "nesting exceeds the %d-level depth limit"
+              limits.max_depth));
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
@@ -265,7 +301,7 @@ let parse s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -287,7 +323,7 @@ let parse s =
       end
       else begin
         let rec items acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -307,14 +343,32 @@ let parse s =
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail (Printf.sprintf "unexpected character %C" c)
   in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage after value";
-    v
-  with
-  | v -> Ok v
-  | exception Fail (p, msg) -> Error (Printf.sprintf "at offset %d: %s" p msg)
+  if n > limits.max_bytes then
+    Error
+      (Limit
+         {
+           message =
+             Printf.sprintf "input is %d bytes, over the %d-byte limit" n
+               limits.max_bytes;
+         })
+  else
+    match
+      let v = parse_value 0 in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage after value";
+      v
+    with
+    | v -> Ok v
+    | exception Fail (p, msg) -> Error (Syntax { offset = p; message = msg })
+    | exception Fail_limit message -> Error (Limit { message })
+
+let parse s =
+  Result.map_error error_message (parse_with_limits default_limits s)
+
+let parse_lines ?(limits = default_limits) s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.map (parse_with_limits limits)
 
 let parse_file path =
   match open_in_bin path with

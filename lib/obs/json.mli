@@ -27,7 +27,48 @@ val parse : string -> (t, string) result
 (** Strict RFC-8259 subset: rejects trailing garbage, raw control characters
     in strings, unpaired surrogates.  Never raises. *)
 
+(** {2 Bounded parsing}
+
+    A resident process parsing hostile input must bound what one request can
+    cost before touching it: {!parse_with_limits} rejects oversized inputs
+    up front and cuts off pathological nesting during the descent, with the
+    violation typed ({!Limit}) so the service layer can answer
+    [request_too_large] instead of a generic parse error. *)
+
+type limits = {
+  max_bytes : int;  (** whole-input byte cap, checked before parsing *)
+  max_depth : int;  (** maximum container nesting *)
+}
+
+val default_limits : limits
+(** Unbounded bytes, depth 512 — {!parse} uses this. *)
+
+type error =
+  | Syntax of { offset : int; message : string }
+  | Limit of { message : string }  (** a {!limits} violation, not bad JSON *)
+
+val error_message : error -> string
+
+val parse_with_limits : limits -> string -> (t, error) result
+(** Never raises. *)
+
 val parse_file : string -> (t, string) result
+
+(** {2 Newline-delimited framing}
+
+    The service wire format: one compact value per line.  Compact emission
+    escapes every control character, so ['\n'] is an unambiguous frame
+    boundary.  Shared by the serd daemon, the load generator, and the
+    session transcripts kept beside the bench artifacts. *)
+
+val emit_line : out_channel -> t -> unit
+(** Compact emission plus ['\n'], then [flush] — a frame is visible to the
+    peer as soon as the call returns.
+    @raise Sys_error on I/O failure. *)
+
+val parse_lines : ?limits:limits -> string -> (t, error) result list
+(** Split on ['\n'], drop blank lines, parse each line independently
+    (per-frame isolation: one bad line does not poison the rest). *)
 
 val member : string -> t -> t option
 (** First binding of the key in an object; [None] on non-objects. *)

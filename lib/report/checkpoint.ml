@@ -10,12 +10,14 @@
      ok <site> <k|r> <cone> <reached> <p_sens> <nobs> { <p|f> <net> <p> }*
      qr <site> <name> <cone|-1> <nfaults> { <k|r> <e|n|s|o> <payload> }*
 
-   Saves are atomic: the snapshot is written to "<path>.tmp" and renamed
-   over <path>, so a sweep killed mid-write leaves the previous snapshot
-   (or no file) — never a torn one.  The fingerprint ties a snapshot to the
-   exact analysis: circuit structure *and* the engine's signal-probability
-   vector and mode, because resuming EPP results against different
-   probabilities would be silently wrong. *)
+   Saves are atomic AND durable: the snapshot is written to "<path>.tmp",
+   fsync'd, renamed over <path>, and the parent directory is fsync'd too —
+   so a sweep killed mid-write leaves the previous snapshot (or no file),
+   never a torn one, and a machine that loses power right after [save]
+   returns still has the rename on disk.  The fingerprint ties a snapshot
+   to the exact analysis: circuit structure *and* the engine's
+   signal-probability vector and mode, because resuming EPP results against
+   different probabilities would be silently wrong. *)
 
 open Netlist
 
@@ -126,8 +128,20 @@ let save path t =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       Buffer.output_buffer oc buf;
-      flush oc);
+      flush oc;
+      (* Data must hit the disk before the rename can point at it, or a
+         crash after [save] returns could expose a renamed-but-empty file. *)
+      Unix.fsync (Unix.descr_of_out_channel oc));
   Sys.rename tmp path;
+  (* The rename itself lives in the directory; fsync it so the new name
+     survives power loss.  Some filesystems reject fsync on a directory fd —
+     losing durability there is acceptable, losing atomicity is not. *)
+  (try
+     let dir = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close dir with Unix.Unix_error _ -> ())
+       (fun () -> Unix.fsync dir)
+   with Unix.Unix_error _ -> ());
   Obs.Metrics.incr (Obs.Metrics.counter m "checkpoint.snapshots");
   Obs.Metrics.add (Obs.Metrics.counter m "checkpoint.bytes_written")
     (Buffer.length buf);
@@ -261,7 +275,7 @@ let load path =
 let by_site (a, _) (b, _) = compare (a : int) b
 
 let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
-    ?(resume = false) ?on_progress ?batch ?kernel ?reference engine =
+    ?(resume = false) ?on_progress ?batch ?kernel ?reference ?deadline engine =
   let circuit = Epp.Epp_engine.circuit engine in
   let n = Circuit.node_count circuit in
   let fp = fingerprint engine in
@@ -307,13 +321,24 @@ let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
       | Some f -> f ~done_count:(resumed_count + done_count) ~total:n
       | None -> ()
     in
-    ignore
-      (Epp.Supervisor.sweep ?domains ?tolerance ?chunk_size ~on_chunk ?batch
-         ?kernel ?reference engine remaining);
+    let inner =
+      Epp.Supervisor.sweep ?domains ?tolerance ?chunk_size ~on_chunk ?batch
+        ?kernel ?reference ?deadline engine remaining
+    in
     snapshot ();
     let entries = List.sort by_site !completed in
+    (* Replayed entries count as analyzed work when the budget cut the
+       fresh sweep short — the caller sees overall coverage of [n]. *)
+    let completion =
+      match inner.Epp.Supervisor.completion with
+      | Epp.Diag.Complete -> Epp.Diag.Complete
+      | Epp.Diag.Deadline_expired { analyzed; remaining; budget_seconds } ->
+        Epp.Diag.Deadline_expired
+          { analyzed = resumed_count + analyzed; remaining; budget_seconds }
+    in
     Ok
       {
         Epp.Supervisor.entries;
         stats = Epp.Supervisor.stats_of_entries ~resumed:resumed_count entries;
+        completion;
       }

@@ -27,7 +27,10 @@ val fingerprint : Epp.Epp_engine.t -> string
     vector (bit-exact), and the engine mode / cone-restriction flags. *)
 
 val save : string -> t -> unit
-(** Atomic: writes [path ^ ".tmp"], then renames over [path].
+(** Atomic and durable: writes [path ^ ".tmp"], fsyncs it, renames over
+    [path], then fsyncs the parent directory so the rename survives power
+    loss (directory fsync failure is tolerated — some filesystems refuse
+    it — but data fsync failure propagates).
     @raise Sys_error on I/O failure. *)
 
 val load : string -> (t, error) result
@@ -43,6 +46,7 @@ val supervised_sweep :
   ?batch:Epp.Supervisor.batch_mode ->
   ?kernel:(Epp.Epp_engine.Workspace.ws -> int -> Epp.Epp_engine.site_result) ->
   ?reference:(Epp.Epp_engine.t -> int -> Epp.Epp_engine.site_result) ->
+  ?deadline:Obs.Deadline.t ->
   Epp.Epp_engine.t ->
   (Epp.Supervisor.outcome, error) result
 (** The full supervised sweep over every site, wired to checkpointing:
@@ -60,4 +64,10 @@ val supervised_sweep :
     {!Epp.Supervisor.sweep}'s fault-injection seam.  [on_progress] fires after every chunk on the
     calling domain with {e overall} coverage — replayed entries count as
     done (the progress-meter hook).  Entries come back sorted by site id —
-    input order for a whole-circuit sweep. *)
+    input order for a whole-circuit sweep.
+
+    [deadline] passes through to {!Epp.Supervisor.sweep}: on expiry the
+    sweep stops, the final snapshot still holds every finished entry (so a
+    later [resume] continues from exactly there), and the outcome's
+    [completion] reports overall coverage with replayed entries counted as
+    analyzed. *)

@@ -1,0 +1,100 @@
+(* Two-tier hot-circuit cache.  The front door is the MD5 of the raw
+   payload (so a repeat query never re-parses); behind it, engines are
+   keyed by Checkpoint.fingerprint, which covers the circuit structure, the
+   bit-exact sp vector, and the engine mode — the same identity the
+   checkpoint files use, so a cache hit and a checkpoint resume can never
+   disagree about what analysis they belong to.
+
+   Capacities are service-sized (a handful of hot circuits), so the LRU
+   scan is a plain O(capacity) minimum — no intrusive list needed. *)
+
+type entry = {
+  engine : Epp.Epp_engine.t;
+  mutable last_used : int;
+}
+
+type t = {
+  capacity : int;
+  aliases : (string, string) Hashtbl.t;  (* payload digest -> fingerprint *)
+  engines : (string, entry) Hashtbl.t;  (* fingerprint -> warmed engine *)
+  mutable tick : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Engine_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    aliases = Hashtbl.create 32;
+    engines = Hashtbl.create 16;
+    tick = 0;
+  }
+
+type outcome = {
+  engine : Epp.Epp_engine.t;
+  fingerprint : string;
+  hit : bool;
+}
+
+let resident t = Hashtbl.length t.engines
+
+let payload_digest ~format ~source =
+  Digest.to_hex (Digest.string (format ^ "\000" ^ source))
+
+let gauge_resident t =
+  Obs.Metrics.set_gauge
+    (Obs.Metrics.gauge (Obs.Hooks.metrics ()) "analysis.cache.engine.resident")
+    (float_of_int (Hashtbl.length t.engines))
+
+let evict t =
+  while Hashtbl.length t.engines > t.capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun fp e ->
+        match !victim with
+        | Some (_, age) when age <= e.last_used -> ()
+        | _ -> victim := Some (fp, e.last_used))
+      t.engines;
+    match !victim with
+    | None -> assert false (* length > capacity >= 1 *)
+    | Some (fp, _) ->
+      Hashtbl.remove t.engines fp;
+      (* Drop the front-door aliases that point at the evicted engine. *)
+      let stale =
+        Hashtbl.fold
+          (fun k fp' acc -> if fp' = fp then k :: acc else acc)
+          t.aliases []
+      in
+      List.iter (Hashtbl.remove t.aliases) stale
+  done
+
+let find_or_build t ~format ~source ~build =
+  let m = Obs.Hooks.metrics () in
+  let key = payload_digest ~format ~source in
+  t.tick <- t.tick + 1;
+  let served_from e fp ~hit =
+    e.last_used <- t.tick;
+    Obs.Metrics.incr
+      (Obs.Metrics.counter m
+         (if hit then "analysis.cache.engine.hit"
+          else "analysis.cache.engine.miss"));
+    gauge_resident t;
+    { engine = e.engine; fingerprint = fp; hit }
+  in
+  match Hashtbl.find_opt t.aliases key with
+  | Some fp when Hashtbl.mem t.engines fp ->
+    served_from (Hashtbl.find t.engines fp) fp ~hit:true
+  | _ -> (
+    let engine = build () in
+    let fp = Report.Checkpoint.fingerprint engine in
+    Hashtbl.replace t.aliases key fp;
+    match Hashtbl.find_opt t.engines fp with
+    | Some e ->
+      (* Different payload bytes, same analysis: keep the resident engine
+         (its caches are warm) and just learn the new alias.  Still a miss
+         — the parse was paid. *)
+      served_from e fp ~hit:false
+    | None ->
+      let e = { engine; last_used = t.tick } in
+      Hashtbl.replace t.engines fp e;
+      evict t;
+      served_from e fp ~hit:false)

@@ -1,0 +1,42 @@
+(** The hot-circuit cache: repeat queries must not pay parse, signal
+    probabilities, or topological analysis again.
+
+    Two tiers, both keyed off request content:
+
+    + a {e payload alias} map from the MD5 of the raw circuit payload
+      (format tag + source bytes) to the engine's
+      {!Report.Checkpoint.fingerprint} — a front-door hit skips parsing
+      entirely;
+    + a bounded LRU from fingerprint to the warmed {!Epp.Epp_engine.t}
+      (whose {!Netlist.Analysis} context already holds the topological
+      order), so two textually different payloads that elaborate to the
+      same analysis share one resident engine.
+
+    Hits and misses are metered on the live {!Obs} registry as
+    [analysis.cache.engine.hit] / [analysis.cache.engine.miss], with
+    [analysis.cache.engine.resident] gauging occupancy — a cache-served
+    request leaves [analysis.topo.computed] untouched. *)
+
+type t
+
+val create : capacity:int -> t
+(** At most [capacity] resident engines; least-recently-used is evicted
+    (with its payload aliases).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+type outcome = {
+  engine : Epp.Epp_engine.t;
+  fingerprint : string;  (** {!Report.Checkpoint.fingerprint} of [engine] *)
+  hit : bool;
+}
+
+val find_or_build :
+  t ->
+  format:string ->
+  source:string ->
+  build:(unit -> Epp.Epp_engine.t) ->
+  outcome
+(** [build] runs only on a miss (parse + engine construction); whatever it
+    raises propagates unchanged and caches nothing. *)
+
+val resident : t -> int

@@ -1,0 +1,71 @@
+(* Latency samples for the load generator.  A growable float array — the
+   smoke run records a few hundred samples, sorting a copy per percentile
+   query is nothing. *)
+
+type t = { mutable samples : float array; mutable n : int }
+
+let create () = { samples = Array.make 256 0.0; n = 0 }
+
+let record t x =
+  if t.n = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let sorted t =
+  let a = Array.sub t.samples 0 t.n in
+  Array.sort compare a;
+  a
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let a = sorted t in
+    let rank =
+      int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) - 1
+    in
+    a.(max 0 (min (t.n - 1) rank))
+  end
+
+let mean t =
+  if t.n = 0 then 0.0
+  else begin
+    let s = ref 0.0 in
+    for i = 0 to t.n - 1 do
+      s := !s +. t.samples.(i)
+    done;
+    !s /. float_of_int t.n
+  end
+
+let max_sample t =
+  let m = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    if t.samples.(i) > !m then m := t.samples.(i)
+  done;
+  !m
+
+let summary_json t ~wall_seconds ~extra =
+  let ms x = Obs.Json.Number (x *. 1000.0) in
+  Obs.Json.Obj
+    ([
+       ("requests", Obs.Json.int t.n);
+       ("wall_seconds", Obs.Json.Number wall_seconds);
+       ( "qps",
+         Obs.Json.Number
+           (if wall_seconds > 0.0 then float_of_int t.n /. wall_seconds
+            else 0.0) );
+       ( "latency_ms",
+         Obs.Json.Obj
+           [
+             ("mean", ms (mean t));
+             ("p50", ms (percentile t 50.0));
+             ("p99", ms (percentile t 99.0));
+             ("max", ms (max_sample t));
+           ] );
+     ]
+    @ extra)

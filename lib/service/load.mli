@@ -1,0 +1,21 @@
+(** Latency accounting for the serd load generator: per-request samples in,
+    percentile summary out, as the [BENCH_service.json] artifact. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+(** One request latency, in seconds. *)
+
+val count : t -> int
+
+val percentile : t -> float -> float
+(** Nearest-rank percentile over the recorded samples, [p] in [0, 100];
+    [0.0] with no samples. *)
+
+val mean : t -> float
+
+val summary_json :
+  t -> wall_seconds:float -> extra:(string * Obs.Json.t) list -> Obs.Json.t
+(** [{"requests", "wall_seconds", "qps", "latency_ms": {mean, p50, p99,
+    max}, ...extra}] — latencies reported in milliseconds. *)

@@ -1,0 +1,164 @@
+(* serd wire protocol: typed decode of one JSON request line, and the
+   response constructors.  Decoding never raises — every malformed shape
+   maps to the error code the server answers with, so a hostile or buggy
+   client can at worst earn itself an error object. *)
+
+module Json = Obs.Json
+
+type format =
+  | Bench
+  | Blif
+  | Embedded
+
+type circuit_spec = { format : format; source : string }
+
+type request =
+  | Ping
+  | Metrics
+  | Sleep of float
+  | Shutdown
+  | Analyze of {
+      circuit : circuit_spec;
+      sites : int list option;
+      budget_ms : float option;
+      top_k : int option;
+    }
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Request_too_large
+  | Invalid_netlist
+  | Unknown_op
+  | Overloaded
+  | Internal_error
+
+let error_code_string = function
+  | Parse_error -> "parse_error"
+  | Bad_request -> "bad_request"
+  | Request_too_large -> "request_too_large"
+  | Invalid_netlist -> "invalid_netlist"
+  | Unknown_op -> "unknown_op"
+  | Overloaded -> "overloaded"
+  | Internal_error -> "internal_error"
+
+let format_string = function
+  | Bench -> "bench"
+  | Blif -> "blif"
+  | Embedded -> "embedded"
+
+let request_id v = Json.member "id" v
+
+(* --- field accessors, each typed rejection carries its own message ------- *)
+
+let bad fmt = Printf.ksprintf (fun m -> Error (Bad_request, m)) fmt
+
+let opt_number key v =
+  match Json.member key v with
+  | None -> Ok None
+  | Some j -> (
+    match Json.to_number j with
+    | Some x when Float.is_nan x -> bad "%S must be a finite number" key
+    | Some x -> Ok (Some x)
+    | None -> bad "%S must be a number" key)
+
+let opt_int key v =
+  match opt_number key v with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some x) ->
+    if Float.is_integer x then Ok (Some (int_of_float x))
+    else bad "%S must be an integer" key
+
+let parse_circuit v =
+  match Json.member "circuit" v with
+  | None -> bad "analyze requires a \"circuit\" object"
+  | Some c -> (
+    let format =
+      match Json.member "format" c with
+      | Some (Json.String "bench") -> Ok Bench
+      | Some (Json.String "blif") -> Ok Blif
+      | Some (Json.String "embedded") -> Ok Embedded
+      | Some (Json.String s) ->
+        bad "unknown circuit format %S (bench, blif, embedded)" s
+      | Some _ | None -> bad "circuit.format must be a string"
+    in
+    match format with
+    | Error _ as e -> e
+    | Ok format -> (
+      match Option.bind (Json.member "source" c) Json.to_string_value with
+      | Some source -> Ok { format; source }
+      | None -> bad "circuit.source must be a string"))
+
+let parse_sites v =
+  match Json.member "sites" v with
+  | None -> Ok None
+  | Some (Json.List l) -> (
+    let site j =
+      match Json.to_number j with
+      | Some x when Float.is_integer x -> Some (int_of_float x)
+      | _ -> None
+    in
+    match List.map site l with
+    | sites when List.for_all Option.is_some sites ->
+      Ok (Some (List.map Option.get sites))
+    | _ -> bad "\"sites\" must be a list of integers")
+  | Some _ -> bad "\"sites\" must be a list of integers"
+
+let parse_analyze v =
+  match parse_circuit v with
+  | Error _ as e -> e
+  | Ok circuit -> (
+    match parse_sites v with
+    | Error _ as e -> e
+    | Ok sites -> (
+      match opt_number "budget_ms" v with
+      | Error _ as e -> e
+      | Ok (Some b) when b < 0.0 -> bad "\"budget_ms\" must be >= 0"
+      | Ok budget_ms -> (
+        match opt_int "top_k" v with
+        | Error _ as e -> e
+        | Ok (Some k) when k < 0 -> bad "\"top_k\" must be >= 0"
+        | Ok top_k -> Ok (Analyze { circuit; sites; budget_ms; top_k }))))
+
+let of_json v =
+  match v with
+  | Json.Obj _ -> (
+    match Json.member "op" v with
+    | Some (Json.String "ping") -> Ok Ping
+    | Some (Json.String "metrics") -> Ok Metrics
+    | Some (Json.String "shutdown") -> Ok Shutdown
+    | Some (Json.String "sleep") -> (
+      match opt_number "seconds" v with
+      | Error _ as e -> e
+      | Ok (Some s) when s >= 0.0 -> Ok (Sleep s)
+      | Ok _ -> bad "sleep requires \"seconds\" >= 0")
+    | Some (Json.String "analyze") -> parse_analyze v
+    | Some (Json.String op) -> Error (Unknown_op, Printf.sprintf "unknown op %S" op)
+    | Some _ -> bad "\"op\" must be a string"
+    | None -> bad "missing \"op\"")
+  | _ -> bad "request must be a JSON object"
+
+(* --- responses ----------------------------------------------------------- *)
+
+let response ?id ~status fields =
+  let id_field =
+    match id with
+    | Some v -> [ ("id", v) ]
+    | None -> []
+  in
+  Json.Obj (id_field @ (("status", Json.String status) :: fields))
+
+let ok_response ?id fields = response ?id ~status:"ok" fields
+let partial_response ?id fields = response ?id ~status:"partial" fields
+
+let error_response ?id code message =
+  response ?id ~status:"error"
+    [
+      ( "error",
+        Json.Obj
+          [
+            ("code", Json.String (error_code_string code));
+            ("message", Json.String message);
+          ] );
+    ]

@@ -1,0 +1,446 @@
+(* The serd request engine.
+
+   Single-threaded on purpose: one analyze at a time keeps the domains of
+   the supervised sweep as the only parallelism, so load has exactly one
+   knob (the bounded queue) and shedding is deterministic.  The serve loop
+   alternates: pull one frame (blocking), opportunistically drain whatever
+   else has already arrived into the bounded queue — shedding the excess
+   with [overloaded] — then serve the head.
+
+   Fault isolation is layered: the JSON decoder rejects hostile framing
+   with typed limits, the protocol decoder rejects malformed requests, the
+   netlist parsers' exceptions are mapped to [invalid_netlist], and a
+   final catch-all at the request boundary turns anything unexpected into
+   an [internal_error] reply.  Nothing a client sends can take the process
+   down. *)
+
+module Json = Obs.Json
+open Netlist
+
+type config = {
+  max_request_bytes : int;
+  max_source_bytes : int;
+  max_json_depth : int;
+  queue_high_water : int;
+  cache_capacity : int;
+  default_budget_ms : float option;
+  checkpoint_dir : string option;
+  domains : int option;
+}
+
+let default_config =
+  {
+    max_request_bytes = 8 * 1024 * 1024;
+    max_source_bytes = 4 * 1024 * 1024;
+    max_json_depth = 64;
+    queue_high_water = 64;
+    cache_capacity = 8;
+    default_budget_ms = None;
+    checkpoint_dir = None;
+    domains = None;
+  }
+
+type t = { config : config; cache : Engine_cache.t }
+
+let create config =
+  if
+    config.max_request_bytes < 1 || config.max_source_bytes < 1
+    || config.max_json_depth < 1 || config.queue_high_water < 1
+  then invalid_arg "Server.create: limits must be positive";
+  { config; cache = Engine_cache.create ~capacity:config.cache_capacity }
+
+let counter name = Obs.Metrics.counter (Obs.Hooks.metrics ()) name
+
+(* Typed rejection travelling out of the build thunk the cache runs. *)
+exception Reject of Protocol.error_code * string
+
+let reject code fmt = Printf.ksprintf (fun m -> raise (Reject (code, m))) fmt
+
+(* --- circuit building ----------------------------------------------------- *)
+
+let parse_circuit t (spec : Protocol.circuit_spec) =
+  if String.length spec.source > t.config.max_source_bytes then
+    reject Protocol.Request_too_large
+      "circuit source is %d bytes (limit %d)"
+      (String.length spec.source)
+      t.config.max_source_bytes;
+  let invalid fmt = reject Protocol.Invalid_netlist fmt in
+  match spec.format with
+  | Protocol.Embedded -> (
+    match Circuit_gen.Embedded.find spec.source with
+    | Some f -> f ()
+    | None ->
+      invalid "unknown embedded circuit %S (available: %s)" spec.source
+        (String.concat ", " (List.map fst Circuit_gen.Embedded.all)))
+  | Protocol.Bench -> (
+    try Bench_format.Parser.parse_string ~name:"<request>" spec.source with
+    | Bench_format.Parser.Error { message; pos } ->
+      invalid "parse error at line %d, column %d: %s"
+        pos.Bench_format.Token.line pos.Bench_format.Token.column message
+    | Netlist.Builder.Error e ->
+      invalid "invalid netlist: %s" (Netlist.Builder.error_to_string e))
+  | Protocol.Blif -> (
+    try Blif_format.Blif_parser.parse_string spec.source with
+    | Blif_format.Blif_parser.Error { message; line } ->
+      invalid "parse error at line %d: %s" line message
+    | Blif_format.Blif_parser.Elaboration_error message ->
+      invalid "%s" message
+    | Netlist.Builder.Error e ->
+      invalid "invalid netlist: %s" (Netlist.Builder.error_to_string e))
+
+let engine_for t (spec : Protocol.circuit_spec) =
+  Engine_cache.find_or_build t.cache
+    ~format:(Protocol.format_string spec.format)
+    ~source:spec.source
+    ~build:(fun () ->
+      let circuit = parse_circuit t spec in
+      try Epp.Epp_engine.create circuit with
+      | Epp.Epp_engine.Invalid_signal_probability { name; value; _ } ->
+        reject Protocol.Invalid_netlist
+          "signal probability for %S is %g (outside [0, 1])" name value)
+
+(* --- analyze --------------------------------------------------------------- *)
+
+let stats_json (s : Epp.Diag.stats) =
+  Json.Obj
+    [
+      ("total", Json.int s.total);
+      ("batch_ok", Json.int s.batch_ok);
+      ("kernel_ok", Json.int s.kernel_ok);
+      ("degraded", Json.int s.degraded);
+      ("quarantined", Json.int s.quarantined);
+      ("resumed", Json.int s.resumed);
+    ]
+
+let top_sites circuit k results =
+  let by_p =
+    List.sort
+      (fun (a : Epp.Epp_engine.site_result) b ->
+        compare (b.p_sensitized, a.site) (a.p_sensitized, b.site))
+      results
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take k by_p
+  |> List.map (fun (r : Epp.Epp_engine.site_result) ->
+         Json.Obj
+           [
+             ("site", Json.int r.site);
+             ("name", Json.String (Circuit.node_name circuit r.site));
+             ("p_sensitized", Json.Number r.p_sensitized);
+           ])
+
+let outcome_response ?id ~fingerprint ~(hit : bool) ~top_k circuit
+    (outcome : Epp.Supervisor.outcome) =
+  let results = Epp.Supervisor.results outcome in
+  let count = List.length results in
+  let sum, maxp =
+    List.fold_left
+      (fun (s, m) (r : Epp.Epp_engine.site_result) ->
+        (s +. r.p_sensitized, Float.max m r.p_sensitized))
+      (0.0, 0.0) results
+  in
+  let summary =
+    Json.Obj
+      [
+        ("sites", Json.int count);
+        ( "mean_p_sensitized",
+          Json.Number (if count = 0 then 0.0 else sum /. float_of_int count) );
+        ("max_p_sensitized", Json.Number maxp);
+      ]
+  in
+  let base =
+    [
+      ("fingerprint", Json.String fingerprint);
+      ("cache", Json.String (if hit then "hit" else "miss"));
+      ("stats", stats_json outcome.stats);
+      ("summary", summary);
+    ]
+  in
+  let base =
+    match top_k with
+    | None -> base
+    | Some k -> base @ [ ("top", Json.List (top_sites circuit k results)) ]
+  in
+  match outcome.completion with
+  | Epp.Diag.Complete -> Protocol.ok_response ?id base
+  | Epp.Diag.Deadline_expired { analyzed; remaining; budget_seconds } ->
+    Obs.Metrics.incr (counter "serd.deadline_partial");
+    Protocol.partial_response ?id
+      (base
+      @ [
+          ( "deadline",
+            Json.Obj
+              [
+                ("analyzed", Json.int analyzed);
+                ("remaining", Json.int remaining);
+                ("budget_ms", Json.Number (budget_seconds *. 1000.0));
+              ] );
+        ])
+
+let handle_analyze t ?id ~circuit ~sites ~budget_ms ~top_k () =
+  let { Engine_cache.engine; fingerprint; hit } = engine_for t circuit in
+  let c = Epp.Epp_engine.circuit engine in
+  let n = Circuit.node_count c in
+  let budget =
+    match budget_ms with
+    | Some _ -> budget_ms
+    | None -> t.config.default_budget_ms
+  in
+  let deadline =
+    match budget with
+    | None -> Obs.Deadline.never
+    | Some ms -> Obs.Deadline.of_budget_ms ms
+  in
+  let domains = t.config.domains in
+  match sites with
+  | Some sites ->
+    (match List.find_opt (fun s -> s < 0 || s >= n) sites with
+    | Some s ->
+      reject Protocol.Bad_request "site %d out of range (circuit has %d nodes)"
+        s n
+    | None -> ());
+    let outcome = Epp.Supervisor.sweep ?domains ~deadline engine sites in
+    outcome_response ?id ~fingerprint ~hit ~top_k c outcome
+  | None -> (
+    (* Whole-circuit sweeps checkpoint per fingerprint, so a killed daemon
+       resumes a repeat query instead of recomputing. *)
+    match t.config.checkpoint_dir with
+    | None ->
+      let outcome = Epp.Supervisor.sweep_all ?domains ~deadline engine in
+      outcome_response ?id ~fingerprint ~hit ~top_k c outcome
+    | Some dir -> (
+      let ck = Filename.concat dir (fingerprint ^ ".ck") in
+      match
+        Report.Checkpoint.supervised_sweep ?domains ~checkpoint:ck
+          ~resume:true ~deadline engine
+      with
+      | Ok outcome -> outcome_response ?id ~fingerprint ~hit ~top_k c outcome
+      | Error _ ->
+        (* A corrupt or mismatched checkpoint is data, not a crash: drop
+           it and start fresh rather than refusing to serve. *)
+        Obs.Metrics.incr (counter "serd.checkpoint_rejected");
+        (try Sys.remove ck with Sys_error _ -> ());
+        let outcome =
+          match
+            Report.Checkpoint.supervised_sweep ?domains ~checkpoint:ck
+              ~resume:false ~deadline engine
+          with
+          | Ok o -> o
+          | Error e ->
+            reject Protocol.Internal_error "checkpoint: %s"
+              (Report.Checkpoint.error_message e)
+        in
+        outcome_response ?id ~fingerprint ~hit ~top_k c outcome))
+
+(* --- dispatch -------------------------------------------------------------- *)
+
+let handle_request t ?id (req : Protocol.request) =
+  Obs.Metrics.incr (counter "serd.requests");
+  match req with
+  | Protocol.Ping -> `Reply (Protocol.ok_response ?id [ ("pong", Json.Bool true) ])
+  | Protocol.Metrics ->
+    let snap = Obs.Metrics.snapshot (Obs.Hooks.metrics ()) in
+    `Reply (Protocol.ok_response ?id [ ("metrics", Obs.Metrics.to_json snap) ])
+  | Protocol.Sleep s ->
+    Unix.sleepf s;
+    `Reply (Protocol.ok_response ?id [ ("slept", Json.Number s) ])
+  | Protocol.Shutdown ->
+    `Shutdown (Protocol.ok_response ?id [ ("shutdown", Json.Bool true) ])
+  | Protocol.Analyze { circuit; sites; budget_ms; top_k } ->
+    `Reply (handle_analyze t ?id ~circuit ~sites ~budget_ms ~top_k ())
+
+let handle_line t line =
+  let limits =
+    {
+      Json.max_bytes = t.config.max_request_bytes;
+      max_depth = t.config.max_json_depth;
+    }
+  in
+  match Json.parse_with_limits limits line with
+  | Error (Json.Limit { message }) ->
+    Obs.Metrics.incr (counter "serd.errors");
+    `Reply (Protocol.error_response Protocol.Request_too_large message)
+  | Error (Json.Syntax _ as e) ->
+    Obs.Metrics.incr (counter "serd.errors");
+    `Reply (Protocol.error_response Protocol.Parse_error (Json.error_message e))
+  | Ok v -> (
+    let id = Protocol.request_id v in
+    match Protocol.of_json v with
+    | Error (code, message) ->
+      Obs.Metrics.incr (counter "serd.errors");
+      `Reply (Protocol.error_response ?id code message)
+    | Ok req -> (
+      (* The request boundary: nothing below may take the daemon down. *)
+      try handle_request t ?id req with
+      | Reject (code, message) ->
+        Obs.Metrics.incr (counter "serd.errors");
+        `Reply (Protocol.error_response ?id code message)
+      | exn ->
+        Obs.Metrics.incr (counter "serd.internal_errors");
+        `Reply
+          (Protocol.error_response ?id Protocol.Internal_error
+             (Printexc.to_string exn))))
+
+(* --- framed reader --------------------------------------------------------- *)
+
+(* Line framing over a raw fd with a hard per-line byte cap: an over-long
+   line is discarded as it streams in (never buffered whole) and surfaces
+   as one [`Too_long] event once its newline arrives. *)
+module Reader = struct
+  type event =
+    [ `Line of string
+    | `Too_long
+    ]
+
+  type r = {
+    fd : Unix.file_descr;
+    acc : Buffer.t;
+    chunk : Bytes.t;
+    pending : event Queue.t;
+    max_line : int;
+    mutable discarding : bool;
+    mutable eof : bool;
+  }
+
+  let make fd ~max_line =
+    {
+      fd;
+      acc = Buffer.create 4096;
+      chunk = Bytes.create 65536;
+      pending = Queue.create ();
+      max_line;
+      discarding = false;
+      eof = false;
+    }
+
+  let rec restarting f =
+    try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restarting f
+
+  let readable r =
+    restarting (fun () ->
+        match Unix.select [ r.fd ] [] [] 0.0 with
+        | [], _, _ -> false
+        | _ -> true)
+
+  (* One read(2); false when it would have blocked or the stream ended. *)
+  let refill r ~block =
+    if r.eof then false
+    else if (not block) && not (readable r) then false
+    else begin
+      let k =
+        restarting (fun () -> Unix.read r.fd r.chunk 0 (Bytes.length r.chunk))
+      in
+      if k = 0 then begin
+        r.eof <- true;
+        false
+      end
+      else begin
+        for i = 0 to k - 1 do
+          match Bytes.get r.chunk i with
+          | '\n' ->
+            if r.discarding then begin
+              r.discarding <- false;
+              Queue.add `Too_long r.pending
+            end
+            else begin
+              Queue.add (`Line (Buffer.contents r.acc)) r.pending;
+              Buffer.clear r.acc
+            end
+          | c ->
+            if not r.discarding then begin
+              Buffer.add_char r.acc c;
+              if Buffer.length r.acc > r.max_line then begin
+                r.discarding <- true;
+                Buffer.clear r.acc
+              end
+            end
+        done;
+        true
+      end
+    end
+
+  (* Blocking: the next frame, or [None] at end of stream. *)
+  let rec next r =
+    match Queue.take_opt r.pending with
+    | Some ev -> Some ev
+    | None ->
+      if r.eof then None
+      else begin
+        ignore (refill r ~block:true);
+        next r
+      end
+
+  (* Every frame already available without blocking. *)
+  let drain r =
+    while refill r ~block:false do
+      ()
+    done;
+    let out = List.of_seq (Queue.to_seq r.pending) in
+    Queue.clear r.pending;
+    out
+end
+
+(* --- serve loop ------------------------------------------------------------ *)
+
+let serve t ~in_fd ~out_fd =
+  let oc = Unix.out_channel_of_descr out_fd in
+  let r = Reader.make in_fd ~max_line:t.config.max_request_bytes in
+  let queue : Reader.event Queue.t = Queue.create () in
+  let reply j = Json.emit_line oc j in
+  let accept ev =
+    if Queue.length queue >= t.config.queue_high_water then begin
+      Obs.Metrics.incr (counter "serd.shed");
+      reply
+        (Protocol.error_response Protocol.Overloaded
+           (Printf.sprintf "request queue full (%d pending), request shed"
+              (Queue.length queue)))
+    end
+    else Queue.add ev queue
+  in
+  let outcome = ref `Eof in
+  let running = ref true in
+  while !running do
+    if Queue.is_empty queue then begin
+      match Reader.next r with
+      | None -> running := false
+      | Some ev -> Queue.add ev queue
+    end;
+    if !running then begin
+      (* Everything that piled up while the last request was served either
+         fits the bounded queue or is shed right now. *)
+      List.iter accept (Reader.drain r);
+      Obs.Metrics.set_gauge
+        (Obs.Metrics.gauge (Obs.Hooks.metrics ()) "serd.queue_depth")
+        (float_of_int (Queue.length queue));
+      match Queue.pop queue with
+      | `Too_long ->
+        Obs.Metrics.incr (counter "serd.errors");
+        reply
+          (Protocol.error_response Protocol.Request_too_large
+             (Printf.sprintf "request line exceeds %d bytes"
+                t.config.max_request_bytes))
+      | `Line line -> (
+        match handle_line t line with
+        | `Reply j -> reply j
+        | `Shutdown j ->
+          reply j;
+          outcome := `Shutdown;
+          running := false)
+    end
+  done;
+  (* Answer anything still queued behind a shutdown so no accepted request
+     goes silently unanswered. *)
+  Queue.iter
+    (fun ev ->
+      match ev with
+      | `Too_long | `Line _ ->
+        reply
+          (Protocol.error_response Protocol.Overloaded
+             "daemon shutting down before this request was served"))
+    queue;
+  flush oc;
+  !outcome

@@ -254,6 +254,72 @@ let test_json_parser_strict () =
   check "scientific notation" (accepts "[1e3, -0.5E-2, 0]") true;
   check "leading zero" (rejects "[01]") true
 
+(* Bounded parsing: size and nesting violations are typed [Limit] (the
+   service answers request_too_large), while bad JSON stays [Syntax]. *)
+let test_json_limits () =
+  let open Obs.Json in
+  let limit = function
+    | Error (Limit _) -> true
+    | _ -> false
+  in
+  check "byte cap rejects up front"
+    (limit (parse_with_limits { max_bytes = 8; max_depth = 512 } "[1,2,3,4,5]"))
+    true;
+  let deep = String.make 20 '[' ^ "1" ^ String.make 20 ']' in
+  check "depth cap rejects nesting"
+    (limit (parse_with_limits { max_bytes = max_int; max_depth = 8 } deep))
+    true;
+  check "within limits parses"
+    (Result.is_ok (parse_with_limits { max_bytes = max_int; max_depth = 64 } deep))
+    true;
+  check "bad JSON is Syntax, not Limit"
+    (match parse_with_limits default_limits "[[[" with
+    | Error (Syntax _) -> true
+    | _ -> false)
+    true;
+  check "depth violations name the limit"
+    (match parse_with_limits { max_bytes = max_int; max_depth = 2 } "[[[1]]]" with
+    | Error (Limit { message }) -> message <> ""
+    | _ -> false)
+    true
+
+(* Newline framing: emit_line output re-parses frame by frame, embedded
+   newlines are escaped (never frame boundaries), and one bad line doesn't
+   poison its neighbours. *)
+let test_json_framing () =
+  let open Obs.Json in
+  let values =
+    [
+      Obj [ ("a", int 1); ("s", String "x\ny") ];
+      List [ Bool true; Null ];
+      Number 2.5;
+    ]
+  in
+  let path = Filename.temp_file "serprop_frames" ".jsonl" in
+  let oc = open_out path in
+  List.iter (emit_line oc) values;
+  output_string oc "\nnot json\n";
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  (match parse_lines content with
+  | [ Ok a; Ok b; Ok c; Error (Syntax _) ] ->
+    check "frames round-trip"
+      (List.map to_string [ a; b; c ] = List.map to_string values)
+      true
+  | frames ->
+    Alcotest.fail
+      (Printf.sprintf "expected 3 ok frames + 1 syntax error, got %d frames"
+         (List.length frames)));
+  check "limits apply per frame"
+    (match parse_lines ~limits:{ max_bytes = 4; max_depth = 512 } "[1]\n[1,2,3]" with
+    | [ Ok _; Error (Limit _) ] -> true
+    | _ -> false)
+    true
+
 (* --- timer --------------------------------------------------------------- *)
 
 let test_timer_wall_clock () =
@@ -297,6 +363,8 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_json_round_trip;
           Alcotest.test_case "strict parser" `Quick test_json_parser_strict;
+          Alcotest.test_case "bounded parsing" `Quick test_json_limits;
+          Alcotest.test_case "newline framing" `Quick test_json_framing;
         ] );
       ( "timer",
         [ Alcotest.test_case "wall vs cpu" `Quick test_timer_wall_clock ] );

@@ -90,6 +90,42 @@ let test_map_array_empty () =
     (Array.length
        (Epp.Parallel.map_array ~domains:4 ~workspace:(fun () -> ()) ~f:(fun () i -> i) [||]))
 
+(* map_array_until: the default deadline fills every slot identically to
+   map_array; an already-expired one starts nothing — and in neither case
+   is finished work dropped. *)
+let test_map_array_until_never () =
+  let items = Array.init 50 Fun.id in
+  let r =
+    Epp.Parallel.map_array_until ~domains:4
+      ~workspace:(fun () -> ())
+      ~f:(fun () i -> i + 1)
+      items
+  in
+  check_bool "every slot filled" true
+    (Array.for_all Option.is_some r);
+  check_bool "results in input order" true
+    (Array.for_all Fun.id (Array.mapi (fun i x -> x = Some (i + 1)) r))
+
+let test_map_array_until_expired () =
+  let calls = Atomic.make 0 in
+  let f () i =
+    Atomic.incr calls;
+    i
+  in
+  let items = Array.init 50 Fun.id in
+  List.iter
+    (fun domains ->
+      let r =
+        Epp.Parallel.map_array_until ~domains
+          ~deadline:(Obs.Deadline.of_budget_ms 0.0)
+          ~workspace:(fun () -> ())
+          ~f items
+      in
+      check_bool "nothing starts on an expired budget" true
+        (Array.for_all Option.is_none r))
+    [ 1; 4 ];
+  check_int "f never ran" 0 (Atomic.get calls)
+
 let prop_order_preserved =
   qtest ~count:10 ~name:"results come back in input order" seed_arbitrary (fun seed ->
       let c = random_small_dag ~seed in
@@ -123,5 +159,9 @@ let () =
             test_first_failure_deterministic;
           Alcotest.test_case "map_array order" `Quick test_map_array_order;
           Alcotest.test_case "map_array empty" `Quick test_map_array_empty;
+          Alcotest.test_case "map_array_until default" `Quick
+            test_map_array_until_never;
+          Alcotest.test_case "map_array_until expired" `Quick
+            test_map_array_until_expired;
         ] );
     ]

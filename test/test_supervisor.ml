@@ -361,6 +361,115 @@ let test_kill_resume_round_trip () =
          (Epp.Supervisor.results resumed));
     Sys.remove path
 
+(* --- deadline ------------------------------------------------------------- *)
+
+(* A kernel slow enough that a small budget expires mid-sweep.  domains:1
+   keeps dispatch sequential, so the finished entries are exactly a prefix
+   of the input order and the assertions are deterministic. *)
+let slow_kernel ws site =
+  Unix.sleepf 0.002;
+  Epp.Epp_engine.Workspace.analyze_site ws site
+
+let test_deadline_partial_prefix () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let unsupervised = Array.of_list (Epp.Epp_engine.analyze_all engine) in
+  let outcome =
+    Epp.Supervisor.sweep ~domains:1 ~chunk_size:8 ~kernel:slow_kernel
+      ~deadline:(Obs.Deadline.after ~seconds:0.05)
+      engine (List.init n Fun.id)
+  in
+  match outcome.Epp.Supervisor.completion with
+  | Epp.Diag.Complete -> Alcotest.fail "expected the deadline to expire"
+  | Epp.Diag.Deadline_expired { analyzed; remaining; budget_seconds } ->
+    check_bool "some sites finished" true (analyzed >= 1);
+    check_bool "not all sites finished" true (analyzed < n);
+    check_int "analyzed + remaining covers the request" n (analyzed + remaining);
+    check_float "budget recorded" 0.05 budget_seconds;
+    check_int "every finished entry is kept" analyzed
+      (List.length outcome.Epp.Supervisor.entries);
+    check_int "stats count the finished subset" analyzed
+      outcome.Epp.Supervisor.stats.Epp.Diag.total;
+    List.iteri
+      (fun i (site, entry) ->
+        check_int "finished entries form the input-order prefix" i site;
+        match entry with
+        | Epp.Supervisor.Analyzed { result; _ } ->
+          check_bool "finished entry bit-identical to unsupervised" true
+            (same_result unsupervised.(site) result)
+        | Epp.Supervisor.Quarantined _ -> Alcotest.fail "unexpected quarantine")
+      outcome.Epp.Supervisor.entries
+
+(* An already-expired budget: nothing starts, nothing raises. *)
+let test_deadline_zero_budget () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let outcome =
+    Epp.Supervisor.sweep_all ~domains:2
+      ~deadline:(Obs.Deadline.of_budget_ms 0.0) engine
+  in
+  check_int "no entries" 0 (List.length outcome.Epp.Supervisor.entries);
+  match outcome.Epp.Supervisor.completion with
+  | Epp.Diag.Deadline_expired { analyzed = 0; remaining; _ } ->
+    check_int "everything remains" n remaining
+  | _ -> Alcotest.fail "expected an immediate expiry with nothing analyzed"
+
+let test_no_deadline_complete () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let implicit = Epp.Supervisor.sweep_all ~domains:2 engine in
+  check_bool "no deadline completes" true
+    (implicit.Epp.Supervisor.completion = Epp.Diag.Complete);
+  let generous =
+    Epp.Supervisor.sweep_all ~domains:2
+      ~deadline:(Obs.Deadline.after ~seconds:3600.0) engine
+  in
+  check_bool "a generous deadline completes" true
+    (generous.Epp.Supervisor.completion = Epp.Diag.Complete)
+
+(* The budget cuts a checkpointed sweep short; a later resume without a
+   deadline replays the finished prefix and completes bit-identically. *)
+let test_deadline_then_resume () =
+  let c = test_circuit () in
+  let engine = Epp.Epp_engine.create c in
+  let n = Circuit.node_count c in
+  let path = Filename.temp_file "serprop_deadline" ".ck" in
+  let analyzed =
+    match
+      Report.Checkpoint.supervised_sweep ~domains:1 ~chunk_size:8
+        ~checkpoint:path ~kernel:slow_kernel
+        ~deadline:(Obs.Deadline.after ~seconds:0.05) engine
+    with
+    | Error e -> Alcotest.fail (Report.Checkpoint.error_message e)
+    | Ok o -> (
+      match o.Epp.Supervisor.completion with
+      | Epp.Diag.Deadline_expired { analyzed; _ } ->
+        check_int "partial entries snapshotted" analyzed
+          (List.length o.Epp.Supervisor.entries);
+        analyzed
+      | Epp.Diag.Complete -> Alcotest.fail "expected the deadline to expire")
+  in
+  check_bool "the budget cut the sweep short" true (analyzed >= 1 && analyzed < n);
+  let clean = Epp.Supervisor.sweep_all ~domains:2 engine in
+  (match
+     Report.Checkpoint.supervised_sweep ~domains:2 ~checkpoint:path
+       ~resume:true engine
+   with
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e)
+  | Ok resumed ->
+    check_bool "resume completes" true
+      (resumed.Epp.Supervisor.completion = Epp.Diag.Complete);
+    check_int "the finished prefix is replayed, not re-analyzed" analyzed
+      resumed.Epp.Supervisor.stats.Epp.Diag.resumed;
+    check_int "all sites present" n (List.length resumed.Epp.Supervisor.entries);
+    check_bool "identical final report" true
+      (List.for_all2 same_result
+         (Epp.Supervisor.results clean)
+         (Epp.Supervisor.results resumed)));
+  Sys.remove path
+
 let () =
   Alcotest.run "supervisor"
     [
@@ -385,4 +494,14 @@ let () =
         ] );
       ( "checkpoint",
         [ Alcotest.test_case "kill/resume round trip" `Quick test_kill_resume_round_trip ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "partial prefix kept" `Quick
+            test_deadline_partial_prefix;
+          Alcotest.test_case "zero budget" `Quick test_deadline_zero_budget;
+          Alcotest.test_case "no deadline completes" `Quick
+            test_no_deadline_complete;
+          Alcotest.test_case "expire then resume" `Quick
+            test_deadline_then_resume;
+        ] );
     ]
