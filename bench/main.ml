@@ -403,6 +403,10 @@ let run_kernel_fixture f =
      trimmed means differ only by a systematic offset.  Since the no-op
      path is a handful of immediate pattern matches per site, any real
      no-op overhead is below it.  @bench-smoke asserts the delta < 2%.
+   - the no-op passes run with the full observability surface in its
+     default shipping state: the flight recorder armed (it is always on)
+     and a log sink installed but silent (Error-only threshold, discarding
+     writer) — the guard covers the logging layer, not just metrics.
    - the live-pass delta is the real cost of turning metrics + tracing
      on, reported (not asserted — it is allowed to cost something). *)
 
@@ -451,14 +455,20 @@ let measure_overhead ?(reps = 15) () =
     Gc.full_major ();
     snd (Report.Timer.time sweep)
   in
+  (* "Silent" = the shipping default plus an installed-but-filtering log
+     sink: every Debug/Info event still pays the level check (and the
+     always-on flight recorder), but nothing is formatted or written. *)
+  let silent_logger = Obs.Log.create ~min_level:Obs.Log.Error (fun _ -> ()) in
   for i = 0 to reps - 1 do
     Obs.Hooks.set_metrics live_metrics;
     Obs.Hooks.set_tracer live_tracer;
     t_live.(i) <- timed ();
     Obs.Hooks.reset ();
+    Obs.Hooks.set_logger silent_logger;
     t_a.(i) <- timed ();
     t_b.(i) <- timed ()
   done;
+  Obs.Hooks.reset ();
   let noop = trimmed_mean t_a in
   let noop_check = trimmed_mean t_b in
   let live = trimmed_mean t_live in

@@ -21,6 +21,13 @@
      pid/tid on every event, and a thread_name metadata record for every
      tid that appears.
 
+   It then exercises the flight-recorder / correlation contract in-process:
+   a supervised sweep with an injected all-rung fault (one quarantine) and
+   one with a zero budget (deadline expiry), each under its own Obs.Ctx —
+   the recorder dump must re-parse and contain the quarantine and expiry
+   events under their respective request ids, and the Prometheus exposition
+   of the live registry must pass the OCaml-side lint.
+
    Usage: obs_smoke.exe METRICS.json TRACE.json *)
 
 let failures = ref 0
@@ -141,6 +148,113 @@ let () =
     (Printf.sprintf "every tid has thread_name metadata (%d tid(s))"
        (List.length tids))
     (List.for_all (fun t -> List.mem t named_tids) tids);
+
+  (* --- in-process: correlation ids, flight recorder, Prometheus ---------- *)
+  Obs.Hooks.reset ();
+  Obs.Recorder.clear ();
+  let registry = Obs.Metrics.create () in
+  Obs.Hooks.set_metrics registry;
+  let circuit =
+    match Circuit_gen.Embedded.find "s27" with
+    | Some f -> f ()
+    | None ->
+      prerr_endline "embedded s27 missing";
+      exit 2
+  in
+  let engine = Epp.Epp_engine.create circuit in
+  (* Request 1: site 0 fails every rung -> exactly one quarantine. *)
+  let ctx_q = Obs.Ctx.create ~baggage:[ ("tool", "obs_smoke") ] () in
+  let fail_site0 site = if site = 0 then failwith "injected fault" in
+  let outcome_q =
+    Epp.Supervisor.sweep ~ctx:ctx_q ~domains:1 ~batch:Epp.Supervisor.Never
+      ~kernel:(fun ws site ->
+        fail_site0 site;
+        Epp.Epp_engine.Workspace.analyze_site ws site)
+      ~reference:(fun engine site ->
+        fail_site0 site;
+        Epp.Epp_engine.analyze_site engine site)
+      engine [ 0; 1; 2 ]
+  in
+  check
+    (Printf.sprintf "injected sweep quarantined exactly site 0 (got %d)"
+       outcome_q.Epp.Supervisor.stats.Epp.Diag.quarantined)
+    (outcome_q.Epp.Supervisor.stats.Epp.Diag.quarantined = 1);
+  (* Request 2: zero budget -> deadline expiry before any site starts. *)
+  let ctx_d = Obs.Ctx.create ~baggage:[ ("tool", "obs_smoke") ] () in
+  let outcome_d =
+    Epp.Supervisor.sweep ~ctx:ctx_d ~domains:1
+      ~deadline:(Obs.Deadline.of_budget_ms 0.0) engine [ 0; 1; 2 ]
+  in
+  check "zero-budget sweep reports Deadline_expired"
+    (match outcome_d.Epp.Supervisor.completion with
+    | Epp.Diag.Deadline_expired _ -> true
+    | Epp.Diag.Complete -> false);
+
+  (* The flight recorder must hold both incidents, each under its own
+     request id, and the dump must survive a write + strict re-parse. *)
+  let dump_path = "obs_smoke_recorder.json" in
+  Obs.Recorder.dump_to_file dump_path;
+  let dump = parse_or_die "flight-recorder dump" dump_path in
+  let dump_events =
+    Option.value ~default:[]
+      (Option.bind (Obs.Json.member "events" dump) Obs.Json.to_list)
+  in
+  let has_event ~name ~rid =
+    List.exists
+      (fun e ->
+        Option.bind (Obs.Json.member "event" e) Obs.Json.to_string_value
+          = Some name
+        && Option.bind (Obs.Json.member "request_id" e)
+             Obs.Json.to_string_value
+           = Some rid)
+      dump_events
+  in
+  check
+    (Printf.sprintf "recorder holds supervisor.quarantine under %s"
+       (Obs.Ctx.id ctx_q))
+    (has_event ~name:"supervisor.quarantine" ~rid:(Obs.Ctx.id ctx_q));
+  check
+    (Printf.sprintf "recorder holds supervisor.deadline_expired under %s"
+       (Obs.Ctx.id ctx_d))
+    (has_event ~name:"supervisor.deadline_expired" ~rid:(Obs.Ctx.id ctx_d));
+  check "recorder dump events carry ts/level/domain"
+    (dump_events <> []
+    && List.for_all
+         (fun e ->
+           Obs.Json.member "ts" e <> None
+           && Obs.Json.member "level" e <> None
+           && Obs.Json.member "domain" e <> None)
+         dump_events);
+
+  (* The Prometheus exposition of the live registry (counters + the sweep's
+     histograms) must pass the exposition lint, from memory and from disk. *)
+  let snap = Obs.Metrics.snapshot registry in
+  let exposition = Obs.Prom.of_snapshot snap in
+  (match Obs.Prom.lint exposition with
+  | Ok () -> check "Prometheus exposition lints clean" true
+  | Error msgs ->
+    check
+      (Printf.sprintf "Prometheus exposition lints clean (%s)"
+         (String.concat "; " msgs))
+      false);
+  let prom_path = "obs_smoke_prom.txt" in
+  Obs.Prom.write_file prom_path snap;
+  let reread =
+    let ic = open_in_bin prom_path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check "written exposition re-lints clean" (Obs.Prom.lint reread = Ok ());
+  check "exposition carries the supervisor counters"
+    (let contains needle =
+       let nh = String.length reread and nn = String.length needle in
+       let rec at i =
+         i + nn <= nh && (String.sub reread i nn = needle || at (i + 1))
+       in
+       at 0
+     in
+     contains "supervisor_quarantined" && contains "supervisor_deadline_expired");
 
   if !failures > 0 then begin
     Fmt.pr "obs smoke: %d check(s) FAILED@." !failures;

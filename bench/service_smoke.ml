@@ -14,12 +14,25 @@
    - a second daemon kill -9'd mid-session leaves a checkpoint a third
      daemon resumes (stats.resumed = stats.total on the repeat query).
 
+   A fourth daemon runs the observability acceptance session: with fault
+   injection, a dump dir, a Prometheus file, and a trace file enabled, a
+   slow request, an injected-quarantine request, and a zero-budget request
+   each get a distinct server-minted request_id; the live stats op reports
+   uptime / queue depth / cache residency, the dump op returns flight-
+   recorder events correlated to all three ids, the trace written at
+   shutdown holds one serd.request span per id (supervisor spans joined by
+   the same request_id arg), the Prometheus exposition lints clean, and
+   both incident dumps land in the dump dir named
+   <reason>-<request_id>.json.  A fifth daemon answers the stats op over a
+   Unix socket.
+
    A latency loop over the cache-hit path feeds BENCH_service.json
-   (p50/p99/mean latency, qps, cache hit rate, shed and partial counts),
-   which is re-parsed after writing; the response transcript is kept as
-   newline-delimited JSON in BENCH_service_session.jsonl and re-parsed
-   with the same framing helpers serd itself uses.  Any failed check
-   exits non-zero and fails the alias. *)
+   (p50/p99/mean latency, qps, cache hit rate, shed and partial counts,
+   the observability session's figures), which is re-parsed after
+   writing; the response transcript is kept as newline-delimited JSON in
+   BENCH_service_session.jsonl and re-parsed with the same framing
+   helpers serd itself uses.  Any failed check exits non-zero and fails
+   the alias. *)
 
 module Json = Obs.Json
 
@@ -45,6 +58,19 @@ let error_code v =
 
 let stat key v =
   Option.bind (Json.member "stats" v) (fun s -> jnum key s)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  at 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let metric name v =
   Option.bind (Json.member "metrics" v) @@ fun m ->
@@ -110,7 +136,7 @@ let wait d =
 
 let obj = List.map (fun (k, v) -> (k, v))
 
-let analyze ?id ?sites ?budget_ms ?top_k ~format ~source () =
+let analyze ?id ?sites ?budget_ms ?top_k ?inject ~format ~source () =
   let base =
     [
       ("op", Json.String "analyze");
@@ -129,7 +155,8 @@ let analyze ?id ?sites ?budget_ms ?top_k ~format ~source () =
        @ base
        @ opt "sites" (fun l -> Json.List (List.map Json.int l)) sites
        @ opt "budget_ms" (fun b -> Json.Number b) budget_ms
-       @ opt "top_k" Json.int top_k))
+       @ opt "top_k" Json.int top_k
+       @ opt "inject_faults" (fun l -> Json.List (List.map Json.int l)) inject))
 
 let op ?id name fields =
   let id_f =
@@ -318,6 +345,171 @@ let () =
   ignore (rpc d2 (op "shutdown" []));
   check "restarted daemon exits cleanly" (wait d2 = Unix.WEXITED 0);
 
+  (* 15. observability session: every figure an operator relies on, end to
+     end in one daemon — correlation ids on the wire, live stats, the
+     flight-recorder dump, incident files, the trace, and Prometheus. *)
+  let dump_dir = "service_smoke_dumps" in
+  let prom_path = "service_smoke_prom.txt" in
+  let trace_path = "service_smoke_trace.json" in
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ prom_path; trace_path ];
+  if Sys.file_exists dump_dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dump_dir f))
+      (Sys.readdir dump_dir);
+  let d3 =
+    spawn serd
+      [
+        "--domains"; "1";
+        "--allow-fault-injection";
+        "--dump-dir"; dump_dir;
+        "--prom-file"; prom_path;
+        "--prom-interval-ms"; "100";
+        "--trace"; trace_path;
+      ]
+  in
+  let rid r = jstr "request_id" r in
+  let r_slow = rpc d3 (op ~id:1 "sleep" [ ("seconds", Json.Number 0.15) ]) in
+  check "slow request answers ok with a request_id"
+    (status r_slow = Some "ok" && rid r_slow <> None);
+  let r_q =
+    rpc d3
+      (analyze ~id:2 ~format:"embedded" ~source:"s27" ~sites:[ 0; 1; 2 ]
+         ~inject:[ 0 ] ())
+  in
+  check "injected request quarantines exactly the injected site"
+    (status r_q = Some "ok" && stat "quarantined" r_q = Some 1.0);
+  let r_d =
+    rpc d3 (analyze ~id:3 ~format:"embedded" ~source:"s27" ~budget_ms:0.0 ())
+  in
+  check "zero-budget request answers partial" (status r_d = Some "partial");
+  let rid_slow = Option.value ~default:"?" (rid r_slow) in
+  let rid_q = Option.value ~default:"?" (rid r_q) in
+  let rid_d = Option.value ~default:"?" (rid r_d) in
+  check "the three request ids are distinct"
+    (rid_slow <> rid_q && rid_q <> rid_d && rid_slow <> rid_d);
+
+  let s = rpc d3 (op ~id:4 "stats" []) in
+  check "stats answers ok with its own request_id"
+    (status s = Some "ok" && rid s <> None);
+  check "stats reports a nonnegative uptime"
+    (match jnum "uptime_seconds" s with
+    | Some u -> u >= 0.0
+    | None -> false);
+  check "stats reports queue depth and served requests"
+    (jnum "queue_depth" s <> None
+    &&
+    match jnum "requests" s with
+    | Some n -> n >= 4.0
+    | None -> false);
+  check "stats meters the deadline partial" (jnum "deadline_partial" s = Some 1.0);
+  check "stats reports a warmed engine resident"
+    (Option.bind (Json.member "engine_cache" s) (jnum "resident") = Some 1.0);
+  check "stats reports a populated recorder ring"
+    (Option.bind (Json.member "recorder" s) (jnum "capacity") = Some 512.0
+    &&
+    match Option.bind (Json.member "recorder" s) (jnum "recorded") with
+    | Some n -> n > 0.0
+    | None -> false);
+
+  let dmp = rpc d3 (op ~id:5 "dump" []) in
+  let dump_events =
+    Option.value ~default:[]
+      (Option.bind (Json.member "recorder" dmp) @@ fun rec_ ->
+       Option.bind (Json.member "events" rec_) Json.to_list)
+  in
+  let has_event ~name ~rid =
+    List.exists
+      (fun e -> jstr "event" e = Some name && jstr "request_id" e = Some rid)
+      dump_events
+  in
+  check "dump correlates the quarantine to its request id"
+    (has_event ~name:"supervisor.quarantine" ~rid:rid_q);
+  check "dump correlates the deadline expiry to its request id"
+    (has_event ~name:"supervisor.deadline_expired" ~rid:rid_d);
+  check "dump correlates the slow request's completion log"
+    (has_event ~name:"serd.request" ~rid:rid_slow);
+
+  let r = rpc d3 (op ~id:9 "shutdown" []) in
+  check "observability daemon acknowledges shutdown with a request_id"
+    (status r = Some "ok" && rid r <> None);
+  check "observability daemon exits cleanly" (wait d3 = Unix.WEXITED 0);
+
+  (* The daemon wrote the trace and the final Prometheus exposition on the
+     way out; the incident dumps landed as the requests completed. *)
+  let tevents =
+    match Json.parse_file trace_path with
+    | Error msg ->
+      check (Printf.sprintf "trace file re-parses (%s)" msg) false;
+      []
+    | Ok trace ->
+      Option.value ~default:[]
+        (Option.bind (Json.member "traceEvents" trace) Json.to_list)
+  in
+  let span_with ~name ~rid =
+    List.exists
+      (fun e ->
+        jstr "ph" e = Some "B"
+        && jstr "name" e = Some name
+        && Option.bind (Json.member "args" e) (jstr "request_id") = Some rid)
+      tevents
+  in
+  check "trace has one serd.request span per request id"
+    (List.for_all
+       (fun r -> span_with ~name:"serd.request" ~rid:r)
+       [ rid_slow; rid_q; rid_d ]);
+  check "supervisor spans join the trace through the request id"
+    (span_with ~name:"supervisor.sweep" ~rid:rid_q
+    && span_with ~name:"supervisor.sweep" ~rid:rid_d);
+  let prom = read_file prom_path in
+  let prom_ok = Obs.Prom.lint prom = Ok () in
+  check "prometheus exposition lints clean" prom_ok;
+  check "prometheus exposition carries the serd counters"
+    (contains prom "serd_requests");
+  let dump_file reason r =
+    Filename.concat dump_dir (Printf.sprintf "%s-%s.json" reason r)
+  in
+  check "quarantine incident dumped under its request id"
+    (Sys.file_exists (dump_file "quarantine" rid_q)
+    && Result.is_ok (Json.parse_file (dump_file "quarantine" rid_q)));
+  check "deadline incident dumped under its request id"
+    (Sys.file_exists (dump_file "deadline" rid_d)
+    && Result.is_ok (Json.parse_file (dump_file "deadline" rid_d)));
+
+  (* 16. the stats op answers the same over a Unix socket *)
+  let sock_path = "service_smoke.sock" in
+  (try Sys.remove sock_path with Sys_error _ -> ());
+  let d4 = spawn serd [ "--socket"; sock_path; "--domains"; "1" ] in
+  let rec wait_for_socket n =
+    if not (Sys.file_exists sock_path) then
+      if n = 0 then failwith "socket never appeared"
+      else begin
+        Unix.sleepf 0.05;
+        wait_for_socket (n - 1)
+      end
+  in
+  wait_for_socket 100;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX sock_path);
+  let sic = Unix.in_channel_of_descr sock in
+  let soc = Unix.out_channel_of_descr sock in
+  let sock_rpc v =
+    Json.emit_line soc v;
+    match Json.parse (input_line sic) with
+    | Ok r -> r
+    | Error msg -> failwith (Printf.sprintf "unparseable socket reply: %s" msg)
+  in
+  let r = sock_rpc (op ~id:1 "stats" []) in
+  check "socket stats round-trips with live figures"
+    (status r = Some "ok"
+    && jnum "uptime_seconds" r <> None
+    && rid r <> None);
+  let r = sock_rpc (op ~id:2 "shutdown" []) in
+  check "socket shutdown is acknowledged" (status r = Some "ok");
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  check "socket daemon exits cleanly" (wait d4 = Unix.WEXITED 0);
+
   (* --- artifacts ---------------------------------------------------------- *)
 
   let session_path = "BENCH_service_session.jsonl" in
@@ -347,6 +539,20 @@ let () =
                 ("hit_rate", Json.Number cache_hit_rate);
               ] );
           ("shed", Json.int !shed);
+          ( "observability",
+            Json.Obj
+              [
+                ( "request_ids",
+                  Json.Obj
+                    [
+                      ("slow", Json.String rid_slow);
+                      ("quarantine", Json.String rid_q);
+                      ("deadline", Json.String rid_d);
+                    ] );
+                ("recorder_events", Json.int (List.length dump_events));
+                ("trace_events", Json.int (List.length tevents));
+                ("prom_lint_ok", Json.Bool prom_ok);
+              ] );
           ( "checks",
             Json.List
               (List.rev_map

@@ -129,38 +129,32 @@ let progress_arg =
   in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let prom_arg =
+  let doc =
+    "Write a Prometheus text-exposition snapshot of the run's metrics \
+     (counters, gauges, cumulative histogram buckets) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+
+let dump_arg =
+  let doc =
+    "Write the flight-recorder ring (the most recent structured events, \
+     always on) as JSON to $(docv) when the run ends — including when it \
+     fails."
+  in
+  Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+
 (* Install live sinks before the pipeline is built (instrument handles are
    resolved at workspace/engine creation), run [f], and always write the
    artifact files — even when [f] raises or exits non-zero, a partial trace
-   is exactly what one wants for a post-mortem. *)
-let with_telemetry ~metrics ~trace f =
-  let registry =
-    Option.map
-      (fun _ ->
-        let m = Obs.Metrics.create () in
-        Obs.Hooks.set_metrics m;
-        m)
-      metrics
-  in
-  let tracer =
-    Option.map
-      (fun _ ->
-        let t = Obs.Trace.create () in
-        Obs.Hooks.set_tracer t;
-        t)
-      trace
-  in
-  let write_artifacts () =
-    (match (metrics, registry) with
-    | Some path, Some m ->
-      Obs.Json.to_file ~pretty:true path
-        (Obs.Metrics.to_json (Obs.Metrics.snapshot m));
-      Fmt.epr "wrote metrics snapshot to %s@." path
-    | _ -> ());
-    match (trace, tracer) with
-    | Some path, Some t ->
-      Obs.Trace.to_file t path;
+   is exactly what one wants for a post-mortem.  The mechanics live in
+   Obs.Artifacts so the failure-path contract is unit-tested; this wrapper
+   only adds the confirmation lines. *)
+let with_telemetry ?prom ?dump ~metrics ~trace f =
+  let on_written ~kind path =
+    if kind = "trace" then
       Fmt.epr "wrote trace to %s (chrome://tracing, Perfetto)@." path
-    | _ -> ()
+    else Fmt.epr "wrote %s to %s@." kind path
   in
-  Fun.protect ~finally:write_artifacts f
+  Obs.Artifacts.with_files ?metrics ?trace ?prom ?recorder_dump:dump
+    ~on_written f

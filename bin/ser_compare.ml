@@ -3,30 +3,28 @@
 
 open Cmdliner
 
-(* Map [f] over [items] while stepping a progress meter (when requested —
-   the simulation baseline is minutes long on big circuits). *)
-let map_with_progress ~progress ~label items f =
-  if not progress then List.map f items
-  else begin
-    let meter =
-      Obs.Progress.create ~label ~total:(List.length items) ()
-    in
-    let i = ref 0 in
-    let results =
+(* Map [f] over [items] while stepping a progress meter (the simulation
+   baseline is minutes long on big circuits).  The meter renders only when
+   a renderer is installed (--progress); the final report is flushed under
+   Fun.protect even when [f] raises mid-map. *)
+let map_with_progress ~label items f =
+  let meter = Obs.Progress.create ~label ~total:(List.length items) () in
+  let i = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Obs.Progress.finish meter)
+    (fun () ->
       List.map
         (fun item ->
           let r = f item in
           incr i;
           Obs.Progress.report meter !i;
           r)
-        items
-    in
-    Obs.Progress.finish meter;
-    results
-  end
+        items)
 
-let run circuit vectors sites seed metrics trace progress =
-  Cli_common.with_telemetry ~metrics ~trace @@ fun () ->
+let run circuit vectors sites seed metrics trace prom dump progress =
+  if progress then
+    Obs.Hooks.set_progress (Some (Obs.Progress.stderr_renderer ()));
+  Cli_common.with_telemetry ?prom ?dump ~metrics ~trace @@ fun () ->
   let tracer = Obs.Hooks.tracer () in
   Obs.Trace.span tracer ~cat:"cli" "ser_compare" @@ fun () ->
   let rng = Rng.create ~seed in
@@ -55,7 +53,7 @@ let run circuit vectors sites seed metrics trace progress =
   let sim_results, simt =
     Report.Timer.time (fun () ->
         Obs.Trace.span tracer ~cat:"compare" "compare.simulate" (fun () ->
-            map_with_progress ~progress ~label:"simulate" chosen
+            map_with_progress ~label:"simulate" chosen
               (Fault_sim.Epp_sim.estimate_site sim_ctx ~rng)))
   in
   let rows =
@@ -105,6 +103,7 @@ let cmd =
       const run $ Cli_common.circuit_arg
       $ Cli_common.vectors_arg ~default:10_000
       $ sites_arg $ Cli_common.seed_arg $ Cli_common.metrics_arg
-      $ Cli_common.trace_arg $ Cli_common.progress_arg)
+      $ Cli_common.trace_arg $ Cli_common.prom_arg $ Cli_common.dump_arg
+      $ Cli_common.progress_arg)
 
 let () = exit (Cmd.eval' cmd)

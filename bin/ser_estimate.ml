@@ -68,26 +68,25 @@ let print_report circuit technology (report : Epp.Ser_estimator.report) elapsed
   end
 
 let run_supervised circuit technology top_k target_reduction by_output
-    electrical checkpoint resume strict domains batch progress =
+    electrical checkpoint resume strict domains batch =
   let engine = Epp.Epp_engine.create circuit in
+  let ctx = Obs.Ctx.create ~baggage:[ ("tool", "ser_estimate") ] () in
+  (* The meter is created unconditionally — it renders only when a progress
+     renderer is installed (--progress) — and finished under Fun.protect so
+     a raising sweep still gets its final report line. *)
   let meter =
-    if progress then
-      Some
-        (Obs.Progress.create ~label:"supervised sweep"
-           ~total:(Netlist.Circuit.node_count circuit) ())
-    else None
+    Obs.Progress.create ~label:"supervised sweep"
+      ~total:(Netlist.Circuit.node_count circuit) ()
   in
-  let on_progress =
-    Option.map
-      (fun meter ~done_count ~total:_ -> Obs.Progress.report meter done_count)
-      meter
-  in
+  let on_progress ~done_count ~total:_ = Obs.Progress.report meter done_count in
   let swept, elapsed =
-    Report.Timer.time (fun () ->
-        Report.Checkpoint.supervised_sweep ?domains ?checkpoint ~resume
-          ~batch ?on_progress engine)
+    Fun.protect
+      ~finally:(fun () -> Obs.Progress.finish meter)
+      (fun () ->
+        Report.Timer.time (fun () ->
+            Report.Checkpoint.supervised_sweep ~ctx ?domains ?checkpoint
+              ~resume ~batch ~on_progress engine))
   in
-  Option.iter Obs.Progress.finish meter;
   match swept with
   | Error e ->
     Fmt.epr "ser_estimate: %s@." (Report.Checkpoint.error_message e);
@@ -109,8 +108,11 @@ let run_supervised circuit technology top_k target_reduction by_output
     if strict && quarantines <> [] then exit_quarantined else 0
 
 let run circuit technology top_k target_reduction by_output electrical
-    supervised checkpoint resume strict domains batch metrics trace progress =
-  Cli_common.with_telemetry ~metrics ~trace @@ fun () ->
+    supervised checkpoint resume strict domains batch metrics trace prom dump
+    progress =
+  if progress then
+    Obs.Hooks.set_progress (Some (Obs.Progress.stderr_renderer ()));
+  Cli_common.with_telemetry ?prom ?dump ~metrics ~trace @@ fun () ->
   Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"cli" "ser_estimate" @@ fun () ->
   let electrical = if electrical then Some Seu_model.Electrical.default else None in
   let supervised =
@@ -118,7 +120,7 @@ let run circuit technology top_k target_reduction by_output electrical
   in
   if supervised then
     run_supervised circuit technology top_k target_reduction by_output
-      electrical checkpoint resume strict domains batch progress
+      electrical checkpoint resume strict domains batch
   else begin
     let (report : Epp.Ser_estimator.report), elapsed =
       Report.Timer.time (fun () ->
@@ -214,6 +216,6 @@ let cmd =
       const run $ Cli_common.circuit_arg $ Cli_common.technology_arg $ top_k_arg $ target_arg
       $ by_output_arg $ electrical_arg $ supervised_arg $ checkpoint_arg $ resume_arg
       $ strict_arg $ domains_arg $ batch_mode_arg $ Cli_common.metrics_arg $ Cli_common.trace_arg
-      $ Cli_common.progress_arg)
+      $ Cli_common.prom_arg $ Cli_common.dump_arg $ Cli_common.progress_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -48,18 +48,71 @@ let serve_socket server path =
   Unix.close sock;
   try Unix.unlink path with Unix.Unix_error _ -> ()
 
+(* Periodic atomic Prometheus exposition: a helper domain rewrites the file
+   every interval (tmp + rename, so a scraper never reads a torn file),
+   sleeping in short slices so shutdown is prompt.  A final write happens
+   after the serve loop ends — the exposition on disk always reflects the
+   daemon's last state. *)
+let with_prom_writer ~registry ~prom_file ~interval_ms f =
+  match prom_file with
+  | None -> f ()
+  | Some path ->
+    let write () =
+      try Obs.Prom.write_file path (Obs.Metrics.snapshot registry)
+      with Sys_error msg ->
+        Fmt.epr "serd: could not write %s: %s@." path msg
+    in
+    let stop = Atomic.make false in
+    let writer =
+      Domain.spawn (fun () ->
+          write ();
+          let interval = Float.max 0.01 (interval_ms /. 1000.0) in
+          let elapsed = ref 0.0 in
+          while not (Atomic.get stop) do
+            Unix.sleepf 0.05;
+            elapsed := !elapsed +. 0.05;
+            if !elapsed >= interval then begin
+              elapsed := 0.0;
+              write ()
+            end
+          done;
+          write ())
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join writer)
+      f
+
 let run socket max_request_bytes max_source_bytes max_json_depth
-    queue_high_water cache_capacity default_budget_ms checkpoint_dir domains =
-  (* One live registry for the daemon's lifetime: the metrics op and the
-     analysis.cache counters read from it. *)
-  Obs.Hooks.set_metrics (Obs.Metrics.create ());
+    queue_high_water cache_capacity default_budget_ms checkpoint_dir domains
+    trace_file prom_file prom_interval_ms dump_dir allow_fault_injection
+    log_level =
+  (* One live registry for the daemon's lifetime: the metrics op, the
+     analysis.cache counters, and the Prometheus writer read from it. *)
+  let registry = Obs.Metrics.create () in
+  Obs.Hooks.set_metrics registry;
+  (match log_level with
+  | None -> ()
+  | Some level -> Obs.Hooks.set_logger (Obs.Log.to_channel ~min_level:level stderr));
+  let tracer =
+    Option.map
+      (fun _ ->
+        let t = Obs.Trace.create () in
+        Obs.Hooks.set_tracer t;
+        t)
+      trace_file
+  in
   (* A client closing its pipe mid-reply must surface as Sys_error (caught
      per connection), not SIGPIPE (fatal). *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  (match checkpoint_dir with
-  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
-  | _ -> ());
+  let ensure_dir = function
+    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+    | _ -> ()
+  in
+  ensure_dir checkpoint_dir;
+  ensure_dir dump_dir;
   let config =
     {
       Service.Server.max_request_bytes;
@@ -70,6 +123,8 @@ let run socket max_request_bytes max_source_bytes max_json_depth
       default_budget_ms;
       checkpoint_dir;
       domains;
+      dump_dir;
+      allow_fault_injection;
     }
   in
   let server =
@@ -78,6 +133,18 @@ let run socket max_request_bytes max_source_bytes max_json_depth
       Fmt.epr "serd: %s@." msg;
       exit exit_setup
   in
+  let finish_trace () =
+    match (trace_file, tracer) with
+    | Some path, Some t -> (
+      try
+        Obs.Trace.to_file t path;
+        Fmt.epr "serd: wrote trace to %s@." path
+      with Sys_error msg -> Fmt.epr "serd: could not write %s: %s@." path msg)
+    | _ -> ()
+  in
+  Fun.protect ~finally:finish_trace @@ fun () ->
+  with_prom_writer ~registry ~prom_file ~interval_ms:prom_interval_ms
+  @@ fun () ->
   match socket with
   | None -> (
     try serve_stdio server
@@ -154,6 +221,66 @@ let domains =
   let doc = "Worker domains for the supervised sweep (default: automatic)." in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let trace_file =
+  let doc =
+    "Collect Chrome trace-event spans for every request (one [serd.request] \
+     tree per frame, correlated by request_id) and write them to $(docv) at \
+     shutdown."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let prom_file =
+  let doc =
+    "Rewrite $(docv) with a Prometheus text exposition of the live metrics \
+     every $(b,--prom-interval-ms) (atomic tmp+rename; scrape with a file \
+     collector)."
+  in
+  Arg.(value & opt (some string) None & info [ "prom-file" ] ~docv:"FILE" ~doc)
+
+let prom_interval_ms =
+  let doc = "Interval between Prometheus exposition rewrites." in
+  Arg.(value & opt float 1000.0 & info [ "prom-interval-ms" ] ~docv:"MS" ~doc)
+
+let dump_dir =
+  let doc =
+    "Dump the flight recorder (one JSON file per incident, named \
+     <reason>-<request_id>.json) under $(docv) (created if missing) \
+     whenever a request ends in quarantine, deadline expiry, or internal \
+     error."
+  in
+  Arg.(value & opt (some string) None & info [ "dump-dir" ] ~docv:"DIR" ~doc)
+
+let allow_fault_injection =
+  let doc =
+    "Accept the \"inject_faults\" analyze field (forces listed sites \
+     through the full degradation ladder — operational drills and smoke \
+     tests only)."
+  in
+  Arg.(value & flag & info [ "allow-fault-injection" ] ~doc)
+
+let log_level =
+  let level_conv =
+    let parse = function
+      | "off" -> Ok None
+      | s -> (
+        match Obs.Log.level_of_string s with
+        | Some l -> Ok (Some l)
+        | None ->
+          Error (`Msg (Printf.sprintf "unknown log level %S (off, debug, info, warn, error)" s)))
+    in
+    let print ppf = function
+      | None -> Fmt.string ppf "off"
+      | Some l -> Fmt.string ppf (Obs.Log.level_to_string l)
+    in
+    Arg.conv (parse, print)
+  in
+  let doc =
+    "Emit structured JSON-lines log events at or above $(docv) (off, debug, \
+     info, warn, error) to stderr.  $(b,off) (the default) keeps the sink \
+     null; the flight recorder records regardless."
+  in
+  Arg.(value & opt level_conv None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
 let cmd =
   let doc = "deadline-aware SER analysis daemon" in
   let man =
@@ -166,10 +293,13 @@ let cmd =
       `P
         "Requests: {\"op\": \"analyze\", \"circuit\": {\"format\": \
          \"bench\"|\"blif\"|\"embedded\", \"source\": ...}, \"sites\"?, \
-         \"budget_ms\"?, \"top_k\"?}, plus \"ping\", \"metrics\", and \
-         \"shutdown\".  Every response carries \"status\": \"ok\", \
-         \"partial\" (deadline expired; completed sites reported), or \
-         \"error\" with a typed code.";
+         \"budget_ms\"?, \"top_k\"?}, plus \"ping\", \"metrics\", \
+         \"stats\" (uptime, queue depth, cache residency), \"dump\" (the \
+         flight-recorder ring), and \"shutdown\".  Every response carries \
+         \"status\": \"ok\", \"partial\" (deadline expired; completed \
+         sites reported), or \"error\" with a typed code, plus a \
+         server-minted \"request_id\" correlating it with log events, \
+         recorder entries, and trace spans.";
       `S Manpage.s_exit_status;
       `P "0 on clean exit (EOF or shutdown op); 1 on a fatal transport \
           error; 2 on a setup error; 124 on command-line errors.";
@@ -180,6 +310,7 @@ let cmd =
     Term.(
       const run $ socket $ max_request_bytes $ max_source_bytes
       $ max_json_depth $ queue_high_water $ cache_capacity $ default_budget_ms
-      $ checkpoint_dir $ domains)
+      $ checkpoint_dir $ domains $ trace_file $ prom_file $ prom_interval_ms
+      $ dump_dir $ allow_fault_injection $ log_level)
 
 let () = exit (Cmd.eval ~catch:true cmd)

@@ -106,12 +106,13 @@ module Block = struct
     scratch : Rules.Lanes.scratch;
     obs_i : instruments;
     tracer : Obs.Trace.t;
+    req_ctx : Obs.Ctx.t option;  (* correlation context for block spans *)
   }
 
   let engine b = b.engine
   let lanes b = b.stride
 
-  let create ?(lanes = max_lanes) engine =
+  let create ?ctx:req_ctx ?(lanes = max_lanes) engine =
     (match Epp_engine.mode engine with
     | Epp_engine.Polarity -> ()
     | Epp_engine.Naive ->
@@ -159,6 +160,7 @@ module Block = struct
       scratch = Rules.Lanes.create ~lanes;
       obs_i = instruments ();
       tracer = Obs.Hooks.tracer ();
+      req_ctx;
     }
 
   (* Seed the block's sites and run the one forward cone pass: in
@@ -263,7 +265,9 @@ module Block = struct
       sites;
     if k = 0 then [||]
     else
-      Obs.Trace.span b.tracer ~cat:"epp" "epp.batch.block" @@ fun () ->
+      Obs.Trace.span b.tracer ~cat:"epp" ~args:(Obs.Ctx.args_of b.req_ctx)
+        "epp.batch.block"
+      @@ fun () ->
       let m = b.obs_i in
       let timed = m.timed in
       let t0 = if timed then Obs.Clock.wall_seconds () else 0.0 in

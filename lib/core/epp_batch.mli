@@ -24,8 +24,11 @@ val max_lanes : int
 module Block : sig
   type ws
 
-  val create : ?lanes:int -> Epp_engine.t -> ws
+  val create : ?ctx:Obs.Ctx.t -> ?lanes:int -> Epp_engine.t -> ws
   (** Workspace for blocks of up to [lanes] (default {!max_lanes}) sites.
+      [ctx] labels every block span run on this workspace with the request
+      id (the workspace, not {!run}, carries it — [run] stays a
+      first-class [ws -> int array -> _] value for the schedulers).
       @raise Invalid_argument if the engine is in [Naive] mode or [lanes]
       is outside [1, max_lanes]. *)
 

@@ -87,7 +87,7 @@ let instruments () =
    exactly the finished prefix of claims and [None] for items never
    started.  With [Obs.Deadline.never] every index is handed out and every
    slot is [Some]. *)
-let run_stealing ~domains ~deadline ~workspace ~f items =
+let run_stealing ?ctx ~domains ~deadline ~workspace ~f items =
   let n = Array.length items in
   let m = instruments () in
   Obs.Metrics.incr m.batches;
@@ -112,7 +112,11 @@ let run_stealing ~domains ~deadline ~workspace ~f items =
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let worker ~helper () =
-      Obs.Trace.span tracer ~cat:"parallel" "parallel.worker" @@ fun () ->
+      (* The ctx args on the worker span are what let a request's spans
+         from every domain join into one tree in the trace viewer. *)
+      Obs.Trace.span tracer ~cat:"parallel" ~args:(Obs.Ctx.args_of ctx)
+        "parallel.worker"
+      @@ fun () ->
       let started = if m.timed then Obs.Clock.wall_seconds () else 0.0 in
       let busy = ref 0.0 in
       let executed = ref 0 in
@@ -158,17 +162,17 @@ let run_stealing ~domains ~deadline ~workspace ~f items =
     | None -> results
   end
 
-let map_array ?domains ~workspace ~f items =
+let map_array ?ctx ?domains ~workspace ~f items =
   let domains = resolve_domains ~who:"Parallel.map_array" domains in
-  run_stealing ~domains ~deadline:Obs.Deadline.never ~workspace ~f items
+  run_stealing ?ctx ~domains ~deadline:Obs.Deadline.never ~workspace ~f items
   |> Array.map (function
        | Some r -> r
        | None -> assert false (* no deadline: counter handed out every index *))
 
-let map_array_until ?domains ?(deadline = Obs.Deadline.never) ~workspace ~f
-    items =
+let map_array_until ?ctx ?domains ?(deadline = Obs.Deadline.never) ~workspace
+    ~f items =
   let domains = resolve_domains ~who:"Parallel.map_array_until" domains in
-  run_stealing ~domains ~deadline ~workspace ~f items
+  run_stealing ?ctx ~domains ~deadline ~workspace ~f items
 
 let analyze_sites ?domains engine sites =
   let domains = resolve_domains ~who:"Parallel.analyze_sites" domains in

@@ -14,6 +14,7 @@ val default_domains : unit -> int
 (** [recommended_domain_count - 1], at least 1. *)
 
 val map_array :
+  ?ctx:Obs.Ctx.t ->
   ?domains:int ->
   workspace:(unit -> 'w) ->
   f:('w -> 'a -> 'b) ->
@@ -23,11 +24,13 @@ val map_array :
     participating domain, [f ws item] once per item, results in input order.
     Small batches ([< 2 × domains]) run sequentially on one workspace.
     Used by {!analyze_sites} and by {!Supervisor.sweep}'s fault-isolating
-    per-site wrapper.
+    per-site wrapper.  [ctx] labels each worker's trace span with the
+    request id, so spans from every domain join one request tree.
     @raise Invalid_argument if [domains < 1]; re-raises the first (lowest
     input index) worker exception after joining every spawned domain. *)
 
 val map_array_until :
+  ?ctx:Obs.Ctx.t ->
   ?domains:int ->
   ?deadline:Obs.Deadline.t ->
   workspace:(unit -> 'w) ->

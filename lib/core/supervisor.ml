@@ -67,8 +67,8 @@ let safe_cone_size circuit site =
   | reach -> Some (Reach.count reach)
   | exception _ -> None
 
-let analyze_entry ?(tolerance = default_tolerance) ?(prior_faults = []) ?kernel
-    ?reference ws site =
+let analyze_entry ?ctx ?(tolerance = default_tolerance) ?(prior_faults = [])
+    ?kernel ?reference ws site =
   let engine = Epp_engine.Workspace.engine ws in
   let circuit = Epp_engine.circuit engine in
   (* [faults] accumulates newest-first; earlier rungs' faults (the batch
@@ -102,6 +102,17 @@ let analyze_entry ?(tolerance = default_tolerance) ?(prior_faults = []) ?kernel
   match kernel_result with
   | Some result -> Analyzed { result; step = Diag.Kernel }
   | None -> (
+    (match !faults with
+    | (step, fault) :: _ ->
+      Obs.Log.emit ?ctx
+        ~fields:
+          [
+            ("site", Obs.Json.int site);
+            ("from", Obs.Json.String (Diag.step_to_string step));
+            ("fault", Obs.Json.String (Diag.fault_to_string fault));
+          ]
+        Obs.Log.Debug "supervisor.degrade"
+    | [] -> ());
     (* Rung 2: the boxed reference path, result-checked. *)
     let reference_result =
       match
@@ -125,13 +136,34 @@ let analyze_entry ?(tolerance = default_tolerance) ?(prior_faults = []) ?kernel
         | name -> name
         | exception _ -> Printf.sprintf "#%d" site
       in
-      Quarantined
+      let q =
         {
           Diag.site;
           name;
           cone_size = safe_cone_size circuit site;
           faults = List.rev !faults;
-        })
+        }
+      in
+      Obs.Log.emit ?ctx
+        ~fields:
+          [
+            ("site", Obs.Json.int site);
+            ("name", Obs.Json.String name);
+            ( "cone_size",
+              match q.Diag.cone_size with
+              | Some c -> Obs.Json.int c
+              | None -> Obs.Json.Null );
+            ( "faults",
+              Obs.Json.List
+                (List.map
+                   (fun (step, fault) ->
+                     Obs.Json.String
+                       (Diag.step_to_string step ^ ": "
+                      ^ Diag.fault_to_string fault))
+                   q.Diag.faults) );
+          ]
+        Obs.Log.Warn "supervisor.quarantine";
+      Quarantined q)
 
 let stats_of_entries ?(resumed = 0) entries =
   let batch_ok = ref 0
@@ -175,13 +207,13 @@ type batch_ws = {
       (* domain-local, so the lazy cell is single-owner *)
 }
 
-let analyze_block ?tolerance ?kernel ?reference ?batch_run bw sites =
+let analyze_block ?ctx ?tolerance ?kernel ?reference ?batch_run bw sites =
   let engine = Epp_batch.Block.engine bw.block in
   let circuit = Epp_engine.circuit engine in
   let degrade site fault =
     ( site,
-      analyze_entry ?tolerance ~prior_faults:[ (Diag.Batch, fault) ] ?kernel
-        ?reference (Lazy.force bw.kernel_ws) site )
+      analyze_entry ?ctx ?tolerance ~prior_faults:[ (Diag.Batch, fault) ]
+        ?kernel ?reference (Lazy.force bw.kernel_ws) site )
   in
   let real_batch, run =
     match batch_run with
@@ -221,9 +253,9 @@ let analyze_block ?tolerance ?kernel ?reference ?batch_run bw sites =
           | None -> (site, Analyzed { result = r; step = Diag.Batch })))
       results
 
-let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
-    ?batch_run ?kernel ?reference ?(deadline = Obs.Deadline.never) engine sites
-    =
+let sweep ?ctx ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk
+    ?(batch = Auto) ?batch_run ?kernel ?reference
+    ?(deadline = Obs.Deadline.never) engine sites =
   if chunk_size < 1 then invalid_arg "Supervisor.sweep: chunk_size must be >= 1";
   let m = Obs.Hooks.metrics () in
   let tracer = Obs.Hooks.tracer () in
@@ -232,7 +264,9 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
   let c_degraded = Obs.Metrics.counter m "supervisor.degraded_to_reference" in
   let c_quarantined = Obs.Metrics.counter m "supervisor.quarantined" in
   let c_chunks = Obs.Metrics.counter m "supervisor.chunks" in
-  Obs.Trace.span tracer ~cat:"supervisor" "supervisor.sweep" @@ fun () ->
+  Obs.Trace.span tracer ~cat:"supervisor" ~args:(Obs.Ctx.args_of ctx)
+    "supervisor.sweep"
+  @@ fun () ->
   let arr = Array.of_list sites in
   let n = Array.length arr in
   let use_batch =
@@ -256,7 +290,9 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
       let len = min chunk_size (n - !pos) in
       let chunk = Array.sub arr !pos len in
       let entries =
-        Obs.Trace.span tracer ~cat:"supervisor" "supervisor.chunk" @@ fun () ->
+        Obs.Trace.span tracer ~cat:"supervisor" ~args:(Obs.Ctx.args_of ctx)
+          "supervisor.chunk"
+        @@ fun () ->
         if use_batch then begin
           (* blocks per domain: each work item is a whole block, so a domain
              claims O(V + E) passes, not per-site crumbs *)
@@ -267,14 +303,15 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
                 let off = i * lanes in
                 Array.sub chunk off (min lanes (len - off)))
           in
-          Parallel.map_array_until ?domains ~deadline
+          Parallel.map_array_until ?ctx ?domains ~deadline
             ~workspace:(fun () ->
               {
-                block = Epp_batch.Block.create engine;
+                block = Epp_batch.Block.create ?ctx engine;
                 kernel_ws = lazy (Epp_engine.Workspace.create engine);
               })
             ~f:(fun bw block ->
-              analyze_block ?tolerance ?kernel ?reference ?batch_run bw block)
+              analyze_block ?ctx ?tolerance ?kernel ?reference ?batch_run bw
+                block)
             blocks
           |> Array.to_list
           |> List.concat_map (function
@@ -282,10 +319,10 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
                | None -> [])
         end
         else
-          Parallel.map_array_until ?domains ~deadline
+          Parallel.map_array_until ?ctx ?domains ~deadline
             ~workspace:(fun () -> Epp_engine.Workspace.create engine)
             ~f:(fun ws site ->
-              (site, analyze_entry ?tolerance ?kernel ?reference ws site))
+              (site, analyze_entry ?ctx ?tolerance ?kernel ?reference ws site))
             chunk
           |> Array.to_list |> List.filter_map Fun.id
       in
@@ -315,22 +352,27 @@ let sweep ?domains ?tolerance ?(chunk_size = 1024) ?on_chunk ?(batch = Auto)
   let completion =
     if !expired then begin
       Obs.Metrics.incr (Obs.Metrics.counter m "supervisor.deadline_expired");
+      let budget_seconds = Obs.Deadline.budget_seconds deadline in
+      Obs.Log.emit ?ctx
+        ~fields:
+          [
+            ("analyzed", Obs.Json.int !analyzed);
+            ("remaining", Obs.Json.int (n - !analyzed));
+            ("budget_seconds", Obs.Json.Number budget_seconds);
+          ]
+        Obs.Log.Warn "supervisor.deadline_expired";
       Diag.Deadline_expired
-        {
-          analyzed = !analyzed;
-          remaining = n - !analyzed;
-          budget_seconds = Obs.Deadline.budget_seconds deadline;
-        }
+        { analyzed = !analyzed; remaining = n - !analyzed; budget_seconds }
     end
     else Diag.Complete
   in
   { entries; stats = stats_of_entries entries; completion }
 
-let sweep_all ?domains ?tolerance ?chunk_size ?on_chunk ?batch ?batch_run
+let sweep_all ?ctx ?domains ?tolerance ?chunk_size ?on_chunk ?batch ?batch_run
     ?kernel ?reference ?deadline engine =
   let n = Circuit.node_count (Epp_engine.circuit engine) in
-  sweep ?domains ?tolerance ?chunk_size ?on_chunk ?batch ?batch_run ?kernel
-    ?reference ?deadline engine
+  sweep ?ctx ?domains ?tolerance ?chunk_size ?on_chunk ?batch ?batch_run
+    ?kernel ?reference ?deadline engine
     (List.init n Fun.id)
 
 let results outcome =

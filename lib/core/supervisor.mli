@@ -52,6 +52,7 @@ val default_tolerance : float
     rule bug or poisoned input, not rounding. *)
 
 val analyze_entry :
+  ?ctx:Obs.Ctx.t ->
   ?tolerance:float ->
   ?prior_faults:(Diag.step * Diag.fault) list ->
   ?kernel:(Epp_engine.Workspace.ws -> int -> Epp_engine.site_result) ->
@@ -66,9 +67,13 @@ val analyze_entry :
     deterministic fault-injection seam used by the resilience tests (a stub
     that raises or returns a defective result exercises each rung; the
     vector-sum sentinel only runs for the real kernel, since a stub leaves
-    no vectors in the workspace). *)
+    no vectors in the workspace).  Ladder transitions log through
+    {!Obs.Log}: a kernel-rung failure emits [supervisor.degrade] (Debug), a
+    quarantine emits [supervisor.quarantine] (Warn) — both carrying [ctx]'s
+    request id. *)
 
 val sweep :
+  ?ctx:Obs.Ctx.t ->
   ?domains:int ->
   ?tolerance:float ->
   ?chunk_size:int ->
@@ -101,9 +106,16 @@ val sweep :
     and returns normally — it never raises on expiry, and [on_chunk] has
     already seen every finished entry, so a checkpoint written from it
     holds exactly the completed work.
+
+    [ctx] is threaded to every rung, span, and log event the sweep emits —
+    the [supervisor.sweep] / [supervisor.chunk] / [parallel.worker] /
+    [epp.batch.block] spans all carry its request id as span args, expiry
+    logs [supervisor.deadline_expired] (Warn) — so one request's work is
+    one correlated tree even across domains.
     @raise Invalid_argument if [domains < 1] or [chunk_size < 1]. *)
 
 val sweep_all :
+  ?ctx:Obs.Ctx.t ->
   ?domains:int ->
   ?tolerance:float ->
   ?chunk_size:int ->

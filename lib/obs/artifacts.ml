@@ -1,0 +1,62 @@
+(* Telemetry artifact finalization, exception-safe.
+
+   The CLIs used to carry this logic privately (Cli_common); it lives in
+   the library so the failure-path contract — a run that raises still
+   writes every artifact it was asked for — is unit-testable.  A partial
+   metrics snapshot or trace is exactly what one wants for a post-mortem
+   of the run that died.
+
+   Each artifact write is individually shielded: one unwritable path must
+   not lose the others.  I/O failures are reported through [on_error]
+   (default: a line on stderr) rather than raised, because the artifacts
+   are written from a [Fun.protect] finalizer where a raise would mask the
+   original exception. *)
+
+let default_on_error ~kind path msg =
+  Printf.eprintf "warning: could not write %s to %s: %s\n%!" kind path msg
+
+let with_files ?metrics ?trace ?prom ?recorder_dump
+    ?(on_written = fun ~kind:_ _ -> ()) ?(on_error = default_on_error) f =
+  let registry =
+    if metrics <> None || prom <> None then begin
+      let m = Metrics.create () in
+      Hooks.set_metrics m;
+      Some m
+    end
+    else None
+  in
+  let tracer =
+    Option.map
+      (fun _ ->
+        let t = Trace.create () in
+        Hooks.set_tracer t;
+        t)
+      trace
+  in
+  let write kind path g =
+    match g () with
+    | () -> on_written ~kind path
+    | exception Sys_error msg -> on_error ~kind path msg
+  in
+  let write_artifacts () =
+    (match (metrics, registry) with
+    | Some path, Some m ->
+      write "metrics snapshot" path (fun () ->
+          Json.to_file ~pretty:true path
+            (Metrics.to_json (Metrics.snapshot m)))
+    | _ -> ());
+    (match (prom, registry) with
+    | Some path, Some m ->
+      write "Prometheus exposition" path (fun () ->
+          Prom.write_file path (Metrics.snapshot m))
+    | _ -> ());
+    (match (trace, tracer) with
+    | Some path, Some t ->
+      write "trace" path (fun () -> Trace.to_file t path)
+    | _ -> ());
+    match recorder_dump with
+    | Some path ->
+      write "flight-recorder dump" path (fun () -> Recorder.dump_to_file path)
+    | None -> ()
+  in
+  Fun.protect ~finally:write_artifacts f

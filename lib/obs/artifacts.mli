@@ -1,0 +1,26 @@
+(** Exception-safe telemetry artifact finalization: install live sinks,
+    run, and {e always} write the requested artifact files — a run that
+    raises (quarantined sweep, failed pipeline) still leaves its metrics
+    snapshot, trace, Prometheus exposition, and flight-recorder dump on
+    disk for the post-mortem.
+
+    A live {!Metrics} registry is installed when [metrics] or [prom] is
+    requested, a live {!Trace} collector when [trace] is; the recorder
+    dump needs no installation ({!Recorder} is always on).  Artifact
+    writes run under [Fun.protect] and are individually shielded: an
+    unwritable path reports through [on_error] (default: one stderr line)
+    instead of raising, so it can neither mask the original exception nor
+    lose the other artifacts. *)
+
+val with_files :
+  ?metrics:string ->
+  ?trace:string ->
+  ?prom:string ->
+  ?recorder_dump:string ->
+  ?on_written:(kind:string -> string -> unit) ->
+  ?on_error:(kind:string -> string -> string -> unit) ->
+  (unit -> 'a) ->
+  'a
+(** [with_files ?metrics ?trace ?prom ?recorder_dump f] — each argument is
+    a destination path; [on_written ~kind path] fires after each
+    successful write (the CLIs print a confirmation line). *)

@@ -1,0 +1,51 @@
+(* Correlation context: one immutable identity per unit of request-scoped
+   work, threaded as an explicit argument.
+
+   There is deliberately no "current context" global and no domain-local
+   ambient state: a supervised sweep fans out across domains, and an
+   ambient cell would either race (one process-wide cell) or silently drop
+   the id at every Domain.spawn (DLS).  Passing [?ctx] down the call chain
+   costs one optional argument per driver and makes the data flow visible
+   in every signature that participates.
+
+   Ids are process-unique: a per-process tag (pid + wall clock, hashed)
+   plus an atomic sequence number.  They are filesystem- and JSON-safe
+   ([a-z0-9-]), so they can name recorder dump files directly. *)
+
+type t = {
+  id : string;
+  baggage : (string * string) list;
+}
+
+let counter = Atomic.make 0
+
+(* Computed once at module init on the main domain — no lazy cell to race
+   on when worker domains mint ids. *)
+let process_tag =
+  let h = Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) in
+  Printf.sprintf "%05x" (h land 0xfffff)
+
+let fresh_id () =
+  Printf.sprintf "r-%s-%d" process_tag (Atomic.fetch_and_add counter 1)
+
+let create ?(baggage = []) ?id () =
+  let id =
+    match id with
+    | Some id -> id
+    | None -> fresh_id ()
+  in
+  { id; baggage }
+
+let id t = t.id
+let baggage t = t.baggage
+let find t key = List.assoc_opt key t.baggage
+let with_baggage t kvs = { t with baggage = t.baggage @ kvs }
+
+let baggage_args t =
+  List.map (fun (k, v) -> ("ctx." ^ k, Json.String v)) t.baggage
+
+let to_args t = ("request_id", Json.String t.id) :: baggage_args t
+
+let args_of = function
+  | None -> []
+  | Some t -> to_args t

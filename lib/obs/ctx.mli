@@ -1,0 +1,34 @@
+(** Correlation context: an immutable request/trace identity plus key-value
+    baggage, threaded through drivers as an {e explicit} argument.
+
+    There is no global or domain-local "current context" on purpose: the
+    sweep fans out across domains, where ambient state either races or
+    silently drops the id at every spawn.  Every driver that participates
+    takes [?ctx] and passes it down; {!to_args} turns the context into the
+    [args] attached to {!Trace} spans and the fields attached to {!Log}
+    events, which is how spans from one request join into a single tree in
+    Perfetto and how recorder entries correlate across domains. *)
+
+type t
+
+val create : ?baggage:(string * string) list -> ?id:string -> unit -> t
+(** A fresh context.  When [id] is omitted a process-unique one is minted
+    (constant time, domain-safe); ids are filesystem- and JSON-safe
+    ([r-<tag>-<n>]). *)
+
+val id : t -> string
+val baggage : t -> (string * string) list
+val find : t -> string -> string option
+
+val with_baggage : t -> (string * string) list -> t
+(** Same id, extended baggage — refining the context on the way down. *)
+
+val baggage_args : t -> (string * Json.t) list
+(** One ["ctx.<key>"] entry per baggage pair. *)
+
+val to_args : t -> (string * Json.t) list
+(** [("request_id", id)] plus {!baggage_args} — the span-args /
+    log-fields encoding. *)
+
+val args_of : t option -> (string * Json.t) list
+(** [to_args] on [Some], [[]] on [None] — the [?ctx] defaulting helper. *)

@@ -14,8 +14,27 @@ val tracer : unit -> Trace.t
 val set_metrics : Metrics.t -> unit
 val set_tracer : Trace.t -> unit
 
+val logger : unit -> Log.t
+(** The current structured-log sink ({!Log.null} by default).  Note the
+    flight recorder ({!Recorder}) is fed by {!Log.emit} regardless of this
+    sink. *)
+
+val set_logger : Log.t -> unit
+
+(** How a {!Progress} meter renders.  [update] receives a fully formatted
+    status line (no newline); [finalize] receives the final line exactly
+    once.  [None] — the default — makes meters silent. *)
+type progress_renderer = {
+  update : string -> unit;
+  finalize : string -> unit;
+}
+
+val progress : unit -> progress_renderer option
+val set_progress : progress_renderer option -> unit
+
 val reset : unit -> unit
-(** Back to the no-op sinks (tests). *)
+(** Back to the no-op sinks (tests).  Does not clear the flight recorder —
+    use {!Recorder.clear}. *)
 
 val enabled : unit -> bool
-(** Whether any live sink is installed. *)
+(** Whether any live sink (metrics, tracer, logger) is installed. *)

@@ -1,0 +1,125 @@
+(* Structured, leveled logging over the strict Json codec.
+
+   The seams that used to be silent counters-only — ladder descent, lane
+   quarantine, deadline expiry, cache eviction, checkpoint save/resume,
+   queue shed — emit typed events through [emit].  Two destinations:
+
+   - the flight recorder, unconditionally: every event lands in the
+     calling domain's ring regardless of level or installed sink, so a
+     post-mortem dump has the full recent history even when the process
+     ran with logging off;
+   - the installed sink (null by default, like every Obs hook): a JSON
+     line per event at or above the sink's minimum level.
+
+   The sink cell lives here rather than in Hooks because Hooks already
+   depends on the sink types it re-exports; Hooks delegates. *)
+
+type level =
+  | Debug
+  | Info
+  | Warn
+  | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function
+  | Debug -> 0
+  | Info -> 1
+  | Warn -> 2
+  | Error -> 3
+
+type event = {
+  ts : float;
+  level : level;
+  event : string;
+  request_id : string option;
+  domain : int;
+  fields : (string * Json.t) list;
+}
+
+type t =
+  | Null
+  | Live of {
+      min_level : level;
+      write : event -> unit;
+    }
+
+let null = Null
+let create ?(min_level = Info) write = Live { min_level; write }
+
+let is_null = function
+  | Null -> true
+  | Live _ -> false
+
+let event_to_json e =
+  let base =
+    [
+      ("ts", Json.Number e.ts);
+      ("level", Json.String (level_to_string e.level));
+      ("event", Json.String e.event);
+    ]
+  in
+  let base =
+    match e.request_id with
+    | None -> base
+    | Some id -> base @ [ ("request_id", Json.String id) ]
+  in
+  Json.Obj (base @ (("domain", Json.int e.domain) :: e.fields))
+
+let to_channel ?min_level oc =
+  (* Worker domains log too; one mutex serializes whole lines so two
+     events never interleave bytes. *)
+  let mutex = Mutex.create () in
+  create ?min_level (fun e ->
+      Mutex.lock mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock mutex)
+        (fun () -> Json.emit_line oc (event_to_json e)))
+
+(* --- the process-wide sink (Hooks delegates here) ------------------------- *)
+
+let sink_cell = Atomic.make Null
+let sink () = Atomic.get sink_cell
+let set_sink s = Atomic.set sink_cell s
+
+let write t e =
+  match t with
+  | Null -> ()
+  | Live { min_level; write } ->
+    if severity e.level >= severity min_level then write e
+
+let emit ?ctx ?(fields = []) level name =
+  let e =
+    {
+      ts = Clock.wall_seconds ();
+      level;
+      event = name;
+      request_id = Option.map Ctx.id ctx;
+      domain = (Domain.self () :> int);
+      fields =
+        (match ctx with
+        | None -> fields
+        | Some c -> fields @ Ctx.baggage_args c);
+    }
+  in
+  Recorder.record
+    {
+      Recorder.ts = e.ts;
+      level = level_to_string level;
+      event = name;
+      request_id = e.request_id;
+      domain = e.domain;
+      fields = e.fields;
+    };
+  write (sink ()) e

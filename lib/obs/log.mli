@@ -1,0 +1,65 @@
+(** Structured, leveled, domain-safe logging: JSON-lines over the strict
+    {!Json} codec, null by default.
+
+    {!emit} is the one entry point.  Every emitted event is recorded in
+    the {!Recorder} ring unconditionally (the flight recorder needs no
+    configuration), and additionally written to the installed sink when
+    one is live and the event's level clears the sink's minimum.
+
+    Event shape on the wire (one compact object per line):
+    [{"ts", "level", "event", "request_id"?, "domain", ...fields}] —
+    [request_id] and the ["ctx.*"] baggage fields come from the optional
+    {!Ctx} argument, which is how log lines correlate with trace spans and
+    recorder dumps. *)
+
+type level =
+  | Debug
+  | Info
+  | Warn
+  | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+val severity : level -> int
+(** [Debug] 0 … [Error] 3. *)
+
+type event = {
+  ts : float;  (** {!Clock.wall_seconds} *)
+  level : level;
+  event : string;  (** dotted event name, e.g. ["supervisor.quarantine"] *)
+  request_id : string option;
+  domain : int;
+  fields : (string * Json.t) list;
+}
+
+type t
+(** A sink — {!null} or live. *)
+
+val null : t
+
+val create : ?min_level:level -> (event -> unit) -> t
+(** A live sink; events below [min_level] (default [Info]) are dropped
+    before [write] is called.  [write] must be domain-safe. *)
+
+val is_null : t -> bool
+
+val to_channel : ?min_level:level -> out_channel -> t
+(** JSON-lines to [oc], one event per line, mutex-serialized across
+    domains. *)
+
+val event_to_json : event -> Json.t
+
+(** {2 The process-wide sink}
+
+    Installed via {!Hooks.set_logger} (which delegates here); null by
+    default so an uninstrumented process pays one atomic load and a
+    recorder append per event. *)
+
+val sink : unit -> t
+val set_sink : t -> unit
+
+val emit : ?ctx:Ctx.t -> ?fields:(string * Json.t) list -> level -> string -> unit
+(** [emit ?ctx ?fields level name] — always records into the flight
+    recorder, and writes to the installed sink when live and
+    [level >= min_level].  Safe from any domain. *)

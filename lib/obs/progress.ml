@@ -1,31 +1,56 @@
 (* A single-line progress meter for long sweeps: done/total, rate, ETA.
 
-   Rendering is rate-limited (default 5 Hz) and rewrites one line with \r;
-   [finish] prints the final state and a newline.  The rate is computed over
-   the whole run (wall clock), which converges to the true throughput and
-   keeps the ETA stable against chunk-size jitter. *)
+   The meter renders plain status lines and hands them to a renderer —
+   either one passed explicitly, or whatever Hooks.progress holds at
+   creation time.  The default (no renderer installed) is silence: drivers
+   can create a meter unconditionally and the uninstrumented cost is a
+   clock read per report.  The stderr renderer carries the terminal
+   behaviour (\r rewriting, width padding, final newline).
+
+   Rendering is rate-limited (default 5 Hz); [finish] always renders the
+   final state.  The rate is computed over the whole run (wall clock),
+   which converges to the true throughput and keeps the ETA stable against
+   chunk-size jitter. *)
 
 type t = {
-  out : out_channel;
+  renderer : Hooks.progress_renderer option;
   label : string;
   total : int;
   min_interval : float;
   started : float;
   mutable last_print : float;
-  mutable last_width : int;
   mutable finished : bool;
 }
 
-let create ?(out = stderr) ?(min_interval = 0.2) ~label ~total () =
-  if total < 0 then invalid_arg "Progress.create: total must be >= 0";
+let stderr_renderer ?(out = stderr) () =
+  let last_width = ref 0 in
+  let print ~final line =
+    (* Pad with spaces so a shrinking line fully overwrites the previous
+       one. *)
+    let pad = max 0 (!last_width - String.length line) in
+    Printf.fprintf out "\r%s%s%!" line (String.make pad ' ');
+    last_width := String.length line;
+    if final then Printf.fprintf out "\n%!"
+  in
   {
-    out;
+    Hooks.update = print ~final:false;
+    finalize = print ~final:true;
+  }
+
+let create ?renderer ?(min_interval = 0.2) ~label ~total () =
+  if total < 0 then invalid_arg "Progress.create: total must be >= 0";
+  let renderer =
+    match renderer with
+    | Some _ -> renderer
+    | None -> Hooks.progress ()
+  in
+  {
+    renderer;
     label;
     total;
     min_interval;
     started = Clock.wall_seconds ();
     last_print = 0.0;
-    last_width = 0;
     finished = false;
   }
 
@@ -57,25 +82,25 @@ let render t done_count now =
   Printf.sprintf "%s: %d/%d (%.1f%%) | %.0f sites/s | ETA %s" t.label done_count
     t.total percent rate eta
 
-let print_line t line =
-  (* Pad with spaces so a shrinking line fully overwrites the previous one. *)
-  let pad = max 0 (t.last_width - String.length line) in
-  Printf.fprintf t.out "\r%s%s%!" line (String.make pad ' ');
-  t.last_width <- String.length line
-
 let report t done_count =
-  if not t.finished then begin
-    let now = Clock.wall_seconds () in
-    if done_count >= t.total || now -. t.last_print >= t.min_interval then begin
-      t.last_print <- now;
-      print_line t (render t done_count now)
+  match t.renderer with
+  | None -> ()
+  | Some r ->
+    if not t.finished then begin
+      let now = Clock.wall_seconds () in
+      if done_count >= t.total || now -. t.last_print >= t.min_interval then begin
+        t.last_print <- now;
+        r.Hooks.update (render t done_count now)
+      end
     end
-  end
 
 let finish t =
   if not t.finished then begin
     t.finished <- true;
-    let now = Clock.wall_seconds () in
-    print_line t (render t t.total now);
-    Printf.fprintf t.out " (%.1fs)\n%!" (now -. t.started)
+    match t.renderer with
+    | None -> ()
+    | Some r ->
+      let now = Clock.wall_seconds () in
+      r.Hooks.finalize
+        (Printf.sprintf "%s (%.1fs)" (render t t.total now) (now -. t.started))
   end

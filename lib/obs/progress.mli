@@ -1,18 +1,37 @@
 (** Single-line progress meter: done/total, overall rate, ETA.
 
-    Writes [\r]-rewritten lines to [out] (default [stderr]), rate-limited to
-    [min_interval] seconds (default 0.2).  Not domain-safe by itself — call
-    {!report} from one domain (the sweep's chunk callback already runs on
-    the calling domain). *)
+    The meter formats status lines and hands them to a
+    {!Hooks.progress_renderer} — the one passed at creation, or whatever
+    {!Hooks.progress} holds at that moment.  With no renderer installed
+    (the default) the meter is silent, so drivers create one
+    unconditionally and the CLIs opt in by installing {!stderr_renderer}
+    under their [--progress] flag.
+
+    Rate-limited to [min_interval] seconds (default 0.2); {!finish} always
+    renders.  Not domain-safe by itself — call {!report} from one domain
+    (the sweep's chunk callback already runs on the calling domain). *)
 
 type t
 
+val stderr_renderer : ?out:out_channel -> unit -> Hooks.progress_renderer
+(** The terminal renderer: [\r]-rewritten lines on [out] (default
+    [stderr]), padded so a shrinking line fully overwrites its
+    predecessor; the final line gets a newline. *)
+
 val create :
-  ?out:out_channel -> ?min_interval:float -> label:string -> total:int -> unit -> t
-(** @raise Invalid_argument if [total < 0]. *)
+  ?renderer:Hooks.progress_renderer ->
+  ?min_interval:float ->
+  label:string ->
+  total:int ->
+  unit ->
+  t
+(** [renderer] defaults to {!Hooks.progress} (captured at creation).
+    @raise Invalid_argument if [total < 0]. *)
 
 val report : t -> int -> unit
-(** [report t done_count] — renders at most every [min_interval] seconds. *)
+(** [report t done_count] — renders at most every [min_interval] seconds
+    (a report reaching [total] renders regardless). *)
 
 val finish : t -> unit
-(** Render the final state, elapsed time, and a newline.  Idempotent. *)
+(** Render the final state and elapsed time.  Idempotent; a no-op only
+    when no renderer is installed. *)

@@ -1,0 +1,245 @@
+(* Prometheus text exposition (version 0.0.4) from a Metrics.snapshot.
+
+   Counters and gauges map one-to-one; a histogram becomes the standard
+   cumulative series: one [_bucket{le="..."}] sample per bound plus the
+   [+Inf] bucket, then [_sum] and [_count].  Metric names are sanitized
+   (the registry uses dots, Prometheus wants [a-zA-Z0-9_:]).
+
+   [write_file] is atomic (temp + rename) because the intended consumer is
+   a scraper or node_exporter textfile collector reading the path on its
+   own schedule — it must never observe a half-written exposition.
+
+   [lint] is the OCaml-side well-formedness check the smokes assert: names
+   valid and declared exactly once, every sample under a declared family,
+   histogram buckets cumulative-monotone with a [+Inf] bucket equal to
+   [_count].  It exists so the contract is enforced in CI without a
+   Prometheus binary in the container. *)
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    match Bytes.get b i with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+    | _ -> Bytes.set b i '_'
+  done;
+  let s = Bytes.to_string b in
+  if s = "" then "_"
+  else
+    match s.[0] with
+    | '0' .. '9' -> "_" ^ s
+    | _ -> s
+
+let fmt_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let of_snapshot (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Printf.bprintf buf "# TYPE %s counter\n%s %d\n" n n v)
+    s.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" n n (fmt_float v))
+    s.Metrics.gauges;
+  List.iter
+    (fun (name, (h : Metrics.histogram_snapshot)) ->
+      let n = sanitize name in
+      Printf.bprintf buf "# TYPE %s histogram\n" n;
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          let le =
+            if i < Array.length h.bounds then fmt_float h.bounds.(i)
+            else "+Inf"
+          in
+          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" n le !cum)
+        h.counts;
+      Printf.bprintf buf "%s_sum %s\n" n (fmt_float h.sum);
+      Printf.bprintf buf "%s_count %d\n" n h.count)
+    s.Metrics.histograms;
+  Buffer.contents buf
+
+let write_file path snapshot =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (of_snapshot snapshot));
+  Sys.rename tmp path
+
+(* --- lint ----------------------------------------------------------------- *)
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       s
+
+let strip_suffix name =
+  let try_one suffix =
+    if Filename.check_suffix name suffix then
+      Some (Filename.chop_suffix name suffix)
+    else None
+  in
+  match try_one "_bucket" with
+  | Some base -> Some (base, `Bucket)
+  | None -> (
+    match try_one "_sum" with
+    | Some base -> Some (base, `Sum)
+    | None -> (
+      match try_one "_count" with
+      | Some base -> Some (base, `Count)
+      | None -> None))
+
+let parse_value s =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> Some v
+  | None -> (
+    match String.trim s with
+    | "+Inf" -> Some Float.infinity
+    | "-Inf" -> Some Float.neg_infinity
+    | "NaN" -> Some Float.nan
+    | _ -> None)
+
+(* ["name{labels} value"] or ["name value"] -> (name, labels option, value
+   string). *)
+let split_sample line =
+  match String.index_opt line '{' with
+  | Some i -> (
+    match String.index_from_opt line i '}' with
+    | None -> None
+    | Some j ->
+      let rest = String.sub line (j + 1) (String.length line - j - 1) in
+      Some
+        ( String.sub line 0 i,
+          Some (String.sub line (i + 1) (j - i - 1)),
+          String.trim rest ))
+  | None -> (
+    match String.index_opt line ' ' with
+    | None -> None
+    | Some i ->
+      Some
+        ( String.sub line 0 i,
+          None,
+          String.trim (String.sub line i (String.length line - i)) ))
+
+let le_of_labels labels =
+  (* le="<value>" somewhere in the label body. *)
+  let prefix = "le=\"" in
+  let rec find from =
+    if from + String.length prefix > String.length labels then None
+    else if String.sub labels from (String.length prefix) = prefix then
+      let start = from + String.length prefix in
+      match String.index_from_opt labels start '"' with
+      | Some close -> Some (String.sub labels start (close - start))
+      | None -> None
+    else find (from + 1)
+  in
+  find 0
+
+let lint text =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let families = Hashtbl.create 32 in
+  (* base -> (le, cumulative) list, newest first *)
+  let buckets = Hashtbl.create 16 in
+  let counts = Hashtbl.create 16 in
+  let declare name kind =
+    if not (valid_name name) then err "invalid metric name %S" name;
+    if Hashtbl.mem families name then
+      err "duplicate # TYPE declaration for %s" name
+    else Hashtbl.replace families name kind
+  in
+  let sample line =
+    match split_sample line with
+    | None -> err "unparseable sample line %S" line
+    | Some (name, labels, value) -> (
+      if not (valid_name name) then err "invalid sample name %S" name;
+      (match parse_value value with
+      | Some _ -> ()
+      | None -> err "unparseable value %S on %s" value name);
+      let histogram_member =
+        match strip_suffix name with
+        | Some (base, role) when Hashtbl.find_opt families base = Some "histogram"
+          ->
+          Some (base, role)
+        | _ -> None
+      in
+      match histogram_member with
+      | Some (base, `Bucket) -> (
+        match Option.bind labels le_of_labels with
+        | None -> err "%s_bucket sample without an le label" base
+        | Some le ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt buckets base) in
+          Hashtbl.replace buckets base ((le, parse_value value) :: prev))
+      | Some (base, `Count) -> Hashtbl.replace counts base (parse_value value)
+      | Some (_, `Sum) -> ()
+      | None -> (
+        match Hashtbl.find_opt families name with
+        | Some "histogram" ->
+          err "bare sample %s under a histogram family" name
+        | Some _ -> ()
+        | None -> err "sample %s has no # TYPE declaration" name))
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" then ()
+         else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+           match
+             String.split_on_char ' '
+               (String.sub line 7 (String.length line - 7))
+             |> List.filter (fun s -> s <> "")
+           with
+           | [ name; kind ] ->
+             if kind <> "counter" && kind <> "gauge" && kind <> "histogram"
+             then err "unknown metric kind %S for %s" kind name;
+             declare name kind
+           | _ -> err "malformed TYPE line %S" line
+         end
+         else if line.[0] = '#' then ()
+         else sample line);
+  Hashtbl.iter
+    (fun base series ->
+      let series = List.rev series in
+      (match List.rev series with
+      | ("+Inf", inf_count) :: _ -> (
+        match Hashtbl.find_opt counts base with
+        | Some (Some c) when inf_count <> Some c ->
+          err "%s: +Inf bucket disagrees with _count" base
+        | _ -> ())
+      | _ -> err "%s: histogram without a trailing +Inf bucket" base);
+      ignore
+        (List.fold_left
+           (fun prev (le, v) ->
+             (match (prev, v) with
+             | Some p, Some v when v < p ->
+               err "%s: bucket counts not monotone at le=%s" base le
+             | _ -> ());
+             v)
+           None series))
+    buckets;
+  Hashtbl.iter
+    (fun base _ ->
+      if
+        Hashtbl.find_opt families base = Some "histogram"
+        && not (Hashtbl.mem buckets base)
+      then err "%s: histogram family without bucket samples" base)
+    families;
+  match List.rev !errors with
+  | [] -> Ok ()
+  | errs -> Error errs

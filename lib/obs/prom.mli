@@ -1,0 +1,26 @@
+(** Prometheus text exposition (format 0.0.4) derived from a
+    {!Metrics.snapshot}, plus an OCaml-side well-formedness lint.
+
+    Counters and gauges map directly; histograms become the standard
+    cumulative [_bucket{le="..."}] series (including the [+Inf] bucket)
+    with [_sum] and [_count].  Registry names are sanitized to the
+    Prometheus charset (dots become underscores). *)
+
+val sanitize : string -> string
+(** Map a registry name onto [[a-zA-Z0-9_:]+] (never empty, never
+    digit-initial). *)
+
+val of_snapshot : Metrics.snapshot -> string
+(** The full exposition: one [# TYPE] line per family, samples after. *)
+
+val write_file : string -> Metrics.snapshot -> unit
+(** Atomic write (temp + rename): a scraper reading the path concurrently
+    never observes a torn exposition.
+    @raise Sys_error on I/O failure. *)
+
+val lint : string -> (unit, string list) result
+(** Well-formedness of an exposition: valid metric names, exactly one
+    [# TYPE] per family, every sample under a declared family, histogram
+    buckets cumulative-monotone ending in a [+Inf] bucket that matches
+    [_count].  Used by the smoke benches so the exposition contract is
+    CI-enforced without a Prometheus binary. *)

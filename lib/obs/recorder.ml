@@ -1,0 +1,123 @@
+(* The flight recorder: a fixed-capacity ring of recent events, always on.
+
+   This is the post-mortem black box for a daemon that cannot be restarted
+   with more verbosity: when something quarantines, misses a deadline, or
+   trips the internal-error boundary, the last few hundred events are
+   already in memory and can be dumped as JSON on the spot.
+
+   Concurrency design — one writer per domain, lock-free on the hot path:
+
+   - each domain owns exactly one ring, obtained through a [Domain.DLS]
+     key, so [record] is a plain array store plus one [Atomic.set] of the
+     ring's write head (release ordering publishes the entry to dumpers);
+   - rings are pooled: a registry (mutex-protected, touched only at domain
+     start/exit and on [dump]) hands a retiring domain's ring to the next
+     domain that starts, so memory is bounded by the {e peak concurrent}
+     domain count, not the total spawned over the process lifetime — and a
+     dead worker's last entries stay dumpable until its ring is reused;
+   - [dump] merges every ring.  Reads race benignly with writers: an entry
+     slot is an immutable record behind an option, so a dumper sees either
+     the old entry or the new one, never a torn value.  The dump is a
+     best-effort recent-history view, not a linearizable cut.
+
+   Capacity is fixed (per ring) so the recorder's memory bound is
+   [rings * capacity * sizeof entry] — no allocation growth under load. *)
+
+type entry = {
+  ts : float;  (* Clock.wall_seconds *)
+  level : string;
+  event : string;
+  request_id : string option;
+  domain : int;
+  fields : (string * Json.t) list;
+}
+
+let capacity = 512
+
+type ring = {
+  slots : entry option array;
+  head : int Atomic.t;  (* total entries ever written to this ring *)
+}
+
+let registry_mutex = Mutex.create ()
+let rings : ring list ref = ref []
+let free_rings : ring Queue.t = Queue.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let acquire_ring () =
+  let r =
+    locked (fun () ->
+        match Queue.take_opt free_rings with
+        | Some r -> r
+        | None ->
+          let r = { slots = Array.make capacity None; head = Atomic.make 0 } in
+          rings := r :: !rings;
+          r)
+  in
+  (* Return the ring to the pool when this domain exits; its contents stay
+     dumpable until another domain starts writing over them. *)
+  Domain.at_exit (fun () -> locked (fun () -> Queue.add r free_rings));
+  r
+
+let key = Domain.DLS.new_key acquire_ring
+
+let record e =
+  let r = Domain.DLS.get key in
+  let h = Atomic.get r.head in
+  r.slots.(h mod capacity) <- Some e;
+  Atomic.set r.head (h + 1)
+
+let all_rings () = locked (fun () -> !rings)
+
+let recorded () =
+  List.fold_left (fun acc r -> acc + Atomic.get r.head) 0 (all_rings ())
+
+let dump () =
+  let collect r =
+    let h = Atomic.get r.head in
+    let lo = max 0 (h - capacity) in
+    List.filter_map
+      (fun i -> r.slots.(i mod capacity))
+      (List.init (h - lo) (fun k -> lo + k))
+  in
+  List.concat_map collect (all_rings ())
+  |> List.stable_sort (fun a b -> Float.compare a.ts b.ts)
+
+(* Tests only: callers must be quiescent (no concurrent writers). *)
+let clear () =
+  locked (fun () ->
+      List.iter
+        (fun r ->
+          Array.fill r.slots 0 capacity None;
+          Atomic.set r.head 0)
+        !rings)
+
+let entry_to_json e =
+  let base =
+    [
+      ("ts", Json.Number e.ts);
+      ("level", Json.String e.level);
+      ("event", Json.String e.event);
+    ]
+  in
+  let base =
+    match e.request_id with
+    | None -> base
+    | Some id -> base @ [ ("request_id", Json.String id) ]
+  in
+  Json.Obj (base @ (("domain", Json.int e.domain) :: e.fields))
+
+let to_json () =
+  let entries = dump () in
+  Json.Obj
+    [
+      ("capacity", Json.int capacity);
+      ("recorded", Json.int (recorded ()));
+      ("retained", Json.int (List.length entries));
+      ("events", Json.List (List.map entry_to_json entries));
+    ]
+
+let dump_to_file path = Json.to_file ~pretty:true path (to_json ())

@@ -1,0 +1,48 @@
+(** The flight recorder: a fixed-capacity, always-on ring of recent events,
+    dumpable as JSON at any moment — the post-mortem black box for a
+    process that cannot be restarted with more verbosity.
+
+    One ring per domain (obtained through domain-local storage), so
+    {!record} is lock-free: an array store plus one atomic head bump.
+    Rings are pooled across domain lifetimes — memory is bounded by
+    {!capacity} entries times the peak concurrent domain count.  {!dump}
+    merges all rings sorted by timestamp; it races benignly with writers
+    (an entry is read whole or not at all) and is a best-effort recent
+    view, not a linearizable cut.
+
+    {!Log.emit} records every event here regardless of the installed log
+    sink, so the recorder needs no configuration to be useful. *)
+
+type entry = {
+  ts : float;  (** {!Clock.wall_seconds} at emission *)
+  level : string;
+  event : string;
+  request_id : string option;  (** from the emitting {!Ctx}, when any *)
+  domain : int;
+  fields : (string * Json.t) list;
+}
+
+val capacity : int
+(** Entries retained per ring (512). *)
+
+val record : entry -> unit
+(** Append to the calling domain's ring, overwriting the oldest entry once
+    the ring is full.  Lock-free; safe from any domain. *)
+
+val recorded : unit -> int
+(** Total entries ever recorded (across all rings), including overwritten
+    ones. *)
+
+val dump : unit -> entry list
+(** Every retained entry from every ring, sorted by timestamp. *)
+
+val clear : unit -> unit
+(** Reset all rings.  Tests only — callers must be quiescent. *)
+
+val entry_to_json : entry -> Json.t
+
+val to_json : unit -> Json.t
+(** [{"capacity", "recorded", "retained", "events": [...]}]. *)
+
+val dump_to_file : string -> unit
+(** @raise Sys_error on I/O failure. *)

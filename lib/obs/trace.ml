@@ -73,10 +73,10 @@ let record l ~name ~cat ~ph ~args =
       end;
       l.events <- { name; cat; ph; ts; tid; args } :: l.events)
 
-let begin_span t ?(cat = "serprop") name =
+let begin_span t ?(cat = "serprop") ?(args = []) name =
   match t with
   | Null -> ()
-  | Live l -> record l ~name ~cat ~ph:'B' ~args:[]
+  | Live l -> record l ~name ~cat ~ph:'B' ~args
 
 let end_span t ?(cat = "serprop") name =
   match t with
@@ -88,12 +88,14 @@ let instant t ?(cat = "serprop") ?(args = []) name =
   | Null -> ()
   | Live l -> record l ~name ~cat ~ph:'i' ~args
 
-(* B/E stay balanced even when [f] raises. *)
-let span t ?cat name f =
+(* B/E stay balanced even when [f] raises.  [args] ride on the B event —
+   Perfetto attaches them to the whole slice, which is how request ids
+   from a correlation Ctx label every span of one request. *)
+let span t ?cat ?args name f =
   match t with
   | Null -> f ()
   | Live _ ->
-    begin_span t ?cat name;
+    begin_span t ?cat ?args name;
     Fun.protect ~finally:(fun () -> end_span t ?cat name) f
 
 let events = function

@@ -23,12 +23,13 @@ val null : t
 val create : unit -> t
 val is_null : t -> bool
 
-val begin_span : t -> ?cat:string -> string -> unit
+val begin_span : t -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
 val end_span : t -> ?cat:string -> string -> unit
 
-val span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+val span : t -> ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [span t name f] brackets [f] in a B/E pair; the E event is emitted even
-    when [f] raises. *)
+    when [f] raises.  [args] (e.g. {!Ctx.to_args}) ride on the B event, so
+    viewers attach them to the whole slice. *)
 
 val instant : t -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
 

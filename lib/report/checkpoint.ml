@@ -110,9 +110,10 @@ let write_entry buf (site, entry) =
     List.iter (write_fault buf) q.Epp.Diag.faults;
     Buffer.add_char buf '\n'
 
-let save path t =
+let save ?ctx path t =
   let m = Obs.Hooks.metrics () in
-  Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"checkpoint" "checkpoint.save"
+  Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"checkpoint"
+    ~args:(Obs.Ctx.args_of ctx) "checkpoint.save"
   @@ fun () ->
   let t0 =
     if Obs.Metrics.is_null m then 0.0 else Obs.Clock.wall_seconds ()
@@ -148,7 +149,14 @@ let save path t =
   if not (Obs.Metrics.is_null m) then
     Obs.Metrics.observe
       (Obs.Metrics.histogram m "checkpoint.save_seconds")
-      (Obs.Clock.wall_seconds () -. t0)
+      (Obs.Clock.wall_seconds () -. t0);
+  Obs.Log.emit ?ctx
+    ~fields:
+      [
+        ("path", Obs.Json.String path);
+        ("entries", Obs.Json.int (List.length t.entries));
+      ]
+    Obs.Log.Info "checkpoint.save"
 
 (* --- reading ------------------------------------------------------------- *)
 
@@ -274,7 +282,7 @@ let load path =
 
 let by_site (a, _) (b, _) = compare (a : int) b
 
-let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
+let supervised_sweep ?ctx ?domains ?tolerance ?chunk_size ?checkpoint
     ?(resume = false) ?on_progress ?batch ?kernel ?reference ?deadline engine =
   let circuit = Epp.Epp_engine.circuit engine in
   let n = Circuit.node_count circuit in
@@ -304,7 +312,7 @@ let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
       match checkpoint with
       | None -> ()
       | Some path ->
-        save path
+        save ?ctx path
           {
             fingerprint = fp;
             total_sites = n;
@@ -314,6 +322,17 @@ let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
     (* Progress reports overall coverage: replayed entries count as done
        even though the sweep only iterates the remainder. *)
     let resumed_count = List.length preloaded in
+    if resumed_count > 0 then
+      Obs.Log.emit ?ctx
+        ~fields:
+          [
+            ( "path",
+              match checkpoint with
+              | Some p -> Obs.Json.String p
+              | None -> Obs.Json.Null );
+            ("resumed", Obs.Json.int resumed_count);
+          ]
+        Obs.Log.Info "checkpoint.resume";
     let on_chunk ~done_count ~total:_ entries =
       completed := entries @ !completed;
       snapshot ();
@@ -322,8 +341,8 @@ let supervised_sweep ?domains ?tolerance ?chunk_size ?checkpoint
       | None -> ()
     in
     let inner =
-      Epp.Supervisor.sweep ?domains ?tolerance ?chunk_size ~on_chunk ?batch
-        ?kernel ?reference ?deadline engine remaining
+      Epp.Supervisor.sweep ?ctx ?domains ?tolerance ?chunk_size ~on_chunk
+        ?batch ?kernel ?reference ?deadline engine remaining
     in
     snapshot ();
     let entries = List.sort by_site !completed in

@@ -26,7 +26,7 @@ val fingerprint : Epp.Epp_engine.t -> string
     outputs, flip-flops, signal names), the engine's signal-probability
     vector (bit-exact), and the engine mode / cone-restriction flags. *)
 
-val save : string -> t -> unit
+val save : ?ctx:Obs.Ctx.t -> string -> t -> unit
 (** Atomic and durable: writes [path ^ ".tmp"], fsyncs it, renames over
     [path], then fsyncs the parent directory so the rename survives power
     loss (directory fsync failure is tolerated — some filesystems refuse
@@ -37,6 +37,7 @@ val load : string -> (t, error) result
 (** Parses a snapshot; never raises on malformed input ([Corrupt]). *)
 
 val supervised_sweep :
+  ?ctx:Obs.Ctx.t ->
   ?domains:int ->
   ?tolerance:float ->
   ?chunk_size:int ->

@@ -45,7 +45,7 @@ let gauge_resident t =
     (Obs.Metrics.gauge (Obs.Hooks.metrics ()) "analysis.cache.engine.resident")
     (float_of_int (Hashtbl.length t.engines))
 
-let evict t =
+let evict ?ctx t =
   while Hashtbl.length t.engines > t.capacity do
     let victim = ref None in
     Hashtbl.iter
@@ -64,10 +64,17 @@ let evict t =
           (fun k fp' acc -> if fp' = fp then k :: acc else acc)
           t.aliases []
       in
-      List.iter (Hashtbl.remove t.aliases) stale
+      List.iter (Hashtbl.remove t.aliases) stale;
+      Obs.Log.emit ?ctx
+        ~fields:
+          [
+            ("fingerprint", Obs.Json.String fp);
+            ("resident", Obs.Json.int (Hashtbl.length t.engines));
+          ]
+        Obs.Log.Info "engine_cache.evict"
   done
 
-let find_or_build t ~format ~source ~build =
+let find_or_build ?ctx t ~format ~source ~build =
   let m = Obs.Hooks.metrics () in
   let key = payload_digest ~format ~source in
   t.tick <- t.tick + 1;
@@ -78,6 +85,10 @@ let find_or_build t ~format ~source ~build =
          (if hit then "analysis.cache.engine.hit"
           else "analysis.cache.engine.miss"));
     gauge_resident t;
+    Obs.Log.emit ?ctx
+      ~fields:[ ("fingerprint", Obs.Json.String fp) ]
+      Obs.Log.Debug
+      (if hit then "engine_cache.hit" else "engine_cache.miss");
     { engine = e.engine; fingerprint = fp; hit }
   in
   match Hashtbl.find_opt t.aliases key with
@@ -96,5 +107,5 @@ let find_or_build t ~format ~source ~build =
     | None ->
       let e = { engine; last_used = t.tick } in
       Hashtbl.replace t.engines fp e;
-      evict t;
+      evict ?ctx t;
       served_from e fp ~hit:false)

@@ -31,12 +31,15 @@ type outcome = {
 }
 
 val find_or_build :
+  ?ctx:Obs.Ctx.t ->
   t ->
   format:string ->
   source:string ->
   build:(unit -> Epp.Epp_engine.t) ->
   outcome
 (** [build] runs only on a miss (parse + engine construction); whatever it
-    raises propagates unchanged and caches nothing. *)
+    raises propagates unchanged and caches nothing.  Hits, misses, and
+    evictions log through {!Obs.Log} ([engine_cache.hit] / [.miss] Debug,
+    [.evict] Info) carrying [ctx]'s request id. *)
 
 val resident : t -> int

@@ -15,6 +15,8 @@ type circuit_spec = { format : format; source : string }
 type request =
   | Ping
   | Metrics
+  | Stats
+  | Dump
   | Sleep of float
   | Shutdown
   | Analyze of {
@@ -22,6 +24,7 @@ type request =
       sites : int list option;
       budget_ms : float option;
       top_k : int option;
+      inject : int list option;
     }
 
 type error_code =
@@ -90,8 +93,8 @@ let parse_circuit v =
       | Some source -> Ok { format; source }
       | None -> bad "circuit.source must be a string"))
 
-let parse_sites v =
-  match Json.member "sites" v with
+let parse_int_list key v =
+  match Json.member key v with
   | None -> Ok None
   | Some (Json.List l) -> (
     let site j =
@@ -102,8 +105,10 @@ let parse_sites v =
     match List.map site l with
     | sites when List.for_all Option.is_some sites ->
       Ok (Some (List.map Option.get sites))
-    | _ -> bad "\"sites\" must be a list of integers")
-  | Some _ -> bad "\"sites\" must be a list of integers"
+    | _ -> bad "%S must be a list of integers" key)
+  | Some _ -> bad "%S must be a list of integers" key
+
+let parse_sites v = parse_int_list "sites" v
 
 let parse_analyze v =
   match parse_circuit v with
@@ -119,7 +124,11 @@ let parse_analyze v =
         match opt_int "top_k" v with
         | Error _ as e -> e
         | Ok (Some k) when k < 0 -> bad "\"top_k\" must be >= 0"
-        | Ok top_k -> Ok (Analyze { circuit; sites; budget_ms; top_k }))))
+        | Ok top_k -> (
+          match parse_int_list "inject_faults" v with
+          | Error _ as e -> e
+          | Ok inject ->
+            Ok (Analyze { circuit; sites; budget_ms; top_k; inject })))))
 
 let of_json v =
   match v with
@@ -127,6 +136,8 @@ let of_json v =
     match Json.member "op" v with
     | Some (Json.String "ping") -> Ok Ping
     | Some (Json.String "metrics") -> Ok Metrics
+    | Some (Json.String "stats") -> Ok Stats
+    | Some (Json.String "dump") -> Ok Dump
     | Some (Json.String "shutdown") -> Ok Shutdown
     | Some (Json.String "sleep") -> (
       match opt_number "seconds" v with
@@ -141,19 +152,28 @@ let of_json v =
 
 (* --- responses ----------------------------------------------------------- *)
 
-let response ?id ~status fields =
+let response ?id ?request_id ~status fields =
   let id_field =
     match id with
     | Some v -> [ ("id", v) ]
     | None -> []
   in
-  Json.Obj (id_field @ (("status", Json.String status) :: fields))
+  let rid_field =
+    match request_id with
+    | Some rid -> [ ("request_id", Json.String rid) ]
+    | None -> []
+  in
+  Json.Obj
+    (id_field @ (("status", Json.String status) :: rid_field) @ fields)
 
-let ok_response ?id fields = response ?id ~status:"ok" fields
-let partial_response ?id fields = response ?id ~status:"partial" fields
+let ok_response ?id ?request_id fields =
+  response ?id ?request_id ~status:"ok" fields
 
-let error_response ?id code message =
-  response ?id ~status:"error"
+let partial_response ?id ?request_id fields =
+  response ?id ?request_id ~status:"partial" fields
+
+let error_response ?id ?request_id code message =
+  response ?id ?request_id ~status:"error"
     [
       ( "error",
         Json.Obj

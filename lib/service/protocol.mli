@@ -22,6 +22,10 @@ type circuit_spec = { format : format; source : string }
 type request =
   | Ping
   | Metrics  (** dump the live {!Obs} metrics registry *)
+  | Stats
+      (** live introspection: uptime, queue depth, request/shed counters,
+          engine-cache residency, flight-recorder occupancy *)
+  | Dump  (** the flight-recorder ring contents, as JSON *)
   | Sleep of float  (** hold the serve loop for N seconds (testing aid) *)
   | Shutdown
   | Analyze of {
@@ -29,6 +33,10 @@ type request =
       sites : int list option;  (** [None] = every node *)
       budget_ms : float option;  (** per-request deadline override *)
       top_k : int option;  (** report the K most sensitized sites *)
+      inject : int list option;
+          (** ["inject_faults"]: sites whose kernel/reference rungs are
+              forced to fail — rejected unless the server was started with
+              fault injection enabled (operational drills / smoke tests) *)
     }
 
 (** Typed rejection codes, the ["error.code"] values on the wire. *)
@@ -50,13 +58,25 @@ val request_id : Obs.Json.t -> Obs.Json.t option
 val of_json : Obs.Json.t -> (request, error_code * string) result
 (** Never raises. *)
 
-val ok_response : ?id:Obs.Json.t -> (string * Obs.Json.t) list -> Obs.Json.t
-(** [{"id": ..?, "status": "ok", ...fields}] *)
+val ok_response :
+  ?id:Obs.Json.t ->
+  ?request_id:string ->
+  (string * Obs.Json.t) list ->
+  Obs.Json.t
+(** [{"id": ..?, "status": "ok", "request_id": ..?, ...fields}] —
+    [request_id] is the server-minted {!Obs.Ctx} correlation id, the handle
+    that joins this response to its log events, recorder entries, and trace
+    spans. *)
 
 val partial_response :
-  ?id:Obs.Json.t -> (string * Obs.Json.t) list -> Obs.Json.t
+  ?id:Obs.Json.t ->
+  ?request_id:string ->
+  (string * Obs.Json.t) list ->
+  Obs.Json.t
 (** Like {!ok_response} with ["status": "partial"] — a deadline-cut
     analyze. *)
 
-val error_response : ?id:Obs.Json.t -> error_code -> string -> Obs.Json.t
-(** [{"id": ..?, "status": "error", "error": {"code", "message"}}] *)
+val error_response :
+  ?id:Obs.Json.t -> ?request_id:string -> error_code -> string -> Obs.Json.t
+(** [{"id": ..?, "status": "error", "request_id": ..?,
+    "error": {"code", "message"}}] *)

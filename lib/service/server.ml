@@ -26,6 +26,8 @@ type config = {
   default_budget_ms : float option;
   checkpoint_dir : string option;
   domains : int option;
+  dump_dir : string option;
+  allow_fault_injection : bool;
 }
 
 let default_config =
@@ -38,16 +40,28 @@ let default_config =
     default_budget_ms = None;
     checkpoint_dir = None;
     domains = None;
+    dump_dir = None;
+    allow_fault_injection = false;
   }
 
-type t = { config : config; cache : Engine_cache.t }
+type t = {
+  config : config;
+  cache : Engine_cache.t;
+  started_mono : float;
+  mutable queue_depth : int;
+}
 
 let create config =
   if
     config.max_request_bytes < 1 || config.max_source_bytes < 1
     || config.max_json_depth < 1 || config.queue_high_water < 1
   then invalid_arg "Server.create: limits must be positive";
-  { config; cache = Engine_cache.create ~capacity:config.cache_capacity }
+  {
+    config;
+    cache = Engine_cache.create ~capacity:config.cache_capacity;
+    started_mono = Obs.Clock.monotonic_seconds ();
+    queue_depth = 0;
+  }
 
 let counter name = Obs.Metrics.counter (Obs.Hooks.metrics ()) name
 
@@ -88,8 +102,35 @@ let parse_circuit t (spec : Protocol.circuit_spec) =
     | Netlist.Builder.Error e ->
       invalid "invalid netlist: %s" (Netlist.Builder.error_to_string e))
 
-let engine_for t (spec : Protocol.circuit_spec) =
-  Engine_cache.find_or_build t.cache
+(* Automatic flight-recorder dump: when a request ends in one of the states
+   an operator will want a post-mortem for (quarantine, deadline expiry,
+   internal error), the ring contents are written to [dump_dir] keyed by the
+   request's correlation id.  Dump failures are reported, never raised —
+   the reply already in flight matters more than the artifact. *)
+let maybe_dump t ~ctx reason =
+  match t.config.dump_dir with
+  | None -> ()
+  | Some dir -> (
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "%s-%s.json" reason (Obs.Ctx.id ctx))
+    in
+    match Obs.Recorder.dump_to_file path with
+    | () ->
+      Obs.Metrics.incr (counter "serd.recorder_dumps");
+      Obs.Log.emit ~ctx
+        ~fields:
+          [
+            ("path", Json.String path); ("reason", Json.String reason);
+          ]
+        Obs.Log.Info "serd.recorder_dump"
+    | exception Sys_error msg ->
+      Obs.Log.emit ~ctx
+        ~fields:[ ("path", Json.String path); ("error", Json.String msg) ]
+        Obs.Log.Warn "serd.recorder_dump_failed")
+
+let engine_for t ~ctx (spec : Protocol.circuit_spec) =
+  Engine_cache.find_or_build ~ctx t.cache
     ~format:(Protocol.format_string spec.format)
     ~source:spec.source
     ~build:(fun () ->
@@ -133,7 +174,7 @@ let top_sites circuit k results =
              ("p_sensitized", Json.Number r.p_sensitized);
            ])
 
-let outcome_response ?id ~fingerprint ~(hit : bool) ~top_k circuit
+let outcome_response t ?id ~ctx ~fingerprint ~(hit : bool) ~top_k circuit
     (outcome : Epp.Supervisor.outcome) =
   let results = Epp.Supervisor.results outcome in
   let count = List.length results in
@@ -165,11 +206,15 @@ let outcome_response ?id ~fingerprint ~(hit : bool) ~top_k circuit
     | None -> base
     | Some k -> base @ [ ("top", Json.List (top_sites circuit k results)) ]
   in
+  if outcome.stats.Epp.Diag.quarantined > 0 then
+    maybe_dump t ~ctx "quarantine";
+  let request_id = Obs.Ctx.id ctx in
   match outcome.completion with
-  | Epp.Diag.Complete -> Protocol.ok_response ?id base
+  | Epp.Diag.Complete -> Protocol.ok_response ?id ~request_id base
   | Epp.Diag.Deadline_expired { analyzed; remaining; budget_seconds } ->
     Obs.Metrics.incr (counter "serd.deadline_partial");
-    Protocol.partial_response ?id
+    maybe_dump t ~ctx "deadline";
+    Protocol.partial_response ?id ~request_id
       (base
       @ [
           ( "deadline",
@@ -181,10 +226,36 @@ let outcome_response ?id ~fingerprint ~(hit : bool) ~top_k circuit
               ] );
         ])
 
-let handle_analyze t ?id ~circuit ~sites ~budget_ms ~top_k () =
-  let { Engine_cache.engine; fingerprint; hit } = engine_for t circuit in
+(* Request-scoped fault injection (operational drills / smoke tests): the
+   listed sites fail on every ladder rung, so each one exercises the full
+   degrade -> quarantine path under a real request.  Gated behind config —
+   a production daemon rejects the field as a bad request. *)
+let injection_overrides t ~inject =
+  match inject with
+  | None -> (None, None, None)
+  | Some fail_sites ->
+    if not t.config.allow_fault_injection then
+      reject Protocol.Bad_request
+        "\"inject_faults\" requires the server to enable fault injection";
+    let should_fail site = List.mem site fail_sites in
+    let boom site = failwith (Printf.sprintf "injected fault at site %d" site) in
+    let kernel ws site =
+      if should_fail site then boom site
+      else Epp.Epp_engine.Workspace.analyze_site ws site
+    in
+    let reference engine site =
+      if should_fail site then boom site
+      else Epp.Epp_engine.analyze_site engine site
+    in
+    (* The batch rung has no per-site seam, so injection forces the
+       per-site ladder. *)
+    (Some kernel, Some reference, Some Epp.Supervisor.Never)
+
+let handle_analyze t ?id ~ctx ~circuit ~sites ~budget_ms ~top_k ~inject () =
+  let { Engine_cache.engine; fingerprint; hit } = engine_for t ~ctx circuit in
   let c = Epp.Epp_engine.circuit engine in
   let n = Circuit.node_count c in
+  let kernel, reference, batch = injection_overrides t ~inject in
   let budget =
     match budget_ms with
     | Some _ -> budget_ms
@@ -203,22 +274,29 @@ let handle_analyze t ?id ~circuit ~sites ~budget_ms ~top_k () =
       reject Protocol.Bad_request "site %d out of range (circuit has %d nodes)"
         s n
     | None -> ());
-    let outcome = Epp.Supervisor.sweep ?domains ~deadline engine sites in
-    outcome_response ?id ~fingerprint ~hit ~top_k c outcome
+    let outcome =
+      Epp.Supervisor.sweep ~ctx ?domains ?batch ?kernel ?reference ~deadline
+        engine sites
+    in
+    outcome_response t ?id ~ctx ~fingerprint ~hit ~top_k c outcome
   | None -> (
     (* Whole-circuit sweeps checkpoint per fingerprint, so a killed daemon
        resumes a repeat query instead of recomputing. *)
     match t.config.checkpoint_dir with
     | None ->
-      let outcome = Epp.Supervisor.sweep_all ?domains ~deadline engine in
-      outcome_response ?id ~fingerprint ~hit ~top_k c outcome
+      let outcome =
+        Epp.Supervisor.sweep_all ~ctx ?domains ?batch ?kernel ?reference
+          ~deadline engine
+      in
+      outcome_response t ?id ~ctx ~fingerprint ~hit ~top_k c outcome
     | Some dir -> (
       let ck = Filename.concat dir (fingerprint ^ ".ck") in
       match
-        Report.Checkpoint.supervised_sweep ?domains ~checkpoint:ck
-          ~resume:true ~deadline engine
+        Report.Checkpoint.supervised_sweep ~ctx ?domains ~checkpoint:ck
+          ~resume:true ?batch ?kernel ?reference ~deadline engine
       with
-      | Ok outcome -> outcome_response ?id ~fingerprint ~hit ~top_k c outcome
+      | Ok outcome ->
+        outcome_response t ?id ~ctx ~fingerprint ~hit ~top_k c outcome
       | Error _ ->
         (* A corrupt or mismatched checkpoint is data, not a crash: drop
            it and start fresh rather than refusing to serve. *)
@@ -226,64 +304,144 @@ let handle_analyze t ?id ~circuit ~sites ~budget_ms ~top_k () =
         (try Sys.remove ck with Sys_error _ -> ());
         let outcome =
           match
-            Report.Checkpoint.supervised_sweep ?domains ~checkpoint:ck
-              ~resume:false ~deadline engine
+            Report.Checkpoint.supervised_sweep ~ctx ?domains ~checkpoint:ck
+              ~resume:false ?batch ?kernel ?reference ~deadline engine
           with
           | Ok o -> o
           | Error e ->
             reject Protocol.Internal_error "checkpoint: %s"
               (Report.Checkpoint.error_message e)
         in
-        outcome_response ?id ~fingerprint ~hit ~top_k c outcome))
+        outcome_response t ?id ~ctx ~fingerprint ~hit ~top_k c outcome))
 
 (* --- dispatch -------------------------------------------------------------- *)
 
-let handle_request t ?id (req : Protocol.request) =
+(* Live introspection: the figures an operator checks before anything else
+   — how long up, how loaded, how the cache and the ladder are doing.
+   Counters come off the live metrics snapshot, structure off the server
+   itself, so the answer works the same over stdio and a socket. *)
+let stats_response t ?id ~ctx () =
+  let snap = Obs.Metrics.snapshot (Obs.Hooks.metrics ()) in
+  let c name = Json.int (Obs.Metrics.counter_value snap name) in
+  Protocol.ok_response ?id ~request_id:(Obs.Ctx.id ctx)
+    [
+      ( "uptime_seconds",
+        Json.Number (Obs.Clock.monotonic_seconds () -. t.started_mono) );
+      ("queue_depth", Json.int t.queue_depth);
+      ("requests", c "serd.requests");
+      ("errors", c "serd.errors");
+      ("internal_errors", c "serd.internal_errors");
+      ("shed", c "serd.shed");
+      ("deadline_partial", c "serd.deadline_partial");
+      ( "engine_cache",
+        Json.Obj
+          [
+            ("resident", Json.int (Engine_cache.resident t.cache));
+            ("hit", c "analysis.cache.engine.hit");
+            ("miss", c "analysis.cache.engine.miss");
+          ] );
+      ( "recorder",
+        Json.Obj
+          [
+            ("capacity", Json.int Obs.Recorder.capacity);
+            ("recorded", Json.int (Obs.Recorder.recorded ()));
+          ] );
+    ]
+
+let handle_request t ?id ~ctx (req : Protocol.request) =
   Obs.Metrics.incr (counter "serd.requests");
+  let request_id = Obs.Ctx.id ctx in
   match req with
-  | Protocol.Ping -> `Reply (Protocol.ok_response ?id [ ("pong", Json.Bool true) ])
+  | Protocol.Ping ->
+    `Reply (Protocol.ok_response ?id ~request_id [ ("pong", Json.Bool true) ])
   | Protocol.Metrics ->
     let snap = Obs.Metrics.snapshot (Obs.Hooks.metrics ()) in
-    `Reply (Protocol.ok_response ?id [ ("metrics", Obs.Metrics.to_json snap) ])
+    `Reply
+      (Protocol.ok_response ?id ~request_id
+         [ ("metrics", Obs.Metrics.to_json snap) ])
+  | Protocol.Stats -> `Reply (stats_response t ?id ~ctx ())
+  | Protocol.Dump ->
+    `Reply
+      (Protocol.ok_response ?id ~request_id
+         [ ("recorder", Obs.Recorder.to_json ()) ])
   | Protocol.Sleep s ->
     Unix.sleepf s;
-    `Reply (Protocol.ok_response ?id [ ("slept", Json.Number s) ])
+    `Reply (Protocol.ok_response ?id ~request_id [ ("slept", Json.Number s) ])
   | Protocol.Shutdown ->
-    `Shutdown (Protocol.ok_response ?id [ ("shutdown", Json.Bool true) ])
-  | Protocol.Analyze { circuit; sites; budget_ms; top_k } ->
-    `Reply (handle_analyze t ?id ~circuit ~sites ~budget_ms ~top_k ())
+    `Shutdown
+      (Protocol.ok_response ?id ~request_id [ ("shutdown", Json.Bool true) ])
+  | Protocol.Analyze { circuit; sites; budget_ms; top_k; inject } ->
+    `Reply
+      (handle_analyze t ?id ~ctx ~circuit ~sites ~budget_ms ~top_k ~inject ())
 
 let handle_line t line =
+  (* One frame = one correlation context.  Every reply, span, log event,
+     and recorder entry this request produces carries this id — it is the
+     join key between the wire, the trace, and the flight recorder. *)
+  let ctx = Obs.Ctx.create () in
+  let request_id = Obs.Ctx.id ctx in
+  Obs.Trace.span (Obs.Hooks.tracer ()) ~cat:"serd"
+    ~args:(Obs.Ctx.to_args ctx) "serd.request"
+  @@ fun () ->
+  let t0 = Obs.Clock.monotonic_seconds () in
+  let op = ref "<unparsed>" in
   let limits =
     {
       Json.max_bytes = t.config.max_request_bytes;
       max_depth = t.config.max_json_depth;
     }
   in
-  match Json.parse_with_limits limits line with
-  | Error (Json.Limit { message }) ->
-    Obs.Metrics.incr (counter "serd.errors");
-    `Reply (Protocol.error_response Protocol.Request_too_large message)
-  | Error (Json.Syntax _ as e) ->
-    Obs.Metrics.incr (counter "serd.errors");
-    `Reply (Protocol.error_response Protocol.Parse_error (Json.error_message e))
-  | Ok v -> (
-    let id = Protocol.request_id v in
-    match Protocol.of_json v with
-    | Error (code, message) ->
+  let result =
+    match Json.parse_with_limits limits line with
+    | Error (Json.Limit { message }) ->
       Obs.Metrics.incr (counter "serd.errors");
-      `Reply (Protocol.error_response ?id code message)
-    | Ok req -> (
-      (* The request boundary: nothing below may take the daemon down. *)
-      try handle_request t ?id req with
-      | Reject (code, message) ->
+      `Reply
+        (Protocol.error_response ~request_id Protocol.Request_too_large
+           message)
+    | Error (Json.Syntax _ as e) ->
+      Obs.Metrics.incr (counter "serd.errors");
+      `Reply
+        (Protocol.error_response ~request_id Protocol.Parse_error
+           (Json.error_message e))
+    | Ok v -> (
+      (match Json.member "op" v with
+      | Some (Json.String o) -> op := o
+      | _ -> ());
+      let id = Protocol.request_id v in
+      match Protocol.of_json v with
+      | Error (code, message) ->
         Obs.Metrics.incr (counter "serd.errors");
-        `Reply (Protocol.error_response ?id code message)
-      | exn ->
-        Obs.Metrics.incr (counter "serd.internal_errors");
-        `Reply
-          (Protocol.error_response ?id Protocol.Internal_error
-             (Printexc.to_string exn))))
+        `Reply (Protocol.error_response ?id ~request_id code message)
+      | Ok req -> (
+        (* The request boundary: nothing below may take the daemon down. *)
+        try handle_request t ?id ~ctx req with
+        | Reject (code, message) ->
+          Obs.Metrics.incr (counter "serd.errors");
+          `Reply (Protocol.error_response ?id ~request_id code message)
+        | exn ->
+          Obs.Metrics.incr (counter "serd.internal_errors");
+          maybe_dump t ~ctx "internal-error";
+          `Reply
+            (Protocol.error_response ?id ~request_id Protocol.Internal_error
+               (Printexc.to_string exn))))
+  in
+  let status =
+    match result with
+    | `Reply j | `Shutdown j -> (
+      match Json.member "status" j with
+      | Some (Json.String s) -> s
+      | _ -> "?")
+  in
+  Obs.Log.emit ~ctx
+    ~fields:
+      [
+        ("op", Json.String !op);
+        ("status", Json.String status);
+        ( "ms",
+          Json.Number ((Obs.Clock.monotonic_seconds () -. t0) *. 1000.0) );
+      ]
+    Obs.Log.Info "serd.request";
+  result
 
 (* --- framed reader --------------------------------------------------------- *)
 
@@ -394,8 +552,16 @@ let serve t ~in_fd ~out_fd =
   let accept ev =
     if Queue.length queue >= t.config.queue_high_water then begin
       Obs.Metrics.incr (counter "serd.shed");
+      (* A shed frame never reaches [handle_line], so it gets its own
+         context here — the overloaded reply still carries a request id a
+         client can quote back at the operator. *)
+      let ctx = Obs.Ctx.create () in
+      Obs.Log.emit ~ctx
+        ~fields:[ ("pending", Json.int (Queue.length queue)) ]
+        Obs.Log.Warn "serd.shed";
       reply
-        (Protocol.error_response Protocol.Overloaded
+        (Protocol.error_response ~request_id:(Obs.Ctx.id ctx)
+           Protocol.Overloaded
            (Printf.sprintf "request queue full (%d pending), request shed"
               (Queue.length queue)))
     end
@@ -413,6 +579,7 @@ let serve t ~in_fd ~out_fd =
       (* Everything that piled up while the last request was served either
          fits the bounded queue or is shed right now. *)
       List.iter accept (Reader.drain r);
+      t.queue_depth <- Queue.length queue;
       Obs.Metrics.set_gauge
         (Obs.Metrics.gauge (Obs.Hooks.metrics ()) "serd.queue_depth")
         (float_of_int (Queue.length queue));

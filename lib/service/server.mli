@@ -30,11 +30,19 @@ type config = {
   checkpoint_dir : string option;
       (** per-fingerprint checkpoint files for whole-circuit sweeps *)
   domains : int option;  (** worker domains for the supervised sweep *)
+  dump_dir : string option;
+      (** when set, the flight-recorder ring is dumped here (one JSON file
+          per incident, named [<reason>-<request-id>.json]) whenever a
+          request ends in quarantine, deadline expiry, or internal error *)
+  allow_fault_injection : bool;
+      (** accept the [inject_faults] analyze field (operational drills);
+          off by default — production daemons reject it as [bad_request] *)
 }
 
 val default_config : config
 (** 8 MiB lines, 4 MiB sources, depth 64, high water 64, 8 resident
-    engines, no default budget, no checkpointing, default domains. *)
+    engines, no default budget, no checkpointing, default domains, no dump
+    directory, fault injection off. *)
 
 type t
 
@@ -45,7 +53,13 @@ val handle_line :
   t -> string -> [ `Reply of Obs.Json.t | `Shutdown of Obs.Json.t ]
 (** Decode and serve one request line; never raises.  [`Shutdown] carries
     the acknowledgement to emit before stopping.  Exposed for in-process
-    tests; {!serve} is the I/O loop on top. *)
+    tests; {!serve} is the I/O loop on top.
+
+    Each line is one correlation scope: a fresh {!Obs.Ctx} is minted, the
+    whole request runs under a [serd.request] trace span carrying its id,
+    the same id is threaded into the sweep / cache / checkpoint layers and
+    echoed on the reply as ["request_id"], and a [serd.request] Info log
+    event (op, status, wall ms) closes the scope. *)
 
 val serve : t -> in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> [ `Eof | `Shutdown ]
 (** Serve frames from [in_fd], answering on [out_fd], until EOF or a

@@ -1,6 +1,9 @@
 (* Tests for the Obs telemetry layer: metrics registry semantics (merge
    algebra, domain-safety), trace-event JSON shape, the hand-rolled JSON
-   round trip, and the Timer wall/CPU clock split. *)
+   round trip, the Timer wall/CPU clock split, and the request-scoped
+   observability surface: correlation contexts, the leveled log sink, the
+   flight-recorder ring, the Prometheus exposition, the progress meter,
+   and exception-safe artifact finalization. *)
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -339,6 +342,373 @@ let test_timer_wall_clock () =
   let (), cpu = Report.Timer.time_cpu (fun () -> Unix.sleepf 0.05) in
   check "cpu clock does not see the sleep" (cpu < 0.04) true
 
+(* --- ctx ------------------------------------------------------------------ *)
+
+let test_ctx_ids_and_baggage () =
+  let a = Obs.Ctx.create () and b = Obs.Ctx.create () in
+  check "minted ids are distinct" (Obs.Ctx.id a <> Obs.Ctx.id b) true;
+  let c = Obs.Ctx.create ~id:"explicit" ~baggage:[ ("tool", "test") ] () in
+  Alcotest.(check string) "explicit id wins" "explicit" (Obs.Ctx.id c);
+  check "baggage lookup" (Obs.Ctx.find c "tool" = Some "test") true;
+  check "absent baggage" (Obs.Ctx.find c "nope" = None) true;
+  let c' = Obs.Ctx.with_baggage c [ ("k", "v") ] in
+  check "with_baggage appends without losing the rest"
+    (Obs.Ctx.find c' "k" = Some "v" && Obs.Ctx.find c' "tool" = Some "test")
+    true
+
+let test_ctx_args () =
+  let c = Obs.Ctx.create ~id:"rid" ~baggage:[ ("tool", "test") ] () in
+  (match Obs.Ctx.to_args c with
+  | ("request_id", Obs.Json.String "rid") :: rest ->
+    check "baggage keys are ctx.-prefixed"
+      (List.assoc_opt "ctx.tool" rest = Some (Obs.Json.String "test"))
+      true
+  | _ -> Alcotest.fail "to_args must lead with request_id");
+  check "args_of None is empty" (Obs.Ctx.args_of None = []) true;
+  check "args_of Some matches to_args"
+    (Obs.Ctx.args_of (Some c) = Obs.Ctx.to_args c)
+    true
+
+(* --- log ------------------------------------------------------------------ *)
+
+let test_log_null_default () =
+  Obs.Hooks.reset ();
+  check "sink is null by default" (Obs.Log.is_null (Obs.Log.sink ())) true;
+  Obs.Recorder.clear ();
+  Obs.Log.emit Obs.Log.Info "test.unsunk";
+  check "the recorder is fed even with a null sink"
+    (List.exists
+       (fun e -> e.Obs.Recorder.event = "test.unsunk")
+       (Obs.Recorder.dump ()))
+    true
+
+let test_log_min_level_filter () =
+  let seen = ref [] in
+  Obs.Hooks.set_logger
+    (Obs.Log.create ~min_level:Obs.Log.Warn (fun e ->
+         seen := e.Obs.Log.event :: !seen));
+  Obs.Log.emit Obs.Log.Debug "a";
+  Obs.Log.emit Obs.Log.Info "b";
+  Obs.Log.emit Obs.Log.Warn "c";
+  Obs.Log.emit Obs.Log.Error "d";
+  Obs.Hooks.reset ();
+  check "only warn and above reach the sink" (List.rev !seen = [ "c"; "d" ]) true;
+  check "hooks reset restores the null sink"
+    (Obs.Log.is_null (Obs.Log.sink ()))
+    true
+
+let test_log_event_json () =
+  let ctx = Obs.Ctx.create ~id:"rid-1" ~baggage:[ ("tool", "t") ] () in
+  let captured = ref None in
+  Obs.Hooks.set_logger
+    (Obs.Log.create ~min_level:Obs.Log.Debug (fun e -> captured := Some e));
+  Obs.Log.emit ~ctx ~fields:[ ("k", Obs.Json.int 7) ] Obs.Log.Info "x.y";
+  Obs.Hooks.reset ();
+  match !captured with
+  | None -> Alcotest.fail "event never reached the sink"
+  | Some e ->
+    check "ctx id travels on the event" (e.Obs.Log.request_id = Some "rid-1") true;
+    let reparsed =
+      match Obs.Json.parse (Obs.Json.to_string (Obs.Log.event_to_json e)) with
+      | Ok v -> v
+      | Error m -> Alcotest.fail ("event JSON does not reparse: " ^ m)
+    in
+    let str k = Option.bind (Obs.Json.member k reparsed) Obs.Json.to_string_value in
+    check "level serialized" (str "level" = Some "info") true;
+    check "event name serialized" (str "event" = Some "x.y") true;
+    check "request_id serialized" (str "request_id" = Some "rid-1") true;
+    check "baggage flattened into fields" (str "ctx.tool" = Some "t") true;
+    check "ts and domain present"
+      (Obs.Json.member "ts" reparsed <> None
+      && Obs.Json.member "domain" reparsed <> None)
+      true;
+    check "custom field kept"
+      (Option.bind (Obs.Json.member "k" reparsed) Obs.Json.to_number = Some 7.0)
+      true
+
+let test_log_level_strings () =
+  List.iter
+    (fun l ->
+      check
+        (Printf.sprintf "round-trips %s" (Obs.Log.level_to_string l))
+        (Obs.Log.level_of_string (Obs.Log.level_to_string l) = Some l)
+        true)
+    [ Obs.Log.Debug; Obs.Log.Info; Obs.Log.Warn; Obs.Log.Error ];
+  check "unknown level rejected" (Obs.Log.level_of_string "chatty" = None) true
+
+(* --- recorder ------------------------------------------------------------- *)
+
+let test_recorder_wrap () =
+  Obs.Hooks.reset ();
+  Obs.Recorder.clear ();
+  let n = Obs.Recorder.capacity + 100 in
+  for i = 1 to n do
+    Obs.Log.emit ~fields:[ ("i", Obs.Json.int i) ] Obs.Log.Info "wrap"
+  done;
+  let d = Obs.Recorder.dump () in
+  check
+    (Printf.sprintf "retained bounded by capacity (%d <= %d)" (List.length d)
+       Obs.Recorder.capacity)
+    (List.length d <= Obs.Recorder.capacity && d <> [])
+    true;
+  let has i =
+    List.exists
+      (fun e ->
+        List.assoc_opt "i" e.Obs.Recorder.fields
+        = Some (Obs.Json.Number (float_of_int i)))
+      d
+  in
+  check "the newest entry survived the wrap" (has n) true;
+  check "the oldest entry was overwritten" (not (has 1)) true;
+  Obs.Recorder.clear ();
+  check "clear empties the ring" (Obs.Recorder.dump () = []) true
+
+let test_recorder_multidomain () =
+  Obs.Hooks.reset ();
+  Obs.Recorder.clear ();
+  let worker tag () =
+    for _ = 1 to 10 do
+      Obs.Log.emit Obs.Log.Info tag
+    done
+  in
+  let d1 = Domain.spawn (worker "dom.a") and d2 = Domain.spawn (worker "dom.b") in
+  Domain.join d1;
+  Domain.join d2;
+  Obs.Log.emit Obs.Log.Info "dom.main";
+  let d = Obs.Recorder.dump () in
+  let count tag =
+    List.length (List.filter (fun e -> e.Obs.Recorder.event = tag) d)
+  in
+  check "dump merges every domain's ring"
+    (count "dom.a" = 10 && count "dom.b" = 10 && count "dom.main" = 1)
+    true;
+  let ts = List.map (fun e -> e.Obs.Recorder.ts) d in
+  check "dump is sorted by timestamp"
+    (List.for_all2 ( <= ) ts (List.tl ts @ [ infinity ]))
+    true
+
+let test_recorder_dump_file () =
+  Obs.Hooks.reset ();
+  Obs.Recorder.clear ();
+  let ctx = Obs.Ctx.create ~id:"rid-dump" () in
+  Obs.Log.emit ~ctx Obs.Log.Warn "incident";
+  let path = Filename.temp_file "serprop_recorder" ".json" in
+  Obs.Recorder.dump_to_file path;
+  let v =
+    match Obs.Json.parse_file path with
+    | Ok v -> v
+    | Error m -> Alcotest.fail ("dump does not reparse: " ^ m)
+  in
+  Sys.remove path;
+  check "dump declares the capacity"
+    (Option.bind (Obs.Json.member "capacity" v) Obs.Json.to_number
+    = Some (float_of_int Obs.Recorder.capacity))
+    true;
+  let events =
+    Option.value ~default:[]
+      (Option.bind (Obs.Json.member "events" v) Obs.Json.to_list)
+  in
+  check "the incident is in the dump, correlated"
+    (List.exists
+       (fun e ->
+         Option.bind (Obs.Json.member "event" e) Obs.Json.to_string_value
+         = Some "incident"
+         && Option.bind (Obs.Json.member "request_id" e)
+              Obs.Json.to_string_value
+            = Some "rid-dump")
+       events)
+    true
+
+(* --- prom ----------------------------------------------------------------- *)
+
+let prom_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  at 0
+
+let test_prom_exposition () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter m "a.count") 3;
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge m "q.depth") 2.0;
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 10.0 |] m "lat.ms" in
+  Obs.Metrics.observe h 0.5;
+  Obs.Metrics.observe h 5.0;
+  Obs.Metrics.observe h 50.0;
+  let s = Obs.Metrics.snapshot m in
+  let e = Obs.Prom.of_snapshot s in
+  (match Obs.Prom.lint e with
+  | Ok () -> check "exposition lints clean" true true
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs));
+  check "dots sanitized to underscores" (prom_contains e "a_count 3") true;
+  check "+Inf bucket closes every histogram"
+    (prom_contains e "lat_ms_bucket{le=\"+Inf\"} 3")
+    true;
+  check "histogram sum and count emitted"
+    (prom_contains e "lat_ms_count 3" && prom_contains e "lat_ms_sum")
+    true;
+  (* The writer is atomic (tmp + rename); what lands on disk re-lints. *)
+  let path = Filename.temp_file "serprop_prom" ".txt" in
+  Obs.Prom.write_file path s;
+  let ic = open_in_bin path in
+  let reread =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  check "written exposition identical" (reread = e) true
+
+let test_prom_lint_rejects () =
+  let bad = [ "1bad_name 3\n"; "# TYPE c counter\nother_name 1\n" ] in
+  List.iter
+    (fun b -> check "malformed exposition rejected" (Result.is_error (Obs.Prom.lint b)) true)
+    bad;
+  let non_monotone =
+    "# TYPE h histogram\n\
+     h_bucket{le=\"1\"} 5\n\
+     h_bucket{le=\"+Inf\"} 3\n\
+     h_sum 1\n\
+     h_count 3\n"
+  in
+  check "non-cumulative buckets rejected"
+    (Result.is_error (Obs.Prom.lint non_monotone))
+    true
+
+let test_prom_sanitize () =
+  let s = Obs.Prom.sanitize "9bad.name with spaces" in
+  check "sanitized names fit the Prometheus charset"
+    (s <> ""
+    && (not (s.[0] >= '0' && s.[0] <= '9'))
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '_' || c = ':')
+         s)
+    true
+
+(* --- progress ------------------------------------------------------------- *)
+
+let test_progress_silent_by_default () =
+  Obs.Hooks.reset ();
+  check "no renderer installed after reset" (Obs.Hooks.progress () = None) true;
+  (* A meter with no renderer must be a safe no-op end to end. *)
+  let p = Obs.Progress.create ~label:"quiet" ~total:10 () in
+  Obs.Progress.report p 5;
+  Obs.Progress.report p 10;
+  Obs.Progress.finish p
+
+let test_progress_rate_limit_and_finish () =
+  let updates = ref 0 and finals = ref [] in
+  let renderer =
+    {
+      Obs.Hooks.update = (fun _ -> incr updates);
+      finalize = (fun line -> finals := line :: !finals);
+    }
+  in
+  let p =
+    Obs.Progress.create ~renderer ~min_interval:3600.0 ~label:"sweep"
+      ~total:100 ()
+  in
+  for i = 1 to 99 do
+    Obs.Progress.report p i
+  done;
+  check "reports are rate-limited" (!updates = 1) true;
+  Obs.Progress.report p 100;
+  check "done = total renders regardless of the rate limit" (!updates = 2) true;
+  Obs.Progress.finish p;
+  Obs.Progress.finish p;
+  Obs.Progress.report p 100;
+  check "finalize fires exactly once and closes the meter"
+    (List.length !finals = 1 && !updates = 2)
+    true;
+  check "the final line carries the label and totals"
+    (match !finals with
+    | [ line ] ->
+      prom_contains line "sweep" && prom_contains line "100/100"
+    | _ -> false)
+    true
+
+(* --- artifacts ------------------------------------------------------------ *)
+
+let test_artifacts_written_on_raise () =
+  Obs.Hooks.reset ();
+  Obs.Recorder.clear ();
+  let tmp suffix = Filename.temp_file "serprop_artifact" suffix in
+  let mp = tmp ".json"
+  and tp = tmp ".json"
+  and pp = tmp ".txt"
+  and rp = tmp ".json" in
+  let written = ref [] in
+  check "the run's exception propagates"
+    (match
+       Obs.Artifacts.with_files ~metrics:mp ~trace:tp ~prom:pp
+         ~recorder_dump:rp
+         ~on_written:(fun ~kind path -> written := (kind, path) :: !written)
+         (fun () ->
+           Obs.Metrics.incr (Obs.Metrics.counter (Obs.Hooks.metrics ()) "c");
+           Obs.Trace.span (Obs.Hooks.tracer ()) "doomed" (fun () -> ());
+           Obs.Log.emit Obs.Log.Error "test.boom";
+           failwith "boom")
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+    true;
+  Obs.Hooks.reset ();
+  check "all four artifacts written despite the raise"
+    (List.length !written = 4)
+    true;
+  check "metrics artifact holds the run's counter"
+    (match Obs.Json.parse_file mp with
+    | Ok v ->
+      Option.bind (Obs.Json.member "counters" v) (Obs.Json.member "c") <> None
+    | Error _ -> false)
+    true;
+  check "trace artifact reparses with the doomed span"
+    (match Obs.Json.parse_file tp with
+    | Ok v -> Obs.Json.member "traceEvents" v <> None
+    | Error _ -> false)
+    true;
+  let ic = open_in_bin pp in
+  let prom =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check "prometheus artifact lints" (Obs.Prom.lint prom = Ok ()) true;
+  check "recorder dump holds the pre-raise event"
+    (match Obs.Json.parse_file rp with
+    | Ok v -> (
+      match Option.bind (Obs.Json.member "events" v) Obs.Json.to_list with
+      | Some events ->
+        List.exists
+          (fun e ->
+            Option.bind (Obs.Json.member "event" e) Obs.Json.to_string_value
+            = Some "test.boom")
+          events
+      | None -> false)
+    | Error _ -> false)
+    true;
+  List.iter Sys.remove [ mp; tp; pp; rp ]
+
+let test_artifacts_shielded_errors () =
+  Obs.Hooks.reset ();
+  let errors = ref [] in
+  let result =
+    Obs.Artifacts.with_files
+      ~metrics:"/nonexistent-dir/serprop-artifact.json"
+      ~on_error:(fun ~kind path _msg -> errors := (kind, path) :: !errors)
+      (fun () -> 42)
+  in
+  Obs.Hooks.reset ();
+  check "an unwritable artifact path cannot break the run" (result = 42) true;
+  check "the failure is reported through on_error"
+    (List.length !errors = 1)
+    true
+
 let () =
   Alcotest.run "obs"
     [
@@ -368,4 +738,46 @@ let () =
         ] );
       ( "timer",
         [ Alcotest.test_case "wall vs cpu" `Quick test_timer_wall_clock ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "ids and baggage" `Quick test_ctx_ids_and_baggage;
+          Alcotest.test_case "span/log args" `Quick test_ctx_args;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "null by default" `Quick test_log_null_default;
+          Alcotest.test_case "min-level filter" `Quick test_log_min_level_filter;
+          Alcotest.test_case "event JSON shape" `Quick test_log_event_json;
+          Alcotest.test_case "level strings" `Quick test_log_level_strings;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring wraps keeping the newest" `Quick
+            test_recorder_wrap;
+          Alcotest.test_case "multi-domain merge" `Quick
+            test_recorder_multidomain;
+          Alcotest.test_case "dump file shape" `Quick test_recorder_dump_file;
+        ] );
+      ( "prom",
+        [
+          Alcotest.test_case "exposition lints and round-trips" `Quick
+            test_prom_exposition;
+          Alcotest.test_case "lint rejects corrupt input" `Quick
+            test_prom_lint_rejects;
+          Alcotest.test_case "name sanitization" `Quick test_prom_sanitize;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "silent by default" `Quick
+            test_progress_silent_by_default;
+          Alcotest.test_case "rate limit and finish" `Quick
+            test_progress_rate_limit_and_finish;
+        ] );
+      ( "artifacts",
+        [
+          Alcotest.test_case "written on raise" `Quick
+            test_artifacts_written_on_raise;
+          Alcotest.test_case "shielded write errors" `Quick
+            test_artifacts_shielded_errors;
+        ] );
     ]

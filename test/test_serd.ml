@@ -195,6 +195,93 @@ let test_shutdown_ack () =
   | `Shutdown r -> check_string "acknowledged" "ok" (status r)
   | `Reply _ -> Alcotest.fail "expected a shutdown"
 
+(* --- introspection --------------------------------------------------------- *)
+
+let test_request_ids () =
+  ignore (fresh_registry ());
+  let server = Server.create Server.default_config in
+  let rid r = jstr "request_id" r in
+  let r1 = reply server {|{"op":"ping"}|} in
+  let r2 = reply server {|{"op":"ping"}|} in
+  let r3 = reply server "this is not json" in
+  check_bool "every reply carries a request_id" true
+    (rid r1 <> None && rid r2 <> None && rid r3 <> None);
+  check_bool "request ids are distinct per frame" true
+    (rid r1 <> rid r2 && rid r2 <> rid r3 && rid r1 <> rid r3)
+
+let test_stats_op () =
+  ignore (fresh_registry ());
+  let server = Server.create Server.default_config in
+  ignore (reply server analyze_s27);
+  let r = reply server {|{"id":7,"op":"stats"}|} in
+  check_string "stats answers ok" "ok" (status r);
+  check_bool "id echoed" true (jnum "id" r = Some 7.0);
+  check_bool "uptime is nonnegative" true
+    (match jnum "uptime_seconds" r with
+    | Some u -> u >= 0.0
+    | None -> false);
+  check_bool "queue depth reported" true (jnum "queue_depth" r <> None);
+  check_bool "requests counted" true
+    (match jnum "requests" r with
+    | Some n -> n >= 1.0
+    | None -> false);
+  check_bool "warmed engine resident" true
+    (Option.bind (Json.member "engine_cache" r) (jnum "resident") = Some 1.0);
+  check_bool "recorder figures reported" true
+    (Option.bind (Json.member "recorder" r) (jnum "capacity")
+     = Some (float_of_int Obs.Recorder.capacity)
+    &&
+    match Option.bind (Json.member "recorder" r) (jnum "recorded") with
+    | Some n -> n > 0.0
+    | None -> false)
+
+let test_dump_op () =
+  ignore (fresh_registry ());
+  Obs.Recorder.clear ();
+  let server = Server.create Server.default_config in
+  let r1 = reply server {|{"op":"ping"}|} in
+  let rid1 = Option.value ~default:"?" (jstr "request_id" r1) in
+  let r = reply server {|{"op":"dump"}|} in
+  check_string "dump answers ok" "ok" (status r);
+  let events =
+    Option.value ~default:[]
+      (Option.bind (Json.member "recorder" r) @@ fun rec_ ->
+       Option.bind (Json.member "events" rec_) Json.to_list)
+  in
+  check_bool "the ping's completion event is in the dump, correlated" true
+    (List.exists
+       (fun e ->
+         jstr "event" e = Some "serd.request" && jstr "request_id" e = Some rid1)
+       events)
+
+let test_fault_injection_gate () =
+  ignore (fresh_registry ());
+  let inject_req =
+    {|{"op":"analyze","circuit":{"format":"embedded","source":"s27"},"sites":[0,1,2],"inject_faults":[0]}|}
+  in
+  (* Default config: the field is an operational hazard, rejected typed. *)
+  let server = Server.create Server.default_config in
+  let r = reply server inject_req in
+  check_string "injection rejected without the flag" "bad_request"
+    (error_code r);
+  (* Opted in: the injected site runs the full ladder into quarantine, and
+     the incident is correlated to the reply's request id in the ring. *)
+  Obs.Recorder.clear ();
+  let server =
+    Server.create { Server.default_config with allow_fault_injection = true }
+  in
+  let r = reply server inject_req in
+  check_string "injected analyze still answers ok" "ok" (status r);
+  check_int "exactly the injected site quarantined" 1 (stat "quarantined" r);
+  check_int "the others analyzed" 2 (stat "kernel_ok" r);
+  let rid = Option.value ~default:"?" (jstr "request_id" r) in
+  check_bool "quarantine recorded under the reply's request id" true
+    (List.exists
+       (fun e ->
+         e.Obs.Recorder.event = "supervisor.quarantine"
+         && e.Obs.Recorder.request_id = Some rid)
+       (Obs.Recorder.dump ()))
+
 (* --- the serve loop over a socketpair -------------------------------------- *)
 
 let with_serve_loop config f =
@@ -288,6 +375,14 @@ let () =
           Alcotest.test_case "restart resumes checkpoint" `Quick
             test_restart_resumes_checkpoint;
           Alcotest.test_case "shutdown ack" `Quick test_shutdown_ack;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "request ids" `Quick test_request_ids;
+          Alcotest.test_case "stats op" `Quick test_stats_op;
+          Alcotest.test_case "dump op" `Quick test_dump_op;
+          Alcotest.test_case "fault-injection gate" `Quick
+            test_fault_injection_gate;
         ] );
       ( "serve loop",
         [
