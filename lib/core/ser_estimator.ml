@@ -81,13 +81,21 @@ let effective_latch ~latching ~electrical ~convention circuit
 
 let of_site_results ?(technology = Seu_model.Technology.default)
     ?(latching = Seu_model.Latching.default) ?electrical ?(convention = Per_observation)
-    circuit results =
+    ?(r_seu_scale = fun _ -> 1.0) circuit results =
   Seu_model.Latching.check latching;
   Option.iter Seu_model.Electrical.check electrical;
   let nodes =
     results
     |> List.map (fun (r : Epp_engine.site_result) ->
-           let r_seu = Seu_model.Technology.r_seu_node technology circuit r.site in
+           let scale = r_seu_scale r.Epp_engine.site in
+           if not (scale >= 0.0) (* also catches NaN *) then
+             invalid_arg
+               (Printf.sprintf
+                  "Ser_estimator.of_site_results: r_seu_scale %g at node %d"
+                  scale r.Epp_engine.site);
+           let r_seu =
+             scale *. Seu_model.Technology.r_seu_node technology circuit r.site
+           in
            (* The product P_latched × P_sensitized, folded per convention. *)
            let sens_and_latch =
              effective_latch ~latching ~electrical ~convention circuit r

@@ -40,6 +40,7 @@ val of_site_results :
   ?latching:Seu_model.Latching.t ->
   ?electrical:Seu_model.Electrical.t ->
   ?convention:latch_convention ->
+  ?r_seu_scale:(int -> float) ->
   Netlist.Circuit.t ->
   Epp_engine.site_result list ->
   report
@@ -48,7 +49,12 @@ val of_site_results :
     checkpoint resume), where quarantined sites are absent and the totals
     are explicitly partial.  [nodes] holds one entry per given result, in
     input order; for a full [analyze_all] sweep that coincides with
-    node-id indexing. *)
+    node-id indexing.
+
+    [r_seu_scale] multiplies each node's raw upset rate (default 1.0
+    everywhere) — the selective-hardening seam used by [ser_harden]'s
+    derating strategy: a hardened gate keeps its EPP result and takes a
+    smaller [R_SEU].  @raise Invalid_argument on a negative or NaN scale. *)
 
 (** {2 Dispatching EPP drivers}
 

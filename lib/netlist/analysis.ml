@@ -235,3 +235,160 @@ let reached_observations t site =
     if in_cone.(net) then acc := obs :: !acc
   done;
   !acc
+
+(* --- incremental patching across a Transform edit ------------------------
+
+   [apply_delta] carries a context across an edit instead of throwing it
+   away: the pre-edit topological order is patched onto the post-edit
+   circuit when the edit is order-preserving, levels are re-derived from
+   the patched order, and the per-site LRU entries whose geometry provably
+   did not change are migrated under the id remap.  Everything else (the
+   dirty cones, the level buckets) rebuilds lazily on demand.
+
+   Validity arguments for the migrations, in terms of Delta's dirty sets:
+   - a cone entry for a surviving site [w] outside [backward_dirty] is the
+     exact image of the old cone: no node of the old cone was removed (the
+     site would be old-side backward-dirty), and no added node joins the
+     new cone (the site would be new-side backward-dirty);
+   - a distance map for a surviving observation net [w] outside
+     [forward_dirty] is exact: every node on every path into [w] is an
+     untouched survivor (a touched/removed/added node on such a path would
+     make [w] forward-dirty on one side), and added nodes cannot reach [w],
+     so they keep [Bfs.unreachable]. *)
+
+exception Order_patch_failed
+
+(* Patch the old order onto the new circuit: survivors keep their old
+   relative order; each added node is placed on demand, right before its
+   first consumer (recursing through added fanins only — an unplaced
+   *surviving* fanin means the edit reordered survivors, so we bail to a
+   full rebuild).  A final O(V+E) edge check backstops the construction. *)
+let patch_order ~old_order d =
+  let after = Delta.after d in
+  let new_of_old = Delta.new_of_old d in
+  let old_of_new = Delta.old_of_new d in
+  let n_new = Circuit.node_count after in
+  let out = Array.make n_new 0 in
+  let cursor = ref 0 in
+  let placed = Array.make n_new false in
+  let in_progress = Array.make n_new false in
+  let emit w =
+    placed.(w) <- true;
+    out.(!cursor) <- w;
+    incr cursor
+  in
+  let rec require u =
+    if not placed.(u) then
+      if old_of_new.(u) >= 0 then raise Order_patch_failed
+      else place_added u
+  and place_added u =
+    if in_progress.(u) then raise Order_patch_failed;
+    in_progress.(u) <- true;
+    require_fanins u;
+    in_progress.(u) <- false;
+    emit u
+  and require_fanins u =
+    match Circuit.node after u with
+    | Circuit.Gate { fanins; _ } -> Array.iter require fanins
+    | Circuit.Input | Circuit.Ff _ -> ()
+  in
+  Array.iter
+    (fun v ->
+      let w = new_of_old.(v) in
+      if w >= 0 then begin
+        require_fanins w;
+        emit w
+      end)
+    old_order;
+  for u = 0 to n_new - 1 do
+    if not placed.(u) then place_added u (* added nodes nothing consumes *)
+  done;
+  assert (!cursor = n_new);
+  let pos = Array.make n_new 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) out;
+  for w = 0 to n_new - 1 do
+    match Circuit.node after w with
+    | Circuit.Gate { fanins; _ } ->
+      Array.iter (fun u -> if pos.(u) >= pos.(w) then raise Order_patch_failed) fanins
+    | Circuit.Input | Circuit.Ff _ -> ()
+  done;
+  out
+
+(* Migrate the LRU entries that stay valid, remapping ids.  Stamps restart
+   from zero — relative recency within the survivors is noise next to the
+   traversals saved. *)
+let migrate_cones ~old_cones ~dirty d =
+  let fresh = Lru.create old_cones.Lru.capacity in
+  let new_of_old = Delta.new_of_old d in
+  let old_of_new = Delta.old_of_new d in
+  let n_new = Circuit.node_count (Delta.after d) in
+  Mutex.lock old_cones.Lru.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock old_cones.Lru.lock) @@ fun () ->
+  Hashtbl.iter
+    (fun old_site (e : bool array Lru.entry) ->
+      let w = if old_site < Array.length new_of_old then new_of_old.(old_site) else -1 in
+      if w >= 0 && not dirty.(w) then begin
+        let marks = Array.make n_new false in
+        for x = 0 to n_new - 1 do
+          let v = old_of_new.(x) in
+          if v >= 0 && e.Lru.value.(v) then marks.(x) <- true
+        done;
+        fresh.Lru.tick <- fresh.Lru.tick + 1;
+        Hashtbl.replace fresh.Lru.table w { Lru.stamp = fresh.Lru.tick; value = marks }
+      end)
+    old_cones.Lru.table;
+  fresh
+
+let migrate_distances ~old_maps ~dirty d =
+  let fresh = Lru.create old_maps.Lru.capacity in
+  let new_of_old = Delta.new_of_old d in
+  let old_of_new = Delta.old_of_new d in
+  let n_new = Circuit.node_count (Delta.after d) in
+  Mutex.lock old_maps.Lru.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock old_maps.Lru.lock) @@ fun () ->
+  Hashtbl.iter
+    (fun old_net (e : int array Lru.entry) ->
+      let w = if old_net < Array.length new_of_old then new_of_old.(old_net) else -1 in
+      if w >= 0 && not dirty.(w) then begin
+        let dist = Array.make n_new Bfs.unreachable in
+        for x = 0 to n_new - 1 do
+          let v = old_of_new.(x) in
+          if v >= 0 then dist.(x) <- e.Lru.value.(v)
+        done;
+        fresh.Lru.tick <- fresh.Lru.tick + 1;
+        Hashtbl.replace fresh.Lru.table w { Lru.stamp = fresh.Lru.tick; value = dist }
+      end)
+    old_maps.Lru.table;
+  fresh
+
+let apply_delta t d =
+  if not (Delta.before d == t.circuit) then
+    invalid_arg "Analysis.apply_delta: delta's before-circuit is not this context's";
+  if Delta.after d == t.circuit then (t, `Patched) (* no-op edit, nothing to do *)
+  else begin
+    let after = Delta.after d in
+    match patch_order ~old_order:t.order d with
+    | exception Order_patch_failed ->
+      count "analysis.incremental.rebuilt";
+      (get after, `Rebuilt)
+    | order ->
+      count "analysis.incremental.patched";
+      let levels = Topo.levels_from (Circuit.graph after) order in
+      Circuit.seed_analysis_facts after ~order ~levels;
+      let fresh = build after in
+      let fresh =
+        {
+          fresh with
+          cones = migrate_cones ~old_cones:t.cones ~dirty:(Delta.backward_dirty d) d;
+          distance_maps =
+            migrate_distances ~old_maps:t.distance_maps
+              ~dirty:(Delta.forward_dirty d) d;
+        }
+      in
+      let installed =
+        match Circuit.context_slot after (fun () -> Context fresh) with
+        | Context ctx -> ctx
+        | _ -> assert false
+      in
+      (installed, `Patched)
+  end

@@ -84,3 +84,26 @@ val distances_to : t -> int -> int array
 val reached_observations : t -> int -> Circuit.observation list
 (** Observation points inside [site]'s forward cone, in {!observations}
     order. *)
+
+(** {2 Incremental invalidation} *)
+
+val apply_delta : t -> Delta.t -> t * [ `Patched | `Rebuilt ]
+(** Carry this context across a {!Transform} edit instead of throwing it
+    away.  When the edit is order-preserving (every surviving node pair
+    keeps its relative order — true for all the [Transform.*_delta]
+    rewrites, which only interleave new helper gates), the pre-edit
+    topological order is patched onto the post-edit circuit, levels are
+    re-derived from it, and the cone / distance-map LRU entries that
+    provably kept their geometry (outside {!Delta.backward_dirty} resp.
+    {!Delta.forward_dirty}) migrate under the id remap; the result is
+    [`Patched].  Otherwise the post-edit context is built from scratch and
+    the result is [`Rebuilt].  Either way the returned context is the one
+    installed on the post-edit circuit (subsequent {!get} returns it), and
+    [analysis.incremental.patched] / [analysis.incremental.rebuilt] meter
+    the two paths.
+
+    Ownership contract (DESIGN.md §16): an [Analysis.t] — and every array
+    obtained from it — is bound to its pre-edit circuit; after an edit,
+    continue only with the context returned here (or [get] on the new
+    circuit).  @raise Invalid_argument when [delta]'s before-circuit is not
+    this context's circuit. *)

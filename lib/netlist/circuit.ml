@@ -206,6 +206,18 @@ let reverse_csr t =
   memoize t t.rev_csr ~computed:"analysis.reverse_csr.computed" (fun () ->
       Csr.reverse t.csr)
 
+(* Install externally-derived topo/levels (Analysis.apply_delta patches them
+   from the pre-edit circuit) without a recompute and without bumping the
+   *.computed counters — these facts were not computed here.  First writer
+   wins; already-memoized cells are left untouched. *)
+let seed_analysis_facts t ~order ~levels =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if Atomic.get t.topo = None then Atomic.set t.topo (Some order);
+  if Atomic.get t.level_memo = None then Atomic.set t.level_memo (Some levels);
+  if Atomic.get t.depth_memo = None then
+    Atomic.set t.depth_memo (Some (Array.fold_left max 0 levels))
+
 (* Build-or-get for the analysis context.  [build] runs *outside* the lock
    (it reads the memoized facts above, which take it); if two domains race
    on the very first force, the loser's context is discarded — the winner's

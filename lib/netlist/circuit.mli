@@ -130,5 +130,12 @@ val order_for_context : t -> int array
 (** Same memo as {!topological_order} without the direct-call counter; used
     by [Analysis] to assemble the context. *)
 
+val seed_analysis_facts : t -> order:int array -> levels:int array -> unit
+(** Install an externally-derived topological order and levelization
+    (e.g. patched across an edit by [Analysis.apply_delta]) into the memo
+    cells without recomputing and without bumping the [*.computed]
+    counters.  First writer wins: cells that are already memoized are left
+    untouched.  The caller asserts validity; the arrays become shared. *)
+
 val pp : t Fmt.t
 (** One-line summary (name and size counts). *)

@@ -265,35 +265,67 @@ let copy_with_rewire circuit ~rewire ~extra =
   List.iter (fun v -> Builder.add_output b (rewire v)) (Circuit.outputs circuit);
   Builder.freeze b
 
-let insert_identity ?(double_invert = false) circuit ~net =
+(* Gates and flip-flops whose definition references [net] — the nodes a
+   fanout rewiring redefines.  PO declarations also reference nets but are
+   interface entries, not node definitions, so they are not listed here
+   (observation-interface changes are detected from the circuits). *)
+let consumers_of circuit ~net =
+  let acc = ref [] in
+  for v = Circuit.node_count circuit - 1 downto 0 do
+    match Circuit.node circuit v with
+    | Circuit.Input -> ()
+    | Circuit.Ff { data } ->
+      if data = net then acc := Circuit.node_name circuit v :: !acc
+    | Circuit.Gate { fanins; _ } ->
+      if Array.exists (fun u -> u = net) fanins then
+        acc := Circuit.node_name circuit v :: !acc
+  done;
+  !acc
+
+let insert_identity_delta ?(double_invert = false) circuit ~net =
   check_node circuit net ~what:"Transform.insert_identity: bad net";
   let base = Circuit.node_name circuit net in
   let tap =
     fresh_name circuit (base ^ if double_invert then "#ii2" else "#buf")
   in
   let rewire v = if v = net then tap else Circuit.node_name circuit v in
-  copy_with_rewire circuit ~rewire ~extra:(fun b ->
-      if double_invert then begin
-        let mid = fresh_name circuit (base ^ "#ii1") in
-        Builder.add_gate b ~output:mid ~kind:Gate.Not [ base ];
-        Builder.add_gate b ~output:tap ~kind:Gate.Not [ mid ]
-      end
-      else Builder.add_gate b ~output:tap ~kind:Gate.Buf [ base ])
+  let after =
+    copy_with_rewire circuit ~rewire ~extra:(fun b ->
+        if double_invert then begin
+          let mid = fresh_name circuit (base ^ "#ii1") in
+          Builder.add_gate b ~output:mid ~kind:Gate.Not [ base ];
+          Builder.add_gate b ~output:tap ~kind:Gate.Not [ mid ]
+        end
+        else Builder.add_gate b ~output:tap ~kind:Gate.Buf [ base ])
+  in
+  (after, Delta.make ~before:circuit ~after ~touched:(consumers_of circuit ~net))
 
-let split_fanout circuit ~net =
+let insert_identity ?double_invert circuit ~net =
+  fst (insert_identity_delta ?double_invert circuit ~net)
+
+let split_fanout_delta circuit ~net =
   check_node circuit net ~what:"Transform.split_fanout: bad net";
   (* Count consumer slots in the same deterministic order the rebuild visits
-     them: node order (gate fanin positions, FF data), then PO declarations. *)
+     them: node order (gate fanin positions, FF data), then PO declarations.
+     A node is touched iff at least one of its slots lands on the tap. *)
   let slots = ref 0 in
+  let touched = ref [] in
+  let take v =
+    let slot = !slots in
+    incr slots;
+    if slot land 1 = 1 then touched := Circuit.node_name circuit v :: !touched
+  in
   for v = 0 to Circuit.node_count circuit - 1 do
     match Circuit.node circuit v with
     | Circuit.Input -> ()
-    | Circuit.Ff { data } -> if data = net then incr slots
+    | Circuit.Ff { data } -> if data = net then take v
     | Circuit.Gate { fanins; _ } ->
-      Array.iter (fun u -> if u = net then incr slots) fanins
+      Array.iter (fun u -> if u = net then take v) fanins
   done;
+  (* PO declarations are interface entries, not node definitions; they only
+     advance the slot counter in the rebuild below, after every node slot. *)
   List.iter (fun v -> if v = net then incr slots) (Circuit.outputs circuit);
-  if !slots < 2 then circuit
+  if !slots < 2 then (circuit, Delta.identity circuit)
   else begin
     let base = Circuit.node_name circuit net in
     let tap = fresh_name circuit (base ^ "#split") in
@@ -306,11 +338,16 @@ let split_fanout circuit ~net =
       end
       else Circuit.node_name circuit v
     in
-    copy_with_rewire circuit ~rewire ~extra:(fun b ->
-        Builder.add_gate b ~output:tap ~kind:Gate.Buf [ base ])
+    let after =
+      copy_with_rewire circuit ~rewire ~extra:(fun b ->
+          Builder.add_gate b ~output:tap ~kind:Gate.Buf [ base ])
+    in
+    (after, Delta.make ~before:circuit ~after ~touched:!touched)
   end
 
-let de_morgan circuit ~gate =
+let split_fanout circuit ~net = fst (split_fanout_delta circuit ~net)
+
+let de_morgan_delta circuit ~gate =
   check_node circuit gate ~what:"Transform.de_morgan: bad node";
   match Circuit.node circuit gate with
   | Circuit.Gate { kind = (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) as kind; fanins } ->
@@ -346,11 +383,16 @@ let de_morgan circuit ~gate =
         else Builder.add_gate b ~output:(name v) ~kind:k (Array.to_list (Array.map name f))
     done;
     List.iter (fun v -> Builder.add_output b (name v)) (Circuit.outputs circuit);
-    Builder.freeze b
+    let after = Builder.freeze b in
+    (* The rewritten gate is the only survivor whose definition changes; the
+       input inverters (and the dual gate, for AND/OR) are added nodes. *)
+    (after, Delta.make ~before:circuit ~after ~touched:[ gname ])
   | Circuit.Gate _ | Circuit.Input | Circuit.Ff _ ->
     invalid_arg "Transform.de_morgan: not an AND/OR/NAND/NOR gate"
 
-let permute_observations circuit ~perm =
+let de_morgan circuit ~gate = fst (de_morgan_delta circuit ~gate)
+
+let permute_observations_delta circuit ~perm =
   let outs = Array.of_list (Circuit.outputs circuit) in
   let k = Array.length outs in
   if Array.length perm <> k then invalid_arg "Transform.permute_observations: bad length";
@@ -371,9 +413,15 @@ let permute_observations circuit ~perm =
       Builder.add_gate b ~output:(name v) ~kind (Array.to_list (Array.map name fanins))
   done;
   Array.iter (fun i -> Builder.add_output b (name outs.(i))) perm;
-  Builder.freeze b
+  let after = Builder.freeze b in
+  (* Every node definition is copied verbatim; only the observation
+     interface moves, which the delta's circuits carry implicitly. *)
+  (after, Delta.make ~before:circuit ~after ~touched:[])
 
-let triplicate circuit ~nodes =
+let permute_observations circuit ~perm =
+  fst (permute_observations_delta circuit ~perm)
+
+let triplicate_delta circuit ~nodes =
   let n = Circuit.node_count circuit in
   let selected = Array.make n false in
   List.iter
@@ -407,4 +455,21 @@ let triplicate circuit ~nodes =
       end
   done;
   List.iter (fun v -> Builder.add_output b (reference v)) (Circuit.outputs circuit);
-  Builder.freeze b
+  let after = Builder.freeze b in
+  (* Survivors whose definition changes are exactly the consumers of a
+     selected gate (their fanin / FF-data moved to the voter); the selected
+     gate itself keeps its definition unless one of its own fanins is also
+     selected.  Replicas and voter gates are added nodes. *)
+  let touched = ref [] in
+  for v = 0 to n - 1 do
+    let consumes_selected =
+      match Circuit.node circuit v with
+      | Circuit.Input -> false
+      | Circuit.Ff { data } -> selected.(data)
+      | Circuit.Gate { fanins; _ } -> Array.exists (fun u -> selected.(u)) fanins
+    in
+    if consumes_selected then touched := Circuit.node_name circuit v :: !touched
+  done;
+  (after, Delta.make ~before:circuit ~after ~touched:!touched)
+
+let triplicate circuit ~nodes = fst (triplicate_delta circuit ~nodes)

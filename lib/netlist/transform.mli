@@ -78,3 +78,29 @@ val permute_observations : Circuit.t -> perm:int array -> Circuit.t
     order-independent, so per-site results are preserved (product
     re-association only).  @raise Invalid_argument if [perm] is not a
     permutation of the output indices. *)
+
+(** {2 Delta-reporting variants}
+
+    Each [*_delta] function performs the same rewrite as its plain
+    counterpart and additionally returns the exact {!Delta.t}: touched
+    survivors are computed by construction (the consumers a fanout rewiring
+    redefines, the one gate De Morgan rewrites, the consumers of
+    triplicated gates), and the regression suite checks every reported
+    delta against {!Delta.structural_diff}.  The plain functions are
+    [fst] of these. *)
+
+val insert_identity_delta :
+  ?double_invert:bool -> Circuit.t -> net:int -> Circuit.t * Delta.t
+
+val split_fanout_delta : Circuit.t -> net:int -> Circuit.t * Delta.t
+(** Returns {!Delta.identity} when [net] has fewer than two consumer
+    slots (the circuit is returned unchanged). *)
+
+val de_morgan_delta : Circuit.t -> gate:int -> Circuit.t * Delta.t
+
+val triplicate_delta : Circuit.t -> nodes:int list -> Circuit.t * Delta.t
+
+val permute_observations_delta :
+  Circuit.t -> perm:int array -> Circuit.t * Delta.t
+(** The delta has no touched nodes: only the observation interface moves,
+    which consumers detect from the delta's circuits. *)

@@ -41,27 +41,61 @@ let error_message = function
 
 (* --- fingerprint --------------------------------------------------------- *)
 
+(* v2 encoding.  v1 interpolated node names raw ("=%s;"), so a name
+   containing the separator characters could alias a different structure —
+   concretely, an edited circuit could digest identically to its pre-edit
+   form and a stale snapshot would be silently replayed (the kill-edit-
+   restart scenario in test_checkpoint.ml).  v2 is injective: a version
+   tag, every string length-prefixed, every section length-prefixed, and
+   the interface (inputs/outputs/FFs) encoded explicitly rather than
+   inferred. *)
 let fingerprint engine =
   let c = Epp.Epp_engine.circuit engine in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf (Circuit.name c);
-  Buffer.add_char buf '\000';
+  (* Hand-rolled emission (no Printf): this runs on every serd edit, over
+     every node, and the format-string interpreter is the dominant cost. *)
+  let add_int i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ','
+  in
+  let str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  Buffer.add_string buf "serprop-fp-v2\000";
+  str (Circuit.name c);
   let n = Circuit.node_count c in
-  Printf.bprintf buf "%d;" n;
+  Buffer.add_char buf 'n';
+  add_int n;
   for v = 0 to n - 1 do
     (match Circuit.node c v with
-    | Circuit.Input -> Buffer.add_string buf "i"
-    | Circuit.Ff { data } -> Printf.bprintf buf "F%d" data
+    | Circuit.Input -> Buffer.add_char buf 'i'
+    | Circuit.Ff { data } ->
+      Buffer.add_char buf 'F';
+      add_int data
     | Circuit.Gate { kind; fanins } ->
-      Buffer.add_string buf (Gate.to_string kind);
-      Array.iter (fun u -> Printf.bprintf buf ",%d" u) fanins);
-    Printf.bprintf buf "=%s;" (Circuit.node_name c v)
+      Buffer.add_char buf 'g';
+      add_int (Array.length fanins);
+      str (Gate.to_string kind);
+      Array.iter add_int fanins);
+    str (Circuit.node_name c v);
+    Buffer.add_char buf ';'
   done;
-  List.iter (fun o -> Printf.bprintf buf "o%d;" o) (Circuit.outputs c);
+  let section tag ids =
+    Buffer.add_char buf tag;
+    add_int (List.length ids);
+    List.iter add_int ids
+  in
+  section 'I' (Circuit.inputs c);
+  section 'O' (Circuit.outputs c);
+  section 'Q' (Circuit.ffs c);
   (* The sp values the engine will actually read, bit-exact. *)
   let sp = Epp.Epp_engine.signal_probabilities engine in
   Array.iter
-    (fun x -> Printf.bprintf buf "%Lx;" (Int64.bits_of_float x))
+    (fun x ->
+      Buffer.add_string buf (Int64.to_string (Int64.bits_of_float x));
+      Buffer.add_char buf ';')
     sp.Sigprob.Sp.values;
   Printf.bprintf buf "mode=%s;cone=%b"
     (match Epp.Epp_engine.mode engine with

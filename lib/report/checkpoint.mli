@@ -23,8 +23,12 @@ val error_message : error -> string
 
 val fingerprint : Epp.Epp_engine.t -> string
 (** Hex digest over the circuit name and structure (node kinds, fanins,
-    outputs, flip-flops, signal names), the engine's signal-probability
-    vector (bit-exact), and the engine mode / cone-restriction flags. *)
+    the input/output/FF interface, signal names), the engine's
+    signal-probability vector (bit-exact), and the engine mode /
+    cone-restriction flags.  The encoding (v2) is injective — version
+    tag, length-prefixed strings, length-prefixed sections — so any edit
+    to the circuit yields a fresh fingerprint; no name can alias the
+    separators and make a stale pre-edit snapshot replayable. *)
 
 val save : ?ctx:Obs.Ctx.t -> string -> t -> unit
 (** Atomic and durable: writes [path ^ ".tmp"], fsyncs it, renames over

@@ -11,6 +11,9 @@
 type entry = {
   engine : Epp.Epp_engine.t;
   mutable last_used : int;
+  mutable results : (int * Epp.Supervisor.entry) list option;
+      (* the engine's whole-circuit sweep entries, remembered so a later
+         [edit] request can splice clean sites instead of re-analyzing *)
 }
 
 type t = {
@@ -105,7 +108,41 @@ let find_or_build ?ctx t ~format ~source ~build =
          — the parse was paid. *)
       served_from e fp ~hit:false
     | None ->
-      let e = { engine; last_used = t.tick } in
+      let e = { engine; last_used = t.tick; results = None } in
       Hashtbl.replace t.engines fp e;
       evict ?ctx t;
       served_from e fp ~hit:false)
+
+(* --- fingerprint-keyed access (the serd [edit] path) ---------------------- *)
+
+let find_fingerprint t fingerprint =
+  match Hashtbl.find_opt t.engines fingerprint with
+  | None -> None
+  | Some e ->
+    t.tick <- t.tick + 1;
+    e.last_used <- t.tick;
+    Some { engine = e.engine; fingerprint; hit = true }
+
+let insert ?ctx t ~fingerprint engine =
+  match Hashtbl.find_opt t.engines fingerprint with
+  | Some e ->
+    t.tick <- t.tick + 1;
+    e.last_used <- t.tick;
+    e.engine (* already resident (warmer caches) — keep it *)
+  | None ->
+    t.tick <- t.tick + 1;
+    let e = { engine; last_used = t.tick; results = None } in
+    Hashtbl.replace t.engines fingerprint e;
+    evict ?ctx t;
+    gauge_resident t;
+    engine
+
+let remember_results t ~fingerprint entries =
+  match Hashtbl.find_opt t.engines fingerprint with
+  | Some e -> e.results <- Some entries
+  | None -> ()
+
+let results_for t ~fingerprint =
+  match Hashtbl.find_opt t.engines fingerprint with
+  | Some { results = Some entries; _ } -> Some entries
+  | Some { results = None; _ } | None -> None

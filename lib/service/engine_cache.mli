@@ -43,3 +43,25 @@ val find_or_build :
     [.evict] Info) carrying [ctx]'s request id. *)
 
 val resident : t -> int
+
+(** {2 Fingerprint-keyed access}
+
+    The serd [edit] path works on fingerprints a previous response
+    reported: the base engine is looked up by fingerprint (no payload), the
+    post-edit engine is inserted under its own fingerprint, and each
+    engine's whole-circuit sweep entries can be remembered so the next edit
+    splices clean sites instead of re-analyzing them. *)
+
+val find_fingerprint : t -> string -> outcome option
+(** Touch and return the resident engine under this fingerprint, if any. *)
+
+val insert : ?ctx:Obs.Ctx.t -> t -> fingerprint:string -> Epp.Epp_engine.t -> Epp.Epp_engine.t
+(** Make an already-built engine resident under [fingerprint] (evicting
+    LRU overflow).  If the fingerprint is already resident, the existing
+    engine is kept (its caches are warmer) and returned. *)
+
+val remember_results : t -> fingerprint:string -> (int * Epp.Supervisor.entry) list -> unit
+(** Attach a whole-circuit sweep's entries to the resident engine (no-op if
+    the fingerprint is not resident).  Evicted with the engine. *)
+
+val results_for : t -> fingerprint:string -> (int * Epp.Supervisor.entry) list option

@@ -9,8 +9,14 @@ type format =
   | Bench
   | Blif
   | Embedded
+  | Fingerprint
 
 type circuit_spec = { format : format; source : string }
+
+type edit_kind =
+  | Tmr
+  | Buffer_net
+  | De_morgan
 
 type request =
   | Ping
@@ -25,6 +31,13 @@ type request =
       budget_ms : float option;
       top_k : int option;
       inject : int list option;
+    }
+  | Edit of {
+      circuit : circuit_spec;
+      kind : edit_kind;
+      target : string;
+      budget_ms : float option;
+      top_k : int option;
     }
 
 type error_code =
@@ -49,6 +62,12 @@ let format_string = function
   | Bench -> "bench"
   | Blif -> "blif"
   | Embedded -> "embedded"
+  | Fingerprint -> "fingerprint"
+
+let edit_kind_string = function
+  | Tmr -> "tmr"
+  | Buffer_net -> "buffer"
+  | De_morgan -> "de_morgan"
 
 let request_id v = Json.member "id" v
 
@@ -82,8 +101,9 @@ let parse_circuit v =
       | Some (Json.String "bench") -> Ok Bench
       | Some (Json.String "blif") -> Ok Blif
       | Some (Json.String "embedded") -> Ok Embedded
+      | Some (Json.String "fingerprint") -> Ok Fingerprint
       | Some (Json.String s) ->
-        bad "unknown circuit format %S (bench, blif, embedded)" s
+        bad "unknown circuit format %S (bench, blif, embedded, fingerprint)" s
       | Some _ | None -> bad "circuit.format must be a string"
     in
     match format with
@@ -130,6 +150,37 @@ let parse_analyze v =
           | Ok inject ->
             Ok (Analyze { circuit; sites; budget_ms; top_k; inject })))))
 
+let parse_edit v =
+  match parse_circuit v with
+  | Error _ as e -> e
+  | Ok circuit -> (
+    match Json.member "edit" v with
+    | None -> bad "edit requires an \"edit\" object"
+    | Some e -> (
+      let kind =
+        match Json.member "kind" e with
+        | Some (Json.String "tmr") -> Ok Tmr
+        | Some (Json.String "buffer") -> Ok Buffer_net
+        | Some (Json.String "de_morgan") -> Ok De_morgan
+        | Some (Json.String s) ->
+          bad "unknown edit kind %S (tmr, buffer, de_morgan)" s
+        | Some _ | None -> bad "edit.kind must be a string"
+      in
+      match kind with
+      | Error _ as err -> err
+      | Ok kind -> (
+        match Option.bind (Json.member "target" e) Json.to_string_value with
+        | None -> bad "edit.target must be a string (a signal name)"
+        | Some target -> (
+          match opt_number "budget_ms" v with
+          | Error _ as err -> err
+          | Ok (Some b) when b < 0.0 -> bad "\"budget_ms\" must be >= 0"
+          | Ok budget_ms -> (
+            match opt_int "top_k" v with
+            | Error _ as err -> err
+            | Ok (Some k) when k < 0 -> bad "\"top_k\" must be >= 0"
+            | Ok top_k -> Ok (Edit { circuit; kind; target; budget_ms; top_k }))))))
+
 let of_json v =
   match v with
   | Json.Obj _ -> (
@@ -145,6 +196,7 @@ let of_json v =
       | Ok (Some s) when s >= 0.0 -> Ok (Sleep s)
       | Ok _ -> bad "sleep requires \"seconds\" >= 0")
     | Some (Json.String "analyze") -> parse_analyze v
+    | Some (Json.String "edit") -> parse_edit v
     | Some (Json.String op) -> Error (Unknown_op, Printf.sprintf "unknown op %S" op)
     | Some _ -> bad "\"op\" must be a string"
     | None -> bad "missing \"op\"")

@@ -16,8 +16,18 @@ type format =
   | Bench  (** ISCAS [.bench] text in ["source"] *)
   | Blif  (** BLIF text in ["source"] *)
   | Embedded  (** ["source"] is a built-in name ({!Circuit_gen.Embedded}) *)
+  | Fingerprint
+      (** ["source"] is an engine fingerprint a previous response reported —
+          the zero-payload handle to a circuit already resident in the
+          server's engine cache *)
 
 type circuit_spec = { format : format; source : string }
+
+(** The {!Netlist.Transform} rewrite an [edit] request applies. *)
+type edit_kind =
+  | Tmr  (** triplicate the target gate with a 2-of-3 voter *)
+  | Buffer_net  (** insert an identity buffer on the target net's fanout *)
+  | De_morgan  (** rewrite the target AND/OR/NAND/NOR by De Morgan *)
 
 type request =
   | Ping
@@ -38,6 +48,16 @@ type request =
               forced to fail — rejected unless the server was started with
               fault injection enabled (operational drills / smoke tests) *)
     }
+  | Edit of {
+      circuit : circuit_spec;  (** the base circuit the edit applies to *)
+      kind : edit_kind;
+      target : string;  (** signal name in the base circuit *)
+      budget_ms : float option;
+      top_k : int option;
+    }
+      (** apply a transform to the base circuit and re-analyze
+          incrementally: only the dirty cone is re-swept, clean results are
+          spliced from the base engine's cached whole-circuit outcome *)
 
 (** Typed rejection codes, the ["error.code"] values on the wire. *)
 type error_code =
@@ -51,6 +71,7 @@ type error_code =
 
 val error_code_string : error_code -> string
 val format_string : format -> string
+val edit_kind_string : edit_kind -> string
 
 val request_id : Obs.Json.t -> Obs.Json.t option
 (** The ["id"] member, to echo back — even when the rest fails to parse. *)

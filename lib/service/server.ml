@@ -80,6 +80,10 @@ let parse_circuit t (spec : Protocol.circuit_spec) =
       t.config.max_source_bytes;
   let invalid fmt = reject Protocol.Invalid_netlist fmt in
   match spec.format with
+  | Protocol.Fingerprint ->
+    (* Fingerprints name resident engines, not parseable payloads; they are
+       resolved in [engine_for] before this function is ever reached. *)
+    reject Protocol.Bad_request "fingerprint %S is not resident" spec.source
   | Protocol.Embedded -> (
     match Circuit_gen.Embedded.find spec.source with
     | Some f -> f ()
@@ -130,15 +134,25 @@ let maybe_dump t ~ctx reason =
         Obs.Log.Warn "serd.recorder_dump_failed")
 
 let engine_for t ~ctx (spec : Protocol.circuit_spec) =
-  Engine_cache.find_or_build ~ctx t.cache
-    ~format:(Protocol.format_string spec.format)
-    ~source:spec.source
-    ~build:(fun () ->
-      let circuit = parse_circuit t spec in
-      try Epp.Epp_engine.create circuit with
-      | Epp.Epp_engine.Invalid_signal_probability { name; value; _ } ->
-        reject Protocol.Invalid_netlist
-          "signal probability for %S is %g (outside [0, 1])" name value)
+  match spec.format with
+  | Protocol.Fingerprint -> (
+    match Engine_cache.find_fingerprint t.cache spec.source with
+    | Some outcome -> outcome
+    | None ->
+      reject Protocol.Bad_request
+        "fingerprint %S is not resident (analyze the circuit first, or \
+         repeat the edit from its payload)"
+        spec.source)
+  | _ ->
+    Engine_cache.find_or_build ~ctx t.cache
+      ~format:(Protocol.format_string spec.format)
+      ~source:spec.source
+      ~build:(fun () ->
+        let circuit = parse_circuit t spec in
+        try Epp.Epp_engine.create circuit with
+        | Epp.Epp_engine.Invalid_signal_probability { name; value; _ } ->
+          reject Protocol.Invalid_netlist
+            "signal probability for %S is %g (outside [0, 1])" name value)
 
 (* --- analyze --------------------------------------------------------------- *)
 
@@ -174,8 +188,8 @@ let top_sites circuit k results =
              ("p_sensitized", Json.Number r.p_sensitized);
            ])
 
-let outcome_response t ?id ~ctx ~fingerprint ~(hit : bool) ~top_k circuit
-    (outcome : Epp.Supervisor.outcome) =
+let outcome_response t ?id ~ctx ~fingerprint ~(hit : bool) ~top_k ?(extra = [])
+    circuit (outcome : Epp.Supervisor.outcome) =
   let results = Epp.Supervisor.results outcome in
   let count = List.length results in
   let sum, maxp =
@@ -206,6 +220,7 @@ let outcome_response t ?id ~ctx ~fingerprint ~(hit : bool) ~top_k circuit
     | None -> base
     | Some k -> base @ [ ("top", Json.List (top_sites circuit k results)) ]
   in
+  let base = base @ extra in
   if outcome.stats.Epp.Diag.quarantined > 0 then
     maybe_dump t ~ctx "quarantine";
   let request_id = Obs.Ctx.id ctx in
@@ -251,21 +266,32 @@ let injection_overrides t ~inject =
        per-site ladder. *)
     (Some kernel, Some reference, Some Epp.Supervisor.Never)
 
-let handle_analyze t ?id ~ctx ~circuit ~sites ~budget_ms ~top_k ~inject () =
-  let { Engine_cache.engine; fingerprint; hit } = engine_for t ~ctx circuit in
-  let c = Epp.Epp_engine.circuit engine in
-  let n = Circuit.node_count c in
-  let kernel, reference, batch = injection_overrides t ~inject in
+let deadline_of t ~budget_ms =
   let budget =
     match budget_ms with
     | Some _ -> budget_ms
     | None -> t.config.default_budget_ms
   in
-  let deadline =
-    match budget with
-    | None -> Obs.Deadline.never
-    | Some ms -> Obs.Deadline.of_budget_ms ms
-  in
+  match budget with
+  | None -> Obs.Deadline.never
+  | Some ms -> Obs.Deadline.of_budget_ms ms
+
+(* A completed whole-circuit sweep is the splice donor for later [edit]
+   requests on this engine: remember its entries alongside the resident
+   engine (partial sweeps are not remembered — a splice may not invent
+   holes). *)
+let remember_if_complete t ~fingerprint (outcome : Epp.Supervisor.outcome) =
+  match outcome.completion with
+  | Epp.Diag.Complete ->
+    Engine_cache.remember_results t.cache ~fingerprint outcome.entries
+  | Epp.Diag.Deadline_expired _ -> ()
+
+let handle_analyze t ?id ~ctx ~circuit ~sites ~budget_ms ~top_k ~inject () =
+  let { Engine_cache.engine; fingerprint; hit } = engine_for t ~ctx circuit in
+  let c = Epp.Epp_engine.circuit engine in
+  let n = Circuit.node_count c in
+  let kernel, reference, batch = injection_overrides t ~inject in
+  let deadline = deadline_of t ~budget_ms in
   let domains = t.config.domains in
   match sites with
   | Some sites ->
@@ -288,6 +314,7 @@ let handle_analyze t ?id ~ctx ~circuit ~sites ~budget_ms ~top_k ~inject () =
         Epp.Supervisor.sweep_all ~ctx ?domains ?batch ?kernel ?reference
           ~deadline engine
       in
+      remember_if_complete t ~fingerprint outcome;
       outcome_response t ?id ~ctx ~fingerprint ~hit ~top_k c outcome
     | Some dir -> (
       let ck = Filename.concat dir (fingerprint ^ ".ck") in
@@ -296,6 +323,7 @@ let handle_analyze t ?id ~ctx ~circuit ~sites ~budget_ms ~top_k ~inject () =
           ~resume:true ?batch ?kernel ?reference ~deadline engine
       with
       | Ok outcome ->
+        remember_if_complete t ~fingerprint outcome;
         outcome_response t ?id ~ctx ~fingerprint ~hit ~top_k c outcome
       | Error _ ->
         (* A corrupt or mismatched checkpoint is data, not a crash: drop
@@ -312,7 +340,92 @@ let handle_analyze t ?id ~ctx ~circuit ~sites ~budget_ms ~top_k ~inject () =
             reject Protocol.Internal_error "checkpoint: %s"
               (Report.Checkpoint.error_message e)
         in
+        remember_if_complete t ~fingerprint outcome;
         outcome_response t ?id ~ctx ~fingerprint ~hit ~top_k c outcome))
+
+(* --- edit ------------------------------------------------------------------ *)
+
+(* The interactive hardening round trip: apply one Transform to a (usually
+   cached) base circuit and re-analyze incrementally — the analysis context
+   is patched across the delta, only the dirty cone is re-swept, and clean
+   sites are spliced from the base engine's remembered whole-circuit
+   outcome.  The post-edit engine becomes resident under its own (fresh)
+   fingerprint, so a chain of edits keeps paying O(dirty cone) per step. *)
+let handle_edit t ?id ~ctx ~circuit ~kind ~target ~budget_ms ~top_k () =
+  let { Engine_cache.engine = base_engine; fingerprint = base_fp; hit } =
+    engine_for t ~ctx circuit
+  in
+  let c = Epp.Epp_engine.circuit base_engine in
+  let node =
+    match Circuit.find_opt c target with
+    | Some v -> v
+    | None ->
+      reject Protocol.Bad_request "unknown signal %S in circuit %S" target
+        (Circuit.name c)
+  in
+  let _, delta =
+    try
+      match kind with
+      | Protocol.Tmr -> Transform.triplicate_delta c ~nodes:[ node ]
+      | Protocol.Buffer_net -> Transform.insert_identity_delta c ~net:node
+      | Protocol.De_morgan -> Transform.de_morgan_delta c ~gate:node
+    with
+    | Invalid_argument message -> reject Protocol.Bad_request "%s" message
+    | Transform.Not_a_gate name ->
+      reject Protocol.Bad_request "%S is not a gate (only gates can be %s)"
+        name
+        (Protocol.edit_kind_string kind)
+    | Netlist.Builder.Error e ->
+      reject Protocol.Invalid_netlist "edit produced an invalid netlist: %s"
+        (Netlist.Builder.error_to_string e)
+  in
+  let edited, how = Epp.Incremental.rebase base_engine delta in
+  let plan = Epp.Incremental.plan ~before:base_engine ~after:edited delta in
+  let prior =
+    Option.value ~default:[]
+      (Engine_cache.results_for t.cache ~fingerprint:base_fp)
+  in
+  let deadline = deadline_of t ~budget_ms in
+  let outcome =
+    Epp.Incremental.sweep ~ctx ?domains:t.config.domains ~deadline plan ~prior
+      edited
+  in
+  let fingerprint = Report.Checkpoint.fingerprint edited in
+  ignore (Engine_cache.insert ~ctx t.cache ~fingerprint edited);
+  remember_if_complete t ~fingerprint outcome;
+  Obs.Metrics.incr (counter "serd.edits");
+  let swept = outcome.stats.Epp.Diag.total - outcome.stats.Epp.Diag.resumed in
+  let extra =
+    [
+      ("base_fingerprint", Json.String base_fp);
+      ( "edit",
+        Json.Obj
+          [
+            ("kind", Json.String (Protocol.edit_kind_string kind));
+            ("target", Json.String target);
+          ] );
+      ( "incremental",
+        Json.Obj
+          [
+            ("dirty_sites", Json.int swept);
+            ("clean_reused", Json.int outcome.stats.Epp.Diag.resumed);
+            ( "dirty_fraction",
+              Json.Number
+                (if Epp.Incremental.total plan = 0 then 0.0
+                 else
+                   float_of_int swept
+                   /. float_of_int (Epp.Incremental.total plan)) );
+            ( "analysis",
+              Json.String
+                (match how with
+                | `Patched -> "patched"
+                | `Rebuilt -> "rebuilt") );
+          ] );
+    ]
+  in
+  outcome_response t ?id ~ctx ~fingerprint ~hit ~top_k ~extra
+    (Epp.Epp_engine.circuit edited)
+    outcome
 
 (* --- dispatch -------------------------------------------------------------- *)
 
@@ -333,6 +446,19 @@ let stats_response t ?id ~ctx () =
       ("internal_errors", c "serd.internal_errors");
       ("shed", c "serd.shed");
       ("deadline_partial", c "serd.deadline_partial");
+      ("edits", c "serd.edits");
+      ( "incremental",
+        Json.Obj
+          [
+            ("patched", c "analysis.incremental.patched");
+            ("rebuilt", c "analysis.incremental.rebuilt");
+            ("dirty_sites", c "epp.incremental.dirty_sites");
+            ("clean_reused", c "epp.incremental.clean_reused");
+            ( "dirty_fraction",
+              Json.Number
+                (Option.value ~default:0.0
+                   (Obs.Metrics.gauge_value snap "epp.incremental.dirty_fraction")) );
+          ] );
       ( "engine_cache",
         Json.Obj
           [
@@ -373,6 +499,8 @@ let handle_request t ?id ~ctx (req : Protocol.request) =
   | Protocol.Analyze { circuit; sites; budget_ms; top_k; inject } ->
     `Reply
       (handle_analyze t ?id ~ctx ~circuit ~sites ~budget_ms ~top_k ~inject ())
+  | Protocol.Edit { circuit; kind; target; budget_ms; top_k } ->
+    `Reply (handle_edit t ?id ~ctx ~circuit ~kind ~target ~budget_ms ~top_k ())
 
 let handle_line t line =
   (* One frame = one correlation context.  Every reply, span, log event,

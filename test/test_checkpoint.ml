@@ -160,6 +160,51 @@ let test_fingerprint_keys () =
   in
   check_bool "sp changes it" true (f1 <> Report.Checkpoint.fingerprint e1_sp)
 
+(* The v2 fingerprint length-prefixes every name before digesting. Under the
+   old raw interpolation, two circuits whose names merely split differently
+   ("ab"/"c" vs "a"/"bc") fed identical bytes to the digest and aliased —
+   exactly the kind of collision that would let a checkpoint from one netlist
+   resume onto another. *)
+let test_fingerprint_v2_injective_names () =
+  let build n1 n2 =
+    let b = Netlist.Builder.create ~name:"alias" () in
+    Netlist.Builder.add_input b n1;
+    Netlist.Builder.add_input b n2;
+    Netlist.Builder.add_gate b ~output:"g" ~kind:Netlist.Gate.And [ n1; n2 ];
+    Netlist.Builder.add_output b "g";
+    Netlist.Builder.freeze b
+  in
+  let f names = Report.Checkpoint.fingerprint (Epp.Epp_engine.create names) in
+  check_bool "name-boundary shift changes the fingerprint" true
+    (f (build "ab" "c") <> f (build "a" "bc"));
+  check_bool "pure rename changes the fingerprint" true
+    (f (build "x" "y") <> f (build "x" "z"))
+
+(* Kill-edit-restart: a run checkpoints, the process dies, the circuit is
+   edited, and the operator restarts with --resume against the old snapshot.
+   The post-edit engine must carry a fresh fingerprint so the stale snapshot
+   is rejected rather than spliced into results for a different netlist. *)
+let test_stale_snapshot_rejected_after_edit () =
+  let c = fig1 () in
+  let engine = Epp.Epp_engine.create c in
+  let path = Filename.temp_file "serprop_ck" ".txt" in
+  (match Report.Checkpoint.supervised_sweep ~domains:1 ~checkpoint:path engine with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e));
+  let _, d = Netlist.Transform.insert_identity_delta c ~net:0 in
+  let engine', _ = Epp.Incremental.rebase engine d in
+  check_bool "edit refreshes the engine fingerprint" true
+    (Report.Checkpoint.fingerprint engine
+    <> Report.Checkpoint.fingerprint engine');
+  (match
+     Report.Checkpoint.supervised_sweep ~domains:1 ~checkpoint:path ~resume:true
+       engine'
+   with
+  | Error (Report.Checkpoint.Fingerprint_mismatch _) -> ()
+  | Error e -> Alcotest.fail (Report.Checkpoint.error_message e)
+  | Ok _ -> Alcotest.fail "resumed a pre-edit snapshot onto the edited circuit");
+  Sys.remove path
+
 let test_resume_without_file () =
   let c = fig1 () in
   let engine = Epp.Epp_engine.create c in
@@ -207,6 +252,10 @@ let () =
       ( "keying",
         [
           Alcotest.test_case "fingerprint keys" `Quick test_fingerprint_keys;
+          Alcotest.test_case "v2 injective encoding" `Quick
+            test_fingerprint_v2_injective_names;
+          Alcotest.test_case "stale snapshot rejected after edit" `Quick
+            test_stale_snapshot_rejected_after_edit;
           Alcotest.test_case "resume without file" `Quick test_resume_without_file;
           Alcotest.test_case "mismatch rejected" `Quick test_mismatch_rejected;
         ] );

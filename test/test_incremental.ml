@@ -1,0 +1,374 @@
+(* Tests for the incremental re-analysis pipeline: Netlist.Analysis.apply_delta
+   (patch vs rebuild, metered), Epp.Incremental plan geometry, and the master
+   property — a chain of random Transform edits analyzed incrementally is
+   bit-identical, per observation, to a cold whole-circuit sweep of the final
+   circuit, on every engine rung (batch, kernel, reference).
+
+   The cold side always runs on a CLONE of the post-edit circuit: apply_delta
+   installs the patched analysis context on the shared circuit, and the whole
+   point is to prove that context computes the same bits as one built from
+   scratch. *)
+
+open Helpers
+open Netlist
+
+let fresh_registry () =
+  let m = Obs.Metrics.create () in
+  Obs.Hooks.set_metrics m;
+  m
+
+(* Rebuild a structurally identical circuit through the Builder: same node
+   order, hence the same ids and observation positions, but none of the
+   original's memoized analysis state. *)
+let clone c =
+  let b = Builder.create ~name:(Circuit.name c) () in
+  for v = 0 to Circuit.node_count c - 1 do
+    let name = Circuit.node_name c v in
+    match Circuit.node c v with
+    | Circuit.Input -> Builder.add_input b name
+    | Circuit.Ff { data } ->
+      Builder.add_dff b ~q:name ~d:(Circuit.node_name c data)
+    | Circuit.Gate { kind; fanins } ->
+      Builder.add_gate b ~output:name ~kind
+        (List.map (Circuit.node_name c) (Array.to_list fanins))
+  done;
+  List.iter
+    (fun v -> Builder.add_output b (Circuit.node_name c v))
+    (Circuit.outputs c);
+  Builder.freeze b
+
+(* A mid-size reconvergent DAG with flip-flops — big enough that a single
+   edit leaves most sites clean, so the splice path actually runs. *)
+let random_dag ~seed =
+  let profile =
+    Circuit_gen.Profiles.make
+      ~name:(Printf.sprintf "inc%d" seed)
+      ~inputs:6 ~outputs:4 ~ffs:2 ~gates:30
+  in
+  Circuit_gen.Random_dag.generate ~seed profile
+
+let random_edit rng circuit =
+  let n = Circuit.node_count circuit in
+  let gates =
+    List.filter (Circuit.is_gate circuit) (List.init n Fun.id)
+  in
+  let buffer () =
+    Transform.insert_identity_delta circuit ~net:(Rng.int rng ~bound:n)
+  in
+  match Rng.int rng ~bound:5 with
+  | 0 -> buffer ()
+  | 1 -> Transform.split_fanout_delta circuit ~net:(Rng.int rng ~bound:n)
+  | 2 when gates <> [] ->
+    Transform.triplicate_delta circuit
+      ~nodes:[ List.nth gates (Rng.int rng ~bound:(List.length gates)) ]
+  | 3 when Circuit.output_count circuit >= 2 ->
+    let k = Circuit.output_count circuit in
+    Transform.permute_observations_delta circuit
+      ~perm:(Array.init k (fun i -> (i + 1) mod k))
+  | _ -> (
+    match
+      List.filter
+        (fun v ->
+          match Circuit.kind_of circuit v with
+          | Some (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) -> true
+          | _ -> false)
+        (List.init n Fun.id)
+    with
+    | [] -> buffer ()
+    | eligible ->
+      Transform.de_morgan_delta circuit
+        ~gate:(List.nth eligible (Rng.int rng ~bound:(List.length eligible))))
+
+(* --- rung selection --------------------------------------------------------- *)
+
+type rung = Batch | Kernel | Reference
+
+let rung_name = function
+  | Batch -> "batch"
+  | Kernel -> "kernel"
+  | Reference -> "reference"
+
+let force_reference _ _ = failwith "forced degrade to the reference rung"
+
+let full_sweep ~rung engine =
+  match rung with
+  | Batch -> Epp.Supervisor.sweep_all ~domains:1 ~batch:Epp.Supervisor.Always engine
+  | Kernel -> Epp.Supervisor.sweep_all ~domains:1 ~batch:Epp.Supervisor.Never engine
+  | Reference ->
+    Epp.Supervisor.sweep_all ~domains:1 ~batch:Epp.Supervisor.Never
+      ~kernel:force_reference engine
+
+let incremental_sweep ~rung plan ~prior engine =
+  match rung with
+  | Batch ->
+    Epp.Incremental.sweep ~domains:1 ~batch:Epp.Supervisor.Always plan ~prior
+      engine
+  | Kernel ->
+    Epp.Incremental.sweep ~domains:1 ~batch:Epp.Supervisor.Never plan ~prior
+      engine
+  | Reference ->
+    Epp.Incremental.sweep ~domains:1 ~batch:Epp.Supervisor.Never
+      ~kernel:force_reference plan ~prior engine
+
+(* --- bit-exact comparison --------------------------------------------------- *)
+
+let bits = Int64.bits_of_float
+
+let same_entry (s1, e1) (s2, e2) =
+  s1 = s2
+  &&
+  match (e1, e2) with
+  | ( Epp.Supervisor.Analyzed { result = r1; _ },
+      Epp.Supervisor.Analyzed { result = r2; _ } ) ->
+    r1.Epp.Epp_engine.site = r2.Epp.Epp_engine.site
+    && bits r1.Epp.Epp_engine.p_sensitized = bits r2.Epp.Epp_engine.p_sensitized
+    && r1.Epp.Epp_engine.cone_size = r2.Epp.Epp_engine.cone_size
+    && r1.Epp.Epp_engine.reached_outputs = r2.Epp.Epp_engine.reached_outputs
+    && List.length r1.Epp.Epp_engine.per_observation
+       = List.length r2.Epp.Epp_engine.per_observation
+    && List.for_all2
+         (fun (o1, p1) (o2, p2) -> o1 = o2 && bits p1 = bits p2)
+         r1.Epp.Epp_engine.per_observation r2.Epp.Epp_engine.per_observation
+  | Epp.Supervisor.Quarantined _, Epp.Supervisor.Quarantined _ -> true
+  | _ -> false
+
+let outcomes_identical (a : Epp.Supervisor.outcome) (b : Epp.Supervisor.outcome) =
+  List.length a.entries = List.length b.entries
+  && List.for_all2 same_entry a.entries b.entries
+
+(* --- the master property ---------------------------------------------------- *)
+
+let chain_bit_identical ~rung ~steps seed =
+  with_repro ~build:(fun s -> random_dag ~seed:s) seed (fun c0 ->
+      let rng = Rng.create ~seed:((seed * 7) + 1) in
+      let engine0 = Epp.Epp_engine.create c0 in
+      let outcome0 = full_sweep ~rung engine0 in
+      let rec go i circuit engine (outcome : Epp.Supervisor.outcome) =
+        if i > steps then true
+        else begin
+          let _, d = random_edit rng circuit in
+          let engine', _how = Epp.Incremental.rebase engine d in
+          let plan = Epp.Incremental.plan ~before:engine ~after:engine' d in
+          let outcome' =
+            incremental_sweep ~rung plan ~prior:outcome.entries engine'
+          in
+          let c' = Delta.after d in
+          let cold = full_sweep ~rung (Epp.Epp_engine.create (clone c')) in
+          if not (outcomes_identical outcome' cold) then
+            QCheck2.Test.fail_report
+              (Printf.sprintf
+                 "rung %s, step %d: incremental outcome differs from the cold \
+                  sweep (dirty %d/%d)"
+                 (rung_name rung) i
+                 (Epp.Incremental.dirty_count plan)
+                 (Epp.Incremental.total plan))
+          else go (i + 1) c' engine' outcome'
+        end
+      in
+      go 1 c0 engine0 outcome0)
+
+let prop_chain rung =
+  qtest ~count:12
+    ~name:
+      (Printf.sprintf "5-edit chain is bit-identical to cold sweep (%s rung)"
+         (rung_name rung))
+    seed_arbitrary
+    (fun seed -> chain_bit_identical ~rung ~steps:5 seed)
+
+(* --- apply_delta: patch vs rebuild ------------------------------------------ *)
+
+let test_apply_delta_patches_and_meters () =
+  let m = fresh_registry () in
+  let c = Circuit_gen.Embedded.s27 () in
+  let analysis = Analysis.get c in
+  let _, d = Transform.insert_identity_delta c ~net:(Circuit.find c "G11") in
+  let analysis', how = Analysis.apply_delta analysis d in
+  check_bool "buffer insertion patches in place" true (how = `Patched);
+  check_bool "patched analysis is on the new circuit" true
+    (Analysis.order analysis' <> Analysis.order analysis);
+  let s = Obs.Metrics.snapshot m in
+  check_int "patched metered" 1
+    (Obs.Metrics.counter_value s "analysis.incremental.patched");
+  check_int "no rebuild" 0
+    (Obs.Metrics.counter_value s "analysis.incremental.rebuilt");
+  (* The patched order is a valid topological order of the new circuit. *)
+  let c' = Delta.after d in
+  let order = Analysis.order analysis' in
+  let pos = Array.make (Circuit.node_count c') (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  let ok = ref true in
+  for v = 0 to Circuit.node_count c' - 1 do
+    match Circuit.node c' v with
+    | Circuit.Gate { fanins; _ } ->
+      Array.iter (fun u -> if pos.(u) >= pos.(v) then ok := false) fanins
+    | Circuit.Input | Circuit.Ff _ -> ()
+  done;
+  check_bool "patched order is topological" true !ok
+
+let test_apply_delta_rebuilds_on_reorder () =
+  (* g1 is redefined to read g2, which sits AFTER it in the old topological
+     order — no order-preserving patch exists, so apply_delta must fall back
+     to a full rebuild (and meter it). *)
+  let build redefined =
+    let b = Builder.create ~name:"reorder" () in
+    Builder.add_input b "a";
+    if redefined then Builder.add_gate b ~output:"g1" ~kind:Gate.Not [ "g2" ]
+    else Builder.add_gate b ~output:"g1" ~kind:Gate.Not [ "a" ];
+    Builder.add_gate b ~output:"g2" ~kind:Gate.Not [ "a" ];
+    Builder.add_output b "g1";
+    Builder.add_output b "g2";
+    Builder.freeze b
+  in
+  let m = fresh_registry () in
+  let before = build false and after = build true in
+  let d = Delta.structural_diff ~before ~after in
+  let analysis = Analysis.get before in
+  let _, how = Analysis.apply_delta analysis d in
+  check_bool "dependency reversal forces a rebuild" true (how = `Rebuilt);
+  let s = Obs.Metrics.snapshot m in
+  check_int "rebuild metered" 1
+    (Obs.Metrics.counter_value s "analysis.incremental.rebuilt");
+  (* And the incremental sweep over that rebuilt analysis still matches a
+     cold sweep bit-for-bit. *)
+  let engine = Epp.Epp_engine.create before in
+  let outcome = full_sweep ~rung:Kernel engine in
+  let engine', how' = Epp.Incremental.rebase engine d in
+  check_bool "rebase reports the rebuild" true (how' = `Rebuilt);
+  let plan = Epp.Incremental.plan ~before:engine ~after:engine' d in
+  let outcome' =
+    incremental_sweep ~rung:Kernel plan ~prior:outcome.entries engine'
+  in
+  let cold = full_sweep ~rung:Kernel (Epp.Epp_engine.create (clone after)) in
+  check_bool "still bit-identical after the rebuild" true
+    (outcomes_identical outcome' cold)
+
+let test_apply_delta_rejects_wrong_circuit () =
+  let c = Circuit_gen.Embedded.s27 () in
+  let other = Circuit_gen.Embedded.c17 () in
+  let _, d = Transform.insert_identity_delta c ~net:0 in
+  Alcotest.check_raises "delta from another circuit"
+    (Invalid_argument
+       "Analysis.apply_delta: delta's before-circuit is not this context's")
+    (fun () -> ignore (Analysis.apply_delta (Analysis.get other) d))
+
+(* --- plan geometry ---------------------------------------------------------- *)
+
+(* Two disjoint blocks: an edit inside block A provably leaves every block-B
+   site clean, so the partial-plan splice path is exercised deterministically
+   (s27 is too small — any edit there dirties the whole circuit). *)
+let two_blocks () =
+  let b = Builder.create ~name:"two_blocks" () in
+  Builder.add_input b "a1";
+  Builder.add_input b "a2";
+  Builder.add_input b "b1";
+  Builder.add_input b "b2";
+  Builder.add_gate b ~output:"ga1" ~kind:Gate.And [ "a1"; "a2" ];
+  Builder.add_gate b ~output:"ga2" ~kind:Gate.Not [ "ga1" ];
+  Builder.add_gate b ~output:"gb1" ~kind:Gate.Or [ "b1"; "b2" ];
+  Builder.add_gate b ~output:"gb2" ~kind:Gate.Not [ "gb1" ];
+  Builder.add_output b "ga2";
+  Builder.add_output b "gb2";
+  Builder.freeze b
+
+let test_plan_is_partial_and_metered () =
+  let m = fresh_registry () in
+  let c = two_blocks () in
+  let engine = Epp.Epp_engine.create c in
+  let outcome = full_sweep ~rung:Kernel engine in
+  let gate = Circuit.find c "ga1" in
+  let _, d = Transform.triplicate_delta c ~nodes:[ gate ] in
+  let engine', _ = Epp.Incremental.rebase engine d in
+  let plan = Epp.Incremental.plan ~before:engine ~after:engine' d in
+  check_bool "plan is not full-dirty" true (not (Epp.Incremental.is_full plan));
+  check_bool "some sites dirty" true (Epp.Incremental.dirty_count plan > 0);
+  check_bool "some sites clean" true
+    (Epp.Incremental.dirty_count plan < Epp.Incremental.total plan);
+  let outcome' =
+    incremental_sweep ~rung:Kernel plan ~prior:outcome.entries engine'
+  in
+  check_bool "spliced entries counted as resumed" true
+    (outcome'.stats.Epp.Diag.resumed > 0);
+  let s = Obs.Metrics.snapshot m in
+  check_bool "dirty_sites metered" true
+    (Obs.Metrics.counter_value s "epp.incremental.dirty_sites" > 0);
+  check_bool "clean_reused metered" true
+    (Obs.Metrics.counter_value s "epp.incremental.clean_reused" > 0);
+  (match Obs.Metrics.gauge_value s "epp.incremental.dirty_fraction" with
+  | Some f -> check_bool "dirty_fraction gauge in (0, 1)" true (f > 0.0 && f < 1.0)
+  | None -> Alcotest.fail "dirty_fraction gauge missing");
+  (* The live registry's Prometheus exposition carries the incremental
+     series and lints clean. *)
+  let exposition = Obs.Prom.of_snapshot s in
+  check_bool "prometheus exposition lints" true (Obs.Prom.lint exposition = Ok ());
+  let contains needle =
+    let nh = String.length exposition and nn = String.length needle in
+    let rec at i =
+      i + nn <= nh && (String.sub exposition i nn = needle || at (i + 1))
+    in
+    at 0
+  in
+  check_bool "exposition has epp_incremental_dirty_sites" true
+    (contains "epp_incremental_dirty_sites");
+  check_bool "exposition has epp_incremental_clean_reused" true
+    (contains "epp_incremental_clean_reused");
+  check_bool "exposition has epp_incremental_dirty_fraction" true
+    (contains "epp_incremental_dirty_fraction")
+
+let test_plan_degrades_to_full_on_new_observation () =
+  (* Adding an observation point changes the observation interface length:
+     no positional correspondence exists, so the plan must go full-dirty
+     rather than splice results computed against the old interface. *)
+  let c = Circuit_gen.Embedded.s27 () in
+  let b = Builder.create ~name:(Circuit.name c) () in
+  for v = 0 to Circuit.node_count c - 1 do
+    let name = Circuit.node_name c v in
+    match Circuit.node c v with
+    | Circuit.Input -> Builder.add_input b name
+    | Circuit.Ff { data } ->
+      Builder.add_dff b ~q:name ~d:(Circuit.node_name c data)
+    | Circuit.Gate { kind; fanins } ->
+      Builder.add_gate b ~output:name ~kind
+        (List.map (Circuit.node_name c) (Array.to_list fanins))
+  done;
+  List.iter
+    (fun v -> Builder.add_output b (Circuit.node_name c v))
+    (Circuit.outputs c);
+  Builder.add_output b "G8";
+  let after = Builder.freeze b in
+  let d = Delta.structural_diff ~before:c ~after in
+  let engine = Epp.Epp_engine.create c in
+  let outcome = full_sweep ~rung:Kernel engine in
+  let engine', _ = Epp.Incremental.rebase engine d in
+  let plan = Epp.Incremental.plan ~before:engine ~after:engine' d in
+  check_bool "new PO degrades the plan to full" true
+    (Epp.Incremental.is_full plan);
+  (* Full-dirty still produces the right bits (nothing is spliced). *)
+  let outcome' =
+    incremental_sweep ~rung:Kernel plan ~prior:outcome.entries engine'
+  in
+  check_int "nothing resumed on a full plan" 0 outcome'.stats.Epp.Diag.resumed;
+  let cold = full_sweep ~rung:Kernel (Epp.Epp_engine.create (clone after)) in
+  check_bool "full plan matches cold sweep" true (outcomes_identical outcome' cold)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "apply_delta",
+        [
+          Alcotest.test_case "patch + meter" `Quick
+            test_apply_delta_patches_and_meters;
+          Alcotest.test_case "rebuild on dependency reversal" `Quick
+            test_apply_delta_rebuilds_on_reorder;
+          Alcotest.test_case "wrong circuit rejected" `Quick
+            test_apply_delta_rejects_wrong_circuit;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "partial plan, metered + prom" `Quick
+            test_plan_is_partial_and_metered;
+          Alcotest.test_case "full on new observation" `Quick
+            test_plan_degrades_to_full_on_new_observation;
+        ] );
+      ( "bit identity",
+        [ prop_chain Batch; prop_chain Kernel; prop_chain Reference ] );
+    ]

@@ -254,6 +254,92 @@ let test_dump_op () =
          jstr "event" e = Some "serd.request" && jstr "request_id" e = Some rid1)
        events)
 
+(* --- edit ------------------------------------------------------------------ *)
+
+(* Two disjoint blocks, so a buffer insertion in block A provably leaves
+   block-B sites clean and the edit response must show spliced results. *)
+let two_blocks_bench =
+  {|{"op":"analyze","circuit":{"format":"bench","source":"INPUT(a1)\nINPUT(a2)\nINPUT(b1)\nINPUT(b2)\nga1 = AND(a1, a2)\nga2 = NOT(ga1)\ngb1 = OR(b1, b2)\ngb2 = NOT(gb1)\nOUTPUT(ga2)\nOUTPUT(gb2)\n"}}|}
+
+let edit_req ~fp ~kind ~target =
+  Printf.sprintf
+    {|{"op":"edit","circuit":{"format":"fingerprint","source":"%s"},"edit":{"kind":"%s","target":"%s"}}|}
+    fp kind target
+
+let incr_field key r = Option.bind (Json.member "incremental" r) (jnum key)
+
+let test_edit_op () =
+  ignore (fresh_registry ());
+  let server = Server.create Server.default_config in
+  let r0 = reply server two_blocks_bench in
+  check_string "base analyze" "ok" (status r0);
+  let fp = Option.value ~default:"?" (jstr "fingerprint" r0) in
+  let r1 = reply server (edit_req ~fp ~kind:"buffer" ~target:"ga1") in
+  check_string "edit answers ok" "ok" (status r1);
+  check_bool "base engine was resident" true (jstr "cache" r1 = Some "hit");
+  check_bool "base fingerprint echoed" true
+    (jstr "base_fingerprint" r1 = Some fp);
+  let fp1 = Option.value ~default:"?" (jstr "fingerprint" r1) in
+  check_bool "edit mints a fresh fingerprint" true (fp1 <> fp && fp1 <> "?");
+  check_bool "edit echoed" true
+    (match Json.member "edit" r1 with
+    | Some e -> jstr "kind" e = Some "buffer" && jstr "target" e = Some "ga1"
+    | None -> false);
+  check_bool "analysis was patched, not rebuilt" true
+    (Option.bind (Json.member "incremental" r1) (jstr "analysis")
+    = Some "patched");
+  check_bool "some sites re-swept" true
+    (match incr_field "dirty_sites" r1 with Some n -> n > 0.0 | None -> false);
+  check_bool "block-B results spliced from the base sweep" true
+    (match incr_field "clean_reused" r1 with Some n -> n > 0.0 | None -> false);
+  check_bool "dirty fraction strictly partial" true
+    (match incr_field "dirty_fraction" r1 with
+    | Some f -> f > 0.0 && f < 1.0
+    | None -> false);
+  (* Chaining: the post-edit engine is resident under fp1 and its complete
+     outcome was remembered, so a second edit splices again. *)
+  let r2 = reply server (edit_req ~fp:fp1 ~kind:"buffer" ~target:"gb1") in
+  check_string "chained edit ok" "ok" (status r2);
+  check_bool "chained edit splices too" true
+    (match incr_field "clean_reused" r2 with Some n -> n > 0.0 | None -> false);
+  (* Introspection reflects the edits. *)
+  let s = reply server {|{"op":"stats"}|} in
+  check_bool "stats counts the edits" true (jnum "edits" s = Some 2.0);
+  check_bool "stats reports patched incremental analyses" true
+    (match Option.bind (Json.member "incremental" s) (jnum "patched") with
+    | Some n -> n >= 2.0
+    | None -> false)
+
+let test_edit_rejections () =
+  ignore (fresh_registry ());
+  let server = Server.create Server.default_config in
+  let expect name code line =
+    let r = reply server line in
+    check_string (name ^ " status") "error" (status r);
+    check_string (name ^ " code") code (error_code r)
+  in
+  (* Fingerprints name resident engines; an unknown one is a typed reject,
+     not a parse attempt. *)
+  expect "non-resident fingerprint" "bad_request"
+    (edit_req ~fp:"deadbeef" ~kind:"buffer" ~target:"x");
+  ignore (reply server two_blocks_bench);
+  let fp =
+    Option.value ~default:"?" (jstr "fingerprint" (reply server two_blocks_bench))
+  in
+  expect "unknown target" "bad_request"
+    (edit_req ~fp ~kind:"buffer" ~target:"nope");
+  expect "unknown edit kind" "bad_request"
+    (edit_req ~fp ~kind:"frobnicate" ~target:"ga1");
+  expect "de morgan on a NOT" "bad_request"
+    (edit_req ~fp ~kind:"de_morgan" ~target:"ga2");
+  expect "missing edit object" "bad_request"
+    (Printf.sprintf
+       {|{"op":"edit","circuit":{"format":"fingerprint","source":"%s"}}|} fp);
+  (* And the fingerprint format stays analyze-only for unknown prints. *)
+  expect "analyze by unknown fingerprint" "bad_request"
+    {|{"op":"analyze","circuit":{"format":"fingerprint","source":"feedface"}}|};
+  check_string "still alive" "ok" (status (reply server {|{"op":"ping"}|}))
+
 let test_fault_injection_gate () =
   ignore (fresh_registry ());
   let inject_req =
@@ -383,6 +469,11 @@ let () =
           Alcotest.test_case "dump op" `Quick test_dump_op;
           Alcotest.test_case "fault-injection gate" `Quick
             test_fault_injection_gate;
+        ] );
+      ( "edit",
+        [
+          Alcotest.test_case "edit op round trip" `Quick test_edit_op;
+          Alcotest.test_case "edit rejections" `Quick test_edit_rejections;
         ] );
       ( "serve loop",
         [

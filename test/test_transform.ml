@@ -395,6 +395,126 @@ let prop_mutations_preserve_epp =
           check_epp_invariant "chain" c m3;
           equivalent_behaviour c m3))
 
+(* --- reported deltas vs the structural oracle ------------------------------ *)
+
+(* Every [*_delta] variant must report exactly the delta that
+   Delta.structural_diff recomputes from the two circuits alone — the
+   incremental machinery trusts the reported touched sets, so an
+   under-report here would silently splice stale results. *)
+let check_delta_oracle msg d =
+  let oracle =
+    Delta.structural_diff ~before:(Delta.before d) ~after:(Delta.after d)
+  in
+  let show l = String.concat "," (List.map string_of_int l) in
+  let cmp what got want =
+    if got <> want then
+      Alcotest.failf "%s: %s reported [%s], oracle says [%s]" msg what
+        (show got) (show want)
+  in
+  cmp "touched" (Delta.touched d) (Delta.touched oracle);
+  cmp "added" (Delta.added d) (Delta.added oracle);
+  cmp "removed" (Delta.removed d) (Delta.removed oracle);
+  check_bool (msg ^ ": id maps match") true
+    (Delta.new_of_old d = Delta.new_of_old oracle
+    && Delta.old_of_new d = Delta.old_of_new oracle)
+
+let test_delta_insert_identity () =
+  let c = fig1 () in
+  for net = 0 to Circuit.node_count c - 1 do
+    let after, d = Transform.insert_identity_delta c ~net in
+    check_bool "delta wraps the result" true (after == Delta.after d);
+    check_bool "delta starts from the input" true (c == Delta.before d);
+    check_delta_oracle (Printf.sprintf "buffer on net %d" net) d;
+    let after2, d2 = Transform.insert_identity_delta ~double_invert:true c ~net in
+    check_bool "delta wraps the result (ii2)" true (after2 == Delta.after d2);
+    check_delta_oracle (Printf.sprintf "inverter pair on net %d" net) d2
+  done
+
+let test_delta_split_fanout () =
+  let c = fig1 () in
+  (* A drives E and D: a real split with a reported consumer set. *)
+  let _, d = Transform.split_fanout_delta c ~net:(Circuit.find c "A") in
+  check_delta_oracle "split A" d;
+  check_bool "split is not an identity" true (not (Delta.is_identity d));
+  (* E has a single consumer: the transform is a no-op and says so. *)
+  let after, d = Transform.split_fanout_delta c ~net:(Circuit.find c "E") in
+  check_bool "single-consumer split returns the circuit" true (after == c);
+  check_bool "and an identity delta" true (Delta.is_identity d)
+
+let test_delta_de_morgan () =
+  let c = fig1 () in
+  List.iter
+    (fun v ->
+      match Circuit.kind_of c v with
+      | Some (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) ->
+        let _, d = Transform.de_morgan_delta c ~gate:v in
+        check_delta_oracle
+          (Printf.sprintf "de Morgan on %s" (Circuit.node_name c v))
+          d
+      | _ -> ())
+    (List.init (Circuit.node_count c) Fun.id)
+
+let test_delta_triplicate () =
+  let c = fig1 () in
+  List.iter
+    (fun v ->
+      if Circuit.is_gate c v then begin
+        let _, d = Transform.triplicate_delta c ~nodes:[ v ] in
+        check_delta_oracle
+          (Printf.sprintf "TMR on %s" (Circuit.node_name c v))
+          d;
+        check_bool "TMR adds nodes" true (Delta.added d <> [])
+      end)
+    (List.init (Circuit.node_count c) Fun.id)
+
+let test_delta_permute_observations () =
+  let c = random_small_dag ~seed:11 in
+  let k = Circuit.output_count c in
+  let perm = Array.init k (fun i -> (i + 1) mod k) in
+  let _, d = Transform.permute_observations_delta c ~perm in
+  check_delta_oracle "permute POs" d;
+  check_bool "no touched nodes" true (Delta.touched d = [])
+
+let prop_deltas_match_oracle =
+  qtest ~count:40 ~name:"random delta chain matches the structural oracle"
+    seed_arbitrary (fun seed ->
+      with_repro ~build:(fun s -> random_small_dag ~seed:s) seed (fun c ->
+          let rng = Rng.create ~seed in
+          let step circuit i =
+            let n = Circuit.node_count circuit in
+            let gates =
+              List.filter (Circuit.is_gate circuit)
+                (List.init n Fun.id)
+            in
+            let after, d =
+              match Rng.int rng ~bound:4 with
+              | 0 -> Transform.insert_identity_delta circuit ~net:(Rng.int rng ~bound:n)
+              | 1 -> Transform.split_fanout_delta circuit ~net:(Rng.int rng ~bound:n)
+              | 2 when gates <> [] ->
+                Transform.triplicate_delta circuit
+                  ~nodes:[ List.nth gates (Rng.int rng ~bound:(List.length gates)) ]
+              | _ -> (
+                match
+                  List.filter
+                    (fun v ->
+                      match Circuit.kind_of circuit v with
+                      | Some (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) -> true
+                      | _ -> false)
+                    (List.init n Fun.id)
+                with
+                | [] -> Transform.insert_identity_delta circuit ~net:(Rng.int rng ~bound:n)
+                | eligible ->
+                  Transform.de_morgan_delta circuit
+                    ~gate:(List.nth eligible (Rng.int rng ~bound:(List.length eligible))))
+            in
+            check_delta_oracle (Printf.sprintf "chain step %d" i) d;
+            after
+          in
+          let rec chain circuit i =
+            if i > 4 then true else chain (step circuit i) (i + 1)
+          in
+          chain c 1))
+
 let () =
   Alcotest.run "transform"
     [
@@ -442,5 +562,15 @@ let () =
           Alcotest.test_case "observation permutation" `Quick
             test_permute_observations_invariant;
           prop_mutations_preserve_epp;
+        ] );
+      ( "deltas",
+        [
+          Alcotest.test_case "buffer insertion" `Quick test_delta_insert_identity;
+          Alcotest.test_case "fanout split" `Quick test_delta_split_fanout;
+          Alcotest.test_case "de Morgan rewrite" `Quick test_delta_de_morgan;
+          Alcotest.test_case "TMR" `Quick test_delta_triplicate;
+          Alcotest.test_case "observation permutation" `Quick
+            test_delta_permute_observations;
+          prop_deltas_match_oracle;
         ] );
     ]
