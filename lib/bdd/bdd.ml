@@ -244,6 +244,235 @@ let size m node =
 
 let clear_caches m = Hashtbl.reset m.apply_cache
 
+(* --- dynamic variable ordering (sifting) ----------------------------------
+
+   The manager above is append-only and hash-consed, which makes in-place
+   reordering impossible; instead, reordering extracts the live graph under
+   a set of roots into a mutable leveled representation, sifts there, and
+   rebuilds into a fresh manager whose variable indices follow the new
+   order.  The extracted graph keeps one invariant throughout: a node id's
+   *function* never changes.  An adjacent-level swap rewrites only the
+   nodes labeled with the upper variable that actually depend on the lower
+   one — in place, so parents stay valid — exactly Rudell's algorithm.
+
+   Cost model: a swap is O(upper level population); a full sift of one
+   variable is O(total size) amortized, and each swap is followed by a
+   mark-and-sweep so the size signal driving the search is exact.  This is
+   far from a production reordering engine, but it is called only when a
+   cone build trips its node budget, where shrinking the graph matters more
+   than reordering throughput. *)
+
+module Reorder = struct
+  type graph = {
+    mutable g_var : int array; (* node -> variable (not position) *)
+    mutable g_low : int array;
+    mutable g_high : int array;
+    mutable g_count : int;
+    mutable free : int list; (* ids released by the post-swap sweep *)
+    tables : ((int * int), int) Hashtbl.t array; (* per variable *)
+    order : int array; (* position -> variable *)
+    pos : int array; (* variable -> position *)
+    mutable roots : int array;
+  }
+
+  let g_grow g =
+    let capacity = Array.length g.g_var in
+    if g.g_count >= capacity && g.free = [] then begin
+      let fresh = 2 * capacity in
+      let extend a fill =
+        let b = Array.make fresh fill in
+        Array.blit a 0 b 0 capacity;
+        b
+      in
+      g.g_var <- extend g.g_var terminal_var;
+      g.g_low <- extend g.g_low 0;
+      g.g_high <- extend g.g_high 0
+    end
+
+  let alloc g v lo hi =
+    match g.free with
+    | id :: rest ->
+      g.free <- rest;
+      g.g_var.(id) <- v;
+      g.g_low.(id) <- lo;
+      g.g_high.(id) <- hi;
+      id
+    | [] ->
+      g_grow g;
+      let id = g.g_count in
+      g.g_var.(id) <- v;
+      g.g_low.(id) <- lo;
+      g.g_high.(id) <- hi;
+      g.g_count <- id + 1;
+      id
+
+  (* Canonical constructor inside the leveled graph. *)
+  let g_mk g v lo hi =
+    if lo = hi then lo
+    else
+      let key = (lo, hi) in
+      match Hashtbl.find_opt g.tables.(v) key with
+      | Some id -> id
+      | None ->
+        let id = alloc g v lo hi in
+        Hashtbl.replace g.tables.(v) key id;
+        id
+
+  let extract m roots =
+    let k = m.var_count in
+    let g =
+      {
+        g_var = Array.make 1024 terminal_var;
+        g_low = Array.make 1024 0;
+        g_high = Array.make 1024 0;
+        g_count = 2;
+        free = [];
+        tables = Array.init k (fun _ -> Hashtbl.create 64);
+        order = Array.init k Fun.id;
+        pos = Array.init k Fun.id;
+        roots = [||];
+      }
+    in
+    g.g_low.(0) <- 0;
+    g.g_high.(0) <- 0;
+    g.g_low.(1) <- 1;
+    g.g_high.(1) <- 1;
+    let map = Hashtbl.create 1024 in
+    Hashtbl.replace map zero 0;
+    Hashtbl.replace map one 1;
+    let rec go id =
+      match Hashtbl.find_opt map id with
+      | Some x -> x
+      | None ->
+        let lo = go m.low.(id) and hi = go m.high.(id) in
+        let x = g_mk g m.var.(id) lo hi in
+        Hashtbl.replace map id x;
+        x
+    in
+    g.roots <- Array.map go roots;
+    g
+
+  (* Mark-and-sweep: drop unreachable nodes from the tables and free list
+     their ids, and return the live internal-node count. *)
+  let sweep g =
+    let live = Array.make g.g_count false in
+    let rec mark id =
+      if id >= 2 && not live.(id) then begin
+        live.(id) <- true;
+        mark g.g_low.(id);
+        mark g.g_high.(id)
+      end
+    in
+    Array.iter mark g.roots;
+    let count = ref 0 in
+    Array.iter
+      (fun table ->
+        Hashtbl.iter
+          (fun key id -> if not live.(id) then Hashtbl.remove table key else incr count)
+          table)
+      g.tables;
+    for id = 2 to g.g_count - 1 do
+      if (not live.(id)) && g.g_var.(id) <> terminal_var then begin
+        g.g_var.(id) <- terminal_var;
+        g.free <- id :: g.free
+      end
+    done;
+    !count
+
+  (* Swap the variables at positions [p] and [p+1].  Nodes of the upper
+     variable that depend on the lower one are rewritten in place (same id,
+     same function, new top variable); everything else is untouched. *)
+  let swap g p =
+    let u = g.order.(p) and w = g.order.(p + 1) in
+    let split c = if c >= 2 && g.g_var.(c) = w then (g.g_low.(c), g.g_high.(c)) else (c, c) in
+    let snapshot = Hashtbl.fold (fun key id acc -> (key, id) :: acc) g.tables.(u) [] in
+    List.iter
+      (fun ((f0, f1), id) ->
+        let f00, f01 = split f0 in
+        let f10, f11 = split f1 in
+        if not (f00 == f0 && f10 == f1) then begin
+          (* depends on w: push w above u, keeping this id's function *)
+          Hashtbl.remove g.tables.(u) (f0, f1);
+          let lo' = g_mk g u f00 f10 in
+          let hi' = g_mk g u f01 f11 in
+          g.g_var.(id) <- w;
+          g.g_low.(id) <- lo';
+          g.g_high.(id) <- hi';
+          Hashtbl.replace g.tables.(w) (lo', hi') id
+        end)
+      snapshot;
+    g.order.(p) <- w;
+    g.order.(p + 1) <- u;
+    g.pos.(u) <- p + 1;
+    g.pos.(w) <- p;
+    sweep g
+
+  (* Sift one variable to its best position, then park it there. *)
+  let sift_var g v ~size =
+    let k = Array.length g.order in
+    let best = ref size and best_pos = ref g.pos.(v) in
+    let note s = if s < !best then begin best := s; best_pos := g.pos.(v) end in
+    (* down to the bottom *)
+    while g.pos.(v) < k - 1 do
+      note (swap g g.pos.(v))
+    done;
+    (* back up to the top *)
+    while g.pos.(v) > 0 do
+      note (swap g (g.pos.(v) - 1))
+    done;
+    (* descend again to the recorded best position *)
+    let final = ref (sweep g) in
+    while g.pos.(v) < !best_pos do
+      final := swap g g.pos.(v)
+    done;
+    !final
+
+  type plan = {
+    size_before : int;
+    size_after : int;
+    sifted : int;
+    perm : int array; (* new variable index (= position) -> old variable index *)
+  }
+
+  let rebuild g =
+    let k = Array.length g.order in
+    let m = create ~var_count:k in
+    let map = Hashtbl.create 1024 in
+    Hashtbl.replace map 0 zero;
+    Hashtbl.replace map 1 one;
+    let rec go id =
+      match Hashtbl.find_opt map id with
+      | Some x -> x
+      | None ->
+        let lo = go g.g_low.(id) and hi = go g.g_high.(id) in
+        let x = mk m g.pos.(g.g_var.(id)) lo hi in
+        Hashtbl.replace map id x;
+        x
+    in
+    let roots = Array.map go g.roots in
+    (m, roots)
+
+  let sift ?(max_vars = 12) m ~roots =
+    let g = extract m roots in
+    let size_before = sweep g in
+    let k = m.var_count in
+    (* Heaviest variables first: sifting them buys the most. *)
+    let population = Array.make k 0 in
+    Array.iteri (fun v table -> population.(v) <- Hashtbl.length table) g.tables;
+    let by_weight = Array.init k Fun.id in
+    Array.sort (fun a b -> compare population.(b) population.(a)) by_weight;
+    let sifted = min max_vars k in
+    let size = ref size_before in
+    for i = 0 to sifted - 1 do
+      let v = by_weight.(i) in
+      if population.(v) > 0 then size := sift_var g v ~size:!size
+    done;
+    let size_after = sweep g in
+    let manager, new_roots = rebuild g in
+    let perm = Array.copy g.order in
+    ({ size_before; size_after; sifted; perm }, manager, new_roots)
+end
+
 let pp m ppf node =
   let rec go ppf id =
     if id = zero then Fmt.string ppf "0"

@@ -67,3 +67,31 @@ val clear_caches : t -> unit
 
 val pp : t -> int Fmt.t
 (** Debug rendering as nested if-then-else. *)
+
+(** Dynamic variable reordering by sifting (Rudell).
+
+    The manager is append-only, so reordering is rebuild-based: {!Reorder.sift}
+    extracts the live graph under the given roots, sifts the heaviest
+    variables to their locally best levels via adjacent-level swaps, and
+    returns a {e fresh} manager holding the reordered graph together with the
+    mapping of the roots into it.  The original manager is untouched. *)
+module Reorder : sig
+  type plan = {
+    size_before : int;  (** live internal nodes under [roots] before sifting *)
+    size_after : int;  (** live internal nodes after sifting *)
+    sifted : int;  (** number of variables sifted *)
+    perm : int array;
+        (** [perm.(new_var)] is the old variable now at index [new_var] in
+            the returned manager — the new order, position by position. *)
+  }
+
+  val sift : ?max_vars:int -> t -> roots:int array -> plan * t * int array
+  (** [sift m ~roots] reorders the graph spanned by [roots].  At most
+      [max_vars] (default 12) variables are sifted, heaviest level first;
+      each keeps the position minimizing the live size encountered during
+      its pass.  Returns the plan, the new manager (variable [v] of the new
+      manager is old variable [plan.perm.(v)]), and the images of [roots],
+      aligned.  Functions are preserved: evaluating a returned root in the
+      new manager under the permuted assignment equals evaluating the
+      original root. *)
+end

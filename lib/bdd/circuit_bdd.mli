@@ -12,6 +12,11 @@ exception Too_large of { node_count : int; limit : int }
 
 val default_node_limit : int
 
+val gate_fn : Bdd.t -> Netlist.Gate.kind -> int array -> int
+(** Apply one gate to already-built fanin functions — the shared
+    gate-semantics table of every symbolic builder (monolithic here,
+    cone-partitioned in {!Cone_bdd}). *)
+
 val build : ?node_limit:int -> Netlist.Circuit.t -> t
 (** One topological pass.  @raise Too_large if the BDDs blow up. *)
 

@@ -160,26 +160,38 @@ let elaborate (ast : Blif_ast.t) =
       incr fresh_counter;
       Printf.sprintf "%s#%s%d" output suffix !fresh_counter
     in
-    let literal input = function
-      | Blif_ast.One -> Some input
-      | Blif_ast.Zero ->
-        let n = fresh "lit" in
-        Netlist.Builder.add_gate b ~output:n ~kind:Netlist.Gate.Not [ input ];
-        Some n
-      | Blif_ast.Dont_care -> None
-    in
-    let product ?(name = fresh "t") (row : Blif_ast.cover_row) =
-      let literals = List.filter_map Fun.id (List.map2 literal inputs row.Blif_ast.input_plane) in
-      match literals with
-      | [] ->
-        Netlist.Builder.add_gate b ~output:name ~kind:Netlist.Gate.Const1 [];
-        name
-      | [ one ] ->
-        Netlist.Builder.add_gate b ~output:name ~kind:Netlist.Gate.Buf [ one ];
-        name
-      | several ->
-        Netlist.Builder.add_gate b ~output:name ~kind:Netlist.Gate.And several;
-        name
+    (* Elaboration must be its own fixpoint under print+parse (the corpus
+       stability contract): a single-literal product is the literal's
+       signal itself — wrapping it in a fresh Buf (or a Not+Buf chain for
+       a complemented literal) would add one gate per round-trip and no
+       saved netlist could ever replay as stored. *)
+    let product ?name (row : Blif_ast.cover_row) =
+      let cares =
+        List.filter
+          (fun (_, v) -> v <> Blif_ast.Dont_care)
+          (List.map2 (fun i v -> (i, v)) inputs row.Blif_ast.input_plane)
+      in
+      let named kind fanins =
+        let n = match name with Some n -> n | None -> fresh "t" in
+        Netlist.Builder.add_gate b ~output:n ~kind fanins;
+        n
+      in
+      match (cares, name) with
+      | [], _ -> named Netlist.Gate.Const1 []
+      | [ (input, Blif_ast.One) ], None -> input
+      | [ (input, Blif_ast.One) ], Some _ -> named Netlist.Gate.Buf [ input ]
+      | [ (input, Blif_ast.Zero) ], _ -> named Netlist.Gate.Not [ input ]
+      | cares, _ ->
+        named Netlist.Gate.And
+          (List.map
+             (fun (input, v) ->
+               if v = Blif_ast.One then input
+               else begin
+                 let n = fresh "lit" in
+                 Netlist.Builder.add_gate b ~output:n ~kind:Netlist.Gate.Not [ input ];
+                 n
+               end)
+             cares)
     in
     let final_kind = if complemented then Netlist.Gate.Nor else Netlist.Gate.Or in
     match rows with

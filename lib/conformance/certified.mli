@@ -1,0 +1,123 @@
+(** The certified exact tier: a sound [P_sensitized] verdict for every
+    site, at any circuit scale, with an explicit certificate.
+
+    A three-rung budget ladder (DESIGN.md §17):
+
+    + cone-partitioned BDD construction with one round of sifting
+      ({!Cone_bdd}) — an exact value, certificate {!constructor-Bdd_exact};
+    + on budget trip, {e sound} probability bounds by interval propagation:
+      Fréchet inequalities over signal probabilities plus exact
+      error-difference identities over the fault cone, valid under
+      arbitrary reconvergent correlation — certificate
+      {!constructor-Interval_bound};
+    + when the sound interval is wider than [target_width], stratified
+      Monte-Carlo with per-stratum Wilson intervals tightens it, doubling
+      the vector count until the intersection with the sound bound is
+      narrow enough — certificate {!constructor-Mc_wilson}.  A Wilson
+      interval {e disjoint} from the sound bound means the sampler is
+      inconsistent with the circuit; the certificate is rejected
+      ([conformance.certified.mc_rejected]) and the sound interval stands.
+
+    Rungs 1–2 are unconditionally sound; rung 3 is statistically sound at
+    the configured [z] and says so in its certificate.  Progress is metered
+    by [conformance.certified.{bdd_exact,interval,mc_certified,
+    budget_trips,mc_rejected}] and the [conformance.certified.seconds]
+    histogram. *)
+
+type certificate =
+  | Bdd_exact of { bdd_nodes : int; support : int; reordered : bool }
+      (** exact symbolic value; [reordered] marks the sifting rung firing *)
+  | Interval_bound  (** sound Fréchet / error-difference propagation *)
+  | Mc_wilson of { vectors : int; z : float; strata : int }
+      (** sound interval intersected with a stratified Wilson interval at
+          [z] from [vectors] vectors per stratum *)
+
+type verdict = {
+  site : int;
+  lo : float;
+  hi : float;  (** [lo <= true P_sensitized <= hi] under the certificate *)
+  per_observation : (Netlist.Circuit.observation * (float * float)) list;
+      (** per-observation-point bounds, every observation listed *)
+  certificate : certificate;
+  seconds : float;
+}
+
+val is_exact : verdict -> bool
+(** Degenerate interval ([hi - lo <= 1e-12]) — behaves as an exact value in
+    the oracle policies. *)
+
+type config = {
+  node_budget : int;
+      (** BDD manager ceiling per site (default 50k); [<= 0] disables the
+          symbolic rung entirely, counting as an immediate budget trip *)
+  allow_reorder : bool;  (** enable the sifting rung (default true) *)
+  target_width : float;  (** interval width that needs no MC (default 0.05) *)
+  mc_base_vectors : int;  (** first MC attempt (default 2048) *)
+  mc_max_vectors : int;  (** per-stratum ceiling; [0] disables MC *)
+  mc_seed : int;
+  z : float;  (** Wilson score multiplier (default 4.5) *)
+}
+
+val default_config : config
+
+(** Mutable tally of ladder outcomes across {!certify} calls sharing one
+    [stats] — the smoke bench's source for the verdict split. *)
+module Stats : sig
+  type t
+
+  val create : unit -> t
+  val bdd_exact : t -> int
+  val interval : t -> int
+  val mc_certified : t -> int
+  val budget_trips : t -> int
+  val mc_rejected : t -> int
+  val total : t -> int
+  val p95_seconds : t -> float
+end
+
+type sampler =
+  Netlist.Circuit.t ->
+  input_sp:(int -> float) ->
+  vectors:int ->
+  seed:int ->
+  site:int ->
+  float
+(** The MC estimation seam: [P_sensitized] of [site] from [vectors] random
+    vectors under [input_sp].  The default is {!Fault_sim.Epp_sim};
+    property tests substitute a deliberately biased sampler to prove the
+    Wilson rejection fires. *)
+
+val default_sampler : sampler
+
+val interval_bounds : ?input_sp:(int -> float) -> Netlist.Circuit.t -> int -> float * float
+(** The rung-2 sound bounds alone, skipping the BDD attempt — the object of
+    the soundness and tightening property tests.
+    @raise Invalid_argument on a bad site. *)
+
+val certify :
+  ?config:config ->
+  ?deadline:Obs.Deadline.t ->
+  ?input_sp:(int -> float) ->
+  ?sampler:sampler ->
+  ?stats:Stats.t ->
+  Netlist.Circuit.t ->
+  int ->
+  verdict
+(** Run the ladder for one site.  Never raises on capacity: a budget trip
+    falls through to bounds, an expired [deadline] stops symbolic work and
+    MC tightening but still returns the (cheap, O(V+E)) interval verdict.
+    @raise Invalid_argument on a bad site. *)
+
+val certify_sites :
+  ?config:config ->
+  ?deadline:Obs.Deadline.t ->
+  ?input_sp:(int -> float) ->
+  ?sampler:sampler ->
+  ?stats:Stats.t ->
+  Netlist.Circuit.t ->
+  int array ->
+  verdict array
+(** {!certify} per site, aligned with the input array. *)
+
+val pp_certificate : certificate Fmt.t
+val pp_verdict : verdict Fmt.t

@@ -1,16 +1,49 @@
-(** Replayable conformance corpus: a directory of BLIF netlists.
+(** Replayable conformance corpus: a directory of {e elaborated} BLIF
+    netlists with fingerprinted sidecars.
 
     Every circuit that ever exposed a disagreement (plus a few structural
     staples) lives in [test/corpus/] and is replayed through the full
     oracle panel by the tier-1 suite, so a fixed regression never needs
-    the fuzzer to be rediscovered. *)
+    the fuzzer to be rediscovered.
 
-val load : string -> (string * Netlist.Circuit.t) list
+    Storage is {e decomposition-stable}: {!save} round-trips the circuit
+    through the BLIF printer+parser to a structural fixpoint before
+    writing, so the bytes on disk parse back to exactly the structure that
+    was checked (the PR-5 limitation — parser elaboration of XOR covers
+    turning saved parity trees into different circuits on reload — cannot
+    recur), and {!load} proves it by re-checking the pinned fingerprint. *)
+
+val fingerprint : Netlist.Circuit.t -> string
+(** One-line structural reproducibility fingerprint: name,
+    node/input/FF/gate/PO counts, and a hash over the full node table.
+    (Re-exported as {!Fuzz.fingerprint}.) *)
+
+type entry = {
+  file : string;  (** basename within the corpus directory *)
+  circuit : Netlist.Circuit.t;
+  envelope : float option;
+      (** per-entry analytical-vs-exact ceiling override from the sidecar;
+          [None] means the panel default applies *)
+  fingerprint : string;  (** of [circuit] as parsed, verified against the sidecar *)
+}
+
+exception Unstable of { name : string; detail : string }
+(** A corpus entry failed the stability contract: the saved circuit is not
+    a print/parse fixpoint, or the bytes on disk no longer parse to the
+    fingerprint pinned in the sidecar. *)
+
+val load : string -> entry list
 (** [load dir] parses every [*.blif] file in [dir], sorted by filename for
-    deterministic replay order.  Returns [(filename, circuit)] pairs.
+    deterministic replay order, reading each entry's [<name>.meta.json]
+    sidecar (absent sidecar: no envelope, no fingerprint check).
+    @raise Unstable on a fingerprint mismatch or malformed sidecar.
     @raise Sys_error if the directory cannot be read.
     @raise Blif_format.Blif_parser.Parse_error on a malformed entry. *)
 
-val save : dir:string -> name:string -> Netlist.Circuit.t -> string
-(** [save ~dir ~name c] writes [c] (names sanitized for BLIF) to
-    [dir/name.blif] and returns the path.  Creates [dir] if missing. *)
+val save : ?envelope:float -> dir:string -> name:string -> Netlist.Circuit.t -> string
+(** [save ~dir ~name c] elaborates [c] to its print/parse fixpoint, writes
+    it to [dir/name.blif] plus the fingerprint (and optional [envelope])
+    sidecar [dir/name.meta.json], and returns the BLIF path.  Creates
+    [dir] if missing.  The saved circuit may differ structurally from [c]
+    (XOR covers decompose); it is the elaborated form that replay checks.
+    @raise Unstable if printing+parsing does not reach a fixpoint. *)

@@ -32,25 +32,9 @@ let default_config =
 
 (* --- reproducibility fingerprint ------------------------------------------- *)
 
-let fingerprint c =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf (Circuit.name c);
-  for v = 0 to Circuit.node_count c - 1 do
-    Buffer.add_string buf (Circuit.node_name c v);
-    (match Circuit.node c v with
-    | Circuit.Input -> Buffer.add_string buf "=I"
-    | Circuit.Ff { data } -> Buffer.add_string buf (Printf.sprintf "=F%d" data)
-    | Circuit.Gate { kind; fanins } ->
-      Buffer.add_string buf ("=" ^ Gate.to_string kind);
-      Array.iter (fun u -> Buffer.add_string buf (Printf.sprintf ",%d" u)) fanins);
-    Buffer.add_char buf ';'
-  done;
-  List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "o%d;" v)) (Circuit.outputs c);
-  let hash = Digest.to_hex (Digest.string (Buffer.contents buf)) in
-  Printf.sprintf "%s[nodes=%d in=%d ff=%d gates=%d po=%d hash=%s]" (Circuit.name c)
-    (Circuit.node_count c) (Circuit.input_count c) (Circuit.ff_count c)
-    (Circuit.gate_count c) (Circuit.output_count c)
-    (String.sub hash 0 12)
+(* Owned by Corpus (which pins it in on-disk sidecars); re-exported here
+   because every finding and failure message prints it. *)
+let fingerprint = Corpus.fingerprint
 
 (* --- findings -------------------------------------------------------------- *)
 
@@ -162,6 +146,28 @@ let check_circuit ?(oracles = Oracle.default ()) ?(envelope = Oracle.default_env
                     env_sum := !env_sum +. dev;
                     incr env_count
                   end
+                | Oracle.Interval _ -> (
+                  (* A certified verdict only recalibrates the envelope
+                     when its certificate is degenerate (lo = hi, a true
+                     exact value) and the other side is analytical; a wide
+                     interval says nothing about the paper's deviation. *)
+                  let contribution =
+                    match (a.Oracle.soundness, b.Oracle.soundness) with
+                    | Oracle.Certified, Oracle.Analytical -> Some (ra.(i), rb.(i))
+                    | Oracle.Analytical, Oracle.Certified -> Some (rb.(i), ra.(i))
+                    | _ -> None
+                  in
+                  match contribution with
+                  | Some (rc, _) when (fun (lo, hi) -> hi -. lo > 1e-12) (Oracle.interval_of rc)
+                    -> ()
+                  | Some (rc, ranl) ->
+                    let dev = Oracle.deviation rc ranl in
+                    if dev > !env_max then env_max := dev;
+                    if Float.is_finite dev then begin
+                      env_sum := !env_sum +. dev;
+                      incr env_count
+                    end
+                  | None -> ())
                 | _ -> ());
                 List.iter
                   (fun m -> mismatches := Mismatch { case; mismatch = m } :: !mismatches)

@@ -16,11 +16,16 @@ type soundness =
   | Exact
   | Analytical
   | Statistical of { vectors : int }
+  | Certified
 
 type result = {
   p_sensitized : float;
   per_observation : (Circuit.observation * float) list;
+  interval : (float * float) option;
 }
+
+let interval_of r =
+  match r.interval with Some iv -> iv | None -> (r.p_sensitized, r.p_sensitized)
 
 type t = {
   name : string;
@@ -42,7 +47,8 @@ let analytical_engine ?input_sp c =
 
 let of_site_result (r : Epp.Epp_engine.site_result) =
   { p_sensitized = r.Epp.Epp_engine.p_sensitized;
-    per_observation = r.Epp.Epp_engine.per_observation }
+    per_observation = r.Epp.Epp_engine.per_observation;
+    interval = None }
 
 (* --- the back-ends -------------------------------------------------------- *)
 
@@ -62,7 +68,8 @@ let exact_enum ?input_sp ?(limit = 16) () =
           (fun site ->
             let r = Fault_sim.Epp_exact.compute ?input_sp ~limit c site in
             { p_sensitized = r.Fault_sim.Epp_exact.p_sensitized;
-              per_observation = r.Fault_sim.Epp_exact.per_observation })
+              per_observation = r.Fault_sim.Epp_exact.per_observation;
+              interval = None })
           sites);
   }
 
@@ -83,7 +90,8 @@ let exact_bdd ?input_sp ?node_limit () =
           (fun site ->
             let r = Circuit_bdd.epp_exact ?input_sp ?node_limit cb site in
             { p_sensitized = r.Circuit_bdd.p_sensitized;
-              per_observation = r.Circuit_bdd.per_observation })
+              per_observation = r.Circuit_bdd.per_observation;
+              interval = None })
           sites);
   }
 
@@ -101,7 +109,8 @@ let monte_carlo ?input_sp ?(vectors = 2048) ?(seed = 424242) () =
           (fun site ->
             let r = Fault_sim.Epp_sim.estimate_site sim ~rng site in
             { p_sensitized = r.Fault_sim.Epp_sim.p_sensitized;
-              per_observation = r.Fault_sim.Epp_sim.per_observation })
+              per_observation = r.Fault_sim.Epp_sim.per_observation;
+              interval = None })
           sites);
   }
 
@@ -173,8 +182,29 @@ let supervised ?input_sp ?kernel ?reference () =
                | Epp.Supervisor.Quarantined _ ->
                  (* A quarantine in a conformance run is itself a finding:
                     surface it as NaN so every policy flags it. *)
-                 { p_sensitized = Float.nan; per_observation = [] })
+                 { p_sensitized = Float.nan; per_observation = []; interval = None })
         |> Array.of_list);
+  }
+
+let certified ?input_sp ?config ?deadline ?stats () =
+  {
+    name = "certified";
+    soundness = Certified;
+    available = always_available;
+    run =
+      (fun c ~sites ->
+        let verdicts = Certified.certify_sites ?config ?deadline ?input_sp ?stats c sites in
+        Array.map
+          (fun v ->
+            {
+              p_sensitized = 0.5 *. (v.Certified.lo +. v.Certified.hi);
+              per_observation =
+                List.map
+                  (fun (o, (l, h)) -> (o, 0.5 *. (l +. h)))
+                  v.Certified.per_observation;
+              interval = Some (v.Certified.lo, v.Certified.hi);
+            })
+          verdicts);
   }
 
 let default ?input_sp ?mc_vectors ?mc_seed ?enum_limit () =
@@ -196,6 +226,7 @@ type policy =
   | Within of float
   | Envelope of float
   | Wilson of { z : float; vectors : int; slack : float }
+  | Interval of { slack : float }
 
 let default_envelope = 0.65
 let default_z = 4.5
@@ -210,10 +241,21 @@ let policy ~envelope ~z a b =
   | Statistical { vectors }, Analytical | Analytical, Statistical { vectors } ->
     Some (Wilson { z; vectors; slack = envelope })
   | Statistical _, Statistical _ -> None
+  (* Certified results carry a sound interval; a point value inside it (or
+     within [slack] of it) agrees.  Against an analytical engine the slack
+     is the calibrated envelope — a degenerate interval then behaves
+     exactly like the Envelope policy.  Against an exact oracle (or a
+     second certified one) the slack is the float tolerance: a point (or
+     interval) separated from a *sound* interval is a hard finding — one
+     of the two computations is provably wrong. *)
+  | Certified, Analytical | Analytical, Certified -> Some (Interval { slack = envelope })
+  | Certified, Exact | Exact, Certified | Certified, Certified ->
+    Some (Interval { slack = 1e-9 })
+  | Certified, Statistical _ | Statistical _, Certified -> None
 
 let is_statistical = function
   | Wilson _ -> true
-  | Bitwise | Within _ | Envelope _ -> false
+  | Bitwise | Within _ | Envelope _ | Interval _ -> false
 
 type mismatch = {
   left : string;
@@ -248,6 +290,16 @@ let excess policy ~phat ~other =
          equals phat only in real arithmetic; absorb the float rounding of
          center +/- half with an epsilon far below any statistical signal. *)
       Float.max 0.0 (Float.abs (other -. center) -. half -. slack -. 1e-9)
+    | Interval { slack } ->
+      (* scalar fallback; compare_site uses the carried intervals *)
+      Float.max 0.0 (Float.abs (phat -. other) -. slack)
+
+(* Separation of two intervals beyond [slack]; 0 when they overlap. *)
+let interval_gap ~slack (alo, ahi) (blo, bhi) =
+  if
+    Float.is_nan alo || Float.is_nan ahi || Float.is_nan blo || Float.is_nan bhi
+  then infinity
+  else Float.max 0.0 (Float.max (alo -. bhi) (blo -. ahi) -. slack)
 
 let deviation a b =
   if Float.is_nan a.p_sensitized || Float.is_nan b.p_sensitized then infinity
@@ -271,12 +323,24 @@ let aligned_observations circuit a b =
 
 let compare_site ~policy:p ~left ~right circuit site ra rb =
   let site_name = Circuit.node_name circuit site in
+  match p with
+  | Interval { slack } ->
+    let gap = interval_gap ~slack (interval_of ra) (interval_of rb) in
+    if gap > 0.0 then
+      [
+        { left = left.name; right = right.name; site; site_name;
+          quantity = "p_sensitized"; lhs = ra.p_sensitized; rhs = rb.p_sensitized;
+          policy = p; gap };
+      ]
+    else []
+  | Bitwise | Within _ | Envelope _ | Wilson _ ->
   let quantities =
     match p with
     | Bitwise | Within _ ->
       ("p_sensitized", ra.p_sensitized, rb.p_sensitized)
       :: aligned_observations circuit ra rb
-    | Envelope _ | Wilson _ -> [ ("p_sensitized", ra.p_sensitized, rb.p_sensitized) ]
+    | Envelope _ | Wilson _ | Interval _ ->
+      [ ("p_sensitized", ra.p_sensitized, rb.p_sensitized) ]
   in
   List.filter_map
     (fun (quantity, lhs, rhs) ->
@@ -301,6 +365,7 @@ let pp_policy ppf = function
   | Envelope e -> Fmt.pf ppf "envelope %g" e
   | Wilson { z; vectors; slack } ->
     Fmt.pf ppf "wilson z=%g n=%d slack=%g" z vectors slack
+  | Interval { slack } -> Fmt.pf ppf "interval slack=%g" slack
 
 let pp_mismatch ppf m =
   Fmt.pf ppf "%s ~ %s disagree at site %d (%s) on %s: %.9g vs %.9g (policy %a, gap %.3g)"

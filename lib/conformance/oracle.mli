@@ -29,11 +29,21 @@ type soundness =
   | Exact
   | Analytical  (** the paper's Table-1 rules: approximate under reconvergence *)
   | Statistical of { vectors : int }
+  | Certified
+      (** sound interval with an explicit certificate ({!Certified}) — exact
+          when the cone BDD fits its budget, bounds otherwise *)
 
 type result = {
   p_sensitized : float;
+      (** for a [Certified] oracle, the interval midpoint *)
   per_observation : (Netlist.Circuit.observation * float) list;
+  interval : (float * float) option;
+      (** the sound [lo, hi] carried by [Certified] oracles; [None]
+          elsewhere (read as the degenerate point interval) *)
 }
+
+val interval_of : result -> float * float
+(** The carried interval, or the degenerate [(p, p)] point. *)
 
 type t = {
   name : string;
@@ -87,6 +97,19 @@ val supervised :
     shrinker's self-test manufactures a reproducible disagreement.  A
     quarantined site surfaces as a NaN result (and therefore a mismatch). *)
 
+val certified :
+  ?input_sp:(int -> float) ->
+  ?config:Certified.config ->
+  ?deadline:Obs.Deadline.t ->
+  ?stats:Certified.Stats.t ->
+  unit ->
+  t
+(** The {!Certified} budget ladder as an oracle: [p_sensitized] is the
+    interval midpoint and {!field-interval} carries the sound bounds, so
+    the pairwise policy is interval-aware.  Always available — this is the
+    exact tier that scales.  Opt-in ([bin/fuzz --certified]); not part of
+    {!default}. *)
+
 val default : ?input_sp:(int -> float) -> ?mc_vectors:int -> ?mc_seed:int -> ?enum_limit:int -> unit -> t list
 (** The full registry, in fixed order: exact-enum, exact-bdd, monte-carlo,
     reference, kernel, batch, parallel, supervised. *)
@@ -102,9 +125,16 @@ type policy =
           within the Wilson score interval of the estimate at [z], widened
           by [slack] (the envelope when the deterministic side is
           analytical) *)
+  | Interval of { slack : float }
+      (** certified-vs-anything-deterministic: the two carried intervals
+          (a point value reads as degenerate) must overlap once widened by
+          [slack] — the envelope against analytical engines, the float
+          tolerance against exact or certified ones, where a separation is
+          a hard finding backed by the certificate *)
 
 val policy : envelope:float -> z:float -> t -> t -> policy option
-(** [None] when the pair is incomparable (statistical vs statistical). *)
+(** [None] when the pair is incomparable (statistical vs statistical, or
+    certified vs statistical). *)
 
 val is_statistical : policy -> bool
 
@@ -143,7 +173,9 @@ val compare_site :
 (** All quantity-level violations of [policy] for one site.  [Bitwise] and
     [Within] also compare the per-observation entries (aligned by
     observation point, absent entries reading 0); [Envelope] and [Wilson]
-    compare [p_sensitized] only.  NaN anywhere is a violation. *)
+    compare [p_sensitized] only; [Interval] compares the carried intervals
+    ({!interval_of}) and reports their separation beyond the slack as the
+    gap.  NaN anywhere is a violation. *)
 
 val deviation : result -> result -> float
 (** [|p_sensitized - p_sensitized|], NaN-safe (NaN maps to [infinity]) —

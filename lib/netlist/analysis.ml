@@ -94,6 +94,7 @@ type t = {
   observation_nets : int array;  (* the nets, same order *)
   max_fanin : int;
   cones : bool array Lru.t;  (* site -> forward-reach marks *)
+  fanin_cones : bool array Lru.t;  (* net -> backward-reach marks *)
   distance_maps : int array Lru.t;  (* obs net -> reverse-BFS distances *)
   level_gates : int array array option Atomic.t;
       (* gates bucketed by ASAP level, memoized on first demand *)
@@ -145,6 +146,11 @@ let build circuit =
     observation_nets;
     max_fanin = !max_fanin;
     cones = Lru.create cone_cache_capacity;
+    fanin_cones =
+      (* Keyed by observation net in the certified exact tier, so size it
+         like the distance cache: a smaller cache would evict every cone
+         right before the next site reuses it. *)
+      Lru.create (max distance_cache_floor (Array.length observation_nets));
     distance_maps =
       Lru.create (max distance_cache_floor (Array.length observation_nets));
     level_gates = Atomic.make None;
@@ -216,6 +222,17 @@ let cone t site =
   Lru.find_or_compute t.cones site (fun () ->
       count "analysis.cones.computed";
       Reach.forward_csr (Circuit.csr t.circuit) site)
+
+let fanin_cone t net =
+  check_node t net ~what:"fanin_cone";
+  (* Backward reachability = forward reachability over the reverse CSR.
+     Keyed by observation net, these are shared by every site whose forward
+     cone reaches that net — the support-extraction step of the certified
+     exact tier. *)
+  let rev = Circuit.reverse_csr t.circuit in
+  Lru.find_or_compute t.fanin_cones net (fun () ->
+      count "analysis.fanin_cones.computed";
+      Reach.forward_csr rev net)
 
 let distances_to t target =
   check_node t target ~what:"distances_to";

@@ -74,6 +74,13 @@ val cone : t -> int -> bool array
 (** [cone ctx site] marks every node forward-reachable from [site]
     (including [site]).  @raise Invalid_argument on a bad node id. *)
 
+val fanin_cone : t -> int -> bool array
+(** [fanin_cone ctx net] marks every node backward-reachable from [net]
+    (including [net]) — one traversal of the shared reverse CSR, cached per
+    net.  Keyed by observation net in the certified exact tier, the union
+    of these maps over a site's reached observations is the support of the
+    cone-partitioned BDD.  @raise Invalid_argument on a bad node id. *)
+
 val distances_to : t -> int -> int array
 (** [distances_to ctx target].(v) is the BFS edge-distance from node [v] to
     [target] in the forward graph (computed as one backward BFS from

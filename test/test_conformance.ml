@@ -42,13 +42,80 @@ let test_policy_matrix () =
   check_bool "statistical pair incomparable" true
     (p mc (Oracle.monte_carlo ~vectors:64 ()) = None)
 
+let test_interval_policy_matrix () =
+  (* The certified tier's pairings: interval-aware against analytical and
+     exact oracles, incomparable against statistical ones. *)
+  let cert = Oracle.certified () in
+  let an = Oracle.reference () in
+  let ex = Oracle.exact_enum () in
+  let mc = Oracle.monte_carlo ~vectors:1024 () in
+  let p = Oracle.policy ~envelope:0.1 ~z:3.0 in
+  (match p cert an with
+  | Some (Oracle.Interval { slack }) -> check_float "slack = envelope" 0.1 slack
+  | _ -> Alcotest.fail "certified vs analytical must be Interval");
+  (match p ex cert with
+  | Some (Oracle.Interval { slack }) -> check_bool "tight vs exact" true (slack <= 1e-6)
+  | _ -> Alcotest.fail "certified vs exact must be Interval");
+  (match p cert cert with
+  | Some (Oracle.Interval { slack }) -> check_bool "tight pair" true (slack <= 1e-6)
+  | _ -> Alcotest.fail "certified pair must be Interval");
+  check_bool "certified vs statistical incomparable" true (p cert mc = None)
+
+let interval_result lo hi =
+  { Oracle.p_sensitized = 0.5 *. (lo +. hi); per_observation = []; interval = Some (lo, hi) }
+
+let point_result p = { Oracle.p_sensitized = p; per_observation = []; interval = None }
+
+let test_interval_agreement () =
+  (* Analytical inside the certified interval = agreement; outside = a HARD
+     finding (not statistical) carrying the gap beyond the slack. *)
+  let cert = Oracle.certified () in
+  let an = Oracle.reference () in
+  let c = cancellation () in
+  let policy =
+    match Oracle.policy ~envelope:0.0 ~z:4.5 cert an with
+    | Some p -> p
+    | None -> Alcotest.fail "comparable"
+  in
+  let compare_with r =
+    Oracle.compare_site ~policy ~left:cert ~right:an c 0 (interval_result 0.2 0.6) r
+  in
+  check_int "inside agrees" 0 (List.length (compare_with (point_result 0.4)));
+  check_int "endpoint counts as inside" 0 (List.length (compare_with (point_result 0.6)));
+  (match compare_with (point_result 0.9) with
+  | [ m ] ->
+    check_bool "outside is a hard finding" true (not (Oracle.is_statistical m.Oracle.policy));
+    check_float_eps 1e-9 "gap beyond the interval" 0.3 m.Oracle.gap
+  | l -> Alcotest.failf "expected exactly one finding, got %d" (List.length l));
+  check_bool "NaN trips" true (compare_with (point_result Float.nan) <> [])
+
+let test_interval_degenerate () =
+  (* A degenerate [lo = hi] certified verdict against an exact oracle
+     behaves as an exact pair: equality agrees, real separation trips. *)
+  let cert = Oracle.certified () in
+  let ex = Oracle.exact_enum () in
+  let c = cancellation () in
+  let policy =
+    match Oracle.policy ~envelope:0.65 ~z:4.5 cert ex with
+    | Some p -> p
+    | None -> Alcotest.fail "comparable"
+  in
+  let compare_with r =
+    Oracle.compare_site ~policy ~left:cert ~right:ex c 0 (interval_result 0.25 0.25) r
+  in
+  check_int "equal degenerate agrees" 0 (List.length (compare_with (point_result 0.25)));
+  check_int "1e-12 rounding does not trip" 0
+    (List.length (compare_with (point_result (0.25 +. 1e-12))));
+  check_bool "real separation trips the exact pair" true
+    (compare_with (point_result 0.3) <> [])
+
 let test_wilson_endpoints () =
   (* Degenerate estimates must not trip the interval on rounding alone. *)
   let mc = Oracle.monte_carlo ~vectors:2048 () in
   let ex = Oracle.exact_enum () in
   let c = cancellation () in
-  let one = { Oracle.p_sensitized = 1.0; per_observation = [] } in
-  let zero = { Oracle.p_sensitized = 0.0; per_observation = [] } in
+  let one = { Oracle.p_sensitized = 1.0; per_observation = []; interval = None } in
+  let zero = { Oracle.p_sensitized = 0.0; per_observation = []; interval = None } in
   let policy =
     match Oracle.policy ~envelope:0.65 ~z:4.5 mc ex with
     | Some p -> p
@@ -83,6 +150,25 @@ let test_panel_cancellation () =
      both exact oracles all agree P_sensitized(x) = 0. *)
   ignore (run_panel ~envelope:1e-9 (cancellation ()))
 
+let test_panel_with_certified () =
+  (* Adding the certified tier to the panel: on small circuits every verdict
+     is BDD-exact (degenerate interval), so it must agree with the exact
+     oracles at 1e-9 and with the analytical ones inside the envelope. *)
+  let oracles =
+    Conformance.Oracle.default () @ [ Conformance.Oracle.certified () ]
+  in
+  List.iter
+    (fun c ->
+      let ck = Fuzz.check_all_sites ~oracles c in
+      (match List.filter Fuzz.is_hard ck.Fuzz.findings with
+      | [] -> ()
+      | f :: _ -> Alcotest.failf "hard finding: %a" Fuzz.pp_finding f);
+      check_bool "certified pair compared" true
+        (List.exists
+           (fun (a, b) -> a = "certified" || b = "certified")
+           ck.Fuzz.pairs))
+    [ fig1 (); Circuit_gen.Embedded.c17 (); cancellation () ]
+
 (* --- corpus replay ------------------------------------------------------------ *)
 
 (* dune runtest runs from the test directory (where the corpus glob deps are
@@ -93,11 +179,54 @@ let corpus_dir =
 let test_corpus_replay () =
   let entries = Corpus.load corpus_dir in
   check_bool "corpus is populated" true (List.length entries >= 5);
+  check_bool "parity entries are no longer skipped" true
+    (List.exists (fun e -> e.Corpus.file = "parity3.blif") entries
+    && List.exists (fun e -> e.Corpus.file = "parity5.blif") entries);
   List.iter
-    (fun (file, c) ->
-      let ck = run_panel c in
-      check_bool (file ^ " compared") true (ck.Fuzz.comparisons > 0))
+    (fun e ->
+      (* Per-entry envelope override from the sidecar: decomposed parity
+         deviates far beyond the default analytical ceiling, and that
+         deviation is a pinned value now, not an exclusion. *)
+      let envelope = Option.value e.Corpus.envelope ~default:Oracle.default_envelope in
+      let ck = run_panel ~envelope e.Corpus.circuit in
+      check_bool (e.Corpus.file ^ " compared") true (ck.Fuzz.comparisons > 0))
     entries
+
+let test_corpus_stability () =
+  (* save/load round-trip: native-XOR circuits are stored elaborated with a
+     fingerprint sidecar; tampered bytes are rejected loudly. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ser_corpus_test_%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let c = Circuit_gen.Structured.parity_tree ~width:4 () in
+      let path = Corpus.save ~envelope:0.85 ~dir ~name:"parity4" c in
+      check_bool "meta sidecar written" true
+        (Sys.file_exists (Filename.remove_extension path ^ ".meta.json"));
+      (match Corpus.load dir with
+      | [ e ] ->
+        check_string "file" "parity4.blif" e.Corpus.file;
+        check_bool "envelope restored" true (e.Corpus.envelope = Some 0.85);
+        (* Decomposition stability: the loaded circuit is its own
+           print/parse fixpoint, so replay checks what was saved. *)
+        check_string "loaded circuit is a fixpoint" e.Corpus.fingerprint
+          (Corpus.fingerprint
+             (Blif_format.Blif_parser.parse_string (Shrinker.to_blif e.Corpus.circuit)))
+      | l -> Alcotest.failf "expected one entry, got %d" (List.length l));
+      let oc = open_out path in
+      output_string oc (Shrinker.to_blif (fig1 ()));
+      close_out oc;
+      check_bool "tampered entry rejected" true
+        (match Corpus.load dir with
+        | _ -> false
+        | exception Corpus.Unstable _ -> true))
 
 let test_corpus_roundtrip () =
   (* A mutated circuit (names contain '#') survives the BLIF round-trip
@@ -247,6 +376,9 @@ let () =
         [
           Alcotest.test_case "soundness matrix" `Quick test_policy_matrix;
           Alcotest.test_case "Wilson endpoints" `Quick test_wilson_endpoints;
+          Alcotest.test_case "interval matrix" `Quick test_interval_policy_matrix;
+          Alcotest.test_case "interval agreement" `Quick test_interval_agreement;
+          Alcotest.test_case "degenerate intervals" `Quick test_interval_degenerate;
         ] );
       ( "panel",
         [
@@ -254,10 +386,12 @@ let () =
           Alcotest.test_case "s27" `Quick test_panel_s27;
           Alcotest.test_case "c17" `Quick test_panel_c17;
           Alcotest.test_case "cancellation" `Quick test_panel_cancellation;
+          Alcotest.test_case "with the certified tier" `Slow test_panel_with_certified;
         ] );
       ( "corpus",
         [
           Alcotest.test_case "replay" `Slow test_corpus_replay;
+          Alcotest.test_case "save/load stability" `Quick test_corpus_stability;
           Alcotest.test_case "BLIF round-trip of mutants" `Quick test_corpus_roundtrip;
         ] );
       ("fuzz", [ Alcotest.test_case "fixed-seed run" `Slow test_fixed_seed_fuzz ]);
